@@ -1,0 +1,130 @@
+//! Microbenchmarks of the simulator's building blocks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smt_core::issue_queue::{IqEntry, IssueQueue};
+use smt_core::{plan_thread, BufView, DispatchPolicy, PhysReg};
+use smt_isa::{FuKind, RegClass};
+use smt_mem::{AccessKind, Hierarchy};
+use smt_predictor::{Btb, GShare, GShareConfig};
+use smt_workload::{benchmark, InstGenerator, SyntheticGen};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = StdRng::seed_from_u64(1);
+    let addrs: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..(4u64 << 20))).collect();
+    let mut h = Hierarchy::default();
+    let mut i = 0;
+    g.bench_function("hierarchy_load", |b| {
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(h.access(AccessKind::Load, addrs[i]))
+        })
+    });
+    let mut hot = Hierarchy::default();
+    hot.access(AccessKind::Load, 0x1000);
+    g.bench_function("hierarchy_load_hot", |b| {
+        b.iter(|| black_box(hot.access(AccessKind::Load, 0x1000)))
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(1));
+    let mut gs = GShare::new(GShareConfig::paper());
+    let mut i = 0u64;
+    g.bench_function("gshare_predict_train", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(gs.predict_and_train(0x4000 + (i % 64) * 4, !i.is_multiple_of(3)))
+        })
+    });
+    let mut btb = Btb::default();
+    for pc in 0..512u64 {
+        btb.update(pc * 4, pc * 8);
+    }
+    let mut j = 0u64;
+    g.bench_function("btb_lookup", |b| {
+        b.iter(|| {
+            j += 1;
+            black_box(btb.lookup((j % 512) * 4))
+        })
+    });
+    g.finish();
+}
+
+fn bench_issue_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("issue_queue");
+    g.throughput(Throughput::Elements(1));
+    let flat = |r: PhysReg| r.flat(256);
+    g.bench_function("insert_wakeup_select_remove", |b| {
+        let mut iq = IssueQueue::new(64, 2, 4, 512);
+        let mut age = 0u64;
+        b.iter(|| {
+            age += 1;
+            let tag = PhysReg { class: RegClass::Int, index: (age % 200) as u16 };
+            let slot = iq.insert(
+                IqEntry {
+                    thread: (age % 4) as usize,
+                    trace_idx: age,
+                    age,
+                    fu: FuKind::IntAlu,
+                    waiting: [Some(tag), None],
+                },
+                flat,
+            );
+            iq.wakeup(tag, flat(tag));
+            let (s, _) = iq.pop_ready().expect("woken entry must be ready");
+            assert_eq!(s, slot);
+            iq.remove(s);
+        })
+    });
+    g.finish();
+}
+
+fn bench_dispatch_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_plan");
+    g.throughput(Throughput::Elements(1));
+    let preg = |i: u16| PhysReg { class: RegClass::Int, index: i };
+    // A 24-deep buffer with interleaved NDIs — the OOO scan's worst case.
+    let views: Vec<BufView> = (0..24)
+        .map(|i| BufView {
+            trace_idx: i,
+            non_ready: if i % 3 == 0 { 2 } else { 1 },
+            nonready_srcs: [Some(preg(100 + i as u16)), Some(preg(200 + i as u16))],
+            dest: Some(preg(i as u16)),
+            is_rob_oldest: i == 0,
+        })
+        .collect();
+    for policy in
+        [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
+    {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(plan_thread(black_box(&views), policy, 8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.throughput(Throughput::Elements(1));
+    for name in ["gcc", "art", "crafty"] {
+        let mut gen = SyntheticGen::new(benchmark(name), 0, 1);
+        g.bench_function(name, |b| b.iter(|| black_box(gen.next_inst())));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_predictors,
+    bench_issue_queue,
+    bench_dispatch_planning,
+    bench_workload_gen
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! One benchmark per paper artifact: each bench executes a representative
+//! sweep slice of the corresponding figure or in-text statistic, so `cargo
+//! bench` exercises every experiment's code path. Full-size regeneration of
+//! the actual tables/series is done by the `paperbench` binary
+//! (`cargo run --release -p smt-sweep --bin paperbench -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::BENCH_COMMITS;
+use smt_core::DispatchPolicy;
+use smt_sweep::{run_spec, RunSpec};
+use smt_workload::{mixes_for, MixTable};
+
+fn slice_spec(table: MixTable, mix_idx: usize, iq: usize, policy: DispatchPolicy) -> RunSpec {
+    let mix = &mixes_for(table)[mix_idx];
+    RunSpec::new(&mix.benchmarks, iq, policy, BENCH_COMMITS, 1).with_warmup(1_000)
+}
+
+/// Figure 1: 2OP_BLOCK vs traditional, one mix per thread count.
+fn fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_2opblock_vs_traditional");
+    g.sample_size(10);
+    for (label, table) in [
+        ("2T", MixTable::TwoThread),
+        ("3T", MixTable::ThreeThread),
+        ("4T", MixTable::FourThread),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let blocked = run_spec(&slice_spec(table, 0, 64, DispatchPolicy::TwoOpBlock));
+                let trad = run_spec(&slice_spec(table, 0, 64, DispatchPolicy::Traditional));
+                blocked.ipc / trad.ipc
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 3/5/7 (throughput) and 4/6/8 (fairness): three-policy slice.
+fn figs_3_to_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figs3_8_policy_sweep");
+    g.sample_size(10);
+    for (label, table) in [
+        ("fig3_fig4_2T", MixTable::TwoThread),
+        ("fig5_fig6_3T", MixTable::ThreeThread),
+        ("fig7_fig8_4T", MixTable::FourThread),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for policy in [
+                    DispatchPolicy::Traditional,
+                    DispatchPolicy::TwoOpBlock,
+                    DispatchPolicy::TwoOpBlockOoo,
+                ] {
+                    total += run_spec(&slice_spec(table, 6, 48, policy)).ipc;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §3/§5 statistic: all-thread NDI dispatch stalls.
+fn stat_stalls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stat_stalls");
+    g.sample_size(10);
+    g.bench_function("2T_64_2opblock", |b| {
+        b.iter(|| {
+            run_spec(&slice_spec(MixTable::TwoThread, 0, 64, DispatchPolicy::TwoOpBlock))
+                .all_stall_frac
+        })
+    });
+    g.finish();
+}
+
+/// §4 statistics: HDI pile-up / NDI-dependence, and the idealized filter.
+fn stat_hdi_and_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stat_hdi_filter");
+    g.sample_size(10);
+    g.bench_function("hdi_fractions", |b| {
+        b.iter(|| {
+            let r = run_spec(&slice_spec(MixTable::TwoThread, 9, 64, DispatchPolicy::TwoOpBlockOoo));
+            (r.hdi_pileup_frac, r.hdi_ndi_dep_frac)
+        })
+    });
+    g.bench_function("idealized_filter", |b| {
+        b.iter(|| {
+            run_spec(&slice_spec(
+                MixTable::TwoThread,
+                9,
+                64,
+                DispatchPolicy::TwoOpBlockOooFiltered,
+            ))
+            .ipc
+        })
+    });
+    g.finish();
+}
+
+/// §5 statistic: mean IQ residency.
+fn stat_residency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stat_residency");
+    g.sample_size(10);
+    g.bench_function("2T_64", |b| {
+        b.iter(|| {
+            run_spec(&slice_spec(MixTable::TwoThread, 8, 64, DispatchPolicy::TwoOpBlockOoo))
+                .mean_iq_residency
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1, figs_3_to_8, stat_stalls, stat_hdi_and_filter, stat_residency);
+criterion_main!(benches);

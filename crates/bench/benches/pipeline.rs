@@ -1,0 +1,64 @@
+//! Full-pipeline throughput: simulated instructions per second of host time
+//! across thread counts and dispatch policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_core::{DispatchPolicy, SimConfig, Simulator};
+use smt_workload::{benchmark, InstGenerator, SyntheticGen};
+
+const COMMITS: u64 = 2_000;
+
+fn build(benches: &[&str], policy: DispatchPolicy) -> Simulator {
+    let mut cfg = SimConfig::paper(64, policy);
+    cfg.max_cycles = 0;
+    let streams: Vec<Box<dyn InstGenerator>> = benches
+        .iter()
+        .enumerate()
+        .map(|(t, b)| {
+            Box::new(SyntheticGen::new(benchmark(b), t, 1)) as Box<dyn InstGenerator>
+        })
+        .collect();
+    Simulator::new(cfg, streams)
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(COMMITS));
+    let configs: [(&str, Vec<&str>); 3] = [
+        ("1T", vec!["gcc"]),
+        ("2T", vec!["gcc", "mesa"]),
+        ("4T", vec!["gcc", "mesa", "equake", "vortex"]),
+    ];
+    for (label, benches) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &benches, |b, benches| {
+            b.iter(|| {
+                let mut sim = build(benches, DispatchPolicy::Traditional);
+                sim.run(COMMITS)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_policies");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(COMMITS));
+    for policy in [
+        DispatchPolicy::Traditional,
+        DispatchPolicy::TwoOpBlock,
+        DispatchPolicy::TwoOpBlockOoo,
+        DispatchPolicy::TwoOpBlockOooFiltered,
+    ] {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let mut sim = build(&["gcc", "equake"], policy);
+                sim.run(COMMITS)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_policies);
+criterion_main!(benches);

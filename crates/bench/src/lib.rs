@@ -1,0 +1,18 @@
+//! Benchmark support crate.
+//!
+//! The interesting content lives in `benches/`:
+//!
+//! * `components` — microbenchmarks of the cache hierarchy, branch
+//!   predictors, issue-queue wakeup/select, dispatch planning, and the
+//!   synthetic workload generator;
+//! * `pipeline` — full-simulator throughput (simulated instructions per
+//!   second of host time) across thread counts and dispatch policies;
+//! * `figures` — one representative sweep slice per paper figure/statistic
+//!   (Figure 1, Figures 3–8, and the §3–§5 in-text statistics), so `cargo
+//!   bench` exercises every experiment's code path end to end. Full-size
+//!   regeneration of the paper's tables is `paperbench`'s job (see the
+//!   `smt-sweep` crate).
+
+/// Commit budget used by the per-figure bench slices: large enough to
+/// exercise steady-state behaviour, small enough for `cargo bench`.
+pub const BENCH_COMMITS: u64 = 2_000;

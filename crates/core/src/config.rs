@@ -1,0 +1,369 @@
+//! Simulator configuration (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use smt_isa::MachineDesc;
+use smt_mem::HierarchyConfig;
+use smt_predictor::{BtbConfig, GShareConfig};
+
+/// Instruction dispatch policy — the subject of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Conventional scheduler: 2 tag comparators per IQ entry, strictly
+    /// in-order dispatch within each thread.
+    Traditional,
+    /// 2OP_BLOCK (Sharkey & Ponomarev, HPCA'06): 1 comparator per IQ entry;
+    /// an instruction with two non-ready sources blocks its thread's
+    /// dispatch until one source becomes ready.
+    TwoOpBlock,
+    /// This paper's contribution: 2OP_BLOCK issue queue plus out-of-order
+    /// dispatch within each thread — hidden dispatchable instructions (HDIs)
+    /// bypass blocked NDIs into the IQ.
+    TwoOpBlockOoo,
+    /// Idealized variant of [`DispatchPolicy::TwoOpBlockOoo`] that filters
+    /// out (refuses to dispatch) HDIs that depend, directly or transitively,
+    /// on a bypassed NDI. The paper evaluates this with zero-overhead
+    /// filtering and finds only ~1.2% additional gain (§4).
+    TwoOpBlockOooFiltered,
+    /// The statically partitioned tag-eliminated scheduler of Ernst &
+    /// Austin [5] (paper §6): the IQ mixes entries with two, one, and zero
+    /// comparators ([`SimConfig::iq_layout`]); dispatch is in order and an
+    /// instruction waits until an entry with enough comparators for its
+    /// non-ready sources is free.
+    TagEliminated,
+    /// The Half-Price scheduler of Kim & Lipasti [7] (paper §6): every
+    /// entry keeps both comparators, but the second sits on a *slow* tag
+    /// bus whose broadcasts arrive one cycle late. Capacity is never lost;
+    /// 2-non-ready instructions whose last operand arrives on the slow bus
+    /// issue one cycle later.
+    HalfPrice,
+    /// Instruction packing (Sharkey et al., ISLPED'05 [11], paper §6): two
+    /// instructions with ≤1 non-ready source share one physical entry,
+    /// splitting its comparators. `iq_size` is the *logical* capacity
+    /// (packable instructions); the queue has `iq_size / 2` physical
+    /// entries and the same comparator budget as 2OP_BLOCK.
+    Packed,
+}
+
+impl DispatchPolicy {
+    /// Tag comparators per IQ entry under this policy.
+    pub fn iq_comparators(self) -> u8 {
+        match self {
+            DispatchPolicy::Traditional
+            | DispatchPolicy::TagEliminated
+            | DispatchPolicy::HalfPrice
+            | DispatchPolicy::Packed => 2,
+            _ => 1,
+        }
+    }
+
+    /// Does this policy dispatch out of program order within a thread?
+    pub fn is_out_of_order(self) -> bool {
+        matches!(self, DispatchPolicy::TwoOpBlockOoo | DispatchPolicy::TwoOpBlockOooFiltered)
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::Traditional => "traditional",
+            DispatchPolicy::TwoOpBlock => "2OP_BLOCK",
+            DispatchPolicy::TwoOpBlockOoo => "2OP_BLOCK+OOO",
+            DispatchPolicy::TwoOpBlockOooFiltered => "2OP_BLOCK+OOO(filtered)",
+            DispatchPolicy::TagEliminated => "tag-eliminated",
+            DispatchPolicy::HalfPrice => "half-price",
+            DispatchPolicy::Packed => "packed",
+        }
+    }
+}
+
+/// Instruction-fetch policy (paper §2 baseline and §6 related work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchPolicy {
+    /// I-Count (Tullsen et al. [16]): priority to the threads with the
+    /// fewest instructions in the front end and issue queue. The paper's
+    /// baseline (ICOUNT.2.8).
+    ICount,
+    /// Simple round-robin rotation among eligible threads.
+    RoundRobin,
+    /// STALL (Tullsen & Brown [15]): I-Count, but a thread with an
+    /// outstanding main-memory (L2-miss) load fetches nothing until the
+    /// miss returns.
+    Stall,
+    /// FLUSH (Tullsen & Brown [15]): STALL plus squashing the already
+    /// fetched/dispatched instructions younger than the missing load, so
+    /// the shared IQ/ROB resources are freed for other threads while the
+    /// miss is outstanding.
+    Flush,
+}
+
+impl FetchPolicy {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FetchPolicy::ICount => "ICOUNT",
+            FetchPolicy::RoundRobin => "round-robin",
+            FetchPolicy::Stall => "STALL",
+            FetchPolicy::Flush => "FLUSH",
+        }
+    }
+}
+
+/// Deadlock handling for out-of-order dispatch (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlockMode {
+    /// No mechanism (only safe for in-order dispatch policies).
+    None,
+    /// The paper's preferred mechanism: a small deadlock-avoidance buffer
+    /// that accepts a thread's ROB-oldest instruction when the IQ is full.
+    /// §4 describes two issue disciplines; this is the one the paper picks:
+    /// DAB instructions "take precedence over the instructions in the IQ"
+    /// (IQ selection is disabled while the buffer is occupied).
+    Dab {
+        /// Number of buffer entries (shared across threads).
+        size: usize,
+    },
+    /// The other §4 issue discipline: DAB instructions "arbitrate for
+    /// selection with the instructions in the IQ", merged oldest-first.
+    DabArbitrated {
+        /// Number of buffer entries (shared across threads).
+        size: usize,
+    },
+    /// The watchdog-timer alternative: if no instruction dispatches for
+    /// `timeout` cycles, flush the pipeline and restart all threads from
+    /// their ROB-oldest instructions.
+    Watchdog {
+        /// Cycles without a dispatch before the flush triggers. The paper
+        /// suggests 2–3× the memory latency.
+        timeout: u32,
+    },
+}
+
+/// Full machine configuration. Defaults mirror Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Machine width: fetch, dispatch, issue and commit per cycle.
+    pub width: u32,
+    /// Maximum threads fetched from per cycle (I-Count policy, "fetching
+    /// was limited to two threads per cycle").
+    pub fetch_threads_per_cycle: u32,
+    /// Issue-queue capacity ("as specified" per experiment).
+    pub iq_size: usize,
+    /// Dispatch policy under study.
+    pub policy: DispatchPolicy,
+    /// Instruction-fetch policy (the paper's baseline is I-Count).
+    pub fetch_policy: FetchPolicy,
+    /// Entry mix for the [`DispatchPolicy::TagEliminated`] scheduler:
+    /// `[zero, one, two]`-comparator entry counts (must sum to `iq_size`).
+    /// `None` uses a quarter/half/quarter split, which matches the
+    /// half-total-comparator budget of the 2OP_BLOCK queue.
+    pub iq_layout: Option<[usize; 3]>,
+    /// Deadlock avoidance mechanism for OOO dispatch.
+    pub deadlock: DeadlockMode,
+    /// Reorder-buffer entries per thread (Table 1: 96).
+    pub rob_per_thread: usize,
+    /// Load/store-queue entries per thread (Table 1: 48).
+    pub lsq_per_thread: usize,
+    /// Integer physical registers shared by all threads (Table 1: 256).
+    pub phys_int: usize,
+    /// Floating-point physical registers shared by all threads (256).
+    pub phys_fp: usize,
+    /// Front-end depth in stages from fetch to dispatch (Table 1: 5-stage
+    /// front end).
+    pub frontend_depth: u32,
+    /// Capacity of the post-rename dispatch buffer per thread — the window
+    /// the out-of-order dispatch mechanism scans for HDIs.
+    pub dispatch_buffer_cap: usize,
+    /// Pipeline stages between issue and the completed result being
+    /// commit-visible (2 register-file stages + writeback, Table 1).
+    pub exec_tail: u32,
+    /// Function-unit inventory.
+    pub machine: MachineDesc,
+    /// Cache hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// Per-thread gShare geometry.
+    pub gshare: GShareConfig,
+    /// Shared BTB geometry.
+    pub btb: BtbConfig,
+    /// Extra fetch-redirect penalty cycles after a mispredicted branch
+    /// resolves (front-end restart).
+    pub redirect_penalty: u32,
+    /// Execute down the wrong path after a branch misprediction: the thread
+    /// keeps fetching (synthetic) wrong-path instructions that are renamed,
+    /// dispatched and issued — occupying physical registers, IQ/ROB/LSQ
+    /// entries and function units — until the branch resolves and squashes
+    /// them, as in execution-driven simulators like M-Sim. When false (the
+    /// default), the thread simply stops fetching until the branch resolves
+    /// (trace-driven fetch gating). The synthetic wrong path is *generic*
+    /// code rather than the program's actual mispredicted path, so it
+    /// over-weights queue pollution relative to M-Sim; see the `wrongpath`
+    /// experiment for its effect on the paper's figures.
+    pub wrong_path: bool,
+    /// Safety limit: abort `run` after this many cycles without the commit
+    /// target being reached (deadlock detection in tests). 0 = unlimited.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The Ernst–Austin-style default entry mix for the tag-eliminated
+    /// scheduler: a quarter of the entries have no comparators, half have
+    /// one, a quarter have two — the same total comparator budget as a
+    /// 2OP_BLOCK queue of equal size.
+    pub fn default_tag_eliminated_layout(iq_size: usize) -> [usize; 3] {
+        let zero = iq_size / 4;
+        let two = iq_size / 4;
+        [zero, iq_size - zero - two, two]
+    }
+
+    /// The paper's baseline machine (Table 1) with a given IQ size and
+    /// dispatch policy. OOO policies get a 4-entry DAB by default.
+    pub fn paper(iq_size: usize, policy: DispatchPolicy) -> Self {
+        let deadlock = if policy.is_out_of_order() {
+            DeadlockMode::Dab { size: 4 }
+        } else {
+            DeadlockMode::None
+        };
+        SimConfig {
+            width: 8,
+            fetch_threads_per_cycle: 2,
+            iq_size,
+            policy,
+            fetch_policy: FetchPolicy::ICount,
+            iq_layout: None,
+            deadlock,
+            rob_per_thread: 96,
+            lsq_per_thread: 48,
+            phys_int: 256,
+            phys_fp: 256,
+            frontend_depth: 5,
+            dispatch_buffer_cap: 24,
+            exec_tail: 3,
+            machine: MachineDesc::paper(),
+            hierarchy: HierarchyConfig::paper(),
+            gshare: GShareConfig::paper(),
+            btb: BtbConfig::paper(),
+            redirect_penalty: 1,
+            wrong_path: false,
+            max_cycles: 0,
+        }
+    }
+
+    /// Validate configuration consistency.
+    pub fn validate(&self, num_threads: usize) -> Result<(), String> {
+        if self.width == 0 || self.iq_size == 0 || self.rob_per_thread == 0 {
+            return Err("width, IQ size and ROB size must be positive".into());
+        }
+        if num_threads == 0 {
+            return Err("at least one thread required".into());
+        }
+        if self.phys_int < num_threads * smt_isa::NUM_ARCH_INT as usize {
+            return Err(format!(
+                "{} integer physical registers cannot map {} threads' architectural state",
+                self.phys_int, num_threads
+            ));
+        }
+        if self.phys_fp < num_threads * smt_isa::NUM_ARCH_FP as usize {
+            return Err("insufficient FP physical registers".into());
+        }
+        if self.policy.is_out_of_order() && self.deadlock == DeadlockMode::None {
+            return Err("out-of-order dispatch requires a deadlock mechanism".into());
+        }
+        if let DeadlockMode::Dab { size } | DeadlockMode::DabArbitrated { size } =
+            self.deadlock
+        {
+            if size == 0 {
+                return Err("DAB size must be positive".into());
+            }
+        }
+        if self.dispatch_buffer_cap < self.width as usize {
+            return Err("dispatch buffer must hold at least one dispatch group".into());
+        }
+        if let Some(layout) = self.iq_layout {
+            if layout.iter().sum::<usize>() != self.iq_size {
+                return Err(format!(
+                    "IQ layout {:?} does not sum to the IQ size {}",
+                    layout, self.iq_size
+                ));
+            }
+            if layout[1] + layout[2] == 0 {
+                return Err("IQ layout needs at least one entry with comparators".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper(64, DispatchPolicy::Traditional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = SimConfig::paper(64, DispatchPolicy::Traditional);
+        assert_eq!(c.width, 8);
+        assert_eq!(c.fetch_threads_per_cycle, 2);
+        assert_eq!(c.rob_per_thread, 96);
+        assert_eq!(c.lsq_per_thread, 48);
+        assert_eq!(c.phys_int, 256);
+        assert_eq!(c.phys_fp, 256);
+        assert_eq!(c.frontend_depth, 5);
+        assert_eq!(c.hierarchy.memory_latency, 150);
+        assert_eq!(c.hierarchy.l2_hit_latency, 10);
+        assert_eq!(c.gshare.table_entries, 2048);
+        assert_eq!(c.btb.entries, 2048);
+    }
+
+    #[test]
+    fn comparator_counts() {
+        assert_eq!(DispatchPolicy::Traditional.iq_comparators(), 2);
+        assert_eq!(DispatchPolicy::TwoOpBlock.iq_comparators(), 1);
+        assert_eq!(DispatchPolicy::TwoOpBlockOoo.iq_comparators(), 1);
+        assert_eq!(DispatchPolicy::TwoOpBlockOooFiltered.iq_comparators(), 1);
+    }
+
+    #[test]
+    fn ooo_policies_get_dab() {
+        let c = SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo);
+        assert_eq!(c.deadlock, DeadlockMode::Dab { size: 4 });
+        let c = SimConfig::paper(64, DispatchPolicy::TwoOpBlock);
+        assert_eq!(c.deadlock, DeadlockMode::None);
+    }
+
+    #[test]
+    fn validation_rejects_ooo_without_deadlock_mechanism() {
+        let mut c = SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo);
+        c.deadlock = DeadlockMode::None;
+        assert!(c.validate(2).is_err());
+    }
+
+    #[test]
+    fn validation_checks_phys_reg_budget() {
+        let c = SimConfig::paper(64, DispatchPolicy::Traditional);
+        assert!(c.validate(4).is_ok());
+        assert!(c.validate(9).is_err(), "9 threads x 32 arch regs > 256 phys");
+    }
+
+    #[test]
+    fn validation_rejects_zero_sizes() {
+        let c = SimConfig { iq_size: 0, ..SimConfig::default() };
+        assert!(c.validate(1).is_err());
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: std::collections::HashSet<_> = [
+            DispatchPolicy::Traditional,
+            DispatchPolicy::TwoOpBlock,
+            DispatchPolicy::TwoOpBlockOoo,
+            DispatchPolicy::TwoOpBlockOooFiltered,
+        ]
+        .iter()
+        .map(|p| p.name())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,407 @@
+//! Dispatch-policy planning: the paper's contribution lives here.
+//!
+//! Every cycle, each thread's post-rename dispatch buffer is examined and a
+//! [`ThreadPlan`] is produced: the ordered list of instructions the policy
+//! would move into the issue queue this cycle, plus the blocking/statistics
+//! classification the paper reports (NDI stalls, HDI pile-ups, NDI-dependence
+//! of bypassed instructions).
+//!
+//! Terminology (paper §4):
+//! * **DI** — *dispatchable instruction*: an IQ entry with enough tag
+//!   comparators exists for it (≤ 1 non-ready source under 2OP_BLOCK).
+//! * **NDI** — *non-dispatchable instruction*: more non-ready sources than
+//!   any IQ entry supports (2 non-ready sources under 2OP_BLOCK).
+//! * **HDI** — *hidden dispatchable instruction*: a DI queued behind an NDI
+//!   that in-order dispatch would hide from the scheduler.
+
+use crate::config::DispatchPolicy;
+use crate::regfile::PhysReg;
+use std::collections::HashSet;
+
+/// Dispatch-relevant view of one buffered (renamed, undispatched)
+/// instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct BufView {
+    /// Trace index (identifies the instruction within its thread).
+    pub trace_idx: u64,
+    /// Number of non-ready register sources right now (0–2).
+    pub non_ready: u8,
+    /// The non-ready source tags (`Some` entries only for non-ready
+    /// sources), used for NDI-dependence tracking.
+    pub nonready_srcs: [Option<PhysReg>; 2],
+    /// Renamed destination, if any.
+    pub dest: Option<PhysReg>,
+    /// Is this instruction the oldest uncommitted instruction of its thread
+    /// (ROB head)? Only possible for the buffer head.
+    pub is_rob_oldest: bool,
+}
+
+/// One instruction the policy wants to dispatch this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Which instruction.
+    pub trace_idx: u64,
+    /// Non-ready source count at planning time (selects the IQ entry
+    /// class the instruction needs).
+    pub non_ready: u8,
+    /// Did it depend (directly or transitively, within the buffer) on an
+    /// NDI it would bypass? (Paper: ~10% of HDIs.)
+    pub ndi_dependent: bool,
+    /// May fall back to the deadlock-avoidance buffer if the IQ is full
+    /// (ROB-oldest with all sources ready).
+    pub dab_eligible: bool,
+}
+
+/// A thread's dispatch decision for one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPlan {
+    /// Instructions to dispatch, in program order, capped at machine width.
+    pub candidates: Vec<Candidate>,
+    /// True when the thread has buffered instructions but the policy can
+    /// dispatch none of them because of the non-dispatchable condition —
+    /// the stall the paper's §3 statistics count.
+    pub ndi_blocked: bool,
+    /// When the buffer head is an NDI: `(instructions piled up behind it,
+    /// how many of those are HDIs)` — the paper's ~90% statistic.
+    pub pileup: Option<(u32, u32)>,
+}
+
+/// Number of non-ready sources above which an instruction is an NDI for a
+/// queue with `comparators` tag comparators per entry.
+#[inline]
+pub fn is_ndi(non_ready: u8, comparators: u8) -> bool {
+    non_ready > comparators
+}
+
+/// Compute the dispatch plan for one thread under `policy`, examining at
+/// most the first `max` dispatchable instructions.
+///
+/// ```
+/// use smt_core::{plan_thread, BufView, DispatchPolicy, PhysReg};
+/// use smt_isa::RegClass;
+///
+/// let preg = |i| PhysReg { class: RegClass::Int, index: i };
+/// // An NDI (2 non-ready sources) followed by a ready instruction.
+/// let ndi = BufView {
+///     trace_idx: 0,
+///     non_ready: 2,
+///     nonready_srcs: [Some(preg(1)), Some(preg(2))],
+///     dest: Some(preg(3)),
+///     is_rob_oldest: false,
+/// };
+/// let hdi = BufView {
+///     trace_idx: 1,
+///     non_ready: 0,
+///     nonready_srcs: [None, None],
+///     dest: Some(preg(4)),
+///     is_rob_oldest: false,
+/// };
+///
+/// // 2OP_BLOCK blocks at the NDI …
+/// let blocked = plan_thread(&[ndi, hdi], DispatchPolicy::TwoOpBlock, 8);
+/// assert!(blocked.candidates.is_empty());
+/// assert!(blocked.ndi_blocked);
+///
+/// // … while out-of-order dispatch sends the HDI around it.
+/// let ooo = plan_thread(&[ndi, hdi], DispatchPolicy::TwoOpBlockOoo, 8);
+/// assert_eq!(ooo.candidates.len(), 1);
+/// assert_eq!(ooo.candidates[0].trace_idx, 1);
+/// ```
+pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> ThreadPlan {
+    let mut plan = ThreadPlan::default();
+    if entries.is_empty() || max == 0 {
+        return plan;
+    }
+    let comparators = policy.iq_comparators();
+
+    // Pile-up statistic: sampled whenever the buffer head is an NDI.
+    if is_ndi(entries[0].non_ready, comparators) {
+        let behind = &entries[1..];
+        let hdis = behind.iter().filter(|e| !is_ndi(e.non_ready, comparators)).count();
+        plan.pileup = Some((behind.len() as u32, hdis as u32));
+    }
+
+    match policy {
+        DispatchPolicy::Traditional
+        | DispatchPolicy::TagEliminated
+        | DispatchPolicy::HalfPrice
+        | DispatchPolicy::Packed => {
+            // Every instruction is admissible comparator-wise (the
+            // tag-eliminated queue's per-class availability is enforced at
+            // dispatch time); dispatch strictly in order.
+            for e in entries.iter().take(max) {
+                plan.candidates.push(Candidate {
+                    trace_idx: e.trace_idx,
+                    non_ready: e.non_ready,
+                    ndi_dependent: false,
+                    dab_eligible: false,
+                });
+            }
+        }
+        DispatchPolicy::TwoOpBlock => {
+            // In-order dispatch; stop at the first NDI.
+            for e in entries.iter().take(max) {
+                if is_ndi(e.non_ready, comparators) {
+                    break;
+                }
+                plan.candidates.push(Candidate {
+                    trace_idx: e.trace_idx,
+                    non_ready: e.non_ready,
+                    ndi_dependent: false,
+                    dab_eligible: false,
+                });
+            }
+            plan.ndi_blocked = plan.candidates.is_empty();
+        }
+        DispatchPolicy::TwoOpBlockOoo | DispatchPolicy::TwoOpBlockOooFiltered => {
+            let filtered = policy == DispatchPolicy::TwoOpBlockOooFiltered;
+            // Taint set: destinations of bypassed NDIs and (transitively)
+            // of instructions depending on them. A tainted register is by
+            // construction non-ready, so checking non-ready sources is
+            // exact.
+            let mut taint: HashSet<PhysReg> = HashSet::new();
+            let mut bypassed_any = false;
+            for (pos, e) in entries.iter().enumerate() {
+                if plan.candidates.len() >= max {
+                    break;
+                }
+                let ndi = is_ndi(e.non_ready, comparators);
+                let dependent = !taint.is_empty()
+                    && e.nonready_srcs.iter().flatten().any(|s| taint.contains(s));
+                if ndi {
+                    if let Some(d) = e.dest {
+                        taint.insert(d);
+                    }
+                    bypassed_any = true;
+                    continue;
+                }
+                if dependent {
+                    if let Some(d) = e.dest {
+                        taint.insert(d);
+                    }
+                    if filtered {
+                        // Idealized filter: refuse to dispatch NDI-dependent
+                        // HDIs; they block like NDIs.
+                        continue;
+                    }
+                }
+                plan.candidates.push(Candidate {
+                    trace_idx: e.trace_idx,
+                    non_ready: e.non_ready,
+                    ndi_dependent: dependent && bypassed_any,
+                    dab_eligible: pos == 0 && e.is_rob_oldest && e.non_ready == 0,
+                });
+            }
+            plan.ndi_blocked = plan.candidates.is_empty();
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::RegClass;
+
+    fn preg(i: u16) -> PhysReg {
+        PhysReg { class: RegClass::Int, index: i }
+    }
+
+    fn view(idx: u64, non_ready: u8) -> BufView {
+        let srcs = match non_ready {
+            0 => [None, None],
+            1 => [Some(preg(100 + idx as u16)), None],
+            _ => [Some(preg(100 + idx as u16)), Some(preg(200 + idx as u16))],
+        };
+        BufView {
+            trace_idx: idx,
+            non_ready,
+            nonready_srcs: srcs,
+            dest: Some(preg(idx as u16)),
+            is_rob_oldest: false,
+        }
+    }
+
+    fn idxs(plan: &ThreadPlan) -> Vec<u64> {
+        plan.candidates.iter().map(|c| c.trace_idx).collect()
+    }
+
+    #[test]
+    fn traditional_dispatches_everything_in_order() {
+        let entries = [view(0, 2), view(1, 1), view(2, 0)];
+        let plan = plan_thread(&entries, DispatchPolicy::Traditional, 8);
+        assert_eq!(idxs(&plan), vec![0, 1, 2]);
+        assert!(!plan.ndi_blocked);
+    }
+
+    #[test]
+    fn traditional_respects_width() {
+        let entries: Vec<BufView> = (0..10).map(|i| view(i, 0)).collect();
+        let plan = plan_thread(&entries, DispatchPolicy::Traditional, 4);
+        assert_eq!(idxs(&plan), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_op_block_stops_at_ndi() {
+        let entries = [view(0, 1), view(1, 0), view(2, 2), view(3, 0)];
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlock, 8);
+        assert_eq!(idxs(&plan), vec![0, 1], "dispatch must stop at the NDI");
+        assert!(!plan.ndi_blocked, "progress was made");
+    }
+
+    #[test]
+    fn two_op_block_head_ndi_blocks_thread() {
+        let entries = [view(0, 2), view(1, 0), view(2, 0)];
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlock, 8);
+        assert!(idxs(&plan).is_empty());
+        assert!(plan.ndi_blocked);
+        assert_eq!(plan.pileup, Some((2, 2)), "both piled-up instructions are HDIs");
+    }
+
+    #[test]
+    fn pileup_counts_only_dis_as_hdis() {
+        let entries = [view(0, 2), view(1, 0), view(2, 2), view(3, 1)];
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlock, 8);
+        assert_eq!(plan.pileup, Some((3, 2)), "the second NDI is not an HDI");
+    }
+
+    #[test]
+    fn ooo_bypasses_ndi() {
+        // Figure 2 of the paper: I2 is an NDI; I3 (independent) and I4
+        // (dependent on I2) both dispatch before it under OOO dispatch.
+        let i2 = BufView {
+            trace_idx: 2,
+            non_ready: 2,
+            nonready_srcs: [Some(preg(10)), Some(preg(11))],
+            dest: Some(preg(12)),
+            is_rob_oldest: false,
+        };
+        let i3 = BufView {
+            trace_idx: 3,
+            non_ready: 0,
+            nonready_srcs: [None, None],
+            dest: Some(preg(13)),
+            is_rob_oldest: false,
+        };
+        let i4 = BufView {
+            trace_idx: 4,
+            non_ready: 1,
+            nonready_srcs: [Some(preg(12)), None], // reads I2's dest
+            dest: Some(preg(14)),
+            is_rob_oldest: false,
+        };
+        let plan = plan_thread(&[i2, i3, i4], DispatchPolicy::TwoOpBlockOoo, 8);
+        assert_eq!(idxs(&plan), vec![3, 4], "both HDIs dispatch ahead of the NDI");
+        assert!(!plan.candidates[0].ndi_dependent, "I3 is independent of I2");
+        assert!(plan.candidates[1].ndi_dependent, "I4 depends on the bypassed NDI");
+    }
+
+    #[test]
+    fn filtered_policy_skips_ndi_dependents() {
+        let ndi = BufView {
+            trace_idx: 0,
+            non_ready: 2,
+            nonready_srcs: [Some(preg(1)), Some(preg(2))],
+            dest: Some(preg(3)),
+            is_rob_oldest: false,
+        };
+        let dependent = BufView {
+            trace_idx: 1,
+            non_ready: 1,
+            nonready_srcs: [Some(preg(3)), None],
+            dest: Some(preg(4)),
+            is_rob_oldest: false,
+        };
+        let clean = BufView {
+            trace_idx: 2,
+            non_ready: 0,
+            nonready_srcs: [None, None],
+            dest: Some(preg(5)),
+            is_rob_oldest: false,
+        };
+        let plan =
+            plan_thread(&[ndi, dependent, clean], DispatchPolicy::TwoOpBlockOooFiltered, 8);
+        assert_eq!(idxs(&plan), vec![2], "only the NDI-independent HDI passes the filter");
+    }
+
+    #[test]
+    fn taint_propagates_transitively() {
+        let ndi = BufView {
+            trace_idx: 0,
+            non_ready: 2,
+            nonready_srcs: [Some(preg(1)), Some(preg(2))],
+            dest: Some(preg(3)),
+            is_rob_oldest: false,
+        };
+        let dep1 = BufView {
+            trace_idx: 1,
+            non_ready: 1,
+            nonready_srcs: [Some(preg(3)), None],
+            dest: Some(preg(4)),
+            is_rob_oldest: false,
+        };
+        let dep2 = BufView {
+            trace_idx: 2,
+            non_ready: 1,
+            nonready_srcs: [Some(preg(4)), None], // depends on dep1
+            dest: Some(preg(5)),
+            is_rob_oldest: false,
+        };
+        let plan = plan_thread(&[ndi, dep1, dep2], DispatchPolicy::TwoOpBlockOoo, 8);
+        assert_eq!(idxs(&plan), vec![1, 2]);
+        assert!(plan.candidates[0].ndi_dependent);
+        assert!(plan.candidates[1].ndi_dependent, "indirect dependence must be detected");
+    }
+
+    #[test]
+    fn ooo_all_ndis_blocks_thread() {
+        let entries = [view(0, 2), view(1, 2)];
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlockOoo, 8);
+        assert!(plan.candidates.is_empty());
+        assert!(plan.ndi_blocked);
+    }
+
+    #[test]
+    fn ooo_in_order_when_no_ndi() {
+        let entries = [view(0, 0), view(1, 1), view(2, 0)];
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlockOoo, 8);
+        assert_eq!(idxs(&plan), vec![0, 1, 2]);
+        assert!(plan.candidates.iter().all(|c| !c.ndi_dependent));
+    }
+
+    #[test]
+    fn dab_eligibility_requires_rob_oldest_head() {
+        let mut head = view(0, 0);
+        head.is_rob_oldest = true;
+        let entries = [head, view(1, 0)];
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlockOoo, 8);
+        assert!(plan.candidates[0].dab_eligible);
+        assert!(!plan.candidates[1].dab_eligible);
+        // Traditional policy never uses the DAB.
+        let plan = plan_thread(&entries, DispatchPolicy::Traditional, 8);
+        assert!(!plan.candidates[0].dab_eligible);
+    }
+
+    #[test]
+    fn empty_buffer_yields_empty_plan() {
+        let plan = plan_thread(&[], DispatchPolicy::TwoOpBlockOoo, 8);
+        assert!(plan.candidates.is_empty());
+        assert!(!plan.ndi_blocked, "an empty buffer is not an NDI stall");
+        assert!(plan.pileup.is_none());
+    }
+
+    #[test]
+    fn is_ndi_thresholds() {
+        assert!(!is_ndi(0, 1));
+        assert!(!is_ndi(1, 1));
+        assert!(is_ndi(2, 1));
+        assert!(!is_ndi(2, 2));
+    }
+
+    #[test]
+    fn width_cap_applies_to_ooo() {
+        let entries: Vec<BufView> = (0..10).map(|i| view(i, if i == 0 { 2 } else { 0 })).collect();
+        let plan = plan_thread(&entries, DispatchPolicy::TwoOpBlockOoo, 3);
+        assert_eq!(idxs(&plan), vec![1, 2, 3]);
+    }
+}

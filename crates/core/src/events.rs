@@ -1,0 +1,144 @@
+//! The simulator's timing wheel: a min-heap of future micro-events.
+
+use crate::regfile::PhysReg;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled micro-event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Wakeup broadcast: the producer at (`thread`, `trace_idx`) makes
+    /// `reg` ready. Validated against the ROB before delivery so that
+    /// squashed producers never wake anything.
+    Wakeup {
+        /// Producing thread.
+        thread: usize,
+        /// Producer's trace index.
+        trace_idx: u64,
+        /// Unique rename stamp of the producing incarnation: a squashed and
+        /// refetched instruction reuses its trace index but never its age,
+        /// so stale events can always be told apart.
+        age: u64,
+        /// Destination register becoming ready.
+        reg: PhysReg,
+    },
+    /// Execution complete: mark the ROB entry committable; for branches,
+    /// resolve (ungate fetch on a misprediction).
+    Complete {
+        /// Thread of the completing instruction.
+        thread: usize,
+        /// Its trace index.
+        trace_idx: u64,
+        /// Rename stamp of the completing incarnation (see
+        /// [`Event::Wakeup::age`]).
+        age: u64,
+    },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    cycle: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap event queue ordered by (cycle, insertion sequence).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `cycle`.
+    pub fn schedule(&mut self, cycle: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { cycle, seq: self.seq, event }));
+    }
+
+    /// Pop the next event due at or before `now`, in schedule order.
+    pub fn pop_due(&mut self, now: u64) -> Option<Event> {
+        if self.heap.peek().map(|Reverse(s)| s.cycle <= now).unwrap_or(false) {
+            Some(self.heap.pop().unwrap().0.event)
+        } else {
+            None
+        }
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(t: usize, i: u64) -> Event {
+        Event::Complete { thread: t, trace_idx: i, age: i }
+    }
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, complete(0, 0));
+        q.schedule(3, complete(0, 1));
+        q.schedule(4, complete(0, 2));
+        assert_eq!(q.pop_due(10), Some(complete(0, 1)));
+        assert_eq!(q.pop_due(10), Some(complete(0, 2)));
+        assert_eq!(q.pop_due(10), Some(complete(0, 0)));
+        assert_eq!(q.pop_due(10), None);
+    }
+
+    #[test]
+    fn respects_due_time() {
+        let mut q = EventQueue::new();
+        q.schedule(5, complete(0, 0));
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.pop_due(5), Some(complete(0, 0)));
+    }
+
+    #[test]
+    fn same_cycle_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2, complete(0, 10));
+        q.schedule(2, complete(1, 20));
+        q.schedule(2, complete(0, 30));
+        assert_eq!(q.pop_due(2), Some(complete(0, 10)));
+        assert_eq!(q.pop_due(2), Some(complete(1, 20)));
+        assert_eq!(q.pop_due(2), Some(complete(0, 30)));
+    }
+
+    #[test]
+    fn len_tracking() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, complete(0, 0));
+        assert_eq!(q.len(), 1);
+        let _ = q.pop_due(1);
+        assert!(q.is_empty());
+    }
+}

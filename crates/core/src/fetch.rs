@@ -1,0 +1,60 @@
+//! The I-Count fetch policy (Tullsen et al. [16]).
+//!
+//! Each cycle, fetch priority goes to the threads with the fewest
+//! not-yet-executed instructions in the front end and issue queue; fetching
+//! is limited to `fetch_threads_per_cycle` threads (2 in the paper's
+//! baseline: ICOUNT.2.8).
+
+/// Pick up to `max` eligible threads in I-Count priority order.
+///
+/// `icounts[t]` is `Some(count)` for an eligible thread (not gated by a
+/// branch misprediction, I-cache miss, or full front end) and `None` for an
+/// ineligible one. Ties break by thread id, matching a fixed hardware
+/// priority encoder.
+pub fn pick_fetch_threads(icounts: &[Option<usize>], max: usize) -> Vec<usize> {
+    let mut eligible: Vec<(usize, usize)> = icounts
+        .iter()
+        .enumerate()
+        .filter_map(|(t, c)| c.map(|c| (c, t)))
+        .collect();
+    eligible.sort_unstable();
+    eligible.into_iter().take(max).map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_lowest_icount_first() {
+        let picks = pick_fetch_threads(&[Some(10), Some(3), Some(7)], 2);
+        assert_eq!(picks, vec![1, 2]);
+    }
+
+    #[test]
+    fn skips_ineligible_threads() {
+        let picks = pick_fetch_threads(&[None, Some(50), None, Some(2)], 2);
+        assert_eq!(picks, vec![3, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_thread_id() {
+        let picks = pick_fetch_threads(&[Some(5), Some(5), Some(5)], 2);
+        assert_eq!(picks, vec![0, 1]);
+    }
+
+    #[test]
+    fn handles_all_ineligible() {
+        assert!(pick_fetch_threads(&[None, None], 2).is_empty());
+    }
+
+    #[test]
+    fn max_zero_returns_nothing() {
+        assert!(pick_fetch_threads(&[Some(1)], 0).is_empty());
+    }
+
+    #[test]
+    fn single_thread_machine() {
+        assert_eq!(pick_fetch_threads(&[Some(42)], 2), vec![0]);
+    }
+}

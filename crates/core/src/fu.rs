@@ -1,0 +1,86 @@
+//! Function-unit pool occupancy tracking.
+
+use smt_isa::{FuKind, MachineDesc};
+
+/// Tracks when each unit of each pool becomes free. Units with
+/// `issue_interval > 1` (dividers, sqrt) block their unit for the interval.
+#[derive(Debug, Clone)]
+pub struct FuPools {
+    /// `busy_until[kind][unit]`: first cycle the unit can accept a new op.
+    busy_until: [Vec<u64>; 5],
+}
+
+impl FuPools {
+    /// Build pools from a machine description.
+    pub fn new(machine: &MachineDesc) -> Self {
+        let mk = |k: FuKind| vec![0u64; machine.pool_size(k) as usize];
+        FuPools {
+            busy_until: [
+                mk(FuKind::IntAlu),
+                mk(FuKind::IntMultDiv),
+                mk(FuKind::LdSt),
+                mk(FuKind::FpAdd),
+                mk(FuKind::FpMultDivSqrt),
+            ],
+        }
+    }
+
+    /// Try to claim a unit of `kind` at `now` for `issue_interval` cycles.
+    /// Returns `false` if every unit is busy.
+    pub fn try_issue(&mut self, kind: FuKind, now: u64, issue_interval: u32) -> bool {
+        let pool = &mut self.busy_until[kind.index()];
+        if let Some(unit) = pool.iter_mut().find(|b| **b <= now) {
+            *unit = now + issue_interval as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of units of `kind` free at `now`.
+    pub fn free_units(&self, kind: FuKind, now: u64) -> usize {
+        self.busy_until[kind.index()].iter().filter(|b| **b <= now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_unit_reissues_next_cycle() {
+        let mut fu = FuPools::new(&MachineDesc::paper());
+        assert!(fu.try_issue(FuKind::IntAlu, 0, 1));
+        assert!(fu.try_issue(FuKind::IntAlu, 1, 1), "pipelined unit must be free next cycle");
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut fu = FuPools::new(&MachineDesc::paper());
+        for _ in 0..4 {
+            assert!(fu.try_issue(FuKind::LdSt, 0, 1));
+        }
+        assert!(!fu.try_issue(FuKind::LdSt, 0, 1), "only 4 load/store ports");
+        assert!(fu.try_issue(FuKind::LdSt, 1, 1));
+    }
+
+    #[test]
+    fn unpipelined_divider_blocks_for_interval() {
+        let mut fu = FuPools::new(&MachineDesc::paper());
+        for _ in 0..4 {
+            assert!(fu.try_issue(FuKind::IntMultDiv, 0, 19));
+        }
+        assert!(!fu.try_issue(FuKind::IntMultDiv, 10, 19));
+        assert!(fu.try_issue(FuKind::IntMultDiv, 19, 19));
+    }
+
+    #[test]
+    fn free_unit_counting() {
+        let mut fu = FuPools::new(&MachineDesc::paper());
+        assert_eq!(fu.free_units(FuKind::FpAdd, 0), 8);
+        fu.try_issue(FuKind::FpAdd, 0, 1);
+        fu.try_issue(FuKind::FpAdd, 0, 1);
+        assert_eq!(fu.free_units(FuKind::FpAdd, 0), 6);
+        assert_eq!(fu.free_units(FuKind::FpAdd, 1), 8);
+    }
+}

@@ -1,0 +1,516 @@
+//! The shared issue queue: limited-tag-comparator entries, wakeup and
+//! oldest-first select.
+//!
+//! Each entry carries at most `comparators` pending source tags — the
+//! structural encoding of the 2OP_BLOCK design (1 comparator per entry)
+//! versus the traditional scheduler (2 comparators). Admission of an
+//! instruction with more non-ready sources than an entry's comparators is
+//! rejected by [`IssueQueue::insert`]; the dispatch stage must never
+//! attempt it (it classifies such instructions as NDIs).
+
+use crate::regfile::PhysReg;
+use crate::scheduler::SchedulerQueue;
+use smt_isa::FuKind;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One issue-queue entry.
+#[derive(Debug, Clone)]
+pub struct IqEntry {
+    /// Owning thread.
+    pub thread: usize,
+    /// Trace index within the thread.
+    pub trace_idx: u64,
+    /// Global age for oldest-first selection.
+    pub age: u64,
+    /// Function-unit pool this instruction needs.
+    pub fu: FuKind,
+    /// Source tags still awaited (cleared by wakeup broadcasts).
+    pub waiting: [Option<PhysReg>; 2],
+}
+
+impl IqEntry {
+    /// Number of source tags still awaited.
+    pub fn pending(&self) -> usize {
+        self.waiting.iter().flatten().count()
+    }
+}
+
+/// The shared issue queue.
+#[derive(Debug)]
+pub struct IssueQueue {
+    slots: Vec<Option<IqEntry>>,
+    /// Tag-comparator capacity of each slot (0, 1, or 2).
+    slot_caps: Vec<u8>,
+    /// Free slots partitioned by comparator capacity.
+    free: [Vec<usize>; 3],
+    /// Waiter lists indexed by flat physical-register id. Entries may be
+    /// stale (slot reused); wakeup validates against the slot's `waiting`
+    /// tags, which makes delivery idempotent.
+    waiters: Vec<Vec<usize>>,
+    /// Min-heap of (age, slot) candidates whose operands are all ready.
+    /// Lazily validated on pop.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-thread occupancy (for the I-Count fetch policy).
+    per_thread: Vec<usize>,
+    /// Maximum comparator capacity of any slot.
+    max_cap: u8,
+    occupied: usize,
+    /// Integer physical-register count, for flat tag indexing.
+    phys_int: usize,
+    /// Half-Price mode (Kim & Lipasti [7]): the second pending tag of each
+    /// entry sits on the *slow* tag bus and receives broadcasts one cycle
+    /// late.
+    slow_second_tag: bool,
+    /// Slow-bus deliveries staged for the next [`IssueQueue::tick`].
+    pending_slow: Vec<(usize, PhysReg)>,
+}
+
+impl IssueQueue {
+    /// An empty queue of `size` entries with `comparators` tag comparators
+    /// per entry, for `threads` hardware contexts and `total_phys` physical
+    /// registers (int + fp).
+    pub fn new(size: usize, comparators: u8, threads: usize, total_phys: usize) -> Self {
+        assert!((1..=2).contains(&comparators), "entries support 1 or 2 comparators");
+        Self::new_heterogeneous(vec![comparators; size], threads, total_phys)
+    }
+
+    /// Enable Half-Price mode: the second pending tag of every entry sits
+    /// on the slow tag bus and is woken one cycle late (Kim & Lipasti [7]).
+    pub fn with_slow_second_tag(mut self) -> Self {
+        self.slow_second_tag = true;
+        self
+    }
+
+    /// Set the integer physical-register count used to flatten tags
+    /// internally (so the queue can implement [`SchedulerQueue`] without a
+    /// caller-supplied closure).
+    pub fn with_phys_int(mut self, phys_int: usize) -> Self {
+        self.phys_int = phys_int;
+        self
+    }
+
+    /// A queue with per-entry comparator capacities — the statically
+    /// partitioned tag-eliminated scheduler of Ernst & Austin [5]: some
+    /// entries have two comparators, some one, and some none (for
+    /// instructions whose operands are all ready at dispatch).
+    pub fn new_heterogeneous(slot_caps: Vec<u8>, threads: usize, total_phys: usize) -> Self {
+        assert!(!slot_caps.is_empty(), "IQ must have at least one entry");
+        assert!(slot_caps.iter().all(|&c| c <= 2), "entries support at most 2 comparators");
+        let mut free: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (slot, &cap) in slot_caps.iter().enumerate().rev() {
+            free[cap as usize].push(slot);
+        }
+        IssueQueue {
+            slots: vec![None; slot_caps.len()],
+            max_cap: slot_caps.iter().copied().max().unwrap(),
+            slot_caps,
+            free,
+            waiters: vec![Vec::new(); total_phys],
+            ready: BinaryHeap::new(),
+            per_thread: vec![0; threads],
+            occupied: 0,
+            phys_int: 256,
+            slow_second_tag: false,
+            pending_slow: Vec::new(),
+        }
+    }
+
+    /// Maximum comparators of any entry.
+    pub fn comparators(&self) -> u8 {
+        self.max_cap
+    }
+
+    /// Occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    /// Entries owned by `thread`.
+    pub fn thread_occupancy(&self, thread: usize) -> usize {
+        self.per_thread[thread]
+    }
+
+    /// Is there a free entry (of any capacity)?
+    pub fn has_free(&self) -> bool {
+        self.free.iter().any(|f| !f.is_empty())
+    }
+
+    /// Is there a free entry with at least `non_ready` comparators?
+    pub fn has_free_for(&self, non_ready: u8) -> bool {
+        (non_ready as usize..=2).any(|c| !self.free[c].is_empty())
+    }
+
+    /// Insert an instruction whose *non-ready* sources are exactly the
+    /// `Some` tags in `entry.waiting`. Panics if the queue is full or the
+    /// pending-tag count exceeds the per-entry comparator budget — both are
+    /// dispatch-stage bugs.
+    pub fn insert(&mut self, entry: IqEntry, phys_flat: impl Fn(PhysReg) -> usize) -> usize {
+        // Prefer the smallest sufficient capacity class, preserving
+        // high-comparator entries for the instructions that need them.
+        let class = (entry.pending()..=2)
+            .find(|&c| !self.free[c].is_empty())
+            .unwrap_or_else(|| {
+                panic!(
+                    "no free IQ entry with >= {} comparators: dispatch must check has_free_for()",
+                    entry.pending()
+                )
+            });
+        let slot = self.free[class].pop().expect("class checked non-empty");
+        self.per_thread[entry.thread] += 1;
+        self.occupied += 1;
+        for reg in entry.waiting.iter().flatten() {
+            self.waiters[phys_flat(*reg)].push(slot);
+        }
+        if entry.pending() == 0 {
+            self.ready.push(Reverse((entry.age, slot)));
+        }
+        self.slots[slot] = Some(entry);
+        slot
+    }
+
+    /// Deliver a wakeup broadcast for `reg`: clear matching tags and move
+    /// newly ready entries to the ready heap. In Half-Price mode, tags in
+    /// the slow (second) position are staged for the next cycle's
+    /// [`IssueQueue::tick`] instead of clearing immediately.
+    pub fn wakeup(&mut self, reg: PhysReg, flat: usize) {
+        let list = std::mem::take(&mut self.waiters[flat]);
+        for slot in list {
+            let mut slow_hit = false;
+            if let Some(entry) = self.slots[slot].as_mut() {
+                let mut hit = false;
+                for (pos, w) in entry.waiting.iter_mut().enumerate() {
+                    if *w == Some(reg) {
+                        if self.slow_second_tag && pos == 1 {
+                            slow_hit = true;
+                            continue;
+                        }
+                        *w = None;
+                        hit = true;
+                    }
+                }
+                if hit && entry.pending() == 0 {
+                    self.ready.push(Reverse((entry.age, slot)));
+                }
+            }
+            if slow_hit {
+                self.pending_slow.push((slot, reg));
+            }
+        }
+    }
+
+    /// Deliver last cycle's slow-bus broadcasts (Half-Price mode).
+    pub fn deliver_slow(&mut self) {
+        let staged = std::mem::take(&mut self.pending_slow);
+        for (slot, reg) in staged {
+            if let Some(entry) = self.slots[slot].as_mut() {
+                let mut hit = false;
+                if entry.waiting[1] == Some(reg) {
+                    entry.waiting[1] = None;
+                    hit = true;
+                }
+                if hit && entry.pending() == 0 {
+                    self.ready.push(Reverse((entry.age, slot)));
+                }
+            }
+        }
+    }
+
+    /// Pop the oldest ready entry, if any. The caller may decline to issue
+    /// it (function unit busy, LSQ conflict) and must then call
+    /// [`IssueQueue::defer`] with the returned slot.
+    pub fn pop_ready(&mut self) -> Option<(usize, IqEntry)> {
+        while let Some(Reverse((age, slot))) = self.ready.pop() {
+            let valid = self.slots[slot]
+                .as_ref()
+                .map(|e| e.age == age && e.pending() == 0)
+                .unwrap_or(false);
+            if valid {
+                let entry = self.slots[slot].as_ref().unwrap().clone();
+                return Some((slot, entry));
+            }
+        }
+        None
+    }
+
+    /// Put a ready entry back (could not issue this cycle).
+    pub fn defer(&mut self, slot: usize) {
+        if let Some(e) = self.slots[slot].as_ref() {
+            self.ready.push(Reverse((e.age, slot)));
+        }
+    }
+
+    /// Remove an entry at issue.
+    pub fn remove(&mut self, slot: usize) -> IqEntry {
+        let entry = self.slots[slot].take().expect("removing empty IQ slot");
+        self.per_thread[entry.thread] -= 1;
+        self.occupied -= 1;
+        self.free[self.slot_caps[slot] as usize].push(slot);
+        entry
+    }
+
+    /// Squash every entry of `thread` (pipeline flush). Stale waiter-list
+    /// and ready-heap references are invalidated lazily.
+    pub fn squash_thread(&mut self, thread: usize) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().map(|e| e.thread == thread).unwrap_or(false) {
+                self.slots[slot] = None;
+                self.free[self.slot_caps[slot] as usize].push(slot);
+                self.occupied -= 1;
+            }
+        }
+        self.per_thread[thread] = 0;
+    }
+
+    /// Squash `thread`'s entries with `trace_idx > keep_idx` (partial
+    /// flush). Stale waiter/ready references are invalidated lazily.
+    pub fn squash_thread_from(&mut self, thread: usize, keep_idx: u64) {
+        for slot in 0..self.slots.len() {
+            let hit = self.slots[slot]
+                .as_ref()
+                .map(|e| e.thread == thread && e.trace_idx > keep_idx)
+                .unwrap_or(false);
+            if hit {
+                self.slots[slot] = None;
+                self.free[self.slot_caps[slot] as usize].push(slot);
+                self.occupied -= 1;
+                self.per_thread[thread] -= 1;
+            }
+        }
+    }
+
+    /// Iterate over occupied entries (diagnostics, tests).
+    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.slots.iter().flatten()
+    }
+}
+
+impl SchedulerQueue for IssueQueue {
+    fn occupancy(&self) -> usize {
+        IssueQueue::occupancy(self)
+    }
+
+    fn thread_occupancy(&self, thread: usize) -> usize {
+        IssueQueue::thread_occupancy(self, thread)
+    }
+
+    fn has_free_for(&self, non_ready: u8) -> bool {
+        IssueQueue::has_free_for(self, non_ready)
+    }
+
+    fn insert(&mut self, entry: IqEntry) -> usize {
+        let phys_int = self.phys_int;
+        IssueQueue::insert(self, entry, |r| r.flat(phys_int))
+    }
+
+    fn wakeup(&mut self, reg: PhysReg) {
+        IssueQueue::wakeup(self, reg, reg.flat(self.phys_int))
+    }
+
+    fn tick(&mut self) {
+        self.deliver_slow();
+    }
+
+    fn pop_ready(&mut self) -> Option<(usize, IqEntry)> {
+        IssueQueue::pop_ready(self)
+    }
+
+    fn defer(&mut self, slot: usize) {
+        IssueQueue::defer(self, slot)
+    }
+
+    fn remove(&mut self, slot: usize) -> IqEntry {
+        IssueQueue::remove(self, slot)
+    }
+
+    fn squash_thread(&mut self, thread: usize) {
+        IssueQueue::squash_thread(self, thread)
+    }
+
+    fn squash_thread_from(&mut self, thread: usize, keep_idx: u64) {
+        IssueQueue::squash_thread_from(self, thread, keep_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::RegClass;
+
+    fn flat(r: PhysReg) -> usize {
+        r.flat(256)
+    }
+
+    fn preg(i: u16) -> PhysReg {
+        PhysReg { class: RegClass::Int, index: i }
+    }
+
+    fn entry(thread: usize, idx: u64, age: u64, waiting: [Option<PhysReg>; 2]) -> IqEntry {
+        IqEntry { thread, trace_idx: idx, age, fu: FuKind::IntAlu, waiting }
+    }
+
+    #[test]
+    fn ready_at_insert_pops_immediately() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512);
+        iq.insert(entry(0, 0, 10, [None, None]), flat);
+        let (slot, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.trace_idx, 0);
+        iq.remove(slot);
+        assert_eq!(iq.occupancy(), 0);
+    }
+
+    #[test]
+    fn wakeup_makes_entry_ready() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512);
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), None]), flat);
+        assert!(iq.pop_ready().is_none());
+        iq.wakeup(preg(5), flat(preg(5)));
+        let (_, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.trace_idx, 0);
+    }
+
+    #[test]
+    fn two_source_entry_needs_both_wakeups() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512);
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(6))]), flat);
+        iq.wakeup(preg(5), flat(preg(5)));
+        assert!(iq.pop_ready().is_none());
+        iq.wakeup(preg(6), flat(preg(6)));
+        assert!(iq.pop_ready().is_some());
+    }
+
+    #[test]
+    fn oldest_first_selection() {
+        let mut iq = IssueQueue::new(8, 2, 2, 512);
+        iq.insert(entry(1, 7, 30, [None, None]), flat);
+        iq.insert(entry(0, 3, 10, [None, None]), flat);
+        iq.insert(entry(0, 4, 20, [None, None]), flat);
+        let (s, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.age, 10);
+        iq.remove(s);
+        let (_, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.age, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free IQ entry with >= 2 comparators")]
+    fn comparator_budget_enforced() {
+        let mut iq = IssueQueue::new(4, 1, 1, 512);
+        assert!(!iq.has_free_for(2));
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(6))]), flat);
+    }
+
+    #[test]
+    fn heterogeneous_layout_allocates_smallest_sufficient_entry() {
+        // 1 zero-comparator, 1 one-comparator, 1 two-comparator entry.
+        let mut iq = IssueQueue::new_heterogeneous(vec![0, 1, 2], 1, 512);
+        assert!(iq.has_free_for(0));
+        assert!(iq.has_free_for(1));
+        assert!(iq.has_free_for(2));
+        // A ready instruction must take the 0-comparator slot first.
+        iq.insert(entry(0, 0, 1, [None, None]), flat);
+        assert!(iq.has_free_for(1), "1- and 2-comparator entries still free");
+        // A 1-non-ready instruction takes the 1-comparator slot.
+        iq.insert(entry(0, 1, 2, [Some(preg(5)), None]), flat);
+        assert!(iq.has_free_for(2));
+        assert!(!iq.has_free_for(1) || iq.has_free_for(2), "only the 2-comp entry remains");
+        // A 2-non-ready instruction takes the last (2-comparator) slot.
+        iq.insert(entry(0, 2, 3, [Some(preg(6)), Some(preg(7))]), flat);
+        assert!(!iq.has_free());
+    }
+
+    #[test]
+    fn heterogeneous_ready_spills_into_larger_entries() {
+        let mut iq = IssueQueue::new_heterogeneous(vec![0, 2], 1, 512);
+        iq.insert(entry(0, 0, 1, [None, None]), flat); // takes the 0-comp slot
+        assert!(iq.has_free_for(2));
+        iq.insert(entry(0, 1, 2, [None, None]), flat); // ready op spills into 2-comp
+        assert!(!iq.has_free());
+        // Free the 2-comparator entry again by issuing.
+        let (slot, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.age, 1);
+        iq.remove(slot);
+        assert!(iq.has_free_for(0));
+    }
+
+    #[test]
+    fn heterogeneous_zero_comp_entry_rejects_waiting_instruction() {
+        let iq = IssueQueue::new_heterogeneous(vec![0, 0], 1, 512);
+        assert!(iq.has_free_for(0));
+        assert!(!iq.has_free_for(1));
+        assert!(!iq.has_free_for(2));
+    }
+
+    #[test]
+    fn one_comparator_accepts_single_pending_tag() {
+        let mut iq = IssueQueue::new(4, 1, 1, 512);
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), None]), flat);
+        iq.wakeup(preg(5), flat(preg(5)));
+        assert!(iq.pop_ready().is_some());
+    }
+
+    #[test]
+    fn defer_keeps_entry_selectable() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512);
+        iq.insert(entry(0, 0, 1, [None, None]), flat);
+        let (slot, _) = iq.pop_ready().unwrap();
+        iq.defer(slot);
+        let (slot2, e) = iq.pop_ready().unwrap();
+        assert_eq!(slot, slot2);
+        assert_eq!(e.trace_idx, 0);
+    }
+
+    #[test]
+    fn per_thread_occupancy_tracking() {
+        let mut iq = IssueQueue::new(8, 2, 2, 512);
+        iq.insert(entry(0, 0, 1, [None, None]), flat);
+        iq.insert(entry(1, 0, 2, [None, None]), flat);
+        iq.insert(entry(1, 1, 3, [None, None]), flat);
+        assert_eq!(iq.thread_occupancy(0), 1);
+        assert_eq!(iq.thread_occupancy(1), 2);
+        let (s, _) = iq.pop_ready().unwrap();
+        iq.remove(s);
+        assert_eq!(iq.thread_occupancy(0), 0);
+    }
+
+    #[test]
+    fn squash_thread_clears_only_that_thread() {
+        let mut iq = IssueQueue::new(8, 2, 2, 512);
+        iq.insert(entry(0, 0, 1, [Some(preg(3)), None]), flat);
+        iq.insert(entry(1, 0, 2, [None, None]), flat);
+        iq.squash_thread(0);
+        assert_eq!(iq.occupancy(), 1);
+        assert_eq!(iq.thread_occupancy(0), 0);
+        // Stale wakeup for thread 0's tag must be harmless.
+        iq.wakeup(preg(3), flat(preg(3)));
+        let (_, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.thread, 1);
+    }
+
+    #[test]
+    fn capacity_enforced_via_has_free() {
+        let mut iq = IssueQueue::new(2, 2, 1, 512);
+        iq.insert(entry(0, 0, 1, [None, None]), flat);
+        assert!(iq.has_free());
+        iq.insert(entry(0, 1, 2, [None, None]), flat);
+        assert!(!iq.has_free());
+    }
+
+    #[test]
+    fn duplicate_wakeup_is_idempotent() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512);
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), None]), flat);
+        iq.wakeup(preg(5), flat(preg(5)));
+        iq.wakeup(preg(5), flat(preg(5)));
+        assert!(iq.pop_ready().is_some());
+        assert!(iq.pop_ready().is_none(), "entry must become ready exactly once");
+    }
+
+    #[test]
+    fn same_tag_in_both_sources_cleared_together() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512);
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(5))]), flat);
+        iq.wakeup(preg(5), flat(preg(5)));
+        assert!(iq.pop_ready().is_some());
+    }
+}

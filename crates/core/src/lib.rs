@@ -1,0 +1,68 @@
+//! Cycle-level SMT processor model for reproducing Sharkey & Ponomarev,
+//! *"Balancing ILP and TLP in SMT Architectures through Out-of-Order
+//! Instruction Dispatch"* (ICPP 2006).
+//!
+//! The crate models an 8-wide SMT pipeline (Table 1 of the paper): an
+//! I-Count front end, explicit register renaming over shared physical
+//! register files, a shared issue queue with a configurable number of tag
+//! comparators per entry, per-thread load/store queues and reorder buffers,
+//! a two-level cache hierarchy and per-thread gShare branch predictors.
+//!
+//! Three dispatch policies are implemented (see [`DispatchPolicy`]):
+//!
+//! * `Traditional` — 2 comparators per IQ entry, in-order dispatch;
+//! * `TwoOpBlock` — 1 comparator, thread blocks on an instruction with two
+//!   non-ready sources (HPCA'06 baseline the paper starts from);
+//! * `TwoOpBlockOoo` — the paper's contribution: hidden dispatchable
+//!   instructions bypass blocked NDIs into the IQ, with a
+//!   deadlock-avoidance buffer or watchdog timer backstop.
+//!
+//! # Timing model
+//!
+//! Stages are evaluated in reverse pipeline order each cycle (commit →
+//! issue → dispatch → rename → fetch) so every stage observes the previous
+//! cycle's downstream state. Wakeup broadcasts are scheduled at
+//! `issue + latency` and delivered at cycle start, keeping single-cycle
+//! operations back-to-back. Loads learn their full latency at issue (the
+//! cache hierarchy is probed then), stores write the data cache at commit,
+//! and branches resolve `latency + exec_tail` cycles after issue. Squash
+//! recovery (watchdog flush, FLUSH fetch policy, wrong-path resolution)
+//! rewinds the rename table from per-entry checkpoints and invalidates
+//! in-flight events through per-incarnation rename stamps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smt_core::{DispatchPolicy, SimConfig, Simulator};
+//! use smt_workload::{benchmark, SyntheticGen};
+//!
+//! let cfg = SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo);
+//! let streams: Vec<Box<dyn smt_workload::InstGenerator>> = vec![
+//!     Box::new(SyntheticGen::new(benchmark("gcc"), 0, 1)),
+//!     Box::new(SyntheticGen::new(benchmark("art"), 1, 1)),
+//! ];
+//! let mut sim = Simulator::new(cfg, streams);
+//! sim.run(5_000);
+//! assert!(sim.counters().throughput_ipc() > 0.0);
+//! ```
+
+pub mod config;
+pub mod dispatch;
+pub mod events;
+pub mod fetch;
+pub mod fu;
+pub mod issue_queue;
+pub mod lsq;
+pub mod packed;
+pub mod scheduler;
+pub mod regfile;
+pub mod rename;
+pub mod rob;
+pub mod simulator;
+
+pub use config::{DeadlockMode, DispatchPolicy, FetchPolicy, SimConfig};
+pub use packed::PackedIssueQueue;
+pub use scheduler::SchedulerQueue;
+pub use dispatch::{is_ndi, plan_thread, BufView, Candidate, ThreadPlan};
+pub use regfile::{PhysReg, PhysRegFile};
+pub use simulator::{RunOutcome, Simulator};

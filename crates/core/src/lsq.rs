@@ -1,0 +1,221 @@
+//! Per-thread load/store queue with oracle memory disambiguation and
+//! store-to-load forwarding.
+//!
+//! Entries are allocated at rename in program order and removed at commit.
+//! Because the simulator is trace-driven, every access address is known at
+//! allocation time; disambiguation is therefore *oracle-exact*: a load
+//! conflicts only with an older store to the same 8-byte slot (no false
+//! dependences from unknown addresses). Store-to-load forwarding succeeds
+//! once the conflicting store has issued (its address and data are live in
+//! the queue).
+
+/// Disposition of a load attempting to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// No older conflicting store: access the data cache.
+    AccessCache,
+    /// Conflicting older store has issued: forward from the queue.
+    Forward,
+    /// Conflicting older store has not issued yet: the load must wait.
+    Blocked,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    trace_idx: u64,
+    is_store: bool,
+    /// 8-byte-aligned slot address.
+    slot: u64,
+    issued: bool,
+}
+
+/// A thread's load/store queue.
+#[derive(Debug)]
+pub struct Lsq {
+    entries: std::collections::VecDeque<LsqEntry>,
+    capacity: usize,
+}
+
+impl Lsq {
+    /// An empty queue of `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Lsq { entries: std::collections::VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Is the queue full (rename of a memory instruction must stall)?
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocate an entry for a memory instruction (at rename, in order).
+    pub fn push(&mut self, trace_idx: u64, is_store: bool, addr: u64) {
+        assert!(!self.is_full(), "LSQ overflow");
+        if let Some(back) = self.entries.back() {
+            assert!(back.trace_idx < trace_idx, "LSQ entries must be in program order");
+        }
+        self.entries.push_back(LsqEntry { trace_idx, is_store, slot: addr & !7, issued: false });
+    }
+
+    /// Mark the entry of `trace_idx` issued (address generated, data live).
+    pub fn mark_issued(&mut self, trace_idx: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.trace_idx == trace_idx) {
+            e.issued = true;
+        }
+    }
+
+    /// Can the load at `trace_idx` (address `addr`) issue, and how?
+    ///
+    /// Scans older stores for a same-slot conflict; the **youngest** older
+    /// conflicting store decides: issued ⇒ forward, not issued ⇒ blocked.
+    pub fn check_load(&self, trace_idx: u64, addr: u64) -> LoadCheck {
+        let slot = addr & !7;
+        let mut result = LoadCheck::AccessCache;
+        for e in &self.entries {
+            if e.trace_idx >= trace_idx {
+                break;
+            }
+            if e.is_store && e.slot == slot {
+                result = if e.issued { LoadCheck::Forward } else { LoadCheck::Blocked };
+            }
+        }
+        result
+    }
+
+    /// Remove the oldest entry at commit; must match `trace_idx`.
+    pub fn pop_front(&mut self, trace_idx: u64) {
+        let e = self.entries.pop_front().expect("LSQ underflow at commit");
+        assert_eq!(e.trace_idx, trace_idx, "LSQ commit order mismatch");
+    }
+
+    /// Drop every entry (pipeline flush).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drop every entry with `trace_idx > keep_idx` (partial flush).
+    pub fn truncate_after(&mut self, keep_idx: u64) {
+        while self.entries.back().map(|e| e.trace_idx > keep_idx).unwrap_or(false) {
+            self.entries.pop_back();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_no_conflict_accesses_cache() {
+        let mut q = Lsq::new(8);
+        q.push(0, true, 0x1000);
+        q.push(1, false, 0x2000);
+        assert_eq!(q.check_load(1, 0x2000), LoadCheck::AccessCache);
+    }
+
+    #[test]
+    fn load_blocked_by_unissued_older_store() {
+        let mut q = Lsq::new(8);
+        q.push(0, true, 0x1000);
+        q.push(1, false, 0x1000);
+        assert_eq!(q.check_load(1, 0x1000), LoadCheck::Blocked);
+    }
+
+    #[test]
+    fn load_forwards_from_issued_store() {
+        let mut q = Lsq::new(8);
+        q.push(0, true, 0x1000);
+        q.push(1, false, 0x1000);
+        q.mark_issued(0);
+        assert_eq!(q.check_load(1, 0x1000), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn youngest_conflicting_store_wins() {
+        let mut q = Lsq::new(8);
+        q.push(0, true, 0x1000);
+        q.push(1, true, 0x1000);
+        q.push(2, false, 0x1000);
+        q.mark_issued(0);
+        // Store 1 (younger, unissued) shadows store 0.
+        assert_eq!(q.check_load(2, 0x1000), LoadCheck::Blocked);
+        q.mark_issued(1);
+        assert_eq!(q.check_load(2, 0x1000), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn younger_stores_do_not_affect_load() {
+        let mut q = Lsq::new(8);
+        q.push(0, false, 0x1000);
+        q.push(1, true, 0x1000);
+        assert_eq!(q.check_load(0, 0x1000), LoadCheck::AccessCache);
+    }
+
+    #[test]
+    fn slot_granularity_is_8_bytes() {
+        let mut q = Lsq::new(8);
+        q.push(0, true, 0x1000);
+        q.push(1, false, 0x1004); // same 8-byte slot
+        q.push(2, false, 0x1008); // next slot
+        assert_eq!(q.check_load(1, 0x1004), LoadCheck::Blocked);
+        assert_eq!(q.check_load(2, 0x1008), LoadCheck::AccessCache);
+    }
+
+    #[test]
+    fn commit_pops_in_order() {
+        let mut q = Lsq::new(4);
+        q.push(3, true, 0x0);
+        q.push(5, false, 0x8);
+        q.pop_front(3);
+        q.pop_front(5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "order mismatch")]
+    fn out_of_order_commit_panics() {
+        let mut q = Lsq::new(4);
+        q.push(3, true, 0x0);
+        q.push(5, false, 0x8);
+        q.pop_front(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = Lsq::new(1);
+        q.push(0, true, 0x0);
+        q.push(1, false, 0x8);
+    }
+
+    #[test]
+    fn truncate_after_drops_younger_entries() {
+        let mut q = Lsq::new(8);
+        q.push(0, true, 0x0);
+        q.push(2, false, 0x8);
+        q.push(5, true, 0x10);
+        q.truncate_after(2);
+        assert_eq!(q.len(), 2);
+        // Entry 5 is gone; a fresh push at index 3 must succeed in order.
+        q.push(3, false, 0x18);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = Lsq::new(4);
+        q.push(0, true, 0x0);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.is_full());
+    }
+}

@@ -1,0 +1,324 @@
+//! Instruction packing (Sharkey et al., ISLPED'05 [11]): two instructions
+//! with at most one non-ready source operand each share one physical issue
+//! queue entry, splitting its two tag comparators between them.
+//!
+//! An instruction with **two** non-ready sources needs both comparators and
+//! occupies a whole physical entry; instructions with ≤1 non-ready source
+//! occupy half an entry and *pack* pairwise. A queue of `N` physical
+//! entries therefore holds between `N` and `2N` instructions depending on
+//! the dynamic mix — achieving dynamically what the Ernst–Austin static
+//! partition fixes at design time.
+
+use crate::issue_queue::IqEntry;
+use crate::regfile::PhysReg;
+use crate::scheduler::SchedulerQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The packing issue queue. Slot tokens are *logical* half-entry indices:
+/// logical slots `2k` and `2k+1` share physical entry `k`.
+#[derive(Debug)]
+pub struct PackedIssueQueue {
+    /// Logical half-slots (`2 × physical entries`).
+    slots: Vec<Option<IqEntry>>,
+    /// Physical entry `k` is wholly occupied by a 2-non-ready instruction
+    /// living in logical slot `2k`.
+    wide: Vec<bool>,
+    waiters: Vec<Vec<usize>>,
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    per_thread: Vec<usize>,
+    occupied: usize,
+    phys_int: usize,
+}
+
+impl PackedIssueQueue {
+    /// A queue of `physical_entries` two-comparator entries for `threads`
+    /// contexts and `total_phys` physical registers.
+    pub fn new(physical_entries: usize, threads: usize, total_phys: usize) -> Self {
+        assert!(physical_entries >= 1, "queue must have at least one entry");
+        PackedIssueQueue {
+            slots: vec![None; physical_entries * 2],
+            wide: vec![false; physical_entries],
+            waiters: vec![Vec::new(); total_phys],
+            ready: BinaryHeap::new(),
+            per_thread: vec![0; threads],
+            occupied: 0,
+            phys_int: 256,
+        }
+    }
+
+    /// Set the integer physical-register count used for tag indexing.
+    pub fn with_phys_int(mut self, phys_int: usize) -> Self {
+        self.phys_int = phys_int;
+        self
+    }
+
+    /// Number of physical entries.
+    pub fn physical_entries(&self) -> usize {
+        self.wide.len()
+    }
+
+    /// Find a half-slot for a packable (≤1 non-ready) instruction,
+    /// preferring to complete a partially used physical entry (tightest
+    /// packing, least fragmentation).
+    fn find_half(&self) -> Option<usize> {
+        let n = self.wide.len();
+        let mut empty_pair: Option<usize> = None;
+        for k in 0..n {
+            if self.wide[k] {
+                continue;
+            }
+            let (a, b) = (2 * k, 2 * k + 1);
+            match (self.slots[a].is_some(), self.slots[b].is_some()) {
+                (true, false) => return Some(b),
+                (false, true) => return Some(a),
+                (false, false) => {
+                    if empty_pair.is_none() {
+                        empty_pair = Some(a);
+                    }
+                }
+                (true, true) => {}
+            }
+        }
+        empty_pair
+    }
+
+    /// Find an empty physical entry for a 2-non-ready instruction.
+    fn find_wide(&self) -> Option<usize> {
+        (0..self.wide.len())
+            .find(|&k| !self.wide[k] && self.slots[2 * k].is_none() && self.slots[2 * k + 1].is_none())
+            .map(|k| 2 * k)
+    }
+
+    fn clear_slot(&mut self, slot: usize) -> IqEntry {
+        let entry = self.slots[slot].take().expect("clearing empty packed slot");
+        self.per_thread[entry.thread] -= 1;
+        self.occupied -= 1;
+        if self.wide[slot / 2] {
+            debug_assert_eq!(slot % 2, 0, "wide occupants live in the even half");
+            self.wide[slot / 2] = false;
+        }
+        entry
+    }
+}
+
+impl SchedulerQueue for PackedIssueQueue {
+    fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    fn thread_occupancy(&self, thread: usize) -> usize {
+        self.per_thread[thread]
+    }
+
+    fn has_free_for(&self, non_ready: u8) -> bool {
+        if non_ready >= 2 {
+            self.find_wide().is_some()
+        } else {
+            self.find_half().is_some()
+        }
+    }
+
+    fn insert(&mut self, entry: IqEntry) -> usize {
+        let slot = if entry.pending() >= 2 {
+            let s = self.find_wide().expect("no whole entry free: check has_free_for()");
+            self.wide[s / 2] = true;
+            s
+        } else {
+            self.find_half().expect("no half entry free: check has_free_for()")
+        };
+        debug_assert!(self.slots[slot].is_none());
+        self.per_thread[entry.thread] += 1;
+        self.occupied += 1;
+        for reg in entry.waiting.iter().flatten() {
+            self.waiters[reg.flat(self.phys_int)].push(slot);
+        }
+        if entry.pending() == 0 {
+            self.ready.push(Reverse((entry.age, slot)));
+        }
+        self.slots[slot] = Some(entry);
+        slot
+    }
+
+    fn wakeup(&mut self, reg: PhysReg) {
+        let list = std::mem::take(&mut self.waiters[reg.flat(self.phys_int)]);
+        for slot in list {
+            if let Some(entry) = self.slots[slot].as_mut() {
+                let mut hit = false;
+                for w in entry.waiting.iter_mut() {
+                    if *w == Some(reg) {
+                        *w = None;
+                        hit = true;
+                    }
+                }
+                if hit && entry.pending() == 0 {
+                    self.ready.push(Reverse((entry.age, slot)));
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self) {}
+
+    fn pop_ready(&mut self) -> Option<(usize, IqEntry)> {
+        while let Some(Reverse((age, slot))) = self.ready.pop() {
+            let valid = self.slots[slot]
+                .as_ref()
+                .map(|e| e.age == age && e.pending() == 0)
+                .unwrap_or(false);
+            if valid {
+                return Some((slot, self.slots[slot].clone().unwrap()));
+            }
+        }
+        None
+    }
+
+    fn defer(&mut self, slot: usize) {
+        if let Some(e) = self.slots[slot].as_ref() {
+            self.ready.push(Reverse((e.age, slot)));
+        }
+    }
+
+    fn remove(&mut self, slot: usize) -> IqEntry {
+        self.clear_slot(slot)
+    }
+
+    fn squash_thread(&mut self, thread: usize) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].as_ref().map(|e| e.thread == thread).unwrap_or(false) {
+                self.clear_slot(slot);
+            }
+        }
+    }
+
+    fn squash_thread_from(&mut self, thread: usize, keep_idx: u64) {
+        for slot in 0..self.slots.len() {
+            let hit = self.slots[slot]
+                .as_ref()
+                .map(|e| e.thread == thread && e.trace_idx > keep_idx)
+                .unwrap_or(false);
+            if hit {
+                self.clear_slot(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::{FuKind, RegClass};
+
+    fn preg(i: u16) -> PhysReg {
+        PhysReg { class: RegClass::Int, index: i }
+    }
+
+    fn entry(thread: usize, idx: u64, age: u64, waiting: [Option<PhysReg>; 2]) -> IqEntry {
+        IqEntry { thread, trace_idx: idx, age, fu: FuKind::IntAlu, waiting }
+    }
+
+    #[test]
+    fn two_packable_instructions_share_one_entry() {
+        let mut q = PackedIssueQueue::new(1, 1, 512);
+        assert!(q.has_free_for(1));
+        q.insert(entry(0, 0, 1, [Some(preg(5)), None]));
+        assert!(q.has_free_for(1), "the second half of the entry is still free");
+        q.insert(entry(0, 1, 2, [Some(preg(6)), None]));
+        assert_eq!(q.occupancy(), 2, "one physical entry holds two instructions");
+        assert!(!q.has_free_for(0));
+    }
+
+    #[test]
+    fn wide_instruction_takes_whole_entry() {
+        let mut q = PackedIssueQueue::new(1, 1, 512);
+        assert!(q.has_free_for(2));
+        q.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(6))]));
+        assert_eq!(q.occupancy(), 1);
+        assert!(!q.has_free_for(1), "a wide occupant blocks both halves");
+        assert!(!q.has_free_for(2));
+    }
+
+    #[test]
+    fn half_used_entry_blocks_wide_insert() {
+        let mut q = PackedIssueQueue::new(1, 1, 512);
+        q.insert(entry(0, 0, 1, [None, None]));
+        assert!(q.has_free_for(1));
+        assert!(!q.has_free_for(2), "no fully empty physical entry remains");
+    }
+
+    #[test]
+    fn packing_prefers_completing_a_pair() {
+        let mut q = PackedIssueQueue::new(2, 1, 512);
+        let s0 = q.insert(entry(0, 0, 1, [Some(preg(5)), None]));
+        let s1 = q.insert(entry(0, 1, 2, [Some(preg(6)), None]));
+        assert_eq!(s0 / 2, s1 / 2, "the second packable instruction joins the first's entry");
+        assert!(q.has_free_for(2), "the other physical entry stays whole");
+    }
+
+    #[test]
+    fn wakeup_and_select_work_through_packing() {
+        let mut q = PackedIssueQueue::new(1, 1, 512);
+        q.insert(entry(0, 0, 5, [Some(preg(5)), None]));
+        q.insert(entry(0, 1, 6, [Some(preg(5)), None]));
+        assert!(q.pop_ready().is_none());
+        q.wakeup(preg(5));
+        let (s1, e1) = q.pop_ready().unwrap();
+        assert_eq!(e1.age, 5, "oldest first");
+        q.remove(s1);
+        let (s2, e2) = q.pop_ready().unwrap();
+        assert_eq!(e2.age, 6);
+        q.remove(s2);
+        assert_eq!(q.occupancy(), 0);
+        assert!(q.has_free_for(2), "whole entry reclaimed after both leave");
+    }
+
+    #[test]
+    fn removing_wide_occupant_frees_both_halves() {
+        let mut q = PackedIssueQueue::new(1, 1, 512);
+        let s = q.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(6))]));
+        q.wakeup(preg(5));
+        q.wakeup(preg(6));
+        let (slot, _) = q.pop_ready().unwrap();
+        assert_eq!(slot, s);
+        q.remove(slot);
+        assert!(q.has_free_for(2));
+        q.insert(entry(0, 1, 2, [None, None]));
+        q.insert(entry(0, 2, 3, [None, None]));
+        assert_eq!(q.occupancy(), 2);
+    }
+
+    #[test]
+    fn capacity_doubles_for_packable_mix() {
+        let mut q = PackedIssueQueue::new(4, 1, 512);
+        for i in 0..8 {
+            assert!(q.has_free_for(1), "insert {i}");
+            q.insert(entry(0, i, i, [Some(preg(100 + i as u16)), None]));
+        }
+        assert!(!q.has_free_for(1), "8 packable instructions fill 4 physical entries");
+        assert_eq!(q.occupancy(), 8);
+    }
+
+    #[test]
+    fn squash_thread_reclaims_everything() {
+        let mut q = PackedIssueQueue::new(2, 2, 512);
+        q.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(6))]));
+        q.insert(entry(1, 0, 2, [Some(preg(7)), None]));
+        q.squash_thread(0);
+        assert_eq!(q.occupancy(), 1);
+        assert!(q.has_free_for(2), "the wide occupant's entry is whole again");
+        assert_eq!(q.thread_occupancy(0), 0);
+        assert_eq!(q.thread_occupancy(1), 1);
+    }
+
+    #[test]
+    fn partial_squash_respects_keep_index() {
+        let mut q = PackedIssueQueue::new(2, 1, 512);
+        q.insert(entry(0, 3, 1, [Some(preg(5)), None]));
+        q.insert(entry(0, 7, 2, [Some(preg(6)), None]));
+        q.squash_thread_from(0, 3);
+        assert_eq!(q.occupancy(), 1);
+        q.wakeup(preg(5));
+        let (_, e) = q.pop_ready().unwrap();
+        assert_eq!(e.trace_idx, 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Physical register file: free lists and the ready-bit scoreboard.
+
+use serde::{Deserialize, Serialize};
+use smt_isa::RegClass;
+
+/// A physical register: class plus index into that class's file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysReg {
+    /// Register-file class.
+    pub class: RegClass,
+    /// Index within the physical file of that class.
+    pub index: u16,
+}
+
+impl PhysReg {
+    /// Dense index across both files (integer file first).
+    #[inline]
+    pub fn flat(self, phys_int: usize) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => phys_int + self.index as usize,
+        }
+    }
+}
+
+/// Free lists plus ready bits for both physical register files.
+///
+/// Ready-bit protocol:
+/// * a register is marked **not ready** when allocated to a new producer;
+/// * it becomes **ready** when the producer's wakeup broadcast fires;
+/// * registers holding committed architectural state are always ready.
+#[derive(Debug, Clone)]
+pub struct PhysRegFile {
+    phys_int: usize,
+    free_int: Vec<u16>,
+    free_fp: Vec<u16>,
+    ready: Vec<bool>,
+}
+
+impl PhysRegFile {
+    /// Create a file with all registers free and ready.
+    pub fn new(phys_int: usize, phys_fp: usize) -> Self {
+        PhysRegFile {
+            phys_int,
+            free_int: (0..phys_int as u16).rev().collect(),
+            free_fp: (0..phys_fp as u16).rev().collect(),
+            ready: vec![true; phys_int + phys_fp],
+        }
+    }
+
+    /// Number of free registers in `class`.
+    pub fn free_count(&self, class: RegClass) -> usize {
+        match class {
+            RegClass::Int => self.free_int.len(),
+            RegClass::Fp => self.free_fp.len(),
+        }
+    }
+
+    /// Allocate a register of `class`, marked not-ready. `None` if the free
+    /// list is empty (rename must stall).
+    pub fn alloc(&mut self, class: RegClass) -> Option<PhysReg> {
+        let idx = match class {
+            RegClass::Int => self.free_int.pop()?,
+            RegClass::Fp => self.free_fp.pop()?,
+        };
+        let reg = PhysReg { class, index: idx };
+        self.ready[reg.flat(self.phys_int)] = false;
+        Some(reg)
+    }
+
+    /// Return a register to the free list (at commit of the overwriting
+    /// instruction, or at squash of the allocating one). The register
+    /// becomes ready (free registers hold no pending value).
+    pub fn free(&mut self, reg: PhysReg) {
+        self.ready[reg.flat(self.phys_int)] = true;
+        match reg.class {
+            RegClass::Int => self.free_int.push(reg.index),
+            RegClass::Fp => self.free_fp.push(reg.index),
+        }
+    }
+
+    /// Is the value in `reg` available?
+    #[inline]
+    pub fn is_ready(&self, reg: PhysReg) -> bool {
+        self.ready[reg.flat(self.phys_int)]
+    }
+
+    /// Mark `reg` ready (wakeup broadcast).
+    #[inline]
+    pub fn set_ready(&mut self, reg: PhysReg) {
+        self.ready[reg.flat(self.phys_int)] = true;
+    }
+
+    /// Mark `reg` not ready (used when re-arming state at reset).
+    #[inline]
+    pub fn clear_ready(&mut self, reg: PhysReg) {
+        self.ready[reg.flat(self.phys_int)] = false;
+    }
+
+    /// Total registers in `class`'s file.
+    pub fn capacity(&self, class: RegClass) -> usize {
+        match class {
+            RegClass::Int => self.phys_int,
+            RegClass::Fp => self.ready.len() - self.phys_int,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut f = PhysRegFile::new(8, 4);
+        assert_eq!(f.free_count(RegClass::Int), 8);
+        let r = f.alloc(RegClass::Int).unwrap();
+        assert_eq!(f.free_count(RegClass::Int), 7);
+        assert!(!f.is_ready(r));
+        f.set_ready(r);
+        assert!(f.is_ready(r));
+        f.free(r);
+        assert_eq!(f.free_count(RegClass::Int), 8);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut f = PhysRegFile::new(2, 1);
+        assert!(f.alloc(RegClass::Int).is_some());
+        assert!(f.alloc(RegClass::Int).is_some());
+        assert!(f.alloc(RegClass::Int).is_none());
+        assert!(f.alloc(RegClass::Fp).is_some());
+        assert!(f.alloc(RegClass::Fp).is_none());
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut f = PhysRegFile::new(4, 4);
+        let i = f.alloc(RegClass::Int).unwrap();
+        let p = f.alloc(RegClass::Fp).unwrap();
+        f.set_ready(i);
+        assert!(f.is_ready(i));
+        assert!(!f.is_ready(p));
+        assert_eq!(f.free_count(RegClass::Int), 3);
+        assert_eq!(f.free_count(RegClass::Fp), 3);
+    }
+
+    #[test]
+    fn freed_register_is_ready() {
+        let mut f = PhysRegFile::new(4, 0);
+        let r = f.alloc(RegClass::Int).unwrap();
+        assert!(!f.is_ready(r));
+        f.free(r);
+        assert!(f.is_ready(r));
+    }
+
+    #[test]
+    fn all_registers_distinct_until_freed() {
+        let mut f = PhysRegFile::new(16, 0);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(r) = f.alloc(RegClass::Int) {
+            assert!(seen.insert(r.index), "duplicate allocation");
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let f = PhysRegFile::new(256, 128);
+        assert_eq!(f.capacity(RegClass::Int), 256);
+        assert_eq!(f.capacity(RegClass::Fp), 128);
+    }
+}

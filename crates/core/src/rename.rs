@@ -1,0 +1,114 @@
+//! Per-thread register rename table (RAT).
+
+use crate::regfile::{PhysReg, PhysRegFile};
+use smt_isa::{ArchReg, RegClass, NUM_ARCH_FP, NUM_ARCH_INT};
+
+/// A thread's speculative rename table mapping architectural to physical
+/// registers. Zero registers are never renamed and never appear here.
+#[derive(Debug, Clone)]
+pub struct RenameTable {
+    map: Vec<PhysReg>,
+}
+
+impl RenameTable {
+    /// Build a table by allocating an initial physical register for every
+    /// architectural register; the initial registers hold committed state
+    /// and are marked ready.
+    pub fn new(regs: &mut PhysRegFile) -> Self {
+        let mut map = Vec::with_capacity(ArchReg::FLAT_COUNT);
+        for i in 0..NUM_ARCH_INT {
+            let p = regs.alloc(RegClass::Int).expect("initial int mapping");
+            regs.set_ready(p);
+            map.push(p);
+            let _ = i;
+        }
+        for _ in 0..NUM_ARCH_FP {
+            let p = regs.alloc(RegClass::Fp).expect("initial fp mapping");
+            regs.set_ready(p);
+            map.push(p);
+        }
+        RenameTable { map }
+    }
+
+    /// Current mapping of `reg`.
+    #[inline]
+    pub fn lookup(&self, reg: ArchReg) -> PhysReg {
+        self.map[reg.flat_index()]
+    }
+
+    /// Redirect `reg` to `new`, returning the previous mapping (saved in the
+    /// ROB for commit-time freeing or squash-time restoration).
+    #[inline]
+    pub fn rename(&mut self, reg: ArchReg, new: PhysReg) -> PhysReg {
+        std::mem::replace(&mut self.map[reg.flat_index()], new)
+    }
+
+    /// Restore `reg` to a previous mapping (squash recovery, applied
+    /// youngest-first).
+    #[inline]
+    pub fn restore(&mut self, reg: ArchReg, old: PhysReg) {
+        self.map[reg.flat_index()] = old;
+    }
+
+    /// All current mappings (for invariant checks in tests).
+    pub fn mappings(&self) -> &[PhysReg] {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mappings_are_distinct_and_ready() {
+        let mut regs = PhysRegFile::new(64, 64);
+        let rat = RenameTable::new(&mut regs);
+        let mut seen = std::collections::HashSet::new();
+        for &p in rat.mappings() {
+            assert!(seen.insert(p), "duplicate initial mapping {p:?}");
+            assert!(regs.is_ready(p));
+        }
+        assert_eq!(seen.len(), ArchReg::FLAT_COUNT);
+        assert_eq!(regs.free_count(RegClass::Int), 64 - NUM_ARCH_INT as usize);
+    }
+
+    #[test]
+    fn rename_returns_old_mapping() {
+        let mut regs = PhysRegFile::new(64, 64);
+        let mut rat = RenameTable::new(&mut regs);
+        let r5 = ArchReg::int(5);
+        let before = rat.lookup(r5);
+        let new = regs.alloc(RegClass::Int).unwrap();
+        let old = rat.rename(r5, new);
+        assert_eq!(old, before);
+        assert_eq!(rat.lookup(r5), new);
+    }
+
+    #[test]
+    fn restore_undoes_rename() {
+        let mut regs = PhysRegFile::new(64, 64);
+        let mut rat = RenameTable::new(&mut regs);
+        let r7 = ArchReg::int(7);
+        let orig = rat.lookup(r7);
+        let n1 = regs.alloc(RegClass::Int).unwrap();
+        let o1 = rat.rename(r7, n1);
+        let n2 = regs.alloc(RegClass::Int).unwrap();
+        let o2 = rat.rename(r7, n2);
+        // Squash youngest-first.
+        rat.restore(r7, o2);
+        rat.restore(r7, o1);
+        assert_eq!(rat.lookup(r7), orig);
+    }
+
+    #[test]
+    fn int_and_fp_do_not_alias() {
+        let mut regs = PhysRegFile::new(64, 64);
+        let mut rat = RenameTable::new(&mut regs);
+        let n = regs.alloc(RegClass::Int).unwrap();
+        let fp3_before = rat.lookup(ArchReg::fp(3));
+        rat.rename(ArchReg::int(3), n);
+        assert_eq!(rat.lookup(ArchReg::fp(3)), fp3_before);
+        assert_eq!(rat.lookup(ArchReg::int(3)), n);
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-thread reorder buffer and the in-flight instruction record.
+
+use crate::regfile::PhysReg;
+use smt_isa::{ArchReg, TraceInst};
+
+/// Lifecycle of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstState {
+    /// Renamed, waiting in the dispatch buffer.
+    Renamed,
+    /// In the issue queue.
+    Dispatched,
+    /// In the deadlock-avoidance buffer.
+    InDab,
+    /// Executing on a function unit.
+    Issued,
+    /// Result produced; eligible for commit.
+    Completed,
+}
+
+/// Everything the pipeline tracks about one in-flight instruction. Lives in
+/// its thread's ROB from rename to commit.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Global index of this instruction in its thread's dynamic trace.
+    pub trace_idx: u64,
+    /// The architectural instruction.
+    pub inst: TraceInst,
+    /// Global rename stamp — the age used for oldest-first selection.
+    pub age: u64,
+    /// Renamed source operands (`None` = no register / zero register).
+    pub srcs: [Option<PhysReg>; 2],
+    /// Renamed destination.
+    pub dest: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register, for
+    /// commit-time freeing and squash-time restoration.
+    pub old_dest: Option<(ArchReg, PhysReg)>,
+    /// Current pipeline state.
+    pub state: InstState,
+    /// Cycle the instruction entered the IQ (or DAB).
+    pub dispatch_cycle: u64,
+    /// Cycle the instruction issued.
+    pub issue_cycle: u64,
+    /// For branches: was the fetch-time prediction wrong?
+    pub mispredicted: bool,
+    /// Did this instruction enter the IQ out of program order (HDI)?
+    pub dispatched_ooo: bool,
+    /// Was it (transitively) dependent on an NDI it bypassed?
+    pub ndi_dependent: bool,
+    /// Number of non-ready sources at the time of dispatch (0–2).
+    pub nonready_at_dispatch: u8,
+    /// Load that missed to main memory (drives STALL/FLUSH fetch policies).
+    pub long_miss: bool,
+}
+
+/// A per-thread reorder buffer. Entries are inserted at rename in program
+/// order (contiguous trace indices), committed from the front, and squashed
+/// from the back.
+#[derive(Debug)]
+pub struct Rob {
+    entries: std::collections::VecDeque<InFlight>,
+    /// Trace index of the entry at the front (== next to commit).
+    base: u64,
+    capacity: usize,
+}
+
+impl Rob {
+    /// An empty ROB with `capacity` entries starting at trace index 0.
+    pub fn new(capacity: usize) -> Self {
+        Rob { entries: std::collections::VecDeque::with_capacity(capacity), base: 0, capacity }
+    }
+
+    /// Entries currently occupied.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the ROB empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is the ROB full (rename must stall)?
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Trace index of the oldest uncommitted instruction.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Trace index one past the youngest entry.
+    pub fn end(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Insert the next instruction (must be `self.end()`-indexed).
+    pub fn push(&mut self, entry: InFlight) {
+        assert!(!self.is_full(), "ROB overflow");
+        assert_eq!(entry.trace_idx, self.end(), "ROB entries must be contiguous");
+        self.entries.push_back(entry);
+    }
+
+    /// The entry at `trace_idx`, if present.
+    pub fn get(&self, trace_idx: u64) -> Option<&InFlight> {
+        if trace_idx < self.base {
+            return None;
+        }
+        self.entries.get((trace_idx - self.base) as usize)
+    }
+
+    /// Mutable access to the entry at `trace_idx`.
+    pub fn get_mut(&mut self, trace_idx: u64) -> Option<&mut InFlight> {
+        if trace_idx < self.base {
+            return None;
+        }
+        self.entries.get_mut((trace_idx - self.base) as usize)
+    }
+
+    /// The oldest entry.
+    pub fn front(&self) -> Option<&InFlight> {
+        self.entries.front()
+    }
+
+    /// Commit (remove) the oldest entry.
+    pub fn pop_front(&mut self) -> Option<InFlight> {
+        let e = self.entries.pop_front()?;
+        self.base += 1;
+        Some(e)
+    }
+
+    /// Squash every entry, youngest first, returning them in that order for
+    /// rename-table restoration and register freeing. The base (fetch
+    /// restart point) is unchanged.
+    pub fn squash_all(&mut self) -> Vec<InFlight> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        while let Some(e) = self.entries.pop_back() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Squash every entry *younger* than `keep_idx` (exclusive), youngest
+    /// first — the partial flush used by the FLUSH fetch policy, which
+    /// discards the instructions behind a load that missed to memory.
+    pub fn squash_after(&mut self, keep_idx: u64) -> Vec<InFlight> {
+        let mut out = Vec::new();
+        while self.entries.back().map(|e| e.trace_idx > keep_idx).unwrap_or(false) {
+            out.push(self.entries.pop_back().unwrap());
+        }
+        out
+    }
+
+    /// Iterate over occupied entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &InFlight> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::ArchReg;
+
+    fn entry(idx: u64) -> InFlight {
+        InFlight {
+            trace_idx: idx,
+            inst: TraceInst::alu(idx * 4, ArchReg::int(1), None, None),
+            age: idx,
+            srcs: [None, None],
+            dest: None,
+            old_dest: None,
+            state: InstState::Renamed,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+            mispredicted: false,
+            dispatched_ooo: false,
+            ndi_dependent: false,
+            nonready_at_dispatch: 0,
+            long_miss: false,
+        }
+    }
+
+    #[test]
+    fn push_get_commit() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.get(1).unwrap().trace_idx, 1);
+        assert!(rob.get(2).is_none());
+        let e = rob.pop_front().unwrap();
+        assert_eq!(e.trace_idx, 0);
+        assert_eq!(rob.base(), 1);
+        assert!(rob.get(0).is_none(), "committed entries are gone");
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_push_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    fn squash_returns_youngest_first_and_keeps_base() {
+        let mut rob = Rob::new(8);
+        for i in 0..5 {
+            rob.push(entry(i));
+        }
+        rob.pop_front();
+        let squashed = rob.squash_all();
+        let idxs: Vec<u64> = squashed.iter().map(|e| e.trace_idx).collect();
+        assert_eq!(idxs, vec![4, 3, 2, 1]);
+        assert!(rob.is_empty());
+        assert_eq!(rob.base(), 1, "restart point is the oldest uncommitted instruction");
+    }
+
+    #[test]
+    fn refill_after_squash_continues_from_base() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.pop_front();
+        rob.squash_all();
+        assert_eq!(rob.end(), 1);
+        rob.push(entry(1)); // refetched
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn squash_after_keeps_older_entries() {
+        let mut rob = Rob::new(8);
+        for i in 0..6 {
+            rob.push(entry(i));
+        }
+        let squashed = rob.squash_after(2);
+        let idxs: Vec<u64> = squashed.iter().map(|e| e.trace_idx).collect();
+        assert_eq!(idxs, vec![5, 4, 3], "youngest first, down to (not including) 2");
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.end(), 3);
+        assert!(rob.get(2).is_some());
+        assert!(rob.get(3).is_none());
+    }
+
+    #[test]
+    fn squash_after_with_nothing_younger_is_noop() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert!(rob.squash_after(5).is_empty());
+        assert_eq!(rob.len(), 2);
+    }
+
+    #[test]
+    fn full_and_empty_flags() {
+        let mut rob = Rob::new(2);
+        assert!(rob.is_empty() && !rob.is_full());
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert!(rob.is_full() && !rob.is_empty());
+    }
+}

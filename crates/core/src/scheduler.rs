@@ -1,0 +1,57 @@
+//! The scheduler-queue abstraction.
+//!
+//! The paper and its §6 related work explore several *organizations* of the
+//! dynamic scheduling window: the uniform 2-comparator queue, the 2OP_BLOCK
+//! 1-comparator queue, the statically partitioned tag-eliminated queue of
+//! Ernst & Austin [5], the fast/slow-tag-bus "Half-Price" queue of Kim &
+//! Lipasti [7], and the instruction-packing queue of Sharkey et al. [11].
+//! All share the same wakeup/select contract, expressed by
+//! [`SchedulerQueue`]; the pipeline is generic over it.
+
+use crate::issue_queue::IqEntry;
+use crate::regfile::PhysReg;
+
+/// Contract between the dispatch/issue stages and a scheduling-window
+/// implementation.
+pub trait SchedulerQueue: std::fmt::Debug {
+    /// Instructions currently resident.
+    fn occupancy(&self) -> usize;
+
+    /// Instructions of `thread` currently resident (for the I-Count fetch
+    /// policy).
+    fn thread_occupancy(&self, thread: usize) -> usize;
+
+    /// Can an instruction with `non_ready` non-ready sources be admitted
+    /// right now?
+    fn has_free_for(&self, non_ready: u8) -> bool;
+
+    /// Admit an instruction whose non-ready source tags are the `Some`
+    /// values of `entry.waiting`. Returns an opaque slot token. Panics if
+    /// [`SchedulerQueue::has_free_for`] would have returned false — that is
+    /// a dispatch-stage bug.
+    fn insert(&mut self, entry: IqEntry) -> usize;
+
+    /// Deliver a wakeup broadcast: `reg`'s value is now available.
+    fn wakeup(&mut self, reg: PhysReg);
+
+    /// Per-cycle maintenance hook, called once at the start of each cycle
+    /// (before select). Used by the Half-Price queue to deliver slow-bus
+    /// broadcasts one cycle late.
+    fn tick(&mut self);
+
+    /// Pop the oldest entry whose operands are all ready. The caller may
+    /// decline to issue it and must then call [`SchedulerQueue::defer`].
+    fn pop_ready(&mut self) -> Option<(usize, IqEntry)>;
+
+    /// Return a popped-but-not-issued entry to the ready pool.
+    fn defer(&mut self, slot: usize);
+
+    /// Remove an entry at issue.
+    fn remove(&mut self, slot: usize) -> IqEntry;
+
+    /// Squash every entry of `thread`.
+    fn squash_thread(&mut self, thread: usize);
+
+    /// Squash `thread`'s entries younger than `keep_idx`.
+    fn squash_thread_from(&mut self, thread: usize, keep_idx: u64);
+}

@@ -1,0 +1,1292 @@
+//! The top-level cycle-accurate SMT pipeline model.
+//!
+//! Pipeline structure (Table 1): a 5-stage front end (fetch … dispatch),
+//! scheduling (wakeup/select), two register-file stages, execution,
+//! writeback and commit. Stages are evaluated in reverse order each cycle
+//! so a stage observes the *previous* cycle's downstream state, while
+//! wakeup events processed at cycle start keep 1-cycle operations
+//! back-to-back.
+
+use crate::config::{DeadlockMode, FetchPolicy, SimConfig};
+use crate::dispatch::{plan_thread, BufView, Candidate};
+use crate::events::{Event, EventQueue};
+use crate::fetch::pick_fetch_threads;
+use crate::fu::FuPools;
+use crate::issue_queue::{IqEntry, IssueQueue};
+use crate::lsq::{LoadCheck, Lsq};
+use crate::packed::PackedIssueQueue;
+use crate::scheduler::SchedulerQueue;
+use crate::regfile::{PhysReg, PhysRegFile};
+use crate::rename::RenameTable;
+use crate::rob::{InFlight, InstState, Rob};
+use smt_isa::{MachineDesc, OpClass, TraceInst};
+use smt_mem::{AccessKind, Hierarchy};
+use smt_predictor::{Btb, GShare};
+use smt_stats::SimCounters;
+use smt_workload::{InstGenerator, TraceSource};
+use std::collections::VecDeque;
+
+/// Why `run` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Some thread reached the commit target (the paper's stop rule).
+    TargetReached,
+    /// Every thread's program ended and drained.
+    AllFinished,
+    /// The safety cycle limit was hit (likely a deadlock — a test signal).
+    CycleLimit,
+}
+
+/// An instruction in the front end (fetched, not yet renamed).
+#[derive(Debug, Clone, Copy)]
+struct FrontEntry {
+    trace_idx: u64,
+    /// The fetched instruction (for wrong-path entries this is synthetic
+    /// and does not exist in the thread's trace).
+    inst: TraceInst,
+    /// First cycle the instruction may rename.
+    ready_at: u64,
+    mispredicted: bool,
+}
+
+/// One entry of the deadlock-avoidance buffer.
+#[derive(Debug, Clone, Copy)]
+struct DabEntry {
+    thread: usize,
+    trace_idx: u64,
+    age: u64,
+}
+
+/// Per-thread pipeline context.
+struct ThreadCtx {
+    trace: TraceSource,
+    fetch_cursor: u64,
+    /// Trace index of an unresolved mispredicted branch gating fetch.
+    fetch_gated_by: Option<u64>,
+    /// Fetch blocked until this cycle (I-cache miss or redirect penalty).
+    fetch_blocked_until: u64,
+    frontend: VecDeque<FrontEntry>,
+    /// Renamed instructions awaiting dispatch, in program order.
+    dispatch_buf: VecDeque<u64>,
+    /// I-cache line whose miss this thread is currently waiting on; when
+    /// the wait ends the group is delivered without re-probing (critical-
+    /// word delivery — otherwise SMT threads aliasing in the L1I could
+    /// evict each other's lines faster than the miss latency forever).
+    pending_ifetch_line: Option<u64>,
+    rob: Rob,
+    lsq: Lsq,
+    rat: RenameTable,
+    gshare: GShare,
+    /// Trace exhausted at the fetch cursor.
+    finished_fetch: bool,
+    /// Loads of this thread currently outstanding to main memory (drives
+    /// the STALL/FLUSH fetch policies).
+    outstanding_mem_misses: u32,
+    /// Wrong-path mode: the trace index of the unresolved mispredicted
+    /// branch whose (synthetic) wrong path is being fetched.
+    wrongpath_of: Option<u64>,
+    /// Deterministic xorshift state for wrong-path instruction synthesis.
+    wp_rng: u64,
+    /// Recently observed data addresses (wrong-path loads revisit the
+    /// thread's real data structures, polluting the same cache sets).
+    recent_addrs: [u64; 4],
+    recent_addrs_at: usize,
+}
+
+impl ThreadCtx {
+    /// Thread has no in-flight work and no more instructions to fetch.
+    fn drained(&self) -> bool {
+        self.finished_fetch
+            && self.rob.is_empty()
+            && self.frontend.is_empty()
+            && self.dispatch_buf.is_empty()
+    }
+}
+
+/// The SMT processor simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    threads: Vec<ThreadCtx>,
+    regs: PhysRegFile,
+    iq: Box<dyn SchedulerQueue + Send>,
+    dab: Vec<DabEntry>,
+    dab_size: usize,
+    /// True: DAB entries take precedence over the IQ at issue (paper's
+    /// chosen variant); false: they arbitrate oldest-first with the IQ.
+    dab_precedence: bool,
+    fu: FuPools,
+    events: EventQueue,
+    hier: Hierarchy,
+    btb: Btb,
+    now: u64,
+    age_counter: u64,
+    rr: usize,
+    frontend_cap: usize,
+    watchdog_remaining: u64,
+    counters: SimCounters,
+    /// Cycle at which the current measurement window began (see
+    /// [`Simulator::reset_measurement`]).
+    measure_start: u64,
+    /// Direction prediction of the most recently fetched branch, so the
+    /// fetch loop can break groups on predicted-taken branches without
+    /// re-querying (and re-training) the predictor.
+    last_pred_taken: (usize, u64, bool),
+    /// FLUSH fetch policy: (thread, load index) pairs whose younger
+    /// instructions must be squashed after the current issue sweep.
+    pending_flushes: Vec<(usize, u64)>,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg` running one instruction stream per
+    /// thread context.
+    pub fn new(cfg: SimConfig, streams: Vec<Box<dyn InstGenerator>>) -> Self {
+        let n = streams.len();
+        cfg.validate(n).expect("invalid configuration");
+        let mut regs = PhysRegFile::new(cfg.phys_int, cfg.phys_fp);
+        let threads = streams
+            .into_iter()
+            .map(|s| ThreadCtx {
+                trace: TraceSource::new(s),
+                fetch_cursor: 0,
+                fetch_gated_by: None,
+                fetch_blocked_until: 0,
+                frontend: VecDeque::new(),
+                dispatch_buf: VecDeque::new(),
+                pending_ifetch_line: None,
+                rob: Rob::new(cfg.rob_per_thread),
+                lsq: Lsq::new(cfg.lsq_per_thread),
+                rat: RenameTable::new(&mut regs),
+                gshare: GShare::new(cfg.gshare),
+                finished_fetch: false,
+                outstanding_mem_misses: 0,
+                wrongpath_of: None,
+                wp_rng: 0x9E37_79B9_7F4A_7C15,
+                recent_addrs: [0x1000_0000; 4],
+                recent_addrs_at: 0,
+            })
+            .collect();
+        let (dab_size, dab_precedence) = match cfg.deadlock {
+            DeadlockMode::Dab { size } => (size, true),
+            DeadlockMode::DabArbitrated { size } => (size, false),
+            _ => (0, true),
+        };
+        let watchdog_remaining = match cfg.deadlock {
+            DeadlockMode::Watchdog { timeout } => timeout as u64,
+            _ => 0,
+        };
+        use crate::config::DispatchPolicy as Dp;
+        let total_phys = cfg.phys_int + cfg.phys_fp;
+        let iq: Box<dyn SchedulerQueue + Send> = match cfg.policy {
+            Dp::TagEliminated => {
+                let [zero, one, two] = cfg
+                    .iq_layout
+                    .unwrap_or_else(|| SimConfig::default_tag_eliminated_layout(cfg.iq_size));
+                let mut caps = Vec::with_capacity(cfg.iq_size);
+                caps.extend(std::iter::repeat_n(0u8, zero));
+                caps.extend(std::iter::repeat_n(1u8, one));
+                caps.extend(std::iter::repeat_n(2u8, two));
+                Box::new(
+                    IssueQueue::new_heterogeneous(caps, n, total_phys)
+                        .with_phys_int(cfg.phys_int),
+                )
+            }
+            Dp::HalfPrice => Box::new(
+                IssueQueue::new(cfg.iq_size, 2, n, total_phys)
+                    .with_phys_int(cfg.phys_int)
+                    .with_slow_second_tag(),
+            ),
+            Dp::Packed => Box::new(
+                PackedIssueQueue::new((cfg.iq_size / 2).max(1), n, total_phys)
+                    .with_phys_int(cfg.phys_int),
+            ),
+            _ => Box::new(
+                IssueQueue::new(cfg.iq_size, cfg.policy.iq_comparators(), n, total_phys)
+                    .with_phys_int(cfg.phys_int),
+            ),
+        };
+        Simulator {
+            iq,
+            dab: Vec::new(),
+            dab_size,
+            dab_precedence,
+            fu: FuPools::new(&cfg.machine),
+            events: EventQueue::new(),
+            hier: Hierarchy::new(cfg.hierarchy),
+            btb: Btb::new(cfg.btb),
+            now: 0,
+            age_counter: 0,
+            rr: 0,
+            frontend_cap: (cfg.frontend_depth as usize) * (cfg.width as usize),
+            watchdog_remaining,
+            counters: SimCounters::new(n),
+            measure_start: 0,
+            last_pred_taken: (usize::MAX, 0, false),
+            pending_flushes: Vec::new(),
+            threads,
+            regs,
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Number of hardware thread contexts.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Reset measurement state (counters, cache/predictor hit statistics)
+    /// while keeping all microarchitectural state warm: caches stay filled,
+    /// predictors stay trained, in-flight instructions keep flowing. Call
+    /// after a warm-up phase so cold-start effects do not pollute the
+    /// measured region — the moral equivalent of the paper's SimPoint
+    /// fast-forwarding.
+    pub fn reset_measurement(&mut self) {
+        self.counters = SimCounters::new(self.threads.len());
+        self.measure_start = self.now;
+        self.hier.reset_stats();
+        for t in &mut self.threads {
+            t.gshare.reset_stats();
+        }
+    }
+
+    /// Check the structural invariants that must hold when the machine is
+    /// quiescent (all threads drained): every physical register is either
+    /// free or mapped by exactly one rename-table entry, and every pipeline
+    /// structure is empty. Panics with a description on violation — used by
+    /// the test suite to detect resource leaks (e.g. registers lost across
+    /// watchdog flushes).
+    pub fn assert_quiescent_invariants(&self) {
+        assert!(
+            self.threads.iter().all(|t| t.drained()),
+            "assert_quiescent_invariants requires drained threads"
+        );
+        assert_eq!(self.iq.occupancy(), 0, "IQ must be empty when drained");
+        assert!(self.dab.is_empty(), "DAB must be empty when drained");
+        // Stale events from squashed incarnations may still sit in the
+        // queue; with every ROB empty they can never match a live
+        // instruction, so they are harmless by construction (validated by
+        // the age check at delivery).
+        for (i, ctx) in self.threads.iter().enumerate() {
+            assert!(ctx.lsq.is_empty(), "thread {i} LSQ must be empty when drained");
+        }
+        // Register conservation: free + architecturally mapped == total,
+        // and no two rename-table entries alias.
+        let mut seen = std::collections::HashSet::new();
+        let mut mapped_int = 0usize;
+        let mut mapped_fp = 0usize;
+        for ctx in &self.threads {
+            for &p in ctx.rat.mappings() {
+                assert!(seen.insert(p), "physical register {p:?} mapped twice");
+                match p.class {
+                    smt_isa::RegClass::Int => mapped_int += 1,
+                    smt_isa::RegClass::Fp => mapped_fp += 1,
+                }
+                assert!(self.regs.is_ready(p), "mapped register {p:?} must hold a ready value");
+            }
+        }
+        assert_eq!(
+            self.regs.free_count(smt_isa::RegClass::Int) + mapped_int,
+            self.cfg.phys_int,
+            "integer physical registers leaked"
+        );
+        assert_eq!(
+            self.regs.free_count(smt_isa::RegClass::Fp) + mapped_fp,
+            self.cfg.phys_fp,
+            "floating-point physical registers leaked"
+        );
+    }
+
+    /// One-line-per-thread summary of pipeline state, for debugging hangs.
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cycle={} iq_occ={}/{} dab={} events={} free_int={} free_fp={}",
+            self.now,
+            self.iq.occupancy(),
+            self.cfg.iq_size,
+            self.dab.len(),
+            self.events.len(),
+            self.regs.free_count(smt_isa::RegClass::Int),
+            self.regs.free_count(smt_isa::RegClass::Fp),
+        );
+        for (t, ctx) in self.threads.iter().enumerate() {
+            let head = ctx.rob.front().map(|e| {
+                let fmt_src = |src: Option<PhysReg>| match src {
+                    None => "-".to_string(),
+                    Some(p) => {
+                        let ready = self.regs.is_ready(p);
+                        // Does any in-flight instruction produce p?
+                        let producer = self
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .flat_map(|(ti, th)| th.rob.iter().map(move |x| (ti, x)))
+                            .find(|(_, x)| x.dest == Some(p))
+                            .map(|(ti, x)| format!("t{}#{}:{:?}", ti, x.trace_idx, x.state));
+                        format!(
+                            "{:?}{}(ready={ready},prod={})",
+                            p.class,
+                            p.index,
+                            producer.unwrap_or_else(|| "NONE".into())
+                        )
+                    }
+                };
+                format!(
+                    "{}@{} {:?} srcs=[{}, {}]",
+                    e.inst.op,
+                    e.trace_idx,
+                    e.state,
+                    fmt_src(e.srcs[0]),
+                    fmt_src(e.srcs[1]),
+                )
+            });
+            let _ = writeln!(
+                s,
+                "t{t}: rob={}/{} buf={} fe={} lsq={} gated={:?} blocked_until={} cursor={} head={}",
+                ctx.rob.len(),
+                self.cfg.rob_per_thread,
+                ctx.dispatch_buf.len(),
+                ctx.frontend.len(),
+                ctx.lsq.len(),
+                ctx.fetch_gated_by,
+                ctx.fetch_blocked_until,
+                ctx.fetch_cursor,
+                head.unwrap_or_else(|| "-".into()),
+            );
+        }
+        s
+    }
+
+    /// Run until any thread commits `commit_target` instructions (the
+    /// paper's stop rule), every thread drains, or the configured cycle
+    /// limit is reached.
+    pub fn run(&mut self, commit_target: u64) -> RunOutcome {
+        loop {
+            if self.counters.threads.iter().any(|t| t.committed >= commit_target) {
+                return RunOutcome::TargetReached;
+            }
+            if self.threads.iter().all(|t| t.drained()) {
+                return RunOutcome::AllFinished;
+            }
+            if self.cfg.max_cycles > 0 && self.now >= self.cfg.max_cycles {
+                return RunOutcome::CycleLimit;
+            }
+            self.cycle();
+        }
+    }
+
+    /// Run until *every* live thread has committed at least `commit_target`
+    /// instructions. Used for warm-up: each thread's caches and predictors
+    /// must reach steady state, including threads that run far slower than
+    /// their co-runners (the stand-in for per-benchmark SimPoint
+    /// fast-forwarding).
+    pub fn run_until_all_committed(&mut self, commit_target: u64) -> RunOutcome {
+        loop {
+            let all_done = self
+                .counters
+                .threads
+                .iter()
+                .zip(&self.threads)
+                .all(|(c, t)| c.committed >= commit_target || t.drained());
+            if all_done {
+                return if self.threads.iter().all(|t| t.drained()) {
+                    RunOutcome::AllFinished
+                } else {
+                    RunOutcome::TargetReached
+                };
+            }
+            if self.cfg.max_cycles > 0 && self.now >= self.cfg.max_cycles {
+                return RunOutcome::CycleLimit;
+            }
+            self.cycle();
+        }
+    }
+
+    /// Advance the machine by one cycle.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        // Deliver slow-bus broadcasts staged last cycle (Half-Price mode)
+        // before this cycle's wakeups and select.
+        self.iq.tick();
+        self.process_events();
+        self.commit_stage();
+        self.issue_stage();
+        self.apply_pending_flushes();
+        let dispatched = self.dispatch_stage();
+        self.rename_stage();
+        self.fetch_stage();
+        self.counters.cycles = self.now - self.measure_start;
+        self.counters.iq_occupancy_sum += self.iq.occupancy() as u64;
+        for t in 0..self.threads.len() {
+            self.counters.threads[t].iq_occupancy_sum += self.iq.thread_occupancy(t) as u64;
+        }
+        self.watchdog_tick(dispatched);
+        self.rr = (self.rr + 1) % self.threads.len();
+    }
+
+    // ------------------------------------------------------------------
+    // Events: wakeups and completions.
+    // ------------------------------------------------------------------
+
+    fn process_events(&mut self) {
+        while let Some(ev) = self.events.pop_due(self.now) {
+            match ev {
+                Event::Wakeup { thread, trace_idx, age, reg } => {
+                    // Validate the producing *incarnation* is still in
+                    // flight: a squashed-and-refetched instruction reuses
+                    // its trace index but gets a fresh age, so stale events
+                    // from the squashed incarnation never match.
+                    let valid = self.threads[thread]
+                        .rob
+                        .get(trace_idx)
+                        .map(|e| {
+                            e.age == age
+                                && e.state == InstState::Issued
+                                && e.dest == Some(reg)
+                        })
+                        .unwrap_or(false);
+                    if valid {
+                        self.regs.set_ready(reg);
+                        self.iq.wakeup(reg);
+                    }
+                }
+                Event::Complete { thread, trace_idx, age } => {
+                    let redirect = self.cfg.redirect_penalty as u64;
+                    let now = self.now;
+                    let branch_info = {
+                        let t = &mut self.threads[thread];
+                        let Some(e) = t.rob.get_mut(trace_idx) else { continue };
+                        if e.age != age || e.state != InstState::Issued {
+                            continue;
+                        }
+                        e.state = InstState::Completed;
+                        if e.long_miss {
+                            t.outstanding_mem_misses =
+                                t.outstanding_mem_misses.saturating_sub(1);
+                        }
+                        if e.inst.op.is_branch() {
+                            Some((e.inst.pc, e.inst.branch.expect("branch info"), e.mispredicted))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((pc, b, mispredicted)) = branch_info {
+                        if b.taken {
+                            self.btb.update(pc, b.target);
+                        }
+                        if mispredicted {
+                            let t = &mut self.threads[thread];
+                            if t.fetch_gated_by == Some(trace_idx) {
+                                // Fetch-gated mode: simply resume on the
+                                // correct path after the redirect penalty.
+                                t.fetch_gated_by = None;
+                                t.fetch_blocked_until = now + redirect;
+                            } else if t.wrongpath_of == Some(trace_idx) {
+                                // Wrong-path mode: squash the wrong-path
+                                // instructions, then restart fetch on the
+                                // correct path after the redirect penalty.
+                                self.squash_thread_after(thread, trace_idx);
+                                self.threads[thread].wrongpath_of = None;
+                                self.threads[thread].fetch_blocked_until = now + redirect;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit.
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.width;
+        let mut progress = true;
+        while budget > 0 && progress {
+            progress = false;
+            for i in 0..n {
+                if budget == 0 {
+                    break;
+                }
+                let t = (self.rr + i) % n;
+                let committable = self.threads[t]
+                    .rob
+                    .front()
+                    .map(|e| e.state == InstState::Completed)
+                    .unwrap_or(false);
+                if committable {
+                    self.commit_one(t);
+                    budget -= 1;
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    fn commit_one(&mut self, t: usize) {
+        let entry = self.threads[t].rob.pop_front().expect("commit from empty ROB");
+        if let Some(mem) = entry.inst.mem {
+            self.threads[t].lsq.pop_front(entry.trace_idx);
+            if entry.inst.op.is_store() {
+                // Stores write the data cache at commit (write-allocate);
+                // the latency is off the critical path.
+                let _ = self.hier.access(AccessKind::Store, mem.addr);
+            }
+        }
+        if let Some((_, old)) = entry.old_dest {
+            self.regs.free(old);
+        }
+        let tc = &mut self.counters.threads[t];
+        tc.committed += 1;
+        if entry.inst.op.is_branch() {
+            tc.branches += 1;
+            if entry.mispredicted {
+                tc.mispredicts += 1;
+            }
+        }
+        self.threads[t].trace.retire_up_to(entry.trace_idx + 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Issue: DAB precedence, then oldest-first IQ select.
+    // ------------------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let mut budget = self.cfg.width;
+
+        // Deadlock-avoidance buffer. In the paper's chosen variant its
+        // instructions take precedence ("selection from the IQ is disabled
+        // when there are instructions present in the deadlock-avoidance
+        // buffer"); in the arbitrated variant they merge with the IQ
+        // oldest-first, which here is approximated by issuing DAB entries
+        // first only when they are older than the IQ's oldest ready entry —
+        // since DAB entries are ROB-oldest they are in practice older than
+        // anything ready in the IQ, so both variants issue them eagerly;
+        // the difference is whether the rest of the cycle's issue slots may
+        // still select from the IQ.
+        if !self.dab.is_empty() {
+            let mut i = 0;
+            while i < self.dab.len() && budget > 0 {
+                let d = self.dab[i];
+                let op = self.threads[d.thread]
+                    .rob
+                    .get(d.trace_idx)
+                    .expect("DAB entry without ROB entry")
+                    .inst
+                    .op;
+                let desc = MachineDesc::fu_desc(op);
+                if self.fu.try_issue(desc.kind, self.now, desc.issue_interval) {
+                    self.dab.remove(i);
+                    self.start_execution(d.thread, d.trace_idx);
+                    budget -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if self.dab_precedence && !self.dab.is_empty() {
+                return;
+            }
+        }
+
+        let mut deferred: Vec<usize> = Vec::new();
+        while budget > 0 {
+            let Some((slot, entry)) = self.iq.pop_ready() else { break };
+            let inflight = self.threads[entry.thread]
+                .rob
+                .get(entry.trace_idx)
+                .expect("IQ entry without ROB entry");
+            let op = inflight.inst.op;
+            // Loads must pass memory disambiguation.
+            if op.is_load() {
+                let addr = inflight.inst.mem.expect("load without mem").addr;
+                if self.threads[entry.thread].lsq.check_load(entry.trace_idx, addr)
+                    == LoadCheck::Blocked
+                {
+                    deferred.push(slot);
+                    continue;
+                }
+            }
+            let desc = MachineDesc::fu_desc(op);
+            if !self.fu.try_issue(desc.kind, self.now, desc.issue_interval) {
+                deferred.push(slot);
+                continue;
+            }
+            self.iq.remove(slot);
+            self.start_execution(entry.thread, entry.trace_idx);
+            budget -= 1;
+        }
+        for slot in deferred {
+            self.iq.defer(slot);
+        }
+    }
+
+    fn start_execution(&mut self, t: usize, trace_idx: u64) {
+        let now = self.now;
+        let exec_tail = self.cfg.exec_tail as u64;
+        let (op, dest, mem, dispatch_cycle, age) = {
+            let e = self.threads[t].rob.get(trace_idx).expect("issuing unknown instruction");
+            (e.inst.op, e.dest, e.inst.mem, e.dispatch_cycle, e.age)
+        };
+        let desc = MachineDesc::fu_desc(op);
+        let mut latency = desc.latency as u64;
+        match op {
+            OpClass::Load => {
+                let addr = mem.expect("load without mem").addr;
+                match self.threads[t].lsq.check_load(trace_idx, addr) {
+                    LoadCheck::Forward => {}
+                    LoadCheck::AccessCache => {
+                        let extra = self.hier.access(AccessKind::Load, addr) as u64;
+                        latency += extra;
+                        // A main-memory miss drives the STALL/FLUSH fetch
+                        // policies: the thread stops fetching (and FLUSH
+                        // additionally squashes younger instructions).
+                        if extra >= self.cfg.hierarchy.memory_latency as u64 {
+                            if let Some(e) = self.threads[t].rob.get_mut(trace_idx) {
+                                e.long_miss = true;
+                            }
+                            self.threads[t].outstanding_mem_misses += 1;
+                            if self.cfg.fetch_policy == FetchPolicy::Flush {
+                                self.pending_flushes.push((t, trace_idx));
+                            }
+                        }
+                    }
+                    LoadCheck::Blocked => unreachable!("blocked load must not issue"),
+                }
+                self.threads[t].lsq.mark_issued(trace_idx);
+            }
+            OpClass::Store => {
+                self.threads[t].lsq.mark_issued(trace_idx);
+            }
+            _ => {}
+        }
+        {
+            let e = self.threads[t].rob.get_mut(trace_idx).unwrap();
+            e.state = InstState::Issued;
+            e.issue_cycle = now;
+        }
+        let tc = &mut self.counters.threads[t];
+        tc.issued += 1;
+        tc.iq_residency_sum += now - dispatch_cycle;
+        if let Some(reg) = dest {
+            self.events
+                .schedule(now + latency, Event::Wakeup { thread: t, trace_idx, age, reg });
+        }
+        self.events
+            .schedule(now + latency + exec_tail, Event::Complete { thread: t, trace_idx, age });
+    }
+
+    /// Apply FLUSH-fetch-policy squashes queued during the issue sweep:
+    /// discard everything younger than the missing load and refetch it
+    /// once the miss returns (Tullsen & Brown's FLUSH [15]).
+    fn apply_pending_flushes(&mut self) {
+        let flushes = std::mem::take(&mut self.pending_flushes);
+        for (t, keep_idx) in flushes {
+            // The load itself may already have been squashed by an earlier
+            // flush of the same thread this cycle.
+            if self.threads[t].rob.get(keep_idx).is_none() {
+                continue;
+            }
+            if self.threads[t].rob.end() <= keep_idx + 1
+                && self.threads[t].frontend.is_empty()
+                && self.threads[t].fetch_cursor == keep_idx + 1
+            {
+                continue; // nothing younger in flight
+            }
+            self.squash_thread_after(t, keep_idx);
+            self.counters.fetch_policy_flushes += 1;
+        }
+    }
+
+    /// Squash everything of thread `t` younger than `keep_idx` — the common
+    /// recovery path of the FLUSH fetch policy and of wrong-path branch
+    /// resolution. Fetch restarts at `keep_idx + 1`.
+    fn squash_thread_after(&mut self, t: usize, keep_idx: u64) {
+        let squashed = self.threads[t].rob.squash_after(keep_idx);
+        for e in squashed {
+            if let Some((areg, old)) = e.old_dest {
+                self.threads[t].rat.restore(areg, old);
+            }
+            if let Some(d) = e.dest {
+                self.regs.free(d);
+            }
+            if e.state == InstState::Issued && e.long_miss {
+                self.threads[t].outstanding_mem_misses =
+                    self.threads[t].outstanding_mem_misses.saturating_sub(1);
+            }
+        }
+        self.iq.squash_thread_from(t, keep_idx);
+        self.dab.retain(|d| !(d.thread == t && d.trace_idx > keep_idx));
+        let ctx = &mut self.threads[t];
+        ctx.lsq.truncate_after(keep_idx);
+        ctx.dispatch_buf.retain(|&i| i <= keep_idx);
+        // Everything in the front end is younger than anything renamed.
+        ctx.frontend.clear();
+        ctx.fetch_cursor = keep_idx + 1;
+        ctx.pending_ifetch_line = None;
+        ctx.finished_fetch = false;
+        // A gating mispredicted branch or wrong-path episode younger than
+        // the squash point disappears with everything else.
+        if ctx.fetch_gated_by.map(|b| b > keep_idx).unwrap_or(false) {
+            ctx.fetch_gated_by = None;
+        }
+        if ctx.wrongpath_of.map(|b| b > keep_idx).unwrap_or(false) {
+            ctx.wrongpath_of = None;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch: the policy under study.
+    // ------------------------------------------------------------------
+
+    /// Returns the number of instructions dispatched this cycle.
+    fn dispatch_stage(&mut self) -> u32 {
+        let n = self.threads.len();
+        let width = self.cfg.width as usize;
+        let policy = self.cfg.policy;
+
+        // Plan each thread.
+        let mut plans: Vec<VecDeque<Candidate>> = Vec::with_capacity(n);
+        let mut ndi_blocked = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // t also indexes self.threads
+        for t in 0..n {
+            let views: Vec<BufView> = {
+                let ctx = &self.threads[t];
+                ctx.dispatch_buf
+                    .iter()
+                    .map(|&idx| {
+                        let e = ctx.rob.get(idx).expect("buffered instruction missing from ROB");
+                        let mut nonready_srcs = [None, None];
+                        let mut non_ready = 0u8;
+                        for (i, src) in e.srcs.iter().enumerate() {
+                            if let Some(p) = src {
+                                if !self.regs.is_ready(*p) {
+                                    nonready_srcs[i] = Some(*p);
+                                    non_ready += 1;
+                                }
+                            }
+                        }
+                        BufView {
+                            trace_idx: idx,
+                            non_ready,
+                            nonready_srcs,
+                            dest: e.dest,
+                            is_rob_oldest: idx == ctx.rob.base(),
+                        }
+                    })
+                    .collect()
+            };
+            let plan = plan_thread(&views, policy, width);
+            if let Some((total, hdis)) = plan.pileup {
+                self.counters.pileup_total += total as u64;
+                self.counters.pileup_hdis += hdis as u64;
+            }
+            // A stall is attributed to the 2OP_BLOCK condition only when
+            // the dispatch stage is the binding bottleneck: if the thread's
+            // ROB is full the machine is backed up on execution regardless
+            // of the dispatch policy, and the paper's accounting (which
+            // records a blocked thread's immediate reason) would charge the
+            // cycle to the ROB instead.
+            if plan.ndi_blocked && !self.threads[t].rob.is_full() {
+                ndi_blocked[t] = true;
+                self.counters.threads[t].ndi_blocked_cycles += 1;
+            }
+            plans.push(plan.candidates.into());
+        }
+
+        // Consume candidates round-robin, one instruction per thread per
+        // turn, until the shared width is exhausted.
+        let mut budget = width as u32;
+        let mut dispatched = 0u32;
+        let mut iq_full_noted = vec![false; n];
+        let mut progress = true;
+        while budget > 0 && progress {
+            progress = false;
+            for i in 0..n {
+                if budget == 0 {
+                    break;
+                }
+                let t = (self.rr + i) % n;
+                let Some(&cand) = plans[t].front() else { continue };
+                if self.iq.has_free_for(cand.non_ready) {
+                    plans[t].pop_front();
+                    self.dispatch_to_iq(t, cand);
+                    budget -= 1;
+                    dispatched += 1;
+                    progress = true;
+                } else if cand.dab_eligible && self.dab.len() < self.dab_size {
+                    plans[t].pop_front();
+                    self.dispatch_to_dab(t, cand);
+                    budget -= 1;
+                    dispatched += 1;
+                    progress = true;
+                } else {
+                    // IQ full: the thread cannot dispatch this cycle (the
+                    // IQ only fills during dispatch).
+                    if !iq_full_noted[t] {
+                        iq_full_noted[t] = true;
+                        self.counters.threads[t].iq_full_cycles += 1;
+                    }
+                    plans[t].clear();
+                }
+            }
+        }
+
+        // The paper's §3/§5 statistic: a cycle in which the dispatch of
+        // *all* threads stalls "due to the presence of instructions with 2
+        // non-ready operands from both threads" — i.e. every thread holds
+        // undispatched instructions and every one of them is blocked by the
+        // non-dispatchable condition. A thread with an empty buffer makes
+        // the cycle a fetch-supply stall, not a dispatch stall.
+        if (0..n).any(|t| !self.threads[t].dispatch_buf.is_empty()) {
+            self.counters.cycles_with_dispatch_work += 1;
+            if dispatched == 0 && (0..n).all(|t| ndi_blocked[t]) {
+                self.counters.all_threads_ndi_stall_cycles += 1;
+            }
+        }
+        dispatched
+    }
+
+    /// Remove `trace_idx` from a thread's dispatch buffer, reporting
+    /// whether an older instruction remains buffered (⇒ HDI dispatch).
+    fn take_from_buffer(&mut self, t: usize, trace_idx: u64) -> bool {
+        let buf = &mut self.threads[t].dispatch_buf;
+        let was_hdi = buf.front().map(|&f| f < trace_idx).unwrap_or(false);
+        let pos = buf
+            .iter()
+            .position(|&i| i == trace_idx)
+            .expect("dispatch candidate vanished from buffer");
+        buf.remove(pos);
+        was_hdi
+    }
+
+    fn dispatch_to_iq(&mut self, t: usize, cand: Candidate) {
+        let was_hdi = self.take_from_buffer(t, cand.trace_idx);
+        let now = self.now;
+        let (age, waiting, fu, non_ready) = {
+            let e = self.threads[t].rob.get_mut(cand.trace_idx).expect("dispatching unknown");
+            debug_assert_eq!(e.state, InstState::Renamed);
+            e.state = InstState::Dispatched;
+            e.dispatch_cycle = now;
+            e.dispatched_ooo = was_hdi;
+            e.ndi_dependent = cand.ndi_dependent;
+            (e.age, e.srcs, MachineDesc::fu_desc(e.inst.op).kind, 0u8)
+        };
+        // Compact the pending tags so position 0 holds the first non-ready
+        // source — in Half-Price mode position 1 is the slow-bus comparator,
+        // so single-tag instructions must use the fast one.
+        let mut pending = [None, None];
+        let mut nr = non_ready;
+        for src in waiting.iter().flatten() {
+            if !self.regs.is_ready(*src) {
+                pending[nr as usize] = Some(*src);
+                nr += 1;
+            }
+        }
+        {
+            let e = self.threads[t].rob.get_mut(cand.trace_idx).unwrap();
+            e.nonready_at_dispatch = nr;
+        }
+        self.iq
+            .insert(IqEntry { thread: t, trace_idx: cand.trace_idx, age, fu, waiting: pending });
+        let tc = &mut self.counters.threads[t];
+        tc.dispatched += 1;
+        tc.dispatched_by_nonready[nr.min(2) as usize] += 1;
+        if was_hdi {
+            tc.hdis_dispatched += 1;
+            if cand.ndi_dependent {
+                tc.hdis_dependent_on_ndi += 1;
+            }
+        }
+    }
+
+    fn dispatch_to_dab(&mut self, t: usize, cand: Candidate) {
+        let was_hdi = self.take_from_buffer(t, cand.trace_idx);
+        debug_assert!(!was_hdi, "the ROB-oldest instruction is never an HDI");
+        let now = self.now;
+        let age = {
+            let e = self.threads[t].rob.get_mut(cand.trace_idx).expect("DAB dispatch unknown");
+            debug_assert!(
+                e.srcs.iter().flatten().all(|p| self.regs.is_ready(*p)),
+                "DAB admits only ready instructions"
+            );
+            e.state = InstState::InDab;
+            e.dispatch_cycle = now;
+            e.age
+        };
+        // Keep the DAB age-ordered so issue is oldest-first.
+        let pos = self.dab.partition_point(|d| d.age < age);
+        self.dab.insert(pos, DabEntry { thread: t, trace_idx: cand.trace_idx, age });
+        let tc = &mut self.counters.threads[t];
+        tc.dispatched += 1;
+        tc.dab_dispatches += 1;
+        tc.dispatched_by_nonready[0] += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Rename.
+    // ------------------------------------------------------------------
+
+    fn rename_stage(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.width;
+        let mut progress = true;
+        while budget > 0 && progress {
+            progress = false;
+            for i in 0..n {
+                if budget == 0 {
+                    break;
+                }
+                let t = (self.rr + i) % n;
+                if self.try_rename_one(t) {
+                    budget -= 1;
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    fn try_rename_one(&mut self, t: usize) -> bool {
+        let now = self.now;
+        let cap = self.cfg.dispatch_buffer_cap;
+        // Peek resource needs.
+        let (trace_idx, mispredicted, inst) = {
+            let ctx = &mut self.threads[t];
+            let Some(front) = ctx.frontend.front().copied() else { return false };
+            if front.ready_at > now {
+                return false;
+            }
+            if ctx.rob.is_full() || ctx.dispatch_buf.len() >= cap {
+                return false;
+            }
+            let inst = front.inst;
+            if inst.op.is_mem() && ctx.lsq.is_full() {
+                return false;
+            }
+            (front.trace_idx, front.mispredicted, inst)
+        };
+        // Physical-register availability.
+        if let Some(d) = inst.real_dest() {
+            let class = d.class;
+            if self.regs.free_count(class) == 0 {
+                return false;
+            }
+        }
+        // All resources available: commit to renaming.
+        let mut srcs: [Option<PhysReg>; 2] = [None, None];
+        for (i, s) in inst.srcs.iter().enumerate() {
+            if let Some(a) = s {
+                if !a.is_zero() {
+                    srcs[i] = Some(self.threads[t].rat.lookup(*a));
+                }
+            }
+        }
+        let (dest, old_dest) = match inst.real_dest() {
+            Some(a) => {
+                let p = self.regs.alloc(a.class).expect("free count checked");
+                let old = self.threads[t].rat.rename(a, p);
+                (Some(p), Some((a, old)))
+            }
+            None => (None, None),
+        };
+        self.age_counter += 1;
+        let entry = InFlight {
+            trace_idx,
+            inst,
+            age: self.age_counter,
+            srcs,
+            dest,
+            old_dest,
+            state: InstState::Renamed,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+            mispredicted,
+            dispatched_ooo: false,
+            ndi_dependent: false,
+            nonready_at_dispatch: 0,
+            long_miss: false,
+        };
+        let ctx = &mut self.threads[t];
+        ctx.frontend.pop_front();
+        if let Some(mem) = inst.mem {
+            ctx.lsq.push(trace_idx, inst.op.is_store(), mem.addr);
+            // Remember the address so synthetic wrong-path loads revisit
+            // the thread's real data structures.
+            let at = ctx.recent_addrs_at;
+            ctx.recent_addrs[at] = mem.addr;
+            ctx.recent_addrs_at = (at + 1) % ctx.recent_addrs.len();
+        }
+        ctx.rob.push(entry);
+        ctx.dispatch_buf.push_back(trace_idx);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch: ICOUNT.2.8 with I-cache and branch prediction.
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        let n = self.threads.len();
+        let icounts: Vec<Option<usize>> = (0..n)
+            .map(|t| {
+                let ctx = &self.threads[t];
+                let mut eligible = ctx.fetch_gated_by.is_none()
+                    && ctx.fetch_blocked_until <= self.now
+                    && ctx.frontend.len() < self.frontend_cap
+                    && (!ctx.finished_fetch || ctx.wrongpath_of.is_some());
+                // STALL/FLUSH: a thread with an outstanding memory miss
+                // does not fetch until the miss returns.
+                if matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush)
+                    && ctx.outstanding_mem_misses > 0
+                {
+                    eligible = false;
+                }
+                eligible.then(|| match self.cfg.fetch_policy {
+                    // Round-robin: priority rotates each cycle.
+                    FetchPolicy::RoundRobin => (t + n - self.rr % n) % n,
+                    _ => {
+                        ctx.frontend.len()
+                            + ctx.dispatch_buf.len()
+                            + self.iq.thread_occupancy(t)
+                    }
+                })
+            })
+            .collect();
+        let picks = pick_fetch_threads(&icounts, self.cfg.fetch_threads_per_cycle as usize);
+
+        let mut budget = self.cfg.width;
+        let line_size = self.cfg.hierarchy.l1i.line_size as u64;
+        for t in picks {
+            if budget == 0 {
+                break;
+            }
+            // A thread on the wrong path fetches synthetic instructions
+            // (no trace, no I-cache modelling of the unpredicted stream).
+            if let Some(branch_idx) = self.threads[t].wrongpath_of {
+                let mut per_thread = self.cfg.width;
+                while budget > 0
+                    && per_thread > 0
+                    && self.threads[t].frontend.len() < self.frontend_cap
+                {
+                    let cursor = self.threads[t].fetch_cursor;
+                    let inst = self.gen_wrongpath_inst(t, cursor - branch_idx);
+                    let ready_at = self.now + self.cfg.frontend_depth as u64 - 2;
+                    self.threads[t].frontend.push_back(FrontEntry {
+                        trace_idx: cursor,
+                        inst,
+                        ready_at,
+                        mispredicted: false,
+                    });
+                    self.threads[t].fetch_cursor = cursor + 1;
+                    self.counters.threads[t].fetched += 1;
+                    self.counters.threads[t].wrong_path_fetched += 1;
+                    budget -= 1;
+                    per_thread -= 1;
+                }
+                continue;
+            }
+            // Probe the I-cache for the fetch group's line.
+            let cursor0 = self.threads[t].fetch_cursor;
+            let Some(first) = self.threads[t].trace.get(cursor0) else {
+                self.threads[t].finished_fetch = true;
+                continue;
+            };
+            let line = first.pc / line_size;
+            if self.threads[t].pending_ifetch_line == Some(line) {
+                // The miss we were blocked on has completed: the line is
+                // streaming in, so deliver the group now. Touch the cache
+                // to install/refresh the line without stalling again.
+                let _ = self.hier.access(AccessKind::Fetch, first.pc);
+            } else {
+                let extra = self.hier.access(AccessKind::Fetch, first.pc);
+                if extra > 0 {
+                    self.threads[t].fetch_blocked_until = self.now + extra as u64;
+                    self.threads[t].pending_ifetch_line = Some(line);
+                    continue;
+                }
+            }
+            self.threads[t].pending_ifetch_line = None;
+            let mut per_thread = self.cfg.width;
+            while budget > 0
+                && per_thread > 0
+                && self.threads[t].frontend.len() < self.frontend_cap
+            {
+                let cursor = self.threads[t].fetch_cursor;
+                let Some(inst) = self.threads[t].trace.get(cursor) else {
+                    self.threads[t].finished_fetch = true;
+                    break;
+                };
+                if inst.pc / line_size != line {
+                    break;
+                }
+                self.fetch_one(t, cursor, inst);
+                budget -= 1;
+                per_thread -= 1;
+                let ctx = &self.threads[t];
+                // A mispredicted branch ends the group: the machine
+                // continues on the wrong path (synthetic, next cycle) or
+                // stalls (fetch-gated mode).
+                if ctx.fetch_gated_by.is_some() || ctx.wrongpath_of.is_some() {
+                    break;
+                }
+                if inst.op.is_branch() && self.was_predicted_taken(t, cursor) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Fetch bookkeeping for one instruction; handles branch prediction.
+    fn fetch_one(&mut self, t: usize, cursor: u64, inst: TraceInst) {
+        let ready_at = self.now + self.cfg.frontend_depth as u64 - 2;
+        let mut mispredicted = false;
+        if let Some(b) = inst.branch {
+            let pred_taken = self.threads[t].gshare.predict_and_train(inst.pc, b.taken);
+            if pred_taken != b.taken {
+                mispredicted = true;
+                self.counters.threads[t].dir_mispredicts += 1;
+            } else if b.taken {
+                // Correct direction, but the BTB must also provide the
+                // right target for a taken branch.
+                match self.btb.lookup(inst.pc) {
+                    Some(target) if target == b.target => {}
+                    _ => {
+                        mispredicted = true;
+                        self.counters.threads[t].btb_mispredicts += 1;
+                    }
+                }
+            }
+            self.last_pred_taken = (t, cursor, pred_taken);
+        }
+        let ctx = &mut self.threads[t];
+        ctx.frontend.push_back(FrontEntry { trace_idx: cursor, inst, ready_at, mispredicted });
+        ctx.fetch_cursor = cursor + 1;
+        self.counters.threads[t].fetched += 1;
+        if mispredicted {
+            if self.cfg.wrong_path {
+                // Keep fetching — down the (synthetic) wrong path — until
+                // the branch resolves and squashes it.
+                self.threads[t].wrongpath_of = Some(cursor);
+            } else {
+                self.threads[t].fetch_gated_by = Some(cursor);
+            }
+        }
+    }
+
+    /// Synthesize one wrong-path instruction: a plausible mix of ALU work
+    /// and loads that touch the thread's recently used data, competing for
+    /// rename registers, queue entries and function units exactly like the
+    /// real wrong path in an execution-driven simulator.
+    fn gen_wrongpath_inst(&mut self, t: usize, seq_in_path: u64) -> TraceInst {
+        use smt_isa::ArchReg;
+        let ctx = &mut self.threads[t];
+        // xorshift64*
+        let mut x = ctx.wp_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        ctx.wp_rng = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // PCs walk away from the mispredicted target, staying line-local.
+        let pc = 0x00F0_0000 + ((t as u64) << 32) + (seq_in_path % 512) * 4;
+        // Operand profile mirrors real code (see the workload generator):
+        // destinations cycle through the hot registers, while second
+        // sources are mostly long-lived (r25..r30, almost always ready) —
+        // wrong paths are ordinary code, not artificially serial chains.
+        let hot = |v: u64| ArchReg::int(1 + (v % 24) as u8);
+        let long_lived = |v: u64| ArchReg::int(25 + (v % 5) as u8);
+        let src2 = |v: u64, sel: u64| {
+            if sel % 10 < 7 {
+                long_lived(v)
+            } else {
+                hot(v)
+            }
+        };
+        if r % 100 < 30 {
+            // Wrong-path load near recently used data (same cache sets).
+            let base = ctx.recent_addrs[(r as usize >> 8) % ctx.recent_addrs.len()];
+            let addr = base ^ ((r >> 16) & 0x3F8);
+            TraceInst::load(pc, hot(r >> 24), Some(src2(r >> 32, r >> 4)), addr)
+        } else {
+            TraceInst::alu(
+                pc,
+                hot(r >> 24),
+                Some(hot(r >> 32)),
+                if r & 1 == 0 { Some(src2(r >> 40, r >> 5)) } else { None },
+            )
+        }
+    }
+
+    fn was_predicted_taken(&self, t: usize, cursor: u64) -> bool {
+        let (lt, lc, taken) = self.last_pred_taken;
+        lt == t && lc == cursor && taken
+    }
+
+    // ------------------------------------------------------------------
+    // Watchdog-timer deadlock recovery.
+    // ------------------------------------------------------------------
+
+    fn watchdog_tick(&mut self, dispatched: u32) {
+        let DeadlockMode::Watchdog { timeout } = self.cfg.deadlock else { return };
+        let in_flight = self.threads.iter().any(|t| !t.drained());
+        if dispatched > 0 || !in_flight {
+            self.watchdog_remaining = timeout as u64;
+            return;
+        }
+        self.watchdog_remaining = self.watchdog_remaining.saturating_sub(1);
+        if self.watchdog_remaining == 0 {
+            self.watchdog_flush();
+            self.watchdog_remaining = timeout as u64;
+            self.counters.watchdog_flushes += 1;
+        }
+    }
+
+    /// Flush the whole pipeline and restart every thread from its oldest
+    /// uncommitted instruction (paper §4's watchdog recovery).
+    fn watchdog_flush(&mut self) {
+        let now = self.now;
+        for t in 0..self.threads.len() {
+            let squashed = self.threads[t].rob.squash_all();
+            for e in squashed {
+                // Youngest-first: restore the previous mapping and free the
+                // allocation this instruction made.
+                if let Some((areg, old)) = e.old_dest {
+                    self.threads[t].rat.restore(areg, old);
+                }
+                if let Some(d) = e.dest {
+                    self.regs.free(d);
+                }
+            }
+            let ctx = &mut self.threads[t];
+            ctx.frontend.clear();
+            ctx.dispatch_buf.clear();
+            ctx.lsq.clear();
+            ctx.fetch_cursor = ctx.rob.base();
+            ctx.fetch_gated_by = None;
+            ctx.fetch_blocked_until = now + 1;
+            ctx.pending_ifetch_line = None;
+            ctx.finished_fetch = false;
+            ctx.outstanding_mem_misses = 0;
+            ctx.wrongpath_of = None;
+            self.iq.squash_thread(t);
+        }
+        self.dab.clear();
+    }
+}

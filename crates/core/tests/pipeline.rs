@@ -1,0 +1,599 @@
+//! Pipeline-level tests driving the simulator with hand-written programs.
+
+use smt_core::{DeadlockMode, DispatchPolicy, RunOutcome, SimConfig, Simulator};
+use smt_isa::{ArchReg, TraceInst};
+use smt_workload::{InstGenerator, ProgramTrace};
+
+fn cfg(iq: usize, policy: DispatchPolicy) -> SimConfig {
+    let mut c = SimConfig::paper(iq, policy);
+    c.max_cycles = 500_000;
+    c
+}
+
+fn sim_of(programs: Vec<Vec<TraceInst>>, c: SimConfig) -> Simulator {
+    let streams: Vec<Box<dyn InstGenerator>> = programs
+        .into_iter()
+        .map(|p| Box::new(ProgramTrace::once(p)) as Box<dyn InstGenerator>)
+        .collect();
+    Simulator::new(c, streams)
+}
+
+/// PC helper: hand programs loop over a small (I-cache-resident) footprint
+/// so instruction-fetch behaves like real loop code rather than a cold
+/// straight-line sweep.
+fn pc_of(i: usize) -> u64 {
+    (i as u64 % 1024) * 4
+}
+
+/// A straight-line chain of dependent ALU ops.
+fn alu_chain(n: usize) -> Vec<TraceInst> {
+    (0..n)
+        .map(|i| {
+            TraceInst::alu(
+                pc_of(i),
+                ArchReg::int(1 + (i % 8) as u8),
+                Some(ArchReg::int(1 + ((i + 7) % 8) as u8)),
+                None,
+            )
+        })
+        .collect()
+}
+
+/// Independent ALU ops (maximal ILP).
+fn alu_independent(n: usize) -> Vec<TraceInst> {
+    (0..n)
+        .map(|i| TraceInst::alu(pc_of(i), ArchReg::int(1 + (i % 20) as u8), None, None))
+        .collect()
+}
+
+#[test]
+fn single_thread_program_commits_everything() {
+    let n = 500;
+    let mut sim = sim_of(vec![alu_independent(n)], cfg(64, DispatchPolicy::Traditional));
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n as u64);
+}
+
+#[test]
+fn all_policies_commit_identical_work() {
+    for policy in [
+        DispatchPolicy::Traditional,
+        DispatchPolicy::TwoOpBlock,
+        DispatchPolicy::TwoOpBlockOoo,
+        DispatchPolicy::TwoOpBlockOooFiltered,
+    ] {
+        let n = 400;
+        let mut sim =
+            sim_of(vec![alu_chain(n), alu_independent(n)], cfg(32, policy));
+        let outcome = sim.run(u64::MAX);
+        assert_eq!(outcome, RunOutcome::AllFinished, "{policy:?}");
+        assert_eq!(sim.counters().threads[0].committed, n as u64, "{policy:?} thread 0");
+        assert_eq!(sim.counters().threads[1].committed, n as u64, "{policy:?} thread 1");
+    }
+}
+
+#[test]
+fn independent_ops_run_faster_than_a_chain() {
+    // Long enough to amortize cold-start I-cache misses.
+    let n = 20_000;
+    let mut chain = sim_of(vec![alu_chain(n)], cfg(64, DispatchPolicy::Traditional));
+    chain.run(u64::MAX);
+    let mut indep = sim_of(vec![alu_independent(n)], cfg(64, DispatchPolicy::Traditional));
+    indep.run(u64::MAX);
+    let chain_ipc = chain.counters().throughput_ipc();
+    let indep_ipc = indep.counters().throughput_ipc();
+    assert!(
+        indep_ipc > 2.0 * chain_ipc,
+        "independent ILP {indep_ipc} should far exceed serial chain {chain_ipc}"
+    );
+    assert!(chain_ipc <= 1.05, "a dependent chain cannot exceed 1 IPC, got {chain_ipc}");
+}
+
+#[test]
+fn ipc_never_exceeds_machine_width() {
+    let mut sim = sim_of(vec![alu_independent(5_000)], cfg(128, DispatchPolicy::Traditional));
+    sim.run(u64::MAX);
+    assert!(sim.counters().throughput_ipc() <= 8.0);
+}
+
+#[test]
+fn cache_miss_slows_down_dependent_load() {
+    // Two programs: one whose loads hit a single hot line, one whose loads
+    // chase distinct lines (always cold).
+    // Both versions chase pointers (each load's address register is the
+    // previous load's destination), so load latencies serialize and the
+    // cache behaviour is what differentiates them.
+    let hot: Vec<TraceInst> = (0..400)
+        .map(|i| TraceInst::load(pc_of(i as usize), ArchReg::int(1), Some(ArchReg::int(1)), 0x1000))
+        .collect();
+    let cold: Vec<TraceInst> = (0..400)
+        .map(|i| {
+            TraceInst::load(pc_of(i as usize), ArchReg::int(1), Some(ArchReg::int(1)), 0x10_0000 + i * 4096)
+        })
+        .collect();
+    let mut h = sim_of(vec![hot], cfg(64, DispatchPolicy::Traditional));
+    h.run(u64::MAX);
+    let mut c = sim_of(vec![cold], cfg(64, DispatchPolicy::Traditional));
+    c.run(u64::MAX);
+    assert!(
+        c.counters().cycles > h.counters().cycles * 2,
+        "cold loads ({}) must be much slower than hot loads ({})",
+        c.counters().cycles,
+        h.counters().cycles
+    );
+}
+
+/// The Figure 2 scenario, end to end: a long-latency producer pair makes I2
+/// an NDI; under 2OP_BLOCK the thread stalls behind it, under OOO dispatch
+/// the machine keeps going and finishes sooner.
+fn figure2_program(n_repeats: usize) -> Vec<TraceInst> {
+    let mut prog = Vec::new();
+    let mut pc = 0u64;
+    for rep in 0..n_repeats {
+        let base = 0x100_0000 + (rep as u64) * 64 * 1024;
+        // I0: load r1 <- [cold] (long latency)
+        prog.push(TraceInst::load(pc, ArchReg::int(1), Some(ArchReg::int(20)), base));
+        pc += 4;
+        // I1: load r2 <- [cold] (long latency)
+        prog.push(TraceInst::load(pc, ArchReg::int(2), Some(ArchReg::int(21)), base + 4096));
+        pc += 4;
+        // I2: r3 <- r1 + r2   (two non-ready sources: the NDI)
+        prog.push(TraceInst::alu(pc, ArchReg::int(3), Some(ArchReg::int(1)), Some(ArchReg::int(2))));
+        pc += 4;
+        // I3..: a pile of independent work (the HDIs)
+        for k in 0..20 {
+            prog.push(TraceInst::alu(pc, ArchReg::int(4 + (k % 16)), Some(ArchReg::int(22)), None));
+            pc += 4;
+        }
+    }
+    prog
+}
+
+#[test]
+fn figure2_ooo_dispatch_beats_two_op_block() {
+    let prog = figure2_program(60);
+    let mut blocked = sim_of(vec![prog.clone()], cfg(32, DispatchPolicy::TwoOpBlock));
+    blocked.run(u64::MAX);
+    let mut ooo = sim_of(vec![prog], cfg(32, DispatchPolicy::TwoOpBlockOoo));
+    ooo.run(u64::MAX);
+    let b = blocked.counters().cycles;
+    let o = ooo.counters().cycles;
+    assert!(
+        o * 3 < b * 2,
+        "OOO dispatch ({o} cycles) should clearly beat 2OP_BLOCK ({b} cycles) on NDI-heavy code"
+    );
+    let hdis: u64 = ooo.counters().threads.iter().map(|t| t.hdis_dispatched).sum();
+    assert!(hdis > 0, "the HDIs must actually have been dispatched out of order");
+}
+
+#[test]
+fn two_op_block_never_dispatches_two_nonready() {
+    let prog = figure2_program(40);
+    let mut sim = sim_of(vec![prog], cfg(32, DispatchPolicy::TwoOpBlock));
+    sim.run(u64::MAX);
+    let t = &sim.counters().threads[0];
+    assert_eq!(
+        t.dispatched_by_nonready[2], 0,
+        "a 1-comparator IQ must never receive an instruction with 2 non-ready sources"
+    );
+    assert!(t.ndi_blocked_cycles > 0, "the NDIs must actually have blocked dispatch");
+}
+
+#[test]
+fn traditional_dispatches_two_nonready_instructions() {
+    let prog = figure2_program(40);
+    let mut sim = sim_of(vec![prog], cfg(32, DispatchPolicy::Traditional));
+    sim.run(u64::MAX);
+    assert!(
+        sim.counters().threads[0].dispatched_by_nonready[2] > 0,
+        "the traditional 2-comparator IQ should accept 2-non-ready instructions"
+    );
+}
+
+#[test]
+fn dab_prevents_deadlock_with_tiny_iq() {
+    // A tiny IQ plus OOO dispatch: younger dependent instructions can fill
+    // the IQ while the oldest is still undispatched — exactly the paper's
+    // deadlock scenario. The DAB must guarantee forward progress.
+    let mut prog = Vec::new();
+    let mut pc = 0;
+    for rep in 0..50u64 {
+        let base = 0x200_0000 + rep * 64 * 1024;
+        prog.push(TraceInst::load(pc, ArchReg::int(1), Some(ArchReg::int(20)), base));
+        pc += 4;
+        // Long chain of instructions dependent on the load.
+        for _ in 0..12 {
+            prog.push(TraceInst::alu(pc, ArchReg::int(1), Some(ArchReg::int(1)), None));
+            pc += 4;
+        }
+    }
+    let n = prog.len() as u64;
+    let mut c = cfg(4, DispatchPolicy::TwoOpBlockOoo);
+    c.deadlock = DeadlockMode::Dab { size: 2 };
+    let mut sim = sim_of(vec![prog], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n);
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn arbitrated_dab_also_prevents_deadlock() {
+    let prog = figure2_program(40);
+    let n = prog.len() as u64;
+    let mut c = cfg(4, DispatchPolicy::TwoOpBlockOoo);
+    c.deadlock = DeadlockMode::DabArbitrated { size: 2 };
+    let mut sim = sim_of(vec![prog], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n);
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn watchdog_mode_also_makes_progress() {
+    let prog = figure2_program(30);
+    let n = prog.len() as u64;
+    let mut c = cfg(4, DispatchPolicy::TwoOpBlockOoo);
+    c.deadlock = DeadlockMode::Watchdog { timeout: 400 };
+    let mut sim = sim_of(vec![prog], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n);
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn tag_eliminated_scheduler_completes_all_work() {
+    let n = 400;
+    let mut sim = sim_of(
+        vec![figure2_program(20), alu_chain(n)],
+        cfg(32, DispatchPolicy::TagEliminated),
+    );
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[1].committed, n as u64);
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn tag_eliminated_dispatches_two_nonready_into_two_comp_entries() {
+    let prog = figure2_program(40);
+    let mut c = cfg(32, DispatchPolicy::TagEliminated);
+    c.iq_layout = Some([8, 16, 8]);
+    let mut sim = sim_of(vec![prog], c);
+    sim.run(u64::MAX);
+    let t = &sim.counters().threads[0];
+    assert!(
+        t.dispatched_by_nonready[2] > 0,
+        "2-non-ready instructions must reach the 2-comparator entries"
+    );
+}
+
+#[test]
+fn tag_eliminated_sits_between_two_op_block_and_traditional() {
+    // Same comparator budget as 2OP_BLOCK (64 per 64-entry queue), but the
+    // heterogeneous layout can hold some 2-non-ready instructions: on
+    // NDI-heavy code it should not do worse than 2OP_BLOCK.
+    let prog = figure2_program(80);
+    let run = |policy: DispatchPolicy| {
+        let mut sim = sim_of(vec![prog.clone()], cfg(32, policy));
+        sim.run(u64::MAX);
+        sim.counters().cycles
+    };
+    let blocked = run(DispatchPolicy::TwoOpBlock);
+    let tag_elim = run(DispatchPolicy::TagEliminated);
+    assert!(
+        tag_elim <= blocked,
+        "tag-eliminated ({tag_elim}) should not trail 2OP_BLOCK ({blocked}) on NDI-heavy code"
+    );
+}
+
+#[test]
+fn wrong_path_mode_completes_and_squashes() {
+    let mut c = cfg(48, DispatchPolicy::TwoOpBlockOoo);
+    c.wrong_path = true;
+    // A branchy program with an unlearnable pattern forces mispredicts.
+    let prog: Vec<TraceInst> = (0..4_000)
+        .map(|i| {
+            if i % 4 == 3 {
+                let x = (i * 2654435761u64) >> 13 & 1;
+                TraceInst::branch(pc_of(i as usize), Some(ArchReg::int(20)), x == 1, 64)
+            } else {
+                TraceInst::alu(pc_of(i as usize), ArchReg::int(1 + (i % 8) as u8), None, None)
+            }
+        })
+        .collect();
+    let n = prog.len() as u64;
+    let mut sim = sim_of(vec![prog], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n, "wrong-path work never commits");
+    assert!(
+        sim.counters().threads[0].wrong_path_fetched > 0,
+        "mispredicts must have fetched down the wrong path"
+    );
+    assert!(
+        sim.counters().threads[0].fetched > n,
+        "wrong-path instructions inflate the fetch count"
+    );
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn wrong_path_costs_cycles_but_preserves_results() {
+    let prog = figure2_program(50);
+    let n = prog.len() as u64;
+    let run = |wrong_path: bool| {
+        let mut c = cfg(32, DispatchPolicy::Traditional);
+        c.wrong_path = wrong_path;
+        let mut sim = sim_of(vec![prog.clone()], c);
+        assert_eq!(sim.run(u64::MAX), RunOutcome::AllFinished);
+        assert_eq!(sim.counters().threads[0].committed, n);
+        sim.assert_quiescent_invariants();
+        sim.counters().cycles
+    };
+    // figure2_program has no branches, so both modes behave identically.
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn half_price_scheduler_completes_with_mild_slowdown() {
+    // The slow second tag can only add cycles, never change results.
+    let prog = figure2_program(60);
+    let n = prog.len() as u64;
+    let mut trad = sim_of(vec![prog.clone()], cfg(32, DispatchPolicy::Traditional));
+    trad.run(u64::MAX);
+    let mut hp = sim_of(vec![prog], cfg(32, DispatchPolicy::HalfPrice));
+    let outcome = hp.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(hp.counters().threads[0].committed, n);
+    hp.assert_quiescent_invariants();
+    let (t, h) = (trad.counters().cycles, hp.counters().cycles);
+    assert!(h >= t, "the slow bus cannot make things faster: {h} vs {t}");
+    assert!(h <= t + t / 5, "Half-Price should cost only a few percent: {h} vs {t}");
+}
+
+#[test]
+fn packed_scheduler_completes_and_packs() {
+    let n = 600;
+    // Mostly single-source work: the packing queue should behave like a
+    // double-capacity 2OP_BLOCK queue.
+    let mut sim = sim_of(
+        vec![alu_chain(n), alu_independent(n)],
+        cfg(16, DispatchPolicy::Packed), // 8 physical entries, 16 logical
+    );
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().total_committed(), 2 * n as u64);
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn packed_scheduler_handles_two_nonready_instructions() {
+    let prog = figure2_program(40);
+    let n = prog.len() as u64;
+    let mut sim = sim_of(vec![prog], cfg(32, DispatchPolicy::Packed));
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n);
+    assert!(
+        sim.counters().threads[0].dispatched_by_nonready[2] > 0,
+        "wide occupants must pass through the packed queue"
+    );
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn flush_fetch_policy_completes_and_flushes() {
+    use smt_core::config::FetchPolicy;
+    // Memory-missing loads followed by dependent work: FLUSH should squash
+    // and refetch the dependents while the miss is outstanding.
+    let prog = figure2_program(60);
+    let n = prog.len() as u64;
+    let mut c = cfg(32, DispatchPolicy::Traditional);
+    c.fetch_policy = FetchPolicy::Flush;
+    let mut sim = sim_of(vec![prog.clone(), alu_independent(800)], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n);
+    assert!(
+        sim.counters().fetch_policy_flushes > 0,
+        "memory misses must have triggered FLUSH squashes"
+    );
+    assert!(
+        sim.counters().threads[0].fetched > n,
+        "flushed instructions are fetched more than once"
+    );
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn stall_fetch_policy_completes() {
+    use smt_core::config::FetchPolicy;
+    let prog = figure2_program(40);
+    let n = prog.len() as u64;
+    let mut c = cfg(32, DispatchPolicy::Traditional);
+    c.fetch_policy = FetchPolicy::Stall;
+    let mut sim = sim_of(vec![prog, alu_independent(600)], c);
+    assert_eq!(sim.run(u64::MAX), RunOutcome::AllFinished);
+    assert_eq!(sim.counters().threads[0].committed, n);
+    assert_eq!(sim.counters().fetch_policy_flushes, 0, "STALL never squashes");
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn round_robin_fetch_policy_completes() {
+    use smt_core::config::FetchPolicy;
+    let mut c = cfg(32, DispatchPolicy::Traditional);
+    c.fetch_policy = FetchPolicy::RoundRobin;
+    let mut sim = sim_of(vec![alu_chain(500), alu_independent(500)], c);
+    assert_eq!(sim.run(u64::MAX), RunOutcome::AllFinished);
+    assert_eq!(sim.counters().total_committed(), 1000);
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn flush_protects_coscheduled_thread_from_memory_hog() {
+    use smt_core::config::FetchPolicy;
+    // Thread 0 misses to memory constantly; thread 1 is pure compute.
+    // While the hog's misses are outstanding, FLUSH frees the shared IQ,
+    // so the compute thread should reach its commit target at least as
+    // fast as under plain ICOUNT (the effect reported by Tullsen & Brown
+    // [15] — FLUSH trades the hog's memory-level parallelism for
+    // co-runner throughput).
+    let hog = figure2_program(2_000);
+    let compute = alu_independent(30_000);
+    let run = |policy: FetchPolicy| {
+        let mut c = cfg(32, DispatchPolicy::Traditional);
+        c.fetch_policy = policy;
+        let mut sim = sim_of(vec![hog.clone(), compute.clone()], c);
+        // Stop when the compute thread commits 10k (the hog is far slower).
+        sim.run(10_000);
+        sim.counters().cycles
+    };
+    let icount = run(FetchPolicy::ICount);
+    let flush = run(FetchPolicy::Flush);
+    assert!(
+        flush <= icount + icount / 10,
+        "compute thread under FLUSH ({flush} cycles) should be at least as fast as          under ICOUNT ({icount} cycles)"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut sim = sim_of(
+            vec![figure2_program(30), alu_chain(300)],
+            cfg(48, DispatchPolicy::TwoOpBlockOoo),
+        );
+        sim.run(u64::MAX);
+        (sim.counters().cycles, sim.counters().total_committed())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn store_load_forwarding_is_fast() {
+    // Store then immediately load the same address, repeatedly, at cold
+    // addresses: with forwarding the load never pays the memory latency.
+    let mut prog = Vec::new();
+    let mut pc = 0;
+    for rep in 0..200u64 {
+        let addr = 0x300_0000 + rep * 8;
+        prog.push(TraceInst::store(pc, Some(ArchReg::int(20)), Some(ArchReg::int(21)), addr));
+        pc += 4;
+        prog.push(TraceInst::load(pc, ArchReg::int(1), Some(ArchReg::int(22)), addr));
+        pc += 4;
+    }
+    let mut sim = sim_of(vec![prog], cfg(64, DispatchPolicy::Traditional));
+    sim.run(u64::MAX);
+    // 400 instructions; without forwarding each load would cost ~160 cycles
+    // (cold lines, one per iteration: 200 * 160 = 32000 cycles minimum).
+    assert!(
+        sim.counters().cycles < 8_000,
+        "forwarded loads should avoid memory latency, took {} cycles",
+        sim.counters().cycles
+    );
+}
+
+#[test]
+fn stop_rule_matches_paper_semantics() {
+    // "we stopped the simulations after N instructions from any thread had
+    // committed" — the faster thread triggers the stop.
+    let mut sim = sim_of(
+        vec![alu_independent(100_000), alu_chain(100_000)],
+        cfg(64, DispatchPolicy::Traditional),
+    );
+    let outcome = sim.run(1_000);
+    assert_eq!(outcome, RunOutcome::TargetReached);
+    let c = &sim.counters().threads;
+    assert!(c[0].committed >= 1_000 || c[1].committed >= 1_000);
+    assert!(c[0].committed.max(c[1].committed) < 1_200, "stop should be prompt");
+}
+
+#[test]
+fn mispredicted_branches_cost_cycles() {
+    // All-taken branches train perfectly; alternating-with-noise ones hurt.
+    let well_predicted: Vec<TraceInst> = (0..6_000)
+        .map(|i| {
+            if i % 3 == 2 {
+                TraceInst::branch(pc_of(i as usize), Some(ArchReg::int(20)), false, 0)
+            } else {
+                TraceInst::alu(pc_of(i as usize), ArchReg::int(1 + (i % 8) as u8), None, None)
+            }
+        })
+        .collect();
+    // Branch outcome flips based on a pattern gShare cannot learn (period
+    // longer than the history register: pseudo-random via bit mixing).
+    let poorly_predicted: Vec<TraceInst> = (0..6_000)
+        .map(|i| {
+            if i % 3 == 2 {
+                let x = (i * 2654435761u64) >> 13 & 1;
+                TraceInst::branch(pc_of(i as usize), Some(ArchReg::int(20)), x == 1, 8 * ((i % 7) + 2))
+            } else {
+                TraceInst::alu(pc_of(i as usize), ArchReg::int(1 + (i % 8) as u8), None, None)
+            }
+        })
+        .collect();
+    let mut good = sim_of(vec![well_predicted], cfg(64, DispatchPolicy::Traditional));
+    good.run(u64::MAX);
+    let mut bad = sim_of(vec![poorly_predicted], cfg(64, DispatchPolicy::Traditional));
+    bad.run(u64::MAX);
+    assert!(
+        bad.counters().cycles > good.counters().cycles * 3 / 2,
+        "mispredictions should cost cycles: good={} bad={}",
+        good.counters().cycles,
+        bad.counters().cycles
+    );
+    assert!(bad.counters().threads[0].mispredicts > good.counters().threads[0].mispredicts);
+}
+
+#[test]
+fn two_threads_share_the_machine_productively() {
+    let n = 3_000;
+    let mut solo = sim_of(vec![alu_chain(n)], cfg(64, DispatchPolicy::Traditional));
+    solo.run(u64::MAX);
+    let mut duo =
+        sim_of(vec![alu_chain(n), alu_chain(n)], cfg(64, DispatchPolicy::Traditional));
+    duo.run(u64::MAX);
+    // Two serial chains interleave almost perfectly on an SMT core: the
+    // pair should take far less than twice the solo time.
+    assert!(
+        duo.counters().cycles < solo.counters().cycles * 3 / 2,
+        "SMT should overlap two serial chains: solo={} duo={}",
+        solo.counters().cycles,
+        duo.counters().cycles
+    );
+}
+
+#[test]
+fn empty_program_finishes_immediately() {
+    let mut sim = sim_of(vec![vec![]], cfg(32, DispatchPolicy::Traditional));
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished);
+    assert_eq!(sim.counters().total_committed(), 0);
+}
+
+#[test]
+fn cycle_limit_reported() {
+    let mut c = cfg(32, DispatchPolicy::Traditional);
+    c.max_cycles = 10;
+    let mut sim = sim_of(vec![alu_chain(10_000)], c);
+    assert_eq!(sim.run(u64::MAX), RunOutcome::CycleLimit);
+}
+
+#[test]
+fn reset_measurement_keeps_machine_warm() {
+    let mut sim = sim_of(vec![alu_independent(4_000)], cfg(64, DispatchPolicy::Traditional));
+    sim.run(1_000);
+    let warm_cycles_first = sim.counters().cycles;
+    sim.reset_measurement();
+    assert_eq!(sim.counters().cycles, 0);
+    assert_eq!(sim.counters().total_committed(), 0);
+    sim.run(1_000);
+    assert!(sim.counters().threads[0].committed >= 1_000);
+    assert!(sim.counters().cycles > 0);
+    let _ = warm_cycles_first;
+}

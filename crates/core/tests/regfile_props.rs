@@ -1,0 +1,107 @@
+//! Property tests on the physical register file and rename table:
+//! conservation and aliasing invariants under random alloc/free/rename
+//! sequences, including squash-style rollback.
+
+use proptest::prelude::*;
+use smt_core::regfile::PhysRegFile;
+use smt_core::rename::RenameTable;
+use smt_isa::{ArchReg, RegClass};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Rename architectural register `r` to a fresh physical register.
+    Rename { r: u8 },
+    /// Commit the oldest outstanding rename (free its old mapping).
+    CommitOldest,
+    /// Squash the youngest outstanding rename (restore + free new mapping).
+    SquashYoungest,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..30).prop_map(|r| Op::Rename { r }),
+        2 => Just(Op::CommitOldest),
+        2 => Just(Op::SquashYoungest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn conservation_under_random_rename_commit_squash(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+    ) {
+        let total = 96usize;
+        let mut regs = PhysRegFile::new(total, 64);
+        let mut rat = RenameTable::new(&mut regs);
+        // Outstanding renames, oldest first: (areg, old_mapping, new_mapping).
+        let mut outstanding = std::collections::VecDeque::new();
+
+        for op in &ops {
+            match op {
+                Op::Rename { r } => {
+                    let areg = ArchReg::int(*r);
+                    if let Some(new) = regs.alloc(RegClass::Int) {
+                        let old = rat.rename(areg, new);
+                        outstanding.push_back((areg, old, new));
+                    }
+                }
+                Op::CommitOldest => {
+                    if let Some((_, old, new)) = outstanding.pop_front() {
+                        regs.set_ready(new); // the value was produced
+                        regs.free(old);
+                    }
+                }
+                Op::SquashYoungest => {
+                    if let Some((areg, old, new)) = outstanding.pop_back() {
+                        rat.restore(areg, old);
+                        regs.free(new);
+                    }
+                }
+            }
+            // Invariant: free + RAT-mapped + (outstanding old mappings that
+            // are shadowed, i.e. not currently in the RAT) == total.
+            let mapped: std::collections::HashSet<_> =
+                rat.mappings().iter().copied().filter(|p| p.class == RegClass::Int).collect();
+            let shadowed = outstanding
+                .iter()
+                .filter(|(_, old, _)| !mapped.contains(old))
+                .count();
+            prop_assert_eq!(
+                regs.free_count(RegClass::Int) + mapped.len() + shadowed,
+                total,
+                "integer register conservation violated"
+            );
+        }
+
+        // Unwind everything; the initial state must be fully restored.
+        while let Some((areg, old, new)) = outstanding.pop_back() {
+            rat.restore(areg, old);
+            regs.free(new);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &p in rat.mappings() {
+            prop_assert!(seen.insert(p), "rename table aliases {:?} after unwind", p);
+            prop_assert!(regs.is_ready(p), "architectural state must be ready");
+        }
+        prop_assert_eq!(regs.free_count(RegClass::Int), total - 32);
+    }
+
+    #[test]
+    fn rat_mappings_never_alias(ops in proptest::collection::vec(0u8..30, 1..200)) {
+        let mut regs = PhysRegFile::new(256, 64);
+        let mut rat = RenameTable::new(&mut regs);
+        let mut live_old = Vec::new();
+        for r in ops {
+            if let Some(new) = regs.alloc(RegClass::Int) {
+                let old = rat.rename(ArchReg::int(r), new);
+                live_old.push(old);
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &p in rat.mappings() {
+                prop_assert!(seen.insert(p), "two architectural registers map to {:?}", p);
+            }
+        }
+    }
+}

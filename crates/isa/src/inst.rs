@@ -1,0 +1,215 @@
+//! Dynamic-instruction representation.
+//!
+//! Workload generators emit a stream of [`TraceInst`] values — the dynamic
+//! (post-control-flow) instruction trace of one thread. The pipeline model
+//! consumes these, renames the architectural registers they name, and tracks
+//! them through the machine.
+
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+use serde::{Deserialize, Serialize};
+
+/// Memory behaviour of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemInfo {
+    /// Effective virtual address of the access.
+    pub addr: u64,
+    /// Access size in bytes (informational; the cache model works on lines).
+    pub size: u8,
+}
+
+/// Control-flow behaviour of a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Actual (trace) outcome: taken or not taken.
+    pub taken: bool,
+    /// Actual target if taken.
+    pub target: u64,
+    /// Whether the branch is unconditional (always taken, direction trivially
+    /// predictable; only the target needs the BTB).
+    pub unconditional: bool,
+}
+
+/// One dynamic instruction of a thread's trace.
+///
+/// At most two register sources and at most one register destination — the
+/// structural property that lets a 2OP_BLOCK issue queue get away with a
+/// single tag comparator per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceInst {
+    /// Program counter of this instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Register sources (zero registers and `None` are always ready).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Register destination, if any.
+    pub dest: Option<ArchReg>,
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemInfo>,
+    /// Branch behaviour, for control-transfer instructions.
+    pub branch: Option<BranchInfo>,
+}
+
+impl TraceInst {
+    /// A simple integer ALU op `dest <- src1 op src2` at `pc`.
+    pub fn alu(pc: u64, dest: ArchReg, src1: Option<ArchReg>, src2: Option<ArchReg>) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::IntAlu,
+            srcs: [src1, src2],
+            dest: Some(dest),
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A load `dest <- [addr_base]`.
+    pub fn load(pc: u64, dest: ArchReg, base: Option<ArchReg>, addr: u64) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::Load,
+            srcs: [base, None],
+            dest: Some(dest),
+            mem: Some(MemInfo { addr, size: 8 }),
+            branch: None,
+        }
+    }
+
+    /// A store `[addr_base] <- data`.
+    pub fn store(pc: u64, data: Option<ArchReg>, base: Option<ArchReg>, addr: u64) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::Store,
+            srcs: [data, base],
+            dest: None,
+            mem: Some(MemInfo { addr, size: 8 }),
+            branch: None,
+        }
+    }
+
+    /// A conditional branch on `cond`.
+    pub fn branch(pc: u64, cond: Option<ArchReg>, taken: bool, target: u64) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::Branch,
+            srcs: [cond, None],
+            dest: None,
+            mem: None,
+            branch: Some(BranchInfo { taken, target, unconditional: false }),
+        }
+    }
+
+    /// Number of register sources that are real (present and not the zero
+    /// register) — the quantity the dispatch stage counts ready bits for.
+    #[inline]
+    pub fn num_real_srcs(&self) -> usize {
+        self.srcs
+            .iter()
+            .filter(|s| s.map(|r| !r.is_zero()).unwrap_or(false))
+            .count()
+    }
+
+    /// Iterator over the real (non-zero, present) source registers.
+    #[inline]
+    pub fn real_srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied().filter(|r| !r.is_zero())
+    }
+
+    /// The real destination register, if the instruction writes one.
+    ///
+    /// Writes to the zero register are architectural no-ops and are treated
+    /// as having no destination.
+    #[inline]
+    pub fn real_dest(&self) -> Option<ArchReg> {
+        self.dest.filter(|r| !r.is_zero())
+    }
+
+    /// Sanity-check structural invariants of the instruction.
+    ///
+    /// Returns an error string describing the first violated invariant, if
+    /// any. Used by the workload generators' self-tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.op.is_mem() && self.mem.is_none() {
+            return Err(format!("{} instruction without mem info at pc {:#x}", self.op, self.pc));
+        }
+        if !self.op.is_mem() && self.mem.is_some() {
+            return Err(format!("{} instruction with mem info at pc {:#x}", self.op, self.pc));
+        }
+        if self.op.is_branch() != self.branch.is_some() {
+            return Err(format!("branch info mismatch for {} at pc {:#x}", self.op, self.pc));
+        }
+        if self.op.is_branch() && self.dest.is_some() {
+            return Err(format!("branch with destination at pc {:#x}", self.pc));
+        }
+        if self.op.is_store() && self.dest.is_some() {
+            return Err(format!("store with destination at pc {:#x}", self.pc));
+        }
+        if !self.op.is_store() && !self.op.is_branch() && self.real_dest().is_none() && self.dest.is_none() {
+            // Destination-less ALU ops are permitted (e.g. effectful nops),
+            // but loads must produce a value.
+            if self.op.is_load() {
+                return Err(format!("load without destination at pc {:#x}", self.pc));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+
+    #[test]
+    fn real_src_counting_ignores_zero_and_none() {
+        let i = TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::int(2)), None);
+        assert_eq!(i.num_real_srcs(), 1);
+        let j = TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::zero_int()), Some(ArchReg::int(3)));
+        assert_eq!(j.num_real_srcs(), 1);
+        let k = TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::int(2)), Some(ArchReg::int(3)));
+        assert_eq!(k.num_real_srcs(), 2);
+    }
+
+    #[test]
+    fn real_dest_filters_zero() {
+        let i = TraceInst::alu(0, ArchReg::zero_int(), Some(ArchReg::int(2)), None);
+        assert_eq!(i.real_dest(), None);
+        let j = TraceInst::alu(0, ArchReg::int(4), None, None);
+        assert_eq!(j.real_dest(), Some(ArchReg::int(4)));
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(TraceInst::alu(0, ArchReg::int(1), None, None).validate().is_ok());
+        assert!(TraceInst::load(4, ArchReg::int(1), Some(ArchReg::int(2)), 0x1000)
+            .validate()
+            .is_ok());
+        assert!(TraceInst::store(8, Some(ArchReg::int(1)), Some(ArchReg::int(2)), 0x1000)
+            .validate()
+            .is_ok());
+        assert!(TraceInst::branch(12, Some(ArchReg::int(1)), true, 0x40).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        let mut i = TraceInst::alu(0, ArchReg::int(1), None, None);
+        i.mem = Some(MemInfo { addr: 0, size: 8 });
+        assert!(i.validate().is_err());
+
+        let mut j = TraceInst::load(0, ArchReg::int(1), None, 0);
+        j.mem = None;
+        assert!(j.validate().is_err());
+
+        let mut k = TraceInst::branch(0, None, true, 0);
+        k.dest = Some(ArchReg::int(1));
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn store_has_no_dest() {
+        let s = TraceInst::store(0, Some(ArchReg::int(1)), Some(ArchReg::int(2)), 0x100);
+        assert_eq!(s.real_dest(), None);
+        assert_eq!(s.num_real_srcs(), 2);
+    }
+}

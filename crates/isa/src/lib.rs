@@ -1,0 +1,25 @@
+//! Instruction-set and machine model for the SMT simulator.
+//!
+//! This crate defines the *architectural* vocabulary shared by every other
+//! crate in the workspace:
+//!
+//! * [`OpClass`] — the operation classes of the simulated RISC ISA (an
+//!   Alpha-like machine with at most two register sources and one register
+//!   destination per instruction, the property the 2OP_BLOCK scheduler of
+//!   Sharkey & Ponomarev relies on);
+//! * [`ArchReg`] — architectural registers (separate integer and
+//!   floating-point files);
+//! * [`TraceInst`] — one dynamic instruction as produced by a workload
+//!   generator;
+//! * [`MachineDesc`] — the function-unit inventory and latencies of Table 1
+//!   of the paper.
+
+pub mod inst;
+pub mod machine;
+pub mod op;
+pub mod reg;
+
+pub use inst::{BranchInfo, MemInfo, TraceInst};
+pub use machine::{FuDesc, FuKind, MachineDesc};
+pub use op::OpClass;
+pub use reg::{ArchReg, RegClass, NUM_ARCH_FP, NUM_ARCH_INT};

@@ -1,0 +1,171 @@
+//! Function-unit inventory and latency table (Table 1 of the paper).
+
+use crate::op::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// A function-unit pool kind.
+///
+/// Units within one pool are interchangeable; an operation class maps to
+/// exactly one pool. The pools correspond to the "Function Units and Lat"
+/// row of Table 1:
+///
+/// * 8 integer ALUs (add 1/1)
+/// * 4 integer multiply/divide units (mult 3/1, div 20/19)
+/// * 4 load/store ports (2/1)
+/// * 8 FP adders (2/1)
+/// * 4 FP multiply/divide/sqrt units (mult 4/1, div 12/12, sqrt 24/24)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALU pool (also executes branches).
+    IntAlu,
+    /// Integer multiply/divide pool.
+    IntMultDiv,
+    /// Load/store port pool.
+    LdSt,
+    /// Floating-point adder pool.
+    FpAdd,
+    /// Floating-point multiply/divide/sqrt pool.
+    FpMultDivSqrt,
+}
+
+impl FuKind {
+    /// All pool kinds, in a fixed order usable as an array index.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::IntAlu,
+        FuKind::IntMultDiv,
+        FuKind::LdSt,
+        FuKind::FpAdd,
+        FuKind::FpMultDivSqrt,
+    ];
+
+    /// Dense index of this pool kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMultDiv => 1,
+            FuKind::LdSt => 2,
+            FuKind::FpAdd => 3,
+            FuKind::FpMultDivSqrt => 4,
+        }
+    }
+}
+
+/// Latency/occupancy descriptor for one operation class on its pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuDesc {
+    /// Pool that executes this operation class.
+    pub kind: FuKind,
+    /// Result latency in cycles (issue → result available for dependents).
+    /// For loads this is the *address-generation plus L1-hit* latency; cache
+    /// misses extend it dynamically.
+    pub latency: u32,
+    /// Issue interval: cycles the unit stays busy before accepting another
+    /// operation (1 = fully pipelined).
+    pub issue_interval: u32,
+}
+
+/// The machine's function-unit inventory, Table 1 defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineDesc {
+    /// Number of units in each pool, indexed by [`FuKind::index`].
+    pub pool_sizes: [u32; 5],
+}
+
+impl Default for MachineDesc {
+    fn default() -> Self {
+        MachineDesc::paper()
+    }
+}
+
+impl MachineDesc {
+    /// The configuration of Table 1: 8 IntAlu, 4 IntMult/Div, 4 Ld/St ports,
+    /// 8 FpAdd, 4 FpMult/Div/Sqrt.
+    pub fn paper() -> Self {
+        MachineDesc { pool_sizes: [8, 4, 4, 8, 4] }
+    }
+
+    /// Units available in the pool executing `kind`.
+    #[inline]
+    pub fn pool_size(&self, kind: FuKind) -> u32 {
+        self.pool_sizes[kind.index()]
+    }
+
+    /// Latency/occupancy descriptor for an operation class (Table 1).
+    ///
+    /// The load descriptor covers address generation and the L1 hit path
+    /// ("4 Load/Store (2/1)"); the dynamic memory latency from the cache
+    /// hierarchy is added by the execution model.
+    pub fn fu_desc(op: OpClass) -> FuDesc {
+        match op {
+            OpClass::IntAlu => FuDesc { kind: FuKind::IntAlu, latency: 1, issue_interval: 1 },
+            OpClass::Branch => FuDesc { kind: FuKind::IntAlu, latency: 1, issue_interval: 1 },
+            OpClass::IntMult => FuDesc { kind: FuKind::IntMultDiv, latency: 3, issue_interval: 1 },
+            OpClass::IntDiv => FuDesc { kind: FuKind::IntMultDiv, latency: 20, issue_interval: 19 },
+            OpClass::Load => FuDesc { kind: FuKind::LdSt, latency: 2, issue_interval: 1 },
+            OpClass::Store => FuDesc { kind: FuKind::LdSt, latency: 2, issue_interval: 1 },
+            OpClass::FpAdd => FuDesc { kind: FuKind::FpAdd, latency: 2, issue_interval: 1 },
+            OpClass::FpMult => {
+                FuDesc { kind: FuKind::FpMultDivSqrt, latency: 4, issue_interval: 1 }
+            }
+            OpClass::FpDiv => {
+                FuDesc { kind: FuKind::FpMultDivSqrt, latency: 12, issue_interval: 12 }
+            }
+            OpClass::FpSqrt => {
+                FuDesc { kind: FuKind::FpMultDivSqrt, latency: 24, issue_interval: 24 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pool_sizes_match_table1() {
+        let m = MachineDesc::paper();
+        assert_eq!(m.pool_size(FuKind::IntAlu), 8);
+        assert_eq!(m.pool_size(FuKind::IntMultDiv), 4);
+        assert_eq!(m.pool_size(FuKind::LdSt), 4);
+        assert_eq!(m.pool_size(FuKind::FpAdd), 8);
+        assert_eq!(m.pool_size(FuKind::FpMultDivSqrt), 4);
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(MachineDesc::fu_desc(OpClass::IntAlu).latency, 1);
+        assert_eq!(MachineDesc::fu_desc(OpClass::IntMult).latency, 3);
+        let idiv = MachineDesc::fu_desc(OpClass::IntDiv);
+        assert_eq!((idiv.latency, idiv.issue_interval), (20, 19));
+        assert_eq!(MachineDesc::fu_desc(OpClass::Load).latency, 2);
+        assert_eq!(MachineDesc::fu_desc(OpClass::FpAdd).latency, 2);
+        assert_eq!(MachineDesc::fu_desc(OpClass::FpMult).latency, 4);
+        let fdiv = MachineDesc::fu_desc(OpClass::FpDiv);
+        assert_eq!((fdiv.latency, fdiv.issue_interval), (12, 12));
+        let fsqrt = MachineDesc::fu_desc(OpClass::FpSqrt);
+        assert_eq!((fsqrt.latency, fsqrt.issue_interval), (24, 24));
+    }
+
+    #[test]
+    fn every_op_class_has_a_pool() {
+        for op in OpClass::ALL {
+            let d = MachineDesc::fu_desc(op);
+            assert!(d.latency >= 1, "{op} latency");
+            assert!(d.issue_interval >= 1, "{op} issue interval");
+            assert!(MachineDesc::paper().pool_size(d.kind) > 0, "{op} pool empty");
+        }
+    }
+
+    #[test]
+    fn fukind_index_is_dense_and_consistent() {
+        for (i, k) in FuKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn branches_use_int_alu() {
+        assert_eq!(MachineDesc::fu_desc(OpClass::Branch).kind, FuKind::IntAlu);
+    }
+}

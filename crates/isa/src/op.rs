@@ -1,0 +1,156 @@
+//! Operation classes of the simulated ISA.
+
+use serde::{Deserialize, Serialize};
+
+/// The operation class of a dynamic instruction.
+///
+/// Classes map 1:1 onto the function-unit/latency rows of Table 1 in the
+/// paper. The ISA has at most **two** register source operands per
+/// instruction — the property the 2OP_BLOCK issue queue (one tag comparator
+/// per entry) depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer add/logical/shift/compare. Latency 1, fully pipelined.
+    IntAlu,
+    /// Integer multiply. Latency 3, issue interval 1.
+    IntMult,
+    /// Integer divide. Latency 20, issue interval 19 (mostly unpipelined).
+    IntDiv,
+    /// Memory load. Address generation + cache access; latency is dynamic.
+    Load,
+    /// Memory store. Address generation at issue; data written at commit.
+    Store,
+    /// Floating-point add/sub/convert. Latency 2, pipelined.
+    FpAdd,
+    /// Floating-point multiply. Latency 4, issue interval 1.
+    FpMult,
+    /// Floating-point divide. Latency 12, issue interval 12 (unpipelined).
+    FpDiv,
+    /// Floating-point square root. Latency 24, issue interval 24.
+    FpSqrt,
+    /// Conditional or unconditional control transfer. Executes on an integer
+    /// ALU with latency 1; resolution redirects fetch on a misprediction.
+    Branch,
+}
+
+impl OpClass {
+    /// All operation classes, useful for exhaustive tests and tables.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMult,
+        OpClass::IntDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::FpAdd,
+        OpClass::FpMult,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Branch,
+    ];
+
+    /// Does this instruction reference data memory?
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Is this a load?
+    #[inline]
+    pub fn is_load(self) -> bool {
+        self == OpClass::Load
+    }
+
+    /// Is this a store?
+    #[inline]
+    pub fn is_store(self) -> bool {
+        self == OpClass::Store
+    }
+
+    /// Is this a control-transfer instruction?
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        self == OpClass::Branch
+    }
+
+    /// Does this class produce a floating-point result?
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt
+        )
+    }
+
+    /// Short mnemonic used in debug dumps and reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMult => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMult => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::FpSqrt => "fsqrt",
+            OpClass::Branch => "br",
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(OpClass::Load.is_load());
+        assert!(!OpClass::Load.is_store());
+        assert!(OpClass::Store.is_store());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(OpClass::Branch.is_branch());
+        for op in OpClass::ALL {
+            if op != OpClass::Branch {
+                assert!(!op.is_branch(), "{op} misclassified as branch");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_classification() {
+        let fp = [OpClass::FpAdd, OpClass::FpMult, OpClass::FpDiv, OpClass::FpSqrt];
+        for op in OpClass::ALL {
+            assert_eq!(op.is_fp(), fp.contains(&op), "{op}");
+        }
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_duplicate_free() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(op), "duplicate entry {op}");
+        }
+        assert_eq!(seen.len(), OpClass::ALL.len());
+    }
+}

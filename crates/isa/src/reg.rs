@@ -1,0 +1,135 @@
+//! Architectural register model.
+//!
+//! The simulated ISA has separate integer and floating-point architectural
+//! register files (32 registers each, Alpha-style). Register `r31`/`f31` is
+//! the hard-wired zero register: it is always ready, never renamed, and
+//! writes to it are discarded.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of integer architectural registers (including the zero register).
+pub const NUM_ARCH_INT: u8 = 32;
+/// Number of floating-point architectural registers (including the zero register).
+pub const NUM_ARCH_FP: u8 = 32;
+
+/// Register file class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+/// An architectural register: a class plus an index within that class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchReg {
+    /// Which register file this register belongs to.
+    pub class: RegClass,
+    /// Index within the register file, `0..NUM_ARCH_*`.
+    pub index: u8,
+}
+
+impl ArchReg {
+    /// An integer register. Panics if `index` is out of range.
+    #[inline]
+    pub fn int(index: u8) -> Self {
+        assert!(index < NUM_ARCH_INT, "integer register index {index} out of range");
+        ArchReg { class: RegClass::Int, index }
+    }
+
+    /// A floating-point register. Panics if `index` is out of range.
+    #[inline]
+    pub fn fp(index: u8) -> Self {
+        assert!(index < NUM_ARCH_FP, "fp register index {index} out of range");
+        ArchReg { class: RegClass::Fp, index }
+    }
+
+    /// The integer zero register (`r31`): always ready, never renamed.
+    #[inline]
+    pub fn zero_int() -> Self {
+        ArchReg { class: RegClass::Int, index: NUM_ARCH_INT - 1 }
+    }
+
+    /// The floating-point zero register (`f31`).
+    #[inline]
+    pub fn zero_fp() -> Self {
+        ArchReg { class: RegClass::Fp, index: NUM_ARCH_FP - 1 }
+    }
+
+    /// Is this one of the hard-wired zero registers?
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        match self.class {
+            RegClass::Int => self.index == NUM_ARCH_INT - 1,
+            RegClass::Fp => self.index == NUM_ARCH_FP - 1,
+        }
+    }
+
+    /// Flat index over both register files: integer registers first.
+    ///
+    /// Useful for per-thread rename-table storage.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_ARCH_INT as usize + self.index as usize,
+        }
+    }
+
+    /// Total number of architectural registers across both files.
+    pub const FLAT_COUNT: usize = NUM_ARCH_INT as usize + NUM_ARCH_FP as usize;
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_is_bijective() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..NUM_ARCH_INT {
+            assert!(seen.insert(ArchReg::int(i).flat_index()));
+        }
+        for i in 0..NUM_ARCH_FP {
+            assert!(seen.insert(ArchReg::fp(i).flat_index()));
+        }
+        assert_eq!(seen.len(), ArchReg::FLAT_COUNT);
+        assert!(seen.iter().all(|&x| x < ArchReg::FLAT_COUNT));
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(ArchReg::zero_int().is_zero());
+        assert!(ArchReg::zero_fp().is_zero());
+        assert!(!ArchReg::int(0).is_zero());
+        assert!(!ArchReg::fp(30).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_bounds_checked() {
+        let _ = ArchReg::int(NUM_ARCH_INT);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_index_bounds_checked() {
+        let _ = ArchReg::fp(NUM_ARCH_FP);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArchReg::int(5).to_string(), "r5");
+        assert_eq!(ArchReg::fp(12).to_string(), "f12");
+    }
+}

@@ -1,0 +1,333 @@
+//! A single set-associative cache with true-LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be `sets * ways * line_size`.
+    pub size_bytes: u64,
+    /// Associativity (number of ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+}
+
+impl CacheConfig {
+    /// Construct and validate a configuration.
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size or
+    /// a capacity that does not divide evenly into sets).
+    pub fn new(size_bytes: u64, ways: u32, line_size: u32) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "associativity must be at least 1");
+        let cfg = CacheConfig { size_bytes, ways, line_size };
+        let sets = cfg.num_sets();
+        assert!(sets >= 1, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert_eq!(
+            sets * ways as u64 * line_size as u64,
+            size_bytes,
+            "size must equal sets * ways * line_size"
+        );
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    #[inline]
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_size as u64)
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    #[inline]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// One way of one set: a valid tag plus an LRU stamp.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Monotonic last-use stamp; larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The cache stores tags only — the simulator is a timing model, so no data
+/// is held. `probe` is the read path; `fill` installs a line after a miss is
+/// serviced by the next level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets();
+        Cache {
+            cfg,
+            lines: vec![Line { tag: 0, valid: false, lru: 0 }; (sets * cfg.ways as u64) as usize],
+            set_mask: sets - 1,
+            line_shift: cfg.line_size.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    #[inline]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Hit/miss counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift >> self.set_mask.count_ones()
+    }
+
+    #[inline]
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        let ways = self.cfg.ways as usize;
+        &mut self.lines[set * ways..(set + 1) * ways]
+    }
+
+    /// Access the cache at `addr`. Returns `true` on a hit. Updates LRU
+    /// state on hits and counts the access; a miss does **not** allocate —
+    /// call [`Cache::fill`] once the next level has serviced it.
+    pub fn probe(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.tag_of(addr);
+        let set = self.set_of(addr);
+        for line in self.set_slice(set) {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Non-mutating lookup: would `addr` hit right now? Does not touch LRU
+    /// state or statistics. Useful for tests and occupancy inspection.
+    pub fn contains(&self, addr: u64) -> bool {
+        let tag = self.tag_of(addr);
+        let set = self.set_of(addr);
+        let ways = self.cfg.ways as usize;
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Install the line containing `addr`, evicting the LRU way if the set
+    /// is full. Returns the address of an evicted valid line, if any
+    /// (line-aligned), so callers can model write-back traffic.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.tag_of(addr);
+        let set = self.set_of(addr);
+        let line_shift = self.line_shift;
+        let set_bits = self.set_mask.count_ones();
+
+        // Already present (e.g. two misses to the same line back-to-back):
+        // refresh LRU and return.
+        let slice = self.set_slice(set);
+        if let Some(line) = slice.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(line) = slice.iter_mut().find(|l| !l.valid) {
+            *line = Line { tag, valid: true, lru: tick };
+            return None;
+        }
+        // Evict true-LRU.
+        let victim = slice
+            .iter_mut()
+            .min_by_key(|l| l.lru)
+            .expect("non-zero associativity");
+        let evicted_addr = (victim.tag << set_bits | set as u64) << line_shift;
+        *victim = Line { tag, valid: true, lru: tick };
+        Some(evicted_addr)
+    }
+
+    /// Invalidate every line (e.g. between simulation runs).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+
+    /// Number of currently valid lines (for occupancy assertions in tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.probe(0x1000));
+        c.fill(0x1000);
+        assert!(c.probe(0x1000));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = tiny();
+        c.fill(0x1000);
+        assert!(c.probe(0x1004));
+        assert!(c.probe(0x103F));
+        assert!(!c.probe(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 64B = 256B).
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.fill(a);
+        c.fill(b);
+        c.probe(a); // a is now MRU
+        let evicted = c.fill(d); // must evict b
+        assert_eq!(evicted, Some(b));
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn fill_is_idempotent_for_present_line() {
+        let mut c = tiny();
+        c.fill(0x40);
+        let before = c.valid_lines();
+        assert_eq!(c.fill(0x40), None);
+        assert_eq!(c.valid_lines(), before);
+    }
+
+    #[test]
+    fn eviction_returns_line_aligned_address() {
+        let mut c = tiny();
+        c.fill(0x1008); // offset within line
+        c.fill(0x1108);
+        let evicted = c.fill(0x1208).expect("set full, must evict");
+        assert_eq!(evicted % 64, 0, "evicted address must be line-aligned");
+        // The evicted line must be one of the two we inserted, aligned down.
+        assert!(evicted == 0x1000 || evicted == 0x1100);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = tiny();
+        c.fill(0x0);
+        c.fill(0x40);
+        assert!(c.valid_lines() > 0);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.probe(0x0));
+    }
+
+    #[test]
+    fn paper_geometries_validate() {
+        // L1I 64KB 2-way 128B; L1D 32KB 4-way 256B; L2 2MB 8-way 512B.
+        let l1i = CacheConfig::new(64 * 1024, 2, 128);
+        assert_eq!(l1i.num_sets(), 256);
+        let l1d = CacheConfig::new(32 * 1024, 4, 256);
+        assert_eq!(l1d.num_sets(), 32);
+        let l2 = CacheConfig::new(2 * 1024 * 1024, 8, 512);
+        assert_eq!(l2.num_sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_line() {
+        let _ = CacheConfig::new(512, 2, 48);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.probe(0x0);
+        c.fill(0x0);
+        c.probe(0x0);
+        c.probe(0x0);
+        let s = c.stats();
+        assert_eq!(s.accesses(), 3);
+        assert!((s.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for i in 0..1000u64 {
+            c.probe(i * 64);
+            c.fill(i * 64);
+        }
+        assert!(c.valid_lines() <= 8, "4 sets x 2 ways = 8 lines max");
+    }
+}

@@ -1,0 +1,239 @@
+//! The two-level cache hierarchy plus main memory.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use serde::{Deserialize, Serialize};
+
+/// What kind of access is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I → L2 → memory).
+    Fetch,
+    /// Data load (L1D → L2 → memory).
+    Load,
+    /// Data store (write-allocate into L1D at commit time).
+    Store,
+}
+
+/// Latencies and geometries of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// L2 hit latency in cycles (charged on an L1 miss that hits in L2).
+    pub l2_hit_latency: u32,
+    /// Main-memory access latency in cycles (charged on an L2 miss).
+    pub memory_latency: u32,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::paper()
+    }
+}
+
+impl HierarchyConfig {
+    /// Table 1 of the paper: L1I 64KB/2w/128B, L1D 32KB/4w/256B,
+    /// L2 2MB/8w/512B with a 10-cycle hit, memory 150 cycles.
+    pub fn paper() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::new(64 * 1024, 2, 128),
+            l1d: CacheConfig::new(32 * 1024, 4, 256),
+            l2: CacheConfig::new(2 * 1024 * 1024, 8, 512),
+            l2_hit_latency: 10,
+            memory_latency: 150,
+        }
+    }
+}
+
+/// Aggregate statistics over all levels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 instruction-cache counters.
+    pub l1i: CacheStats,
+    /// L1 data-cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Number of accesses that went all the way to memory.
+    pub memory_accesses: u64,
+}
+
+/// The cache hierarchy shared by all SMT thread contexts.
+///
+/// `access` returns the *additional* latency of an access beyond the fixed
+/// L1 pipeline latency that the execution model already charges: 0 for an
+/// L1 hit, the L2 hit latency for an L1 miss/L2 hit, and the memory latency
+/// for an L2 miss. Fills happen immediately (no MSHR modelling), matching
+/// the SimpleScalar-style latency model M-Sim inherits.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    memory_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Build an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Hierarchy {
+            cfg,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            memory_accesses: 0,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> HierarchyConfig {
+        self.cfg
+    }
+
+    /// Perform an access and return the added latency in cycles
+    /// (0 = L1 hit).
+    pub fn access(&mut self, kind: AccessKind, addr: u64) -> u32 {
+        let (l1, cfg) = match kind {
+            AccessKind::Fetch => (&mut self.l1i, &self.cfg),
+            AccessKind::Load | AccessKind::Store => (&mut self.l1d, &self.cfg),
+        };
+        if l1.probe(addr) {
+            return 0;
+        }
+        // L1 miss: probe L2.
+        let latency = if self.l2.probe(addr) {
+            cfg.l2_hit_latency
+        } else {
+            self.memory_accesses += 1;
+            self.l2.fill(addr);
+            cfg.l2_hit_latency + cfg.memory_latency
+        };
+        l1.fill(addr);
+        latency
+    }
+
+    /// Would a load of `addr` hit in the L1 D-cache right now? Non-mutating.
+    pub fn l1d_would_hit(&self, addr: u64) -> bool {
+        self.l1d.contains(addr)
+    }
+
+    /// Statistics for every level.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            memory_accesses: self.memory_accesses,
+        }
+    }
+
+    /// Clear counters but keep cache contents (for warm-up handling).
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.memory_accesses = 0;
+    }
+
+    /// Invalidate all levels and clear counters.
+    pub fn flush(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+        self.reset_stats();
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Hierarchy::new(HierarchyConfig::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_load_costs_l2_plus_memory() {
+        let mut h = Hierarchy::default();
+        let lat = h.access(AccessKind::Load, 0x10_0000);
+        assert_eq!(lat, 10 + 150);
+        assert_eq!(h.stats().memory_accesses, 1);
+    }
+
+    #[test]
+    fn warm_load_is_free() {
+        let mut h = Hierarchy::default();
+        h.access(AccessKind::Load, 0x10_0000);
+        let lat = h.access(AccessKind::Load, 0x10_0000);
+        assert_eq!(lat, 0);
+        assert_eq!(h.stats().l1d.hits, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let cfg = HierarchyConfig {
+            // Tiny L1D: 2 sets x 1 way x 64B.
+            l1d: CacheConfig::new(128, 1, 64),
+            ..HierarchyConfig::paper()
+        };
+        let mut h = Hierarchy::new(cfg);
+        h.access(AccessKind::Load, 0x0000); // cold: L2+mem
+        h.access(AccessKind::Load, 0x0080); // same L1 set, evicts 0x0
+        let lat = h.access(AccessKind::Load, 0x0000);
+        assert_eq!(lat, 10, "should hit in L2 after L1 eviction");
+    }
+
+    #[test]
+    fn fetch_and_load_use_separate_l1s() {
+        let mut h = Hierarchy::default();
+        h.access(AccessKind::Fetch, 0x4000);
+        // The same address as a load must still miss L1D (but hit L2).
+        let lat = h.access(AccessKind::Load, 0x4000);
+        assert_eq!(lat, 10);
+    }
+
+    #[test]
+    fn stores_allocate_in_l1d() {
+        let mut h = Hierarchy::default();
+        h.access(AccessKind::Store, 0x8000);
+        assert_eq!(h.access(AccessKind::Load, 0x8000), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_per_level() {
+        let mut h = Hierarchy::default();
+        h.access(AccessKind::Load, 0x0);
+        h.access(AccessKind::Load, 0x0);
+        h.access(AccessKind::Fetch, 0x0);
+        let s = h.stats();
+        assert_eq!(s.l1d.accesses(), 2);
+        assert_eq!(s.l1i.accesses(), 1);
+        assert_eq!(s.l2.accesses(), 2); // one per L1 miss
+    }
+
+    #[test]
+    fn flush_restores_cold_behaviour() {
+        let mut h = Hierarchy::default();
+        h.access(AccessKind::Load, 0x123456);
+        h.flush();
+        assert_eq!(h.access(AccessKind::Load, 0x123456), 160);
+    }
+
+    #[test]
+    fn l1d_would_hit_is_side_effect_free() {
+        let mut h = Hierarchy::default();
+        assert!(!h.l1d_would_hit(0x77_0000));
+        let before = h.stats();
+        let _ = h.l1d_would_hit(0x77_0000);
+        assert_eq!(h.stats(), before);
+        h.access(AccessKind::Load, 0x77_0000);
+        assert!(h.l1d_would_hit(0x77_0000));
+    }
+}

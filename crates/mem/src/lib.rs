@@ -1,0 +1,21 @@
+//! Cache-hierarchy model for the SMT simulator.
+//!
+//! The hierarchy mirrors Table 1 of Sharkey & Ponomarev (ICPP 2006):
+//!
+//! * L1 I-cache: 64 KB, 2-way, 128-byte lines
+//! * L1 D-cache: 32 KB, 4-way, 256-byte lines
+//! * Unified L2: 2 MB, 8-way, 512-byte lines, 10-cycle hit
+//! * Memory: 150-cycle access latency
+//!
+//! The model is a *latency* model: each access probes the hierarchy, updates
+//! replacement state and fills lines on the way back, and returns the number
+//! of cycles the access takes beyond the L1 pipeline latency already charged
+//! by the execution model. Outstanding-miss tracking (MSHRs) is not
+//! modelled; the original SimpleScalar cache module the paper's M-Sim builds
+//! on behaves the same way.
+
+pub mod cache;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};

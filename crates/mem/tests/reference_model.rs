@@ -1,0 +1,114 @@
+//! Property test: the optimized set-associative cache must behave exactly
+//! like a straightforward reference implementation (per-set LRU lists).
+
+use proptest::prelude::*;
+use smt_mem::{Cache, CacheConfig};
+use std::collections::VecDeque;
+
+/// The obviously-correct model: one LRU-ordered list of tags per set.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>, // most-recent at the front
+    ways: usize,
+    line_shift: u32,
+    set_bits: u32,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets() as usize;
+        RefCache {
+            sets: vec![VecDeque::new(); sets],
+            ways: cfg.ways as usize,
+            line_shift: cfg.line_size.trailing_zeros(),
+            set_bits: cfg.num_sets().trailing_zeros(),
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & ((1 << self.set_bits) - 1)) as usize, line >> self.set_bits)
+    }
+
+    fn probe(&mut self, addr: u64) -> bool {
+        let (s, tag) = self.set_and_tag(addr);
+        if let Some(pos) = self.sets[s].iter().position(|&t| t == tag) {
+            self.sets[s].remove(pos);
+            self.sets[s].push_front(tag);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64) {
+        let (s, tag) = self.set_and_tag(addr);
+        if let Some(pos) = self.sets[s].iter().position(|&t| t == tag) {
+            self.sets[s].remove(pos);
+        } else if self.sets[s].len() == self.ways {
+            self.sets[s].pop_back();
+        }
+        self.sets[s].push_front(tag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in proptest::collection::vec(0u64..(1 << 14), 1..600),
+    ) {
+        // 4 sets x 2 ways x 64B: small enough that random addresses
+        // exercise eviction constantly.
+        let cfg = CacheConfig::new(512, 2, 64);
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let got = cache.probe(addr);
+            let want = reference.probe(addr);
+            prop_assert_eq!(got, want, "probe divergence at access {} addr {:#x}", i, addr);
+            if !got {
+                cache.fill(addr);
+                reference.fill(addr);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_matches_reference_with_interleaved_fills(
+        ops in proptest::collection::vec((0u64..(1 << 13), any::<bool>()), 1..400),
+    ) {
+        let cfg = CacheConfig::new(1024, 4, 32);
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &(addr, is_fill)) in ops.iter().enumerate() {
+            if is_fill {
+                cache.fill(addr);
+                reference.fill(addr);
+            } else {
+                let got = cache.probe(addr);
+                let want = reference.probe(addr);
+                prop_assert_eq!(got, want, "divergence at op {} addr {:#x}", i, addr);
+                // Keep the two models in the same state after a miss.
+                if !got {
+                    cache.fill(addr);
+                    reference.fill(addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_line_count_never_exceeds_capacity(
+        addrs in proptest::collection::vec(0u64..(1 << 16), 1..300),
+    ) {
+        let cfg = CacheConfig::new(512, 2, 64);
+        let mut cache = Cache::new(cfg);
+        for &addr in &addrs {
+            if !cache.probe(addr) {
+                cache.fill(addr);
+            }
+            prop_assert!(cache.valid_lines() <= 8);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Branch prediction for the SMT simulator.
+//!
+//! Per Table 1 of the paper every thread has a private **2K-entry gShare**
+//! predictor with a 10-bit global history, and the machine has a shared
+//! **2048-entry, 2-way set-associative BTB**.
+
+pub mod btb;
+pub mod gshare;
+
+pub use btb::{Btb, BtbConfig};
+pub use gshare::{GShare, GShareConfig, PredictorStats};

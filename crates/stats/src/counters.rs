@@ -1,0 +1,252 @@
+//! Raw event counters updated by the pipeline model.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadCounters {
+    /// Instructions fetched into the front end.
+    pub fetched: u64,
+    /// Instructions dispatched into the IQ (or DAB).
+    pub dispatched: u64,
+    /// Instructions issued to function units.
+    pub issued: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted branches resolved.
+    pub mispredicts: u64,
+    /// Of the mispredicts, how many were wrong-direction predictions.
+    pub dir_mispredicts: u64,
+    /// Of the mispredicts, how many were correct-direction taken branches
+    /// whose target the BTB could not supply.
+    pub btb_mispredicts: u64,
+    /// Cycles this thread had instructions waiting but was blocked by the
+    /// non-dispatchable-instruction condition.
+    pub ndi_blocked_cycles: u64,
+    /// Cycles this thread had instructions waiting but the IQ was full.
+    pub iq_full_cycles: u64,
+    /// Sum over issued instructions of (issue cycle − dispatch cycle):
+    /// total IQ residency, for the paper's mean-residency statistic.
+    pub iq_residency_sum: u64,
+    /// Instructions that entered the IQ *out of program order* (dispatched
+    /// past at least one older, not-yet-dispatched instruction) — the HDIs
+    /// actually exploited by the out-of-order dispatch mechanism.
+    pub hdis_dispatched: u64,
+    /// Of `hdis_dispatched`, how many depended (directly or transitively,
+    /// within the dispatch buffer) on an older NDI they bypassed.
+    pub hdis_dependent_on_ndi: u64,
+    /// Instructions entering the IQ with 0/1/2 non-ready sources.
+    pub dispatched_by_nonready: [u64; 3],
+    /// Instructions placed in the deadlock-avoidance buffer.
+    pub dab_dispatches: u64,
+    /// Sum of this thread's IQ occupancy sampled once per cycle.
+    pub iq_occupancy_sum: u64,
+    /// Synthetic wrong-path instructions fetched after mispredictions
+    /// (never committed; squashed at branch resolution).
+    pub wrong_path_fetched: u64,
+}
+
+impl ThreadCounters {
+    /// Branch misprediction rate over committed branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Mean cycles an instruction of this thread spent in the IQ before
+    /// issuing.
+    pub fn mean_iq_residency(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.iq_residency_sum as f64 / self.issued as f64
+        }
+    }
+}
+
+/// Whole-simulation counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// One entry per hardware thread context.
+    pub threads: Vec<ThreadCounters>,
+    /// Cycles in which *every* thread that had instructions waiting to
+    /// dispatch was blocked by the non-dispatchable condition and nothing
+    /// was dispatched — the paper's "percentage of cycles when the dispatch
+    /// of all threads stalls due to the conditions imposed by 2OP_BLOCK".
+    pub all_threads_ndi_stall_cycles: u64,
+    /// Cycles in which at least one thread had instructions waiting to
+    /// dispatch (denominator companion for stall percentages, and for
+    /// sanity checks).
+    pub cycles_with_dispatch_work: u64,
+    /// Samples of the pile-up statistic: every cycle a thread's dispatch is
+    /// blocked by an NDI at the buffer head, the instructions queued behind
+    /// it are classified. `pileup_total` counts them all,
+    /// `pileup_hdis` counts those that were dispatchable (≤1 non-ready
+    /// source) — the paper's "almost 90% of instructions piled up behind
+    /// the NDIs can be classified as HDIs".
+    pub pileup_total: u64,
+    /// See [`SimCounters::pileup_total`].
+    pub pileup_hdis: u64,
+    /// Sum of IQ occupancy sampled once per cycle.
+    pub iq_occupancy_sum: u64,
+    /// Number of pipeline flushes triggered by the watchdog timer.
+    pub watchdog_flushes: u64,
+    /// Number of partial flushes triggered by the FLUSH fetch policy.
+    pub fetch_policy_flushes: u64,
+}
+
+impl SimCounters {
+    /// Create counters for `n` threads.
+    pub fn new(n: usize) -> Self {
+        SimCounters { threads: vec![ThreadCounters::default(); n], ..Default::default() }
+    }
+
+    /// Total committed instructions across threads.
+    pub fn total_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Total dispatched instructions across threads.
+    pub fn total_dispatched(&self) -> u64 {
+        self.threads.iter().map(|t| t.dispatched).sum()
+    }
+
+    /// Throughput IPC across all threads.
+    pub fn throughput_ipc(&self) -> f64 {
+        crate::metrics::throughput_ipc(self.total_committed(), self.cycles)
+    }
+
+    /// Per-thread IPCs.
+    pub fn per_thread_ipc(&self) -> Vec<f64> {
+        self.threads
+            .iter()
+            .map(|t| if self.cycles == 0 { 0.0 } else { t.committed as f64 / self.cycles as f64 })
+            .collect()
+    }
+
+    /// Fraction of all cycles in which every thread with dispatch work was
+    /// NDI-blocked (the paper's §3 statistic: 43%/17%/7% at 64 entries for
+    /// 2/3/4-thread workloads under 2OP_BLOCK).
+    pub fn all_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.all_threads_ndi_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of piled-up instructions that were hidden dispatchable
+    /// instructions (paper: ~90%).
+    pub fn hdi_pileup_fraction(&self) -> f64 {
+        if self.pileup_total == 0 {
+            0.0
+        } else {
+            self.pileup_hdis as f64 / self.pileup_total as f64
+        }
+    }
+
+    /// Fraction of OOO-dispatched HDIs that depended on a bypassed NDI
+    /// (paper: ~10%).
+    pub fn hdi_ndi_dependence_fraction(&self) -> f64 {
+        let hdis: u64 = self.threads.iter().map(|t| t.hdis_dispatched).sum();
+        if hdis == 0 {
+            0.0
+        } else {
+            let dep: u64 = self.threads.iter().map(|t| t.hdis_dependent_on_ndi).sum();
+            dep as f64 / hdis as f64
+        }
+    }
+
+    /// Mean IQ residency (cycles from dispatch to issue) across threads.
+    pub fn mean_iq_residency(&self) -> f64 {
+        let issued: u64 = self.threads.iter().map(|t| t.issued).sum();
+        if issued == 0 {
+            0.0
+        } else {
+            let sum: u64 = self.threads.iter().map(|t| t.iq_residency_sum).sum();
+            sum as f64 / issued as f64
+        }
+    }
+
+    /// Mean IQ occupancy per cycle.
+    pub fn mean_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ipc() {
+        let mut c = SimCounters::new(2);
+        c.cycles = 100;
+        c.threads[0].committed = 120;
+        c.threads[1].committed = 80;
+        assert_eq!(c.total_committed(), 200);
+        assert!((c.throughput_ipc() - 2.0).abs() < 1e-12);
+        assert_eq!(c.per_thread_ipc(), vec![1.2, 0.8]);
+    }
+
+    #[test]
+    fn stall_fraction() {
+        let mut c = SimCounters::new(2);
+        c.cycles = 200;
+        c.all_threads_ndi_stall_cycles = 86;
+        assert!((c.all_stall_fraction() - 0.43).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hdi_fractions() {
+        let mut c = SimCounters::new(1);
+        c.pileup_total = 100;
+        c.pileup_hdis = 90;
+        assert!((c.hdi_pileup_fraction() - 0.9).abs() < 1e-12);
+        c.threads[0].hdis_dispatched = 50;
+        c.threads[0].hdis_dependent_on_ndi = 5;
+        assert!((c.hdi_ndi_dependence_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_means() {
+        let mut c = SimCounters::new(2);
+        c.threads[0].issued = 10;
+        c.threads[0].iq_residency_sum = 210;
+        c.threads[1].issued = 10;
+        c.threads[1].iq_residency_sum = 90;
+        assert!((c.mean_iq_residency() - 15.0).abs() < 1e-12);
+        assert!((c.threads[0].mean_iq_residency() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_guards() {
+        let c = SimCounters::new(1);
+        assert_eq!(c.throughput_ipc(), 0.0);
+        assert_eq!(c.all_stall_fraction(), 0.0);
+        assert_eq!(c.mean_iq_residency(), 0.0);
+        assert_eq!(c.mean_iq_occupancy(), 0.0);
+        assert_eq!(c.hdi_pileup_fraction(), 0.0);
+        assert_eq!(c.hdi_ndi_dependence_fraction(), 0.0);
+    }
+
+    #[test]
+    fn thread_counter_rates() {
+        let t = ThreadCounters { branches: 100, mispredicts: 7, ..Default::default() };
+        assert!((t.mispredict_rate() - 0.07).abs() < 1e-12);
+        let t0 = ThreadCounters::default();
+        assert_eq!(t0.mispredict_rate(), 0.0);
+        assert_eq!(t0.mean_iq_residency(), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Metrics and statistics for the SMT simulator.
+//!
+//! The paper evaluates designs with two headline metrics:
+//!
+//! * **throughput IPC** — total committed instructions across all threads
+//!   divided by cycles;
+//! * **fairness** — the *harmonic mean of weighted IPCs* of Luo et al.,
+//!   where each thread's SMT-mode IPC is divided by its single-threaded IPC
+//!   on the same machine.
+//!
+//! Results across multi-programmed mixes are summarized with harmonic means,
+//! matching the paper's "harmonic means across the simulated multithreaded
+//! mixes".
+
+pub mod counters;
+pub mod metrics;
+
+pub use counters::{SimCounters, ThreadCounters};
+pub use metrics::{
+    fairness_hmean_weighted_ipc, geometric_mean, harmonic_mean, speedup, throughput_ipc,
+};

@@ -1,0 +1,117 @@
+//! Aggregate metric functions.
+
+/// Harmonic mean of a sequence of positive values.
+///
+/// Returns `None` for an empty input or if any value is non-positive
+/// (the harmonic mean is undefined there).
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let sum_recip: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / sum_recip)
+}
+
+/// Geometric mean of a sequence of positive values.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Total throughput IPC: committed instructions across all threads per cycle.
+pub fn throughput_ipc(total_commits: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        total_commits as f64 / cycles as f64
+    }
+}
+
+/// The paper's fairness metric: harmonic mean of weighted IPCs,
+/// `hmean_i(ipc_smt[i] / ipc_single[i])` (Luo et al. [8], Tullsen [16]).
+///
+/// `ipc_smt` and `ipc_single` must be the same length; returns `None` if
+/// empty, mismatched, or any single-thread IPC is non-positive.
+pub fn fairness_hmean_weighted_ipc(ipc_smt: &[f64], ipc_single: &[f64]) -> Option<f64> {
+    if ipc_smt.len() != ipc_single.len() || ipc_smt.is_empty() {
+        return None;
+    }
+    let weighted: Vec<f64> = ipc_smt
+        .iter()
+        .zip(ipc_single)
+        .map(|(&s, &a)| if a > 0.0 { s / a } else { f64::NAN })
+        .collect();
+    if weighted.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+        return None;
+    }
+    harmonic_mean(&weighted)
+}
+
+/// Relative speedup of `new` over `baseline` (1.0 = parity).
+pub fn speedup(new: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        new / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), None);
+        assert_eq!(harmonic_mean(&[2.0]), Some(2.0));
+        let h = harmonic_mean(&[1.0, 2.0]).unwrap();
+        assert!((h - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn harmonic_le_geometric() {
+        let vals = [0.5, 1.3, 2.7, 0.9];
+        let h = harmonic_mean(&vals).unwrap();
+        let g = geometric_mean(&vals).unwrap();
+        assert!(h <= g + 1e-12, "AM-GM-HM inequality violated: {h} > {g}");
+    }
+
+    #[test]
+    fn throughput_ipc_basics() {
+        assert_eq!(throughput_ipc(100, 50), 2.0);
+        assert_eq!(throughput_ipc(100, 0), 0.0);
+    }
+
+    #[test]
+    fn fairness_is_one_for_identical_performance() {
+        let f = fairness_hmean_weighted_ipc(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_penalizes_starved_thread() {
+        // Thread 1 at full speed, thread 2 starved to 10%:
+        // hmean(1.0, 0.1) ≈ 0.18 — far below the arithmetic mean of 0.55.
+        let f = fairness_hmean_weighted_ipc(&[1.0, 0.1], &[1.0, 1.0]).unwrap();
+        assert!(f < 0.2, "fairness should be dominated by the slow thread, got {f}");
+    }
+
+    #[test]
+    fn fairness_rejects_degenerate_inputs() {
+        assert_eq!(fairness_hmean_weighted_ipc(&[], &[]), None);
+        assert_eq!(fairness_hmean_weighted_ipc(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(fairness_hmean_weighted_ipc(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn speedup_basics() {
+        assert_eq!(speedup(2.0, 1.0), 2.0);
+        assert_eq!(speedup(1.0, 2.0), 0.5);
+        assert_eq!(speedup(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Internal diagnostic runner: executes one spec and dumps pipeline state
+//! counters periodically. Not part of the documented CLI surface.
+
+use smt_core::DispatchPolicy;
+use smt_sweep::runner::{run_spec, RunSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<&str> = args[0].split(',').collect();
+    let iq: usize = args[1].parse().unwrap();
+    let policy = match args[2].as_str() {
+        "trad" => DispatchPolicy::Traditional,
+        "2op" => DispatchPolicy::TwoOpBlock,
+        "ooo" => DispatchPolicy::TwoOpBlockOoo,
+        "filt" => DispatchPolicy::TwoOpBlockOooFiltered,
+        other => panic!("unknown policy {other}"),
+    };
+    let target: u64 = args[3].parse().unwrap();
+    let spec = RunSpec::new(&benches, iq, policy, target, 1);
+    let r = run_spec(&spec);
+    println!("ipc={:.3} cycles={} per_thread={:?}", r.ipc, r.cycles, r.per_thread_ipc);
+    println!(
+        "all_stall={:.3} pileup_hdi={:.3} ndi_dep={:.3} residency={:.2} occ={:.1}",
+        r.all_stall_frac,
+        r.hdi_pileup_frac,
+        r.hdi_ndi_dep_frac,
+        r.mean_iq_residency,
+        r.mean_iq_occupancy
+    );
+    for (t, tc) in r.counters.threads.iter().enumerate() {
+        println!(
+            "t{t}: fetched={} disp={} issued={} committed={} br={} misp={} dir={} btbm={} ndi_blk={} iqfull={} hdi={} dab={}",
+            tc.fetched,
+            tc.dispatched,
+            tc.issued,
+            tc.committed,
+            tc.branches,
+            tc.mispredicts,
+            tc.dir_mispredicts,
+            tc.btb_mispredicts,
+            tc.ndi_blocked_cycles,
+            tc.iq_full_cycles,
+            tc.hdis_dispatched,
+            tc.dab_dispatches
+        );
+        println!("    mean iq occupancy: {:.1}", tc.iq_occupancy_sum as f64 / r.cycles.max(1) as f64);
+        let total: u64 = tc.dispatched_by_nonready.iter().sum();
+        if total > 0 {
+            println!(
+                "    nonready at dispatch: 0src={:.1}% 1src={:.1}% 2src={:.1}%",
+                tc.dispatched_by_nonready[0] as f64 / total as f64 * 100.0,
+                tc.dispatched_by_nonready[1] as f64 / total as f64 * 100.0,
+                tc.dispatched_by_nonready[2] as f64 / total as f64 * 100.0,
+            );
+        }
+    }
+}

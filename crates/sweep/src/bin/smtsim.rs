@@ -1,0 +1,163 @@
+//! `smtsim` — run one SMT simulation from the command line.
+//!
+//! The general-purpose front door for downstream users: pick benchmarks, a
+//! dispatch policy, queue sizes and a fetch policy; get the full statistics
+//! as text or JSON.
+//!
+//! ```sh
+//! smtsim --benchmarks gcc,art --policy ooo --iq 64 --target 20000
+//! smtsim --benchmarks swim,gap,mesa --policy 2op --iq 32 --fetch-policy flush --json stats.json
+//! ```
+
+use smt_core::config::FetchPolicy;
+use smt_core::{DispatchPolicy, SimConfig};
+use smt_sweep::runner::{run_spec_with_config, RunSpec};
+
+struct Args {
+    benchmarks: Vec<String>,
+    policy: DispatchPolicy,
+    fetch_policy: FetchPolicy,
+    iq: usize,
+    target: u64,
+    warmup: Option<u64>,
+    seed: u64,
+    wrong_path: bool,
+    rob: Option<usize>,
+    lsq: Option<usize>,
+    dispatch_buffer: Option<usize>,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: smtsim --benchmarks a,b[,c,d] [--policy trad|2op|ooo|filtered|tagelim|halfprice|packed]\n\
+         \x20             [--fetch-policy icount|rr|stall|flush] [--iq N] [--target N] [--warmup N]\n\
+         \x20             [--seed N] [--wrong-path] [--rob N] [--lsq N] [--dispatch-buffer N] [--json FILE]\n\
+         benchmarks: {}",
+        smt_workload::benchmark_names().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        benchmarks: vec![],
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        fetch_policy: FetchPolicy::ICount,
+        iq: 64,
+        target: 20_000,
+        warmup: None,
+        seed: 1,
+        wrong_path: false,
+        rob: None,
+        lsq: None,
+        dispatch_buffer: None,
+        json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--benchmarks" => {
+                args.benchmarks =
+                    value(&argv, &mut i).split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--policy" => {
+                args.policy = match value(&argv, &mut i).as_str() {
+                    "trad" | "traditional" => DispatchPolicy::Traditional,
+                    "2op" | "2opblock" => DispatchPolicy::TwoOpBlock,
+                    "ooo" => DispatchPolicy::TwoOpBlockOoo,
+                    "filtered" => DispatchPolicy::TwoOpBlockOooFiltered,
+                    "tagelim" => DispatchPolicy::TagEliminated,
+                    "halfprice" => DispatchPolicy::HalfPrice,
+                    "packed" => DispatchPolicy::Packed,
+                    _ => usage(),
+                }
+            }
+            "--fetch-policy" => {
+                args.fetch_policy = match value(&argv, &mut i).as_str() {
+                    "icount" => FetchPolicy::ICount,
+                    "rr" | "round-robin" => FetchPolicy::RoundRobin,
+                    "stall" => FetchPolicy::Stall,
+                    "flush" => FetchPolicy::Flush,
+                    _ => usage(),
+                }
+            }
+            "--iq" => args.iq = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--target" => args.target = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => {
+                args.warmup = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => args.seed = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--wrong-path" => args.wrong_path = true,
+            "--rob" => args.rob = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--lsq" => args.lsq = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--dispatch-buffer" => {
+                args.dispatch_buffer =
+                    Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--json" => args.json = Some(value(&argv, &mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.benchmarks.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let mut spec = RunSpec::new(&a.benchmarks, a.iq, a.policy, a.target, a.seed);
+    if let Some(w) = a.warmup {
+        spec = spec.with_warmup(w);
+    }
+    let mut cfg = SimConfig::paper(a.iq, a.policy);
+    cfg.fetch_policy = a.fetch_policy;
+    cfg.wrong_path = a.wrong_path;
+    if let Some(v) = a.rob {
+        cfg.rob_per_thread = v;
+    }
+    if let Some(v) = a.lsq {
+        cfg.lsq_per_thread = v;
+    }
+    if let Some(v) = a.dispatch_buffer {
+        cfg.dispatch_buffer_cap = v;
+    }
+
+    let r = run_spec_with_config(&spec, cfg);
+
+    println!(
+        "workload: {}  policy: {}  fetch: {}  IQ: {}",
+        a.benchmarks.join(", "),
+        a.policy.name(),
+        a.fetch_policy.name(),
+        a.iq
+    );
+    println!("cycles: {}   throughput IPC: {:.3}", r.cycles, r.ipc);
+    for (t, (b, ipc)) in a.benchmarks.iter().zip(&r.per_thread_ipc).enumerate() {
+        let tc = &r.counters.threads[t];
+        println!(
+            "  t{t} {b:<10} IPC {ipc:.3}  committed {:>8}  mispredict {:>5.1}%  IQ-wait {:>5.1} cyc",
+            tc.committed,
+            tc.mispredict_rate() * 100.0,
+            tc.mean_iq_residency(),
+        );
+    }
+    println!(
+        "IQ occupancy {:.1}, all-thread NDI stalls {:.2}%, HDIs dispatched {}",
+        r.mean_iq_occupancy,
+        r.all_stall_frac * 100.0,
+        r.counters.threads.iter().map(|t| t.hdis_dispatched).sum::<u64>(),
+    );
+    if let Some(path) = a.json {
+        std::fs::write(&path, serde_json::to_string_pretty(&r.counters).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

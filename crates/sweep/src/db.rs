@@ -1,0 +1,138 @@
+//! Memoized, parallel execution of simulation runs.
+//!
+//! Several of the paper's figures share underlying sweeps (e.g. the
+//! traditional-scheduler runs serve as the baseline of Figures 1 and 3–8
+//! and as the denominator of the fairness metric). [`ResultsDb`] computes
+//! each distinct [`RunSpec`] exactly once, fanning batches out over rayon.
+
+use crate::runner::{run_spec, RunResult, RunSpec};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use smt_core::DispatchPolicy;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concurrent memo table of simulation results.
+#[derive(Default)]
+pub struct ResultsDb {
+    results: Mutex<HashMap<RunSpec, Arc<RunResult>>>,
+    /// Progress callback invoked after each completed run with
+    /// (completed, total) of the current batch.
+    progress: Option<Box<dyn Fn(usize, usize) + Send + Sync>>,
+}
+
+impl ResultsDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a progress callback (e.g. printing to stderr).
+    pub fn with_progress(mut self, f: impl Fn(usize, usize) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Number of memoized results.
+    pub fn len(&self) -> usize {
+        self.results.lock().len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.results.lock().is_empty()
+    }
+
+    /// Ensure every spec in `specs` has been run, in parallel; then return
+    /// results in order.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunResult>> {
+        let missing: Vec<RunSpec> = {
+            let map = self.results.lock();
+            specs.iter().filter(|s| !map.contains_key(*s)).cloned().collect()
+        };
+        // Deduplicate while preserving determinism.
+        let mut todo: Vec<RunSpec> = Vec::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for s in missing {
+                if seen.insert(s.clone()) {
+                    todo.push(s);
+                }
+            }
+        }
+        let total = todo.len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let fresh: Vec<(RunSpec, Arc<RunResult>)> = todo
+            .into_par_iter()
+            .map(|spec| {
+                let result = Arc::new(run_spec(&spec));
+                let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if let Some(cb) = &self.progress {
+                    cb(d, total);
+                }
+                (spec, result)
+            })
+            .collect();
+        {
+            let mut map = self.results.lock();
+            for (spec, result) in fresh {
+                map.insert(spec, result);
+            }
+        }
+        let map = self.results.lock();
+        specs.iter().map(|s| Arc::clone(&map[s])).collect()
+    }
+
+    /// Run (or fetch) a single spec.
+    pub fn get(&self, spec: &RunSpec) -> Arc<RunResult> {
+        self.run_all(std::slice::from_ref(spec)).pop().unwrap()
+    }
+
+    /// Single-thread reference IPC of `bench` on a traditional scheduler of
+    /// `iq_size` entries — the denominator of the paper's weighted-IPC
+    /// fairness metric.
+    pub fn single_thread_ipc(
+        &self,
+        bench: &str,
+        iq_size: usize,
+        commit_target: u64,
+        seed: u64,
+    ) -> f64 {
+        let spec =
+            RunSpec::new(&[bench], iq_size, DispatchPolicy::Traditional, commit_target, seed);
+        self.get(&spec).ipc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_identical_arc() {
+        let db = ResultsDb::new();
+        let spec = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        let a = db.get(&spec);
+        let b = db.get(&spec);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be memoized");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn run_all_preserves_order_and_dedups() {
+        let db = ResultsDb::new();
+        let s1 = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        let s2 = RunSpec::new(&["art"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        let out = db.run_all(&[s1.clone(), s2.clone(), s1.clone()]);
+        assert_eq!(out.len(), 3);
+        assert!(Arc::ptr_eq(&out[0], &out[2]));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn single_thread_reference_is_positive() {
+        let db = ResultsDb::new();
+        let ipc = db.single_thread_ipc("crafty", 64, 1_000, 1);
+        assert!(ipc > 0.2, "reference IPC {ipc}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness for the ICPP'06 out-of-order dispatch paper.
+//!
+//! The [`runner`] module executes individual simulations; [`db`] memoizes
+//! results across experiments (several figures share the same underlying
+//! sweeps); [`experiments`] regenerates every table and figure of the
+//! paper; [`report`] renders them as text tables.
+
+pub mod db;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use db::ResultsDb;
+pub use runner::{run_spec, thread_seed, RunResult, RunSpec};
+
+/// The IQ sizes swept by the paper's evaluation (Figures 1, 3–8).
+pub const IQ_SIZES: [usize; 5] = [32, 48, 64, 96, 128];

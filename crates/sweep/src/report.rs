@@ -1,0 +1,319 @@
+//! Plain-text rendering of regenerated figures and tables.
+
+use crate::experiments::{Figure, HdiStats, ResidencyStats, StallRow};
+use crate::IQ_SIZES;
+use std::fmt::Write as _;
+
+/// Render a figure as an aligned text table (one row per series, one column
+/// per IQ size) followed by a compact ASCII chart.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.title);
+    let _ = writeln!(out, "  ({})", fig.y_label);
+    let _ = write!(out, "  {:<26}", "series \\ IQ size");
+    for iq in IQ_SIZES {
+        let _ = write!(out, "{iq:>9}");
+    }
+    let _ = writeln!(out);
+    for s in &fig.series {
+        let _ = write!(out, "  {:<26}", s.label);
+        for &(_, v) in &s.points {
+            let _ = write!(out, "{v:>9.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out.push_str(&render_chart(fig));
+    out
+}
+
+/// A small ASCII chart: y = value, x = IQ size, one plot symbol per series.
+fn render_chart(fig: &Figure) -> String {
+    const ROWS: usize = 12;
+    const COL_W: usize = 6;
+    let symbols = ['o', 'x', '*', '+', '#', '@'];
+    let values: Vec<f64> =
+        fig.series.iter().flat_map(|s| s.points.iter().map(|&(_, v)| v)).collect();
+    let (min, max) = values
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if !min.is_finite() || !max.is_finite() || values.is_empty() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-9);
+    // Pad the range slightly so extremes don't sit on the frame.
+    let (lo, hi) = (min - span * 0.05, max + span * 0.05);
+    let row_of = |v: f64| -> usize {
+        let frac = (v - lo) / (hi - lo);
+        ((1.0 - frac) * (ROWS as f64 - 1.0)).round() as usize
+    };
+    let mut grid = vec![vec![' '; IQ_SIZES.len() * COL_W]; ROWS];
+    for (si, series) in fig.series.iter().enumerate() {
+        let sym = symbols[si % symbols.len()];
+        for (xi, &(_, v)) in series.points.iter().enumerate() {
+            let r = row_of(v).min(ROWS - 1);
+            let c = xi * COL_W + COL_W / 2;
+            grid[r][c] = if grid[r][c] == ' ' { sym } else { '&' };
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y = hi - (r as f64 / (ROWS as f64 - 1.0)) * (hi - lo);
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "  {y:>7.3} |{}", line.trim_end());
+    }
+    let _ = writeln!(out, "  {:>7} +{}", "", "-".repeat(IQ_SIZES.len() * COL_W));
+    let _ = write!(out, "  {:>7}  ", "");
+    for iq in IQ_SIZES {
+        let _ = write!(out, "{:^width$}", iq, width = COL_W);
+    }
+    let _ = writeln!(out);
+    let legend: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", symbols[i % symbols.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "  {:>7}  legend: {}  (& = overlap)", "", legend.join("   "));
+    out
+}
+
+/// Render the dispatch-stall statistics table with the paper's reference
+/// values alongside.
+pub fn render_stalls(rows: &[StallRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "All-thread dispatch-stall fraction at 64-entry IQ (paper §3/§5)");
+    let _ = writeln!(out, "  {:<10}{:<26}{:>10}{:>18}", "threads", "policy", "measured", "paper");
+    for r in rows {
+        let paper: &str = match (r.threads, r.policy.as_str()) {
+            (2, "2OP_BLOCK") => "43%",
+            (3, "2OP_BLOCK") => "17%",
+            (4, "2OP_BLOCK") => "7%",
+            (2, "2OP_BLOCK+OOO") => "0.2%",
+            _ => "~0% (implied)",
+        };
+        let _ = writeln!(
+            out,
+            "  {:<10}{:<26}{:>9.1}%{:>18}",
+            r.threads,
+            r.policy,
+            r.stall_frac * 100.0,
+            paper
+        );
+    }
+    out
+}
+
+/// Render the HDI statistics with the paper's reference values.
+pub fn render_hdi(h: &HdiStats) -> String {
+    format!(
+        "HDI statistics under out-of-order dispatch (paper §4)\n  \
+         instructions piled behind NDIs that are HDIs: {:.1}%  (paper: ~90%)\n  \
+         dispatched HDIs dependent on a bypassed NDI:  {:.1}%  (paper: ~10%)\n",
+        h.pileup_hdi_frac * 100.0,
+        h.ndi_dependent_frac * 100.0
+    )
+}
+
+/// Render the IQ-residency comparison with the paper's reference values.
+pub fn render_residency(r: &ResidencyStats) -> String {
+    format!(
+        "Mean IQ residency, 2-threaded workloads, 64-entry IQ (paper §5)\n  \
+         traditional scheduler: {:.1} cycles  (paper: 21)\n  \
+         2OP_BLOCK + OOO:       {:.1} cycles  (paper: 15)\n",
+        r.traditional, r.ooo
+    )
+}
+
+/// Render the idealized-filtering result with the paper's reference value.
+pub fn render_filter(gain: f64) -> String {
+    format!(
+        "Idealized zero-overhead NDI-dependence filtering vs plain OOO dispatch (paper §4)\n  \
+         mean IPC change: {:+.2}%  (paper: ~+1.2%)\n",
+        gain * 100.0
+    )
+}
+
+/// Render the §2 single-thread classification table.
+pub fn render_classify(rows: &[(String, &'static str, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Single-thread IPC classification (§2 methodology, 64-entry IQ, traditional scheduler)"
+    );
+    let _ = writeln!(out, "  {:<12}{:<8}{:>8}", "benchmark", "class", "IPC");
+    for (name, class, ipc) in rows {
+        let _ = writeln!(out, "  {name:<12}{class:<8}{ipc:>8.3}");
+    }
+    out
+}
+
+/// Render the design-choice ablation table.
+pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Design-choice ablations (2OP_BLOCK + OOO dispatch)");
+    let _ = writeln!(out, "  {:<24}{:<16}{:>8}", "knob", "value", "IPC");
+    let mut last = String::new();
+    for r in rows {
+        if r.knob != last {
+            if !last.is_empty() {
+                let _ = writeln!(out);
+            }
+            last = r.knob.clone();
+        }
+        let _ = writeln!(out, "  {:<24}{:<16}{:>8.3}", r.knob, r.value, r.ipc);
+    }
+    out
+}
+
+/// Render the fetch-policy comparison table.
+pub fn render_fetch_policies(rows: &[crate::experiments::FetchPolicyRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fetch-policy comparison (traditional scheduler; §6 related work)");
+    let _ = writeln!(
+        out,
+        "  {:<24}{:<12}{:>6}{:>9}{:>10}",
+        "workload", "policy", "IQ", "IPC", "flushes"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<24}{:<12}{:>6}{:>9.3}{:>10}",
+            r.workload, r.policy, r.iq_size, r.ipc, r.flushes
+        );
+    }
+    out
+}
+
+/// Render the scheduler-organization comparison table.
+pub fn render_hetero(rows: &[crate::experiments::HeteroRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Issue-queue organizations at equal size (tag counts vs performance; §6 related work)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24}{:<26}{:>6}{:>13}{:>9}",
+        "workload", "scheduler", "IQ", "comparators", "IPC"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<24}{:<26}{:>6}{:>13}{:>9.3}",
+            r.workload, r.scheduler, r.iq_size, r.comparators, r.ipc
+        );
+    }
+    out
+}
+
+/// Render the wrong-path sensitivity table.
+pub fn render_wrongpath(rows: &[crate::experiments::WrongPathRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Misprediction-model sensitivity: 2OP_BLOCK speedup over traditional (Figure 1 points)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10}{:>6}{:>14}{:>14}",
+        "threads", "IQ", "fetch-gated", "wrong-path"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<10}{:>6}{:>14.3}{:>14.3}",
+            r.threads, r.iq_size, r.gated, r.wrong_path
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (synthetic wrong-path fetching pollutes the shared IQ and amplifies the\n            reduced-tag designs' advantage, shifting crossovers about one IQ step right;\n            the fetch-gated default matches the paper's crossovers best — see DESIGN.md §3.1)"
+    );
+    out
+}
+
+/// Render the budget-convergence table.
+pub fn render_convergence(rows: &[crate::experiments::ConvergenceRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Headline-metric convergence with commit budget (OOO/traditional speedup @64 entries)"
+    );
+    let _ = writeln!(out, "  {:<14}{:>12}{:>12}", "budget", "2 threads", "4 threads");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<14}{:>12.3}{:>12.3}",
+            r.commit_target, r.speedup_2t, r.speedup_4t
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (ratios stabilize well below the default 20k budget; the paper's 100M-instruction\n            runs serve the same purpose on non-stationary real binaries)"
+    );
+    out
+}
+
+/// Render the per-mix breakdown table.
+pub fn render_mix_detail(
+    table_name: &str,
+    iq: usize,
+    rows: &[crate::experiments::MixDetailRow],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Per-mix speedups over traditional, {table_name}, {iq}-entry IQ");
+    let _ = writeln!(
+        out,
+        "  {:<9}{:<28}{:>10}{:>12}{:>14}",
+        "mix", "classification", "trad IPC", "2OP_BLOCK", "2OP_BLOCK+OOO"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<9}{:<28}{:>10.3}{:>12.3}{:>14.3}",
+            r.mix, r.classification, r.trad_ipc, r.two_op, r.ooo
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Series;
+
+    #[test]
+    fn figure_rendering_includes_all_series() {
+        let fig = Figure {
+            title: "Figure X".into(),
+            y_label: "speedup".into(),
+            series: vec![
+                Series { label: "a".into(), points: IQ_SIZES.iter().map(|&q| (q, 1.0)).collect() },
+                Series { label: "b".into(), points: IQ_SIZES.iter().map(|&q| (q, 2.0)).collect() },
+            ],
+        };
+        let text = render_figure(&fig);
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("a"));
+        assert!(text.contains("2.000"));
+        assert!(text.contains("128"));
+    }
+
+    #[test]
+    fn stall_rendering_shows_paper_references() {
+        let rows = vec![StallRow { threads: 2, policy: "2OP_BLOCK".into(), stall_frac: 0.41 }];
+        let text = render_stalls(&rows);
+        assert!(text.contains("41.0%"));
+        assert!(text.contains("43%"));
+    }
+
+    #[test]
+    fn hdi_and_residency_render() {
+        let text = render_hdi(&HdiStats { pileup_hdi_frac: 0.9, ndi_dependent_frac: 0.1 });
+        assert!(text.contains("90.0%"));
+        let text = render_residency(&ResidencyStats { traditional: 21.0, ooo: 15.0 });
+        assert!(text.contains("21.0"));
+        let text = render_filter(0.012);
+        assert!(text.contains("+1.20%"));
+    }
+}

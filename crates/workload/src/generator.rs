@@ -1,0 +1,531 @@
+//! The synthetic instruction-stream generator.
+
+use crate::profile::BenchmarkProfile;
+use crate::trace::InstGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smt_isa::{ArchReg, BranchInfo, MemInfo, OpClass, TraceInst};
+use std::collections::VecDeque;
+
+/// Number of recent destination registers remembered for dependency-distance
+/// sampling.
+const RECENT_WINDOW: usize = 64;
+
+/// Size of the hot data region each thread's hot-tier accesses walk —
+/// small enough to be L1-resident, modelling loop-local/stack locality.
+const HOT_REGION_BYTES: u64 = 16 * 1024;
+
+/// Size of the L2-resident access region: larger than the L1 D-cache,
+/// comfortably smaller than the L2.
+const L2_REGION_BYTES: u64 = 64 * 1024;
+
+/// Locality tier of a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddrTier {
+    /// L1-resident hot set.
+    Hot,
+    /// L2-resident region (L1 misses).
+    L2,
+    /// Full working set (memory misses when the working set exceeds L2).
+    Mem,
+}
+
+/// How many general-purpose registers the generator cycles through as
+/// destinations (r1..=r24, leaving a few "long-lived" registers that are
+/// written rarely and therefore almost always ready).
+const DEST_POOL: u8 = 24;
+
+/// A deterministic synthetic instruction stream for one benchmark model.
+///
+/// The generated program behaves like a loop nest: the PC walks a loop body
+/// of `code_footprint / 4` instruction slots, with statically placed
+/// conditional branches (each with its own taken bias) and a loop-back
+/// branch at the end of the body. Data accesses mix sequential strides with
+/// random accesses over the benchmark's working set; a configurable
+/// fraction of loads are pointer-chasing (their address register is the
+/// previous load's destination), which serialises cache misses exactly like
+/// linked-data-structure traversal in the memory-bound SPEC codes.
+pub struct SyntheticGen {
+    profile: BenchmarkProfile,
+    rng: StdRng,
+    /// Position within the loop body, in instruction slots.
+    pos: u64,
+    body_len: u64,
+    /// Base of this thread's code region (disjoint per thread).
+    code_base: u64,
+    /// Base of this thread's data region.
+    data_base: u64,
+    /// Destinations of recent instructions, most recent at the back.
+    recent_int: VecDeque<ArchReg>,
+    recent_fp: VecDeque<ArchReg>,
+    last_load_dest: Option<ArchReg>,
+    /// Sequential-access pointer within the working set.
+    seq_addr: u64,
+    /// Per-static-branch taken bias, indexed by branch slot.
+    branch_bias: Vec<f64>,
+    /// Branches occur every `branch_interval` slots.
+    branch_interval: u64,
+    next_dest_int: u8,
+    next_dest_fp: u8,
+    generated: u64,
+}
+
+impl SyntheticGen {
+    /// Create a generator for `profile`, seeded with `seed`, using address
+    /// regions derived from `thread_id` so SMT threads never alias.
+    pub fn new(profile: BenchmarkProfile, thread_id: usize, seed: u64) -> Self {
+        profile.validate().expect("invalid benchmark profile");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5151_7ea1_c0de_0000);
+        let body_len = (profile.code_footprint / 4).max(16);
+        let branch_interval = ((1.0 / profile.frac_branch).round() as u64).clamp(2, body_len);
+        let n_branches = body_len.div_ceil(branch_interval);
+        // Each static branch gets its own bias centred on the profile's
+        // mean: some branches are near-always-taken loop branches, others
+        // are data-dependent and noisier.
+        let branch_bias: Vec<f64> = (0..n_branches)
+            .map(|_| {
+                let spread: f64 = rng.gen_range(-0.04..0.04);
+                (profile.branch_bias + spread).clamp(0.55, 0.999)
+            })
+            .collect();
+        SyntheticGen {
+            rng,
+            pos: 0,
+            body_len,
+            // Stagger thread code regions across cache sets (real programs
+            // are not all loaded at the same virtual offset; without this,
+            // SMT threads alias pathologically in the L1I).
+            code_base: 0x0040_0000 + ((thread_id as u64) << 32) + (thread_id as u64) * 0x2480,
+            data_base: 0x1000_0000 + ((thread_id as u64) << 40),
+            recent_int: VecDeque::with_capacity(RECENT_WINDOW),
+            recent_fp: VecDeque::with_capacity(RECENT_WINDOW),
+            last_load_dest: None,
+            seq_addr: 0,
+            branch_bias,
+            branch_interval,
+            next_dest_int: 1,
+            next_dest_fp: 1,
+            generated: 0,
+            profile,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Base address of this thread's code region.
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Base address of this thread's data region.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Number of instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Sample a register dependency distance (>= 1) with the profile's mean,
+    /// geometrically distributed.
+    fn sample_dep_distance(&mut self) -> usize {
+        let p = 1.0 / self.profile.mean_dep_distance;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let d = 1.0 + (u.ln() / (1.0 - p).ln());
+        d as usize
+    }
+
+    /// Pick a source register `distance` producers back in the given ring;
+    /// far distances fall off the ring and resolve to a long-lived register
+    /// (r25.. / f25..), which is almost always ready.
+    fn src_at_distance(&mut self, fp: bool) -> ArchReg {
+        let d = self.sample_dep_distance();
+        let ring = if fp { &self.recent_fp } else { &self.recent_int };
+        if d <= ring.len() {
+            ring[ring.len() - d]
+        } else {
+            self.long_lived_src(fp)
+        }
+    }
+
+    /// A long-lived register (r25+/f25+): written so rarely that it is
+    /// almost always ready — the model of loop invariants, base pointers
+    /// and immediates materialized long ago.
+    fn long_lived_src(&mut self, fp: bool) -> ArchReg {
+        let idx = DEST_POOL + 1 + self.rng.gen_range(0..5u8);
+        if fp {
+            ArchReg::fp(idx)
+        } else {
+            ArchReg::int(idx)
+        }
+    }
+
+    /// Second source operand of a two-source instruction: real code pairs a
+    /// freshly produced value with an older one (loop invariant, induction
+    /// base) about half the time, which keeps runs of
+    /// two-non-ready-source instructions rare.
+    fn second_src(&mut self, fp: bool) -> ArchReg {
+        if self.rng.gen_bool(0.7) {
+            self.long_lived_src(fp)
+        } else {
+            self.src_at_distance(fp)
+        }
+    }
+
+    fn alloc_dest(&mut self, fp: bool) -> ArchReg {
+        let reg = if fp {
+            let r = ArchReg::fp(self.next_dest_fp);
+            self.next_dest_fp = if self.next_dest_fp >= DEST_POOL { 1 } else { self.next_dest_fp + 1 };
+            r
+        } else {
+            let r = ArchReg::int(self.next_dest_int);
+            self.next_dest_int =
+                if self.next_dest_int >= DEST_POOL { 1 } else { self.next_dest_int + 1 };
+            r
+        };
+        let ring = if fp { &mut self.recent_fp } else { &mut self.recent_int };
+        if ring.len() == RECENT_WINDOW {
+            ring.pop_front();
+        }
+        ring.push_back(reg);
+        reg
+    }
+
+    /// Pick the locality tier of the next data access.
+    fn draw_tier(&mut self) -> AddrTier {
+        let x: f64 = self.rng.gen_range(0.0..1.0);
+        if x < self.profile.mem_access_frac {
+            AddrTier::Mem
+        } else if x < self.profile.mem_access_frac + self.profile.l2_access_frac {
+            AddrTier::L2
+        } else {
+            AddrTier::Hot
+        }
+    }
+
+    /// Tier used by pointer-chasing loads: truly memory-bound codes chase
+    /// through their full working set; cache-resident codes chase
+    /// L2-resident structures.
+    fn chase_tier(&self) -> AddrTier {
+        if self.profile.mem_access_frac > 0.05 {
+            AddrTier::Mem
+        } else {
+            AddrTier::L2
+        }
+    }
+
+    /// Generate a data address in the given locality tier.
+    ///
+    /// * `Hot` — sequential walk over a small L1-resident region
+    ///   (stack/loop-local locality);
+    /// * `L2` — uniform over a ~64 KB region: misses L1, hits L2 once warm;
+    /// * `Mem` — uniform over the full working set: for memory-bound
+    ///   working sets these are the main-memory misses.
+    fn data_addr(&mut self, tier: AddrTier) -> u64 {
+        let ws = self.profile.working_set;
+        match tier {
+            AddrTier::Hot => {
+                let hot = ws.min(HOT_REGION_BYTES);
+                self.seq_addr = (self.seq_addr + 8) % hot;
+                self.data_base + self.seq_addr
+            }
+            AddrTier::L2 => {
+                let region = ws.min(L2_REGION_BYTES);
+                self.data_base + self.rng.gen_range(0..region / 8) * 8
+            }
+            AddrTier::Mem => self.data_base + self.rng.gen_range(0..ws / 8) * 8,
+        }
+    }
+
+    /// Draw a non-branch operation class from the profile's mix.
+    fn draw_op(&mut self) -> OpClass {
+        let p = &self.profile;
+        // Branch probability is handled positionally; renormalize the rest.
+        let non_branch = 1.0 - p.frac_branch;
+        let mut x: f64 = self.rng.gen_range(0.0..non_branch);
+        for (frac, op) in [
+            (p.frac_load, OpClass::Load),
+            (p.frac_store, OpClass::Store),
+            (p.frac_int_mult, OpClass::IntMult),
+            (p.frac_int_div, OpClass::IntDiv),
+            (p.frac_fp_add, OpClass::FpAdd),
+            (p.frac_fp_mult, OpClass::FpMult),
+            (p.frac_fp_div, OpClass::FpDiv),
+            (p.frac_fp_sqrt, OpClass::FpSqrt),
+        ] {
+            if x < frac {
+                return op;
+            }
+            x -= frac;
+        }
+        OpClass::IntAlu
+    }
+
+    fn gen_inst(&mut self) -> TraceInst {
+        let pc = self.code_base + self.pos * 4;
+        let is_branch_slot = self.pos % self.branch_interval == self.branch_interval - 1
+            || self.pos == self.body_len - 1;
+
+        let inst = if is_branch_slot {
+            let slot = (self.pos / self.branch_interval) as usize;
+            let is_loop_back = self.pos == self.body_len - 1;
+            // Loop-back branches are taken with high probability; forward
+            // conditionals mostly fall through (their *predictability* is
+            // the per-branch bias — gShare learns the dominant direction
+            // either way).
+            let taken_prob = if is_loop_back {
+                0.985
+            } else {
+                1.0 - self.branch_bias[slot.min(self.branch_bias.len() - 1)]
+            };
+            let taken = self.rng.gen_bool(taken_prob);
+            let target = if is_loop_back {
+                self.code_base
+            } else {
+                // Short forward skip.
+                pc + 4 * (2 + self.rng.gen_range(0..6u64))
+            };
+            // Branch conditions are mostly induction variables or short ALU
+            // results (quick to resolve even on a mispredict); only a
+            // minority test freshly loaded data.
+            let cond = if self.rng.gen_bool(0.6) {
+                Some(self.long_lived_src(false))
+            } else {
+                Some(self.src_at_distance(false))
+            };
+            // Advance the PC: taken forward branches skip slots.
+            if is_loop_back {
+                self.pos = 0;
+            } else if taken {
+                self.pos = ((target - self.code_base) / 4).min(self.body_len - 1);
+            } else {
+                self.pos += 1;
+            }
+            TraceInst {
+                pc,
+                op: OpClass::Branch,
+                srcs: [cond, None],
+                dest: None,
+                mem: None,
+                branch: Some(BranchInfo { taken, target, unconditional: false }),
+            }
+        } else {
+            self.pos += 1;
+            let op = self.draw_op();
+            match op {
+                OpClass::Load => {
+                    let chase = self.rng.gen_bool(self.profile.pointer_chase_frac);
+                    let base = if chase {
+                        self.last_load_dest.unwrap_or_else(|| ArchReg::int(26))
+                    } else {
+                        self.src_at_distance(false)
+                    };
+                    let tier = if chase { self.chase_tier() } else { self.draw_tier() };
+                    let addr = self.data_addr(tier);
+                    let fp_dest = self.profile.is_fp && self.rng.gen_bool(0.5);
+                    let dest = self.alloc_dest(fp_dest);
+                    if !fp_dest {
+                        self.last_load_dest = Some(dest);
+                    }
+                    TraceInst {
+                        pc,
+                        op,
+                        srcs: [Some(base), None],
+                        dest: Some(dest),
+                        mem: Some(MemInfo { addr, size: 8 }),
+                        branch: None,
+                    }
+                }
+                OpClass::Store => {
+                    let data_fp = self.profile.is_fp && self.rng.gen_bool(0.5);
+                    let data = self.src_at_distance(data_fp);
+                    let base = self.src_at_distance(false);
+                    let tier = self.draw_tier();
+                    let addr = self.data_addr(tier);
+                    TraceInst {
+                        pc,
+                        op,
+                        srcs: [Some(data), Some(base)],
+                        dest: None,
+                        mem: Some(MemInfo { addr, size: 8 }),
+                        branch: None,
+                    }
+                }
+                OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt => {
+                    let s1 = self.src_at_distance(true);
+                    let s2 = if self.rng.gen_bool(self.profile.two_src_frac) {
+                        Some(self.second_src(true))
+                    } else {
+                        None
+                    };
+                    let dest = self.alloc_dest(true);
+                    TraceInst { pc, op, srcs: [Some(s1), s2], dest: Some(dest), mem: None, branch: None }
+                }
+                _ => {
+                    let s1 = self.src_at_distance(false);
+                    let s2 = if self.rng.gen_bool(self.profile.two_src_frac) {
+                        Some(self.second_src(false))
+                    } else {
+                        None
+                    };
+                    let dest = self.alloc_dest(false);
+                    TraceInst { pc, op, srcs: [Some(s1), s2], dest: Some(dest), mem: None, branch: None }
+                }
+            }
+        };
+        self.generated += 1;
+        debug_assert!(inst.validate().is_ok(), "{:?}", inst.validate());
+        inst
+    }
+}
+
+impl InstGenerator for SyntheticGen {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        Some(self.gen_inst())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::benchmark;
+
+    fn collect(name: &str, n: usize) -> Vec<TraceInst> {
+        let mut g = SyntheticGen::new(benchmark(name), 0, 42);
+        (0..n).map(|_| g.next_inst().unwrap()).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = collect("gcc", 5000);
+        let b = collect("gcc", 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut g1 = SyntheticGen::new(benchmark("gcc"), 0, 1);
+        let mut g2 = SyntheticGen::new(benchmark("gcc"), 0, 2);
+        let a: Vec<_> = (0..1000).map(|_| g1.next_inst().unwrap()).collect();
+        let b: Vec<_> = (0..1000).map(|_| g2.next_inst().unwrap()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_instructions_validate() {
+        for inst in collect("art", 20_000) {
+            inst.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mix_fractions_approximately_match_profile() {
+        let p = benchmark("gcc");
+        let insts = collect("gcc", 100_000);
+        let n = insts.len() as f64;
+        let loads = insts.iter().filter(|i| i.op == OpClass::Load).count() as f64 / n;
+        let stores = insts.iter().filter(|i| i.op == OpClass::Store).count() as f64 / n;
+        let branches = insts.iter().filter(|i| i.op == OpClass::Branch).count() as f64 / n;
+        assert!((loads - p.frac_load).abs() < 0.05, "load frac {loads} vs {}", p.frac_load);
+        assert!((stores - p.frac_store).abs() < 0.05, "store frac {stores} vs {}", p.frac_store);
+        assert!(
+            (branches - p.frac_branch).abs() < 0.06,
+            "branch frac {branches} vs {}",
+            p.frac_branch
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_thread_region() {
+        let p = benchmark("art");
+        let ws = p.working_set;
+        let mut g = SyntheticGen::new(p, 3, 42);
+        for _ in 0..20_000 {
+            let i = g.next_inst().unwrap();
+            if let Some(m) = i.mem {
+                let base = 0x1000_0000 + (3u64 << 40);
+                assert!(m.addr >= base && m.addr < base + ws, "addr {:#x} outside region", m.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_stay_in_code_footprint() {
+        let p = benchmark("crafty");
+        let footprint = p.code_footprint;
+        let g0 = SyntheticGen::new(p.clone(), 1, 7);
+        let code_base = g0.code_base();
+        let mut g = g0;
+        for _ in 0..20_000 {
+            let i = g.next_inst().unwrap();
+            assert!(
+                i.pc >= code_base && i.pc < code_base + footprint,
+                "pc {:#x} outside code region",
+                i.pc
+            );
+        }
+    }
+
+    #[test]
+    fn branch_slots_recur_at_same_pcs() {
+        // gShare needs recurring static branches.
+        let insts = collect("twolf", 50_000);
+        let mut branch_pcs = std::collections::HashMap::new();
+        for i in &insts {
+            if i.op == OpClass::Branch {
+                *branch_pcs.entry(i.pc).or_insert(0u32) += 1;
+            }
+        }
+        assert!(!branch_pcs.is_empty());
+        let max_count = branch_pcs.values().max().copied().unwrap();
+        assert!(max_count > 10, "static branches must re-execute, max count {max_count}");
+    }
+
+    #[test]
+    fn low_ilp_has_shorter_dep_distances_than_high() {
+        // Measure realized mean dependency distance through the register
+        // stream: distance between an instruction and the most recent
+        // producer of its first source.
+        fn realized_mean(name: &str) -> f64 {
+            let insts = collect(name, 30_000);
+            let mut last_writer = std::collections::HashMap::new();
+            let mut dists = vec![];
+            for (idx, i) in insts.iter().enumerate() {
+                if let Some(src) = i.real_srcs().next() {
+                    if let Some(&w) = last_writer.get(&src) {
+                        dists.push((idx - w) as f64);
+                    }
+                }
+                if let Some(d) = i.real_dest() {
+                    last_writer.insert(d, idx);
+                }
+            }
+            dists.iter().sum::<f64>() / dists.len() as f64
+        }
+        let low = realized_mean("art");
+        let high = realized_mean("crafty");
+        assert!(
+            low < high,
+            "memory-bound benchmark should have shorter dependency distances: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn two_source_instructions_exist() {
+        let insts = collect("gcc", 10_000);
+        let two_src = insts.iter().filter(|i| i.num_real_srcs() == 2).count();
+        assert!(two_src > 500, "expected a healthy fraction of 2-source instructions");
+    }
+
+    #[test]
+    fn fp_benchmark_emits_fp_ops() {
+        let insts = collect("swim", 10_000);
+        assert!(insts.iter().any(|i| i.op.is_fp()));
+        let int_only = collect("gzip", 10_000);
+        assert!(!int_only.iter().any(|i| i.op.is_fp()));
+    }
+}

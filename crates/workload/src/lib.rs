@@ -1,0 +1,47 @@
+//! Synthetic workload models for the SMT simulator.
+//!
+//! The paper evaluates on SPEC CPU2000 Alpha binaries fast-forwarded with
+//! SimPoints. Neither the binaries nor an Alpha functional front end are
+//! available here, so each benchmark is modelled as a **deterministic
+//! synthetic instruction-stream generator** parameterised by the
+//! microarchitectural characteristics the paper's methodology keys on:
+//!
+//! * **ILP class** (low = memory-bound, medium, high = execution-bound) —
+//!   the classification the paper itself uses to build its mixes;
+//! * instruction-class mix (loads / stores / branches / int / fp);
+//! * register **dependency-distance** distribution (short distances ⇒
+//!   serial chains ⇒ low ILP and frequent two-non-ready-source NDIs);
+//! * **working-set size** and access pattern (drives L1D/L2 miss rates,
+//!   which determine how long blocked operands stay non-ready);
+//! * pointer-chase fraction (loads whose address depends on a prior load);
+//! * branch-outcome predictability.
+//!
+//! See DESIGN.md §3 for why this substitution preserves the phenomena the
+//! paper studies.
+//!
+//! ```
+//! use smt_workload::{benchmark, mixes_for, InstGenerator, MixTable, SyntheticGen};
+//!
+//! // Table 3, Mix 10 of the paper: equake + gcc.
+//! let mix = &mixes_for(MixTable::TwoThread)[9];
+//! assert_eq!(mix.benchmarks, ["equake", "gcc"]);
+//!
+//! // Deterministic instruction stream for one thread of the mix.
+//! let mut gen = SyntheticGen::new(benchmark(&mix.benchmarks[0]), 0, 42);
+//! let inst = gen.next_inst().unwrap();
+//! assert!(inst.validate().is_ok());
+//! ```
+
+pub mod generator;
+pub mod mixes;
+pub mod profile;
+pub mod spec;
+pub mod trace;
+pub mod tracefile;
+
+pub use generator::SyntheticGen;
+pub use mixes::{mixes_for, Mix, MixTable};
+pub use profile::{BenchmarkProfile, IlpClass};
+pub use spec::{benchmark, benchmark_names, spec2000};
+pub use trace::{InstGenerator, ProgramTrace, TraceSource};
+pub use tracefile::{Recorder, TraceFileReplay};

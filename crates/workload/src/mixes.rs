@@ -1,0 +1,197 @@
+//! The multithreaded workloads of Tables 2–4 of the paper.
+//!
+//! "In total, we simulated 12 4-threaded workloads, 12 3-threaded workloads
+//! and 12 2-threaded workloads. All workloads were created by mixing the
+//! benchmarks with different ILP levels in various ways." (§2)
+
+use crate::profile::BenchmarkProfile;
+use crate::spec::benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's mix tables a workload comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixTable {
+    /// Table 3: 2-threaded workloads.
+    TwoThread,
+    /// Table 4: 3-threaded workloads.
+    ThreeThread,
+    /// Table 2: 4-threaded workloads.
+    FourThread,
+}
+
+impl MixTable {
+    /// Number of threads in every mix of this table.
+    pub fn num_threads(self) -> usize {
+        match self {
+            MixTable::TwoThread => 2,
+            MixTable::ThreeThread => 3,
+            MixTable::FourThread => 4,
+        }
+    }
+
+    /// Human-readable table name as used in the paper.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            MixTable::TwoThread => "Table 3 (2-threaded)",
+            MixTable::ThreeThread => "Table 4 (3-threaded)",
+            MixTable::FourThread => "Table 2 (4-threaded)",
+        }
+    }
+}
+
+/// One multithreaded workload: a named set of co-scheduled benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mix {
+    /// Mix name as in the paper ("Mix 1" … "Mix 12").
+    pub name: String,
+    /// ILP-level classification string from the table.
+    pub classification: String,
+    /// Benchmarks, one per hardware thread.
+    pub benchmarks: Vec<String>,
+}
+
+impl Mix {
+    fn new(n: u32, classification: &str, benches: &[&str]) -> Self {
+        Mix {
+            name: format!("Mix {n}"),
+            classification: classification.to_string(),
+            benchmarks: benches.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Profiles for every thread of this mix.
+    pub fn profiles(&self) -> Vec<BenchmarkProfile> {
+        self.benchmarks.iter().map(|b| benchmark(b)).collect()
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+}
+
+/// Table 2: the twelve 4-threaded workloads.
+fn four_thread_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new(1, "4 LOW ILP", &["mgrid", "equake", "art", "lucas"]),
+        Mix::new(2, "4 LOW ILP", &["twolf", "vpr", "swim", "parser"]),
+        Mix::new(3, "4 MED ILP", &["applu", "ammp", "mgrid", "galgel"]),
+        Mix::new(4, "4 MED ILP", &["gcc", "bzip2", "eon", "apsi"]),
+        Mix::new(5, "4 HIGH ILP", &["facerec", "crafty", "perlbmk", "gap"]),
+        Mix::new(6, "4 HIGH ILP", &["wupwise", "gzip", "vortex", "mesa"]),
+        Mix::new(7, "2 LOW ILP + 2 HIGH ILP", &["parser", "equake", "mesa", "vortex"]),
+        Mix::new(8, "2 LOW ILP + 2 HIGH ILP", &["parser", "swim", "crafty", "perlbmk"]),
+        Mix::new(9, "2 LOW ILP + 2 MED ILP", &["art", "lucas", "galgel", "gcc"]),
+        Mix::new(10, "2 LOW ILP + 2 MED ILP", &["parser", "swim", "gcc", "bzip2"]),
+        Mix::new(11, "2 MED ILP + 2 HIGH ILP", &["gzip", "wupwise", "fma3d", "apsi"]),
+        Mix::new(12, "2 MED ILP + 2 HIGH ILP", &["vortex", "mesa", "mgrid", "eon"]),
+    ]
+}
+
+/// Table 3: the twelve 2-threaded workloads.
+fn two_thread_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new(1, "2 LOW ILP", &["equake", "lucas"]),
+        Mix::new(2, "2 LOW ILP", &["twolf", "vpr"]),
+        Mix::new(3, "2 MED ILP", &["gcc", "bzip2"]),
+        Mix::new(4, "2 MED ILP", &["mgrid", "galgel"]),
+        Mix::new(5, "2 HIGH ILP", &["facerec", "wupwise"]),
+        Mix::new(6, "2 HIGH ILP", &["crafty", "gzip"]),
+        Mix::new(7, "1 LOW ILP + 1 HIGH ILP", &["parser", "vortex"]),
+        Mix::new(8, "1 LOW ILP + 1 HIGH ILP", &["swim", "gap"]),
+        Mix::new(9, "1 LOW ILP + 1 MED ILP", &["twolf", "bzip2"]),
+        Mix::new(10, "1 LOW ILP + 1 MED ILP", &["equake", "gcc"]),
+        Mix::new(11, "1 MED ILP + 1 HIGH ILP", &["applu", "mesa"]),
+        Mix::new(12, "1 MED ILP + 1 HIGH ILP", &["ammp", "gzip"]),
+    ]
+}
+
+/// Table 4: the twelve 3-threaded workloads.
+fn three_thread_mixes() -> Vec<Mix> {
+    vec![
+        Mix::new(1, "3 LOW ILP", &["mgrid", "equake", "art"]),
+        Mix::new(2, "3 LOW ILP", &["twolf", "vpr", "swim"]),
+        Mix::new(3, "3 MED ILP", &["applu", "ammp", "mgrid"]),
+        Mix::new(4, "3 MED ILP", &["gcc", "bzip2", "eon"]),
+        Mix::new(5, "3 HIGH ILP", &["facerec", "crafty", "perlbmk"]),
+        Mix::new(6, "3 HIGH ILP", &["wupwise", "gzip", "vortex"]),
+        Mix::new(7, "2 LOW ILP + 1 HIGH ILP", &["parser", "equake", "mesa"]),
+        Mix::new(8, "1 LOW ILP + 2 HIGH ILP", &["perlbmk", "parser", "crafty"]),
+        Mix::new(9, "2 LOW ILP + 1 MED ILP", &["art", "lucas", "galgel"]),
+        Mix::new(10, "1 LOW ILP + 2 MED ILP", &["parser", "bzip2", "gcc"]),
+        Mix::new(11, "2 MED ILP + 1 HIGH ILP", &["gzip", "wupwise", "fma3d"]),
+        Mix::new(12, "1 MED ILP + 2 HIGH ILP", &["vortex", "eon", "mgrid"]),
+    ]
+}
+
+/// The twelve mixes of the requested table.
+pub fn mixes_for(table: MixTable) -> Vec<Mix> {
+    match table {
+        MixTable::TwoThread => two_thread_mixes(),
+        MixTable::ThreeThread => three_thread_mixes(),
+        MixTable::FourThread => four_thread_mixes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_mixes_per_table() {
+        for table in [MixTable::TwoThread, MixTable::ThreeThread, MixTable::FourThread] {
+            let mixes = mixes_for(table);
+            assert_eq!(mixes.len(), 12, "{}", table.table_name());
+            for m in &mixes {
+                assert_eq!(
+                    m.num_threads(),
+                    table.num_threads(),
+                    "{} {} thread count",
+                    table.table_name(),
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_mix_resolves_to_profiles() {
+        for table in [MixTable::TwoThread, MixTable::ThreeThread, MixTable::FourThread] {
+            for m in mixes_for(table) {
+                let profiles = m.profiles();
+                assert_eq!(profiles.len(), m.num_threads());
+                for p in profiles {
+                    p.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table2_mix1_matches_paper() {
+        let m = &mixes_for(MixTable::FourThread)[0];
+        assert_eq!(m.benchmarks, ["mgrid", "equake", "art", "lucas"]);
+    }
+
+    #[test]
+    fn table3_mix7_matches_paper() {
+        let m = &mixes_for(MixTable::TwoThread)[6];
+        assert_eq!(m.benchmarks, ["parser", "vortex"]);
+        assert_eq!(m.classification, "1 LOW ILP + 1 HIGH ILP");
+    }
+
+    #[test]
+    fn table4_mix11_matches_paper() {
+        let m = &mixes_for(MixTable::ThreeThread)[10];
+        assert_eq!(m.benchmarks, ["gzip", "wupwise", "fma3d"]);
+    }
+
+    #[test]
+    fn mix_names_are_sequential() {
+        for table in [MixTable::TwoThread, MixTable::ThreeThread, MixTable::FourThread] {
+            for (i, m) in mixes_for(table).iter().enumerate() {
+                assert_eq!(m.name, format!("Mix {}", i + 1));
+            }
+        }
+    }
+}

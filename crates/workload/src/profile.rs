@@ -1,0 +1,205 @@
+//! Benchmark behaviour profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three-way benchmark classification: "we … used these results
+/// to classify them as low, medium, and high ILP, where the low ILP
+/// benchmarks are memory bound and the high ILP benchmarks are execution
+/// bound" (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IlpClass {
+    /// Memory-bound: large working sets, pointer chasing, short dependency
+    /// distances.
+    Low,
+    /// Intermediate behaviour.
+    Med,
+    /// Execution-bound: cache-resident working sets, long dependency
+    /// distances, predictable branches.
+    High,
+}
+
+impl IlpClass {
+    /// Short label used in mix tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IlpClass::Low => "LOW",
+            IlpClass::Med => "MED",
+            IlpClass::High => "HIGH",
+        }
+    }
+}
+
+/// Microarchitectural behaviour model of one benchmark.
+///
+/// All probabilities are in `[0,1]`. Instruction-class fractions must sum
+/// to at most 1; the remainder becomes plain integer-ALU operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"gcc"`).
+    pub name: String,
+    /// ILP classification used to build the paper's mixes.
+    pub ilp: IlpClass,
+    /// Is this a floating-point benchmark (SPEC CFP2000)?
+    pub is_fp: bool,
+    /// Fraction of dynamic instructions that are loads.
+    pub frac_load: f64,
+    /// Fraction that are stores.
+    pub frac_store: f64,
+    /// Fraction that are conditional branches.
+    pub frac_branch: f64,
+    /// Fraction that are integer multiplies.
+    pub frac_int_mult: f64,
+    /// Fraction that are integer divides.
+    pub frac_int_div: f64,
+    /// Fraction that are FP adds (FP benchmarks only, typically).
+    pub frac_fp_add: f64,
+    /// Fraction that are FP multiplies.
+    pub frac_fp_mult: f64,
+    /// Fraction that are FP divides.
+    pub frac_fp_div: f64,
+    /// Fraction that are FP square roots.
+    pub frac_fp_sqrt: f64,
+    /// Mean register dependency distance (instructions between a value's
+    /// producer and its consumer). Small ⇒ serial chains ⇒ low ILP.
+    pub mean_dep_distance: f64,
+    /// Probability that a two-operand instruction actually names two real
+    /// (dependency-creating) register sources.
+    pub two_src_frac: f64,
+    /// Data working-set size in bytes. Larger than L2 ⇒ memory-bound.
+    pub working_set: u64,
+    /// Fraction of loads whose address register is the destination of the
+    /// most recent load (pointer chasing: serialises misses).
+    pub pointer_chase_frac: f64,
+    /// Fraction of data accesses that hit the L2-resident tier (random
+    /// within a ~64 KB region: misses L1, hits L2 once warm).
+    pub l2_access_frac: f64,
+    /// Fraction of data accesses uniform over the full working set — for a
+    /// memory-bound working set these are the main-memory misses.
+    pub mem_access_frac: f64,
+    /// Mean per-branch taken bias; higher ⇒ more predictable branches.
+    pub branch_bias: f64,
+    /// Static code footprint in bytes (loop body length × 4).
+    pub code_footprint: u64,
+}
+
+impl BenchmarkProfile {
+    /// Fraction of instructions that fall through to plain integer ALU ops.
+    pub fn frac_int_alu(&self) -> f64 {
+        1.0 - (self.frac_load
+            + self.frac_store
+            + self.frac_branch
+            + self.frac_int_mult
+            + self.frac_int_div
+            + self.frac_fp_add
+            + self.frac_fp_mult
+            + self.frac_fp_div
+            + self.frac_fp_sqrt)
+    }
+
+    /// Validate the profile's internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks: [(&str, f64); 7] = [
+            ("frac_load", self.frac_load),
+            ("frac_store", self.frac_store),
+            ("frac_branch", self.frac_branch),
+            ("two_src_frac", self.two_src_frac),
+            ("pointer_chase_frac", self.pointer_chase_frac),
+            ("l2_access_frac", self.l2_access_frac),
+            ("mem_access_frac", self.mem_access_frac),
+        ];
+        for (name, v) in checks {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} out of [0,1] for {}", self.name));
+            }
+        }
+        if self.frac_int_alu() < 0.0 {
+            return Err(format!("instruction-class fractions exceed 1 for {}", self.name));
+        }
+        if self.l2_access_frac + self.mem_access_frac > 1.0 {
+            return Err(format!("access-tier fractions exceed 1 for {}", self.name));
+        }
+        if self.mean_dep_distance < 1.0 {
+            return Err(format!("mean_dep_distance must be >= 1 for {}", self.name));
+        }
+        if !(0.5..=1.0).contains(&self.branch_bias) {
+            return Err(format!("branch_bias must be in [0.5,1] for {}", self.name));
+        }
+        if self.working_set < 4096 {
+            return Err(format!("working set too small for {}", self.name));
+        }
+        if self.code_footprint < 64 || !self.code_footprint.is_multiple_of(4) {
+            return Err(format!("bad code footprint for {}", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "test".into(),
+            ilp: IlpClass::Med,
+            is_fp: false,
+            frac_load: 0.25,
+            frac_store: 0.1,
+            frac_branch: 0.12,
+            frac_int_mult: 0.01,
+            frac_int_div: 0.001,
+            frac_fp_add: 0.0,
+            frac_fp_mult: 0.0,
+            frac_fp_div: 0.0,
+            frac_fp_sqrt: 0.0,
+            mean_dep_distance: 5.0,
+            two_src_frac: 0.4,
+            working_set: 1 << 20,
+            pointer_chase_frac: 0.1,
+            l2_access_frac: 0.15,
+            mem_access_frac: 0.01,
+            branch_bias: 0.9,
+            code_footprint: 4096,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn alu_fraction_is_remainder() {
+        let p = base();
+        let expected = 1.0 - 0.25 - 0.1 - 0.12 - 0.01 - 0.001;
+        assert!((p.frac_int_alu() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overfull_mix_rejected() {
+        let mut p = base();
+        p.frac_load = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_bias_rejected() {
+        let mut p = base();
+        p.branch_bias = 0.3;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_dep_distance_rejected() {
+        let mut p = base();
+        p.mean_dep_distance = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(IlpClass::Low.label(), "LOW");
+        assert_eq!(IlpClass::Med.label(), "MED");
+        assert_eq!(IlpClass::High.label(), "HIGH");
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic models of the SPEC CPU2000 benchmarks used by the paper.
+//!
+//! Each benchmark gets a profile derived from its ILP-class template (the
+//! classification the paper's methodology uses in §2) plus a small
+//! deterministic per-benchmark perturbation so that different benchmarks of
+//! the same class still behave differently. The class assignments below are
+//! reconstructed from the classification columns of Tables 2–4.
+
+use crate::profile::{BenchmarkProfile, IlpClass};
+
+/// All benchmarks appearing in Tables 2–4 of the paper, with ILP class and
+/// integer/floating-point designation.
+const BENCHMARKS: &[(&str, IlpClass, bool)] = &[
+    // LOW ILP — memory-bound.
+    ("art", IlpClass::Low, true),
+    ("lucas", IlpClass::Low, true),
+    ("equake", IlpClass::Low, true),
+    ("swim", IlpClass::Low, true),
+    ("twolf", IlpClass::Low, false),
+    ("vpr", IlpClass::Low, false),
+    ("parser", IlpClass::Low, false),
+    // MED ILP.
+    ("gcc", IlpClass::Med, false),
+    ("bzip2", IlpClass::Med, false),
+    ("mgrid", IlpClass::Med, true),
+    ("galgel", IlpClass::Med, true),
+    ("applu", IlpClass::Med, true),
+    ("ammp", IlpClass::Med, true),
+    ("wupwise", IlpClass::Med, true),
+    ("gzip", IlpClass::Med, false),
+    // HIGH ILP — execution-bound.
+    ("crafty", IlpClass::High, false),
+    ("perlbmk", IlpClass::High, false),
+    ("gap", IlpClass::High, false),
+    ("vortex", IlpClass::High, false),
+    ("eon", IlpClass::High, false),
+    ("mesa", IlpClass::High, true),
+    ("facerec", IlpClass::High, true),
+    ("apsi", IlpClass::High, true),
+    ("fma3d", IlpClass::High, true),
+];
+
+/// Deterministic 64-bit hash of a benchmark name (FNV-1a), used to derive
+/// stable per-benchmark parameter jitter.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Jitter `base` by up to ±`pct` using bits `lane` of the hash.
+fn jitter(base: f64, pct: f64, hash: u64, lane: u32) -> f64 {
+    let bits = (hash >> (lane * 8)) & 0xFF;
+    let unit = (bits as f64 / 255.0) * 2.0 - 1.0; // [-1, 1]
+    base * (1.0 + pct * unit)
+}
+
+/// Class template for profile construction.
+fn class_template(name: &str, ilp: IlpClass, is_fp: bool) -> BenchmarkProfile {
+    let h = name_hash(name);
+    #[allow(clippy::type_complexity)]
+    let (loads, stores, branches, dep, two_src, ws, chase, l2f, memf, bias, code): (
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        u64,
+        f64,
+        f64,
+        f64,
+        f64,
+        u64,
+    ) = match ilp {
+        // Memory bound: working set far beyond L2, heavy pointer chasing,
+        // short dependency chains, noisier branches.
+        IlpClass::Low => {
+            (0.30, 0.12, 0.13, 4.0, 0.34, 16 << 20, 0.08, 0.22, 0.08, 0.91, 16 * 1024)
+        }
+        // Intermediate: mostly cache-resident with an L2-hit tier and rare
+        // memory misses.
+        IlpClass::Med => {
+            (0.27, 0.11, 0.12, 6.0, 0.38, 1 << 20, 0.05, 0.15, 0.010, 0.945, 8 * 1024)
+        }
+        // Execution bound: cache-resident, long dependency distances,
+        // predictable branches.
+        IlpClass::High => {
+            (0.22, 0.10, 0.10, 12.0, 0.35, 24 * 1024, 0.02, 0.04, 0.002, 0.97, 4 * 1024)
+        }
+    };
+
+    // Floating-point benchmarks shift a chunk of the ALU remainder into the
+    // FP pipelines and have slightly more predictable (loopier) branches.
+    let (fp_add, fp_mult, fp_div, fp_sqrt, branch_adj, bias_adj) = if is_fp {
+        (0.18, 0.11, 0.008, 0.002, -0.03, 0.02)
+    } else {
+        (0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    };
+
+    let profile = BenchmarkProfile {
+        name: name.to_string(),
+        ilp,
+        is_fp,
+        frac_load: jitter(loads, 0.12, h, 0),
+        frac_store: jitter(stores, 0.12, h, 1),
+        frac_branch: (jitter(branches, 0.12, h, 2) + branch_adj).max(0.04),
+        frac_int_mult: if is_fp { 0.002 } else { 0.012 },
+        frac_int_div: if is_fp { 0.0005 } else { 0.0015 },
+        frac_fp_add: fp_add,
+        frac_fp_mult: fp_mult,
+        frac_fp_div: fp_div,
+        frac_fp_sqrt: fp_sqrt,
+        mean_dep_distance: jitter(dep, 0.20, h, 3).max(1.5),
+        two_src_frac: jitter(two_src, 0.10, h, 4).clamp(0.0, 1.0),
+        working_set: ((jitter(ws as f64, 0.25, h, 5) as u64) / 4096).max(1) * 4096,
+        pointer_chase_frac: jitter(chase, 0.25, h, 6).clamp(0.0, 1.0),
+        l2_access_frac: jitter(l2f, 0.20, h, 7).clamp(0.0, 0.5),
+        mem_access_frac: jitter(memf, 0.20, h, 2).clamp(0.0, 0.5),
+        branch_bias: (jitter(bias, 0.03, h, 0) + bias_adj).clamp(0.55, 0.995),
+        code_footprint: ((code + (h % 16) * 256) / 4) * 4,
+    };
+    debug_assert!(profile.validate().is_ok(), "{:?}", profile.validate());
+    profile
+}
+
+/// The profile of one named benchmark. Panics on an unknown name.
+pub fn benchmark(name: &str) -> BenchmarkProfile {
+    let (n, ilp, is_fp) = BENCHMARKS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
+    class_template(n, *ilp, *is_fp)
+}
+
+/// Names of all modelled benchmarks.
+pub fn benchmark_names() -> Vec<&'static str> {
+    BENCHMARKS.iter().map(|(n, _, _)| *n).collect()
+}
+
+/// Profiles for all modelled benchmarks.
+pub fn spec2000() -> Vec<BenchmarkProfile> {
+    BENCHMARKS.iter().map(|(n, ilp, fp)| class_template(n, *ilp, *fp)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in spec2000() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn classes_have_expected_ordering() {
+        // Dependency distance and working set should order by class.
+        let low = benchmark("art");
+        let med = benchmark("gcc");
+        let high = benchmark("crafty");
+        assert!(low.mean_dep_distance < med.mean_dep_distance);
+        assert!(med.mean_dep_distance < high.mean_dep_distance);
+        assert!(low.working_set > med.working_set);
+        assert!(med.working_set > high.working_set);
+        assert!(low.pointer_chase_frac > high.pointer_chase_frac);
+        assert!(low.branch_bias < high.branch_bias);
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        assert_eq!(benchmark("gcc"), benchmark("gcc"));
+        assert_eq!(spec2000(), spec2000());
+    }
+
+    #[test]
+    fn same_class_benchmarks_differ() {
+        let a = benchmark("art");
+        let b = benchmark("lucas");
+        assert_eq!(a.ilp, b.ilp);
+        assert_ne!(a.frac_load, b.frac_load, "per-benchmark jitter must differentiate profiles");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = benchmark("doom3");
+    }
+
+    #[test]
+    fn fp_benchmarks_have_fp_fraction() {
+        for p in spec2000() {
+            if p.is_fp {
+                assert!(p.frac_fp_add > 0.0, "{} should issue FP ops", p.name);
+            } else {
+                assert_eq!(p.frac_fp_add, 0.0, "{} should not issue FP ops", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_table_benchmark_is_modelled() {
+        // Every name in Tables 2-4 of the paper must resolve.
+        for name in [
+            "mgrid", "equake", "art", "lucas", "twolf", "vpr", "swim", "parser", "applu",
+            "ammp", "galgel", "gcc", "bzip2", "eon", "apsi", "facerec", "crafty", "perlbmk",
+            "gap", "wupwise", "gzip", "vortex", "mesa", "fma3d",
+        ] {
+            let _ = benchmark(name);
+        }
+    }
+
+    #[test]
+    fn class_counts() {
+        let profs = spec2000();
+        let low = profs.iter().filter(|p| p.ilp == IlpClass::Low).count();
+        let med = profs.iter().filter(|p| p.ilp == IlpClass::Med).count();
+        let high = profs.iter().filter(|p| p.ilp == IlpClass::High).count();
+        assert_eq!((low, med, high), (7, 8, 9));
+    }
+}

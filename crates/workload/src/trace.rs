@@ -1,0 +1,199 @@
+//! Trace sources: random-access windows over instruction generators.
+//!
+//! The pipeline consumes instructions by **global index** so that a
+//! watchdog-timer flush (paper §4) can rewind fetch to the oldest
+//! uncommitted instruction. [`TraceSource`] keeps a sliding window of
+//! generated-but-not-retired instructions to make that rewind cheap.
+
+use smt_isa::TraceInst;
+use std::collections::VecDeque;
+
+/// A source of dynamic instructions for one thread.
+pub trait InstGenerator: Send {
+    /// The next instruction, or `None` when the program ends.
+    fn next_inst(&mut self) -> Option<TraceInst>;
+}
+
+/// A fixed program, optionally repeated — the workhorse for unit tests and
+/// hand-written microbenchmarks (e.g. the Figure 2 code segment).
+pub struct ProgramTrace {
+    insts: Vec<TraceInst>,
+    idx: usize,
+    repeat: bool,
+}
+
+impl ProgramTrace {
+    /// A program that runs once and ends.
+    pub fn once(insts: Vec<TraceInst>) -> Self {
+        ProgramTrace { insts, idx: 0, repeat: false }
+    }
+
+    /// A program repeated forever.
+    pub fn looped(insts: Vec<TraceInst>) -> Self {
+        assert!(!insts.is_empty(), "cannot loop an empty program");
+        ProgramTrace { insts, idx: 0, repeat: true }
+    }
+}
+
+impl InstGenerator for ProgramTrace {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        if self.idx >= self.insts.len() {
+            if !self.repeat {
+                return None;
+            }
+            self.idx = 0;
+        }
+        let inst = self.insts[self.idx];
+        self.idx += 1;
+        Some(inst)
+    }
+}
+
+/// A sliding random-access window over an [`InstGenerator`].
+///
+/// * [`TraceSource::get`] returns the instruction at a global index,
+///   generating forward as needed.
+/// * [`TraceSource::retire_up_to`] drops instructions below an index once
+///   they can never be re-fetched (i.e. they committed).
+pub struct TraceSource {
+    gen: Box<dyn InstGenerator>,
+    window: VecDeque<TraceInst>,
+    /// Global index of `window[0]`.
+    base: u64,
+    /// Set when the generator has ended; no indices >= `end` exist.
+    end: Option<u64>,
+}
+
+impl TraceSource {
+    /// Wrap a generator.
+    pub fn new(gen: Box<dyn InstGenerator>) -> Self {
+        TraceSource { gen, window: VecDeque::new(), base: 0, end: None }
+    }
+
+    /// The instruction at global index `idx`, or `None` past the end of the
+    /// program. Panics if `idx` has already been retired.
+    pub fn get(&mut self, idx: u64) -> Option<TraceInst> {
+        assert!(idx >= self.base, "index {idx} already retired (base {})", self.base);
+        if let Some(end) = self.end {
+            if idx >= end {
+                return None;
+            }
+        }
+        while self.base + (self.window.len() as u64) <= idx {
+            match self.gen.next_inst() {
+                Some(inst) => self.window.push_back(inst),
+                None => {
+                    self.end = Some(self.base + self.window.len() as u64);
+                    return None;
+                }
+            }
+        }
+        Some(self.window[(idx - self.base) as usize])
+    }
+
+    /// Drop all instructions with index `< idx`. Call as instructions
+    /// commit; keeps the window bounded by the in-flight instruction count.
+    pub fn retire_up_to(&mut self, idx: u64) {
+        while self.base < idx && !self.window.is_empty() {
+            self.window.pop_front();
+            self.base += 1;
+        }
+        // Allow retiring past generated state even if nothing was fetched.
+        if self.window.is_empty() && self.base < idx {
+            self.base = idx.min(self.end.unwrap_or(idx));
+        }
+    }
+
+    /// Number of buffered (generated but unretired) instructions.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Has the program definitely ended at or before `idx`?
+    pub fn ended_at(&self, idx: u64) -> bool {
+        self.end.map(|e| idx >= e).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::ArchReg;
+
+    fn prog(n: usize) -> Vec<TraceInst> {
+        (0..n).map(|i| TraceInst::alu(i as u64 * 4, ArchReg::int(1), None, None)).collect()
+    }
+
+    #[test]
+    fn once_ends() {
+        let mut t = ProgramTrace::once(prog(3));
+        assert!(t.next_inst().is_some());
+        assert!(t.next_inst().is_some());
+        assert!(t.next_inst().is_some());
+        assert!(t.next_inst().is_none());
+        assert!(t.next_inst().is_none());
+    }
+
+    #[test]
+    fn looped_repeats() {
+        let mut t = ProgramTrace::looped(prog(2));
+        let a = t.next_inst().unwrap();
+        let _ = t.next_inst().unwrap();
+        let c = t.next_inst().unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn source_random_access_within_window() {
+        let mut s = TraceSource::new(Box::new(ProgramTrace::once(prog(10))));
+        let i5 = s.get(5).unwrap();
+        let i2 = s.get(2).unwrap(); // backwards within window
+        assert_eq!(i2.pc, 8);
+        assert_eq!(i5.pc, 20);
+        assert_eq!(s.window_len(), 6);
+    }
+
+    #[test]
+    fn source_end_detection() {
+        let mut s = TraceSource::new(Box::new(ProgramTrace::once(prog(3))));
+        assert!(s.get(2).is_some());
+        assert!(s.get(3).is_none());
+        assert!(s.ended_at(3));
+        assert!(!s.ended_at(2));
+    }
+
+    #[test]
+    fn retire_shrinks_window() {
+        let mut s = TraceSource::new(Box::new(ProgramTrace::once(prog(10))));
+        let _ = s.get(7);
+        assert_eq!(s.window_len(), 8);
+        s.retire_up_to(5);
+        assert_eq!(s.window_len(), 3);
+        assert_eq!(s.get(5).unwrap().pc, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "already retired")]
+    fn retired_access_panics() {
+        let mut s = TraceSource::new(Box::new(ProgramTrace::once(prog(10))));
+        let _ = s.get(5);
+        s.retire_up_to(3);
+        let _ = s.get(2);
+    }
+
+    #[test]
+    fn rewind_after_partial_retire_matches() {
+        // Simulates a watchdog flush: re-read an index still in the window.
+        let mut s = TraceSource::new(Box::new(ProgramTrace::once(prog(20))));
+        let first = s.get(10).unwrap();
+        s.retire_up_to(4);
+        let again = s.get(10).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn empty_loop_panics() {
+        let _ = ProgramTrace::looped(vec![]);
+    }
+}

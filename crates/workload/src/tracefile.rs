@@ -1,0 +1,198 @@
+//! Recording and replaying instruction traces.
+//!
+//! A [`Recorder`] wraps any [`InstGenerator`] and tees the stream it
+//! produces; the recording can be saved as JSON-lines and replayed later
+//! with [`TraceFileReplay`]. This enables:
+//!
+//! * sharing exact workloads between machines/runs regardless of generator
+//!   versions;
+//! * regression pinning (a saved trace never changes even if the synthetic
+//!   models are retuned);
+//! * importing externally produced traces into the simulator (any tool
+//!   able to emit the JSON-lines schema of [`smt_isa::TraceInst`]).
+
+use crate::trace::InstGenerator;
+use smt_isa::TraceInst;
+use std::io::{self, BufRead, Write};
+
+/// Wraps a generator, recording every instruction it emits.
+pub struct Recorder<G: InstGenerator> {
+    inner: G,
+    recorded: Vec<TraceInst>,
+    /// Stop recording (but keep generating) after this many instructions;
+    /// `None` records everything.
+    limit: Option<usize>,
+}
+
+impl<G: InstGenerator> Recorder<G> {
+    /// Record every instruction `inner` produces.
+    pub fn new(inner: G) -> Self {
+        Recorder { inner, recorded: Vec::new(), limit: None }
+    }
+
+    /// Record at most `limit` instructions (generation continues past it).
+    pub fn with_limit(inner: G, limit: usize) -> Self {
+        Recorder { inner, recorded: Vec::new(), limit: Some(limit) }
+    }
+
+    /// Instructions recorded so far.
+    pub fn recorded(&self) -> &[TraceInst] {
+        &self.recorded
+    }
+
+    /// Consume the recorder, returning the recording.
+    pub fn into_recording(self) -> Vec<TraceInst> {
+        self.recorded
+    }
+
+    /// Serialize the recording as JSON lines.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for inst in &self.recorded {
+            let line = serde_json::to_string(inst)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<G: InstGenerator> InstGenerator for Recorder<G> {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        let inst = self.inner.next_inst();
+        if let Some(i) = inst {
+            if self.limit.map(|l| self.recorded.len() < l).unwrap_or(true) {
+                self.recorded.push(i);
+            }
+        }
+        inst
+    }
+}
+
+/// Replays a JSON-lines trace as an [`InstGenerator`].
+#[derive(Debug, Clone)]
+pub struct TraceFileReplay {
+    insts: Vec<TraceInst>,
+    idx: usize,
+}
+
+impl TraceFileReplay {
+    /// Parse a JSON-lines trace. Every instruction is validated; parse or
+    /// validation failures report the offending line number.
+    pub fn from_jsonl<R: BufRead>(r: R) -> io::Result<Self> {
+        let mut insts = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let inst: TraceInst = serde_json::from_str(&line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: {e}", lineno + 1),
+                )
+            })?;
+            inst.validate().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: invalid instruction: {e}", lineno + 1),
+                )
+            })?;
+            insts.push(inst);
+        }
+        Ok(TraceFileReplay { insts, idx: 0 })
+    }
+
+    /// Wrap an in-memory recording directly.
+    pub fn from_recording(insts: Vec<TraceInst>) -> Self {
+        TraceFileReplay { insts, idx: 0 }
+    }
+
+    /// Number of instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+impl InstGenerator for TraceFileReplay {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        let inst = self.insts.get(self.idx).copied();
+        if inst.is_some() {
+            self.idx += 1;
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticGen;
+    use crate::spec::benchmark;
+
+    #[test]
+    fn recorder_tees_the_stream() {
+        let gen = SyntheticGen::new(benchmark("gcc"), 0, 9);
+        let mut rec = Recorder::new(gen);
+        let direct: Vec<TraceInst> = (0..100).map(|_| rec.next_inst().unwrap()).collect();
+        assert_eq!(rec.recorded(), &direct[..]);
+    }
+
+    #[test]
+    fn limit_caps_recording_but_not_generation() {
+        let gen = SyntheticGen::new(benchmark("gcc"), 0, 9);
+        let mut rec = Recorder::with_limit(gen, 10);
+        for _ in 0..50 {
+            assert!(rec.next_inst().is_some());
+        }
+        assert_eq!(rec.recorded().len(), 10);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_trace() {
+        let gen = SyntheticGen::new(benchmark("art"), 1, 3);
+        let mut rec = Recorder::new(gen);
+        let original: Vec<TraceInst> = (0..200).map(|_| rec.next_inst().unwrap()).collect();
+
+        let mut buf = Vec::new();
+        rec.write_jsonl(&mut buf).unwrap();
+        let mut replay = TraceFileReplay::from_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(replay.len(), 200);
+        let replayed: Vec<TraceInst> = (0..200).map(|_| replay.next_inst().unwrap()).collect();
+        assert_eq!(original, replayed);
+        assert!(replay.next_inst().is_none(), "replay ends with the trace");
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let data = b"{\"bad\": true}\n";
+        let err = TraceFileReplay::from_jsonl(&data[..]).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn invalid_instruction_rejected() {
+        // A load without memory info violates structural invariants.
+        let mut inst = smt_isa::TraceInst::alu(0, smt_isa::ArchReg::int(1), None, None);
+        inst.op = smt_isa::OpClass::Load;
+        let line = serde_json::to_string(&inst).unwrap();
+        let err = TraceFileReplay::from_jsonl(line.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid instruction"), "{err}");
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let gen = SyntheticGen::new(benchmark("gcc"), 0, 9);
+        let mut rec = Recorder::new(gen);
+        let _ = rec.next_inst();
+        let mut buf = Vec::new();
+        rec.write_jsonl(&mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let replay = TraceFileReplay::from_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(replay.len(), 1);
+    }
+}

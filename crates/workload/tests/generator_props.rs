@@ -1,0 +1,91 @@
+//! Property tests over the synthetic workload generator: arbitrary valid
+//! profiles must always produce valid, well-contained instruction streams.
+
+use proptest::prelude::*;
+use smt_workload::{BenchmarkProfile, IlpClass, InstGenerator, SyntheticGen};
+
+fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.05f64..0.4,   // loads
+        0.01f64..0.15,  // stores
+        0.05f64..0.2,   // branches
+        1.5f64..20.0,   // dep distance
+        0.0f64..0.8,    // two-src fraction
+        0u8..3,         // ilp class selector
+        any::<bool>(),  // fp?
+        0.0f64..0.5,    // chase
+        0.0f64..0.4,    // l2 frac
+        0.0f64..0.4,    // mem frac
+        0.56f64..0.99,  // bias
+    )
+        .prop_map(
+            |(loads, stores, branches, dep, two_src, ilp, is_fp, chase, l2f, memf, bias)| {
+                let (fp_add, fp_mult) = if is_fp { (0.12, 0.08) } else { (0.0, 0.0) };
+                BenchmarkProfile {
+                    name: "prop".into(),
+                    ilp: match ilp {
+                        0 => IlpClass::Low,
+                        1 => IlpClass::Med,
+                        _ => IlpClass::High,
+                    },
+                    is_fp,
+                    frac_load: loads,
+                    frac_store: stores,
+                    frac_branch: branches,
+                    frac_int_mult: 0.01,
+                    frac_int_div: 0.001,
+                    frac_fp_add: fp_add,
+                    frac_fp_mult: fp_mult,
+                    frac_fp_div: 0.0,
+                    frac_fp_sqrt: 0.0,
+                    mean_dep_distance: dep,
+                    two_src_frac: two_src,
+                    working_set: 1 << 20,
+                    pointer_chase_frac: chase,
+                    l2_access_frac: l2f.min(1.0 - memf),
+                    mem_access_frac: memf,
+                    branch_bias: bias,
+                    code_footprint: 4096,
+                }
+            },
+        )
+        .prop_filter("profile must validate", |p| p.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_instructions_always_validate(profile in arb_profile(), seed in any::<u64>()) {
+        let mut g = SyntheticGen::new(profile, 0, seed);
+        for _ in 0..2_000 {
+            let inst = g.next_inst().expect("synthetic streams are infinite");
+            prop_assert!(inst.validate().is_ok(), "{:?}", inst.validate());
+        }
+    }
+
+    #[test]
+    fn addresses_and_pcs_stay_in_bounds(profile in arb_profile(), seed in any::<u64>()) {
+        let ws = profile.working_set;
+        let footprint = profile.code_footprint;
+        let mut g = SyntheticGen::new(profile, 2, seed);
+        let code_base = g.code_base();
+        let data_base = g.data_base();
+        for _ in 0..2_000 {
+            let inst = g.next_inst().unwrap();
+            prop_assert!(inst.pc >= code_base && inst.pc < code_base + footprint);
+            if let Some(m) = inst.mem {
+                prop_assert!(m.addr >= data_base && m.addr < data_base + ws);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible(profile in arb_profile(), seed in any::<u64>()) {
+        let mut a = SyntheticGen::new(profile.clone(), 1, seed);
+        let mut b = SyntheticGen::new(profile, 1, seed);
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Define a custom benchmark behaviour profile — beyond the built-in SPEC
+//! CPU2000 models — and run it through the simulator.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use smt_sim::core::{DispatchPolicy, SimConfig, Simulator};
+use smt_sim::workload::{BenchmarkProfile, IlpClass, InstGenerator, SyntheticGen};
+
+fn main() {
+    // A pathological "linked-list walker": almost every load chases the
+    // previous load's result through a working set far larger than the L2.
+    let list_walker = BenchmarkProfile {
+        name: "list-walker".into(),
+        ilp: IlpClass::Low,
+        is_fp: false,
+        frac_load: 0.40,
+        frac_store: 0.05,
+        frac_branch: 0.10,
+        frac_int_mult: 0.0,
+        frac_int_div: 0.0,
+        frac_fp_add: 0.0,
+        frac_fp_mult: 0.0,
+        frac_fp_div: 0.0,
+        frac_fp_sqrt: 0.0,
+        mean_dep_distance: 2.0,
+        two_src_frac: 0.5,
+        working_set: 64 << 20,
+        pointer_chase_frac: 0.8,
+        l2_access_frac: 0.05,
+        mem_access_frac: 0.5,
+        branch_bias: 0.9,
+        code_footprint: 2048,
+    };
+    list_walker.validate().expect("profile must be consistent");
+
+    // A dense numeric kernel: cache-resident, long dependency distances.
+    let kernel = BenchmarkProfile {
+        name: "stencil-kernel".into(),
+        ilp: IlpClass::High,
+        is_fp: true,
+        frac_load: 0.25,
+        frac_store: 0.10,
+        frac_branch: 0.05,
+        frac_int_mult: 0.0,
+        frac_int_div: 0.0,
+        frac_fp_add: 0.25,
+        frac_fp_mult: 0.18,
+        frac_fp_div: 0.002,
+        frac_fp_sqrt: 0.0,
+        mean_dep_distance: 16.0,
+        two_src_frac: 0.45,
+        working_set: 16 * 1024,
+        pointer_chase_frac: 0.0,
+        l2_access_frac: 0.02,
+        mem_access_frac: 0.001,
+        branch_bias: 0.99,
+        code_footprint: 1024,
+    };
+    kernel.validate().expect("profile must be consistent");
+
+    for policy in
+        [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
+    {
+        let cfg = SimConfig::paper(48, policy);
+        let streams: Vec<Box<dyn InstGenerator>> = vec![
+            Box::new(SyntheticGen::new(list_walker.clone(), 0, 7)),
+            Box::new(SyntheticGen::new(kernel.clone(), 1, 7)),
+        ];
+        let mut sim = Simulator::new(cfg, streams);
+        sim.run_until_all_committed(5_000);
+        sim.reset_measurement();
+        sim.run(40_000);
+        let c = sim.counters();
+        println!(
+            "{:<16} IPC {:.3}  (walker {:.3}, kernel {:.3})  all-NDI stall {:.1}%",
+            policy.name(),
+            c.throughput_ipc(),
+            c.per_thread_ipc()[0],
+            c.per_thread_ipc()[1],
+            c.all_stall_fraction() * 100.0,
+        );
+    }
+    println!(
+        "\nAn extreme ILP/TLP imbalance: the walker's chased loads produce streams of\n\
+         two-non-ready-source instructions. 2OP_BLOCK refuses them at dispatch, which\n\
+         shields the kernel (highest raw throughput, walker starved); the traditional\n\
+         queue admits them and clogs; out-of-order dispatch sits between, spending some\n\
+         of the kernel's bandwidth to keep servicing the walker's dispatch stream —\n\
+         the ILP/TLP balance the paper's title refers to."
+    );
+}

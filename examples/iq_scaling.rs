@@ -1,0 +1,35 @@
+//! Sweep the issue-queue size for one workload under every scheduler —
+//! a single-mix slice through Figures 3/5/7 of the paper.
+//!
+//! ```sh
+//! cargo run --release --example iq_scaling
+//! ```
+
+use smt_sim::core::DispatchPolicy;
+use smt_sim::sweep::{run_spec, RunSpec, IQ_SIZES};
+
+fn main() {
+    let benches = ["twolf", "bzip2"]; // Table 3, Mix 9: 1 LOW + 1 MED.
+    println!("workload: {}", benches.join(", "));
+    println!("IPC by scheduler and IQ size:");
+    print!("{:<26}", "policy \\ IQ");
+    for iq in IQ_SIZES {
+        print!("{iq:>9}");
+    }
+    println!();
+    for policy in
+        [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
+    {
+        print!("{:<26}", policy.name());
+        for iq in IQ_SIZES {
+            let r = run_spec(&RunSpec::new(&benches, iq, policy, 20_000, 1));
+            print!("{:>9.3}", r.ipc);
+        }
+        println!();
+    }
+    println!(
+        "\nExpected shape (paper): 2OP_BLOCK trails the traditional scheduler on \
+         2-thread workloads at every size;\nout-of-order dispatch recovers the loss and \
+         wins at small queues, converging at 96+ entries."
+    );
+}

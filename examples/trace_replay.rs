@@ -1,0 +1,48 @@
+//! Record a workload trace to a JSON-lines file and replay it — bitwise
+//! identical results across runs, machines, and generator versions.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use smt_sim::core::{DispatchPolicy, SimConfig, Simulator};
+use smt_sim::workload::{benchmark, InstGenerator, Recorder, SyntheticGen, TraceFileReplay};
+
+fn main() -> std::io::Result<()> {
+    // 1. Run once with a recorder tee'd into the generator.
+    let mut recorder = Recorder::new(SyntheticGen::new(benchmark("twolf"), 0, 123));
+    let live_cycles = {
+        // Pre-pull the instructions we intend to simulate so the recording
+        // is complete, then replay them through the pipeline.
+        let insts: Vec<_> = (0..30_000).map(|_| recorder.next_inst().unwrap()).collect();
+        let mut sim = Simulator::new(
+            SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo),
+            vec![Box::new(smt_sim::workload::ProgramTrace::once(insts))
+                as Box<dyn InstGenerator>],
+        );
+        sim.run(u64::MAX);
+        sim.counters().cycles
+    };
+
+    // 2. Save the trace.
+    let path = std::env::temp_dir().join("twolf_trace.jsonl");
+    let mut file = std::fs::File::create(&path)?;
+    recorder.write_jsonl(&mut file)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("recorded {} instructions to {} ({} KiB)", 30_000, path.display(), bytes / 1024);
+
+    // 3. Replay from the file: identical machine behaviour.
+    let replay = TraceFileReplay::from_jsonl(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    println!("replaying {} instructions", replay.len());
+    let mut sim = Simulator::new(
+        SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo),
+        vec![Box::new(replay) as Box<dyn InstGenerator>],
+    );
+    sim.run(u64::MAX);
+    let replay_cycles = sim.counters().cycles;
+
+    println!("live run: {live_cycles} cycles, replay: {replay_cycles} cycles");
+    assert_eq!(live_cycles, replay_cycles, "replay must be cycle-exact");
+    println!("cycle-exact ✓");
+    Ok(())
+}

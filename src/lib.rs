@@ -1,0 +1,13 @@
+//! Facade crate: re-exports the whole SMT out-of-order-dispatch simulator
+//! workspace under one roof, so examples and integration tests can use a
+//! single dependency.
+//!
+//! See the README for an overview and `smt_core` for the pipeline model.
+
+pub use smt_core as core;
+pub use smt_isa as isa;
+pub use smt_mem as mem;
+pub use smt_predictor as predictor;
+pub use smt_stats as stats;
+pub use smt_sweep as sweep;
+pub use smt_workload as workload;

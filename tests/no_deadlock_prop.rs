@@ -1,0 +1,189 @@
+//! Property-based deadlock-freedom and liveness tests: random programs on
+//! every dispatch policy and deadlock mechanism must always drain fully.
+
+use proptest::prelude::*;
+use smt_sim::core::{DeadlockMode, DispatchPolicy, RunOutcome, SimConfig, Simulator};
+use smt_sim::isa::{ArchReg, TraceInst};
+use smt_sim::workload::{InstGenerator, ProgramTrace};
+
+/// Strategy: one random but *valid* dynamic instruction.
+fn arb_inst(idx: usize) -> impl Strategy<Value = TraceInst> {
+    let pc = (idx as u64 % 512) * 4;
+    prop_oneof![
+        // ALU with 0-2 sources.
+        (1u8..30, proptest::option::of(1u8..30), proptest::option::of(1u8..30)).prop_map(
+            move |(d, s1, s2)| TraceInst::alu(
+                pc,
+                ArchReg::int(d),
+                s1.map(ArchReg::int),
+                s2.map(ArchReg::int)
+            )
+        ),
+        // Load from an arbitrary small address space.
+        (1u8..30, proptest::option::of(1u8..30), 0u64..(1 << 22)).prop_map(
+            move |(d, base, addr)| TraceInst::load(pc, ArchReg::int(d), base.map(ArchReg::int), addr)
+        ),
+        // Store.
+        (proptest::option::of(1u8..30), proptest::option::of(1u8..30), 0u64..(1 << 22))
+            .prop_map(move |(data, base, addr)| TraceInst::store(
+                pc,
+                data.map(ArchReg::int),
+                base.map(ArchReg::int),
+                addr
+            )),
+        // Conditional branch.
+        (proptest::option::of(1u8..30), any::<bool>(), 0u64..2048).prop_map(
+            move |(cond, taken, target)| TraceInst::branch(
+                pc,
+                cond.map(ArchReg::int),
+                taken,
+                target * 4
+            )
+        ),
+    ]
+}
+
+fn arb_program(max_len: usize) -> impl Strategy<Value = Vec<TraceInst>> {
+    proptest::collection::vec(any::<u8>(), 1..max_len).prop_flat_map(|bytes| {
+        bytes
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_inst(i))
+            .collect::<Vec<_>>()
+    })
+}
+
+fn run_to_completion(
+    programs: Vec<Vec<TraceInst>>,
+    iq: usize,
+    policy: DispatchPolicy,
+    deadlock: DeadlockMode,
+) -> Result<(), TestCaseError> {
+    run_to_completion_cfg(programs, iq, policy, deadlock, false)
+}
+
+fn run_to_completion_cfg(
+    programs: Vec<Vec<TraceInst>>,
+    iq: usize,
+    policy: DispatchPolicy,
+    deadlock: DeadlockMode,
+    wrong_path: bool,
+) -> Result<(), TestCaseError> {
+    let expected: Vec<u64> = programs.iter().map(|p| p.len() as u64).collect();
+    let mut cfg = SimConfig::paper(iq, policy);
+    cfg.deadlock = deadlock;
+    cfg.wrong_path = wrong_path;
+    cfg.max_cycles = 2_000_000;
+    let streams: Vec<Box<dyn InstGenerator>> = programs
+        .into_iter()
+        .map(|p| Box::new(ProgramTrace::once(p)) as Box<dyn InstGenerator>)
+        .collect();
+    let mut sim = Simulator::new(cfg, streams);
+    let outcome = sim.run(u64::MAX);
+    prop_assert_eq!(outcome, RunOutcome::AllFinished, "pipeline wedged");
+    sim.assert_quiescent_invariants();
+    for (t, want) in expected.iter().enumerate() {
+        prop_assert_eq!(
+            sim.counters().threads[t].committed,
+            *want,
+            "thread {} lost instructions",
+            t
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn traditional_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion(vec![p1, p2], 16, DispatchPolicy::Traditional, DeadlockMode::None)?;
+    }
+
+    #[test]
+    fn two_op_block_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion(vec![p1, p2], 16, DispatchPolicy::TwoOpBlock, DeadlockMode::None)?;
+    }
+
+    #[test]
+    fn ooo_with_dab_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion(
+            vec![p1, p2],
+            8, // tiny queue maximizes deadlock pressure
+            DispatchPolicy::TwoOpBlockOoo,
+            DeadlockMode::Dab { size: 2 },
+        )?;
+    }
+
+    #[test]
+    fn ooo_with_watchdog_never_wedges(p1 in arb_program(150), p2 in arb_program(150)) {
+        run_to_completion(
+            vec![p1, p2],
+            8,
+            DispatchPolicy::TwoOpBlockOoo,
+            DeadlockMode::Watchdog { timeout: 500 },
+        )?;
+    }
+
+    #[test]
+    fn filtered_ooo_never_wedges(p in arb_program(250)) {
+        run_to_completion(
+            vec![p],
+            8,
+            DispatchPolicy::TwoOpBlockOooFiltered,
+            DeadlockMode::Dab { size: 2 },
+        )?;
+    }
+
+    #[test]
+    fn half_price_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion(vec![p1, p2], 8, DispatchPolicy::HalfPrice, DeadlockMode::None)?;
+    }
+
+    #[test]
+    fn packed_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion(vec![p1, p2], 8, DispatchPolicy::Packed, DeadlockMode::None)?;
+    }
+
+    #[test]
+    fn tag_eliminated_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion(vec![p1, p2], 8, DispatchPolicy::TagEliminated, DeadlockMode::None)?;
+    }
+
+    #[test]
+    fn wrong_path_mode_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion_cfg(
+            vec![p1, p2],
+            8,
+            DispatchPolicy::TwoOpBlockOoo,
+            DeadlockMode::Dab { size: 2 },
+            true,
+        )?;
+    }
+
+    #[test]
+    fn wrong_path_traditional_never_wedges(p1 in arb_program(200), p2 in arb_program(200)) {
+        run_to_completion_cfg(
+            vec![p1, p2],
+            8,
+            DispatchPolicy::Traditional,
+            DeadlockMode::None,
+            true,
+        )?;
+    }
+
+    #[test]
+    fn three_threads_share_safely(
+        p1 in arb_program(120),
+        p2 in arb_program(120),
+        p3 in arb_program(120),
+    ) {
+        run_to_completion(
+            vec![p1, p2, p3],
+            12,
+            DispatchPolicy::TwoOpBlockOoo,
+            DeadlockMode::Dab { size: 4 },
+        )?;
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: the paper's qualitative claims must hold
+//! on the synthetic SPEC models end-to-end.
+
+use smt_sim::core::DispatchPolicy;
+use smt_sim::sweep::{run_spec, RunSpec};
+
+fn ipc(benches: &[&str], iq: usize, policy: DispatchPolicy) -> f64 {
+    run_spec(&RunSpec::new(benches, iq, policy, 8_000, 1)).ipc
+}
+
+#[test]
+fn two_op_block_loses_on_two_threads_at_64_entries() {
+    // Paper §3: "workloads with 2 threads experience performance
+    // degradations compared to the traditional scheduler for all sizes".
+    let trad = ipc(&["equake", "lucas"], 64, DispatchPolicy::Traditional);
+    let blocked = ipc(&["equake", "lucas"], 64, DispatchPolicy::TwoOpBlock);
+    assert!(
+        blocked < trad,
+        "2OP_BLOCK ({blocked:.3}) must trail the traditional scheduler ({trad:.3}) on a \
+         2-thread memory-bound mix"
+    );
+}
+
+#[test]
+fn ooo_dispatch_recovers_two_op_block_losses() {
+    // Paper §5: OOO dispatch beats basic 2OP_BLOCK significantly for all
+    // IQ sizes on 2-thread workloads.
+    for iq in [32, 48, 64] {
+        let blocked = ipc(&["equake", "gcc"], iq, DispatchPolicy::TwoOpBlock);
+        let ooo = ipc(&["equake", "gcc"], iq, DispatchPolicy::TwoOpBlockOoo);
+        assert!(
+            ooo > blocked,
+            "IQ={iq}: OOO dispatch ({ooo:.3}) must beat plain 2OP_BLOCK ({blocked:.3})"
+        );
+    }
+}
+
+#[test]
+fn two_op_block_wins_at_small_queues_with_four_threads() {
+    // Paper Figure 1: with abundant TLP and a small queue, keeping
+    // 2-non-ready instructions out of the IQ pays off.
+    let benches = ["parser", "equake", "mesa", "vortex"];
+    let trad = ipc(&benches, 32, DispatchPolicy::Traditional);
+    let blocked = ipc(&benches, 32, DispatchPolicy::TwoOpBlock);
+    assert!(
+        blocked > trad,
+        "4 threads at a 32-entry IQ: 2OP_BLOCK ({blocked:.3}) should beat traditional ({trad:.3})"
+    );
+}
+
+#[test]
+fn traditional_catches_up_at_large_queues() {
+    // Paper Figure 1: 2OP_BLOCK does not scale with IQ size.
+    let benches = ["parser", "equake", "mesa", "vortex"];
+    let trad = ipc(&benches, 128, DispatchPolicy::Traditional);
+    let blocked = ipc(&benches, 128, DispatchPolicy::TwoOpBlock);
+    assert!(
+        trad > blocked,
+        "at 128 entries the traditional scheduler ({trad:.3}) should beat 2OP_BLOCK ({blocked:.3})"
+    );
+}
+
+#[test]
+fn stall_fraction_decreases_with_thread_count() {
+    // Paper §3: the all-thread NDI stall fraction shrinks as TLP grows
+    // (43% / 17% / 7% for 2/3/4 threads at 64 entries).
+    let two = run_spec(&RunSpec::new(
+        &["equake", "lucas"],
+        64,
+        DispatchPolicy::TwoOpBlock,
+        8_000,
+        1,
+    ))
+    .all_stall_frac;
+    let four = run_spec(&RunSpec::new(
+        &["equake", "lucas", "mesa", "vortex"],
+        64,
+        DispatchPolicy::TwoOpBlock,
+        8_000,
+        1,
+    ))
+    .all_stall_frac;
+    assert!(
+        two > four,
+        "2-thread stall fraction ({two:.3}) should exceed 4-thread ({four:.3})"
+    );
+}
+
+#[test]
+fn ooo_dispatch_slashes_all_thread_stalls() {
+    // Paper §5: 43% → 0.2% on 2-thread workloads.
+    let blocked = run_spec(&RunSpec::new(
+        &["equake", "lucas"],
+        64,
+        DispatchPolicy::TwoOpBlock,
+        8_000,
+        1,
+    ))
+    .all_stall_frac;
+    let ooo = run_spec(&RunSpec::new(
+        &["equake", "lucas"],
+        64,
+        DispatchPolicy::TwoOpBlockOoo,
+        8_000,
+        1,
+    ))
+    .all_stall_frac;
+    assert!(
+        ooo < blocked / 2.0,
+        "OOO dispatch should cut the all-stall fraction by far more than half: \
+         {blocked:.3} -> {ooo:.3}"
+    );
+}
+
+#[test]
+fn most_piled_up_instructions_are_hdis() {
+    // Paper §4: "almost 90% of instructions piled up behind the NDIs can be
+    // classified as HDIs" (measured on the basic 2OP_BLOCK design).
+    let r = run_spec(&RunSpec::new(
+        &["equake", "gcc"],
+        64,
+        DispatchPolicy::TwoOpBlock,
+        8_000,
+        1,
+    ));
+    assert!(
+        r.hdi_pileup_frac > 0.6,
+        "the large majority of piled-up instructions should be dispatchable, got {:.2}",
+        r.hdi_pileup_frac
+    );
+}
+
+#[test]
+fn few_hdis_depend_on_bypassed_ndis() {
+    // Paper §4: only ~10% of OOO-dispatched HDIs depend on a prior NDI.
+    let r = run_spec(&RunSpec::new(
+        &["equake", "gcc"],
+        64,
+        DispatchPolicy::TwoOpBlockOoo,
+        8_000,
+        1,
+    ));
+    let hdis: u64 = r.counters.threads.iter().map(|t| t.hdis_dispatched).sum();
+    assert!(hdis > 0, "OOO dispatch must produce HDIs on this workload");
+    assert!(
+        r.hdi_ndi_dep_frac < 0.35,
+        "NDI-dependent HDIs should be a small minority, got {:.2}",
+        r.hdi_ndi_dep_frac
+    );
+}
+
+#[test]
+fn ooo_reduces_iq_residency_vs_traditional() {
+    // Paper §5: mean IQ residency drops from 21 to 15 cycles at 64 entries
+    // on 2-thread workloads.
+    let trad = run_spec(&RunSpec::new(
+        &["twolf", "bzip2"],
+        64,
+        DispatchPolicy::Traditional,
+        8_000,
+        1,
+    ))
+    .mean_iq_residency;
+    let ooo = run_spec(&RunSpec::new(
+        &["twolf", "bzip2"],
+        64,
+        DispatchPolicy::TwoOpBlockOoo,
+        8_000,
+        1,
+    ))
+    .mean_iq_residency;
+    assert!(
+        ooo < trad,
+        "the 1-comparator IQ must hold instructions for less time: trad {trad:.1} vs ooo {ooo:.1}"
+    );
+}
+
+#[test]
+fn filtered_variant_changes_little() {
+    // Paper §4: idealized NDI-dependence filtering buys only ~1.2%.
+    let plain = ipc(&["equake", "gcc"], 64, DispatchPolicy::TwoOpBlockOoo);
+    let filtered = ipc(&["equake", "gcc"], 64, DispatchPolicy::TwoOpBlockOooFiltered);
+    let delta = (filtered / plain - 1.0).abs();
+    assert!(
+        delta < 0.10,
+        "filtering should change IPC only marginally, got {:.1}%",
+        delta * 100.0
+    );
+}

@@ -1,0 +1,107 @@
+//! Reproducibility and metric-consistency tests across the whole stack.
+
+use smt_sim::core::DispatchPolicy;
+use smt_sim::stats::{fairness_hmean_weighted_ipc, harmonic_mean, speedup};
+use smt_sim::sweep::{run_spec, thread_seed, RunSpec};
+use smt_sim::workload::{mixes_for, MixTable};
+
+#[test]
+fn full_runs_are_bitwise_reproducible() {
+    let spec = RunSpec::new(&["twolf", "mesa"], 48, DispatchPolicy::TwoOpBlockOoo, 5_000, 99);
+    let a = run_spec(&spec);
+    let b = run_spec(&spec);
+    assert_eq!(a.counters, b.counters, "same spec must produce identical counters");
+}
+
+#[test]
+fn per_thread_ipcs_sum_to_throughput() {
+    let r = run_spec(&RunSpec::new(
+        &["gcc", "art", "crafty"],
+        64,
+        DispatchPolicy::Traditional,
+        5_000,
+        1,
+    ));
+    let sum: f64 = r.per_thread_ipc.iter().sum();
+    assert!((sum - r.ipc).abs() < 1e-9, "throughput {} != per-thread sum {}", r.ipc, sum);
+}
+
+#[test]
+fn committed_never_exceeds_fetched_plus_warmup_carryover() {
+    let r = run_spec(&RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 5_000, 1));
+    let t = &r.counters.threads[0];
+    // A small number of instructions fetched during warm-up commit during
+    // the measurement window, so allow the in-flight window as slack.
+    assert!(t.committed <= t.fetched + 200, "committed {} fetched {}", t.committed, t.fetched);
+    assert!(t.issued >= t.committed.saturating_sub(200));
+}
+
+#[test]
+fn stop_rule_and_counters_agree() {
+    let r = run_spec(&RunSpec::new(
+        &["mesa", "art"],
+        64,
+        DispatchPolicy::Traditional,
+        4_000,
+        1,
+    ));
+    assert!(r.outcome_target_reached);
+    let max = r.counters.threads.iter().map(|t| t.committed).max().unwrap();
+    assert!(max >= 4_000, "some thread must reach the commit target, max={max}");
+}
+
+#[test]
+fn every_paper_mix_runs_on_every_policy() {
+    // Smoke: all 36 mixes on all 3 policies at a small budget.
+    for table in [MixTable::TwoThread, MixTable::ThreeThread, MixTable::FourThread] {
+        for mix in mixes_for(table) {
+            for policy in [
+                DispatchPolicy::Traditional,
+                DispatchPolicy::TwoOpBlock,
+                DispatchPolicy::TwoOpBlockOoo,
+            ] {
+                let r = run_spec(
+                    &RunSpec::new(&mix.benchmarks, 48, policy, 400, 3).with_warmup(300),
+                );
+                assert!(
+                    r.ipc > 0.0,
+                    "{} / {} under {} produced zero IPC",
+                    table.table_name(),
+                    mix.name,
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeds_are_reproducible_and_discriminating() {
+    assert_eq!(thread_seed(1, "gcc", 0), thread_seed(1, "gcc", 0));
+    let seeds: std::collections::HashSet<u64> = ["gcc", "art", "mesa"]
+        .iter()
+        .flat_map(|b| (0..4).map(move |t| thread_seed(7, b, t)))
+        .collect();
+    assert_eq!(seeds.len(), 12, "seeds must be unique per (benchmark, thread)");
+}
+
+#[test]
+fn metric_helpers_compose() {
+    let smt = [0.8, 0.4];
+    let single = [1.0, 1.0];
+    let f = fairness_hmean_weighted_ipc(&smt, &single).unwrap();
+    let h = harmonic_mean(&[0.8, 0.4]).unwrap();
+    assert!((f - h).abs() < 1e-12);
+    assert!((speedup(2.0, 1.0) - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate must expose every subsystem.
+    let _ = smt_sim::isa::OpClass::IntAlu;
+    let _ = smt_sim::mem::HierarchyConfig::paper();
+    let _ = smt_sim::predictor::GShareConfig::paper();
+    let _ = smt_sim::core::SimConfig::default();
+    let _ = smt_sim::workload::benchmark("gcc");
+    let _ = smt_sim::sweep::IQ_SIZES;
+}
