@@ -19,11 +19,9 @@ fn slice_spec(table: MixTable, mix_idx: usize, iq: usize, policy: DispatchPolicy
 fn fig1(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_2opblock_vs_traditional");
     g.sample_size(10);
-    for (label, table) in [
-        ("2T", MixTable::TwoThread),
-        ("3T", MixTable::ThreeThread),
-        ("4T", MixTable::FourThread),
-    ] {
+    for (label, table) in
+        [("2T", MixTable::TwoThread), ("3T", MixTable::ThreeThread), ("4T", MixTable::FourThread)]
+    {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let blocked = run_spec(&slice_spec(table, 0, 64, DispatchPolicy::TwoOpBlock));
@@ -80,19 +78,15 @@ fn stat_hdi_and_filter(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("hdi_fractions", |b| {
         b.iter(|| {
-            let r = run_spec(&slice_spec(MixTable::TwoThread, 9, 64, DispatchPolicy::TwoOpBlockOoo));
+            let r =
+                run_spec(&slice_spec(MixTable::TwoThread, 9, 64, DispatchPolicy::TwoOpBlockOoo));
             (r.hdi_pileup_frac, r.hdi_ndi_dep_frac)
         })
     });
     g.bench_function("idealized_filter", |b| {
         b.iter(|| {
-            run_spec(&slice_spec(
-                MixTable::TwoThread,
-                9,
-                64,
-                DispatchPolicy::TwoOpBlockOooFiltered,
-            ))
-            .ipc
+            run_spec(&slice_spec(MixTable::TwoThread, 9, 64, DispatchPolicy::TwoOpBlockOooFiltered))
+                .ipc
         })
     });
     g.finish();

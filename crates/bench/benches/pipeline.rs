@@ -13,9 +13,7 @@ fn build(benches: &[&str], policy: DispatchPolicy) -> Simulator {
     let streams: Vec<Box<dyn InstGenerator>> = benches
         .iter()
         .enumerate()
-        .map(|(t, b)| {
-            Box::new(SyntheticGen::new(benchmark(b), t, 1)) as Box<dyn InstGenerator>
-        })
+        .map(|(t, b)| Box::new(SyntheticGen::new(benchmark(b), t, 1)) as Box<dyn InstGenerator>)
         .collect();
     Simulator::new(cfg, streams)
 }

@@ -200,6 +200,13 @@ pub struct SimConfig {
     /// Safety limit: abort `run` after this many cycles without the commit
     /// target being reached (deadlock detection in tests). 0 = unlimited.
     pub max_cycles: u64,
+    /// Forward-progress watchdog: if no thread commits for this many
+    /// consecutive cycles, `run` stops and returns
+    /// `RunOutcome::Wedged` with a diagnosis of what each thread is
+    /// blocked on. Must exceed the longest legitimate commit gap (a
+    /// memory-latency round trip plus queueing — hundreds of cycles on
+    /// the Table 1 machine). 0 = disabled.
+    pub progress_check_cycles: u64,
 }
 
 impl SimConfig {
@@ -243,6 +250,7 @@ impl SimConfig {
             redirect_penalty: 1,
             wrong_path: false,
             max_cycles: 0,
+            progress_check_cycles: 50_000,
         }
     }
 
@@ -266,9 +274,7 @@ impl SimConfig {
         if self.policy.is_out_of_order() && self.deadlock == DeadlockMode::None {
             return Err("out-of-order dispatch requires a deadlock mechanism".into());
         }
-        if let DeadlockMode::Dab { size } | DeadlockMode::DabArbitrated { size } =
-            self.deadlock
-        {
+        if let DeadlockMode::Dab { size } | DeadlockMode::DabArbitrated { size } = self.deadlock {
             if size == 0 {
                 return Err("DAB size must be positive".into());
             }

@@ -160,19 +160,20 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
             // construction non-ready, so checking non-ready sources is
             // exact.
             let mut taint: HashSet<PhysReg> = HashSet::new();
-            let mut bypassed_any = false;
             for (pos, e) in entries.iter().enumerate() {
                 if plan.candidates.len() >= max {
                     break;
                 }
                 let ndi = is_ndi(e.non_ready, comparators);
+                // A non-empty taint set implies an NDI has already been
+                // bypassed, so `dependent` alone is the NDI-dependence
+                // classification.
                 let dependent = !taint.is_empty()
                     && e.nonready_srcs.iter().flatten().any(|s| taint.contains(s));
                 if ndi {
                     if let Some(d) = e.dest {
                         taint.insert(d);
                     }
-                    bypassed_any = true;
                     continue;
                 }
                 if dependent {
@@ -188,7 +189,7 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
                 plan.candidates.push(Candidate {
                     trace_idx: e.trace_idx,
                     non_ready: e.non_ready,
-                    ndi_dependent: dependent && bypassed_any,
+                    ndi_dependent: dependent,
                     dab_eligible: pos == 0 && e.is_rob_oldest && e.non_ready == 0,
                 });
             }
@@ -319,8 +320,7 @@ mod tests {
             dest: Some(preg(5)),
             is_rob_oldest: false,
         };
-        let plan =
-            plan_thread(&[ndi, dependent, clean], DispatchPolicy::TwoOpBlockOooFiltered, 8);
+        let plan = plan_thread(&[ndi, dependent, clean], DispatchPolicy::TwoOpBlockOooFiltered, 8);
         assert_eq!(idxs(&plan), vec![2], "only the NDI-independent HDI passes the filter");
     }
 
@@ -351,6 +351,33 @@ mod tests {
         assert_eq!(idxs(&plan), vec![1, 2]);
         assert!(plan.candidates[0].ndi_dependent);
         assert!(plan.candidates[1].ndi_dependent, "indirect dependence must be detected");
+    }
+
+    #[test]
+    fn destinationless_ndi_taints_nothing() {
+        // A store with two non-ready sources is an NDI but produces no
+        // register; bypassing it must not mark later instructions as
+        // NDI-dependent (there is nothing to depend on).
+        let store_ndi = BufView {
+            trace_idx: 0,
+            non_ready: 2,
+            nonready_srcs: [Some(preg(1)), Some(preg(2))],
+            dest: None,
+            is_rob_oldest: false,
+        };
+        let reader = BufView {
+            trace_idx: 1,
+            non_ready: 1,
+            nonready_srcs: [Some(preg(1)), None], // shares a source, not a dest
+            dest: Some(preg(4)),
+            is_rob_oldest: false,
+        };
+        let plan = plan_thread(&[store_ndi, reader], DispatchPolicy::TwoOpBlockOoo, 8);
+        assert_eq!(idxs(&plan), vec![1]);
+        assert!(!plan.candidates[0].ndi_dependent);
+        // The filtered policy must not filter it either.
+        let plan = plan_thread(&[store_ndi, reader], DispatchPolicy::TwoOpBlockOooFiltered, 8);
+        assert_eq!(idxs(&plan), vec![1]);
     }
 
     #[test]

@@ -12,11 +12,8 @@
 /// ineligible one. Ties break by thread id, matching a fixed hardware
 /// priority encoder.
 pub fn pick_fetch_threads(icounts: &[Option<usize>], max: usize) -> Vec<usize> {
-    let mut eligible: Vec<(usize, usize)> = icounts
-        .iter()
-        .enumerate()
-        .filter_map(|(t, c)| c.map(|c| (c, t)))
-        .collect();
+    let mut eligible: Vec<(usize, usize)> =
+        icounts.iter().enumerate().filter_map(|(t, c)| c.map(|c| (c, t))).collect();
     eligible.sort_unstable();
     eligible.into_iter().take(max).map(|(_, t)| t).collect()
 }

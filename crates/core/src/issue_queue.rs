@@ -62,8 +62,11 @@ pub struct IssueQueue {
     /// entry sits on the *slow* tag bus and receives broadcasts one cycle
     /// late.
     slow_second_tag: bool,
-    /// Slow-bus deliveries staged for the next [`IssueQueue::tick`].
-    pending_slow: Vec<(usize, PhysReg)>,
+    /// Slow-bus deliveries staged for the next [`IssueQueue::tick`], as
+    /// (slot, age, tag). The age pins the delivery to the entry incarnation
+    /// that was resident at broadcast time: a slot squashed and reused
+    /// between broadcast and delivery must not receive the stale wakeup.
+    pending_slow: Vec<(usize, u64, PhysReg)>,
 }
 
 impl IssueQueue {
@@ -148,9 +151,8 @@ impl IssueQueue {
     pub fn insert(&mut self, entry: IqEntry, phys_flat: impl Fn(PhysReg) -> usize) -> usize {
         // Prefer the smallest sufficient capacity class, preserving
         // high-comparator entries for the instructions that need them.
-        let class = (entry.pending()..=2)
-            .find(|&c| !self.free[c].is_empty())
-            .unwrap_or_else(|| {
+        let class =
+            (entry.pending()..=2).find(|&c| !self.free[c].is_empty()).unwrap_or_else(|| {
                 panic!(
                     "no free IQ entry with >= {} comparators: dispatch must check has_free_for()",
                     entry.pending()
@@ -176,13 +178,13 @@ impl IssueQueue {
     pub fn wakeup(&mut self, reg: PhysReg, flat: usize) {
         let list = std::mem::take(&mut self.waiters[flat]);
         for slot in list {
-            let mut slow_hit = false;
+            let mut slow_hit = None;
             if let Some(entry) = self.slots[slot].as_mut() {
                 let mut hit = false;
                 for (pos, w) in entry.waiting.iter_mut().enumerate() {
                     if *w == Some(reg) {
                         if self.slow_second_tag && pos == 1 {
-                            slow_hit = true;
+                            slow_hit = Some(entry.age);
                             continue;
                         }
                         *w = None;
@@ -193,17 +195,23 @@ impl IssueQueue {
                     self.ready.push(Reverse((entry.age, slot)));
                 }
             }
-            if slow_hit {
-                self.pending_slow.push((slot, reg));
+            if let Some(age) = slow_hit {
+                self.pending_slow.push((slot, age, reg));
             }
         }
     }
 
-    /// Deliver last cycle's slow-bus broadcasts (Half-Price mode).
+    /// Deliver last cycle's slow-bus broadcasts (Half-Price mode). A staged
+    /// delivery lands only if the slot still holds the same entry
+    /// incarnation (matching age) — a squash-and-reuse of the slot in
+    /// between must not wake the new occupant early.
     pub fn deliver_slow(&mut self) {
         let staged = std::mem::take(&mut self.pending_slow);
-        for (slot, reg) in staged {
+        for (slot, age, reg) in staged {
             if let Some(entry) = self.slots[slot].as_mut() {
+                if entry.age != age {
+                    continue;
+                }
                 let mut hit = false;
                 if entry.waiting[1] == Some(reg) {
                     entry.waiting[1] = None;
@@ -214,6 +222,19 @@ impl IssueQueue {
                 }
             }
         }
+    }
+
+    /// Free entries usable by instructions with 0/1/2 non-ready sources.
+    /// Classes are cumulative: a free 2-comparator entry also admits 0- and
+    /// 1-non-ready instructions.
+    pub fn free_by_class(&self) -> [usize; 3] {
+        let f = [self.free[0].len(), self.free[1].len(), self.free[2].len()];
+        [f[0] + f[1] + f[2], f[1] + f[2], f[2]]
+    }
+
+    /// Source tags still awaited across all resident entries.
+    pub fn pending_tags(&self) -> usize {
+        self.slots.iter().flatten().map(|e| e.pending()).sum()
     }
 
     /// Pop the oldest ready entry, if any. The caller may decline to issue
@@ -296,6 +317,14 @@ impl SchedulerQueue for IssueQueue {
 
     fn has_free_for(&self, non_ready: u8) -> bool {
         IssueQueue::has_free_for(self, non_ready)
+    }
+
+    fn free_by_class(&self) -> [usize; 3] {
+        IssueQueue::free_by_class(self)
+    }
+
+    fn pending_tags(&self) -> usize {
+        IssueQueue::pending_tags(self)
     }
 
     fn insert(&mut self, entry: IqEntry) -> usize {
@@ -512,5 +541,50 @@ mod tests {
         iq.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(5))]), flat);
         iq.wakeup(preg(5), flat(preg(5)));
         assert!(iq.pop_ready().is_some());
+    }
+
+    #[test]
+    fn slow_bus_wakeup_is_delivered_one_cycle_late() {
+        let mut iq = IssueQueue::new(4, 2, 1, 512).with_slow_second_tag();
+        iq.insert(entry(0, 0, 1, [None, Some(preg(5))]), flat);
+        iq.wakeup(preg(5), flat(preg(5)));
+        assert!(iq.pop_ready().is_none(), "slow tag must not clear in the broadcast cycle");
+        iq.deliver_slow();
+        assert!(iq.pop_ready().is_some());
+    }
+
+    #[test]
+    fn stale_slow_bus_delivery_does_not_wake_reused_slot() {
+        // Regression pin for the Half-Price stale slow-bus wakeup defect:
+        // with a single slot, stage a slow-bus delivery for the resident
+        // entry, squash it, and let a new entry (same slot, same slow tag)
+        // move in before the staged delivery lands. The new entry never saw
+        // its producer execute, so it must stay non-ready.
+        let mut iq = IssueQueue::new(1, 2, 1, 512).with_slow_second_tag();
+        iq.insert(entry(0, 0, 10, [None, Some(preg(5))]), flat);
+        iq.wakeup(preg(5), flat(preg(5))); // staged for next cycle
+        iq.squash_thread(0);
+        iq.insert(entry(0, 1, 11, [None, Some(preg(5))]), flat); // slot reused
+        iq.deliver_slow();
+        assert!(
+            iq.pop_ready().is_none(),
+            "stale slow-bus delivery must not wake the slot's new occupant"
+        );
+        // The new entry still wakes normally through a fresh broadcast.
+        iq.wakeup(preg(5), flat(preg(5)));
+        iq.deliver_slow();
+        let (_, e) = iq.pop_ready().unwrap();
+        assert_eq!(e.trace_idx, 1);
+    }
+
+    #[test]
+    fn free_by_class_is_cumulative() {
+        let mut iq = IssueQueue::new_heterogeneous(vec![0, 1, 2], 1, 512);
+        assert_eq!(iq.free_by_class(), [3, 2, 1]);
+        iq.insert(entry(0, 0, 1, [Some(preg(5)), Some(preg(6))]), flat);
+        assert_eq!(iq.free_by_class(), [2, 1, 0]);
+        assert_eq!(iq.pending_tags(), 2);
+        iq.wakeup(preg(5), flat(preg(5)));
+        assert_eq!(iq.pending_tags(), 1);
     }
 }

@@ -54,15 +54,20 @@ pub mod fu;
 pub mod issue_queue;
 pub mod lsq;
 pub mod packed;
-pub mod scheduler;
+pub mod progress;
 pub mod regfile;
 pub mod rename;
 pub mod rob;
+pub mod scheduler;
 pub mod simulator;
+pub mod tracer;
 
 pub use config::{DeadlockMode, DispatchPolicy, FetchPolicy, SimConfig};
-pub use packed::PackedIssueQueue;
-pub use scheduler::SchedulerQueue;
 pub use dispatch::{is_ndi, plan_thread, BufView, Candidate, ThreadPlan};
+pub use packed::PackedIssueQueue;
+pub use progress::{DeadlockReport, StallReason};
 pub use regfile::{PhysReg, PhysRegFile};
+pub use rob::InstState;
+pub use scheduler::SchedulerQueue;
 pub use simulator::{RunOutcome, Simulator};
+pub use tracer::Tracer;

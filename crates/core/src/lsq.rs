@@ -73,6 +73,12 @@ impl Lsq {
         }
     }
 
+    /// View of the oldest entry for diagnostics: (trace_idx, is_store,
+    /// issued).
+    pub fn front_view(&self) -> Option<(u64, bool, bool)> {
+        self.entries.front().map(|e| (e.trace_idx, e.is_store, e.issued))
+    }
+
     /// Can the load at `trace_idx` (address `addr`) issue, and how?
     ///
     /// Scans older stores for a same-slot conflict; the **youngest** older

@@ -86,7 +86,9 @@ impl PackedIssueQueue {
     /// Find an empty physical entry for a 2-non-ready instruction.
     fn find_wide(&self) -> Option<usize> {
         (0..self.wide.len())
-            .find(|&k| !self.wide[k] && self.slots[2 * k].is_none() && self.slots[2 * k + 1].is_none())
+            .find(|&k| {
+                !self.wide[k] && self.slots[2 * k].is_none() && self.slots[2 * k + 1].is_none()
+            })
             .map(|k| 2 * k)
     }
 
@@ -117,6 +119,27 @@ impl SchedulerQueue for PackedIssueQueue {
         } else {
             self.find_half().is_some()
         }
+    }
+
+    fn free_by_class(&self) -> [usize; 3] {
+        let mut halves = 0;
+        let mut whole = 0;
+        for k in 0..self.wide.len() {
+            if self.wide[k] {
+                continue;
+            }
+            let free =
+                self.slots[2 * k].is_none() as usize + self.slots[2 * k + 1].is_none() as usize;
+            halves += free;
+            if free == 2 {
+                whole += 1;
+            }
+        }
+        [halves, halves, whole]
+    }
+
+    fn pending_tags(&self) -> usize {
+        self.slots.iter().flatten().map(|e| e.pending()).sum()
     }
 
     fn insert(&mut self, entry: IqEntry) -> usize {
@@ -308,6 +331,17 @@ mod tests {
         assert!(q.has_free_for(2), "the wide occupant's entry is whole again");
         assert_eq!(q.thread_occupancy(0), 0);
         assert_eq!(q.thread_occupancy(1), 1);
+    }
+
+    #[test]
+    fn free_by_class_tracks_halves_and_whole_entries() {
+        let mut q = PackedIssueQueue::new(2, 1, 512);
+        assert_eq!(q.free_by_class(), [4, 4, 2]);
+        q.insert(entry(0, 0, 1, [Some(preg(5)), None]));
+        assert_eq!(q.free_by_class(), [3, 3, 1], "a half-used entry is no longer whole");
+        q.insert(entry(0, 1, 2, [Some(preg(6)), Some(preg(7))]));
+        assert_eq!(q.free_by_class(), [1, 1, 0], "the wide occupant blocks both halves");
+        assert_eq!(q.pending_tags(), 3);
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Forward-progress diagnosis: when the machine stops committing, snapshot
+//! the wedge instead of silently burning cycles to a bare cycle limit.
+//!
+//! A cycle-level SMT model with shared queues, a deadlock-avoidance buffer
+//! and several squash paths has many ways to wedge, and a run that ends in
+//! "hit the cycle limit" carries no information about *which* resource each
+//! thread was pinned on. [`DeadlockReport`] is the machine's answer: built
+//! by `Simulator::diagnose` when the progress watchdog fires (no thread has
+//! committed for [`crate::SimConfig::progress_check_cycles`] cycles) or the
+//! safety cycle limit is reached, it records the issue-queue free lists, the
+//! DAB contents, and for every thread the ROB-head state, the
+//! dispatch-buffer head classification, the LSQ head and a single
+//! [`StallReason`] naming the blocked resource.
+
+use crate::rob::InstState;
+use serde::Serialize;
+
+/// The immediate reason a thread is not making progress, ordered by the
+/// pipeline position of its oldest in-flight instruction: the ROB head's
+/// state decides which stage to blame, and within the dispatch/rename
+/// stages the blocked structural resource is named.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StallReason {
+    /// Nothing left to run: trace exhausted and pipeline empty.
+    Drained,
+    /// ROB head completed; commit is imminent (transient, not a wedge).
+    CommitPending,
+    /// ROB head is executing a load that missed to main memory.
+    WaitingMemory,
+    /// ROB head is executing (or sitting in the DAB awaiting a function
+    /// unit); completion is scheduled.
+    WaitingExecution,
+    /// ROB head is in the IQ with at least one source operand not ready.
+    WaitingOperands,
+    /// ROB head is a ready load blocked behind an unissued older store
+    /// (memory disambiguation).
+    LoadBlocked,
+    /// ROB head is undispatched and classified non-dispatchable (more
+    /// non-ready sources than the IQ's comparators support).
+    Ndi,
+    /// ROB head is dispatchable but no IQ entry with enough comparators is
+    /// free.
+    IqFull,
+    /// ROB head is DAB-eligible but both the IQ and the DAB are full.
+    DabFull,
+    /// Rename is blocked because the thread's ROB is full.
+    RobFull,
+    /// Rename is blocked because the thread's LSQ is full.
+    LsqFull,
+    /// Rename is blocked because no physical register of the destination's
+    /// class is free.
+    NoFreeRegs,
+    /// No in-flight work and nothing renamable: the front end is starved
+    /// (I-cache miss, gated fetch, redirect penalty).
+    FetchStalled,
+    /// No structural block was identified; the thread should be advancing.
+    Progressing,
+}
+
+/// One source operand of the ROB head, with its readiness at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SrcState {
+    /// Rendered physical register, e.g. `Int42`.
+    pub reg: String,
+    /// Was the register's value available when the report was taken?
+    pub ready: bool,
+}
+
+/// Snapshot of a thread's oldest uncommitted instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RobHeadView {
+    /// Trace index within the thread.
+    pub trace_idx: u64,
+    /// Rendered operation class, e.g. `Load`.
+    pub op: String,
+    /// Pipeline state of the head.
+    pub state: InstState,
+    /// Renamed sources with readiness (`None` = no register source).
+    pub srcs: [Option<SrcState>; 2],
+    /// Is the head a load outstanding to main memory?
+    pub long_miss: bool,
+}
+
+/// Snapshot of a thread's oldest renamed-but-undispatched instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DispatchHeadView {
+    /// Trace index within the thread.
+    pub trace_idx: u64,
+    /// Non-ready source count at snapshot time.
+    pub non_ready: u8,
+    /// Does the dispatch policy classify it as non-dispatchable?
+    pub is_ndi: bool,
+    /// Could it fall back to the deadlock-avoidance buffer?
+    pub dab_eligible: bool,
+}
+
+/// Snapshot of a thread's oldest load/store-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LsqHeadView {
+    /// Trace index within the thread.
+    pub trace_idx: u64,
+    /// Store (vs. load)?
+    pub is_store: bool,
+    /// Has it issued (address generated, data live)?
+    pub issued: bool,
+}
+
+/// Per-thread progress diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ThreadDiagnosis {
+    /// Hardware thread context index.
+    pub thread: usize,
+    /// Instructions committed in the current measurement window.
+    pub committed: u64,
+    /// The resource or condition the thread is pinned on.
+    pub blocked_on: StallReason,
+    /// ROB occupancy.
+    pub rob_len: usize,
+    /// ROB capacity.
+    pub rob_cap: usize,
+    /// The oldest uncommitted instruction, if any.
+    pub rob_head: Option<RobHeadView>,
+    /// Dispatch-buffer occupancy (renamed, undispatched).
+    pub dispatch_buf_len: usize,
+    /// The oldest undispatched instruction, if any.
+    pub dispatch_head: Option<DispatchHeadView>,
+    /// Is the thread's dispatch blocked by the non-dispatchable condition
+    /// this cycle (regardless of whether that is the primary stall)?
+    pub ndi_blocked: bool,
+    /// LSQ occupancy.
+    pub lsq_len: usize,
+    /// The oldest LSQ entry, if any.
+    pub lsq_head: Option<LsqHeadView>,
+    /// Front-end (fetched, unrenamed) occupancy.
+    pub frontend_len: usize,
+    /// Next trace index to fetch.
+    pub fetch_cursor: u64,
+    /// Unresolved mispredicted branch gating fetch, if any.
+    pub fetch_gated_by: Option<u64>,
+    /// Trace exhausted at the fetch cursor?
+    pub finished_fetch: bool,
+    /// Loads outstanding to main memory.
+    pub outstanding_mem_misses: u32,
+    /// What rename is blocked on right now, when it is the binding stage.
+    pub rename_blocked: Option<StallReason>,
+}
+
+/// Snapshot of the shared issue queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct IqSnapshot {
+    /// Occupied entries.
+    pub occupancy: usize,
+    /// Total (logical) capacity.
+    pub capacity: usize,
+    /// Free entries usable by an instruction with 0/1/2 non-ready sources.
+    pub free_by_class: [usize; 3],
+    /// Occupied entries per thread.
+    pub per_thread: Vec<usize>,
+    /// Source tags still awaited across all resident entries (outstanding
+    /// wakeup waiters).
+    pub pending_tags: usize,
+}
+
+/// One deadlock-avoidance-buffer occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DabSnapshot {
+    /// Owning thread.
+    pub thread: usize,
+    /// Trace index within the thread.
+    pub trace_idx: u64,
+    /// Global rename stamp.
+    pub age: u64,
+}
+
+/// Everything `Simulator::diagnose` can say about a machine that stopped
+/// committing: the whole-machine queues plus a per-thread diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DeadlockReport {
+    /// Cycle the report was taken.
+    pub cycle: u64,
+    /// Cycles since the last commit by any thread.
+    pub cycles_since_commit: u64,
+    /// Instructions committed in the current measurement window.
+    pub committed_total: u64,
+    /// Shared issue-queue snapshot.
+    pub iq: IqSnapshot,
+    /// Deadlock-avoidance-buffer contents.
+    pub dab: Vec<DabSnapshot>,
+    /// Deadlock-avoidance-buffer capacity (0 = no DAB configured).
+    pub dab_size: usize,
+    /// Events (wakeups/completions) still scheduled.
+    pub pending_events: usize,
+    /// Per-thread diagnoses.
+    pub threads: Vec<ThreadDiagnosis>,
+}
+
+impl DeadlockReport {
+    /// One-line-per-thread human rendering, for panic messages and logs.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "no commit for {} cycles at cycle {} (committed {}); iq {}/{} free{:?} tags={} \
+             dab {}/{} events={}",
+            self.cycles_since_commit,
+            self.cycle,
+            self.committed_total,
+            self.iq.occupancy,
+            self.iq.capacity,
+            self.iq.free_by_class,
+            self.iq.pending_tags,
+            self.dab.len(),
+            self.dab_size,
+            self.pending_events,
+        );
+        for t in &self.threads {
+            let head = t
+                .rob_head
+                .as_ref()
+                .map(|h| {
+                    let srcs: Vec<String> = h
+                        .srcs
+                        .iter()
+                        .map(|s| match s {
+                            None => "-".to_string(),
+                            Some(s) => {
+                                format!("{}({})", s.reg, if s.ready { "ready" } else { "PENDING" })
+                            }
+                        })
+                        .collect();
+                    format!("{}@{} {:?} srcs=[{}]", h.op, h.trace_idx, h.state, srcs.join(", "))
+                })
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                s,
+                "t{}: blocked_on={:?} rob={}/{} buf={} fe={} lsq={} ndi_blocked={} \
+                 rename_blocked={:?} head={}",
+                t.thread,
+                t.blocked_on,
+                t.rob_len,
+                t.rob_cap,
+                t.dispatch_buf_len,
+                t.frontend_len,
+                t.lsq_len,
+                t.ndi_blocked,
+                t.rename_blocked,
+                head,
+            );
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> DeadlockReport {
+        DeadlockReport {
+            cycle: 1000,
+            cycles_since_commit: 400,
+            committed_total: 17,
+            iq: IqSnapshot {
+                occupancy: 8,
+                capacity: 8,
+                free_by_class: [0, 0, 0],
+                per_thread: vec![8, 0],
+                pending_tags: 9,
+            },
+            dab: vec![DabSnapshot { thread: 0, trace_idx: 12, age: 40 }],
+            dab_size: 2,
+            pending_events: 1,
+            threads: vec![
+                ThreadDiagnosis {
+                    thread: 0,
+                    committed: 12,
+                    blocked_on: StallReason::WaitingMemory,
+                    rob_len: 30,
+                    rob_cap: 96,
+                    rob_head: Some(RobHeadView {
+                        trace_idx: 12,
+                        op: "Load".into(),
+                        state: InstState::Issued,
+                        srcs: [Some(SrcState { reg: "Int7".into(), ready: true }), None],
+                        long_miss: true,
+                    }),
+                    dispatch_buf_len: 3,
+                    dispatch_head: Some(DispatchHeadView {
+                        trace_idx: 13,
+                        non_ready: 2,
+                        is_ndi: true,
+                        dab_eligible: false,
+                    }),
+                    ndi_blocked: true,
+                    lsq_len: 2,
+                    lsq_head: Some(LsqHeadView { trace_idx: 12, is_store: false, issued: true }),
+                    frontend_len: 0,
+                    fetch_cursor: 40,
+                    fetch_gated_by: None,
+                    finished_fetch: false,
+                    outstanding_mem_misses: 1,
+                    rename_blocked: None,
+                },
+                ThreadDiagnosis {
+                    thread: 1,
+                    committed: 5,
+                    blocked_on: StallReason::IqFull,
+                    rob_len: 96,
+                    rob_cap: 96,
+                    rob_head: None,
+                    dispatch_buf_len: 24,
+                    dispatch_head: None,
+                    ndi_blocked: false,
+                    lsq_len: 0,
+                    lsq_head: None,
+                    frontend_len: 40,
+                    fetch_cursor: 200,
+                    fetch_gated_by: Some(150),
+                    finished_fetch: false,
+                    outstanding_mem_misses: 0,
+                    rename_blocked: Some(StallReason::RobFull),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_names_each_thread_and_its_stall() {
+        let s = report().summary();
+        assert!(s.contains("no commit for 400 cycles"));
+        assert!(s.contains("t0: blocked_on=WaitingMemory"));
+        assert!(s.contains("t1: blocked_on=IqFull"));
+        assert!(s.contains("Load@12 Issued"));
+        assert!(s.contains("rename_blocked=Some(RobFull)"));
+    }
+
+    #[test]
+    fn display_matches_summary() {
+        let r = report();
+        assert_eq!(format!("{r}"), r.summary());
+    }
+
+    #[test]
+    fn report_equality_is_structural() {
+        assert_eq!(report(), report());
+    }
+}

@@ -25,6 +25,16 @@ pub trait SchedulerQueue: std::fmt::Debug {
     /// right now?
     fn has_free_for(&self, non_ready: u8) -> bool;
 
+    /// Free entries admitting an instruction with 0, 1 and 2 non-ready
+    /// sources respectively. `free_by_class()[n] > 0` iff
+    /// [`SchedulerQueue::has_free_for`]`(n)`. Diagnostic: reported in
+    /// [`crate::progress::DeadlockReport`].
+    fn free_by_class(&self) -> [usize; 3];
+
+    /// Source tags still awaited across all resident entries — wakeup
+    /// broadcasts the window is waiting for. Diagnostic.
+    fn pending_tags(&self) -> usize;
+
     /// Admit an instruction whose non-ready source tags are the `Some`
     /// values of `entry.waiting`. Returns an opaque slot token. Panics if
     /// [`SchedulerQueue::has_free_for`] would have returned false — that is

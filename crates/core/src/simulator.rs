@@ -8,17 +8,22 @@
 //! back-to-back.
 
 use crate::config::{DeadlockMode, FetchPolicy, SimConfig};
-use crate::dispatch::{plan_thread, BufView, Candidate};
+use crate::dispatch::{is_ndi, plan_thread, BufView, Candidate};
 use crate::events::{Event, EventQueue};
 use crate::fetch::pick_fetch_threads;
 use crate::fu::FuPools;
 use crate::issue_queue::{IqEntry, IssueQueue};
 use crate::lsq::{LoadCheck, Lsq};
 use crate::packed::PackedIssueQueue;
-use crate::scheduler::SchedulerQueue;
+use crate::progress::{
+    DabSnapshot, DeadlockReport, DispatchHeadView, IqSnapshot, LsqHeadView, RobHeadView, SrcState,
+    StallReason, ThreadDiagnosis,
+};
 use crate::regfile::{PhysReg, PhysRegFile};
 use crate::rename::RenameTable;
 use crate::rob::{InFlight, InstState, Rob};
+use crate::scheduler::SchedulerQueue;
+use crate::tracer::Tracer;
 use smt_isa::{MachineDesc, OpClass, TraceInst};
 use smt_mem::{AccessKind, Hierarchy};
 use smt_predictor::{Btb, GShare};
@@ -27,14 +32,24 @@ use smt_workload::{InstGenerator, TraceSource};
 use std::collections::VecDeque;
 
 /// Why `run` returned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
     /// Some thread reached the commit target (the paper's stop rule).
     TargetReached,
     /// Every thread's program ended and drained.
     AllFinished,
-    /// The safety cycle limit was hit (likely a deadlock — a test signal).
-    CycleLimit,
+    /// The machine stopped making progress: either no thread committed for
+    /// [`SimConfig::progress_check_cycles`] consecutive cycles, or the
+    /// safety cycle limit ([`SimConfig::max_cycles`]) was reached. The
+    /// report names the resource each thread is blocked on.
+    Wedged(Box<DeadlockReport>),
+}
+
+impl RunOutcome {
+    /// Did the run end without reaching its target or draining?
+    pub fn is_wedged(&self) -> bool {
+        matches!(self, RunOutcome::Wedged(_))
+    }
 }
 
 /// An instruction in the front end (fetched, not yet renamed).
@@ -55,6 +70,23 @@ struct DabEntry {
     thread: usize,
     trace_idx: u64,
     age: u64,
+}
+
+/// Why `try_rename_one` could not rename a thread's next instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenameBlock {
+    /// Nothing fetched (fetch supply, not a rename stall).
+    FrontendEmpty,
+    /// The front-end pipeline has not delivered the instruction yet.
+    FrontendNotReady,
+    /// The thread's reorder buffer is full.
+    RobFull,
+    /// The post-rename dispatch buffer is full (dispatch back-pressure).
+    BufFull,
+    /// The thread's load/store queue is full.
+    LsqFull,
+    /// No physical register of the destination's class is free.
+    NoFreeRegs,
 }
 
 /// Per-thread pipeline context.
@@ -134,6 +166,8 @@ pub struct Simulator {
     /// FLUSH fetch policy: (thread, load index) pairs whose younger
     /// instructions must be squashed after the current issue sweep.
     pending_flushes: Vec<(usize, u64)>,
+    /// Optional pipeline-event observer (`None` in normal runs).
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl Simulator {
@@ -186,8 +220,7 @@ impl Simulator {
                 caps.extend(std::iter::repeat_n(1u8, one));
                 caps.extend(std::iter::repeat_n(2u8, two));
                 Box::new(
-                    IssueQueue::new_heterogeneous(caps, n, total_phys)
-                        .with_phys_int(cfg.phys_int),
+                    IssueQueue::new_heterogeneous(caps, n, total_phys).with_phys_int(cfg.phys_int),
                 )
             }
             Dp::HalfPrice => Box::new(
@@ -222,10 +255,21 @@ impl Simulator {
             measure_start: 0,
             last_pred_taken: (usize::MAX, 0, false),
             pending_flushes: Vec::new(),
+            tracer: None,
             threads,
             regs,
             cfg,
         }
+    }
+
+    /// Install a pipeline-event observer, replacing any existing one.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the installed tracer, if any.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
     }
 
     /// Current cycle.
@@ -377,6 +421,8 @@ impl Simulator {
     /// paper's stop rule), every thread drains, or the configured cycle
     /// limit is reached.
     pub fn run(&mut self, commit_target: u64) -> RunOutcome {
+        let mut last_total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
+        let mut last_commit_cycle = self.now;
         loop {
             if self.counters.threads.iter().any(|t| t.committed >= commit_target) {
                 return RunOutcome::TargetReached;
@@ -384,8 +430,13 @@ impl Simulator {
             if self.threads.iter().all(|t| t.drained()) {
                 return RunOutcome::AllFinished;
             }
-            if self.cfg.max_cycles > 0 && self.now >= self.cfg.max_cycles {
-                return RunOutcome::CycleLimit;
+            let total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
+            if total != last_total {
+                last_total = total;
+                last_commit_cycle = self.now;
+            }
+            if let Some(report) = self.check_progress(last_commit_cycle) {
+                return RunOutcome::Wedged(report);
             }
             self.cycle();
         }
@@ -397,6 +448,8 @@ impl Simulator {
     /// their co-runners (the stand-in for per-benchmark SimPoint
     /// fast-forwarding).
     pub fn run_until_all_committed(&mut self, commit_target: u64) -> RunOutcome {
+        let mut last_total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
+        let mut last_commit_cycle = self.now;
         loop {
             let all_done = self
                 .counters
@@ -411,10 +464,28 @@ impl Simulator {
                     RunOutcome::TargetReached
                 };
             }
-            if self.cfg.max_cycles > 0 && self.now >= self.cfg.max_cycles {
-                return RunOutcome::CycleLimit;
+            let total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
+            if total != last_total {
+                last_total = total;
+                last_commit_cycle = self.now;
+            }
+            if let Some(report) = self.check_progress(last_commit_cycle) {
+                return RunOutcome::Wedged(report);
             }
             self.cycle();
+        }
+    }
+
+    /// Shared wedge check of the run loops: trip on the forward-progress
+    /// watchdog (no commit for `progress_check_cycles` cycles) or the
+    /// safety cycle limit, and diagnose the machine state.
+    fn check_progress(&self, last_commit_cycle: u64) -> Option<Box<DeadlockReport>> {
+        let stuck = self.now - last_commit_cycle;
+        let k = self.cfg.progress_check_cycles;
+        if (k > 0 && stuck >= k) || (self.cfg.max_cycles > 0 && self.now >= self.cfg.max_cycles) {
+            Some(Box::new(self.diagnose(stuck)))
+        } else {
+            None
         }
     }
 
@@ -456,9 +527,7 @@ impl Simulator {
                         .rob
                         .get(trace_idx)
                         .map(|e| {
-                            e.age == age
-                                && e.state == InstState::Issued
-                                && e.dest == Some(reg)
+                            e.age == age && e.state == InstState::Issued && e.dest == Some(reg)
                         })
                         .unwrap_or(false);
                     if valid {
@@ -477,8 +546,7 @@ impl Simulator {
                         }
                         e.state = InstState::Completed;
                         if e.long_miss {
-                            t.outstanding_mem_misses =
-                                t.outstanding_mem_misses.saturating_sub(1);
+                            t.outstanding_mem_misses = t.outstanding_mem_misses.saturating_sub(1);
                         }
                         if e.inst.op.is_branch() {
                             Some((e.inst.pc, e.inst.branch.expect("branch info"), e.mispredicted))
@@ -486,6 +554,9 @@ impl Simulator {
                             None
                         }
                     };
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.on_writeback(now, thread, trace_idx);
+                    }
                     if let Some((pc, b, mispredicted)) = branch_info {
                         if b.taken {
                             self.btb.update(pc, b.target);
@@ -563,6 +634,9 @@ impl Simulator {
             }
         }
         self.threads[t].trace.retire_up_to(entry.trace_idx + 1);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_commit(self.now, t, entry.trace_idx);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -686,11 +760,13 @@ impl Simulator {
         tc.issued += 1;
         tc.iq_residency_sum += now - dispatch_cycle;
         if let Some(reg) = dest {
-            self.events
-                .schedule(now + latency, Event::Wakeup { thread: t, trace_idx, age, reg });
+            self.events.schedule(now + latency, Event::Wakeup { thread: t, trace_idx, age, reg });
         }
         self.events
             .schedule(now + latency + exec_tail, Event::Complete { thread: t, trace_idx, age });
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_issue(now, t, trace_idx);
+        }
     }
 
     /// Apply FLUSH-fetch-policy squashes queued during the issue sweep:
@@ -767,32 +843,7 @@ impl Simulator {
         let mut ndi_blocked = vec![false; n];
         #[allow(clippy::needless_range_loop)] // t also indexes self.threads
         for t in 0..n {
-            let views: Vec<BufView> = {
-                let ctx = &self.threads[t];
-                ctx.dispatch_buf
-                    .iter()
-                    .map(|&idx| {
-                        let e = ctx.rob.get(idx).expect("buffered instruction missing from ROB");
-                        let mut nonready_srcs = [None, None];
-                        let mut non_ready = 0u8;
-                        for (i, src) in e.srcs.iter().enumerate() {
-                            if let Some(p) = src {
-                                if !self.regs.is_ready(*p) {
-                                    nonready_srcs[i] = Some(*p);
-                                    non_ready += 1;
-                                }
-                            }
-                        }
-                        BufView {
-                            trace_idx: idx,
-                            non_ready,
-                            nonready_srcs,
-                            dest: e.dest,
-                            is_rob_oldest: idx == ctx.rob.base(),
-                        }
-                    })
-                    .collect()
-            };
+            let views = self.thread_buf_views(t);
             let plan = plan_thread(&views, policy, width);
             if let Some((total, hdis)) = plan.pileup {
                 self.counters.pileup_total += total as u64;
@@ -864,6 +915,36 @@ impl Simulator {
         dispatched
     }
 
+    /// Readiness-annotated views of a thread's dispatch buffer (oldest
+    /// first) — the input to the dispatch planner, also consumed by
+    /// [`Simulator::diagnose`].
+    fn thread_buf_views(&self, t: usize) -> Vec<BufView> {
+        let ctx = &self.threads[t];
+        ctx.dispatch_buf
+            .iter()
+            .map(|&idx| {
+                let e = ctx.rob.get(idx).expect("buffered instruction missing from ROB");
+                let mut nonready_srcs = [None, None];
+                let mut non_ready = 0u8;
+                for (i, src) in e.srcs.iter().enumerate() {
+                    if let Some(p) = src {
+                        if !self.regs.is_ready(*p) {
+                            nonready_srcs[i] = Some(*p);
+                            non_ready += 1;
+                        }
+                    }
+                }
+                BufView {
+                    trace_idx: idx,
+                    non_ready,
+                    nonready_srcs,
+                    dest: e.dest,
+                    is_rob_oldest: idx == ctx.rob.base(),
+                }
+            })
+            .collect()
+    }
+
     /// Remove `trace_idx` from a thread's dispatch buffer, reporting
     /// whether an older instruction remains buffered (⇒ HDI dispatch).
     fn take_from_buffer(&mut self, t: usize, trace_idx: u64) -> bool {
@@ -904,8 +985,7 @@ impl Simulator {
             let e = self.threads[t].rob.get_mut(cand.trace_idx).unwrap();
             e.nonready_at_dispatch = nr;
         }
-        self.iq
-            .insert(IqEntry { thread: t, trace_idx: cand.trace_idx, age, fu, waiting: pending });
+        self.iq.insert(IqEntry { thread: t, trace_idx: cand.trace_idx, age, fu, waiting: pending });
         let tc = &mut self.counters.threads[t];
         tc.dispatched += 1;
         tc.dispatched_by_nonready[nr.min(2) as usize] += 1;
@@ -914,6 +994,9 @@ impl Simulator {
             if cand.ndi_dependent {
                 tc.hdis_dependent_on_ndi += 1;
             }
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_dispatch(now, t, cand.trace_idx, false, was_hdi);
         }
     }
 
@@ -938,6 +1021,9 @@ impl Simulator {
         tc.dispatched += 1;
         tc.dab_dispatches += 1;
         tc.dispatched_by_nonready[0] += 1;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_dispatch(now, t, cand.trace_idx, true, false);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -947,6 +1033,8 @@ impl Simulator {
     fn rename_stage(&mut self) {
         let n = self.threads.len();
         let mut budget = self.cfg.width;
+        let mut renamed = vec![0u32; n];
+        let mut first_block: Vec<Option<RenameBlock>> = vec![None; n];
         let mut progress = true;
         while budget > 0 && progress {
             progress = false;
@@ -955,30 +1043,57 @@ impl Simulator {
                     break;
                 }
                 let t = (self.rr + i) % n;
-                if self.try_rename_one(t) {
-                    budget -= 1;
-                    progress = true;
+                match self.try_rename_one(t) {
+                    Ok(()) => {
+                        renamed[t] += 1;
+                        budget -= 1;
+                        progress = true;
+                    }
+                    Err(b) => {
+                        if first_block[t].is_none() {
+                            first_block[t] = Some(b);
+                        }
+                    }
                 }
+            }
+        }
+        // Back-pressure attribution: a thread that renamed nothing this
+        // cycle because its ROB or LSQ is full is stalled on that structure
+        // (the other block reasons are fetch-supply or width conditions,
+        // and dispatch-side stalls are attributed in dispatch_stage).
+        for t in 0..n {
+            if renamed[t] > 0 {
+                continue;
+            }
+            match first_block[t] {
+                Some(RenameBlock::RobFull) => self.counters.threads[t].rob_full_cycles += 1,
+                Some(RenameBlock::LsqFull) => self.counters.threads[t].lsq_full_cycles += 1,
+                _ => {}
             }
         }
     }
 
-    fn try_rename_one(&mut self, t: usize) -> bool {
+    fn try_rename_one(&mut self, t: usize) -> Result<(), RenameBlock> {
         let now = self.now;
         let cap = self.cfg.dispatch_buffer_cap;
         // Peek resource needs.
         let (trace_idx, mispredicted, inst) = {
             let ctx = &mut self.threads[t];
-            let Some(front) = ctx.frontend.front().copied() else { return false };
+            let Some(front) = ctx.frontend.front().copied() else {
+                return Err(RenameBlock::FrontendEmpty);
+            };
             if front.ready_at > now {
-                return false;
+                return Err(RenameBlock::FrontendNotReady);
             }
-            if ctx.rob.is_full() || ctx.dispatch_buf.len() >= cap {
-                return false;
+            if ctx.rob.is_full() {
+                return Err(RenameBlock::RobFull);
+            }
+            if ctx.dispatch_buf.len() >= cap {
+                return Err(RenameBlock::BufFull);
             }
             let inst = front.inst;
             if inst.op.is_mem() && ctx.lsq.is_full() {
-                return false;
+                return Err(RenameBlock::LsqFull);
             }
             (front.trace_idx, front.mispredicted, inst)
         };
@@ -986,7 +1101,7 @@ impl Simulator {
         if let Some(d) = inst.real_dest() {
             let class = d.class;
             if self.regs.free_count(class) == 0 {
-                return false;
+                return Err(RenameBlock::NoFreeRegs);
             }
         }
         // All resources available: commit to renaming.
@@ -1035,7 +1150,7 @@ impl Simulator {
         }
         ctx.rob.push(entry);
         ctx.dispatch_buf.push_back(trace_idx);
-        true
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1061,11 +1176,7 @@ impl Simulator {
                 eligible.then(|| match self.cfg.fetch_policy {
                     // Round-robin: priority rotates each cycle.
                     FetchPolicy::RoundRobin => (t + n - self.rr % n) % n,
-                    _ => {
-                        ctx.frontend.len()
-                            + ctx.dispatch_buf.len()
-                            + self.iq.thread_occupancy(t)
-                    }
+                    _ => ctx.frontend.len() + ctx.dispatch_buf.len() + self.iq.thread_occupancy(t),
                 })
             })
             .collect();
@@ -1124,9 +1235,7 @@ impl Simulator {
             }
             self.threads[t].pending_ifetch_line = None;
             let mut per_thread = self.cfg.width;
-            while budget > 0
-                && per_thread > 0
-                && self.threads[t].frontend.len() < self.frontend_cap
+            while budget > 0 && per_thread > 0 && self.threads[t].frontend.len() < self.frontend_cap
             {
                 let cursor = self.threads[t].fetch_cursor;
                 let Some(inst) = self.threads[t].trace.get(cursor) else {
@@ -1288,5 +1397,246 @@ impl Simulator {
             self.iq.squash_thread(t);
         }
         self.dab.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Forward-progress diagnosis.
+    // ------------------------------------------------------------------
+
+    /// Snapshot why the machine is not committing: whole-machine queue
+    /// state plus a per-thread [`ThreadDiagnosis`] naming the blocked
+    /// resource. Built by the run loops when the forward-progress watchdog
+    /// or the cycle limit trips; also callable directly from tests and
+    /// tools against any machine state.
+    pub fn diagnose(&self, cycles_since_commit: u64) -> DeadlockReport {
+        let n = self.threads.len();
+        DeadlockReport {
+            cycle: self.now,
+            cycles_since_commit,
+            committed_total: self.counters.threads.iter().map(|t| t.committed).sum(),
+            iq: IqSnapshot {
+                occupancy: self.iq.occupancy(),
+                capacity: self.cfg.iq_size,
+                free_by_class: self.iq.free_by_class(),
+                per_thread: (0..n).map(|t| self.iq.thread_occupancy(t)).collect(),
+                pending_tags: self.iq.pending_tags(),
+            },
+            dab: self
+                .dab
+                .iter()
+                .map(|d| DabSnapshot { thread: d.thread, trace_idx: d.trace_idx, age: d.age })
+                .collect(),
+            dab_size: self.dab_size,
+            pending_events: self.events.len(),
+            threads: (0..n).map(|t| self.diagnose_thread(t)).collect(),
+        }
+    }
+
+    fn diagnose_thread(&self, t: usize) -> ThreadDiagnosis {
+        let ctx = &self.threads[t];
+        let views = self.thread_buf_views(t);
+        let plan = plan_thread(&views, self.cfg.policy, self.cfg.width as usize);
+        let comparators = self.cfg.policy.iq_comparators();
+        let rob_head = ctx.rob.front().map(|e| RobHeadView {
+            trace_idx: e.trace_idx,
+            op: format!("{}", e.inst.op),
+            state: e.state,
+            srcs: [0, 1].map(|i| {
+                e.srcs[i].map(|p| SrcState {
+                    reg: format!("{:?}{}", p.class, p.index),
+                    ready: self.regs.is_ready(p),
+                })
+            }),
+            long_miss: e.long_miss,
+        });
+        let dispatch_head = views.first().map(|v| DispatchHeadView {
+            trace_idx: v.trace_idx,
+            non_ready: v.non_ready,
+            is_ndi: is_ndi(v.non_ready, comparators),
+            dab_eligible: v.is_rob_oldest && v.non_ready == 0,
+        });
+        let lsq_head = ctx.lsq.front_view().map(|(trace_idx, is_store, issued)| LsqHeadView {
+            trace_idx,
+            is_store,
+            issued,
+        });
+        let rename_blocked = self.peek_rename_block(t);
+        let blocked_on = self.classify_thread(t, &plan, rename_blocked);
+        ThreadDiagnosis {
+            thread: t,
+            committed: self.counters.threads[t].committed,
+            blocked_on,
+            rob_len: ctx.rob.len(),
+            rob_cap: self.cfg.rob_per_thread,
+            rob_head,
+            dispatch_buf_len: ctx.dispatch_buf.len(),
+            dispatch_head,
+            ndi_blocked: plan.ndi_blocked,
+            lsq_len: ctx.lsq.len(),
+            lsq_head,
+            frontend_len: ctx.frontend.len(),
+            fetch_cursor: ctx.fetch_cursor,
+            fetch_gated_by: ctx.fetch_gated_by,
+            finished_fetch: ctx.finished_fetch,
+            outstanding_mem_misses: ctx.outstanding_mem_misses,
+            rename_blocked,
+        }
+    }
+
+    /// The immediate stall reason of thread `t`, decided by its oldest
+    /// in-flight instruction (the one that must commit next): its pipeline
+    /// state names the stage to blame, and within the dispatch stage the
+    /// blocked structural resource is identified. With an empty ROB, the
+    /// rename/fetch side is examined instead.
+    fn classify_thread(
+        &self,
+        t: usize,
+        plan: &crate::dispatch::ThreadPlan,
+        rename_blocked: Option<StallReason>,
+    ) -> StallReason {
+        let ctx = &self.threads[t];
+        if ctx.drained() {
+            return StallReason::Drained;
+        }
+        let Some(head) = ctx.rob.front() else {
+            // Nothing renamed: rename or fetch is the binding stage.
+            if let Some(r) = rename_blocked {
+                return r;
+            }
+            return if ctx.frontend.is_empty() {
+                StallReason::FetchStalled
+            } else {
+                StallReason::Progressing
+            };
+        };
+        match head.state {
+            InstState::Completed => StallReason::CommitPending,
+            InstState::Issued => {
+                if head.long_miss {
+                    StallReason::WaitingMemory
+                } else {
+                    StallReason::WaitingExecution
+                }
+            }
+            InstState::InDab => StallReason::WaitingExecution,
+            InstState::Dispatched => {
+                let pending = head.srcs.iter().flatten().any(|p| !self.regs.is_ready(*p));
+                if pending {
+                    StallReason::WaitingOperands
+                } else if head.inst.op.is_load()
+                    && ctx
+                        .lsq
+                        .check_load(head.trace_idx, head.inst.mem.expect("load without mem").addr)
+                        == LoadCheck::Blocked
+                {
+                    StallReason::LoadBlocked
+                } else {
+                    StallReason::Progressing
+                }
+            }
+            InstState::Renamed => {
+                // The head is still in the dispatch buffer.
+                if plan.ndi_blocked {
+                    StallReason::Ndi
+                } else if let Some(c) = plan.candidates.first() {
+                    if self.iq.has_free_for(c.non_ready) {
+                        StallReason::Progressing
+                    } else if c.dab_eligible && self.dab_size > 0 {
+                        if self.dab.len() >= self.dab_size {
+                            StallReason::DabFull
+                        } else {
+                            StallReason::Progressing
+                        }
+                    } else {
+                        StallReason::IqFull
+                    }
+                } else {
+                    StallReason::Progressing
+                }
+            }
+        }
+    }
+
+    /// What rename would block on for thread `t` right now, without
+    /// mutating anything — mirrors the gate order of `try_rename_one`.
+    /// Returns `None` for conditions that are not rename stalls: empty or
+    /// not-yet-ready front end (fetch supply) and a full dispatch buffer
+    /// (dispatch back-pressure).
+    fn peek_rename_block(&self, t: usize) -> Option<StallReason> {
+        let ctx = &self.threads[t];
+        let front = ctx.frontend.front()?;
+        if front.ready_at > self.now {
+            return None;
+        }
+        if ctx.rob.is_full() {
+            return Some(StallReason::RobFull);
+        }
+        if ctx.dispatch_buf.len() >= self.cfg.dispatch_buffer_cap {
+            return None;
+        }
+        if front.inst.op.is_mem() && ctx.lsq.is_full() {
+            return Some(StallReason::LsqFull);
+        }
+        if let Some(d) = front.inst.real_dest() {
+            if self.regs.free_count(d.class) == 0 {
+                return Some(StallReason::NoFreeRegs);
+            }
+        }
+        None
+    }
+
+    /// Per-thread view of each ROB head: `(trace_idx, state, all register
+    /// sources ready)`, or `None` for an empty ROB. A cheap probe for
+    /// liveness tests stepping the machine cycle by cycle.
+    pub fn rob_head_snapshot(&self) -> Vec<Option<(u64, InstState, bool)>> {
+        self.threads
+            .iter()
+            .map(|ctx| {
+                ctx.rob.front().map(|e| {
+                    let ready = e.srcs.iter().flatten().all(|p| self.regs.is_ready(*p));
+                    (e.trace_idx, e.state, ready)
+                })
+            })
+            .collect()
+    }
+
+    /// Check the deadlock-avoidance-buffer liveness invariants: the buffer
+    /// never exceeds its capacity, and every occupant is its thread's
+    /// ROB-oldest instruction, in state [`InstState::InDab`], with all
+    /// register sources ready — the structural guarantee that a DAB
+    /// occupant can always issue and, eventually, commit. Panics with a
+    /// description on violation.
+    pub fn assert_dab_invariants(&self) {
+        assert!(
+            self.dab.len() <= self.dab_size,
+            "DAB over capacity: {} > {}",
+            self.dab.len(),
+            self.dab_size
+        );
+        for d in &self.dab {
+            let ctx = &self.threads[d.thread];
+            assert_eq!(
+                d.trace_idx,
+                ctx.rob.base(),
+                "DAB entry t{}#{} is not its thread's ROB-oldest instruction",
+                d.thread,
+                d.trace_idx
+            );
+            let e = ctx.rob.get(d.trace_idx).expect("DAB entry without ROB entry");
+            assert_eq!(
+                e.state,
+                InstState::InDab,
+                "DAB entry t{}#{} has state {:?}",
+                d.thread,
+                d.trace_idx,
+                e.state
+            );
+            assert!(
+                e.srcs.iter().flatten().all(|p| self.regs.is_ready(*p)),
+                "DAB entry t{}#{} has a pending source operand",
+                d.thread,
+                d.trace_idx
+            );
+        }
     }
 }

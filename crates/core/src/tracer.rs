@@ -1,0 +1,63 @@
+//! Lightweight pipeline-event hooks.
+//!
+//! A [`Tracer`] installed via `Simulator::set_tracer` observes the four
+//! commit-visible pipeline events. Every method has a no-op default body and
+//! the simulator holds `Option<Box<dyn Tracer>>` (default `None`), so runs
+//! without a tracer pay only an `Option` check per event. Tests use tracers
+//! to cross-check the committed stream against an in-order oracle; tools can
+//! use them to emit pipeline traces without touching the cycle loop.
+
+/// Observer for per-instruction pipeline events. All methods default to
+/// no-ops; implement only what you need.
+pub trait Tracer: Send {
+    /// An instruction left the dispatch buffer for the issue queue
+    /// (`to_dab == false`) or the deadlock-avoidance buffer
+    /// (`to_dab == true`). `ooo` marks a dispatch that bypassed an older
+    /// non-dispatchable instruction (out-of-order dispatch).
+    fn on_dispatch(
+        &mut self,
+        _cycle: u64,
+        _thread: usize,
+        _trace_idx: u64,
+        _to_dab: bool,
+        _ooo: bool,
+    ) {
+    }
+
+    /// An instruction was selected for execution (left the IQ or DAB).
+    /// An instruction squashed after issue may issue again later; the last
+    /// call wins.
+    fn on_issue(&mut self, _cycle: u64, _thread: usize, _trace_idx: u64) {}
+
+    /// An instruction finished execution and wrote back its result.
+    fn on_writeback(&mut self, _cycle: u64, _thread: usize, _trace_idx: u64) {}
+
+    /// An instruction retired from the head of its thread's ROB.
+    fn on_commit(&mut self, _cycle: u64, _thread: usize, _trace_idx: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingTracer {
+        events: usize,
+    }
+
+    impl Tracer for CountingTracer {
+        fn on_commit(&mut self, _cycle: u64, _thread: usize, _trace_idx: u64) {
+            self.events += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut t = CountingTracer { events: 0 };
+        t.on_dispatch(1, 0, 0, false, false);
+        t.on_issue(2, 0, 0);
+        t.on_writeback(3, 0, 0);
+        assert_eq!(t.events, 0);
+        t.on_commit(4, 0, 0);
+        assert_eq!(t.events, 1);
+    }
+}

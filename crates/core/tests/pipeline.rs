@@ -1,6 +1,8 @@
 //! Pipeline-level tests driving the simulator with hand-written programs.
 
-use smt_core::{DeadlockMode, DispatchPolicy, RunOutcome, SimConfig, Simulator};
+use smt_core::{
+    DeadlockMode, DispatchPolicy, RunOutcome, SimConfig, Simulator, StallReason, Tracer,
+};
 use smt_isa::{ArchReg, TraceInst};
 use smt_workload::{InstGenerator, ProgramTrace};
 
@@ -41,9 +43,7 @@ fn alu_chain(n: usize) -> Vec<TraceInst> {
 
 /// Independent ALU ops (maximal ILP).
 fn alu_independent(n: usize) -> Vec<TraceInst> {
-    (0..n)
-        .map(|i| TraceInst::alu(pc_of(i), ArchReg::int(1 + (i % 20) as u8), None, None))
-        .collect()
+    (0..n).map(|i| TraceInst::alu(pc_of(i), ArchReg::int(1 + (i % 20) as u8), None, None)).collect()
 }
 
 #[test]
@@ -64,8 +64,7 @@ fn all_policies_commit_identical_work() {
         DispatchPolicy::TwoOpBlockOooFiltered,
     ] {
         let n = 400;
-        let mut sim =
-            sim_of(vec![alu_chain(n), alu_independent(n)], cfg(32, policy));
+        let mut sim = sim_of(vec![alu_chain(n), alu_independent(n)], cfg(32, policy));
         let outcome = sim.run(u64::MAX);
         assert_eq!(outcome, RunOutcome::AllFinished, "{policy:?}");
         assert_eq!(sim.counters().threads[0].committed, n as u64, "{policy:?} thread 0");
@@ -109,7 +108,12 @@ fn cache_miss_slows_down_dependent_load() {
         .collect();
     let cold: Vec<TraceInst> = (0..400)
         .map(|i| {
-            TraceInst::load(pc_of(i as usize), ArchReg::int(1), Some(ArchReg::int(1)), 0x10_0000 + i * 4096)
+            TraceInst::load(
+                pc_of(i as usize),
+                ArchReg::int(1),
+                Some(ArchReg::int(1)),
+                0x10_0000 + i * 4096,
+            )
         })
         .collect();
     let mut h = sim_of(vec![hot], cfg(64, DispatchPolicy::Traditional));
@@ -139,7 +143,12 @@ fn figure2_program(n_repeats: usize) -> Vec<TraceInst> {
         prog.push(TraceInst::load(pc, ArchReg::int(2), Some(ArchReg::int(21)), base + 4096));
         pc += 4;
         // I2: r3 <- r1 + r2   (two non-ready sources: the NDI)
-        prog.push(TraceInst::alu(pc, ArchReg::int(3), Some(ArchReg::int(1)), Some(ArchReg::int(2))));
+        prog.push(TraceInst::alu(
+            pc,
+            ArchReg::int(3),
+            Some(ArchReg::int(1)),
+            Some(ArchReg::int(2)),
+        ));
         pc += 4;
         // I3..: a pile of independent work (the HDIs)
         for k in 0..20 {
@@ -247,10 +256,8 @@ fn watchdog_mode_also_makes_progress() {
 #[test]
 fn tag_eliminated_scheduler_completes_all_work() {
     let n = 400;
-    let mut sim = sim_of(
-        vec![figure2_program(20), alu_chain(n)],
-        cfg(32, DispatchPolicy::TagEliminated),
-    );
+    let mut sim =
+        sim_of(vec![figure2_program(20), alu_chain(n)], cfg(32, DispatchPolicy::TagEliminated));
     let outcome = sim.run(u64::MAX);
     assert_eq!(outcome, RunOutcome::AllFinished);
     assert_eq!(sim.counters().threads[1].committed, n as u64);
@@ -531,7 +538,12 @@ fn mispredicted_branches_cost_cycles() {
         .map(|i| {
             if i % 3 == 2 {
                 let x = (i * 2654435761u64) >> 13 & 1;
-                TraceInst::branch(pc_of(i as usize), Some(ArchReg::int(20)), x == 1, 8 * ((i % 7) + 2))
+                TraceInst::branch(
+                    pc_of(i as usize),
+                    Some(ArchReg::int(20)),
+                    x == 1,
+                    8 * ((i % 7) + 2),
+                )
             } else {
                 TraceInst::alu(pc_of(i as usize), ArchReg::int(1 + (i % 8) as u8), None, None)
             }
@@ -555,8 +567,7 @@ fn two_threads_share_the_machine_productively() {
     let n = 3_000;
     let mut solo = sim_of(vec![alu_chain(n)], cfg(64, DispatchPolicy::Traditional));
     solo.run(u64::MAX);
-    let mut duo =
-        sim_of(vec![alu_chain(n), alu_chain(n)], cfg(64, DispatchPolicy::Traditional));
+    let mut duo = sim_of(vec![alu_chain(n), alu_chain(n)], cfg(64, DispatchPolicy::Traditional));
     duo.run(u64::MAX);
     // Two serial chains interleave almost perfectly on an SMT core: the
     // pair should take far less than twice the solo time.
@@ -577,11 +588,48 @@ fn empty_program_finishes_immediately() {
 }
 
 #[test]
-fn cycle_limit_reported() {
+fn cycle_limit_reports_wedge_with_diagnosis() {
     let mut c = cfg(32, DispatchPolicy::Traditional);
     c.max_cycles = 10;
     let mut sim = sim_of(vec![alu_chain(10_000)], c);
-    assert_eq!(sim.run(u64::MAX), RunOutcome::CycleLimit);
+    match sim.run(u64::MAX) {
+        RunOutcome::Wedged(report) => {
+            assert_eq!(report.threads.len(), 1);
+            assert!(report.cycle >= 10);
+            assert!(!report.summary().is_empty());
+        }
+        o => panic!("expected Wedged, got {o:?}"),
+    }
+}
+
+#[test]
+fn forced_wedge_names_the_blocked_resource_per_thread() {
+    // Thread 0 is a cold load whose two dependents hold the 2-entry IQ for
+    // the full 150-cycle memory latency; thread 1 has plenty of independent
+    // work that can no longer reach the IQ. Aborting before the miss
+    // returns must diagnose t0 as waiting on memory and t1 as blocked on
+    // the shared IQ. (The cycle budget allows for t0's initial cold I-fetch
+    // of line 0, which itself costs one memory round trip, but lands well
+    // inside the data miss that follows it.)
+    let t0 = vec![
+        TraceInst::load(0, ArchReg::int(1), Some(ArchReg::int(20)), 0x40_0000),
+        TraceInst::alu(4, ArchReg::int(2), Some(ArchReg::int(1)), None),
+        TraceInst::alu(8, ArchReg::int(3), Some(ArchReg::int(1)), None),
+    ];
+    let mut c = cfg(2, DispatchPolicy::Traditional);
+    c.max_cycles = 250;
+    let mut sim = sim_of(vec![t0, alu_independent(2_000)], c);
+    let report = match sim.run(u64::MAX) {
+        RunOutcome::Wedged(r) => r,
+        o => panic!("expected Wedged, got {o:?}"),
+    };
+    assert_eq!(report.threads[0].blocked_on, StallReason::WaitingMemory);
+    assert_eq!(report.threads[1].blocked_on, StallReason::IqFull);
+    let head = report.threads[0].rob_head.as_ref().expect("t0 must have a ROB head");
+    assert!(head.long_miss, "t0's ROB head must be the outstanding miss");
+    assert_eq!(report.iq.occupancy, report.iq.capacity, "the IQ must really be full");
+    let s = report.summary();
+    assert!(s.contains("WaitingMemory") && s.contains("IqFull"), "summary:\n{s}");
 }
 
 #[test]
@@ -596,4 +644,270 @@ fn reset_measurement_keeps_machine_warm() {
     assert!(sim.counters().threads[0].committed >= 1_000);
     assert!(sim.counters().cycles > 0);
     let _ = warm_cycles_first;
+}
+
+#[test]
+fn stall_attribution_counters_stay_within_bounds() {
+    // NDI-heavy code on a tiny shared IQ: dispatch stalls are charged to
+    // the NDI condition and to the full IQ; each counter is bumped at most
+    // once per thread per cycle.
+    let mut sim = sim_of(
+        vec![figure2_program(40), alu_independent(2_000)],
+        cfg(4, DispatchPolicy::TwoOpBlock),
+    );
+    sim.run(u64::MAX);
+    let cycles = sim.counters().cycles;
+    for t in &sim.counters().threads {
+        assert!(t.ndi_blocked_cycles <= cycles);
+        assert!(t.iq_full_cycles <= cycles);
+        assert!(t.rob_full_cycles + t.lsq_full_cycles <= cycles);
+        assert_eq!(
+            t.dispatch_stall_cycles(),
+            t.ndi_blocked_cycles + t.iq_full_cycles + t.rob_full_cycles + t.lsq_full_cycles
+        );
+    }
+    assert!(
+        sim.counters().threads[0].ndi_blocked_cycles > 0,
+        "the figure-2 NDIs must have blocked dispatch"
+    );
+    assert!(
+        sim.counters().threads[1].iq_full_cycles > 0,
+        "the 4-entry IQ must have turned thread 1 away"
+    );
+}
+
+#[test]
+fn rename_stalls_attribute_to_the_full_rob() {
+    // A cold pointer-chase load followed by a flood of independent ALU
+    // work: the in-flight window grows to the 96-entry ROB while the
+    // 150-cycle miss is outstanding, so rename charges stalls to the ROB.
+    let mut prog = vec![TraceInst::load(0, ArchReg::int(1), Some(ArchReg::int(1)), 0x50_0000)];
+    for i in 1..400usize {
+        prog.push(TraceInst::alu(pc_of(i), ArchReg::int(2 + (i % 8) as u8), None, None));
+    }
+    let mut sim = sim_of(vec![prog], cfg(64, DispatchPolicy::Traditional));
+    sim.run(u64::MAX);
+    let t = &sim.counters().threads[0];
+    assert!(t.rob_full_cycles > 0, "the miss must back the window up into the ROB");
+}
+
+#[test]
+fn rename_stalls_attribute_to_the_full_lsq() {
+    // The same blocking miss followed by 60 stores: 61 memory ops exceed
+    // the 48-entry LSQ but not the 96-entry ROB, so the stall lands on the
+    // LSQ and never on the ROB.
+    let mut prog = vec![TraceInst::load(0, ArchReg::int(1), Some(ArchReg::int(2)), 0x60_0000)];
+    for i in 1..61usize {
+        prog.push(TraceInst::store(
+            pc_of(i),
+            Some(ArchReg::int(3)),
+            Some(ArchReg::int(4)),
+            0x7000 + i as u64 * 8,
+        ));
+    }
+    let mut sim = sim_of(vec![prog], cfg(64, DispatchPolicy::Traditional));
+    sim.run(u64::MAX);
+    let t = &sim.counters().threads[0];
+    assert!(t.lsq_full_cycles > 0, "the store window must fill the LSQ behind the miss");
+    assert_eq!(t.rob_full_cycles, 0, "a 61-entry window cannot fill the 96-entry ROB");
+}
+
+/// Frozen counterexamples: programs found by the deadlock fuzzing campaign,
+/// replayed deterministically on the configurations they were recorded
+/// against. A [`Tracer`] cross-checks the pipeline against an in-order
+/// dataflow oracle: every thread commits its trace exactly once in program
+/// order, and every register consumer issues strictly after the in-thread
+/// last writer of that register.
+mod frozen_cases {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+
+    /// Compact instruction encoding: ('A', dest, src1, src2) ALU,
+    /// ('L', dest, base, addr) load, ('S', data, base, addr) store,
+    /// ('B', cond, taken, target) branch. Register 0 means "none".
+    type Enc = (char, u64, u64, u64);
+
+    fn reg(n: u64) -> Option<ArchReg> {
+        if n == 0 {
+            None
+        } else {
+            Some(ArchReg::int(n as u8))
+        }
+    }
+
+    fn decode(prog: &[Enc]) -> Vec<TraceInst> {
+        prog.iter()
+            .enumerate()
+            .map(|(i, &(op, a, b, c))| {
+                let pc = i as u64 * 4;
+                match op {
+                    'A' => TraceInst::alu(pc, ArchReg::int(a as u8), reg(b), reg(c)),
+                    'L' => TraceInst::load(pc, ArchReg::int(a as u8), reg(b), c),
+                    'S' => TraceInst::store(pc, reg(a), reg(b), c),
+                    'B' => TraceInst::branch(pc, reg(a), b == 1, c),
+                    _ => unreachable!("bad opcode {op:?}"),
+                }
+            })
+            .collect()
+    }
+
+    /// In-thread register dataflow edges: (producer index, consumer index)
+    /// pairs where the consumer reads the register last written by the
+    /// producer.
+    fn dataflow_edges(prog: &[Enc]) -> Vec<(u64, u64)> {
+        let mut last_writer: HashMap<u64, u64> = HashMap::new();
+        let mut edges = Vec::new();
+        for (i, &(op, a, b, c)) in prog.iter().enumerate() {
+            let i = i as u64;
+            let srcs = match op {
+                'A' => [b, c],
+                'L' => [b, 0],
+                'S' => [a, b],
+                'B' => [a, 0],
+                _ => unreachable!(),
+            };
+            for s in srcs {
+                if s != 0 {
+                    if let Some(&p) = last_writer.get(&s) {
+                        edges.push((p, i));
+                    }
+                }
+            }
+            let dest = match op {
+                'A' | 'L' => a,
+                _ => 0,
+            };
+            if dest != 0 {
+                last_writer.insert(dest, i);
+            }
+        }
+        edges
+    }
+
+    #[derive(Default)]
+    struct Observed {
+        /// Per-thread trace indices in commit order.
+        commits: Vec<Vec<u64>>,
+        /// Last issue cycle per (thread, trace index); re-issues overwrite.
+        issues: HashMap<(usize, u64), u64>,
+    }
+
+    struct OracleTracer(Arc<Mutex<Observed>>);
+
+    impl Tracer for OracleTracer {
+        fn on_issue(&mut self, cycle: u64, thread: usize, trace_idx: u64) {
+            self.0.lock().unwrap().issues.insert((thread, trace_idx), cycle);
+        }
+
+        fn on_commit(&mut self, _cycle: u64, thread: usize, trace_idx: u64) {
+            let mut o = self.0.lock().unwrap();
+            if o.commits.len() <= thread {
+                o.commits.resize_with(thread + 1, Vec::new);
+            }
+            o.commits[thread].push(trace_idx);
+        }
+    }
+
+    fn run_and_check(programs: &[&[Enc]], c: SimConfig) {
+        let observed = Arc::new(Mutex::new(Observed::default()));
+        let mut sim = sim_of(programs.iter().map(|p| decode(p)).collect(), c);
+        sim.set_tracer(Box::new(OracleTracer(observed.clone())));
+        let outcome = sim.run(u64::MAX);
+        assert!(matches!(outcome, RunOutcome::AllFinished), "frozen case wedged: {outcome:?}");
+        sim.assert_quiescent_invariants();
+        let o = observed.lock().unwrap();
+        for (t, prog) in programs.iter().enumerate() {
+            let expected: Vec<u64> = (0..prog.len() as u64).collect();
+            assert_eq!(o.commits[t], expected, "thread {t} must commit in program order");
+            for (p, consumer) in dataflow_edges(prog) {
+                let pi = o.issues[&(t, p)];
+                let ci = o.issues[&(t, consumer)];
+                assert!(
+                    ci > pi,
+                    "t{t}: inst {consumer} issued at cycle {ci}, not after its \
+                     producer {p} at cycle {pi}"
+                );
+            }
+        }
+    }
+
+    #[rustfmt::skip]
+    const CASE_34B15342: &[Enc] = &[
+        ('S',0,0,0), ('A',1,0,0), ('A',1,0,0), ('L',3,25,2674347), ('A',8,24,28), ('A',12,0,0),
+        ('B',27,1,5664), ('B',4,0,7648), ('A',21,0,0), ('L',10,1,3852626), ('L',7,13,3124748),
+        ('B',0,0,8056), ('L',19,5,1267206), ('S',0,3,1151766), ('B',0,1,7256), ('B',0,0,7400),
+        ('B',0,1,2524), ('S',19,28,3221959), ('B',0,1,4760), ('S',0,7,1011005), ('S',0,3,2891603),
+        ('A',20,0,7), ('B',11,1,6220), ('A',18,29,10), ('L',20,0,663114), ('A',12,0,0),
+        ('B',0,1,3616), ('L',15,0,1154960), ('S',0,6,3406825), ('L',21,0,753584), ('B',0,1,7244),
+        ('A',10,26,3), ('S',0,15,2839755), ('L',28,1,3998511), ('S',26,0,3900917),
+        ('L',16,0,4124511), ('A',18,11,12), ('B',0,1,24), ('A',15,0,0), ('B',14,1,4524),
+        ('L',29,27,1281929), ('L',21,0,1932369), ('A',19,25,0), ('B',24,0,1792), ('B',0,1,2804),
+        ('S',10,26,1817317), ('L',25,10,3175793), ('B',22,0,6748), ('A',27,6,0), ('A',12,21,29),
+        ('L',22,0,129495), ('A',7,11,13), ('B',8,1,4348), ('S',6,3,4130057), ('L',11,8,1899144),
+        ('L',26,24,1450275), ('L',26,18,4146750), ('S',0,0,1287238), ('A',27,0,7), ('A',11,0,0),
+        ('B',0,0,6780), ('A',9,0,23), ('S',4,3,1376302), ('S',1,5,938844), ('A',27,15,0),
+        ('A',11,25,8), ('B',0,0,5004), ('A',27,1,17), ('S',19,0,1230540), ('L',29,0,314345),
+        ('B',6,1,1272), ('S',0,0,2303103), ('A',19,0,0), ('A',2,5,5), ('B',19,1,7812), ('A',8,23,11),
+        ('B',0,0,4264), ('A',20,19,0), ('A',19,8,7), ('S',0,28,3387285), ('B',0,1,5036),
+        ('S',19,0,1140214), ('A',1,0,12), ('A',19,0,0), ('L',12,0,3977926), ('B',26,1,4060),
+        ('S',3,1,94085),
+    ];
+
+    #[rustfmt::skip]
+    const CASE_6945E32E_P1: &[Enc] = &[
+        ('A',1,0,0), ('L',9,0,3600246), ('L',3,0,1019643), ('L',3,0,3401), ('B',0,1,1764),
+        ('S',13,0,3910487), ('L',6,0,2876409), ('B',0,0,5892), ('B',15,0,6028), ('B',0,0,2988),
+        ('S',0,29,1590091), ('L',11,0,1399853), ('S',0,0,1573568), ('A',14,0,24), ('A',28,0,0),
+        ('S',18,0,725817), ('L',14,0,3036830), ('S',0,9,2614466), ('B',0,1,4916), ('B',8,1,5940),
+        ('B',15,1,3148), ('A',13,26,27), ('L',14,18,1276393), ('B',0,1,1860), ('S',0,0,1601754),
+        ('S',9,5,1978364), ('S',0,25,2935547), ('L',1,0,394996), ('A',16,13,0), ('B',7,1,4728),
+        ('L',4,0,15442), ('A',25,15,7), ('L',4,0,2528494), ('S',28,0,1969367), ('S',26,0,3319162),
+        ('A',23,25,5), ('A',9,8,0), ('B',24,0,6080), ('L',2,0,2274701), ('S',20,16,856978),
+        ('L',21,0,2007373), ('B',0,0,3496), ('A',7,10,0), ('B',0,1,6016), ('B',14,1,3052),
+        ('S',21,27,2259063), ('B',0,0,404), ('S',0,25,1228517), ('S',14,0,3145227), ('B',3,1,4776),
+        ('A',13,0,0), ('A',6,0,23), ('L',13,0,2193990), ('B',25,1,5420), ('S',0,0,200398),
+        ('S',26,0,2153911), ('B',3,1,5108), ('S',0,28,3254620), ('L',7,0,3214563), ('A',14,24,17),
+        ('A',3,13,15), ('L',5,11,1924266), ('L',10,29,141203), ('S',0,17,1597593),
+        ('S',27,1,3916346), ('A',22,0,0), ('B',0,1,7940), ('A',9,0,0), ('S',7,0,2729392),
+        ('B',0,1,6944), ('B',23,1,7684), ('L',7,0,2304423), ('S',12,25,3267377), ('B',5,0,6132),
+        ('B',0,0,2088), ('L',25,25,882488), ('A',1,0,0), ('L',27,0,45020), ('A',5,17,1),
+        ('B',0,1,3132), ('B',3,0,1768), ('L',14,0,3829188), ('L',9,0,794366), ('S',0,0,2374078),
+        ('A',18,13,0), ('L',16,0,289264), ('S',0,14,539807), ('L',3,0,2218600), ('B',17,0,3028),
+        ('L',12,15,2590319), ('S',0,0,1676047), ('S',0,0,1449664), ('B',0,1,5656), ('S',0,8,2865388),
+        ('S',0,0,3137833), ('S',21,0,370431),
+    ];
+
+    #[rustfmt::skip]
+    const CASE_6945E32E_P2: &[Enc] = &[
+        ('S',22,4,664222), ('A',16,3,20), ('S',0,0,2215008), ('S',10,2,3133403), ('S',0,0,162617),
+        ('A',19,3,28), ('S',0,13,1609773), ('S',11,1,1247787), ('L',19,0,2917471), ('S',0,3,1938430),
+        ('B',0,1,6000), ('L',6,0,2233685), ('L',22,14,4014862), ('L',18,1,803148), ('S',0,1,2245423),
+        ('A',13,0,8), ('A',12,17,0), ('B',0,0,2848), ('S',0,29,3115174),
+    ];
+
+    #[test]
+    fn frozen_case_34b15342_commits_in_order() {
+        let mut c = cfg(8, DispatchPolicy::TwoOpBlockOooFiltered);
+        c.deadlock = DeadlockMode::Dab { size: 2 };
+        run_and_check(&[CASE_34B15342], c);
+    }
+
+    #[test]
+    fn frozen_case_6945e32e_commits_in_order_on_every_recorded_config() {
+        let ooo_dab = {
+            let mut c = cfg(8, DispatchPolicy::TwoOpBlockOoo);
+            c.deadlock = DeadlockMode::Dab { size: 2 };
+            c
+        };
+        let ooo_wdog = {
+            let mut c = cfg(8, DispatchPolicy::TwoOpBlockOoo);
+            c.deadlock = DeadlockMode::Watchdog { timeout: 500 };
+            c
+        };
+        let traditional = cfg(16, DispatchPolicy::Traditional);
+        for c in [ooo_dab, ooo_wdog, traditional] {
+            run_and_check(&[CASE_6945E32E_P1, CASE_6945E32E_P2], c);
+        }
+    }
 }

@@ -109,11 +109,7 @@ fn check_against_reference(
                 match (got, want) {
                     (None, None) => {}
                     (Some((slot, entry)), Some(want_age)) => {
-                        prop_assert_eq!(
-                            entry.age,
-                            want_age,
-                            "ready-selection order diverged"
-                        );
+                        prop_assert_eq!(entry.age, want_age, "ready-selection order diverged");
                         queue.remove(slot);
                     }
                     (got, want) => {

@@ -104,10 +104,7 @@ impl TraceInst {
     /// register) — the quantity the dispatch stage counts ready bits for.
     #[inline]
     pub fn num_real_srcs(&self) -> usize {
-        self.srcs
-            .iter()
-            .filter(|s| s.map(|r| !r.is_zero()).unwrap_or(false))
-            .count()
+        self.srcs.iter().filter(|s| s.map(|r| !r.is_zero()).unwrap_or(false)).count()
     }
 
     /// Iterator over the real (non-zero, present) source registers.
@@ -145,7 +142,11 @@ impl TraceInst {
         if self.op.is_store() && self.dest.is_some() {
             return Err(format!("store with destination at pc {:#x}", self.pc));
         }
-        if !self.op.is_store() && !self.op.is_branch() && self.real_dest().is_none() && self.dest.is_none() {
+        if !self.op.is_store()
+            && !self.op.is_branch()
+            && self.real_dest().is_none()
+            && self.dest.is_none()
+        {
             // Destination-less ALU ops are permitted (e.g. effectful nops),
             // but loads must produce a value.
             if self.op.is_load() {
@@ -165,7 +166,8 @@ mod tests {
     fn real_src_counting_ignores_zero_and_none() {
         let i = TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::int(2)), None);
         assert_eq!(i.num_real_srcs(), 1);
-        let j = TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::zero_int()), Some(ArchReg::int(3)));
+        let j =
+            TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::zero_int()), Some(ArchReg::int(3)));
         assert_eq!(j.num_real_srcs(), 1);
         let k = TraceInst::alu(0, ArchReg::int(1), Some(ArchReg::int(2)), Some(ArchReg::int(3)));
         assert_eq!(k.num_real_srcs(), 2);

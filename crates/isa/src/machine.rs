@@ -30,13 +30,8 @@ pub enum FuKind {
 
 impl FuKind {
     /// All pool kinds, in a fixed order usable as an array index.
-    pub const ALL: [FuKind; 5] = [
-        FuKind::IntAlu,
-        FuKind::IntMultDiv,
-        FuKind::LdSt,
-        FuKind::FpAdd,
-        FuKind::FpMultDivSqrt,
-    ];
+    pub const ALL: [FuKind; 5] =
+        [FuKind::IntAlu, FuKind::IntMultDiv, FuKind::LdSt, FuKind::FpAdd, FuKind::FpMultDivSqrt];
 
     /// Dense index of this pool kind.
     #[inline]

@@ -75,10 +75,7 @@ impl OpClass {
     /// Does this class produce a floating-point result?
     #[inline]
     pub fn is_fp(self) -> bool {
-        matches!(
-            self,
-            OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt
-        )
+        matches!(self, OpClass::FpAdd | OpClass::FpMult | OpClass::FpDiv | OpClass::FpSqrt)
     }
 
     /// Short mnemonic used in debug dumps and reports.

@@ -164,9 +164,7 @@ impl Cache {
         let tag = self.tag_of(addr);
         let set = self.set_of(addr);
         let ways = self.cfg.ways as usize;
-        self.lines[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[set * ways..(set + 1) * ways].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Install the line containing `addr`, evicting the LRU way if the set
@@ -193,10 +191,7 @@ impl Cache {
             return None;
         }
         // Evict true-LRU.
-        let victim = slice
-            .iter_mut()
-            .min_by_key(|l| l.lru)
-            .expect("non-zero associativity");
+        let victim = slice.iter_mut().min_by_key(|l| l.lru).expect("non-zero associativity");
         let evicted_addr = (victim.tag << set_bits | set as u64) << line_shift;
         *victim = Line { tag, valid: true, lru: tick };
         Some(evicted_addr)

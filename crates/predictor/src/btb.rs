@@ -51,7 +51,10 @@ pub struct Btb {
 impl Btb {
     /// Build an empty BTB.
     pub fn new(cfg: BtbConfig) -> Self {
-        assert!(cfg.ways >= 1 && cfg.entries.is_multiple_of(cfg.ways), "entries must divide into ways");
+        assert!(
+            cfg.ways >= 1 && cfg.entries.is_multiple_of(cfg.ways),
+            "entries must divide into ways"
+        );
         let sets = (cfg.entries / cfg.ways) as usize;
         assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
         Btb {

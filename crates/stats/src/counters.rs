@@ -27,6 +27,12 @@ pub struct ThreadCounters {
     pub ndi_blocked_cycles: u64,
     /// Cycles this thread had instructions waiting but the IQ was full.
     pub iq_full_cycles: u64,
+    /// Cycles this thread's rename was blocked (and nothing renamed)
+    /// because its reorder buffer was full.
+    pub rob_full_cycles: u64,
+    /// Cycles this thread's rename was blocked (and nothing renamed)
+    /// because its load/store queue was full.
+    pub lsq_full_cycles: u64,
     /// Sum over issued instructions of (issue cycle − dispatch cycle):
     /// total IQ residency, for the paper's mean-residency statistic.
     pub iq_residency_sum: u64,
@@ -66,6 +72,15 @@ impl ThreadCounters {
         } else {
             self.iq_residency_sum as f64 / self.issued as f64
         }
+    }
+
+    /// Total per-stage stall cycles attributed to this thread: dispatch
+    /// blocked by the NDI condition or a full IQ, plus rename blocked by a
+    /// full ROB or LSQ. Each individual counter is bumped at most once per
+    /// cycle, and the two rename reasons are mutually exclusive, so every
+    /// component is bounded by the elapsed cycle count.
+    pub fn dispatch_stall_cycles(&self) -> u64 {
+        self.ndi_blocked_cycles + self.iq_full_cycles + self.rob_full_cycles + self.lsq_full_cycles
     }
 }
 
@@ -248,5 +263,18 @@ mod tests {
         let t0 = ThreadCounters::default();
         assert_eq!(t0.mispredict_rate(), 0.0);
         assert_eq!(t0.mean_iq_residency(), 0.0);
+    }
+
+    #[test]
+    fn dispatch_stall_cycles_sums_all_attributions() {
+        let t = ThreadCounters {
+            ndi_blocked_cycles: 10,
+            iq_full_cycles: 20,
+            rob_full_cycles: 5,
+            lsq_full_cycles: 2,
+            ..Default::default()
+        };
+        assert_eq!(t.dispatch_stall_cycles(), 37);
+        assert_eq!(ThreadCounters::default().dispatch_stall_cycles(), 0);
     }
 }

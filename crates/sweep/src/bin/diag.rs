@@ -1,11 +1,15 @@
 //! Internal diagnostic runner: executes one spec and dumps pipeline state
 //! counters periodically. Not part of the documented CLI surface.
 
-use smt_core::DispatchPolicy;
-use smt_sweep::runner::{run_spec, RunSpec};
+use smt_core::{DispatchPolicy, SimConfig};
+use smt_sweep::runner::{try_run_spec_with_config, RunSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 4 {
+        eprintln!("usage: diag <bench[,bench...]> <iq> <trad|2op|ooo|filt> <target> [max_cycles]");
+        std::process::exit(2);
+    }
     let benches: Vec<&str> = args[0].split(',').collect();
     let iq: usize = args[1].parse().unwrap();
     let policy = match args[2].as_str() {
@@ -17,7 +21,21 @@ fn main() {
     };
     let target: u64 = args[3].parse().unwrap();
     let spec = RunSpec::new(&benches, iq, policy, target, 1);
-    let r = run_spec(&spec);
+    let mut cfg = SimConfig::paper(iq, policy);
+    // An explicit cycle budget turns this into a wedge probe: if the run
+    // cannot finish in time, print the deadlock diagnosis and exit 1.
+    if let Some(max) = args.get(4) {
+        cfg.max_cycles = max.parse().unwrap();
+        // A wedge probe wants the snapshot at the budget, not after warmup.
+    }
+    let spec = if args.get(4).is_some() { spec.with_warmup(0) } else { spec };
+    let r = match try_run_spec_with_config(&spec, cfg) {
+        Ok(r) => r,
+        Err(report) => {
+            eprintln!("pipeline wedged (no forward progress):\n{report}");
+            std::process::exit(1);
+        }
+    };
     println!("ipc={:.3} cycles={} per_thread={:?}", r.ipc, r.cycles, r.per_thread_ipc);
     println!(
         "all_stall={:.3} pileup_hdi={:.3} ndi_dep={:.3} residency={:.2} occ={:.1}",
@@ -43,7 +61,10 @@ fn main() {
             tc.hdis_dispatched,
             tc.dab_dispatches
         );
-        println!("    mean iq occupancy: {:.1}", tc.iq_occupancy_sum as f64 / r.cycles.max(1) as f64);
+        println!(
+            "    mean iq occupancy: {:.1}",
+            tc.iq_occupancy_sum as f64 / r.cycles.max(1) as f64
+        );
         let total: u64 = tc.dispatched_by_nonready.iter().sum();
         if total > 0 {
             println!(

@@ -7,7 +7,7 @@
 //!
 //! Experiments:
 //!   fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
-//!   stalls | hdi | residency | filter | table1 | mixes | all
+//!   stalls | stallattr | hdi | residency | filter | table1 | mixes | all
 //!
 //! `--target` sets the per-thread commit budget (default 20000; the paper
 //! used 100M — see DESIGN.md §3 on scaling). `all` regenerates everything.
@@ -21,8 +21,8 @@ use std::io::Write as _;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|hdi|residency|\
-         filter|table1|mixes|all> [--target N] [--seed S] [--json FILE]"
+        "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|stallattr|hdi|\
+         residency|filter|table1|mixes|all> [--target N] [--seed S] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -67,6 +67,9 @@ fn main() {
     });
 
     let mut sections: Vec<(String, String)> = Vec::new();
+    // Structured (non-rendered) payloads for the `--json` dump, keyed like
+    // `sections`; currently the stall-attribution counters.
+    let mut data: Vec<(String, serde_json::Value)> = Vec::new();
     let add_figure = |name: &str, fig: exp::Figure, sections: &mut Vec<(String, String)>| {
         sections.push((name.to_string(), report::render_figure(&fig)));
     };
@@ -107,25 +110,32 @@ fn main() {
         "stalls" => {
             sections.push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))))
         }
+        "stallattr" => {
+            let attr = exp::stall_attribution(&db, params);
+            data.push(("stallattr".into(), serde_json::json!(attr)));
+            sections.push(("stallattr".into(), report::render_stall_attribution(&attr)));
+        }
         "hdi" => sections.push(("hdi".into(), report::render_hdi(&exp::hdi_stats(&db, params)))),
-        "residency" => sections
-            .push(("residency".into(), report::render_residency(&exp::residency_stats(&db, params)))),
+        "residency" => sections.push((
+            "residency".into(),
+            report::render_residency(&exp::residency_stats(&db, params)),
+        )),
         "filter" => {
             sections.push(("filter".into(), report::render_filter(exp::filter_gain(&db, params))))
         }
         "table1" => sections.push(("table1".into(), table1())),
         "mixes" => sections.push(("mixes".into(), mixes_tables())),
-        "classify" => sections
-            .push(("classify".into(), report::render_classify(&exp::classify(&db, params)))),
+        "classify" => {
+            sections.push(("classify".into(), report::render_classify(&exp::classify(&db, params))))
+        }
         "ablation" => {
             sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))))
         }
-        "fetchpol" => sections.push((
-            "fetchpol".into(),
-            report::render_fetch_policies(&exp::fetch_policies(params)),
-        )),
-        "hetero" => sections
-            .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params)))),
+        "fetchpol" => sections
+            .push(("fetchpol".into(), report::render_fetch_policies(&exp::fetch_policies(params)))),
+        "hetero" => {
+            sections.push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params))))
+        }
         "wrongpath" => sections.push((
             "wrongpath".into(),
             report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
@@ -142,11 +152,7 @@ fn main() {
             ] {
                 sections.push((
                     format!("mixdetail-{}", table.num_threads()),
-                    report::render_mix_detail(
-                        name,
-                        64,
-                        &exp::mix_detail(&db, table, 64, params),
-                    ),
+                    report::render_mix_detail(name, 64, &exp::mix_detail(&db, table, 64, params)),
                 ));
             }
         }
@@ -171,29 +177,25 @@ fn main() {
             ] {
                 add_figure(name, exp::figure_fairness(&db, table, params), &mut sections);
             }
-            sections
-                .push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))));
+            sections.push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))));
+            let attr = exp::stall_attribution(&db, params);
+            data.push(("stallattr".into(), serde_json::json!(attr)));
+            sections.push(("stallattr".into(), report::render_stall_attribution(&attr)));
             sections.push(("hdi".into(), report::render_hdi(&exp::hdi_stats(&db, params))));
             sections.push((
                 "residency".into(),
                 report::render_residency(&exp::residency_stats(&db, params)),
             ));
+            sections.push(("filter".into(), report::render_filter(exp::filter_gain(&db, params))));
             sections
-                .push(("filter".into(), report::render_filter(exp::filter_gain(&db, params))));
-            sections.push((
-                "classify".into(),
-                report::render_classify(&exp::classify(&db, params)),
-            ));
-            sections
-                .push(("ablation".into(), report::render_ablation(&exp::ablation(params))));
+                .push(("classify".into(), report::render_classify(&exp::classify(&db, params))));
+            sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))));
             sections.push((
                 "fetchpol".into(),
                 report::render_fetch_policies(&exp::fetch_policies(params)),
             ));
-            sections.push((
-                "hetero".into(),
-                report::render_hetero(&exp::hetero_comparison(params)),
-            ));
+            sections
+                .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params))));
             sections.push((
                 "wrongpath".into(),
                 report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
@@ -208,9 +210,12 @@ fn main() {
     if let Some(path) = json_out {
         let map: std::collections::BTreeMap<&str, &str> =
             sections.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let data_map: std::collections::BTreeMap<&str, &serde_json::Value> =
+            data.iter().map(|(k, v)| (k.as_str(), v)).collect();
         let payload = serde_json::json!({
             "params": { "commit_target": params.commit_target, "seed": params.seed },
             "sections": map,
+            "data": data_map,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -296,8 +301,7 @@ fn figure2_demo() -> String {
     };
     let ooo = plan_thread(&[i2, i3, i4], DispatchPolicy::TwoOpBlockOoo, 8);
     let blocked = plan_thread(&[i2, i3, i4], DispatchPolicy::TwoOpBlock, 8);
-    let order: Vec<String> =
-        ooo.candidates.iter().map(|c| format!("I{}", c.trace_idx)).collect();
+    let order: Vec<String> = ooo.candidates.iter().map(|c| format!("I{}", c.trace_idx)).collect();
     format!(
         "Figure 2: NDI/HDI classification example\n  \
          program: I2 (2 non-ready sources, NDI), I3 (independent DI), I4 (DI reading I2)\n  \

@@ -248,6 +248,73 @@ pub fn stall_stats(db: &ResultsDb, p: ExpParams) -> Vec<StallRow> {
     rows
 }
 
+/// One thread's share of the per-stage stall-attribution counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StallAttributionRow {
+    /// Hardware thread slot.
+    pub thread: usize,
+    /// Benchmark running in that slot.
+    pub benchmark: String,
+    /// Cycles dispatch was blocked by the NDI condition.
+    pub ndi_blocked_cycles: u64,
+    /// Cycles dispatch was blocked by a full IQ.
+    pub iq_full_cycles: u64,
+    /// Cycles rename was blocked by a full ROB.
+    pub rob_full_cycles: u64,
+    /// Cycles rename was blocked by a full LSQ.
+    pub lsq_full_cycles: u64,
+    /// Sum of the four attributions above.
+    pub dispatch_stall_cycles: u64,
+}
+
+/// Per-stage stall attribution for one smoke run: where did each thread's
+/// dispatch bandwidth actually go? Every counter is bumped at most once per
+/// thread per cycle, so each row's components are bounded by `cycles`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StallAttribution {
+    /// Benchmarks, one per thread.
+    pub benchmarks: Vec<String>,
+    /// Scheduler.
+    pub policy: String,
+    /// IQ capacity.
+    pub iq_size: usize,
+    /// Elapsed cycles of the measured run.
+    pub cycles: u64,
+    /// One row per hardware thread.
+    pub threads: Vec<StallAttributionRow>,
+}
+
+/// Run the stall-attribution smoke mix: the first 2-threaded workload at
+/// the 64-entry IQ under 2OP_BLOCK (the stall-heavy design point).
+pub fn stall_attribution(db: &ResultsDb, p: ExpParams) -> StallAttribution {
+    let mix = &mixes_for(MixTable::TwoThread)[0];
+    let iq = 64;
+    let policy = DispatchPolicy::TwoOpBlock;
+    let r = db.get(&mix_spec(mix, iq, policy, p));
+    let threads = r
+        .counters
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, tc)| StallAttributionRow {
+            thread: t,
+            benchmark: mix.benchmarks[t].clone(),
+            ndi_blocked_cycles: tc.ndi_blocked_cycles,
+            iq_full_cycles: tc.iq_full_cycles,
+            rob_full_cycles: tc.rob_full_cycles,
+            lsq_full_cycles: tc.lsq_full_cycles,
+            dispatch_stall_cycles: tc.dispatch_stall_cycles(),
+        })
+        .collect();
+    StallAttribution {
+        benchmarks: mix.benchmarks.clone(),
+        policy: policy.name().to_string(),
+        iq_size: iq,
+        cycles: r.cycles,
+        threads,
+    }
+}
+
 /// §4 statistics: HDI pile-up fraction (paper ~90%) and the fraction of
 /// dispatched HDIs that depended on a bypassed NDI (paper ~10%), aggregated
 /// over all 36 mixes at the 64-entry IQ under out-of-order dispatch.
@@ -283,7 +350,11 @@ pub fn hdi_stats(db: &ResultsDb, p: ExpParams) -> HdiStats {
         }
     }
     HdiStats {
-        pileup_hdi_frac: if pileup_total == 0 { 0.0 } else { pileup_hdis as f64 / pileup_total as f64 },
+        pileup_hdi_frac: if pileup_total == 0 {
+            0.0
+        } else {
+            pileup_hdis as f64 / pileup_total as f64
+        },
         ndi_dependent_frac: if hdis == 0 { 0.0 } else { dep as f64 / hdis as f64 },
     }
 }
@@ -302,10 +373,8 @@ pub struct ResidencyStats {
 pub fn residency_stats(db: &ResultsDb, p: ExpParams) -> ResidencyStats {
     let mixes = mixes_for(MixTable::TwoThread);
     let mean = |policy| {
-        let v: Vec<f64> = mixes
-            .iter()
-            .map(|m| db.get(&mix_spec(m, 64, policy, p)).mean_iq_residency)
-            .collect();
+        let v: Vec<f64> =
+            mixes.iter().map(|m| db.get(&mix_spec(m, 64, policy, p)).mean_iq_residency).collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     ResidencyStats {
@@ -371,16 +440,26 @@ pub fn ablation(p: ExpParams) -> Vec<AblationRow> {
     let mut jobs: Vec<(String, String, RunSpec, SimConfig)> = Vec::new();
     // DAB size: forward-progress insurance; should be performance-neutral.
     for size in [1usize, 2, 4, 8, 16] {
-        let spec = RunSpec::new(&mix4.benchmarks, 48, DispatchPolicy::TwoOpBlockOoo,
-            p.commit_target, p.seed);
+        let spec = RunSpec::new(
+            &mix4.benchmarks,
+            48,
+            DispatchPolicy::TwoOpBlockOoo,
+            p.commit_target,
+            p.seed,
+        );
         let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
         cfg.deadlock = DeadlockMode::Dab { size };
         jobs.push(("dab_size".into(), size.to_string(), spec, cfg));
     }
     // Dispatch-buffer depth: the HDI scan window of the OOO mechanism.
     for cap in [8usize, 16, 24, 48, 96] {
-        let spec = RunSpec::new(&mix2.benchmarks, 64, DispatchPolicy::TwoOpBlockOoo,
-            p.commit_target, p.seed);
+        let spec = RunSpec::new(
+            &mix2.benchmarks,
+            64,
+            DispatchPolicy::TwoOpBlockOoo,
+            p.commit_target,
+            p.seed,
+        );
         let mut cfg = SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo);
         cfg.dispatch_buffer_cap = cap;
         jobs.push(("dispatch_buffer_cap".into(), cap.to_string(), spec, cfg));
@@ -392,8 +471,13 @@ pub fn ablation(p: ExpParams) -> Vec<AblationRow> {
         ("watchdog(300)", DeadlockMode::Watchdog { timeout: 300 }),
         ("watchdog(1000)", DeadlockMode::Watchdog { timeout: 1000 }),
     ] {
-        let spec = RunSpec::new(&mix2.benchmarks, 32, DispatchPolicy::TwoOpBlockOoo,
-            p.commit_target, p.seed);
+        let spec = RunSpec::new(
+            &mix2.benchmarks,
+            32,
+            DispatchPolicy::TwoOpBlockOoo,
+            p.commit_target,
+            p.seed,
+        );
         let mut cfg = SimConfig::paper(32, DispatchPolicy::TwoOpBlockOoo);
         cfg.deadlock = mode;
         jobs.push(("deadlock_mode".into(), label.to_string(), spec, cfg));
@@ -511,8 +595,7 @@ pub fn hetero_comparison(p: ExpParams) -> Vec<HeteroRow> {
                 DispatchPolicy::Packed,
                 DispatchPolicy::TwoOpBlockOoo,
             ] {
-                let spec =
-                    RunSpec::new(&mix.benchmarks, iq, policy, p.commit_target, p.seed);
+                let spec = RunSpec::new(&mix.benchmarks, iq, policy, p.commit_target, p.seed);
                 let cfg = SimConfig::paper(iq, policy);
                 // Total comparators on the *fast* wakeup path: the Half-
                 // Price design keeps 2 per entry but moves one to a cheap
@@ -563,20 +646,13 @@ pub fn wrongpath_sensitivity(p: ExpParams) -> Vec<WrongPathRow> {
     use smt_core::SimConfig;
 
     let mut jobs = Vec::new();
-    for (threads, table) in
-        [(2, MixTable::TwoThread), (4, MixTable::FourThread)]
-    {
+    for (threads, table) in [(2, MixTable::TwoThread), (4, MixTable::FourThread)] {
         for iq in [32usize, 64, 128] {
             for wrong_path in [false, true] {
                 for policy in [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock] {
                     for mix in mixes_for(table) {
-                        let spec = RunSpec::new(
-                            &mix.benchmarks,
-                            iq,
-                            policy,
-                            p.commit_target,
-                            p.seed,
-                        );
+                        let spec =
+                            RunSpec::new(&mix.benchmarks, iq, policy, p.commit_target, p.seed);
                         let mut cfg = SimConfig::paper(iq, policy);
                         cfg.wrong_path = wrong_path;
                         jobs.push((threads, iq, wrong_path, policy, mix.name.clone(), spec, cfg));
@@ -595,7 +671,9 @@ pub fn wrongpath_sensitivity(p: ExpParams) -> Vec<WrongPathRow> {
     let speedup = |threads: usize, iq: usize, wp: bool| -> f64 {
         let ratios: Vec<f64> = results
             .iter()
-            .filter(|r| r.0 == threads && r.1 == iq && r.2 == wp && r.3 == DispatchPolicy::TwoOpBlock)
+            .filter(|r| {
+                r.0 == threads && r.1 == iq && r.2 == wp && r.3 == DispatchPolicy::TwoOpBlock
+            })
             .map(|blocked| {
                 let trad = results
                     .iter()
@@ -726,6 +804,23 @@ mod tests {
     }
 
     #[test]
+    fn stall_attribution_sums_consistently() {
+        let db = ResultsDb::new();
+        let a = stall_attribution(&db, tiny());
+        assert_eq!(a.threads.len(), 2);
+        for r in &a.threads {
+            assert_eq!(
+                r.dispatch_stall_cycles,
+                r.ndi_blocked_cycles + r.iq_full_cycles + r.rob_full_cycles + r.lsq_full_cycles
+            );
+            for c in [r.ndi_blocked_cycles, r.iq_full_cycles, r.rob_full_cycles, r.lsq_full_cycles]
+            {
+                assert!(c <= a.cycles, "attribution {c} exceeds elapsed cycles {}", a.cycles);
+            }
+        }
+    }
+
+    #[test]
     fn throughput_figure_baseline_is_unity() {
         let db = ResultsDb::new();
         let fig = figure_throughput(&db, MixTable::TwoThread, tiny());
@@ -742,8 +837,7 @@ mod tests {
         assert_eq!(rows.len(), 24);
         // Class means must order LOW < MED < HIGH.
         let mean = |label: &str| {
-            let v: Vec<f64> =
-                rows.iter().filter(|r| r.1 == label).map(|r| r.2).collect();
+            let v: Vec<f64> = rows.iter().filter(|r| r.1 == label).map(|r| r.2).collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(mean("LOW") < mean("MED"), "LOW vs MED class means out of order");
@@ -788,10 +882,8 @@ mod tests {
         assert!(rows.iter().all(|r| r.ipc > 0.0));
         // DAB size is forward-progress insurance and must be roughly
         // performance-neutral (well within 15% across sizes).
-        let dab: Vec<f64> =
-            rows.iter().filter(|r| r.knob == "dab_size").map(|r| r.ipc).collect();
-        let (min, max) =
-            dab.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let dab: Vec<f64> = rows.iter().filter(|r| r.knob == "dab_size").map(|r| r.ipc).collect();
+        let (min, max) = dab.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         assert!(max / min < 1.15, "DAB size should barely matter: {dab:?}");
     }
 

@@ -1,6 +1,6 @@
 //! Plain-text rendering of regenerated figures and tables.
 
-use crate::experiments::{Figure, HdiStats, ResidencyStats, StallRow};
+use crate::experiments::{Figure, HdiStats, ResidencyStats, StallAttribution, StallRow};
 use crate::IQ_SIZES;
 use std::fmt::Write as _;
 
@@ -33,9 +33,8 @@ fn render_chart(fig: &Figure) -> String {
     let symbols = ['o', 'x', '*', '+', '#', '@'];
     let values: Vec<f64> =
         fig.series.iter().flat_map(|s| s.points.iter().map(|&(_, v)| v)).collect();
-    let (min, max) = values
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min, max) =
+        values.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     if !min.is_finite() || !max.is_finite() || values.is_empty() {
         return String::new();
     }
@@ -98,6 +97,38 @@ pub fn render_stalls(rows: &[StallRow]) -> String {
             r.policy,
             r.stall_frac * 100.0,
             paper
+        );
+    }
+    out
+}
+
+/// Render the per-stage stall-attribution breakdown of the smoke run.
+pub fn render_stall_attribution(a: &StallAttribution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Per-stage stall attribution: {} on {} at {}-entry IQ ({} cycles)",
+        a.policy,
+        a.benchmarks.join("+"),
+        a.iq_size,
+        a.cycles
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8}{:<10}{:>10}{:>10}{:>10}{:>10}{:>8}",
+        "thread", "bench", "ndi", "iq-full", "rob-full", "lsq-full", "total"
+    );
+    for r in &a.threads {
+        let _ = writeln!(
+            out,
+            "  t{:<7}{:<10}{:>10}{:>10}{:>10}{:>10}{:>8}",
+            r.thread,
+            r.benchmark,
+            r.ndi_blocked_cycles,
+            r.iq_full_cycles,
+            r.rob_full_cycles,
+            r.lsq_full_cycles,
+            r.dispatch_stall_cycles
         );
     }
     out
@@ -213,11 +244,8 @@ pub fn render_wrongpath(rows: &[crate::experiments::WrongPathRow]) -> String {
         out,
         "Misprediction-model sensitivity: 2OP_BLOCK speedup over traditional (Figure 1 points)"
     );
-    let _ = writeln!(
-        out,
-        "  {:<10}{:>6}{:>14}{:>14}",
-        "threads", "IQ", "fetch-gated", "wrong-path"
-    );
+    let _ =
+        writeln!(out, "  {:<10}{:>6}{:>14}{:>14}", "threads", "IQ", "fetch-gated", "wrong-path");
     for r in rows {
         let _ = writeln!(
             out,
@@ -241,11 +269,8 @@ pub fn render_convergence(rows: &[crate::experiments::ConvergenceRow]) -> String
     );
     let _ = writeln!(out, "  {:<14}{:>12}{:>12}", "budget", "2 threads", "4 threads");
     for r in rows {
-        let _ = writeln!(
-            out,
-            "  {:<14}{:>12.3}{:>12.3}",
-            r.commit_target, r.speedup_2t, r.speedup_4t
-        );
+        let _ =
+            writeln!(out, "  {:<14}{:>12.3}{:>12.3}", r.commit_target, r.speedup_2t, r.speedup_4t);
     }
     let _ = writeln!(
         out,

@@ -1,7 +1,7 @@
 //! Execution of single simulation runs.
 
 use serde::{Deserialize, Serialize};
-use smt_core::{DispatchPolicy, RunOutcome, SimConfig, Simulator};
+use smt_core::{DeadlockReport, DispatchPolicy, RunOutcome, SimConfig, Simulator};
 use smt_stats::SimCounters;
 use smt_workload::{benchmark, InstGenerator, SyntheticGen};
 
@@ -95,7 +95,31 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
 
 /// Execute one run with an explicit configuration (the IQ size and policy
 /// of `cfg` are overridden by the spec's).
-pub fn run_spec_with_config(spec: &RunSpec, mut cfg: SimConfig) -> RunResult {
+///
+/// Panics with the full [`DeadlockReport`] (human summary plus JSON) if the
+/// pipeline wedges; sweeps must fail loudly rather than average a hung run
+/// into their results. Use [`try_run_spec_with_config`] to handle the report
+/// programmatically.
+pub fn run_spec_with_config(spec: &RunSpec, cfg: SimConfig) -> RunResult {
+    match try_run_spec_with_config(spec, cfg) {
+        Ok(r) => r,
+        Err(report) => {
+            let json = serde_json::to_string_pretty(&*report)
+                .unwrap_or_else(|e| format!("<report serialization failed: {e}>"));
+            panic!(
+                "pipeline wedged (no forward progress): {spec:?}\n{report}\nfull report:\n{json}"
+            );
+        }
+    }
+}
+
+/// Execute one run with an explicit configuration, returning the deadlock
+/// report instead of panicking if the pipeline stops making forward
+/// progress.
+pub fn try_run_spec_with_config(
+    spec: &RunSpec,
+    mut cfg: SimConfig,
+) -> Result<RunResult, Box<DeadlockReport>> {
     cfg.iq_size = spec.iq_size;
     cfg.policy = spec.policy;
     if cfg.policy.is_out_of_order() && cfg.deadlock == smt_core::DeadlockMode::None {
@@ -106,11 +130,10 @@ pub fn run_spec_with_config(spec: &RunSpec, mut cfg: SimConfig) -> RunResult {
             cfg.deadlock = smt_core::DeadlockMode::None;
         }
     }
-    // Safety net: no realistic run needs more cycles than this; a deadlock
-    // would otherwise hang the whole sweep.
+    // Safety net: no realistic run needs more cycles than this; a wedged
+    // pipeline would otherwise hang the whole sweep.
     if cfg.max_cycles == 0 {
-        cfg.max_cycles =
-            (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
+        cfg.max_cycles = (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
     }
     let streams: Vec<Box<dyn InstGenerator>> = spec
         .benchmarks
@@ -123,25 +146,18 @@ pub fn run_spec_with_config(spec: &RunSpec, mut cfg: SimConfig) -> RunResult {
         .collect();
     let mut sim = Simulator::new(cfg, streams);
     if spec.warmup > 0 {
-        let w = sim.run_until_all_committed(spec.warmup);
-        assert_ne!(
-            w,
-            RunOutcome::CycleLimit,
-            "warm-up hit the cycle limit (possible deadlock): {spec:?}\n{}",
-            sim.dump_state()
-        );
+        if let RunOutcome::Wedged(report) = sim.run_until_all_committed(spec.warmup) {
+            return Err(report);
+        }
         sim.reset_measurement();
     }
     let outcome = sim.run(spec.commit_target);
-    assert_ne!(
-        outcome,
-        RunOutcome::CycleLimit,
-        "simulation hit the cycle limit (possible deadlock): {spec:?}\n{}",
-        sim.dump_state()
-    );
+    if let RunOutcome::Wedged(report) = outcome {
+        return Err(report);
+    }
     let c = sim.counters().clone();
-    RunResult {
-        outcome_target_reached: outcome == RunOutcome::TargetReached,
+    Ok(RunResult {
+        outcome_target_reached: matches!(outcome, RunOutcome::TargetReached),
         ipc: c.throughput_ipc(),
         per_thread_ipc: c.per_thread_ipc(),
         cycles: c.cycles,
@@ -151,7 +167,7 @@ pub fn run_spec_with_config(spec: &RunSpec, mut cfg: SimConfig) -> RunResult {
         mean_iq_residency: c.mean_iq_residency(),
         mean_iq_occupancy: c.mean_iq_occupancy(),
         counters: c,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -200,6 +216,22 @@ mod tests {
         // Scalar summaries can coincide; the full counter set cannot for
         // genuinely different instruction streams.
         assert_ne!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn wedged_run_surfaces_the_deadlock_report() {
+        // 50 cycles cannot retire 1M instructions, so the progress check
+        // must trip and hand back a per-thread diagnosis instead of a
+        // result.
+        let spec = RunSpec::new(&["gcc", "art"], 64, DispatchPolicy::Traditional, 1_000_000, 1)
+            .with_warmup(0);
+        let mut cfg = smt_core::SimConfig::paper(64, DispatchPolicy::Traditional);
+        cfg.max_cycles = 50;
+        let report =
+            try_run_spec_with_config(&spec, cfg).expect_err("a 50-cycle budget must wedge the run");
+        assert_eq!(report.threads.len(), 2);
+        let s = report.summary();
+        assert!(s.contains("t0:") && s.contains("t1:"), "summary missing threads:\n{s}");
     }
 
     #[test]

@@ -179,7 +179,8 @@ impl SyntheticGen {
     fn alloc_dest(&mut self, fp: bool) -> ArchReg {
         let reg = if fp {
             let r = ArchReg::fp(self.next_dest_fp);
-            self.next_dest_fp = if self.next_dest_fp >= DEST_POOL { 1 } else { self.next_dest_fp + 1 };
+            self.next_dest_fp =
+                if self.next_dest_fp >= DEST_POOL { 1 } else { self.next_dest_fp + 1 };
             r
         } else {
             let r = ArchReg::int(self.next_dest_int);
@@ -363,7 +364,14 @@ impl SyntheticGen {
                         None
                     };
                     let dest = self.alloc_dest(true);
-                    TraceInst { pc, op, srcs: [Some(s1), s2], dest: Some(dest), mem: None, branch: None }
+                    TraceInst {
+                        pc,
+                        op,
+                        srcs: [Some(s1), s2],
+                        dest: Some(dest),
+                        mem: None,
+                        branch: None,
+                    }
                 }
                 _ => {
                     let s1 = self.src_at_distance(false);
@@ -373,7 +381,14 @@ impl SyntheticGen {
                         None
                     };
                     let dest = self.alloc_dest(false);
-                    TraceInst { pc, op, srcs: [Some(s1), s2], dest: Some(dest), mem: None, branch: None }
+                    TraceInst {
+                        pc,
+                        op,
+                        srcs: [Some(s1), s2],
+                        dest: Some(dest),
+                        mem: None,
+                        branch: None,
+                    }
                 }
             }
         };

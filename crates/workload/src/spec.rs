@@ -77,14 +77,10 @@ fn class_template(name: &str, ilp: IlpClass, is_fp: bool) -> BenchmarkProfile {
     ) = match ilp {
         // Memory bound: working set far beyond L2, heavy pointer chasing,
         // short dependency chains, noisier branches.
-        IlpClass::Low => {
-            (0.30, 0.12, 0.13, 4.0, 0.34, 16 << 20, 0.08, 0.22, 0.08, 0.91, 16 * 1024)
-        }
+        IlpClass::Low => (0.30, 0.12, 0.13, 4.0, 0.34, 16 << 20, 0.08, 0.22, 0.08, 0.91, 16 * 1024),
         // Intermediate: mostly cache-resident with an L2-hit tier and rare
         // memory misses.
-        IlpClass::Med => {
-            (0.27, 0.11, 0.12, 6.0, 0.38, 1 << 20, 0.05, 0.15, 0.010, 0.945, 8 * 1024)
-        }
+        IlpClass::Med => (0.27, 0.11, 0.12, 6.0, 0.38, 1 << 20, 0.05, 0.15, 0.010, 0.945, 8 * 1024),
         // Execution bound: cache-resident, long dependency distances,
         // predictable branches.
         IlpClass::High => {
@@ -205,9 +201,9 @@ mod tests {
     fn every_table_benchmark_is_modelled() {
         // Every name in Tables 2-4 of the paper must resolve.
         for name in [
-            "mgrid", "equake", "art", "lucas", "twolf", "vpr", "swim", "parser", "applu",
-            "ammp", "galgel", "gcc", "bzip2", "eon", "apsi", "facerec", "crafty", "perlbmk",
-            "gap", "wupwise", "gzip", "vortex", "mesa", "fma3d",
+            "mgrid", "equake", "art", "lucas", "twolf", "vpr", "swim", "parser", "applu", "ammp",
+            "galgel", "gcc", "bzip2", "eon", "apsi", "facerec", "crafty", "perlbmk", "gap",
+            "wupwise", "gzip", "vortex", "mesa", "fma3d",
         ] {
             let _ = benchmark(name);
         }

@@ -6,49 +6,47 @@ use smt_workload::{BenchmarkProfile, IlpClass, InstGenerator, SyntheticGen};
 
 fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
     (
-        0.05f64..0.4,   // loads
-        0.01f64..0.15,  // stores
-        0.05f64..0.2,   // branches
-        1.5f64..20.0,   // dep distance
-        0.0f64..0.8,    // two-src fraction
-        0u8..3,         // ilp class selector
-        any::<bool>(),  // fp?
-        0.0f64..0.5,    // chase
-        0.0f64..0.4,    // l2 frac
-        0.0f64..0.4,    // mem frac
-        0.56f64..0.99,  // bias
+        0.05f64..0.4,  // loads
+        0.01f64..0.15, // stores
+        0.05f64..0.2,  // branches
+        1.5f64..20.0,  // dep distance
+        0.0f64..0.8,   // two-src fraction
+        0u8..3,        // ilp class selector
+        any::<bool>(), // fp?
+        0.0f64..0.5,   // chase
+        0.0f64..0.4,   // l2 frac
+        0.0f64..0.4,   // mem frac
+        0.56f64..0.99, // bias
     )
-        .prop_map(
-            |(loads, stores, branches, dep, two_src, ilp, is_fp, chase, l2f, memf, bias)| {
-                let (fp_add, fp_mult) = if is_fp { (0.12, 0.08) } else { (0.0, 0.0) };
-                BenchmarkProfile {
-                    name: "prop".into(),
-                    ilp: match ilp {
-                        0 => IlpClass::Low,
-                        1 => IlpClass::Med,
-                        _ => IlpClass::High,
-                    },
-                    is_fp,
-                    frac_load: loads,
-                    frac_store: stores,
-                    frac_branch: branches,
-                    frac_int_mult: 0.01,
-                    frac_int_div: 0.001,
-                    frac_fp_add: fp_add,
-                    frac_fp_mult: fp_mult,
-                    frac_fp_div: 0.0,
-                    frac_fp_sqrt: 0.0,
-                    mean_dep_distance: dep,
-                    two_src_frac: two_src,
-                    working_set: 1 << 20,
-                    pointer_chase_frac: chase,
-                    l2_access_frac: l2f.min(1.0 - memf),
-                    mem_access_frac: memf,
-                    branch_bias: bias,
-                    code_footprint: 4096,
-                }
-            },
-        )
+        .prop_map(|(loads, stores, branches, dep, two_src, ilp, is_fp, chase, l2f, memf, bias)| {
+            let (fp_add, fp_mult) = if is_fp { (0.12, 0.08) } else { (0.0, 0.0) };
+            BenchmarkProfile {
+                name: "prop".into(),
+                ilp: match ilp {
+                    0 => IlpClass::Low,
+                    1 => IlpClass::Med,
+                    _ => IlpClass::High,
+                },
+                is_fp,
+                frac_load: loads,
+                frac_store: stores,
+                frac_branch: branches,
+                frac_int_mult: 0.01,
+                frac_int_div: 0.001,
+                frac_fp_add: fp_add,
+                frac_fp_mult: fp_mult,
+                frac_fp_div: 0.0,
+                frac_fp_sqrt: 0.0,
+                mean_dep_distance: dep,
+                two_src_frac: two_src,
+                working_set: 1 << 20,
+                pointer_chase_frac: chase,
+                l2_access_frac: l2f.min(1.0 - memf),
+                mem_access_frac: memf,
+                branch_bias: bias,
+                code_footprint: 4096,
+            }
+        })
         .prop_filter("profile must validate", |p| p.validate().is_ok())
 }
 

@@ -18,19 +18,24 @@ fn main() {
     // of the weighted-IPC metric).
     let singles: Vec<f64> = benches
         .iter()
-        .map(|b| {
-            run_spec(&RunSpec::new(&[*b], iq, DispatchPolicy::Traditional, target, 1)).ipc
-        })
+        .map(|b| run_spec(&RunSpec::new(&[*b], iq, DispatchPolicy::Traditional, target, 1)).ipc)
         .collect();
-    println!("workload: {} (single-thread IPCs: {:.3}, {:.3})", benches.join(", "), singles[0], singles[1]);
-    println!("{:<26}{:>12}{:>12}{:>14}{:>12}", "policy", "IPC", "fairness", "slow thread", "fast thread");
+    println!(
+        "workload: {} (single-thread IPCs: {:.3}, {:.3})",
+        benches.join(", "),
+        singles[0],
+        singles[1]
+    );
+    println!(
+        "{:<26}{:>12}{:>12}{:>14}{:>12}",
+        "policy", "IPC", "fairness", "slow thread", "fast thread"
+    );
 
     for policy in
         [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
     {
         let r = run_spec(&RunSpec::new(&benches, iq, policy, target, 1));
-        let fairness =
-            fairness_hmean_weighted_ipc(&r.per_thread_ipc, &singles).unwrap_or(0.0);
+        let fairness = fairness_hmean_weighted_ipc(&r.per_thread_ipc, &singles).unwrap_or(0.0);
         println!(
             "{:<26}{:>12.3}{:>12.3}{:>14.3}{:>12.3}",
             policy.name(),

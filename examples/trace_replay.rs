@@ -17,8 +17,7 @@ fn main() -> std::io::Result<()> {
         let insts: Vec<_> = (0..30_000).map(|_| recorder.next_inst().unwrap()).collect();
         let mut sim = Simulator::new(
             SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo),
-            vec![Box::new(smt_sim::workload::ProgramTrace::once(insts))
-                as Box<dyn InstGenerator>],
+            vec![Box::new(smt_sim::workload::ProgramTrace::once(insts)) as Box<dyn InstGenerator>],
         );
         sim.run(u64::MAX);
         sim.counters().cycles

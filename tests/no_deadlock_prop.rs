@@ -21,16 +21,22 @@ fn arb_inst(idx: usize) -> impl Strategy<Value = TraceInst> {
         ),
         // Load from an arbitrary small address space.
         (1u8..30, proptest::option::of(1u8..30), 0u64..(1 << 22)).prop_map(
-            move |(d, base, addr)| TraceInst::load(pc, ArchReg::int(d), base.map(ArchReg::int), addr)
+            move |(d, base, addr)| TraceInst::load(
+                pc,
+                ArchReg::int(d),
+                base.map(ArchReg::int),
+                addr
+            )
         ),
         // Store.
-        (proptest::option::of(1u8..30), proptest::option::of(1u8..30), 0u64..(1 << 22))
-            .prop_map(move |(data, base, addr)| TraceInst::store(
+        (proptest::option::of(1u8..30), proptest::option::of(1u8..30), 0u64..(1 << 22)).prop_map(
+            move |(data, base, addr)| TraceInst::store(
                 pc,
                 data.map(ArchReg::int),
                 base.map(ArchReg::int),
                 addr
-            )),
+            )
+        ),
         // Conditional branch.
         (proptest::option::of(1u8..30), any::<bool>(), 0u64..2048).prop_map(
             move |(cond, taken, target)| TraceInst::branch(
@@ -45,11 +51,7 @@ fn arb_inst(idx: usize) -> impl Strategy<Value = TraceInst> {
 
 fn arb_program(max_len: usize) -> impl Strategy<Value = Vec<TraceInst>> {
     proptest::collection::vec(any::<u8>(), 1..max_len).prop_flat_map(|bytes| {
-        bytes
-            .into_iter()
-            .enumerate()
-            .map(|(i, _)| arb_inst(i))
-            .collect::<Vec<_>>()
+        bytes.into_iter().enumerate().map(|(i, _)| arb_inst(i)).collect::<Vec<_>>()
     })
 }
 
@@ -80,7 +82,7 @@ fn run_to_completion_cfg(
         .collect();
     let mut sim = Simulator::new(cfg, streams);
     let outcome = sim.run(u64::MAX);
-    prop_assert_eq!(outcome, RunOutcome::AllFinished, "pipeline wedged");
+    prop_assert!(matches!(outcome, RunOutcome::AllFinished), "pipeline wedged: {:?}", outcome);
     sim.assert_quiescent_invariants();
     for (t, want) in expected.iter().enumerate() {
         prop_assert_eq!(

@@ -64,14 +64,9 @@ fn traditional_catches_up_at_large_queues() {
 fn stall_fraction_decreases_with_thread_count() {
     // Paper §3: the all-thread NDI stall fraction shrinks as TLP grows
     // (43% / 17% / 7% for 2/3/4 threads at 64 entries).
-    let two = run_spec(&RunSpec::new(
-        &["equake", "lucas"],
-        64,
-        DispatchPolicy::TwoOpBlock,
-        8_000,
-        1,
-    ))
-    .all_stall_frac;
+    let two =
+        run_spec(&RunSpec::new(&["equake", "lucas"], 64, DispatchPolicy::TwoOpBlock, 8_000, 1))
+            .all_stall_frac;
     let four = run_spec(&RunSpec::new(
         &["equake", "lucas", "mesa", "vortex"],
         64,
@@ -80,31 +75,18 @@ fn stall_fraction_decreases_with_thread_count() {
         1,
     ))
     .all_stall_frac;
-    assert!(
-        two > four,
-        "2-thread stall fraction ({two:.3}) should exceed 4-thread ({four:.3})"
-    );
+    assert!(two > four, "2-thread stall fraction ({two:.3}) should exceed 4-thread ({four:.3})");
 }
 
 #[test]
 fn ooo_dispatch_slashes_all_thread_stalls() {
     // Paper §5: 43% → 0.2% on 2-thread workloads.
-    let blocked = run_spec(&RunSpec::new(
-        &["equake", "lucas"],
-        64,
-        DispatchPolicy::TwoOpBlock,
-        8_000,
-        1,
-    ))
-    .all_stall_frac;
-    let ooo = run_spec(&RunSpec::new(
-        &["equake", "lucas"],
-        64,
-        DispatchPolicy::TwoOpBlockOoo,
-        8_000,
-        1,
-    ))
-    .all_stall_frac;
+    let blocked =
+        run_spec(&RunSpec::new(&["equake", "lucas"], 64, DispatchPolicy::TwoOpBlock, 8_000, 1))
+            .all_stall_frac;
+    let ooo =
+        run_spec(&RunSpec::new(&["equake", "lucas"], 64, DispatchPolicy::TwoOpBlockOoo, 8_000, 1))
+            .all_stall_frac;
     assert!(
         ooo < blocked / 2.0,
         "OOO dispatch should cut the all-stall fraction by far more than half: \
@@ -116,13 +98,7 @@ fn ooo_dispatch_slashes_all_thread_stalls() {
 fn most_piled_up_instructions_are_hdis() {
     // Paper §4: "almost 90% of instructions piled up behind the NDIs can be
     // classified as HDIs" (measured on the basic 2OP_BLOCK design).
-    let r = run_spec(&RunSpec::new(
-        &["equake", "gcc"],
-        64,
-        DispatchPolicy::TwoOpBlock,
-        8_000,
-        1,
-    ));
+    let r = run_spec(&RunSpec::new(&["equake", "gcc"], 64, DispatchPolicy::TwoOpBlock, 8_000, 1));
     assert!(
         r.hdi_pileup_frac > 0.6,
         "the large majority of piled-up instructions should be dispatchable, got {:.2}",
@@ -133,13 +109,8 @@ fn most_piled_up_instructions_are_hdis() {
 #[test]
 fn few_hdis_depend_on_bypassed_ndis() {
     // Paper §4: only ~10% of OOO-dispatched HDIs depend on a prior NDI.
-    let r = run_spec(&RunSpec::new(
-        &["equake", "gcc"],
-        64,
-        DispatchPolicy::TwoOpBlockOoo,
-        8_000,
-        1,
-    ));
+    let r =
+        run_spec(&RunSpec::new(&["equake", "gcc"], 64, DispatchPolicy::TwoOpBlockOoo, 8_000, 1));
     let hdis: u64 = r.counters.threads.iter().map(|t| t.hdis_dispatched).sum();
     assert!(hdis > 0, "OOO dispatch must produce HDIs on this workload");
     assert!(
@@ -153,22 +124,12 @@ fn few_hdis_depend_on_bypassed_ndis() {
 fn ooo_reduces_iq_residency_vs_traditional() {
     // Paper §5: mean IQ residency drops from 21 to 15 cycles at 64 entries
     // on 2-thread workloads.
-    let trad = run_spec(&RunSpec::new(
-        &["twolf", "bzip2"],
-        64,
-        DispatchPolicy::Traditional,
-        8_000,
-        1,
-    ))
-    .mean_iq_residency;
-    let ooo = run_spec(&RunSpec::new(
-        &["twolf", "bzip2"],
-        64,
-        DispatchPolicy::TwoOpBlockOoo,
-        8_000,
-        1,
-    ))
-    .mean_iq_residency;
+    let trad =
+        run_spec(&RunSpec::new(&["twolf", "bzip2"], 64, DispatchPolicy::Traditional, 8_000, 1))
+            .mean_iq_residency;
+    let ooo =
+        run_spec(&RunSpec::new(&["twolf", "bzip2"], 64, DispatchPolicy::TwoOpBlockOoo, 8_000, 1))
+            .mean_iq_residency;
     assert!(
         ooo < trad,
         "the 1-comparator IQ must hold instructions for less time: trad {trad:.1} vs ooo {ooo:.1}"
@@ -181,9 +142,5 @@ fn filtered_variant_changes_little() {
     let plain = ipc(&["equake", "gcc"], 64, DispatchPolicy::TwoOpBlockOoo);
     let filtered = ipc(&["equake", "gcc"], 64, DispatchPolicy::TwoOpBlockOooFiltered);
     let delta = (filtered / plain - 1.0).abs();
-    assert!(
-        delta < 0.10,
-        "filtering should change IPC only marginally, got {:.1}%",
-        delta * 100.0
-    );
+    assert!(delta < 0.10, "filtering should change IPC only marginally, got {:.1}%", delta * 100.0);
 }

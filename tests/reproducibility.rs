@@ -38,13 +38,7 @@ fn committed_never_exceeds_fetched_plus_warmup_carryover() {
 
 #[test]
 fn stop_rule_and_counters_agree() {
-    let r = run_spec(&RunSpec::new(
-        &["mesa", "art"],
-        64,
-        DispatchPolicy::Traditional,
-        4_000,
-        1,
-    ));
+    let r = run_spec(&RunSpec::new(&["mesa", "art"], 64, DispatchPolicy::Traditional, 4_000, 1));
     assert!(r.outcome_target_reached);
     let max = r.counters.threads.iter().map(|t| t.committed).max().unwrap();
     assert!(max >= 4_000, "some thread must reach the commit target, max={max}");
@@ -60,9 +54,8 @@ fn every_paper_mix_runs_on_every_policy() {
                 DispatchPolicy::TwoOpBlock,
                 DispatchPolicy::TwoOpBlockOoo,
             ] {
-                let r = run_spec(
-                    &RunSpec::new(&mix.benchmarks, 48, policy, 400, 3).with_warmup(300),
-                );
+                let r =
+                    run_spec(&RunSpec::new(&mix.benchmarks, 48, policy, 400, 3).with_warmup(300));
                 assert!(
                     r.ipc > 0.0,
                     "{} / {} under {} produced zero IPC",
