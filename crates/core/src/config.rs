@@ -1,5 +1,6 @@
 //! Simulator configuration (Table 1 of the paper).
 
+use crate::faults::FaultConfig;
 use serde::{Deserialize, Serialize};
 use smt_isa::MachineDesc;
 use smt_mem::HierarchyConfig;
@@ -207,6 +208,10 @@ pub struct SimConfig {
     /// memory-latency round trip plus queueing — hundreds of cycles on
     /// the Table 1 machine). 0 = disabled.
     pub progress_check_cycles: u64,
+    /// Deterministic fault injection (disabled by default; see
+    /// [`crate::faults`]).
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -251,6 +256,7 @@ impl SimConfig {
             wrong_path: false,
             max_cycles: 0,
             progress_check_cycles: 50_000,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -271,8 +277,14 @@ impl SimConfig {
         if self.phys_fp < num_threads * smt_isa::NUM_ARCH_FP as usize {
             return Err("insufficient FP physical registers".into());
         }
-        if self.policy.is_out_of_order() && self.deadlock == DeadlockMode::None {
-            return Err("out-of-order dispatch requires a deadlock mechanism".into());
+        if self.policy.is_out_of_order()
+            && self.deadlock == DeadlockMode::None
+            && self.progress_check_cycles == 0
+            && self.max_cycles == 0
+        {
+            return Err("out-of-order dispatch requires a deadlock mechanism or an armed \
+                        wedge detector (progress_check_cycles / max_cycles)"
+                .into());
         }
         if let DeadlockMode::Dab { size } | DeadlockMode::DabArbitrated { size } = self.deadlock {
             if size == 0 {
@@ -340,10 +352,18 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_ooo_without_deadlock_mechanism() {
+    fn validation_rejects_ooo_without_deadlock_mechanism_or_detector() {
         let mut c = SimConfig::paper(64, DispatchPolicy::TwoOpBlockOoo);
         c.deadlock = DeadlockMode::None;
-        assert!(c.validate(2).is_err());
+        // An armed wedge detector is enough: the run ends in a diagnosed
+        // `Wedged` rather than hanging (used to *demonstrate* the deadlock
+        // the DAB/watchdog mechanisms prevent).
+        assert!(c.validate(2).is_ok());
+        c.progress_check_cycles = 0;
+        c.max_cycles = 10_000;
+        assert!(c.validate(2).is_ok(), "max_cycles still armed");
+        c.max_cycles = 0;
+        assert!(c.validate(2).is_err(), "no mechanism and no detector");
     }
 
     #[test]

@@ -33,6 +33,16 @@ pub enum Event {
         /// [`Event::Wakeup::age`]).
         age: u64,
     },
+    /// Delayed re-broadcast of a wakeup whose original IQ tag-bus delivery
+    /// was suppressed by fault injection
+    /// ([`crate::faults::FaultClass::WakeupDrop`]). Delivered only if `reg`
+    /// still holds a ready value: the register file's protocol (allocation
+    /// clears the ready bit) guarantees a freed-and-reallocated register
+    /// never receives a spurious wakeup.
+    IqRebroadcast {
+        /// Register whose tag is re-broadcast.
+        reg: PhysReg,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]

@@ -1,0 +1,405 @@
+//! Deterministic, seeded fault injection for the recovery paths.
+//!
+//! PR 1 root-caused a real deadlock (a lost slow-bus wakeup) that only a
+//! lucky fuzz case ever exercised. This module turns that class of failure
+//! into a first-class, *reproducible* test input: the simulator can be
+//! configured to perturb exactly the event classes behind that bug and its
+//! neighbors —
+//!
+//! * [`FaultClass::WakeupDrop`] — a wakeup broadcast reaches the register
+//!   file but is suppressed on the issue-queue tag bus; a delayed
+//!   re-broadcast models the eventual recovery a real scheduler's replay
+//!   path would provide (and without which the machine must fall back on
+//!   its DAB/watchdog machinery).
+//! * [`FaultClass::IssueDefer`] — a selected instruction loses its issue
+//!   grant this cycle and is deferred, exactly like a structural conflict.
+//! * [`FaultClass::CacheMissExtra`] — a load is charged spurious extra
+//!   miss latency (and its L1 line is evicted), stretching operand wait
+//!   times past every queue's patience.
+//! * [`FaultClass::PredictorFlush`] — the thread's direction predictor and
+//!   the shared BTB are cold-flushed at a branch fetch, yielding bursts of
+//!   mispredictions and squashes.
+//!
+//! # Determinism contract
+//!
+//! Whether a fault fires at a *site* `(class, cycle, thread, trace_idx)` is
+//! a pure function of the configured seed and that site (a stateless
+//! site-hash against a per-class rate threshold), subject only to the
+//! per-class injection budget. Because the simulator itself is
+//! deterministic, the full injection log of a run is reproducible from
+//! `(SimConfig, seed)` alone; and any single run can be replayed *exactly*
+//! by feeding its recorded log back via [`FaultInjector::replay`], which
+//! injects precisely the logged set and nothing else.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The event classes the injector can perturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Suppress a wakeup broadcast on the IQ tag bus (the register-file
+    /// ready bit is still set); re-broadcast after a configured delay.
+    WakeupDrop,
+    /// Revoke a won issue grant: the selected instruction is deferred to a
+    /// later cycle as if it had lost structural arbitration.
+    IssueDefer,
+    /// Charge a load spurious extra miss latency and evict its L1 line.
+    CacheMissExtra,
+    /// Cold-flush the fetching thread's gShare and the shared BTB at a
+    /// branch fetch.
+    PredictorFlush,
+}
+
+impl FaultClass {
+    /// Every class, in a fixed order (indexes [`FaultInjector`] counters).
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::WakeupDrop,
+        FaultClass::IssueDefer,
+        FaultClass::CacheMissExtra,
+        FaultClass::PredictorFlush,
+    ];
+
+    /// Stable index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultClass::WakeupDrop => 0,
+            FaultClass::IssueDefer => 1,
+            FaultClass::CacheMissExtra => 2,
+            FaultClass::PredictorFlush => 3,
+        }
+    }
+
+    /// Human-readable name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::WakeupDrop => "wakeup-drop",
+            FaultClass::IssueDefer => "issue-defer",
+            FaultClass::CacheMissExtra => "cache-miss-extra",
+            FaultClass::PredictorFlush => "predictor-flush",
+        }
+    }
+
+    /// Parse a CLI name as produced by [`FaultClass::name`].
+    pub fn from_name(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// Default injection rate in faults per million eligible sites — high
+    /// enough to fire hundreds of times in a short run, low enough that
+    /// forward progress between faults is the common case.
+    pub fn default_rate_ppm(self) -> u32 {
+        match self {
+            FaultClass::WakeupDrop => 1_000,
+            FaultClass::IssueDefer => 2_000,
+            FaultClass::CacheMissExtra => 1_000,
+            FaultClass::PredictorFlush => 200,
+        }
+    }
+}
+
+/// Per-class injection knobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultClassConfig {
+    /// Injection probability in parts per million of eligible sites
+    /// (0 = class disabled).
+    #[serde(default)]
+    pub rate_ppm: u32,
+    /// Maximum injections of this class per run (0 = unlimited).
+    #[serde(default)]
+    pub budget: u64,
+}
+
+/// Full fault-model configuration, carried by `SimConfig::faults`.
+/// The default is fully disabled (all rates zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the site-hash; independent of the workload seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Dropped-wakeup knobs.
+    #[serde(default)]
+    pub wakeup_drop: FaultClassConfig,
+    /// Deferred-issue-grant knobs.
+    #[serde(default)]
+    pub issue_defer: FaultClassConfig,
+    /// Spurious-cache-miss knobs.
+    #[serde(default)]
+    pub cache_miss_extra: FaultClassConfig,
+    /// Predictor-flush knobs.
+    #[serde(default)]
+    pub predictor_flush: FaultClassConfig,
+    /// Cycles until a dropped wakeup is re-broadcast on the IQ tag bus
+    /// (clamped to ≥ 1 at use).
+    #[serde(default = "default_redeliver_delay")]
+    pub wakeup_redeliver_delay: u64,
+    /// Extra latency cycles charged by [`FaultClass::CacheMissExtra`]
+    /// (the paper machine's memory latency by default, so an injected
+    /// fault looks like one more main-memory round trip).
+    #[serde(default = "default_cache_extra")]
+    pub cache_extra_latency: u64,
+}
+
+fn default_redeliver_delay() -> u64 {
+    64
+}
+
+fn default_cache_extra() -> u64 {
+    150
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            wakeup_drop: FaultClassConfig::default(),
+            issue_defer: FaultClassConfig::default(),
+            cache_miss_extra: FaultClassConfig::default(),
+            predictor_flush: FaultClassConfig::default(),
+            wakeup_redeliver_delay: default_redeliver_delay(),
+            cache_extra_latency: default_cache_extra(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Enable a single class at its default rate.
+    pub fn single(class: FaultClass, seed: u64) -> Self {
+        let mut cfg = FaultConfig { seed, ..FaultConfig::default() };
+        cfg.class_mut(class).rate_ppm = class.default_rate_ppm();
+        cfg
+    }
+
+    /// Enable every class at its default rate.
+    pub fn all_classes(seed: u64) -> Self {
+        let mut cfg = FaultConfig { seed, ..FaultConfig::default() };
+        for class in FaultClass::ALL {
+            cfg.class_mut(class).rate_ppm = class.default_rate_ppm();
+        }
+        cfg
+    }
+
+    /// The knobs of one class.
+    pub fn class(&self, class: FaultClass) -> FaultClassConfig {
+        match class {
+            FaultClass::WakeupDrop => self.wakeup_drop,
+            FaultClass::IssueDefer => self.issue_defer,
+            FaultClass::CacheMissExtra => self.cache_miss_extra,
+            FaultClass::PredictorFlush => self.predictor_flush,
+        }
+    }
+
+    /// Mutable access to the knobs of one class.
+    pub fn class_mut(&mut self, class: FaultClass) -> &mut FaultClassConfig {
+        match class {
+            FaultClass::WakeupDrop => &mut self.wakeup_drop,
+            FaultClass::IssueDefer => &mut self.issue_defer,
+            FaultClass::CacheMissExtra => &mut self.cache_miss_extra,
+            FaultClass::PredictorFlush => &mut self.predictor_flush,
+        }
+    }
+
+    /// Is any class enabled?
+    pub fn enabled(&self) -> bool {
+        FaultClass::ALL.iter().any(|&c| self.class(c).rate_ppm > 0)
+    }
+}
+
+/// One injected fault: the `(seed, cycle, site)` tuple the determinism
+/// contract promises is sufficient to replay it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Which perturbation fired.
+    pub class: FaultClass,
+    /// Cycle it fired on.
+    pub cycle: u64,
+    /// Thread of the perturbed instruction (or fetching thread).
+    pub thread: usize,
+    /// Trace index of the perturbed instruction (fetch cursor for
+    /// [`FaultClass::PredictorFlush`]).
+    pub trace_idx: u64,
+}
+
+/// SplitMix64-style avalanche of a fault site into a uniform u64.
+fn site_hash(seed: u64, class: FaultClass, cycle: u64, thread: usize, trace_idx: u64) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for word in [class.index() as u64 + 1, cycle, thread as u64, trace_idx] {
+        z = z.wrapping_add(word).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// The run-time injector: decides per site whether a fault fires, and logs
+/// every injection for replay. Constructed in one of two modes:
+///
+/// * **rate mode** ([`FaultInjector::new`]) — stateless site-hash decisions
+///   against each class's configured rate, bounded by its budget;
+/// * **replay mode** ([`FaultInjector::replay`]) — injects *exactly* a
+///   previously recorded log, ignoring rates and budgets.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    replay: Option<HashSet<FaultRecord>>,
+    log: Vec<FaultRecord>,
+    injected: [u64; 4],
+}
+
+impl FaultInjector {
+    /// Rate-mode injector.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector { cfg, replay: None, log: Vec::new(), injected: [0; 4] }
+    }
+
+    /// Replay-mode injector: fire exactly at the recorded sites.
+    pub fn replay(cfg: FaultConfig, records: impl IntoIterator<Item = FaultRecord>) -> Self {
+        FaultInjector {
+            cfg,
+            replay: Some(records.into_iter().collect()),
+            log: Vec::new(),
+            injected: [0; 4],
+        }
+    }
+
+    /// The configuration in use (delays and extra latencies apply in both
+    /// modes).
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Decide whether a fault of `class` fires at this site, logging it if
+    /// so. Call exactly once per eligible site; the decision is
+    /// deterministic in `(seed, class, cycle, thread, trace_idx)`.
+    pub fn roll(&mut self, class: FaultClass, cycle: u64, thread: usize, trace_idx: u64) -> bool {
+        let record = FaultRecord { class, cycle, thread, trace_idx };
+        let fire = match &self.replay {
+            Some(set) => set.contains(&record),
+            None => {
+                let knobs = self.cfg.class(class);
+                if knobs.rate_ppm == 0 {
+                    return false;
+                }
+                if knobs.budget > 0 && self.injected[class.index()] >= knobs.budget {
+                    return false;
+                }
+                let threshold =
+                    ((knobs.rate_ppm.min(1_000_000) as u128 * u64::MAX as u128) / 1_000_000) as u64;
+                site_hash(self.cfg.seed, class, cycle, thread, trace_idx) <= threshold
+            }
+        };
+        if fire {
+            self.injected[class.index()] += 1;
+            self.log.push(record);
+        }
+        fire
+    }
+
+    /// Every injection so far, in firing order.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Injections of one class so far.
+    pub fn injected(&self, class: FaultClass) -> u64 {
+        self.injected[class.index()]
+    }
+
+    /// Injections across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.enabled());
+        let mut inj = FaultInjector::new(cfg);
+        for cycle in 0..10_000 {
+            assert!(!inj.roll(FaultClass::WakeupDrop, cycle, 0, cycle));
+        }
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn rate_mode_is_deterministic_and_roughly_calibrated() {
+        let cfg = FaultConfig::single(FaultClass::IssueDefer, 42);
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        let sites = 1_000_000u64;
+        for i in 0..sites {
+            let fa = a.roll(FaultClass::IssueDefer, i, (i % 4) as usize, i * 3);
+            let fb = b.roll(FaultClass::IssueDefer, i, (i % 4) as usize, i * 3);
+            assert_eq!(fa, fb);
+        }
+        assert_eq!(a.log(), b.log());
+        // 2000 ppm over 1M sites: expect ~2000 hits, allow wide slack.
+        let hits = a.injected(FaultClass::IssueDefer);
+        assert!((1_000..4_000).contains(&hits), "rate badly calibrated: {hits} hits");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::new(FaultConfig::single(FaultClass::WakeupDrop, 1));
+        let mut b = FaultInjector::new(FaultConfig::single(FaultClass::WakeupDrop, 2));
+        for i in 0..100_000 {
+            a.roll(FaultClass::WakeupDrop, i, 0, i);
+            b.roll(FaultClass::WakeupDrop, i, 0, i);
+        }
+        assert_ne!(a.log(), b.log());
+    }
+
+    #[test]
+    fn budget_caps_injections() {
+        let mut cfg = FaultConfig::single(FaultClass::CacheMissExtra, 7);
+        cfg.cache_miss_extra.rate_ppm = 1_000_000; // always fire...
+        cfg.cache_miss_extra.budget = 5; // ...but at most 5 times
+        let mut inj = FaultInjector::new(cfg);
+        for i in 0..1_000 {
+            inj.roll(FaultClass::CacheMissExtra, i, 0, i);
+        }
+        assert_eq!(inj.injected(FaultClass::CacheMissExtra), 5);
+        assert_eq!(inj.log().len(), 5);
+    }
+
+    #[test]
+    fn replay_injects_exactly_the_recorded_log() {
+        let cfg = FaultConfig::single(FaultClass::WakeupDrop, 99);
+        let mut first = FaultInjector::new(cfg);
+        for i in 0..200_000 {
+            first.roll(FaultClass::WakeupDrop, i, (i % 2) as usize, i / 2);
+        }
+        assert!(first.total_injected() > 0, "seed 99 produced no faults");
+        let recorded: Vec<FaultRecord> = first.log().to_vec();
+        let mut second = FaultInjector::replay(cfg, recorded.clone());
+        for i in 0..200_000 {
+            second.roll(FaultClass::WakeupDrop, i, (i % 2) as usize, i / 2);
+        }
+        assert_eq!(second.log(), recorded.as_slice());
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(FaultClass::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn single_and_all_enable_the_right_classes() {
+        let one = FaultConfig::single(FaultClass::PredictorFlush, 3);
+        assert!(one.enabled());
+        assert_eq!(one.predictor_flush.rate_ppm, 200);
+        assert_eq!(one.wakeup_drop.rate_ppm, 0);
+        let all = FaultConfig::all_classes(3);
+        for class in FaultClass::ALL {
+            assert_eq!(all.class(class).rate_ppm, class.default_rate_ppm());
+        }
+    }
+}

@@ -49,6 +49,7 @@
 pub mod config;
 pub mod dispatch;
 pub mod events;
+pub mod faults;
 pub mod fetch;
 pub mod fu;
 pub mod issue_queue;
@@ -64,6 +65,7 @@ pub mod tracer;
 
 pub use config::{DeadlockMode, DispatchPolicy, FetchPolicy, SimConfig};
 pub use dispatch::{is_ndi, plan_thread, BufView, Candidate, ThreadPlan};
+pub use faults::{FaultClass, FaultClassConfig, FaultConfig, FaultInjector, FaultRecord};
 pub use packed::PackedIssueQueue;
 pub use progress::{DeadlockReport, StallReason};
 pub use regfile::{PhysReg, PhysRegFile};

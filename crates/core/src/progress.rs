@@ -13,13 +13,13 @@
 //! [`StallReason`] naming the blocked resource.
 
 use crate::rob::InstState;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The immediate reason a thread is not making progress, ordered by the
 /// pipeline position of its oldest in-flight instruction: the ROB head's
 /// state decides which stage to blame, and within the dispatch/rename
 /// stages the blocked structural resource is named.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StallReason {
     /// Nothing left to run: trace exhausted and pipeline empty.
     Drained,
@@ -58,7 +58,7 @@ pub enum StallReason {
 }
 
 /// One source operand of the ROB head, with its readiness at snapshot time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SrcState {
     /// Rendered physical register, e.g. `Int42`.
     pub reg: String,
@@ -67,7 +67,7 @@ pub struct SrcState {
 }
 
 /// Snapshot of a thread's oldest uncommitted instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RobHeadView {
     /// Trace index within the thread.
     pub trace_idx: u64,
@@ -82,7 +82,7 @@ pub struct RobHeadView {
 }
 
 /// Snapshot of a thread's oldest renamed-but-undispatched instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DispatchHeadView {
     /// Trace index within the thread.
     pub trace_idx: u64,
@@ -95,7 +95,7 @@ pub struct DispatchHeadView {
 }
 
 /// Snapshot of a thread's oldest load/store-queue entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LsqHeadView {
     /// Trace index within the thread.
     pub trace_idx: u64,
@@ -106,7 +106,7 @@ pub struct LsqHeadView {
 }
 
 /// Per-thread progress diagnosis.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadDiagnosis {
     /// Hardware thread context index.
     pub thread: usize,
@@ -146,7 +146,7 @@ pub struct ThreadDiagnosis {
 }
 
 /// Snapshot of the shared issue queue.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IqSnapshot {
     /// Occupied entries.
     pub occupancy: usize,
@@ -162,7 +162,7 @@ pub struct IqSnapshot {
 }
 
 /// One deadlock-avoidance-buffer occupant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DabSnapshot {
     /// Owning thread.
     pub thread: usize,
@@ -174,7 +174,7 @@ pub struct DabSnapshot {
 
 /// Everything `Simulator::diagnose` can say about a machine that stopped
 /// committing: the whole-machine queues plus a per-thread diagnosis.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeadlockReport {
     /// Cycle the report was taken.
     pub cycle: u64,

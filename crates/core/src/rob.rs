@@ -4,7 +4,7 @@ use crate::regfile::PhysReg;
 use smt_isa::{ArchReg, TraceInst};
 
 /// Lifecycle of an in-flight instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum InstState {
     /// Renamed, waiting in the dispatch buffer.
     Renamed,

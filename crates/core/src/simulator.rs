@@ -10,6 +10,7 @@
 use crate::config::{DeadlockMode, FetchPolicy, SimConfig};
 use crate::dispatch::{is_ndi, plan_thread, BufView, Candidate};
 use crate::events::{Event, EventQueue};
+use crate::faults::{FaultClass, FaultInjector, FaultRecord};
 use crate::fetch::pick_fetch_threads;
 use crate::fu::FuPools;
 use crate::issue_queue::{IqEntry, IssueQueue};
@@ -43,6 +44,10 @@ pub enum RunOutcome {
     /// safety cycle limit ([`SimConfig::max_cycles`]) was reached. The
     /// report names the resource each thread is blocked on.
     Wedged(Box<DeadlockReport>),
+    /// The caller's abort callback fired (see [`Simulator::run_with_abort`])
+    /// — typically a wall-clock budget in a sweep harness. The machine
+    /// state is intact; the run can in principle be resumed.
+    Aborted,
 }
 
 impl RunOutcome {
@@ -168,6 +173,8 @@ pub struct Simulator {
     pending_flushes: Vec<(usize, u64)>,
     /// Optional pipeline-event observer (`None` in normal runs).
     tracer: Option<Box<dyn Tracer>>,
+    /// Deterministic fault injector (inert when all rates are zero).
+    faults: FaultInjector,
 }
 
 impl Simulator {
@@ -256,10 +263,27 @@ impl Simulator {
             last_pred_taken: (usize::MAX, 0, false),
             pending_flushes: Vec::new(),
             tracer: None,
+            faults: FaultInjector::new(cfg.faults),
             threads,
             regs,
             cfg,
         }
+    }
+
+    /// Every fault injected so far, in firing order — the `(seed, cycle,
+    /// site)` log the determinism contract promises (see [`crate::faults`]).
+    /// Unlike the counters, this log survives
+    /// [`Simulator::reset_measurement`].
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.faults.log()
+    }
+
+    /// Replace the injector with a replay-mode one that fires exactly at
+    /// `records` (rates and budgets ignored). Call before running; replaying
+    /// a log into the middle of a run makes no sense.
+    pub fn set_fault_replay(&mut self, records: Vec<FaultRecord>) {
+        assert_eq!(self.now, 0, "install fault replay before the first cycle");
+        self.faults = FaultInjector::replay(self.cfg.faults, records);
     }
 
     /// Install a pipeline-event observer, replacing any existing one.
@@ -421,6 +445,19 @@ impl Simulator {
     /// paper's stop rule), every thread drains, or the configured cycle
     /// limit is reached.
     pub fn run(&mut self, commit_target: u64) -> RunOutcome {
+        self.run_with_abort(commit_target, || false)
+    }
+
+    /// [`Simulator::run`] with an external abort hook: `should_abort` is
+    /// polled every few thousand cycles (cheap enough for an `Instant`
+    /// comparison) and a `true` return stops the run with
+    /// [`RunOutcome::Aborted`]. Sweep harnesses use this for per-run
+    /// wall-clock budgets.
+    pub fn run_with_abort(
+        &mut self,
+        commit_target: u64,
+        mut should_abort: impl FnMut() -> bool,
+    ) -> RunOutcome {
         let mut last_total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
         let mut last_commit_cycle = self.now;
         loop {
@@ -438,6 +475,9 @@ impl Simulator {
             if let Some(report) = self.check_progress(last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
+            if self.now & 0x1FFF == 0 && should_abort() {
+                return RunOutcome::Aborted;
+            }
             self.cycle();
         }
     }
@@ -448,6 +488,16 @@ impl Simulator {
     /// their co-runners (the stand-in for per-benchmark SimPoint
     /// fast-forwarding).
     pub fn run_until_all_committed(&mut self, commit_target: u64) -> RunOutcome {
+        self.run_until_all_committed_with_abort(commit_target, || false)
+    }
+
+    /// [`Simulator::run_until_all_committed`] with an external abort hook
+    /// (see [`Simulator::run_with_abort`]).
+    pub fn run_until_all_committed_with_abort(
+        &mut self,
+        commit_target: u64,
+        mut should_abort: impl FnMut() -> bool,
+    ) -> RunOutcome {
         let mut last_total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
         let mut last_commit_cycle = self.now;
         loop {
@@ -471,6 +521,9 @@ impl Simulator {
             }
             if let Some(report) = self.check_progress(last_commit_cycle) {
                 return RunOutcome::Wedged(report);
+            }
+            if self.now & 0x1FFF == 0 && should_abort() {
+                return RunOutcome::Aborted;
             }
             self.cycle();
         }
@@ -532,6 +585,26 @@ impl Simulator {
                         .unwrap_or(false);
                     if valid {
                         self.regs.set_ready(reg);
+                        if self.faults.roll(FaultClass::WakeupDrop, self.now, thread, trace_idx) {
+                            // The value lands in the register file, but the
+                            // IQ tag-bus broadcast is lost. Without the DAB
+                            // or watchdog the waiters would sleep forever;
+                            // a delayed re-broadcast models the scheduler's
+                            // eventual replay path.
+                            self.counters.faults.wakeup_drops += 1;
+                            let delay = self.faults.config().wakeup_redeliver_delay.max(1);
+                            self.events.schedule(self.now + delay, Event::IqRebroadcast { reg });
+                        } else {
+                            self.iq.wakeup(reg);
+                        }
+                    }
+                }
+                Event::IqRebroadcast { reg } => {
+                    // Allocation clears the ready bit, so a register freed
+                    // and handed to a new producer since the drop cannot
+                    // receive a spurious early wakeup here.
+                    if self.regs.is_ready(reg) {
+                        self.counters.faults.wakeup_redeliveries += 1;
                         self.iq.wakeup(reg);
                     }
                 }
@@ -683,6 +756,15 @@ impl Simulator {
         let mut deferred: Vec<usize> = Vec::new();
         while budget > 0 {
             let Some((slot, entry)) = self.iq.pop_ready() else { break };
+            // Injected fault: the grant is revoked and the instruction
+            // deferred, exactly like losing structural arbitration. The
+            // site hash is cycle-keyed, so a deferred instruction re-rolls
+            // (and eventually issues) on a later cycle.
+            if self.faults.roll(FaultClass::IssueDefer, self.now, entry.thread, entry.trace_idx) {
+                self.counters.faults.issue_defers += 1;
+                deferred.push(slot);
+                continue;
+            }
             let inflight = self.threads[entry.thread]
                 .rob
                 .get(entry.trace_idx)
@@ -727,7 +809,17 @@ impl Simulator {
                 match self.threads[t].lsq.check_load(trace_idx, addr) {
                     LoadCheck::Forward => {}
                     LoadCheck::AccessCache => {
-                        let extra = self.hier.access(AccessKind::Load, addr) as u64;
+                        let mut extra = self.hier.access(AccessKind::Load, addr) as u64;
+                        // Injected fault: spurious extra miss latency, plus
+                        // eviction of the just-filled L1 line so later
+                        // accesses genuinely miss. Pushing `extra` past the
+                        // memory latency deliberately triggers the full
+                        // long-miss bookkeeping (STALL/FLUSH policies).
+                        if self.faults.roll(FaultClass::CacheMissExtra, now, t, trace_idx) {
+                            self.counters.faults.cache_extra_injected += 1;
+                            extra += self.faults.config().cache_extra_latency;
+                            self.hier.evict_l1(AccessKind::Load, addr);
+                        }
                         latency += extra;
                         // A main-memory miss drives the STALL/FLUSH fetch
                         // policies: the thread stops fetching (and FLUSH
@@ -1267,6 +1359,14 @@ impl Simulator {
         let ready_at = self.now + self.cfg.frontend_depth as u64 - 2;
         let mut mispredicted = false;
         if let Some(b) = inst.branch {
+            // Injected fault: cold-flush the thread's direction predictor
+            // and the shared BTB before this prediction, yielding a burst
+            // of mispredictions until both retrain.
+            if self.faults.roll(FaultClass::PredictorFlush, self.now, t, cursor) {
+                self.counters.faults.predictor_flushes_injected += 1;
+                self.threads[t].gshare.flush();
+                self.btb.flush();
+            }
             let pred_taken = self.threads[t].gshare.predict_and_train(inst.pc, b.taken);
             if pred_taken != b.taken {
                 mispredicted = true;

@@ -632,6 +632,68 @@ fn forced_wedge_names_the_blocked_resource_per_thread() {
     assert!(s.contains("WaitingMemory") && s.contains("IqFull"), "summary:\n{s}");
 }
 
+/// The paper's OOO-dispatch deadlock, distilled: two cold loads leave
+/// `r3 = r1 + r2` with two non-ready operands (an NDI), so OOO dispatch
+/// bypasses it; its two single-source dependents are dispatchable and
+/// occupy the whole 2-entry IQ waiting on `r3`. Once the loads return the
+/// NDI is ready to dispatch but the IQ never drains — a true wedge.
+fn two_ndi_pileup_program() -> Vec<TraceInst> {
+    vec![
+        TraceInst::load(0, ArchReg::int(1), Some(ArchReg::int(20)), 0x40_0000),
+        TraceInst::load(4, ArchReg::int(2), Some(ArchReg::int(21)), 0x80_0000),
+        TraceInst::alu(8, ArchReg::int(3), Some(ArchReg::int(1)), Some(ArchReg::int(2))),
+        TraceInst::alu(12, ArchReg::int(4), Some(ArchReg::int(3)), None),
+        TraceInst::alu(16, ArchReg::int(5), Some(ArchReg::int(3)), None),
+    ]
+}
+
+#[test]
+fn two_ndi_pileup_wedges_without_a_recovery_mechanism() {
+    let mut c = cfg(2, DispatchPolicy::TwoOpBlockOoo);
+    c.deadlock = DeadlockMode::None;
+    c.progress_check_cycles = 2_000;
+    let mut sim = sim_of(vec![two_ndi_pileup_program()], c);
+    match sim.run(u64::MAX) {
+        RunOutcome::Wedged(report) => {
+            assert_eq!(report.threads.len(), 1);
+            assert!(!report.summary().is_empty());
+        }
+        o => panic!("expected Wedged under DeadlockMode::None, got {o:?}"),
+    }
+}
+
+#[test]
+fn dab_recovers_the_two_ndi_pileup() {
+    let mut c = cfg(2, DispatchPolicy::TwoOpBlockOoo);
+    c.deadlock = DeadlockMode::Dab { size: 2 };
+    c.progress_check_cycles = 2_000;
+    let mut sim = sim_of(vec![two_ndi_pileup_program()], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished, "the DAB must un-wedge the pileup");
+    assert_eq!(sim.counters().threads[0].committed, 5);
+    assert!(
+        sim.counters().threads[0].dab_dispatches > 0,
+        "recovery must route the ready NDI through the DAB"
+    );
+    sim.assert_quiescent_invariants();
+}
+
+#[test]
+fn watchdog_recovers_the_two_ndi_pileup() {
+    let mut c = cfg(2, DispatchPolicy::TwoOpBlockOoo);
+    c.deadlock = DeadlockMode::Watchdog { timeout: 250 };
+    c.progress_check_cycles = 2_000;
+    let mut sim = sim_of(vec![two_ndi_pileup_program()], c);
+    let outcome = sim.run(u64::MAX);
+    assert_eq!(outcome, RunOutcome::AllFinished, "watchdog must un-wedge the pileup");
+    assert_eq!(sim.counters().threads[0].committed, 5, "commits must resume after the flush");
+    assert!(
+        sim.counters().watchdog_flushes > 0,
+        "recovery must be attributable to the watchdog, not luck"
+    );
+    sim.assert_quiescent_invariants();
+}
+
 #[test]
 fn reset_measurement_keeps_machine_warm() {
     let mut sim = sim_of(vec![alu_independent(4_000)], cfg(64, DispatchPolicy::Traditional));

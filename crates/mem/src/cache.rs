@@ -197,6 +197,20 @@ impl Cache {
         Some(evicted_addr)
     }
 
+    /// Invalidate the single line containing `addr`, if present. Returns
+    /// whether a line was evicted. Does not touch statistics.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let tag = self.tag_of(addr);
+        let set = self.set_of(addr);
+        for line in self.set_slice(set) {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Invalidate every line (e.g. between simulation runs).
     pub fn flush(&mut self) {
         for line in &mut self.lines {
@@ -273,6 +287,17 @@ mod tests {
         assert_eq!(evicted % 64, 0, "evicted address must be line-aligned");
         // The evicted line must be one of the two we inserted, aligned down.
         assert!(evicted == 0x1000 || evicted == 0x1100);
+    }
+
+    #[test]
+    fn invalidate_removes_only_the_target_line() {
+        let mut c = tiny();
+        c.fill(0x0);
+        c.fill(0x40);
+        assert!(c.invalidate(0x0));
+        assert!(!c.contains(0x0));
+        assert!(c.contains(0x40));
+        assert!(!c.invalidate(0x0), "already gone");
     }
 
     #[test]

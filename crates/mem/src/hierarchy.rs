@@ -122,6 +122,17 @@ impl Hierarchy {
         self.l1d.contains(addr)
     }
 
+    /// Evict the line containing `addr` from the L1 of `kind` (L2 keeps its
+    /// copy, so the next access pays an L2 hit, not a memory round trip).
+    /// Returns whether a line was actually evicted. Used by fault injection
+    /// to model a spurious single-line loss.
+    pub fn evict_l1(&mut self, kind: AccessKind, addr: u64) -> bool {
+        match kind {
+            AccessKind::Fetch => self.l1i.invalidate(addr),
+            AccessKind::Load | AccessKind::Store => self.l1d.invalidate(addr),
+        }
+    }
+
     /// Statistics for every level.
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
@@ -216,6 +227,15 @@ mod tests {
         assert_eq!(s.l1d.accesses(), 2);
         assert_eq!(s.l1i.accesses(), 1);
         assert_eq!(s.l2.accesses(), 2); // one per L1 miss
+    }
+
+    #[test]
+    fn evict_l1_costs_an_l2_hit_not_a_memory_trip() {
+        let mut h = Hierarchy::default();
+        h.access(AccessKind::Load, 0x123456); // cold fill of L1D and L2
+        assert!(h.evict_l1(AccessKind::Load, 0x123456));
+        assert_eq!(h.access(AccessKind::Load, 0x123456), 10, "L2 retains the line");
+        assert!(!h.evict_l1(AccessKind::Fetch, 0x123456), "L1I never held it");
     }
 
     #[test]

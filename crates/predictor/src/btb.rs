@@ -117,6 +117,14 @@ impl Btb {
         *victim = BtbEntry { tag: pc, target, valid: true, lru: tick };
     }
 
+    /// Invalidate every entry while keeping hit/lookup statistics — a cold
+    /// restart, as a context switch or an injected fault would cause.
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+
     /// Hit rate over all lookups so far; 1.0 when none were made.
     pub fn hit_rate(&self) -> f64 {
         if self.lookups == 0 {
@@ -177,6 +185,16 @@ mod tests {
             assert_eq!(b.lookup(i * 4), Some(i));
         }
         assert!(b.hit_rate() > 0.49); // first half of lookups were the updates
+    }
+
+    #[test]
+    fn flush_invalidates_all_entries() {
+        let mut b = Btb::default();
+        b.update(0x400, 0x800);
+        b.update(0x500, 0x900);
+        b.flush();
+        assert_eq!(b.lookup(0x400), None);
+        assert_eq!(b.lookup(0x500), None);
     }
 
     #[test]

@@ -124,6 +124,14 @@ impl GShare {
     pub fn reset_stats(&mut self) {
         self.stats = PredictorStats::default();
     }
+
+    /// Forget all learned state (counters back to weakly taken, history
+    /// cleared) while keeping accuracy statistics — a cold restart, as a
+    /// context switch or an injected fault would cause.
+    pub fn flush(&mut self) {
+        self.pht.fill(2);
+        self.history = 0;
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +203,19 @@ mod tests {
         }
         let acc = g.stats().accuracy();
         assert!(acc > 0.80, "strongly biased stream should exceed 80%, got {acc}");
+    }
+
+    #[test]
+    fn flush_forgets_learned_state_but_keeps_stats() {
+        let mut g = GShare::new(GShareConfig::paper());
+        for _ in 0..100 {
+            g.predict_and_train(0x400000, false);
+        }
+        assert!(!g.predict(0x400000));
+        let stats_before = g.stats();
+        g.flush();
+        assert!(g.predict(0x400000), "flushed PHT must be back to weakly taken");
+        assert_eq!(g.stats(), stats_before);
     }
 
     #[test]

@@ -84,6 +84,35 @@ impl ThreadCounters {
     }
 }
 
+/// Injected-fault and recovery counters (fault-injection runs only; all
+/// zero in normal operation). `wakeup_drops` vs `wakeup_redeliveries`
+/// tells how many suppressed broadcasts were later re-delivered; together
+/// with `watchdog_flushes` these show which mechanism absorbed each stall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Wakeup broadcasts suppressed on the IQ tag bus.
+    pub wakeup_drops: u64,
+    /// Delayed re-broadcasts actually delivered to the IQ.
+    pub wakeup_redeliveries: u64,
+    /// Issue grants revoked (instruction deferred a cycle).
+    pub issue_defers: u64,
+    /// Loads charged spurious extra miss latency.
+    pub cache_extra_injected: u64,
+    /// Forced predictor (gShare + BTB) flushes.
+    pub predictor_flushes_injected: u64,
+}
+
+impl FaultCounters {
+    /// Total injected perturbations (re-deliveries are recovery actions,
+    /// not injections, and are excluded).
+    pub fn total_injected(&self) -> u64 {
+        self.wakeup_drops
+            + self.issue_defers
+            + self.cache_extra_injected
+            + self.predictor_flushes_injected
+    }
+}
+
 /// Whole-simulation counters.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimCounters {
@@ -115,6 +144,9 @@ pub struct SimCounters {
     pub watchdog_flushes: u64,
     /// Number of partial flushes triggered by the FLUSH fetch policy.
     pub fetch_policy_flushes: u64,
+    /// Injected-fault and recovery counters (see [`FaultCounters`]).
+    #[serde(default)]
+    pub faults: FaultCounters,
 }
 
 impl SimCounters {

@@ -1,0 +1,235 @@
+//! Randomized fault-injection fuzzer for the recovery paths.
+//!
+//! Runs many short randomized simulations with one (or all) fault classes
+//! enabled and checks that the pipeline always recovers: every run must end
+//! in `TargetReached` or `AllFinished` — a single `Wedged` outcome fails the
+//! fuzz. Periodically it also replays a run from its recorded fault log and
+//! asserts the replay is bit-identical (same fault log, same counters),
+//! which is the determinism contract of `smt_core::faults`.
+//!
+//! Usage:
+//!   faultfuzz [--iters N] [--class NAME|all] [--seed S] [--json FILE]
+//!
+//! `NAME` is one of: wakeup-drop, issue-defer, cache-miss-extra,
+//! predictor-flush. `--json` writes a machine-readable outcome summary
+//! (used as the CI artifact on failure). Exits 1 on any wedge or replay
+//! divergence.
+
+use std::io::Write as _;
+
+use smt_core::{
+    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, RunOutcome, SimConfig, Simulator,
+};
+use smt_sweep::thread_seed;
+use smt_workload::{benchmark, benchmark_names, InstGenerator, SyntheticGen};
+
+/// Minimal xorshift64 generator — keeps the fuzzer free of the `rand`
+/// dependency (a dev-dependency elsewhere in the workspace).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faultfuzz [--iters N] [--class wakeup-drop|issue-defer|cache-miss-extra|\
+         predictor-flush|all] [--seed S] [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+/// One randomized scenario, fully determined by the fuzzer's RNG state.
+struct Scenario {
+    benches: Vec<String>,
+    iq_size: usize,
+    commit_target: u64,
+    workload_seed: u64,
+    fault_seed: u64,
+}
+
+impl Scenario {
+    fn draw(rng: &mut XorShift) -> Self {
+        let names = benchmark_names();
+        let iqs = [8usize, 16, 32, 48];
+        let benches =
+            (0..2).map(|_| names[rng.below(names.len() as u64) as usize].to_string()).collect();
+        Scenario {
+            benches,
+            iq_size: iqs[rng.below(iqs.len() as u64) as usize],
+            commit_target: 200 + rng.below(201),
+            workload_seed: rng.next(),
+            fault_seed: rng.next(),
+        }
+    }
+
+    fn config(&self, faults: FaultConfig) -> SimConfig {
+        let mut cfg = SimConfig::paper(self.iq_size, DispatchPolicy::TwoOpBlockOoo);
+        // The smallest DAB exercises the recovery path hardest: a single
+        // injected stall can fill it, so draining must actually work.
+        cfg.deadlock = DeadlockMode::Dab { size: 2 };
+        cfg.max_cycles = 2_000_000;
+        cfg.faults = faults;
+        cfg
+    }
+
+    fn build(&self, faults: FaultConfig) -> Simulator {
+        let streams: Vec<Box<dyn InstGenerator>> = self
+            .benches
+            .iter()
+            .enumerate()
+            .map(|(t, b)| {
+                Box::new(SyntheticGen::new(benchmark(b), t, thread_seed(self.workload_seed, b, t)))
+                    as Box<dyn InstGenerator>
+            })
+            .collect();
+        Simulator::new(self.config(faults), streams)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "benches={:?} iq={} target={} workload_seed={:#x} fault_seed={:#x}",
+            self.benches, self.iq_size, self.commit_target, self.workload_seed, self.fault_seed
+        )
+    }
+}
+
+fn fault_config_for(class_arg: &str, seed: u64) -> FaultConfig {
+    if class_arg == "all" {
+        FaultConfig::all_classes(seed)
+    } else {
+        let class = FaultClass::from_name(class_arg)
+            .unwrap_or_else(|| panic!("unknown fault class '{class_arg}'"));
+        FaultConfig::single(class, seed)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters: u64 = 1_000;
+    let mut class_arg = String::from("all");
+    let mut fuzz_seed: u64 = 0xFA0175;
+    let mut json_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--class" => {
+                i += 1;
+                class_arg = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                fuzz_seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    // Validate the class name up front so a typo fails fast.
+    let _ = fault_config_for(&class_arg, 0);
+
+    let mut rng = XorShift::new(fuzz_seed);
+    let mut wedges: Vec<String> = Vec::new();
+    let mut replay_mismatches: Vec<String> = Vec::new();
+    let mut total_injected: u64 = 0;
+    let mut replay_checks: u64 = 0;
+
+    for iter in 0..iters {
+        let sc = Scenario::draw(&mut rng);
+        let faults = fault_config_for(&class_arg, sc.fault_seed);
+        let mut sim = sc.build(faults);
+        let outcome = sim.run(sc.commit_target);
+        match outcome {
+            RunOutcome::TargetReached | RunOutcome::AllFinished => {}
+            RunOutcome::Wedged(report) => {
+                eprintln!("iter {iter} WEDGED: {}\n{report}", sc.describe());
+                wedges.push(format!("iter {iter}: {}: {}", sc.describe(), report.summary()));
+                continue;
+            }
+            RunOutcome::Aborted => unreachable!("no abort predicate installed"),
+        }
+        total_injected += sim.counters().faults.total_injected();
+
+        // Determinism contract: replaying the recorded fault log must
+        // reproduce the run exactly — same fault log, same counters.
+        if iter % 50 == 0 {
+            replay_checks += 1;
+            let log = sim.fault_log().to_vec();
+            let mut replay = sc.build(faults);
+            replay.set_fault_replay(log.clone());
+            let replay_outcome = replay.run(sc.commit_target);
+            let outcomes_match = matches!(
+                (&outcome, &replay_outcome),
+                (RunOutcome::TargetReached, RunOutcome::TargetReached)
+                    | (RunOutcome::AllFinished, RunOutcome::AllFinished)
+            );
+            if !outcomes_match
+                || replay.fault_log() != log.as_slice()
+                || replay.counters() != sim.counters()
+            {
+                eprintln!("iter {iter} REPLAY DIVERGED: {}", sc.describe());
+                replay_mismatches.push(format!("iter {iter}: {}", sc.describe()));
+            }
+        }
+
+        if iters >= 1_000 && (iter + 1) % 1_000 == 0 {
+            eprint!("\r  [{}/{iters}] injected={total_injected}", iter + 1);
+            let _ = std::io::stderr().flush();
+        }
+    }
+    if iters >= 1_000 {
+        eprintln!();
+    }
+
+    let pass = wedges.is_empty() && replay_mismatches.is_empty();
+    eprintln!(
+        "faultfuzz: {iters} iters, class={class_arg}, seed={fuzz_seed}: \
+         {} injected faults, {} replay checks, {} wedges, {} replay mismatches -> {}",
+        total_injected,
+        replay_checks,
+        wedges.len(),
+        replay_mismatches.len(),
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    if let Some(path) = json_out {
+        let payload = serde_json::json!({
+            "iters": iters,
+            "class": class_arg,
+            "seed": fuzz_seed,
+            "total_injected": total_injected,
+            "replay_checks": replay_checks,
+            "wedges": wedges,
+            "replay_mismatches": replay_mismatches,
+            "pass": pass,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    std::process::exit(if pass { 0 } else { 1 });
+}

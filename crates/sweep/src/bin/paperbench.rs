@@ -4,6 +4,7 @@
 //!
 //! Usage:
 //!   paperbench <experiment> [--target N] [--seed S] [--json FILE]
+//!              [--journal FILE] [--budget SECS]
 //!
 //! Experiments:
 //!   fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
@@ -11,6 +12,10 @@
 //!
 //! `--target` sets the per-thread commit budget (default 20000; the paper
 //! used 100M — see DESIGN.md §3 on scaling). `all` regenerates everything.
+//! `--journal` checkpoints every completed run to a JSONL file and resumes
+//! from it on restart; `--budget` bounds each run's wall-clock seconds.
+//! With `--json`, per-run outcomes (ok / wedged / panicked / timed-out)
+//! are included under `run_outcomes` — see EXPERIMENTS.md.
 
 use smt_core::{DispatchPolicy, SimConfig};
 use smt_sweep::experiments as exp;
@@ -22,7 +27,8 @@ use std::io::Write as _;
 fn usage() -> ! {
     eprintln!(
         "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|stallattr|hdi|\
-         residency|filter|table1|mixes|all> [--target N] [--seed S] [--json FILE]"
+         residency|filter|table1|mixes|all> [--target N] [--seed S] [--json FILE] \
+         [--journal FILE] [--budget SECS]"
     );
     std::process::exit(2);
 }
@@ -35,6 +41,8 @@ fn main() {
     let cmd = args[0].clone();
     let mut params = exp::ExpParams::default();
     let mut json_out: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut budget_secs: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,12 +59,21 @@ fn main() {
                 i += 1;
                 json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--journal" => {
+                i += 1;
+                journal = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--budget" => {
+                i += 1;
+                budget_secs =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
 
-    let db = ResultsDb::new().with_progress(|done, total| {
+    let mut db = ResultsDb::new().with_progress(|done, total| {
         if total >= 20 && (done % 20 == 0 || done == total) {
             eprint!("\r  [{done}/{total} runs]");
             let _ = std::io::stderr().flush();
@@ -65,6 +82,16 @@ fn main() {
             }
         }
     });
+    if let Some(path) = &journal {
+        db = db.with_journal(path).unwrap_or_else(|e| panic!("opening journal {path}: {e}"));
+        if !db.is_empty() {
+            eprintln!("resumed {} completed runs from {path}", db.len());
+        }
+    }
+    if let Some(secs) = budget_secs {
+        db = db.with_wall_budget(std::time::Duration::from_secs(secs));
+    }
+    let db = db;
 
     let mut sections: Vec<(String, String)> = Vec::new();
     // Structured (non-rendered) payloads for the `--json` dump, keyed like
@@ -212,10 +239,24 @@ fn main() {
             sections.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
         let data_map: std::collections::BTreeMap<&str, &serde_json::Value> =
             data.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        let run_outcomes: Vec<serde_json::Value> = db
+            .outcomes()
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "spec": r.spec,
+                    "status": r.status.name(),
+                    "attempts": r.attempts,
+                    "wall_ms": r.wall_ms,
+                    "wedge": r.report.as_ref().map(|rep| rep.summary()),
+                })
+            })
+            .collect();
         let payload = serde_json::json!({
             "params": { "commit_target": params.commit_target, "seed": params.seed },
             "sections": map,
             "data": data_map,
+            "run_outcomes": run_outcomes,
         });
         std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -1,24 +1,125 @@
-//! Memoized, parallel execution of simulation runs.
+//! Memoized, parallel, failure-tolerant execution of simulation runs.
 //!
 //! Several of the paper's figures share underlying sweeps (e.g. the
 //! traditional-scheduler runs serve as the baseline of Figures 1 and 3–8
 //! and as the denominator of the fairness metric). [`ResultsDb`] computes
 //! each distinct [`RunSpec`] exactly once, fanning batches out over rayon.
+//!
+//! Every run is isolated: a wedge, a panic, or an expired wall-clock budget
+//! produces a [`RunRecord`] with a non-[`RunStatus::Ok`] status instead of
+//! taking the whole sweep down. A wedged run is retried once (keeping the
+//! first [`DeadlockReport`] either way) so a transient host hiccup cannot
+//! masquerade as a simulator deadlock. With [`ResultsDb::with_journal`],
+//! completed records are appended to a JSONL checkpoint and reloaded on the
+//! next construction, so a killed sweep resumes without re-running finished
+//! specs.
 
-use crate::runner::{run_spec, RunResult, RunSpec};
+use crate::runner::{run_spec_budgeted, RunFailure, RunResult, RunSpec};
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use smt_core::DispatchPolicy;
+use serde::{Deserialize, Serialize};
+use smt_core::{DeadlockReport, DispatchPolicy, SimConfig};
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Terminal status of one attempted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The run finished and its metrics are usable.
+    Ok,
+    /// The pipeline stopped making forward progress on both attempts.
+    Wedged,
+    /// The run panicked; `panic_msg` holds the payload.
+    Panicked,
+    /// The per-run wall-clock budget expired.
+    TimedOut,
+}
+
+impl RunStatus {
+    /// Lower-case name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Wedged => "wedged",
+            RunStatus::Panicked => "panicked",
+            RunStatus::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// Everything the database remembers about one attempted spec.
+#[derive(Debug)]
+pub struct RunRecord {
+    /// The spec that was run.
+    pub spec: RunSpec,
+    /// How the (final) attempt ended.
+    pub status: RunStatus,
+    /// Measured metrics; [`RunResult::failed`] zeros unless `status` is
+    /// [`RunStatus::Ok`].
+    pub metrics: Arc<RunResult>,
+    /// Deadlock diagnosis from the *first* wedged attempt, kept even when a
+    /// retry succeeded (`status` then remains [`RunStatus::Ok`]).
+    pub report: Option<Box<DeadlockReport>>,
+    /// Panic payload when `status` is [`RunStatus::Panicked`].
+    pub panic_msg: Option<String>,
+    /// Attempts made (2 when a wedge triggered the retry).
+    pub attempts: u32,
+    /// Wall-clock time across all attempts, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Serialized form of a [`RunRecord`] for the JSONL journal.
+#[derive(Serialize, Deserialize)]
+struct JournalEntry {
+    spec: RunSpec,
+    status: RunStatus,
+    metrics: RunResult,
+    report: Option<DeadlockReport>,
+    panic_msg: Option<String>,
+    attempts: u32,
+    wall_ms: u64,
+}
+
+impl JournalEntry {
+    fn from_record(r: &RunRecord) -> Self {
+        JournalEntry {
+            spec: r.spec.clone(),
+            status: r.status,
+            metrics: (*r.metrics).clone(),
+            report: r.report.as_deref().cloned(),
+            panic_msg: r.panic_msg.clone(),
+            attempts: r.attempts,
+            wall_ms: r.wall_ms,
+        }
+    }
+
+    fn into_record(self) -> RunRecord {
+        RunRecord {
+            spec: self.spec,
+            status: self.status,
+            metrics: Arc::new(self.metrics),
+            report: self.report.map(Box::new),
+            panic_msg: self.panic_msg,
+            attempts: self.attempts,
+            wall_ms: self.wall_ms,
+        }
+    }
+}
 
 /// A concurrent memo table of simulation results.
 #[derive(Default)]
 pub struct ResultsDb {
-    results: Mutex<HashMap<RunSpec, Arc<RunResult>>>,
+    records: Mutex<HashMap<RunSpec, Arc<RunRecord>>>,
     /// Progress callback invoked after each completed run with
     /// (completed, total) of the current batch.
     progress: Option<Box<dyn Fn(usize, usize) + Send + Sync>>,
+    /// Open checkpoint journal, appended to after every completed run.
+    journal: Option<Mutex<std::fs::File>>,
+    /// Per-run wall-clock budget; `None` = unbounded.
+    budget: Option<Duration>,
 }
 
 impl ResultsDb {
@@ -33,21 +134,120 @@ impl ResultsDb {
         self
     }
 
-    /// Number of memoized results.
+    /// Bound every individual run to `budget` of wall-clock time; an
+    /// expired run is recorded as [`RunStatus::TimedOut`].
+    pub fn with_wall_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attach a JSONL checkpoint journal at `path`. Records already present
+    /// in the file are loaded (so their specs will not be re-run) and every
+    /// newly completed record is appended, making a killed-and-restarted
+    /// sweep resume where it left off. Unparseable lines — e.g. a partial
+    /// line from a crash mid-write — are skipped.
+    pub fn with_journal(mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Ok(f) = std::fs::File::open(path) {
+            let mut map = self.records.lock();
+            for line in std::io::BufReader::new(f).lines() {
+                let Ok(line) = line else { break };
+                if let Ok(entry) = serde_json::from_str::<JournalEntry>(&line) {
+                    let rec = entry.into_record();
+                    map.insert(rec.spec.clone(), Arc::new(rec));
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        self.journal = Some(Mutex::new(file));
+        Ok(self)
+    }
+
+    /// Number of memoized records.
     pub fn len(&self) -> usize {
-        self.results.lock().len()
+        self.records.lock().len()
     }
 
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
-        self.results.lock().is_empty()
+        self.records.lock().is_empty()
     }
 
-    /// Ensure every spec in `specs` has been run, in parallel; then return
-    /// results in order.
-    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunResult>> {
+    /// Execute one spec with full isolation: panics are caught, the
+    /// wall-clock budget is enforced, and a wedge is retried once with the
+    /// first report kept.
+    fn execute_spec(&self, spec: &RunSpec) -> RunRecord {
+        let started = Instant::now();
+        let deadline = self.budget.map(|b| started + b);
+        let n = spec.benchmarks.len();
+        let mut first_report: Option<Box<DeadlockReport>> = None;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let cfg = SimConfig::paper(spec.iq_size, spec.policy);
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_spec_budgeted(spec, cfg, deadline)));
+            let wall_ms = started.elapsed().as_millis() as u64;
+            let fail = |status, report, panic_msg| RunRecord {
+                spec: spec.clone(),
+                status,
+                metrics: Arc::new(RunResult::failed(n)),
+                report,
+                panic_msg,
+                attempts,
+                wall_ms,
+            };
+            match outcome {
+                Ok(Ok(result)) => {
+                    return RunRecord {
+                        spec: spec.clone(),
+                        status: RunStatus::Ok,
+                        metrics: Arc::new(result),
+                        report: first_report,
+                        panic_msg: None,
+                        attempts,
+                        wall_ms,
+                    }
+                }
+                Ok(Err(RunFailure::Wedged(report))) => {
+                    if first_report.is_none() {
+                        // First wedge: keep the diagnosis and retry once.
+                        first_report = Some(report);
+                        continue;
+                    }
+                    return fail(RunStatus::Wedged, first_report, None);
+                }
+                Ok(Err(RunFailure::TimedOut)) => {
+                    return fail(RunStatus::TimedOut, first_report, None)
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    return fail(RunStatus::Panicked, first_report, Some(msg));
+                }
+            }
+        }
+    }
+
+    fn append_to_journal(&self, record: &RunRecord) {
+        if let Some(journal) = &self.journal {
+            if let Ok(line) = serde_json::to_string(&JournalEntry::from_record(record)) {
+                let mut f = journal.lock();
+                // Best-effort: a full disk should not kill the sweep.
+                let _ = writeln!(f, "{line}");
+                let _ = f.flush();
+            }
+        }
+    }
+
+    /// Ensure every spec in `specs` has been attempted, in parallel; then
+    /// return records in order. Failed runs are returned like any other —
+    /// check [`RunRecord::status`] before using their metrics.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunRecord>> {
         let missing: Vec<RunSpec> = {
-            let map = self.results.lock();
+            let map = self.records.lock();
             specs.iter().filter(|s| !map.contains_key(*s)).cloned().collect()
         };
         // Deduplicate while preserving determinism.
@@ -62,30 +262,53 @@ impl ResultsDb {
         }
         let total = todo.len();
         let done = std::sync::atomic::AtomicUsize::new(0);
-        let fresh: Vec<(RunSpec, Arc<RunResult>)> = todo
+        let fresh: Vec<Arc<RunRecord>> = todo
             .into_par_iter()
             .map(|spec| {
-                let result = Arc::new(run_spec(&spec));
+                let record = Arc::new(self.execute_spec(&spec));
+                self.append_to_journal(&record);
                 let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                 if let Some(cb) = &self.progress {
                     cb(d, total);
                 }
-                (spec, result)
+                record
             })
             .collect();
         {
-            let mut map = self.results.lock();
-            for (spec, result) in fresh {
-                map.insert(spec, result);
+            let mut map = self.records.lock();
+            for record in fresh {
+                map.insert(record.spec.clone(), record);
             }
         }
-        let map = self.results.lock();
+        let map = self.records.lock();
         specs.iter().map(|s| Arc::clone(&map[s])).collect()
     }
 
-    /// Run (or fetch) a single spec.
+    /// Run (or fetch) a single spec and return its metrics. Failed runs
+    /// yield [`RunResult::failed`] zeros; use [`ResultsDb::record`] when the
+    /// status matters.
     pub fn get(&self, spec: &RunSpec) -> Arc<RunResult> {
+        self.record(spec).metrics.clone()
+    }
+
+    /// Run (or fetch) a single spec and return its full record.
+    pub fn record(&self, spec: &RunSpec) -> Arc<RunRecord> {
         self.run_all(std::slice::from_ref(spec)).pop().unwrap()
+    }
+
+    /// Every record, ordered deterministically (by spec debug format) for
+    /// stable JSON output.
+    pub fn outcomes(&self) -> Vec<Arc<RunRecord>> {
+        let map = self.records.lock();
+        let mut all: Vec<Arc<RunRecord>> = map.values().cloned().collect();
+        all.sort_by_key(|r| format!("{:?}", r.spec));
+        all
+    }
+
+    /// Records whose status is not [`RunStatus::Ok`], same ordering as
+    /// [`ResultsDb::outcomes`].
+    pub fn failures(&self) -> Vec<Arc<RunRecord>> {
+        self.outcomes().into_iter().filter(|r| r.status != RunStatus::Ok).collect()
     }
 
     /// Single-thread reference IPC of `bench` on a traditional scheduler of
@@ -107,6 +330,14 @@ impl ResultsDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn wedging_spec() -> RunSpec {
+        // A 50-cycle ceiling cannot retire 1M instructions, so the run
+        // always ends in a wedge diagnosis.
+        RunSpec::new(&["gcc", "art"], 64, DispatchPolicy::Traditional, 1_000_000, 1)
+            .with_warmup(0)
+            .with_max_cycles(50)
+    }
 
     #[test]
     fn memoization_returns_identical_arc() {
@@ -134,5 +365,66 @@ mod tests {
         let db = ResultsDb::new();
         let ipc = db.single_thread_ipc("crafty", 64, 1_000, 1);
         assert!(ipc > 0.2, "reference IPC {ipc}");
+    }
+
+    #[test]
+    fn a_wedged_run_is_recorded_and_the_sweep_continues() {
+        let db = ResultsDb::new();
+        let good = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        let out = db.run_all(&[wedging_spec(), good.clone()]);
+        assert_eq!(out[0].status, RunStatus::Wedged);
+        assert_eq!(out[0].attempts, 2, "a wedge must be retried once");
+        let report = out[0].report.as_ref().expect("wedge must carry its report");
+        assert_eq!(report.threads.len(), 2);
+        assert_eq!(out[0].metrics.ipc, 0.0);
+        assert_eq!(out[1].status, RunStatus::Ok, "later specs must still run");
+        assert!(out[1].metrics.ipc > 0.1);
+        assert_eq!(db.failures().len(), 1);
+    }
+
+    #[test]
+    fn zero_wall_budget_times_runs_out() {
+        let db = ResultsDb::new().with_wall_budget(Duration::ZERO);
+        let spec = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000_000, 1);
+        let rec = db.record(&spec);
+        assert_eq!(rec.status, RunStatus::TimedOut);
+        assert!(!rec.metrics.outcome_target_reached);
+    }
+
+    #[test]
+    fn journal_resumes_without_rerunning_completed_specs() {
+        let dir = std::env::temp_dir().join(format!("smt-sweep-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        let first = {
+            let db = ResultsDb::new().with_journal(&path).unwrap();
+            assert!(db.is_empty(), "fresh journal must start empty");
+            let r = db.record(&spec);
+            // The wedge record round-trips too (report and all).
+            let w = db.record(&wedging_spec());
+            assert_eq!(w.status, RunStatus::Wedged);
+            r
+        };
+
+        // "Restart": a new db on the same journal must already hold both
+        // records, and get() must not re-run (ptr_eq to the loaded Arc).
+        let db = ResultsDb::new().with_journal(&path).unwrap();
+        assert_eq!(db.len(), 2, "journal must restore both records");
+        let resumed = db.record(&spec);
+        assert_eq!(resumed.status, RunStatus::Ok);
+        assert_eq!(resumed.metrics.ipc, first.metrics.ipc);
+        assert!(
+            Arc::ptr_eq(&db.record(&spec).metrics, &resumed.metrics),
+            "resumed spec must come from the journal, not a re-run"
+        );
+        let wedge = db.record(&wedging_spec());
+        assert_eq!(wedge.status, RunStatus::Wedged);
+        assert!(wedge.report.is_some(), "deadlock report must survive the journal");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

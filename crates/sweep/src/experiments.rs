@@ -423,8 +423,11 @@ pub struct AblationRow {
     pub knob: String,
     /// The value used.
     pub value: String,
-    /// Resulting throughput IPC.
+    /// Resulting throughput IPC (zero if the run wedged).
     pub ipc: f64,
+    /// Deadlock summary if this configuration wedged.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wedge: Option<String>,
 }
 
 /// Ablations over the design choices DESIGN.md calls out: the
@@ -484,10 +487,9 @@ pub fn ablation(p: ExpParams) -> Vec<AblationRow> {
     }
 
     jobs.into_par_iter()
-        .map(|(knob, value, spec, cfg)| AblationRow {
-            knob,
-            value,
-            ipc: crate::runner::run_spec_with_config(&spec, cfg).ipc,
+        .map(|(knob, value, spec, cfg)| {
+            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+            AblationRow { knob, value, ipc: rec.result.ipc, wedge: rec.wedge }
         })
         .collect()
 }
@@ -503,10 +505,13 @@ pub struct FetchPolicyRow {
     pub workload: String,
     /// Issue-queue size.
     pub iq_size: usize,
-    /// Measured throughput IPC.
+    /// Measured throughput IPC (zero if the run wedged).
     pub ipc: f64,
     /// Partial flushes triggered (FLUSH only).
     pub flushes: u64,
+    /// Deadlock summary if this configuration wedged.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wedge: Option<String>,
 }
 
 /// Compare fetch policies on memory-pressure-heavy mixes under the
@@ -544,13 +549,14 @@ pub fn fetch_policies(p: ExpParams) -> Vec<FetchPolicyRow> {
     }
     jobs.into_par_iter()
         .map(|(workload, iq_size, policy, spec, cfg)| {
-            let r = crate::runner::run_spec_with_config(&spec, cfg);
+            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
             FetchPolicyRow {
                 policy: policy.name().to_string(),
                 workload,
                 iq_size,
-                ipc: r.ipc,
-                flushes: r.counters.fetch_policy_flushes,
+                ipc: rec.result.ipc,
+                flushes: rec.result.counters.fetch_policy_flushes,
+                wedge: rec.wedge,
             }
         })
         .collect()
@@ -568,8 +574,11 @@ pub struct HeteroRow {
     pub workload: String,
     /// Issue-queue size.
     pub iq_size: usize,
-    /// Measured throughput IPC.
+    /// Measured throughput IPC (zero if the run wedged).
     pub ipc: f64,
+    /// Deadlock summary if this configuration wedged.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wedge: Option<String>,
 }
 
 /// Compare issue-queue organizations at equal size: the traditional
@@ -615,12 +624,16 @@ pub fn hetero_comparison(p: ExpParams) -> Vec<HeteroRow> {
         }
     }
     jobs.into_par_iter()
-        .map(|(workload, iq_size, policy, comparators, spec, cfg)| HeteroRow {
-            scheduler: policy.name().to_string(),
-            comparators,
-            workload,
-            iq_size,
-            ipc: crate::runner::run_spec_with_config(&spec, cfg).ipc,
+        .map(|(workload, iq_size, policy, comparators, spec, cfg)| {
+            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+            HeteroRow {
+                scheduler: policy.name().to_string(),
+                comparators,
+                workload,
+                iq_size,
+                ipc: rec.result.ipc,
+                wedge: rec.wedge,
+            }
         })
         .collect()
 }
@@ -638,6 +651,9 @@ pub struct WrongPathRow {
     pub gated: f64,
     /// The same speedup with synthetic wrong-path execution.
     pub wrong_path: f64,
+    /// Underlying runs that wedged (their IPC enters the ratios as zero).
+    #[serde(default)]
+    pub wedged_runs: usize,
 }
 
 /// Recompute Figure-1 points under both misprediction models.
@@ -661,10 +677,11 @@ pub fn wrongpath_sensitivity(p: ExpParams) -> Vec<WrongPathRow> {
             }
         }
     }
-    let results: Vec<(usize, usize, bool, DispatchPolicy, String, f64)> = jobs
+    let results: Vec<(usize, usize, bool, DispatchPolicy, String, f64, bool)> = jobs
         .into_par_iter()
         .map(|(threads, iq, wp, policy, mix, spec, cfg)| {
-            (threads, iq, wp, policy, mix, crate::runner::run_spec_with_config(&spec, cfg).ipc)
+            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+            (threads, iq, wp, policy, mix, rec.result.ipc, rec.wedge.is_some())
         })
         .collect();
 
@@ -699,6 +716,7 @@ pub fn wrongpath_sensitivity(p: ExpParams) -> Vec<WrongPathRow> {
                 iq_size: iq,
                 gated: speedup(threads, iq, false),
                 wrong_path: speedup(threads, iq, true),
+                wedged_runs: results.iter().filter(|r| r.0 == threads && r.1 == iq && r.6).count(),
             });
         }
     }

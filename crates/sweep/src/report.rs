@@ -191,7 +191,8 @@ pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
             }
             last = r.knob.clone();
         }
-        let _ = writeln!(out, "  {:<24}{:<16}{:>8.3}", r.knob, r.value, r.ipc);
+        let mark = if r.wedge.is_some() { "  WEDGED" } else { "" };
+        let _ = writeln!(out, "  {:<24}{:<16}{:>8.3}{mark}", r.knob, r.value, r.ipc);
     }
     out
 }
@@ -206,9 +207,10 @@ pub fn render_fetch_policies(rows: &[crate::experiments::FetchPolicyRow]) -> Str
         "workload", "policy", "IQ", "IPC", "flushes"
     );
     for r in rows {
+        let mark = if r.wedge.is_some() { "  WEDGED" } else { "" };
         let _ = writeln!(
             out,
-            "  {:<24}{:<12}{:>6}{:>9.3}{:>10}",
+            "  {:<24}{:<12}{:>6}{:>9.3}{:>10}{mark}",
             r.workload, r.policy, r.iq_size, r.ipc, r.flushes
         );
     }
@@ -228,9 +230,10 @@ pub fn render_hetero(rows: &[crate::experiments::HeteroRow]) -> String {
         "workload", "scheduler", "IQ", "comparators", "IPC"
     );
     for r in rows {
+        let mark = if r.wedge.is_some() { "  WEDGED" } else { "" };
         let _ = writeln!(
             out,
-            "  {:<24}{:<26}{:>6}{:>13}{:>9.3}",
+            "  {:<24}{:<26}{:>6}{:>13}{:>9.3}{mark}",
             r.workload, r.scheduler, r.iq_size, r.comparators, r.ipc
         );
     }

@@ -34,6 +34,11 @@ pub struct RunSpec {
     pub warmup: u64,
     /// Global seed for workload generation.
     pub seed: u64,
+    /// Hard cycle ceiling for this run; `0` keeps the configuration's (or
+    /// the auto-derived) ceiling. Lets a single sweep entry bound a run it
+    /// expects might wedge without shortening every other run.
+    #[serde(default)]
+    pub max_cycles: u64,
 }
 
 impl RunSpec {
@@ -52,12 +57,19 @@ impl RunSpec {
             commit_target,
             warmup: (commit_target / 4).max(2_000),
             seed,
+            max_cycles: 0,
         }
     }
 
     /// Override the warm-up budget.
     pub fn with_warmup(mut self, warmup: u64) -> Self {
         self.warmup = warmup;
+        self
+    }
+
+    /// Override the cycle ceiling (`0` = keep the configuration's).
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
         self
     }
 }
@@ -85,6 +97,37 @@ pub struct RunResult {
     pub mean_iq_occupancy: f64,
     /// Full raw counters for deeper analysis.
     pub counters: SimCounters,
+}
+
+impl RunResult {
+    /// An all-zero placeholder recorded for runs that produced no usable
+    /// measurement (wedged, panicked, or timed out). Keeps failed runs
+    /// representable in results tables without poisoning averages — callers
+    /// must consult the run's status before aggregating.
+    pub fn failed(n_threads: usize) -> Self {
+        RunResult {
+            outcome_target_reached: false,
+            ipc: 0.0,
+            per_thread_ipc: vec![0.0; n_threads],
+            cycles: 0,
+            all_stall_frac: 0.0,
+            hdi_pileup_frac: 0.0,
+            hdi_ndi_dep_frac: 0.0,
+            mean_iq_residency: 0.0,
+            mean_iq_occupancy: 0.0,
+            counters: SimCounters::new(n_threads),
+        }
+    }
+}
+
+/// Why a budgeted run produced no result.
+#[derive(Debug)]
+pub enum RunFailure {
+    /// The pipeline stopped making forward progress; the report diagnoses
+    /// what every thread was blocked on.
+    Wedged(Box<DeadlockReport>),
+    /// The wall-clock deadline expired before the run finished.
+    TimedOut,
 }
 
 /// Execute one simulation run.
@@ -118,8 +161,22 @@ pub fn run_spec_with_config(spec: &RunSpec, cfg: SimConfig) -> RunResult {
 /// progress.
 pub fn try_run_spec_with_config(
     spec: &RunSpec,
-    mut cfg: SimConfig,
+    cfg: SimConfig,
 ) -> Result<RunResult, Box<DeadlockReport>> {
+    run_spec_budgeted(spec, cfg, None).map_err(|f| match f {
+        RunFailure::Wedged(report) => report,
+        RunFailure::TimedOut => unreachable!("no deadline was set"),
+    })
+}
+
+/// Execute one run with an explicit configuration and an optional wall-clock
+/// deadline. The deadline is polled every few thousand cycles; an expired
+/// run stops with [`RunFailure::TimedOut`] instead of hanging its sweep.
+pub fn run_spec_budgeted(
+    spec: &RunSpec,
+    mut cfg: SimConfig,
+    deadline: Option<std::time::Instant>,
+) -> Result<RunResult, RunFailure> {
     cfg.iq_size = spec.iq_size;
     cfg.policy = spec.policy;
     if cfg.policy.is_out_of_order() && cfg.deadlock == smt_core::DeadlockMode::None {
@@ -130,11 +187,15 @@ pub fn try_run_spec_with_config(
             cfg.deadlock = smt_core::DeadlockMode::None;
         }
     }
+    if spec.max_cycles > 0 {
+        cfg.max_cycles = spec.max_cycles;
+    }
     // Safety net: no realistic run needs more cycles than this; a wedged
     // pipeline would otherwise hang the whole sweep.
     if cfg.max_cycles == 0 {
         cfg.max_cycles = (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
     }
+    let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
     let streams: Vec<Box<dyn InstGenerator>> = spec
         .benchmarks
         .iter()
@@ -146,14 +207,18 @@ pub fn try_run_spec_with_config(
         .collect();
     let mut sim = Simulator::new(cfg, streams);
     if spec.warmup > 0 {
-        if let RunOutcome::Wedged(report) = sim.run_until_all_committed(spec.warmup) {
-            return Err(report);
+        match sim.run_until_all_committed_with_abort(spec.warmup, expired) {
+            RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
+            RunOutcome::Aborted => return Err(RunFailure::TimedOut),
+            _ => {}
         }
         sim.reset_measurement();
     }
-    let outcome = sim.run(spec.commit_target);
-    if let RunOutcome::Wedged(report) = outcome {
-        return Err(report);
+    let outcome = sim.run_with_abort(spec.commit_target, expired);
+    match outcome {
+        RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
+        RunOutcome::Aborted => return Err(RunFailure::TimedOut),
+        _ => {}
     }
     let c = sim.counters().clone();
     Ok(RunResult {
@@ -168,6 +233,29 @@ pub fn try_run_spec_with_config(
         mean_iq_occupancy: c.mean_iq_occupancy(),
         counters: c,
     })
+}
+
+/// A run's result together with the wedge diagnosis, if it wedged. Lets
+/// experiment tables record a failed run inline (zeroed metrics + summary)
+/// and keep going instead of panicking mid-sweep.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    /// Measured metrics, or [`RunResult::failed`] zeros if the run wedged.
+    pub result: RunResult,
+    /// Human-readable [`DeadlockReport`] summary when the run wedged.
+    pub wedge: Option<String>,
+}
+
+/// Execute one run, recording a wedge instead of propagating it. The
+/// returned [`RecordedRun`] always carries a result row.
+pub fn run_spec_with_config_recorded(spec: &RunSpec, cfg: SimConfig) -> RecordedRun {
+    match try_run_spec_with_config(spec, cfg) {
+        Ok(result) => RecordedRun { result, wedge: None },
+        Err(report) => RecordedRun {
+            result: RunResult::failed(spec.benchmarks.len()),
+            wedge: Some(report.summary()),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +320,43 @@ mod tests {
         assert_eq!(report.threads.len(), 2);
         let s = report.summary();
         assert!(s.contains("t0:") && s.contains("t1:"), "summary missing threads:\n{s}");
+    }
+
+    #[test]
+    fn expired_deadline_times_out_instead_of_hanging() {
+        let spec = RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 1_000_000, 1);
+        let cfg = smt_core::SimConfig::paper(64, DispatchPolicy::Traditional);
+        let deadline = std::time::Instant::now();
+        match run_spec_budgeted(&spec, cfg, Some(deadline)) {
+            Err(RunFailure::TimedOut) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recorded_run_turns_a_wedge_into_a_row() {
+        let spec = RunSpec::new(&["gcc", "art"], 64, DispatchPolicy::Traditional, 1_000_000, 1)
+            .with_warmup(0)
+            .with_max_cycles(50);
+        let cfg = smt_core::SimConfig::paper(64, DispatchPolicy::Traditional);
+        let rec = run_spec_with_config_recorded(&spec, cfg);
+        let wedge = rec.wedge.expect("a 50-cycle budget must wedge");
+        assert!(wedge.contains("t0:"), "summary missing diagnosis:\n{wedge}");
+        assert_eq!(rec.result.ipc, 0.0);
+        assert_eq!(rec.result.per_thread_ipc.len(), 2);
+        assert!(!rec.result.outcome_target_reached);
+    }
+
+    #[test]
+    fn spec_max_cycles_overrides_config_ceiling() {
+        // Same wedge as above, but driven through the spec field with a
+        // default config — proving the override reaches the simulator.
+        let spec = RunSpec::new(&["gcc", "art"], 64, DispatchPolicy::Traditional, 1_000_000, 1)
+            .with_warmup(0)
+            .with_max_cycles(50);
+        let cfg = smt_core::SimConfig::paper(64, DispatchPolicy::Traditional);
+        let report = try_run_spec_with_config(&spec, cfg).expect_err("50-cycle ceiling must trip");
+        assert!(report.cycle >= 50);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! proptest is unavailable) plus a proptest wrapper over random programs.
 
 use proptest::prelude::*;
-use smt_sim::core::{DeadlockMode, DispatchPolicy, InstState, SimConfig, Simulator};
+use smt_sim::core::{
+    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, InstState, SimConfig, Simulator,
+};
 use smt_sim::isa::{ArchReg, TraceInst};
 use smt_sim::workload::{InstGenerator, ProgramTrace};
 
@@ -50,10 +52,34 @@ fn ndi_heavy_program(reps: usize) -> Vec<TraceInst> {
     prog
 }
 
+/// `ndi_heavy_program` with a biased branch closing each independent-work
+/// burst, so every fault class — including predictor flushes, which only
+/// fire at branch sites — has plenty of eligible injection sites.
+fn ndi_heavy_branchy_program(reps: usize) -> Vec<TraceInst> {
+    let mut prog = Vec::new();
+    for (i, inst) in ndi_heavy_program(reps).into_iter().enumerate() {
+        prog.push(inst);
+        if i % 6 == 5 {
+            prog.push(TraceInst::branch(
+                pc_of(prog.len()),
+                Some(ArchReg::int(4)),
+                i % 12 != 11,
+                pc_of(i),
+            ));
+        }
+    }
+    prog
+}
+
 /// Step `sim` one cycle at a time until `expected` instructions have
 /// committed, asserting the DAB invariants after every cycle and failing if
 /// the machine ever goes `max_gap` cycles without committing anything.
-fn drive_checked(mut sim: Simulator, expected: u64, max_gap: u64) -> Result<(), TestCaseError> {
+/// Returns the simulator so callers can inspect the final counters.
+fn drive_checked(
+    mut sim: Simulator,
+    expected: u64,
+    max_gap: u64,
+) -> Result<Simulator, TestCaseError> {
     let mut last_total = 0u64;
     let mut last_change = 0u64;
     while sim.counters().total_committed() < expected {
@@ -73,7 +99,7 @@ fn drive_checked(mut sim: Simulator, expected: u64, max_gap: u64) -> Result<(), 
             expected
         );
     }
-    Ok(())
+    Ok(sim)
 }
 
 /// The longest legitimate gap between commits is one main-memory round trip
@@ -136,6 +162,52 @@ fn completed_rob_head_commits_promptly() {
     }
 }
 
+/// A fault configuration hot enough to fire dozens of times over an
+/// NDI-heavy run, budgeted so latency-adding classes cannot starve commits
+/// past the legitimate gap bound.
+fn hot_faults(class: FaultClass, seed: u64) -> FaultConfig {
+    let mut f = FaultConfig::single(class, seed);
+    f.class_mut(class).rate_ppm = 300_000;
+    f.class_mut(class).budget = 48;
+    f
+}
+
+#[test]
+fn liveness_holds_under_every_fault_class_with_dab() {
+    for class in FaultClass::ALL {
+        let mut cfg = SimConfig::paper(4, DispatchPolicy::TwoOpBlockOoo);
+        cfg.deadlock = DeadlockMode::Dab { size: 2 };
+        cfg.faults = hot_faults(class, 0xF417_0001);
+        let prog = ndi_heavy_branchy_program(40);
+        let expected = prog.len() as u64;
+        let sim = drive_checked(sim_of(vec![prog], cfg), expected, MAX_COMMIT_GAP)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", class.name()));
+        assert!(
+            sim.counters().faults.total_injected() > 0,
+            "{}: the fault seed must actually inject",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn liveness_holds_under_every_fault_class_with_watchdog() {
+    for class in FaultClass::ALL {
+        let mut cfg = SimConfig::paper(4, DispatchPolicy::TwoOpBlockOoo);
+        cfg.deadlock = DeadlockMode::Watchdog { timeout: 400 };
+        cfg.faults = hot_faults(class, 0xF417_0002);
+        let prog = ndi_heavy_branchy_program(40);
+        let expected = prog.len() as u64;
+        let sim = drive_checked(sim_of(vec![prog], cfg), expected, MAX_COMMIT_GAP)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", class.name()));
+        assert!(
+            sim.counters().faults.total_injected() > 0,
+            "{}: the fault seed must actually inject",
+            class.name()
+        );
+    }
+}
+
 /// Strategy: one random but *valid* dynamic instruction (mirrors the
 /// generator in `no_deadlock_prop.rs`).
 fn arb_inst(idx: usize) -> impl Strategy<Value = TraceInst> {
@@ -189,6 +261,20 @@ proptest! {
     fn dab_invariants_hold_on_random_programs(p1 in arb_program(150), p2 in arb_program(150)) {
         let mut cfg = SimConfig::paper(8, DispatchPolicy::TwoOpBlockOoo);
         cfg.deadlock = DeadlockMode::Dab { size: 2 };
+        let expected = (p1.len() + p2.len()) as u64;
+        drive_checked(sim_of(vec![p1, p2], cfg), expected, MAX_COMMIT_GAP)?;
+    }
+
+    #[test]
+    fn liveness_holds_on_random_programs_with_random_fault_class(
+        p1 in arb_program(150),
+        p2 in arb_program(150),
+        class_idx in 0usize..4,
+        fault_seed in any::<u64>(),
+    ) {
+        let mut cfg = SimConfig::paper(8, DispatchPolicy::TwoOpBlockOoo);
+        cfg.deadlock = DeadlockMode::Dab { size: 2 };
+        cfg.faults = hot_faults(FaultClass::ALL[class_idx], fault_seed);
         let expected = (p1.len() + p2.len()) as u64;
         drive_checked(sim_of(vec![p1, p2], cfg), expected, MAX_COMMIT_GAP)?;
     }
