@@ -14,6 +14,7 @@
 
 use crate::rob::InstState;
 use serde::{Deserialize, Serialize};
+use smt_mem::MemSnapshot;
 
 /// The immediate reason a thread is not making progress, ordered by the
 /// pipeline position of its oldest in-flight instruction: the ROB head's
@@ -27,6 +28,13 @@ pub enum StallReason {
     CommitPending,
     /// ROB head is executing a load that missed to main memory.
     WaitingMemory,
+    /// ROB head is a ready load whose miss cannot allocate an MSHR (the
+    /// L1D or L2 file is full); it retries every cycle until a fill frees
+    /// an entry.
+    MshrFull,
+    /// ROB head is a completed store whose commit is blocked by a full
+    /// write buffer; it retries every cycle until a drain frees a slot.
+    WriteBufferFull,
     /// ROB head is executing (or sitting in the DAB awaiting a function
     /// unit); completion is scheduled.
     WaitingExecution,
@@ -192,6 +200,10 @@ pub struct DeadlockReport {
     pub pending_events: usize,
     /// Per-thread diagnoses.
     pub threads: Vec<ThreadDiagnosis>,
+    /// Occupancy of the non-blocking memory machinery (MSHRs, bus, write
+    /// buffer), when the hierarchy runs the non-blocking model.
+    #[serde(default)]
+    pub mem: Option<MemSnapshot>,
 }
 
 impl DeadlockReport {
@@ -214,6 +226,22 @@ impl DeadlockReport {
             self.dab_size,
             self.pending_events,
         );
+        if let Some(m) = &self.mem {
+            let _ = writeln!(
+                s,
+                "mem: mshrs l1i {}/{} l1d {}/{} l2 {}/{} bus next_free={} interval={} wb {}/{}",
+                m.l1i_mshrs_in_flight,
+                m.l1i_mshr_capacity,
+                m.l1d_mshrs_in_flight,
+                m.l1d_mshr_capacity,
+                m.l2_mshrs_in_flight,
+                m.l2_mshr_capacity,
+                m.bus_next_free,
+                m.bus_cycles_per_transfer,
+                m.wb_occupancy,
+                m.wb_capacity,
+            );
+        }
         for t in &self.threads {
             let head = t
                 .rob_head
@@ -328,6 +356,18 @@ mod tests {
                     rename_blocked: Some(StallReason::RobFull),
                 },
             ],
+            mem: Some(MemSnapshot {
+                l1i_mshrs_in_flight: 0,
+                l1i_mshr_capacity: 0,
+                l1d_mshrs_in_flight: 4,
+                l1d_mshr_capacity: 4,
+                l2_mshrs_in_flight: 2,
+                l2_mshr_capacity: 8,
+                bus_next_free: 1040,
+                bus_cycles_per_transfer: 16,
+                wb_occupancy: 1,
+                wb_capacity: 8,
+            }),
         }
     }
 
@@ -339,6 +379,7 @@ mod tests {
         assert!(s.contains("t1: blocked_on=IqFull"));
         assert!(s.contains("Load@12 Issued"));
         assert!(s.contains("rename_blocked=Some(RobFull)"));
+        assert!(s.contains("mem: mshrs l1i 0/0 l1d 4/4 l2 2/8"));
     }
 
     #[test]

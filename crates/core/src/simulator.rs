@@ -26,7 +26,7 @@ use crate::rob::{InFlight, InstState, Rob};
 use crate::scheduler::SchedulerQueue;
 use crate::tracer::Tracer;
 use smt_isa::{MachineDesc, OpClass, TraceInst};
-use smt_mem::{AccessKind, Hierarchy};
+use smt_mem::{AccessKind, Hierarchy, HitLevel, MemModel, Waiter};
 use smt_predictor::{Btb, GShare};
 use smt_stats::SimCounters;
 use smt_workload::{InstGenerator, TraceSource};
@@ -175,6 +175,9 @@ pub struct Simulator {
     tracer: Option<Box<dyn Tracer>>,
     /// Deterministic fault injector (inert when all rates are zero).
     faults: FaultInjector,
+    /// Cached `cfg.hierarchy.model` discriminant: does the hierarchy run
+    /// the non-blocking (MSHR/bus/write-buffer) model?
+    nonblocking_mem: bool,
 }
 
 impl Simulator {
@@ -264,6 +267,7 @@ impl Simulator {
             pending_flushes: Vec::new(),
             tracer: None,
             faults: FaultInjector::new(cfg.faults),
+            nonblocking_mem: matches!(cfg.hierarchy.model, MemModel::NonBlocking(_)),
             threads,
             regs,
             cfg,
@@ -548,6 +552,7 @@ impl Simulator {
         // Deliver slow-bus broadcasts staged last cycle (Half-Price mode)
         // before this cycle's wakeups and select.
         self.iq.tick();
+        self.step_memory();
         self.process_events();
         self.commit_stage();
         self.issue_stage();
@@ -559,9 +564,73 @@ impl Simulator {
         self.counters.iq_occupancy_sum += self.iq.occupancy() as u64;
         for t in 0..self.threads.len() {
             self.counters.threads[t].iq_occupancy_sum += self.iq.thread_occupancy(t) as u64;
+            // Per-thread MLP sampling: identical under both memory models
+            // (outstanding_mem_misses is maintained by each).
+            let om = self.threads[t].outstanding_mem_misses;
+            if om > 0 {
+                let tc = &mut self.counters.threads[t];
+                tc.mem_busy_cycles += 1;
+                tc.mlp_sum += om as u64;
+            }
         }
+        self.sync_mem_counters();
         self.watchdog_tick(dispatched);
         self.rr = (self.rr + 1) % self.threads.len();
+    }
+
+    /// Advance the non-blocking memory machinery: release completed MSHR
+    /// fills, drain the store write buffer (attributing the cache traffic
+    /// to the committing threads), and mirror the hierarchy's memory
+    /// counters into the stats. No-op under the flat model.
+    fn step_memory(&mut self) {
+        if !self.nonblocking_mem {
+            return;
+        }
+        for d in self.hier.step(self.now) {
+            self.note_data_access(d.thread, d.level);
+        }
+    }
+
+    /// Mirror the hierarchy's cumulative memory counters into the stats.
+    /// Runs in the cycle tail so same-cycle commit-stage traffic is
+    /// captured even on the run's final cycle.
+    fn sync_mem_counters(&mut self) {
+        if !self.nonblocking_mem {
+            return;
+        }
+        let ms = self.hier.mem_stats();
+        let m = &mut self.counters.mem;
+        m.l1i_mshr_allocs = ms.l1i_mshr.allocs;
+        m.l1i_mshr_merges = ms.l1i_mshr.merges;
+        m.l1d_mshr_allocs = ms.l1d_mshr.allocs;
+        m.l1d_mshr_merges = ms.l1d_mshr.merges;
+        m.l2_mshr_allocs = ms.l2_mshr.allocs;
+        m.l2_mshr_merges = ms.l2_mshr.merges;
+        m.bus_transactions = ms.bus.transactions;
+        m.bus_queue_delay_sum = ms.bus.queue_delay_sum;
+        m.l1i_mshr_occupancy_sum = ms.l1i_mshr_occupancy_sum;
+        m.l1d_mshr_occupancy_sum = ms.l1d_mshr_occupancy_sum;
+        m.l2_mshr_occupancy_sum = ms.l2_mshr_occupancy_sum;
+        m.wb_enqueued = ms.wb_enqueued;
+        m.wb_drained = ms.wb_drained;
+        m.wb_occupancy_sum = ms.wb_occupancy_sum;
+    }
+
+    /// Attribute one data-side (load or drained-store) cache access to a
+    /// thread's hit/miss counters.
+    fn note_data_access(&mut self, t: usize, level: HitLevel) {
+        let tc = &mut self.counters.threads[t];
+        match level {
+            HitLevel::L1 => tc.l1d_hits += 1,
+            HitLevel::L2 => {
+                tc.l1d_misses += 1;
+                tc.l2_hits += 1;
+            }
+            HitLevel::Memory => {
+                tc.l1d_misses += 1;
+                tc.l2_misses += 1;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -664,6 +733,7 @@ impl Simulator {
         let n = self.threads.len();
         let mut budget = self.cfg.width;
         let mut progress = true;
+        let mut wb_noted = vec![false; n];
         while budget > 0 && progress {
             progress = false;
             for i in 0..n {
@@ -676,11 +746,28 @@ impl Simulator {
                     .front()
                     .map(|e| e.state == InstState::Completed)
                     .unwrap_or(false);
-                if committable {
-                    self.commit_one(t);
-                    budget -= 1;
-                    progress = true;
+                if !committable {
+                    continue;
                 }
+                // A completed store cannot retire while the write buffer
+                // is full; the commit slot is lost to back-pressure.
+                if self.nonblocking_mem && !self.hier.wb_can_push() {
+                    let head_is_store = self.threads[t]
+                        .rob
+                        .front()
+                        .map(|e| e.inst.op.is_store() && e.inst.mem.is_some())
+                        .unwrap_or(false);
+                    if head_is_store {
+                        if !wb_noted[t] {
+                            self.counters.threads[t].wb_full_stall_cycles += 1;
+                            wb_noted[t] = true;
+                        }
+                        continue;
+                    }
+                }
+                self.commit_one(t);
+                budget -= 1;
+                progress = true;
             }
         }
     }
@@ -691,8 +778,18 @@ impl Simulator {
             self.threads[t].lsq.pop_front(entry.trace_idx);
             if entry.inst.op.is_store() {
                 // Stores write the data cache at commit (write-allocate);
-                // the latency is off the critical path.
-                let _ = self.hier.access(AccessKind::Store, mem.addr);
+                // the latency is off the critical path, but the traffic is
+                // real: attribute it to the thread and, under the
+                // non-blocking model, route it through the write buffer.
+                if self.nonblocking_mem {
+                    if let Some(d) = self.hier.push_store(t, mem.addr, self.now) {
+                        self.note_data_access(d.thread, d.level);
+                    }
+                } else {
+                    let extra = self.hier.access(AccessKind::Store, mem.addr);
+                    let level = HitLevel::from_flat_extra(extra, self.cfg.hierarchy.l2_hit_latency);
+                    self.note_data_access(t, level);
+                }
             }
         }
         if let Some((_, old)) = entry.old_dest {
@@ -733,12 +830,23 @@ impl Simulator {
             let mut i = 0;
             while i < self.dab.len() && budget > 0 {
                 let d = self.dab[i];
-                let op = self.threads[d.thread]
-                    .rob
-                    .get(d.trace_idx)
-                    .expect("DAB entry without ROB entry")
-                    .inst
-                    .op;
+                let (op, mem) = {
+                    let e = self.threads[d.thread]
+                        .rob
+                        .get(d.trace_idx)
+                        .expect("DAB entry without ROB entry");
+                    (e.inst.op, e.inst.mem)
+                };
+                // DAB loads are ROB-oldest, so disambiguation can never
+                // block them — but a full MSHR file still can.
+                if self.nonblocking_mem && op.is_load() {
+                    let addr = mem.expect("load without mem").addr;
+                    if !self.hier.admissible(AccessKind::Load, addr) {
+                        self.counters.threads[d.thread].mshr_full_defers += 1;
+                        i += 1;
+                        continue;
+                    }
+                }
                 let desc = MachineDesc::fu_desc(op);
                 if self.fu.try_issue(desc.kind, self.now, desc.issue_interval) {
                     self.dab.remove(i);
@@ -770,14 +878,24 @@ impl Simulator {
                 .get(entry.trace_idx)
                 .expect("IQ entry without ROB entry");
             let op = inflight.inst.op;
-            // Loads must pass memory disambiguation.
+            // Loads must pass memory disambiguation, and under the
+            // non-blocking model a cache-bound load also needs a free MSHR.
             if op.is_load() {
                 let addr = inflight.inst.mem.expect("load without mem").addr;
-                if self.threads[entry.thread].lsq.check_load(entry.trace_idx, addr)
-                    == LoadCheck::Blocked
-                {
-                    deferred.push(slot);
-                    continue;
+                match self.threads[entry.thread].lsq.check_load(entry.trace_idx, addr) {
+                    LoadCheck::Blocked => {
+                        deferred.push(slot);
+                        continue;
+                    }
+                    LoadCheck::AccessCache
+                        if self.nonblocking_mem
+                            && !self.hier.admissible(AccessKind::Load, addr) =>
+                    {
+                        self.counters.threads[entry.thread].mshr_full_defers += 1;
+                        deferred.push(slot);
+                        continue;
+                    }
+                    _ => {}
                 }
             }
             let desc = MachineDesc::fu_desc(op);
@@ -808,8 +926,50 @@ impl Simulator {
                 let addr = mem.expect("load without mem").addr;
                 match self.threads[t].lsq.check_load(trace_idx, addr) {
                     LoadCheck::Forward => {}
+                    LoadCheck::AccessCache if self.nonblocking_mem => {
+                        // Injected fault: rolled before the request so the
+                        // spurious latency rides the same MSHR fill. The
+                        // site hash only keys on (cycle, thread, trace_idx),
+                        // so the roll order relative to the probe does not
+                        // change the fault stream.
+                        let mut injected = 0u64;
+                        if self.faults.roll(FaultClass::CacheMissExtra, now, t, trace_idx) {
+                            self.counters.faults.cache_extra_injected += 1;
+                            injected = self.faults.config().cache_extra_latency;
+                        }
+                        let req = self.hier.request(
+                            AccessKind::Load,
+                            addr,
+                            now,
+                            injected,
+                            Waiter { thread: t, token: trace_idx },
+                        );
+                        self.note_data_access(t, req.level);
+                        if injected > 0 {
+                            self.hier.evict_l1(AccessKind::Load, addr);
+                        }
+                        // The wakeup is scheduled analytically at the fill
+                        // time the hierarchy just committed to; the MSHR
+                        // waiter token is diagnostic state.
+                        let wait = req.fill_at - now;
+                        latency += wait;
+                        if wait >= self.cfg.hierarchy.memory_latency as u64 {
+                            if let Some(e) = self.threads[t].rob.get_mut(trace_idx) {
+                                e.long_miss = true;
+                            }
+                            self.threads[t].outstanding_mem_misses += 1;
+                            if self.cfg.fetch_policy == FetchPolicy::Flush {
+                                self.pending_flushes.push((t, trace_idx));
+                            }
+                        }
+                    }
                     LoadCheck::AccessCache => {
-                        let mut extra = self.hier.access(AccessKind::Load, addr) as u64;
+                        let raw = self.hier.access(AccessKind::Load, addr);
+                        self.note_data_access(
+                            t,
+                            HitLevel::from_flat_extra(raw, self.cfg.hierarchy.l2_hit_latency),
+                        );
+                        let mut extra = raw as u64;
                         // Injected fault: spurious extra miss latency, plus
                         // eviction of the just-filled L1 line so later
                         // accesses genuinely miss. Pushing `extra` past the
@@ -1317,6 +1477,25 @@ impl Simulator {
                 // streaming in, so deliver the group now. Touch the cache
                 // to install/refresh the line without stalling again.
                 let _ = self.hier.access(AccessKind::Fetch, first.pc);
+            } else if self.nonblocking_mem {
+                // I-fetch misses allocate an L1I MSHR like any other miss;
+                // a full file simply stalls fetch for this thread.
+                if !self.hier.admissible(AccessKind::Fetch, first.pc) {
+                    self.counters.threads[t].fetch_mshr_stall_cycles += 1;
+                    continue;
+                }
+                let req = self.hier.request(
+                    AccessKind::Fetch,
+                    first.pc,
+                    self.now,
+                    0,
+                    Waiter { thread: t, token: first.pc },
+                );
+                if req.fill_at > self.now {
+                    self.threads[t].fetch_blocked_until = req.fill_at;
+                    self.threads[t].pending_ifetch_line = Some(line);
+                    continue;
+                }
             } else {
                 let extra = self.hier.access(AccessKind::Fetch, first.pc);
                 if extra > 0 {
@@ -1528,6 +1707,7 @@ impl Simulator {
                 .collect(),
             dab_size: self.dab_size,
             pending_events: self.events.len(),
+            mem: self.hier.is_nonblocking().then(|| self.hier.snapshot()),
             threads: (0..n).map(|t| self.diagnose_thread(t)).collect(),
         }
     }
@@ -1609,8 +1789,22 @@ impl Simulator {
                 StallReason::Progressing
             };
         };
+        let mshr_blocked =
+            |addr: u64| self.nonblocking_mem && !self.hier.admissible(AccessKind::Load, addr);
         match head.state {
-            InstState::Completed => StallReason::CommitPending,
+            InstState::Completed => {
+                // A completed store parked behind a full write buffer is a
+                // memory-side stall, not a commit-bandwidth one.
+                if self.nonblocking_mem
+                    && head.inst.op.is_store()
+                    && head.inst.mem.is_some()
+                    && !self.hier.wb_can_push()
+                {
+                    StallReason::WriteBufferFull
+                } else {
+                    StallReason::CommitPending
+                }
+            }
             InstState::Issued => {
                 if head.long_miss {
                     StallReason::WaitingMemory
@@ -1618,18 +1812,28 @@ impl Simulator {
                     StallReason::WaitingExecution
                 }
             }
-            InstState::InDab => StallReason::WaitingExecution,
+            InstState::InDab => {
+                if head.inst.op.is_load()
+                    && mshr_blocked(head.inst.mem.expect("load without mem").addr)
+                {
+                    StallReason::MshrFull
+                } else {
+                    StallReason::WaitingExecution
+                }
+            }
             InstState::Dispatched => {
                 let pending = head.srcs.iter().flatten().any(|p| !self.regs.is_ready(*p));
                 if pending {
                     StallReason::WaitingOperands
-                } else if head.inst.op.is_load()
-                    && ctx
-                        .lsq
-                        .check_load(head.trace_idx, head.inst.mem.expect("load without mem").addr)
-                        == LoadCheck::Blocked
-                {
-                    StallReason::LoadBlocked
+                } else if head.inst.op.is_load() {
+                    let addr = head.inst.mem.expect("load without mem").addr;
+                    if ctx.lsq.check_load(head.trace_idx, addr) == LoadCheck::Blocked {
+                        StallReason::LoadBlocked
+                    } else if mshr_blocked(addr) {
+                        StallReason::MshrFull
+                    } else {
+                        StallReason::Progressing
+                    }
                 } else {
                     StallReason::Progressing
                 }

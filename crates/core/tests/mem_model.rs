@@ -1,0 +1,194 @@
+//! Pipeline-level tests of the non-blocking memory subsystem: MSHR
+//! back-pressure, write-buffer back-pressure, wedge diagnosability under
+//! pathological memory configurations, and fault-replay determinism with
+//! finite memory resources.
+
+use smt_core::{
+    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, RunOutcome, SimConfig, Simulator,
+    StallReason,
+};
+use smt_isa::{ArchReg, TraceInst};
+use smt_mem::{MemModel, NonBlockingConfig};
+use smt_workload::{InstGenerator, ProgramTrace};
+
+fn nb(cfg: &mut SimConfig, f: impl FnOnce(&mut NonBlockingConfig)) {
+    let mut c = NonBlockingConfig::default();
+    f(&mut c);
+    cfg.hierarchy.model = MemModel::NonBlocking(c);
+}
+
+fn sim_for(programs: Vec<Vec<TraceInst>>, cfg: SimConfig) -> Simulator {
+    let streams: Vec<Box<dyn InstGenerator>> = programs
+        .into_iter()
+        .map(|p| Box::new(ProgramTrace::once(p)) as Box<dyn InstGenerator>)
+        .collect();
+    Simulator::new(cfg, streams)
+}
+
+/// `n` loads, each to a distinct L2 line (0x1000 apart), padded with
+/// dependent ALU work so the thread is never drained mid-test.
+fn miss_storm(n: usize, base: u64) -> Vec<TraceInst> {
+    let mut prog = Vec::new();
+    for i in 0..n {
+        let dest = ArchReg::int(1 + (i % 8) as u8);
+        prog.push(TraceInst::load((i as u64 % 512) * 4, dest, None, base + (i as u64) * 0x1000));
+        prog.push(TraceInst::alu(((i as u64) % 512) * 4, dest, Some(dest), None));
+    }
+    prog
+}
+
+/// `n` stores, each to a distinct L2 line.
+fn store_storm(n: usize, base: u64) -> Vec<TraceInst> {
+    (0..n)
+        .map(|i| {
+            TraceInst::store(
+                (i as u64 % 512) * 4,
+                None,
+                Some(ArchReg::int(1)),
+                base + (i as u64) * 0x1000,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn single_mshr_serialises_misses_but_completes() {
+    let mut cfg = SimConfig::paper(32, DispatchPolicy::TwoOpBlockOoo);
+    cfg.deadlock = DeadlockMode::Dab { size: 4 };
+    cfg.max_cycles = 2_000_000;
+    nb(&mut cfg, |c| c.l1d_mshrs = 1);
+    let mut sim = sim_for(vec![miss_storm(64, 0x40_0000)], cfg);
+    let outcome = sim.run(u64::MAX);
+    assert!(matches!(outcome, RunOutcome::AllFinished), "run did not finish: {outcome:?}");
+    let t = &sim.counters().threads[0];
+    assert!(t.mshr_full_defers > 0, "a 1-entry MSHR file must defer overlapping misses");
+    assert!(t.l1d_misses >= 64, "every distinct line must miss");
+    assert!(sim.counters().mem.l1d_mshr_allocs >= 64);
+}
+
+#[test]
+fn unlimited_mshrs_overlap_misses_and_raise_mlp() {
+    let run = |mshrs: u32| {
+        let mut cfg = SimConfig::paper(32, DispatchPolicy::TwoOpBlockOoo);
+        cfg.deadlock = DeadlockMode::Dab { size: 4 };
+        cfg.max_cycles = 2_000_000;
+        nb(&mut cfg, |c| c.l1d_mshrs = mshrs);
+        let mut sim = sim_for(vec![miss_storm(64, 0x40_0000)], cfg);
+        assert!(matches!(sim.run(u64::MAX), RunOutcome::AllFinished));
+        let t = &sim.counters().threads[0];
+        (sim.counters().cycles, t.mlp())
+    };
+    let (cycles_1, mlp_1) = run(1);
+    let (cycles_inf, mlp_inf) = run(0);
+    assert!(
+        cycles_inf < cycles_1,
+        "overlapping misses must be faster: unlimited {cycles_inf} vs single {cycles_1}"
+    );
+    assert!(mlp_inf > mlp_1, "unlimited MSHRs must raise MLP: {mlp_inf} vs {mlp_1}");
+}
+
+#[test]
+fn mshr_starvation_is_diagnosed_not_hung() {
+    // A pathological bus (200k cycles per transfer) with a single L1D MSHR:
+    // the first miss parks the machine long past the forward-progress
+    // window. The run must come back as a diagnosable wedge whose report
+    // names the memory subsystem, not hang or report garbage.
+    let mut cfg = SimConfig::paper(32, DispatchPolicy::Traditional);
+    cfg.progress_check_cycles = 2_000;
+    cfg.max_cycles = 0;
+    nb(&mut cfg, |c| {
+        c.l1d_mshrs = 1;
+        c.bus_cycles_per_transfer = 200_000;
+    });
+    let mut sim = sim_for(vec![miss_storm(8, 0x40_0000), miss_storm(8, 0x80_0000)], cfg);
+    let outcome = sim.run(u64::MAX);
+    let RunOutcome::Wedged(report) = outcome else {
+        panic!("expected a diagnosed wedge, got {outcome:?}");
+    };
+    let mem = report.mem.as_ref().expect("non-blocking wedge must snapshot the memory state");
+    assert_eq!(mem.l1d_mshrs_in_flight, 1, "the single MSHR must be occupied");
+    assert_eq!(mem.l1d_mshr_capacity, 1);
+    assert_eq!(mem.bus_cycles_per_transfer, 200_000);
+    let reasons: Vec<StallReason> = report.threads.iter().map(|t| t.blocked_on).collect();
+    assert!(
+        reasons.contains(&StallReason::WaitingMemory),
+        "the MSHR holder waits on memory: {reasons:?}"
+    );
+    assert!(
+        reasons.contains(&StallReason::MshrFull),
+        "the locked-out thread must be classified MshrFull: {reasons:?}"
+    );
+    assert!(report.summary().contains("mem: mshrs"), "summary must render the memory state");
+}
+
+#[test]
+fn tiny_write_buffer_backpressures_commit_but_completes() {
+    let mut cfg = SimConfig::paper(32, DispatchPolicy::TwoOpBlockOoo);
+    cfg.deadlock = DeadlockMode::Dab { size: 4 };
+    cfg.max_cycles = 2_000_000;
+    nb(&mut cfg, |c| {
+        c.write_buffer_entries = 1;
+        c.write_buffer_drain_per_cycle = 1;
+    });
+    let mut sim = sim_for(vec![store_storm(64, 0x40_0000)], cfg);
+    let outcome = sim.run(u64::MAX);
+    assert!(matches!(outcome, RunOutcome::AllFinished), "run did not finish: {outcome:?}");
+    let c = sim.counters();
+    assert!(c.threads[0].wb_full_stall_cycles > 0, "a 1-entry buffer must stall commit");
+    assert_eq!(c.mem.wb_enqueued, 64, "every store must pass through the buffer");
+    // The run loop exits as soon as the pipeline drains; the last store may
+    // still sit in the (1-entry) buffer.
+    assert!(c.mem.wb_drained >= 63, "buffered stores must drain, got {}", c.mem.wb_drained);
+    assert!(c.threads[0].l1d_hits + c.threads[0].l1d_misses >= 63, "drains must be attributed");
+}
+
+#[test]
+fn cache_faults_replay_bit_for_bit_under_finite_memory() {
+    // The determinism contract must survive the MSHR path: a run with
+    // injected cache-miss faults under finite MSHRs/bus replays exactly
+    // from its fault log.
+    let mut cfg = SimConfig::paper(32, DispatchPolicy::TwoOpBlockOoo);
+    cfg.deadlock = DeadlockMode::Dab { size: 4 };
+    cfg.max_cycles = 2_000_000;
+    nb(&mut cfg, |c| {
+        c.l1d_mshrs = 2;
+        c.l2_mshrs = 4;
+        c.bus_cycles_per_transfer = 8;
+        c.write_buffer_entries = 4;
+        c.write_buffer_drain_per_cycle = 1;
+    });
+    let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 0xC0FFEE);
+    faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 300_000;
+    faults.class_mut(FaultClass::CacheMissExtra).budget = 32;
+    cfg.faults = faults;
+
+    let mut prog = miss_storm(48, 0x40_0000);
+    prog.extend(store_storm(16, 0x100_0000));
+    let mut sim = sim_for(vec![prog.clone()], cfg.clone());
+    let outcome = sim.run(u64::MAX);
+    assert!(matches!(outcome, RunOutcome::AllFinished), "faulted run wedged: {outcome:?}");
+    assert!(sim.counters().faults.cache_extra_injected > 0, "faults must fire through MSHRs");
+
+    let log = sim.fault_log().to_vec();
+    let mut replay = sim_for(vec![prog], cfg);
+    replay.set_fault_replay(log.clone());
+    let outcome = replay.run(u64::MAX);
+    assert!(matches!(outcome, RunOutcome::AllFinished), "replay wedged: {outcome:?}");
+    assert_eq!(replay.fault_log(), log.as_slice(), "replay fault log diverged");
+    assert_eq!(replay.counters(), sim.counters(), "replay counters diverged");
+}
+
+#[test]
+fn ifetch_misses_go_through_the_l1i_mshrs() {
+    // A program whose PCs walk far apart so instruction fetch itself
+    // misses; the L1I MSHR file must see the traffic.
+    let prog: Vec<TraceInst> = (0..128)
+        .map(|i| TraceInst::alu((i as u64) * 0x1000, ArchReg::int(1), None, None))
+        .collect();
+    let mut cfg = SimConfig::paper(32, DispatchPolicy::Traditional);
+    cfg.max_cycles = 2_000_000;
+    nb(&mut cfg, |c| c.l1i_mshrs = 1);
+    let mut sim = sim_for(vec![prog], cfg);
+    assert!(matches!(sim.run(u64::MAX), RunOutcome::AllFinished));
+    assert!(sim.counters().mem.l1i_mshr_allocs > 0, "I-fetch misses must allocate L1I MSHRs");
+}

@@ -123,6 +123,13 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// The line address (byte address with the offset bits dropped) that
+    /// `addr` falls in. MSHR files key in-flight misses by this.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
     #[inline]
     fn set_of(&self, addr: u64) -> usize {
         ((addr >> self.line_shift) & self.set_mask) as usize

@@ -1,7 +1,10 @@
 //! The two-level cache hierarchy plus main memory.
 
+use crate::bus::{BusStats, MemoryBus};
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::mshr::{MshrFile, MshrStats, Waiter};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// What kind of access is being made.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -12,6 +15,59 @@ pub enum AccessKind {
     Load,
     /// Data store (write-allocate into L1D at commit time).
     Store,
+}
+
+/// Resource limits of the non-blocking memory model. Everywhere, `0` means
+/// "unlimited / infinite bandwidth", so the all-zero default is the
+/// degenerate configuration that reproduces the flat-latency model
+/// bit-for-bit (see `tests/mem_model_differential.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NonBlockingConfig {
+    /// L1 I-cache MSHR entries (outstanding fetch-miss lines).
+    #[serde(default)]
+    pub l1i_mshrs: u32,
+    /// L1 D-cache MSHR entries (outstanding load/store-miss lines).
+    #[serde(default)]
+    pub l1d_mshrs: u32,
+    /// L2 MSHR entries (outstanding memory-bound lines).
+    #[serde(default)]
+    pub l2_mshrs: u32,
+    /// Cycles each memory transaction occupies the bus (0 = infinite
+    /// bandwidth). Only L2-missing primaries use the bus.
+    #[serde(default)]
+    pub bus_cycles_per_transfer: u32,
+    /// Commit-time store write-buffer entries. 0 together with a drain rate
+    /// of 0 means stores retire into the cache instantly at commit.
+    #[serde(default)]
+    pub write_buffer_entries: u32,
+    /// Stores drained from the write buffer per cycle (0 = unlimited).
+    #[serde(default)]
+    pub write_buffer_drain_per_cycle: u32,
+}
+
+impl NonBlockingConfig {
+    /// Is this the all-zero configuration (unlimited MSHRs, infinite bus,
+    /// instant store retirement) that matches the flat model exactly?
+    pub fn is_degenerate(&self) -> bool {
+        *self == NonBlockingConfig::default()
+    }
+}
+
+/// Which memory-timing model the hierarchy runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemModel {
+    /// Pre-MSHR scalar model: every access returns its full extra latency
+    /// synchronously from [`Hierarchy::access`], with unlimited concurrency.
+    Flat,
+    /// Non-blocking model: misses allocate MSHRs, memory transactions queue
+    /// on a finite bus, stores drain through a write buffer.
+    NonBlocking(NonBlockingConfig),
+}
+
+impl Default for MemModel {
+    fn default() -> Self {
+        MemModel::NonBlocking(NonBlockingConfig::default())
+    }
 }
 
 /// Latencies and geometries of the whole hierarchy.
@@ -27,6 +83,11 @@ pub struct HierarchyConfig {
     pub l2_hit_latency: u32,
     /// Main-memory access latency in cycles (charged on an L2 miss).
     pub memory_latency: u32,
+    /// Memory-timing model. Defaults to the degenerate non-blocking model
+    /// (identical timing to `Flat`), so configs serialized before this
+    /// field existed keep their behaviour.
+    #[serde(default)]
+    pub model: MemModel,
 }
 
 impl Default for HierarchyConfig {
@@ -45,6 +106,7 @@ impl HierarchyConfig {
             l2: CacheConfig::new(2 * 1024 * 1024, 8, 512),
             l2_hit_latency: 10,
             memory_latency: 150,
+            model: MemModel::default(),
         }
     }
 }
@@ -62,13 +124,131 @@ pub struct HierarchyStats {
     pub memory_accesses: u64,
 }
 
+/// Statistics of the non-blocking machinery (MSHRs, bus, write buffer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1I MSHR allocations/merges.
+    pub l1i_mshr: MshrStats,
+    /// L1D MSHR allocations/merges.
+    pub l1d_mshr: MshrStats,
+    /// L2 MSHR allocations/merges.
+    pub l2_mshr: MshrStats,
+    /// Bus transactions and queueing.
+    pub bus: BusStats,
+    /// Sum over stepped cycles of in-flight L1I MSHR entries.
+    pub l1i_mshr_occupancy_sum: u64,
+    /// Sum over stepped cycles of in-flight L1D MSHR entries.
+    pub l1d_mshr_occupancy_sum: u64,
+    /// Sum over stepped cycles of in-flight L2 MSHR entries.
+    pub l2_mshr_occupancy_sum: u64,
+    /// Stores accepted into the write buffer (excludes instant-drain mode).
+    pub wb_enqueued: u64,
+    /// Stores drained from the write buffer into the cache.
+    pub wb_drained: u64,
+    /// Sum over stepped cycles of write-buffer occupancy.
+    pub wb_occupancy_sum: u64,
+}
+
+/// Which level serviced a request — the unit of per-thread attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// L1 tag hit (includes hits forwarded from an in-flight fill).
+    L1,
+    /// L1 miss that hit in the unified L2.
+    L2,
+    /// Missed both levels; went to main memory.
+    Memory,
+}
+
+impl HitLevel {
+    /// Infer the level from a flat-model extra latency. Only exact under
+    /// the paper-style configuration where `l2_hit_latency` and the memory
+    /// latency are distinct and non-zero, which is how the flat path
+    /// attributes per-thread hit/miss counters.
+    pub fn from_flat_extra(extra: u32, l2_hit_latency: u32) -> HitLevel {
+        if extra == 0 {
+            HitLevel::L1
+        } else if extra == l2_hit_latency {
+            HitLevel::L2
+        } else {
+            HitLevel::Memory
+        }
+    }
+}
+
+/// The outcome of a non-blocking [`Hierarchy::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// The flat extra latency of this access (identical to what
+    /// [`Hierarchy::access`] would have returned), excluding bus queueing
+    /// and injected fault latency.
+    pub extra: u32,
+    /// Cycle the data is available: `now + extra + injected` plus any bus
+    /// queue delay.
+    pub fill_at: u64,
+    /// Which level serviced the request.
+    pub level: HitLevel,
+    /// Cycles spent waiting for the memory bus (0 unless an L2-missing
+    /// primary found the bus busy).
+    pub queue_delay: u64,
+}
+
+/// A store drained from the write buffer this cycle, for per-thread
+/// attribution of the cache traffic it caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreDrain {
+    /// Thread that committed the store.
+    pub thread: usize,
+    /// Level that serviced it.
+    pub level: HitLevel,
+}
+
+/// Occupancy snapshot of the non-blocking machinery, for deadlock-diagnosis
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemSnapshot {
+    /// In-flight L1I MSHR entries.
+    pub l1i_mshrs_in_flight: usize,
+    /// Configured L1I MSHR capacity (0 = unlimited).
+    pub l1i_mshr_capacity: u32,
+    /// In-flight L1D MSHR entries.
+    pub l1d_mshrs_in_flight: usize,
+    /// Configured L1D MSHR capacity (0 = unlimited).
+    pub l1d_mshr_capacity: u32,
+    /// In-flight L2 MSHR entries.
+    pub l2_mshrs_in_flight: usize,
+    /// Configured L2 MSHR capacity (0 = unlimited).
+    pub l2_mshr_capacity: u32,
+    /// First cycle the memory bus is free again.
+    pub bus_next_free: u64,
+    /// Cycles each bus transaction occupies (0 = infinite bandwidth).
+    pub bus_cycles_per_transfer: u32,
+    /// Stores waiting in the write buffer.
+    pub wb_occupancy: usize,
+    /// Configured write-buffer capacity (0 = unlimited/instant).
+    pub wb_capacity: u32,
+}
+
 /// The cache hierarchy shared by all SMT thread contexts.
 ///
-/// `access` returns the *additional* latency of an access beyond the fixed
-/// L1 pipeline latency that the execution model already charges: 0 for an
-/// L1 hit, the L2 hit latency for an L1 miss/L2 hit, and the memory latency
-/// for an L2 miss. Fills happen immediately (no MSHR modelling), matching
-/// the SimpleScalar-style latency model M-Sim inherits.
+/// Two timing models share the tag arrays:
+///
+/// * [`Hierarchy::access`] is the flat scalar model: it returns the
+///   *additional* latency of an access beyond the fixed L1 pipeline latency
+///   (0 for an L1 hit, the L2 hit latency for an L1 miss/L2 hit, the memory
+///   latency for an L2 miss), with unlimited concurrency and immediate
+///   fills.
+/// * [`Hierarchy::request`] is the non-blocking model: misses allocate an
+///   MSHR at the missing level, memory-bound primaries queue on a
+///   finite-bandwidth bus, and the caller sleeps until the returned
+///   `fill_at` cycle. [`Hierarchy::step`] must be called once per cycle to
+///   release completed fills and drain the commit-time store write buffer.
+///
+/// Both models fill tag arrays eagerly at request time (a documented
+/// simplification: a later access to a line whose fill is still in flight
+/// hits the tags and is treated as forwarded from the MSHR). Under the
+/// all-zero degenerate [`NonBlockingConfig`], `request` produces exactly
+/// the same latency, tag, and statistics stream as `access`.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
@@ -76,17 +256,36 @@ pub struct Hierarchy {
     l1d: Cache,
     l2: Cache,
     memory_accesses: u64,
+    // Non-blocking machinery (inert under MemModel::Flat).
+    nb: NonBlockingConfig,
+    l1i_mshrs: MshrFile,
+    l1d_mshrs: MshrFile,
+    l2_mshrs: MshrFile,
+    bus: MemoryBus,
+    write_buffer: VecDeque<(usize, u64)>,
+    mem_stats: MemStats,
 }
 
 impl Hierarchy {
     /// Build an empty hierarchy.
     pub fn new(cfg: HierarchyConfig) -> Self {
+        let nb = match cfg.model {
+            MemModel::Flat => NonBlockingConfig::default(),
+            MemModel::NonBlocking(nb) => nb,
+        };
         Hierarchy {
             cfg,
             l1i: Cache::new(cfg.l1i),
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             memory_accesses: 0,
+            nb,
+            l1i_mshrs: MshrFile::new(nb.l1i_mshrs),
+            l1d_mshrs: MshrFile::new(nb.l1d_mshrs),
+            l2_mshrs: MshrFile::new(nb.l2_mshrs),
+            bus: MemoryBus::new(nb.bus_cycles_per_transfer),
+            write_buffer: VecDeque::new(),
+            mem_stats: MemStats::default(),
         }
     }
 
@@ -95,7 +294,12 @@ impl Hierarchy {
         self.cfg
     }
 
-    /// Perform an access and return the added latency in cycles
+    /// Is the hierarchy running the non-blocking model?
+    pub fn is_nonblocking(&self) -> bool {
+        matches!(self.cfg.model, MemModel::NonBlocking(_))
+    }
+
+    /// Perform a flat-model access and return the added latency in cycles
     /// (0 = L1 hit).
     pub fn access(&mut self, kind: AccessKind, addr: u64) -> u32 {
         let (l1, cfg) = match kind {
@@ -115,6 +319,163 @@ impl Hierarchy {
         };
         l1.fill(addr);
         latency
+    }
+
+    /// Would a non-blocking request of `kind` to `addr` be accepted right
+    /// now? Non-mutating (no LRU ticks, no statistics). A request is
+    /// inadmissible only when a needed MSHR file is full and the line is
+    /// not already in flight there; the bus never rejects (it only queues).
+    ///
+    /// The answer is only guaranteed for a [`Hierarchy::request`] made in
+    /// the same cycle, before any other request.
+    pub fn admissible(&self, kind: AccessKind, addr: u64) -> bool {
+        let (l1, l1_mshrs) = match kind {
+            AccessKind::Fetch => (&self.l1i, &self.l1i_mshrs),
+            AccessKind::Load | AccessKind::Store => (&self.l1d, &self.l1d_mshrs),
+        };
+        if l1.contains(addr) {
+            return true;
+        }
+        if !l1_mshrs.can_accept(l1.line_addr(addr)) {
+            return false;
+        }
+        if self.l2.contains(addr) {
+            return true;
+        }
+        self.l2_mshrs.can_accept(self.l2.line_addr(addr))
+    }
+
+    /// Perform a non-blocking access: probe the hierarchy, allocate or
+    /// merge MSHRs for misses, queue memory-bound primaries on the bus, and
+    /// return when the data will be available. `injected` is extra fault
+    /// latency added to the completion time (it does not occupy the bus).
+    ///
+    /// The probe/fill sequence is identical to [`Hierarchy::access`], so
+    /// tag state and [`HierarchyStats`] evolve the same way under both
+    /// models. Callers must gate on [`Hierarchy::admissible`] in the same
+    /// cycle; an inadmissible request panics in the MSHR file.
+    pub fn request(
+        &mut self,
+        kind: AccessKind,
+        addr: u64,
+        now: u64,
+        injected: u64,
+        waiter: Waiter,
+    ) -> MemRequest {
+        let (l1, l1_mshrs, l1_mshr_stats) = match kind {
+            AccessKind::Fetch => (&mut self.l1i, &mut self.l1i_mshrs, &mut self.mem_stats.l1i_mshr),
+            AccessKind::Load | AccessKind::Store => {
+                (&mut self.l1d, &mut self.l1d_mshrs, &mut self.mem_stats.l1d_mshr)
+            }
+        };
+        if l1.probe(addr) {
+            // Tag hit — real or forwarded from an in-flight fill. A fault
+            // that injects latency on a hit becomes a bare timed fill with
+            // no MSHR (it can never be rejected).
+            return MemRequest {
+                extra: 0,
+                fill_at: now + injected,
+                level: HitLevel::L1,
+                queue_delay: 0,
+            };
+        }
+        let l1_line = l1.line_addr(addr);
+        let (extra, level, fill_at, queue_delay);
+        if self.l2.probe(addr) {
+            extra = self.cfg.l2_hit_latency;
+            level = HitLevel::L2;
+            fill_at = now + u64::from(extra) + injected;
+            queue_delay = 0;
+        } else {
+            self.memory_accesses += 1;
+            self.l2.fill(addr);
+            extra = self.cfg.l2_hit_latency + self.cfg.memory_latency;
+            level = HitLevel::Memory;
+            let l2_line = self.l2.line_addr(addr);
+            if self.l2_mshrs.can_merge(l2_line) {
+                // Secondary miss at L2: no new bus transaction. The merged
+                // request is timed by its own probe, so the degenerate
+                // configuration stays flat-identical.
+                fill_at = now + u64::from(extra) + injected;
+                queue_delay = 0;
+            } else {
+                let (start, delay) = self.bus.enqueue(now);
+                fill_at = start + u64::from(extra) + injected;
+                queue_delay = delay;
+            }
+            self.l2_mshrs.allocate_or_merge(l2_line, fill_at, waiter);
+            self.mem_stats.l2_mshr = self.l2_mshrs.stats();
+        }
+        l1_mshrs.allocate_or_merge(l1_line, fill_at, waiter);
+        *l1_mshr_stats = l1_mshrs.stats();
+        self.mem_stats.bus = self.bus.stats();
+        l1.fill(addr);
+        MemRequest { extra, fill_at, level, queue_delay }
+    }
+
+    /// Can a committed store be accepted right now? Always true in instant
+    /// or unlimited write-buffer configurations.
+    pub fn wb_can_push(&self) -> bool {
+        self.nb.write_buffer_entries == 0
+            || self.write_buffer.len() < self.nb.write_buffer_entries as usize
+    }
+
+    /// Retire a committed store. In the degenerate configuration (no
+    /// entries, no drain limit) the store writes into the cache instantly —
+    /// same cycle, same call site as the flat model — and its attribution
+    /// is returned immediately. Otherwise it is queued and drained by
+    /// [`Hierarchy::step`]. Callers must gate on
+    /// [`Hierarchy::wb_can_push`].
+    pub fn push_store(&mut self, thread: usize, addr: u64, now: u64) -> Option<StoreDrain> {
+        if self.nb.write_buffer_entries == 0 && self.nb.write_buffer_drain_per_cycle == 0 {
+            // Instant drain. Must happen here, not in step(): commit runs
+            // before issue within a cycle, and deferring the cache
+            // mutation would reorder it against same-cycle loads.
+            let extra = self.access(AccessKind::Store, addr);
+            let _ = now;
+            return Some(StoreDrain {
+                thread,
+                level: HitLevel::from_flat_extra(extra, self.cfg.l2_hit_latency),
+            });
+        }
+        assert!(self.wb_can_push(), "store pushed into a full write buffer");
+        self.write_buffer.push_back((thread, addr));
+        self.mem_stats.wb_enqueued += 1;
+        None
+    }
+
+    /// Advance the non-blocking machinery one cycle: release MSHR entries
+    /// whose fills completed by `now`, drain the store write buffer (up to
+    /// the configured rate, stopping at the first store whose miss is
+    /// inadmissible), and sample occupancies. Returns the per-thread
+    /// attribution of stores drained this cycle.
+    pub fn step(&mut self, now: u64) -> Vec<StoreDrain> {
+        // Fill completions free MSHR entries before new work claims them.
+        // The simulator schedules its own wakeups analytically, so the
+        // waiter lists are dropped here.
+        let _ = self.l1i_mshrs.pop_due(now);
+        let _ = self.l1d_mshrs.pop_due(now);
+        let _ = self.l2_mshrs.pop_due(now);
+        let mut drained = Vec::new();
+        let max_drain = match self.nb.write_buffer_drain_per_cycle {
+            0 => usize::MAX,
+            n => n as usize,
+        };
+        while drained.len() < max_drain {
+            let Some(&(thread, addr)) = self.write_buffer.front() else { break };
+            if !self.admissible(AccessKind::Store, addr) {
+                break;
+            }
+            let req = self.request(AccessKind::Store, addr, now, 0, Waiter { thread, token: addr });
+            drained.push(StoreDrain { thread, level: req.level });
+            self.write_buffer.pop_front();
+            self.mem_stats.wb_drained += 1;
+        }
+        self.mem_stats.l1i_mshr_occupancy_sum += self.l1i_mshrs.in_flight() as u64;
+        self.mem_stats.l1d_mshr_occupancy_sum += self.l1d_mshrs.in_flight() as u64;
+        self.mem_stats.l2_mshr_occupancy_sum += self.l2_mshrs.in_flight() as u64;
+        self.mem_stats.wb_occupancy_sum += self.write_buffer.len() as u64;
+        drained
     }
 
     /// Would a load of `addr` hit in the L1 D-cache right now? Non-mutating.
@@ -143,19 +504,53 @@ impl Hierarchy {
         }
     }
 
-    /// Clear counters but keep cache contents (for warm-up handling).
+    /// Statistics of the non-blocking machinery (all zero under `Flat`).
+    pub fn mem_stats(&self) -> MemStats {
+        self.mem_stats
+    }
+
+    /// Occupancy snapshot for deadlock-diagnosis reports.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            l1i_mshrs_in_flight: self.l1i_mshrs.in_flight(),
+            l1i_mshr_capacity: self.l1i_mshrs.capacity(),
+            l1d_mshrs_in_flight: self.l1d_mshrs.in_flight(),
+            l1d_mshr_capacity: self.l1d_mshrs.capacity(),
+            l2_mshrs_in_flight: self.l2_mshrs.in_flight(),
+            l2_mshr_capacity: self.l2_mshrs.capacity(),
+            bus_next_free: self.bus.next_free(),
+            bus_cycles_per_transfer: self.bus.cycles_per_transfer(),
+            wb_occupancy: self.write_buffer.len(),
+            wb_capacity: self.nb.write_buffer_entries,
+        }
+    }
+
+    /// Clear counters but keep cache contents and in-flight miss state
+    /// (for warm-up handling: outstanding misses are machine state, not
+    /// statistics).
     pub fn reset_stats(&mut self) {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.l2.reset_stats();
         self.memory_accesses = 0;
+        self.l1i_mshrs.reset_stats();
+        self.l1d_mshrs.reset_stats();
+        self.l2_mshrs.reset_stats();
+        self.bus.reset_stats();
+        self.mem_stats = MemStats::default();
     }
 
-    /// Invalidate all levels and clear counters.
+    /// Invalidate all levels, drop in-flight miss and write-buffer state,
+    /// and clear counters.
     pub fn flush(&mut self) {
         self.l1i.flush();
         self.l1d.flush();
         self.l2.flush();
+        self.l1i_mshrs = MshrFile::new(self.nb.l1i_mshrs);
+        self.l1d_mshrs = MshrFile::new(self.nb.l1d_mshrs);
+        self.l2_mshrs = MshrFile::new(self.nb.l2_mshrs);
+        self.bus = MemoryBus::new(self.nb.bus_cycles_per_transfer);
+        self.write_buffer.clear();
         self.reset_stats();
     }
 }
@@ -255,5 +650,201 @@ mod tests {
         assert_eq!(h.stats(), before);
         h.access(AccessKind::Load, 0x77_0000);
         assert!(h.l1d_would_hit(0x77_0000));
+    }
+
+    // --- non-blocking model ---
+
+    fn nb_cfg(nb: NonBlockingConfig) -> HierarchyConfig {
+        HierarchyConfig { model: MemModel::NonBlocking(nb), ..HierarchyConfig::paper() }
+    }
+
+    fn w0() -> Waiter {
+        Waiter { thread: 0, token: 0 }
+    }
+
+    #[test]
+    fn degenerate_request_matches_flat_access_stream() {
+        let mut flat =
+            Hierarchy::new(HierarchyConfig { model: MemModel::Flat, ..Default::default() });
+        let mut nb = Hierarchy::new(nb_cfg(NonBlockingConfig::default()));
+        let accesses = [
+            (AccessKind::Load, 0x10_0000u64),
+            (AccessKind::Load, 0x10_0000),
+            (AccessKind::Fetch, 0x4000),
+            (AccessKind::Load, 0x4000),
+            (AccessKind::Store, 0x8000),
+            (AccessKind::Load, 0x8000),
+        ];
+        for (cycle, &(kind, addr)) in accesses.iter().enumerate() {
+            let now = cycle as u64 * 7;
+            let extra = flat.access(kind, addr);
+            assert!(nb.admissible(kind, addr));
+            let req = nb.request(kind, addr, now, 0, w0());
+            assert_eq!(req.extra, extra, "degenerate extra must match flat for {kind:?} {addr:#x}");
+            assert_eq!(req.fill_at, now + u64::from(extra));
+            assert_eq!(req.queue_delay, 0);
+        }
+        assert_eq!(flat.stats(), nb.stats(), "tag statistics must evolve identically");
+    }
+
+    #[test]
+    fn finite_bus_queues_memory_primaries() {
+        let nb = NonBlockingConfig { bus_cycles_per_transfer: 20, ..Default::default() };
+        let mut h = Hierarchy::new(nb_cfg(nb));
+        // Two cold misses to different L2 lines in the same cycle: the
+        // second queues behind the first.
+        let a = h.request(AccessKind::Load, 0x10_0000, 5, 0, w0());
+        let b = h.request(AccessKind::Load, 0x20_0000, 5, 0, w0());
+        assert_eq!(a.fill_at, 5 + 160);
+        assert_eq!(a.queue_delay, 0);
+        assert_eq!(b.fill_at, 25 + 160);
+        assert_eq!(b.queue_delay, 20);
+        assert_eq!(h.mem_stats().bus.transactions, 2);
+        assert_eq!(h.mem_stats().bus.queue_delay_sum, 20);
+    }
+
+    #[test]
+    fn l2_hits_skip_the_bus() {
+        let nb = NonBlockingConfig { bus_cycles_per_transfer: 50, ..Default::default() };
+        let cfg = HierarchyConfig {
+            l1d: CacheConfig::new(128, 1, 64),
+            model: MemModel::NonBlocking(nb),
+            ..HierarchyConfig::paper()
+        };
+        let mut h = Hierarchy::new(cfg);
+        h.request(AccessKind::Load, 0x0000, 0, 0, w0());
+        // Same L1D set, different L2 line: evicts 0x0 from L1D only.
+        h.request(AccessKind::Load, 0x0200, 0, 0, w0());
+        let req = h.request(AccessKind::Load, 0x0000, 400, 0, w0());
+        assert_eq!(req.level, HitLevel::L2);
+        assert_eq!(req.fill_at, 410, "an L2 hit never waits for the bus");
+        assert_eq!(h.mem_stats().bus.transactions, 2, "only the two cold misses used the bus");
+    }
+
+    #[test]
+    fn full_l1d_mshrs_make_misses_inadmissible_until_fill() {
+        let nb = NonBlockingConfig { l1d_mshrs: 1, ..Default::default() };
+        let mut h = Hierarchy::new(nb_cfg(nb));
+        assert!(h.admissible(AccessKind::Load, 0x10_0000));
+        let req = h.request(AccessKind::Load, 0x10_0000, 0, 0, w0());
+        assert!(
+            !h.admissible(AccessKind::Load, 0x20_0000),
+            "one MSHR, one miss in flight: a new line must stall"
+        );
+        assert!(
+            h.admissible(AccessKind::Load, 0x10_0000),
+            "the in-flight line itself stays admissible (tag forward)"
+        );
+        h.step(req.fill_at);
+        assert!(h.admissible(AccessKind::Load, 0x20_0000), "the fill freed the entry");
+    }
+
+    #[test]
+    fn instant_write_buffer_attributes_and_writes_through() {
+        let mut h = Hierarchy::new(nb_cfg(NonBlockingConfig::default()));
+        let drain = h.push_store(1, 0x8000, 3).expect("degenerate write buffer is instant");
+        assert_eq!(drain, StoreDrain { thread: 1, level: HitLevel::Memory });
+        assert_eq!(h.access(AccessKind::Load, 0x8000), 0, "store allocated into L1D");
+        assert_eq!(h.mem_stats().wb_enqueued, 0);
+    }
+
+    #[test]
+    fn finite_write_buffer_queues_and_drains_at_rate() {
+        let nb = NonBlockingConfig {
+            write_buffer_entries: 2,
+            write_buffer_drain_per_cycle: 1,
+            ..Default::default()
+        };
+        let mut h = Hierarchy::new(nb_cfg(nb));
+        assert!(h.push_store(0, 0x1000, 0).is_none());
+        assert!(h.push_store(1, 0x2000, 0).is_none());
+        assert!(!h.wb_can_push(), "two entries, two stores queued");
+        let d1 = h.step(1);
+        assert_eq!(d1.len(), 1, "drain rate is one store per cycle");
+        assert_eq!(d1[0].thread, 0, "FIFO order");
+        assert!(h.wb_can_push());
+        let d2 = h.step(2);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].thread, 1);
+        assert_eq!(h.mem_stats().wb_enqueued, 2);
+        assert_eq!(h.mem_stats().wb_drained, 2);
+    }
+
+    #[test]
+    fn drain_stalls_on_inadmissible_store_miss() {
+        let nb = NonBlockingConfig { l1d_mshrs: 1, write_buffer_entries: 4, ..Default::default() };
+        let mut h = Hierarchy::new(nb_cfg(nb));
+        // Occupy the only L1D MSHR with a load miss completing at 160.
+        let req = h.request(AccessKind::Load, 0x10_0000, 0, 0, w0());
+        h.push_store(0, 0x20_0000, 0);
+        assert!(h.step(1).is_empty(), "store miss cannot allocate an MSHR yet");
+        assert_eq!(h.snapshot().wb_occupancy, 1);
+        let drained = h.step(req.fill_at);
+        assert_eq!(drained.len(), 1, "fill freed the MSHR; the store drains");
+    }
+
+    #[test]
+    fn secondary_l2_miss_merges_without_second_bus_transaction() {
+        let nb = NonBlockingConfig { bus_cycles_per_transfer: 30, ..Default::default() };
+        // Tiny L1D so the line leaves L1 while the L2 line is in flight;
+        // L2 keeps lines resident, so evict via a fresh hierarchy trick:
+        // use two addresses in the same 512-byte L2 line but different
+        // 64-byte L1D lines.
+        let cfg = HierarchyConfig {
+            l1d: CacheConfig::new(128, 1, 64),
+            model: MemModel::NonBlocking(nb),
+            ..HierarchyConfig::paper()
+        };
+        let mut h = Hierarchy::new(cfg);
+        let a = h.request(AccessKind::Load, 0x10_0000, 0, 0, w0());
+        assert_eq!(a.level, HitLevel::Memory);
+        // 0x10_0040: same L2 line (512B), different L1D line (64B). The L2
+        // probe hits (eager fill), so this is an L2 hit, not a merge...
+        let b = h.request(AccessKind::Load, 0x10_0040, 0, 0, w0());
+        assert_eq!(b.level, HitLevel::L2, "eager L2 tag fill forwards the in-flight line");
+        assert_eq!(h.mem_stats().bus.transactions, 1);
+        assert_eq!(h.mem_stats().l1d_mshr.allocs, 2);
+    }
+
+    #[test]
+    fn mshr_merge_keeps_entry_until_last_fill() {
+        let nb = NonBlockingConfig { l1d_mshrs: 1, ..Default::default() };
+        let cfg = HierarchyConfig {
+            l1d: CacheConfig::new(128, 1, 64),
+            model: MemModel::NonBlocking(nb),
+            ..HierarchyConfig::paper()
+        };
+        let mut h = Hierarchy::new(cfg);
+        let a = h.request(AccessKind::Load, 0x0000, 0, 0, w0());
+        // Evict 0x0 from L1D while its MSHR is still in flight, then
+        // re-request it: the tag misses, but the line merges onto the
+        // in-flight entry (no second allocation).
+        h.evict_l1(AccessKind::Load, 0x0000);
+        assert!(h.admissible(AccessKind::Load, 0x0000));
+        let b = h.request(AccessKind::Load, 0x0000, 10, 0, w0());
+        assert_eq!(b.level, HitLevel::L2, "L2 retains the eagerly filled line");
+        assert_eq!(h.mem_stats().l1d_mshr.allocs, 1);
+        assert_eq!(h.mem_stats().l1d_mshr.merges, 1);
+        let _ = a;
+        assert_eq!(h.snapshot().l1d_mshrs_in_flight, 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_in_flight_state() {
+        let nb = NonBlockingConfig { l1d_mshrs: 2, ..Default::default() };
+        let mut h = Hierarchy::new(nb_cfg(nb));
+        h.request(AccessKind::Load, 0x10_0000, 0, 0, w0());
+        h.reset_stats();
+        assert_eq!(h.mem_stats(), MemStats::default());
+        assert_eq!(h.snapshot().l1d_mshrs_in_flight, 1, "in-flight misses are machine state");
+    }
+
+    #[test]
+    fn default_model_is_the_degenerate_nonblocking_one() {
+        // `HierarchyConfig.model` is `#[serde(default)]`, so configs
+        // serialized before the field existed resolve to this default —
+        // which must be timing-identical to the old flat model.
+        assert!(matches!(MemModel::default(), MemModel::NonBlocking(nb) if nb.is_degenerate()));
+        assert_eq!(HierarchyConfig::paper().model, MemModel::default());
     }
 }

@@ -7,15 +7,30 @@
 //! * Unified L2: 2 MB, 8-way, 512-byte lines, 10-cycle hit
 //! * Memory: 150-cycle access latency
 //!
-//! The model is a *latency* model: each access probes the hierarchy, updates
-//! replacement state and fills lines on the way back, and returns the number
-//! of cycles the access takes beyond the L1 pipeline latency already charged
-//! by the execution model. Outstanding-miss tracking (MSHRs) is not
-//! modelled; the original SimpleScalar cache module the paper's M-Sim builds
-//! on behaves the same way.
+//! Two timing models share the tag arrays:
+//!
+//! * The *flat* model ([`Hierarchy::access`]): each access probes the
+//!   hierarchy, updates replacement state, fills lines on the way back, and
+//!   synchronously returns the number of cycles the access takes beyond the
+//!   L1 pipeline latency already charged by the execution model — unlimited
+//!   concurrency, no contention (the SimpleScalar-style model M-Sim
+//!   inherits).
+//! * The *non-blocking* model ([`Hierarchy::request`]): misses allocate an
+//!   MSHR ([`mshr`]) at the missing level, secondary misses merge onto the
+//!   in-flight entry, memory-bound primaries queue on a finite-bandwidth
+//!   bus ([`bus`]), and committed stores drain through a write buffer. With
+//!   all resource limits at 0 (unlimited) it reproduces the flat model
+//!   bit-for-bit.
 
+pub mod bus;
 pub mod cache;
 pub mod hierarchy;
+pub mod mshr;
 
+pub use bus::{BusStats, MemoryBus};
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};
+pub use hierarchy::{
+    AccessKind, Hierarchy, HierarchyConfig, HierarchyStats, HitLevel, MemModel, MemRequest,
+    MemSnapshot, MemStats, NonBlockingConfig, StoreDrain,
+};
+pub use mshr::{Fill, MshrFile, MshrOutcome, MshrStats, Waiter};

@@ -1,0 +1,251 @@
+//! Miss Status Holding Registers: outstanding-miss tracking for one cache
+//! level.
+//!
+//! An MSHR entry tracks one in-flight line fill. A *primary* miss allocates
+//! an entry; a *secondary* miss to the same line merges onto the existing
+//! entry (no new entry, no new bus transaction) and only extends the entry's
+//! release time. When no entry is free and the line is not already in
+//! flight, the miss cannot be accepted and the requester must stall and
+//! retry — the simulator surfaces that as a diagnosable MSHR-full stall.
+//!
+//! Waiter tokens record who is sleeping on each fill, in arrival order.
+//! The cycle-level simulator schedules its own wakeup events analytically
+//! (see `bus.rs`), so it does not consume the tokens; they exist for unit
+//! tests and for deadlock-diagnosis snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a sleeper on an in-flight fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Waiter {
+    /// Requesting thread context.
+    pub thread: usize,
+    /// Caller-defined token (e.g. a trace index or PC).
+    pub token: u64,
+}
+
+/// How a miss was absorbed by the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A fresh entry was allocated; the caller owns the bus transaction.
+    Primary,
+    /// Merged onto an in-flight entry for the same line.
+    Merged,
+}
+
+/// A completed fill popped by [`MshrFile::pop_due`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fill {
+    /// Line address (already shifted; see the owning hierarchy level).
+    pub line: u64,
+    /// Cycle the fill completed.
+    pub fill_at: u64,
+    /// Sleepers in arrival order (primary first).
+    pub waiters: Vec<Waiter>,
+}
+
+/// Running statistics for one MSHR file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrStats {
+    /// Primary misses that allocated an entry.
+    pub allocs: u64,
+    /// Secondary misses merged onto an in-flight entry.
+    pub merges: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    line: u64,
+    fill_at: u64,
+    alloc_order: u64,
+    waiters: Vec<Waiter>,
+}
+
+/// The MSHR file of a single cache level.
+///
+/// `entries == 0` means unlimited (the degenerate configuration used for
+/// flat-model equivalence): every miss is accepted.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: u32,
+    in_flight: Vec<Entry>,
+    next_alloc_order: u64,
+    stats: MshrStats,
+}
+
+impl MshrFile {
+    /// Build an empty file with `entries` registers (0 = unlimited).
+    pub fn new(entries: u32) -> Self {
+        MshrFile {
+            entries,
+            in_flight: Vec::new(),
+            next_alloc_order: 0,
+            stats: MshrStats::default(),
+        }
+    }
+
+    /// Would a miss on `line` be accepted right now? Non-mutating.
+    pub fn can_accept(&self, line: u64) -> bool {
+        self.entries == 0 || self.can_merge(line) || self.in_flight.len() < self.entries as usize
+    }
+
+    /// Is `line` already in flight (so a new miss would merge rather than
+    /// allocate)? Non-mutating.
+    pub fn can_merge(&self, line: u64) -> bool {
+        self.in_flight.iter().any(|e| e.line == line)
+    }
+
+    /// Record a miss on `line` completing at `fill_at`.
+    ///
+    /// Panics if the miss is not admissible — callers must gate on
+    /// [`can_accept`](Self::can_accept) first (the simulator checks
+    /// admissibility and the allocation in the same loop iteration, so the
+    /// answer cannot go stale).
+    pub fn allocate_or_merge(&mut self, line: u64, fill_at: u64, waiter: Waiter) -> MshrOutcome {
+        if let Some(e) = self.in_flight.iter_mut().find(|e| e.line == line) {
+            // Secondary miss: the merged request is timed by its own probe;
+            // the entry just stays live until the last sleeper's fill.
+            e.fill_at = e.fill_at.max(fill_at);
+            e.waiters.push(waiter);
+            self.stats.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        assert!(
+            self.entries == 0 || self.in_flight.len() < self.entries as usize,
+            "MSHR allocation without an admissibility check"
+        );
+        self.in_flight.push(Entry {
+            line,
+            fill_at,
+            alloc_order: self.next_alloc_order,
+            waiters: vec![waiter],
+        });
+        self.next_alloc_order += 1;
+        self.stats.allocs += 1;
+        MshrOutcome::Primary
+    }
+
+    /// Release every entry whose fill completed by `now`, in (fill time,
+    /// allocation order) — the order fills physically return.
+    pub fn pop_due(&mut self, now: u64) -> Vec<Fill> {
+        let mut due: Vec<Entry> = Vec::new();
+        self.in_flight.retain_mut(|e| {
+            if e.fill_at <= now {
+                due.push(Entry {
+                    line: e.line,
+                    fill_at: e.fill_at,
+                    alloc_order: e.alloc_order,
+                    waiters: std::mem::take(&mut e.waiters),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|e| (e.fill_at, e.alloc_order));
+        due.into_iter()
+            .map(|e| Fill { line: e.line, fill_at: e.fill_at, waiters: e.waiters })
+            .collect()
+    }
+
+    /// Entries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Line addresses currently in flight with their fill times (for
+    /// diagnosis snapshots), in allocation order.
+    pub fn in_flight_lines(&self) -> Vec<(u64, u64)> {
+        self.in_flight.iter().map(|e| (e.line, e.fill_at)).collect()
+    }
+
+    /// Configured capacity (0 = unlimited).
+    pub fn capacity(&self) -> u32 {
+        self.entries
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+
+    /// Clear counters but keep in-flight entries (warm-up handling: the
+    /// misses themselves are machine state, not statistics).
+    pub fn reset_stats(&mut self) {
+        self.stats = MshrStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(thread: usize, token: u64) -> Waiter {
+        Waiter { thread, token }
+    }
+
+    #[test]
+    fn secondary_miss_merges_without_new_entry() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate_or_merge(0x10, 160, w(0, 1)), MshrOutcome::Primary);
+        assert_eq!(m.allocate_or_merge(0x10, 40, w(1, 2)), MshrOutcome::Merged);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.stats(), MshrStats { allocs: 1, merges: 1 });
+        // The merge with an earlier completion does not shorten the entry.
+        let fills = m.pop_due(159);
+        assert!(fills.is_empty());
+        let fills = m.pop_due(160);
+        assert_eq!(fills.len(), 1);
+        assert_eq!(fills[0].waiters, vec![w(0, 1), w(1, 2)], "waiters kept in arrival order");
+    }
+
+    #[test]
+    fn merge_extends_release_to_latest_fill() {
+        let mut m = MshrFile::new(1);
+        m.allocate_or_merge(0x20, 100, w(0, 1));
+        m.allocate_or_merge(0x20, 250, w(0, 2));
+        assert!(m.pop_due(200).is_empty(), "entry must stay live for the later sleeper");
+        assert_eq!(m.pop_due(250).len(), 1);
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines_but_accepts_merges() {
+        let mut m = MshrFile::new(2);
+        m.allocate_or_merge(0x1, 100, w(0, 1));
+        m.allocate_or_merge(0x2, 100, w(0, 2));
+        assert!(!m.can_accept(0x3), "no free entry and line not in flight");
+        assert!(m.can_accept(0x1), "merge onto an in-flight line is always admissible");
+        // After the fills drain, capacity frees up.
+        m.pop_due(100);
+        assert!(m.can_accept(0x3));
+    }
+
+    #[test]
+    fn zero_entries_means_unlimited() {
+        let mut m = MshrFile::new(0);
+        for line in 0..64 {
+            assert!(m.can_accept(line));
+            assert_eq!(m.allocate_or_merge(line, 10, w(0, line)), MshrOutcome::Primary);
+        }
+        assert_eq!(m.in_flight(), 64);
+    }
+
+    #[test]
+    fn fills_pop_in_fill_time_then_allocation_order() {
+        let mut m = MshrFile::new(0);
+        m.allocate_or_merge(0xa, 50, w(0, 0)); // later fill, earlier alloc
+        m.allocate_or_merge(0xb, 20, w(0, 1));
+        m.allocate_or_merge(0xc, 50, w(0, 2)); // ties with 0xa on time
+        let fills = m.pop_due(60);
+        let lines: Vec<u64> = fills.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![0xb, 0xa, 0xc]);
+    }
+
+    #[test]
+    #[should_panic(expected = "admissibility")]
+    fn unchecked_allocation_on_a_full_file_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate_or_merge(0x1, 10, w(0, 0));
+        m.allocate_or_merge(0x2, 10, w(0, 1));
+    }
+}

@@ -52,6 +52,40 @@ pub struct ThreadCounters {
     /// Synthetic wrong-path instructions fetched after mispredictions
     /// (never committed; squashed at branch resolution).
     pub wrong_path_fetched: u64,
+    /// Data-side L1D hits attributed to this thread (loads at issue plus
+    /// committed stores when they drain into the cache).
+    #[serde(default)]
+    pub l1d_hits: u64,
+    /// Data-side L1D misses attributed to this thread.
+    #[serde(default)]
+    pub l1d_misses: u64,
+    /// Of the L1D misses, those serviced by the unified L2.
+    #[serde(default)]
+    pub l2_hits: u64,
+    /// Of the L1D misses, those that went to main memory.
+    #[serde(default)]
+    pub l2_misses: u64,
+    /// Sum over cycles with at least one of this thread's memory misses
+    /// outstanding of the number outstanding — numerator of the thread's
+    /// memory-level parallelism.
+    #[serde(default)]
+    pub mlp_sum: u64,
+    /// Cycles with at least one of this thread's memory misses outstanding
+    /// — denominator of the thread's memory-level parallelism.
+    #[serde(default)]
+    pub mem_busy_cycles: u64,
+    /// Ready loads whose issue was deferred because the L1D MSHR file (or
+    /// the L2's, for a memory-bound miss) could not accept the miss.
+    #[serde(default)]
+    pub mshr_full_defers: u64,
+    /// Cycles this thread's fetch stalled because the I-side miss could not
+    /// allocate an MSHR.
+    #[serde(default)]
+    pub fetch_mshr_stall_cycles: u64,
+    /// Cycles this thread's commit was blocked by a full store write
+    /// buffer.
+    #[serde(default)]
+    pub wb_full_stall_cycles: u64,
 }
 
 impl ThreadCounters {
@@ -82,6 +116,26 @@ impl ThreadCounters {
     pub fn dispatch_stall_cycles(&self) -> u64 {
         self.ndi_blocked_cycles + self.iq_full_cycles + self.rob_full_cycles + self.lsq_full_cycles
     }
+
+    /// Memory-level parallelism: mean outstanding memory misses over the
+    /// cycles in which this thread had at least one outstanding.
+    pub fn mlp(&self) -> f64 {
+        if self.mem_busy_cycles == 0 {
+            0.0
+        } else {
+            self.mlp_sum as f64 / self.mem_busy_cycles as f64
+        }
+    }
+
+    /// Data-side L1D miss rate attributed to this thread.
+    pub fn l1d_miss_rate(&self) -> f64 {
+        let accesses = self.l1d_hits + self.l1d_misses;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / accesses as f64
+        }
+    }
 }
 
 /// Injected-fault and recovery counters (fault-injection runs only; all
@@ -110,6 +164,53 @@ impl FaultCounters {
             + self.issue_defers
             + self.cache_extra_injected
             + self.predictor_flushes_injected
+    }
+}
+
+/// Non-blocking memory-model counters (all zero under the flat model and
+/// largely zero under the degenerate non-blocking configuration, whose
+/// unlimited resources never queue or reject). Synced once per cycle from
+/// the hierarchy's own statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCounters {
+    /// L1I MSHR entries allocated (primary fetch misses).
+    pub l1i_mshr_allocs: u64,
+    /// Secondary fetch misses merged onto an in-flight L1I entry.
+    pub l1i_mshr_merges: u64,
+    /// L1D MSHR entries allocated (primary load/store misses).
+    pub l1d_mshr_allocs: u64,
+    /// Secondary load/store misses merged onto an in-flight L1D entry.
+    pub l1d_mshr_merges: u64,
+    /// L2 MSHR entries allocated (memory-bound primaries).
+    pub l2_mshr_allocs: u64,
+    /// Secondary L2 misses merged onto an in-flight L2 entry.
+    pub l2_mshr_merges: u64,
+    /// Transactions that went over the memory bus.
+    pub bus_transactions: u64,
+    /// Total cycles transactions waited for the bus.
+    pub bus_queue_delay_sum: u64,
+    /// Sum over cycles of in-flight L1I MSHR entries.
+    pub l1i_mshr_occupancy_sum: u64,
+    /// Sum over cycles of in-flight L1D MSHR entries.
+    pub l1d_mshr_occupancy_sum: u64,
+    /// Sum over cycles of in-flight L2 MSHR entries.
+    pub l2_mshr_occupancy_sum: u64,
+    /// Stores accepted into the commit-time write buffer.
+    pub wb_enqueued: u64,
+    /// Stores drained from the write buffer into the cache.
+    pub wb_drained: u64,
+    /// Sum over cycles of write-buffer occupancy.
+    pub wb_occupancy_sum: u64,
+}
+
+impl MemCounters {
+    /// Mean bus queue delay per transaction.
+    pub fn mean_bus_queue_delay(&self) -> f64 {
+        if self.bus_transactions == 0 {
+            0.0
+        } else {
+            self.bus_queue_delay_sum as f64 / self.bus_transactions as f64
+        }
     }
 }
 
@@ -147,6 +248,9 @@ pub struct SimCounters {
     /// Injected-fault and recovery counters (see [`FaultCounters`]).
     #[serde(default)]
     pub faults: FaultCounters,
+    /// Non-blocking memory-model counters (see [`MemCounters`]).
+    #[serde(default)]
+    pub mem: MemCounters,
 }
 
 impl SimCounters {
@@ -295,6 +399,31 @@ mod tests {
         let t0 = ThreadCounters::default();
         assert_eq!(t0.mispredict_rate(), 0.0);
         assert_eq!(t0.mean_iq_residency(), 0.0);
+    }
+
+    #[test]
+    fn mlp_and_miss_rate_helpers() {
+        let t = ThreadCounters {
+            l1d_hits: 90,
+            l1d_misses: 10,
+            l2_hits: 6,
+            l2_misses: 4,
+            mlp_sum: 30,
+            mem_busy_cycles: 12,
+            ..Default::default()
+        };
+        assert!((t.mlp() - 2.5).abs() < 1e-12);
+        assert!((t.l1d_miss_rate() - 0.1).abs() < 1e-12);
+        let t0 = ThreadCounters::default();
+        assert_eq!(t0.mlp(), 0.0);
+        assert_eq!(t0.l1d_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn mem_counter_bus_delay_mean() {
+        let m = MemCounters { bus_transactions: 4, bus_queue_delay_sum: 10, ..Default::default() };
+        assert!((m.mean_bus_queue_delay() - 2.5).abs() < 1e-12);
+        assert_eq!(MemCounters::default().mean_bus_queue_delay(), 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 pub mod counters;
 pub mod metrics;
 
-pub use counters::{FaultCounters, SimCounters, ThreadCounters};
+pub use counters::{FaultCounters, MemCounters, SimCounters, ThreadCounters};
 pub use metrics::{
     fairness_hmean_weighted_ipc, geometric_mean, harmonic_mean, speedup, throughput_ipc,
 };

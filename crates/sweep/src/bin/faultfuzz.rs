@@ -3,7 +3,10 @@
 //! Runs many short randomized simulations with one (or all) fault classes
 //! enabled and checks that the pipeline always recovers: every run must end
 //! in `TargetReached` or `AllFinished` — a single `Wedged` outcome fails the
-//! fuzz. Periodically it also replays a run from its recorded fault log and
+//! fuzz. Half the scenarios run under a randomized finite non-blocking
+//! memory configuration (few MSHRs, a slow bus, a small write buffer) so
+//! faults also land while memory resources are under pressure.
+//! Periodically it also replays a run from its recorded fault log and
 //! asserts the replay is bit-identical (same fault log, same counters),
 //! which is the determinism contract of `smt_core::faults`.
 //!
@@ -20,6 +23,7 @@ use std::io::Write as _;
 use smt_core::{
     DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, RunOutcome, SimConfig, Simulator,
 };
+use smt_mem::{MemModel, NonBlockingConfig};
 use smt_sweep::thread_seed;
 use smt_workload::{benchmark, benchmark_names, InstGenerator, SyntheticGen};
 
@@ -61,6 +65,10 @@ struct Scenario {
     commit_target: u64,
     workload_seed: u64,
     fault_seed: u64,
+    /// Finite non-blocking memory configuration for half the scenarios, so
+    /// faults also land while MSHRs, the bus, and the write buffer are
+    /// under pressure; `None` runs the flat-latency model.
+    mem: Option<NonBlockingConfig>,
 }
 
 impl Scenario {
@@ -69,12 +77,26 @@ impl Scenario {
         let iqs = [8usize, 16, 32, 48];
         let benches =
             (0..2).map(|_| names[rng.below(names.len() as u64) as usize].to_string()).collect();
+        let mem = if rng.below(2) == 1 {
+            let mshrs = [1u32, 2, 4][rng.below(3) as usize];
+            Some(NonBlockingConfig {
+                l1i_mshrs: mshrs,
+                l1d_mshrs: mshrs,
+                l2_mshrs: mshrs * 2,
+                bus_cycles_per_transfer: [0u32, 4, 16][rng.below(3) as usize],
+                write_buffer_entries: [0u32, 2][rng.below(2) as usize],
+                write_buffer_drain_per_cycle: 1,
+            })
+        } else {
+            None
+        };
         Scenario {
             benches,
             iq_size: iqs[rng.below(iqs.len() as u64) as usize],
             commit_target: 200 + rng.below(201),
             workload_seed: rng.next(),
             fault_seed: rng.next(),
+            mem,
         }
     }
 
@@ -85,6 +107,9 @@ impl Scenario {
         cfg.deadlock = DeadlockMode::Dab { size: 2 };
         cfg.max_cycles = 2_000_000;
         cfg.faults = faults;
+        if let Some(nb) = self.mem {
+            cfg.hierarchy.model = MemModel::NonBlocking(nb);
+        }
         cfg
     }
 
@@ -102,9 +127,25 @@ impl Scenario {
     }
 
     fn describe(&self) -> String {
+        let mem = match self.mem {
+            Some(nb) => format!(
+                "mshrs={}/{}/{} bus={} wb={}",
+                nb.l1i_mshrs,
+                nb.l1d_mshrs,
+                nb.l2_mshrs,
+                nb.bus_cycles_per_transfer,
+                nb.write_buffer_entries
+            ),
+            None => "flat".to_string(),
+        };
         format!(
-            "benches={:?} iq={} target={} workload_seed={:#x} fault_seed={:#x}",
-            self.benches, self.iq_size, self.commit_target, self.workload_seed, self.fault_seed
+            "benches={:?} iq={} target={} workload_seed={:#x} fault_seed={:#x} mem={}",
+            self.benches,
+            self.iq_size,
+            self.commit_target,
+            self.workload_seed,
+            self.fault_seed,
+            mem
         )
     }
 }

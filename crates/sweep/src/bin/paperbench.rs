@@ -8,7 +8,7 @@
 //!
 //! Experiments:
 //!   fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
-//!   stalls | stallattr | hdi | residency | filter | table1 | mixes | all
+//!   stalls | stallattr | hdi | residency | filter | table1 | mixes | mlp | all
 //!
 //! `--target` sets the per-thread commit budget (default 20000; the paper
 //! used 100M — see DESIGN.md §3 on scaling). `all` regenerates everything.
@@ -27,7 +27,7 @@ use std::io::Write as _;
 fn usage() -> ! {
     eprintln!(
         "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|stallattr|hdi|\
-         residency|filter|table1|mixes|all> [--target N] [--seed S] [--json FILE] \
+         residency|filter|table1|mixes|mlp|all> [--target N] [--seed S] [--json FILE] \
          [--journal FILE] [--budget SECS]"
     );
     std::process::exit(2);
@@ -150,6 +150,11 @@ fn main() {
         "filter" => {
             sections.push(("filter".into(), report::render_filter(exp::filter_gain(&db, params))))
         }
+        "mlp" => {
+            let rows = exp::mlp_contention(params);
+            data.push(("mlp".into(), serde_json::json!(rows)));
+            sections.push(("mlp".into(), report::render_mlp(&rows)));
+        }
         "table1" => sections.push(("table1".into(), table1())),
         "mixes" => sections.push(("mixes".into(), mixes_tables())),
         "classify" => {
@@ -227,6 +232,9 @@ fn main() {
                 "wrongpath".into(),
                 report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
             ));
+            let mlp_rows = exp::mlp_contention(params);
+            data.push(("mlp".into(), serde_json::json!(mlp_rows)));
+            sections.push(("mlp".into(), report::render_mlp(&mlp_rows)));
         }
         _ => usage(),
     }

@@ -265,6 +265,21 @@ pub struct StallAttributionRow {
     pub lsq_full_cycles: u64,
     /// Sum of the four attributions above.
     pub dispatch_stall_cycles: u64,
+    /// Data-side L1 hits.
+    #[serde(default)]
+    pub l1d_hits: u64,
+    /// Data-side L1 misses.
+    #[serde(default)]
+    pub l1d_misses: u64,
+    /// Data-side L2 hits.
+    #[serde(default)]
+    pub l2_hits: u64,
+    /// Data-side L2 misses (main-memory accesses).
+    #[serde(default)]
+    pub l2_misses: u64,
+    /// Mean memory-level parallelism over cycles with a miss outstanding.
+    #[serde(default)]
+    pub mlp: f64,
 }
 
 /// Per-stage stall attribution for one smoke run: where did each thread's
@@ -304,6 +319,11 @@ pub fn stall_attribution(db: &ResultsDb, p: ExpParams) -> StallAttribution {
             rob_full_cycles: tc.rob_full_cycles,
             lsq_full_cycles: tc.lsq_full_cycles,
             dispatch_stall_cycles: tc.dispatch_stall_cycles(),
+            l1d_hits: tc.l1d_hits,
+            l1d_misses: tc.l1d_misses,
+            l2_hits: tc.l2_hits,
+            l2_misses: tc.l2_misses,
+            mlp: tc.mlp(),
         })
         .collect();
     StallAttribution {
@@ -638,6 +658,83 @@ pub fn hetero_comparison(p: ExpParams) -> Vec<HeteroRow> {
         .collect()
 }
 
+/// One row of the MSHR × bus-bandwidth contention study (DESIGN.md §7):
+/// how finite memory-level-parallelism resources shift the traditional vs
+/// 2OP_BLOCK+OOO comparison. The paper's machine assumes unlimited
+/// outstanding misses; this study bounds them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpRow {
+    /// Workload label.
+    pub workload: String,
+    /// Scheduler.
+    pub policy: String,
+    /// L1D (and L2) MSHR entries, 0 = unlimited.
+    pub mshrs: u32,
+    /// Memory-bus cycles per transfer, 0 = infinite bandwidth.
+    pub bus: u32,
+    /// Measured throughput IPC (zero if the run wedged).
+    pub ipc: f64,
+    /// Whole-machine mean MLP over cycles with any miss outstanding.
+    pub mlp: f64,
+    /// Issue grants revoked because every MSHR was busy.
+    pub mshr_defers: u64,
+    /// Mean cycles each memory-bus transaction queued.
+    pub bus_queue_delay: f64,
+    /// Deadlock summary if this configuration wedged.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wedge: Option<String>,
+}
+
+/// Sweep MSHR count × bus bandwidth under the traditional and OOO-dispatch
+/// schedulers on a 2-thread and a 4-thread mix.
+pub fn mlp_contention(p: ExpParams) -> Vec<MlpRow> {
+    use rayon::prelude::*;
+    use smt_core::SimConfig;
+    use smt_mem::{MemModel, NonBlockingConfig};
+
+    let workloads: [(&str, &Mix); 2] = [
+        ("2T 2LOW (Mix 1)", &mixes_for(MixTable::TwoThread)[0]),
+        ("4T 2LOW+2HIGH (Mix 7)", &mixes_for(MixTable::FourThread)[6]),
+    ];
+    let mut jobs = Vec::new();
+    for (label, mix) in workloads {
+        for mshrs in [1u32, 4, 0] {
+            for bus in [0u32, 8] {
+                for policy in [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlockOoo] {
+                    let spec = RunSpec::new(&mix.benchmarks, 64, policy, p.commit_target, p.seed);
+                    let mut cfg = SimConfig::paper(64, policy);
+                    cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+                        l1d_mshrs: mshrs,
+                        l2_mshrs: mshrs.saturating_mul(2),
+                        bus_cycles_per_transfer: bus,
+                        ..NonBlockingConfig::default()
+                    });
+                    jobs.push((label.to_string(), mshrs, bus, policy, spec, cfg));
+                }
+            }
+        }
+    }
+    jobs.into_par_iter()
+        .map(|(workload, mshrs, bus, policy, spec, cfg)| {
+            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+            let c = &rec.result.counters;
+            let busy: u64 = c.threads.iter().map(|t| t.mem_busy_cycles).sum();
+            let mlp_sum: u64 = c.threads.iter().map(|t| t.mlp_sum).sum();
+            MlpRow {
+                workload,
+                policy: policy.name().to_string(),
+                mshrs,
+                bus,
+                ipc: rec.result.ipc,
+                mlp: if busy == 0 { 0.0 } else { mlp_sum as f64 / busy as f64 },
+                mshr_defers: c.threads.iter().map(|t| t.mshr_full_defers).sum(),
+                bus_queue_delay: c.mem.mean_bus_queue_delay(),
+                wedge: rec.wedge,
+            }
+        })
+        .collect()
+}
+
 /// Sensitivity of Figure 1's headline points to wrong-path execution: the
 /// same 2OP_BLOCK-vs-traditional speedups with synthetic wrong-path
 /// fetching enabled (execution-driven style) instead of fetch gating.
@@ -903,6 +1000,24 @@ mod tests {
         let dab: Vec<f64> = rows.iter().filter(|r| r.knob == "dab_size").map(|r| r.ipc).collect();
         let (min, max) = dab.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         assert!(max / min < 1.15, "DAB size should barely matter: {dab:?}");
+    }
+
+    #[test]
+    fn mlp_contention_covers_matrix_without_wedges() {
+        let rows = mlp_contention(tiny());
+        assert_eq!(rows.len(), 24);
+        assert!(rows.iter().all(|r| r.wedge.is_none() && r.ipc > 0.0));
+        // A single MSHR must register pressure on the memory-heavy mixes.
+        assert!(rows.iter().filter(|r| r.mshrs == 1).any(|r| r.mshr_defers > 0));
+        // The finite bus must actually queue transactions somewhere.
+        assert!(rows.iter().filter(|r| r.bus > 0).any(|r| r.bus_queue_delay > 0.0));
+    }
+
+    #[test]
+    fn stall_attribution_carries_memory_counters() {
+        let db = ResultsDb::new();
+        let a = stall_attribution(&db, tiny());
+        assert!(a.threads.iter().any(|r| r.l1d_hits + r.l1d_misses > 0));
     }
 
     #[test]

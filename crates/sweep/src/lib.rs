@@ -11,7 +11,10 @@ pub mod report;
 pub mod runner;
 
 pub use db::ResultsDb;
-pub use runner::{run_spec, thread_seed, RunResult, RunSpec};
+pub use runner::{
+    run_spec, run_spec_with_config, run_spec_with_config_recorded, thread_seed,
+    try_run_spec_with_config, RecordedRun, RunResult, RunSpec,
+};
 
 /// The IQ sizes swept by the paper's evaluation (Figures 1, 3–8).
 pub const IQ_SIZES: [usize; 5] = [32, 48, 64, 96, 128];

@@ -1,0 +1,80 @@
+//! Sweep MSHR entries and memory-bus bandwidth under the non-blocking
+//! memory model and watch memory-level parallelism (MLP) respond — the
+//! resource axis the paper's flat-latency memory model abstracts away.
+//!
+//! With one MSHR per level every cache miss serialises, MLP pins near 1,
+//! and both schedulers crawl. As the MSHR file grows, memory-bound threads
+//! expose overlapping misses, MLP climbs, and out-of-order dispatch pulls
+//! ahead of the traditional scheduler because it can keep feeding the
+//! memory system while an NDI blocks the in-order dispatch point.
+//!
+//! ```sh
+//! cargo run --release --example mlp_study
+//! ```
+
+use smt_sim::core::{DispatchPolicy, SimConfig};
+use smt_sim::mem::{MemModel, NonBlockingConfig};
+use smt_sim::sweep::{run_spec_with_config_recorded, RunSpec};
+
+const IQ: usize = 64;
+const TARGET: u64 = 20_000;
+
+fn run(benches: &[&str], policy: DispatchPolicy, mshrs: u32, bus: u32) -> (f64, f64, u64) {
+    let spec = RunSpec::new(benches, IQ, policy, TARGET, 1);
+    let mut cfg = SimConfig::paper(IQ, policy);
+    cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+        l1d_mshrs: mshrs,
+        l2_mshrs: mshrs.saturating_mul(2),
+        bus_cycles_per_transfer: bus,
+        ..NonBlockingConfig::default()
+    });
+    let rec = run_spec_with_config_recorded(&spec, cfg);
+    if let Some(w) = rec.wedge {
+        eprintln!("  WEDGED ({benches:?} mshrs={mshrs} bus={bus}): {w}");
+    }
+    let c = &rec.result.counters;
+    let busy: u64 = c.threads.iter().map(|t| t.mem_busy_cycles).sum();
+    let mlp_sum: u64 = c.threads.iter().map(|t| t.mlp_sum).sum();
+    let mlp = if busy == 0 { 0.0 } else { mlp_sum as f64 / busy as f64 };
+    let defers: u64 = c.threads.iter().map(|t| t.mshr_full_defers).sum();
+    (rec.result.ipc, mlp, defers)
+}
+
+fn main() {
+    let knob = |v: u32| if v == 0 { "inf".to_string() } else { v.to_string() };
+    for (label, benches) in [
+        ("2 threads, memory-bound (art + swim)", &["art", "swim"][..]),
+        ("4 threads, mixed (art, swim, gcc, crafty)", &["art", "swim", "gcc", "crafty"][..]),
+    ] {
+        println!("== {label} ==");
+        println!(
+            "{:<8}{:<6}{:>14}{:>14}{:>10}{:>8}{:>12}",
+            "mshrs", "bus", "trad IPC", "ooo IPC", "ooo gain", "MLP", "defers"
+        );
+        for mshrs in [1u32, 4, 8, 0] {
+            for bus in [0u32, 8] {
+                let (trad, _, _) = run(benches, DispatchPolicy::Traditional, mshrs, bus);
+                let (ooo, mlp, defers) = run(benches, DispatchPolicy::TwoOpBlockOoo, mshrs, bus);
+                let gain = if trad > 0.0 { (ooo / trad - 1.0) * 100.0 } else { 0.0 };
+                println!(
+                    "{:<8}{:<6}{:>14.3}{:>14.3}{:>9.1}%{:>8.2}{:>12}",
+                    knob(mshrs),
+                    knob(bus),
+                    trad,
+                    ooo,
+                    gain,
+                    mlp,
+                    defers
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "MLP rises with the MSHR budget and the OOO-dispatch advantage moves with it:\n\
+         starved MSHRs serialise every miss (nothing to overlap, schedulers converge),\n\
+         while a deep MSHR file lets out-of-order dispatch keep misses in flight past\n\
+         a blocked NDI. A slow bus (8 cycles/transfer) adds queueing on top; see\n\
+         DESIGN.md §7 and `paperbench mlp` for the journaled version of this sweep."
+    );
+}

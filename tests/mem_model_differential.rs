@@ -1,0 +1,93 @@
+//! Differential tests for the non-blocking memory model.
+//!
+//! The degenerate non-blocking configuration — unlimited MSHRs at every
+//! level, an infinitely fast bus, and an instant store write buffer — must
+//! be *bit-for-bit* equivalent to the legacy flat-latency model: identical
+//! cycle counts, identical per-thread counters, identical cache statistics,
+//! identical fault streams. The two models run through entirely separate
+//! simulator code paths, so this equivalence is a genuine check that the
+//! MSHR/bus machinery only changes timing when configured to.
+
+use smt_sim::core::{DispatchPolicy, FaultClass, FaultConfig, FetchPolicy, SimConfig};
+use smt_sim::mem::MemModel;
+use smt_sim::stats::SimCounters;
+use smt_sim::sweep::{run_spec_with_config, RunSpec};
+
+/// Run a spec under the flat model and the degenerate non-blocking model
+/// and return both counter sets, with the non-blocking-only `mem` section
+/// zeroed on each side (the flat model never populates it).
+fn run_both(spec: &RunSpec, mut cfg: SimConfig) -> (u64, SimCounters, u64, SimCounters) {
+    cfg.hierarchy.model = MemModel::Flat;
+    let flat = run_spec_with_config(spec, cfg.clone());
+    cfg.hierarchy.model = MemModel::default();
+    assert!(
+        matches!(cfg.hierarchy.model, MemModel::NonBlocking(nb) if nb.is_degenerate()),
+        "the default model must be the degenerate non-blocking one"
+    );
+    let nb = run_spec_with_config(spec, cfg);
+    let mut fc = flat.counters.clone();
+    let mut nc = nb.counters.clone();
+    fc.mem = Default::default();
+    nc.mem = Default::default();
+    (flat.cycles, fc, nb.cycles, nc)
+}
+
+#[test]
+fn degenerate_nonblocking_matches_flat_bit_for_bit() {
+    for (benches, policy) in [
+        (&["twolf", "mesa"][..], DispatchPolicy::TwoOpBlockOoo),
+        (&["gcc", "art"][..], DispatchPolicy::Traditional),
+        (&["gcc", "art", "crafty", "mesa"][..], DispatchPolicy::TwoOpBlock),
+    ] {
+        let spec = RunSpec::new(benches, 48, policy, 3_000, 7).with_warmup(500);
+        let cfg = SimConfig::paper(48, policy);
+        let (fcyc, fc, ncyc, nc) = run_both(&spec, cfg);
+        assert_eq!(fcyc, ncyc, "{benches:?}/{policy:?}: cycle counts diverge");
+        assert_eq!(fc, nc, "{benches:?}/{policy:?}: counters diverge");
+    }
+}
+
+#[test]
+fn degenerate_nonblocking_matches_flat_under_stall_and_flush_policies() {
+    for fetch_policy in [FetchPolicy::Stall, FetchPolicy::Flush] {
+        let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 11);
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        let (fcyc, fc, ncyc, nc) = run_both(&spec, cfg);
+        assert_eq!(fcyc, ncyc, "{fetch_policy:?}: cycle counts diverge");
+        assert_eq!(fc, nc, "{fetch_policy:?}: counters diverge");
+    }
+}
+
+#[test]
+fn degenerate_nonblocking_matches_flat_with_cache_faults_injected() {
+    // The CacheMissExtra fault path must fire identically through the MSHR
+    // machinery: same number of injections (site hashes are keyed on
+    // cycle/thread/trace_idx, which the equivalence above keeps aligned)
+    // and same resulting timing.
+    let spec = RunSpec::new(&["gcc", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_500, 3);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    // No budget cap: RunSpec's default warm-up would exhaust it before the
+    // measurement window opens.
+    let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 41);
+    faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 300_000;
+    cfg.faults = faults;
+    let (fcyc, fc, ncyc, nc) = run_both(&spec, cfg);
+    assert!(fc.faults.cache_extra_injected > 0, "fault config must actually fire");
+    assert_eq!(fcyc, ncyc, "cycle counts diverge under cache-miss faults");
+    assert_eq!(fc, nc, "counters diverge under cache-miss faults");
+}
+
+#[test]
+fn per_thread_memory_counters_populate_identically_in_both_models() {
+    let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 5);
+    let cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let (_, fc, _, nc) = run_both(&spec, cfg);
+    assert_eq!(fc, nc, "counters diverge");
+    // Beyond equality, the new attribution counters must be live at all on
+    // a memory-heavy mix.
+    let t0 = &fc.threads[0];
+    assert!(t0.l1d_hits + t0.l1d_misses > 0, "loads must be attributed");
+    assert!(t0.mem_busy_cycles > 0, "art must spend cycles with misses outstanding");
+    assert!(t0.mlp() >= 1.0, "MLP is at least one whenever a miss is outstanding");
+}
