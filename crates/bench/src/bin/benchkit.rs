@@ -1,0 +1,289 @@
+//! `benchkit` — the repo's perf-regression harness.
+//!
+//! Runs a fixed "quick" profile (per-policy pipeline throughput in
+//! simulated kilo-instructions per host second, plus one wall-clock slice
+//! per paper-figure family) and emits a schema-stable JSON report
+//! (`BENCH_5.json` at the repo root is the committed baseline). The same
+//! binary compares a fresh run against a baseline file and fails on
+//! regression beyond a tolerance — that is the CI perf-smoke gate.
+//!
+//! Usage:
+//!   benchkit [--out FILE] [--compare BASELINE] [--tolerance PCT]
+//!            [--target N]
+//!
+//! `--target` scales every scenario's per-thread commit budget (default
+//! 20000). Host-speed numbers (`wall_ms`, `sim_kips`) vary with the
+//! machine; the simulated numbers (`committed`, `cycles`) are
+//! deterministic for a given target and must not change between runs on
+//! the same tree. `--compare` only judges `sim_kips`, with a generous
+//! default tolerance (35%) so CI machine jitter does not fail the gate.
+//!
+//! The JSON schema (see EXPERIMENTS.md):
+//! ```json
+//! {
+//!   "schema": "smt-bench/1",
+//!   "bench_id": 5,
+//!   "profile": "quick",
+//!   "target": 20000,
+//!   "scenarios": [
+//!     { "name": "...", "policy": "...", "committed": 0, "cycles": 0,
+//!       "wall_ms": 0.0, "sim_kips": 0.0 }
+//!   ]
+//! }
+//! ```
+
+use smt_core::{DispatchPolicy, FetchPolicy, SimConfig};
+use smt_sweep::{run_spec_with_config, RunSpec};
+use std::time::Instant;
+
+/// One fixed benchmark scenario of the quick profile.
+struct Scenario {
+    name: &'static str,
+    benches: &'static [&'static str],
+    iq_size: usize,
+    policy: DispatchPolicy,
+    /// STALL fetch gating makes the mix maximally memory-bound (threads
+    /// park completely during outstanding misses).
+    stall_fetch: bool,
+}
+
+/// The quick profile: per-policy throughput on a mixed ILP workload, two
+/// deliberately memory-bound scenarios (where idle-cycle fast-forward has
+/// the most to win), and one slice per paper-figure family.
+const QUICK: &[Scenario] = &[
+    Scenario {
+        name: "policy_traditional",
+        benches: &["gcc", "art"],
+        iq_size: 48,
+        policy: DispatchPolicy::Traditional,
+        stall_fetch: false,
+    },
+    Scenario {
+        name: "policy_2op_block",
+        benches: &["gcc", "art"],
+        iq_size: 48,
+        policy: DispatchPolicy::TwoOpBlock,
+        stall_fetch: false,
+    },
+    Scenario {
+        name: "policy_ooo_dispatch",
+        benches: &["gcc", "art"],
+        iq_size: 48,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        stall_fetch: false,
+    },
+    Scenario {
+        name: "membound_stall_art_twolf",
+        benches: &["art", "twolf"],
+        iq_size: 48,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        stall_fetch: true,
+    },
+    Scenario {
+        name: "membound_stall_art_1t",
+        benches: &["art"],
+        iq_size: 48,
+        policy: DispatchPolicy::Traditional,
+        stall_fetch: true,
+    },
+    Scenario {
+        name: "fig1_slice_iq32_4t",
+        benches: &["gcc", "art", "crafty", "mesa"],
+        iq_size: 32,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        stall_fetch: false,
+    },
+    Scenario {
+        name: "fig3_slice_2t",
+        benches: &["twolf", "mesa"],
+        iq_size: 64,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        stall_fetch: false,
+    },
+    Scenario {
+        name: "fig5_slice_3t",
+        benches: &["gcc", "art", "crafty"],
+        iq_size: 64,
+        policy: DispatchPolicy::TwoOpBlock,
+        stall_fetch: false,
+    },
+    Scenario {
+        name: "fig7_slice_4t",
+        benches: &["gcc", "art", "crafty", "mesa"],
+        iq_size: 64,
+        policy: DispatchPolicy::Traditional,
+        stall_fetch: false,
+    },
+];
+
+struct Measured {
+    name: String,
+    policy: String,
+    committed: u64,
+    cycles: u64,
+    wall_ms: f64,
+    sim_kips: f64,
+}
+
+fn run_scenario(s: &Scenario, target: u64) -> Measured {
+    let spec = RunSpec::new(s.benches, s.iq_size, s.policy, target, 1);
+    let mut cfg = SimConfig::paper(s.iq_size, s.policy);
+    if s.stall_fetch {
+        cfg.fetch_policy = FetchPolicy::Stall;
+    }
+    let start = Instant::now();
+    let r = run_spec_with_config(&spec, cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let committed = r.counters.total_committed();
+    Measured {
+        name: s.name.to_string(),
+        policy: format!("{:?}", s.policy),
+        committed,
+        cycles: r.cycles,
+        wall_ms: wall * 1e3,
+        sim_kips: if wall > 0.0 { committed as f64 / wall / 1e3 } else { 0.0 },
+    }
+}
+
+/// Serialize the report. Hand-rolled (the bench crate deliberately does
+/// not depend on serde): the schema is flat enough that stable formatting
+/// is easier to guarantee by construction.
+fn to_json(target: u64, rows: &[Measured]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"smt-bench/1\",\n");
+    out.push_str("  \"bench_id\": 5,\n");
+    out.push_str("  \"profile\": \"quick\",\n");
+    out.push_str(&format!("  \"target\": {target},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"policy\": \"{}\", \"committed\": {}, \
+             \"cycles\": {}, \"wall_ms\": {:.3}, \"sim_kips\": {:.1} }}{}\n",
+            r.name,
+            r.policy,
+            r.committed,
+            r.cycles,
+            r.wall_ms,
+            r.sim_kips,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract `(name, sim_kips)` pairs from a report emitted by [`to_json`].
+/// A minimal self-schema parser: one scenario object per line, fields in
+/// fixed order — intentionally strict so schema drift fails loudly.
+fn parse_kips(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "name") else { continue };
+        let Some(kips) = field_num(line, "sim_kips") else {
+            panic!("baseline scenario {name:?} has no sim_kips field — schema drift?");
+        };
+        out.push((name, kips));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let tail = &line[start..];
+    let end = tail.find([',', ' ', '}']).unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: benchkit [--out FILE] [--compare BASELINE] [--tolerance PCT] [--target N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance_pct: f64 = 35.0;
+    let mut target: u64 = 20_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--compare" => {
+                i += 1;
+                compare_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance_pct = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--target" => {
+                i += 1;
+                target = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut rows = Vec::with_capacity(QUICK.len());
+    for s in QUICK {
+        let m = run_scenario(s, target);
+        eprintln!(
+            "  {:<28} {:>9} inst {:>10} cyc {:>9.1} ms {:>9.1} kIPS",
+            m.name, m.committed, m.cycles, m.wall_ms, m.sim_kips
+        );
+        rows.push(m);
+    }
+    let json = to_json(target, &rows);
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &compare_path {
+        let base = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let base_kips = parse_kips(&base);
+        if base_kips.is_empty() {
+            panic!("baseline {path} contains no scenarios — schema drift?");
+        }
+        let mut failed = false;
+        for (name, old) in &base_kips {
+            let Some(new) = rows.iter().find(|r| &r.name == name) else {
+                eprintln!("MISSING  {name}: present in baseline, not in this run");
+                failed = true;
+                continue;
+            };
+            let floor = old * (1.0 - tolerance_pct / 100.0);
+            let delta = (new.sim_kips / old - 1.0) * 100.0;
+            if new.sim_kips < floor {
+                eprintln!(
+                    "REGRESS  {name}: {:.1} kIPS vs baseline {old:.1} ({delta:+.1}%, \
+                     tolerance -{tolerance_pct}%)",
+                    new.sim_kips
+                );
+                failed = true;
+            } else {
+                eprintln!("ok       {name}: {:.1} kIPS vs {old:.1} ({delta:+.1}%)", new.sim_kips);
+            }
+        }
+        if failed {
+            eprintln!("perf regression beyond {tolerance_pct}% tolerance vs {path}");
+            std::process::exit(1);
+        }
+        eprintln!("all scenarios within {tolerance_pct}% of {path}");
+    }
+}

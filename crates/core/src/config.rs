@@ -212,6 +212,18 @@ pub struct SimConfig {
     /// [`crate::faults`]).
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Idle-cycle fast-forward: when the whole machine is provably waiting
+    /// on scheduled events (memory fills, slow-bus wakeups, redelivered
+    /// faults), jump the clock to the earliest pending one instead of
+    /// ticking empty cycles. Bit-for-bit counter-identical to unskipped
+    /// runs (pinned by `tests/fast_forward_differential.rs`); disable only
+    /// to cross-check that equivalence.
+    #[serde(default = "default_fast_forward")]
+    pub fast_forward: bool,
+}
+
+fn default_fast_forward() -> bool {
+    true
 }
 
 impl SimConfig {
@@ -257,6 +269,7 @@ impl SimConfig {
             max_cycles: 0,
             progress_check_cycles: 50_000,
             faults: FaultConfig::default(),
+            fast_forward: true,
         }
     }
 

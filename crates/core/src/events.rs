@@ -69,6 +69,7 @@ impl PartialOrd for Scheduled {
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
+    pops: u64,
 }
 
 impl EventQueue {
@@ -86,10 +87,25 @@ impl EventQueue {
     /// Pop the next event due at or before `now`, in schedule order.
     pub fn pop_due(&mut self, now: u64) -> Option<Event> {
         if self.heap.peek().map(|Reverse(s)| s.cycle <= now).unwrap_or(false) {
+            self.pops += 1;
             Some(self.heap.pop().unwrap().0.event)
         } else {
             None
         }
+    }
+
+    /// The earliest cycle any queued event is due, if the queue is
+    /// non-empty. Lets the idle-cycle fast-forward bound a skip window
+    /// without popping.
+    pub fn next_due_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(s)| s.cycle)
+    }
+
+    /// Monotonic count of events ever popped. Distinguishes a genuinely
+    /// untouched queue from a pop-and-reschedule that leaves `len()`
+    /// unchanged (e.g. a dropped wakeup scheduling its re-broadcast).
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// Events still queued.

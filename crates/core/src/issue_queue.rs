@@ -14,8 +14,9 @@ use smt_isa::FuKind;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// One issue-queue entry.
-#[derive(Debug, Clone)]
+/// One issue-queue entry. `Copy` so the issue stage can hand entries out
+/// by value without a heap clone per issued instruction.
+#[derive(Debug, Clone, Copy)]
 pub struct IqEntry {
     /// Owning thread.
     pub thread: usize,
@@ -67,6 +68,9 @@ pub struct IssueQueue {
     /// that was resident at broadcast time: a slot squashed and reused
     /// between broadcast and delivery must not receive the stale wakeup.
     pending_slow: Vec<(usize, u64, PhysReg)>,
+    /// Running total of pending source tags across resident entries, so
+    /// [`IssueQueue::pending_tags`] is O(1) instead of a full-queue scan.
+    pending_count: usize,
 }
 
 impl IssueQueue {
@@ -116,6 +120,7 @@ impl IssueQueue {
             phys_int: 256,
             slow_second_tag: false,
             pending_slow: Vec::new(),
+            pending_count: 0,
         }
     }
 
@@ -161,6 +166,7 @@ impl IssueQueue {
         let slot = self.free[class].pop().expect("class checked non-empty");
         self.per_thread[entry.thread] += 1;
         self.occupied += 1;
+        self.pending_count += entry.pending();
         for reg in entry.waiting.iter().flatten() {
             self.waiters[phys_flat(*reg)].push(slot);
         }
@@ -189,6 +195,7 @@ impl IssueQueue {
                         }
                         *w = None;
                         hit = true;
+                        self.pending_count -= 1;
                     }
                 }
                 if hit && entry.pending() == 0 {
@@ -216,6 +223,7 @@ impl IssueQueue {
                 if entry.waiting[1] == Some(reg) {
                     entry.waiting[1] = None;
                     hit = true;
+                    self.pending_count -= 1;
                 }
                 if hit && entry.pending() == 0 {
                     self.ready.push(Reverse((entry.age, slot)));
@@ -234,7 +242,12 @@ impl IssueQueue {
 
     /// Source tags still awaited across all resident entries.
     pub fn pending_tags(&self) -> usize {
-        self.slots.iter().flatten().map(|e| e.pending()).sum()
+        debug_assert_eq!(
+            self.pending_count,
+            self.slots.iter().flatten().map(|e| e.pending()).sum::<usize>(),
+            "running pending-tag count out of sync with the slots"
+        );
+        self.pending_count
     }
 
     /// Pop the oldest ready entry, if any. The caller may decline to issue
@@ -247,8 +260,7 @@ impl IssueQueue {
                 .map(|e| e.age == age && e.pending() == 0)
                 .unwrap_or(false);
             if valid {
-                let entry = self.slots[slot].as_ref().unwrap().clone();
-                return Some((slot, entry));
+                return Some((slot, self.slots[slot].unwrap()));
             }
         }
         None
@@ -266,6 +278,7 @@ impl IssueQueue {
         let entry = self.slots[slot].take().expect("removing empty IQ slot");
         self.per_thread[entry.thread] -= 1;
         self.occupied -= 1;
+        self.pending_count -= entry.pending();
         self.free[self.slot_caps[slot] as usize].push(slot);
         entry
     }
@@ -275,7 +288,8 @@ impl IssueQueue {
     pub fn squash_thread(&mut self, thread: usize) {
         for slot in 0..self.slots.len() {
             if self.slots[slot].as_ref().map(|e| e.thread == thread).unwrap_or(false) {
-                self.slots[slot] = None;
+                let entry = self.slots[slot].take().expect("occupancy checked");
+                self.pending_count -= entry.pending();
                 self.free[self.slot_caps[slot] as usize].push(slot);
                 self.occupied -= 1;
             }
@@ -292,7 +306,8 @@ impl IssueQueue {
                 .map(|e| e.thread == thread && e.trace_idx > keep_idx)
                 .unwrap_or(false);
             if hit {
-                self.slots[slot] = None;
+                let entry = self.slots[slot].take().expect("occupancy checked");
+                self.pending_count -= entry.pending();
                 self.free[self.slot_caps[slot] as usize].push(slot);
                 self.occupied -= 1;
                 self.per_thread[thread] -= 1;
@@ -358,6 +373,14 @@ impl SchedulerQueue for IssueQueue {
 
     fn squash_thread_from(&mut self, thread: usize, keep_idx: u64) {
         IssueQueue::squash_thread_from(self, thread, keep_idx)
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    fn has_staged(&self) -> bool {
+        !self.pending_slow.is_empty()
     }
 }
 

@@ -29,6 +29,9 @@ pub struct PackedIssueQueue {
     per_thread: Vec<usize>,
     occupied: usize,
     phys_int: usize,
+    /// Running total of pending source tags across resident entries, so
+    /// [`SchedulerQueue::pending_tags`] is O(1) instead of a full scan.
+    pending_count: usize,
 }
 
 impl PackedIssueQueue {
@@ -44,6 +47,7 @@ impl PackedIssueQueue {
             per_thread: vec![0; threads],
             occupied: 0,
             phys_int: 256,
+            pending_count: 0,
         }
     }
 
@@ -96,6 +100,7 @@ impl PackedIssueQueue {
         let entry = self.slots[slot].take().expect("clearing empty packed slot");
         self.per_thread[entry.thread] -= 1;
         self.occupied -= 1;
+        self.pending_count -= entry.pending();
         if self.wide[slot / 2] {
             debug_assert_eq!(slot % 2, 0, "wide occupants live in the even half");
             self.wide[slot / 2] = false;
@@ -139,7 +144,12 @@ impl SchedulerQueue for PackedIssueQueue {
     }
 
     fn pending_tags(&self) -> usize {
-        self.slots.iter().flatten().map(|e| e.pending()).sum()
+        debug_assert_eq!(
+            self.pending_count,
+            self.slots.iter().flatten().map(|e| e.pending()).sum::<usize>(),
+            "running pending-tag count out of sync with the slots"
+        );
+        self.pending_count
     }
 
     fn insert(&mut self, entry: IqEntry) -> usize {
@@ -153,6 +163,7 @@ impl SchedulerQueue for PackedIssueQueue {
         debug_assert!(self.slots[slot].is_none());
         self.per_thread[entry.thread] += 1;
         self.occupied += 1;
+        self.pending_count += entry.pending();
         for reg in entry.waiting.iter().flatten() {
             self.waiters[reg.flat(self.phys_int)].push(slot);
         }
@@ -172,6 +183,7 @@ impl SchedulerQueue for PackedIssueQueue {
                     if *w == Some(reg) {
                         *w = None;
                         hit = true;
+                        self.pending_count -= 1;
                     }
                 }
                 if hit && entry.pending() == 0 {
@@ -190,7 +202,7 @@ impl SchedulerQueue for PackedIssueQueue {
                 .map(|e| e.age == age && e.pending() == 0)
                 .unwrap_or(false);
             if valid {
-                return Some((slot, self.slots[slot].clone().unwrap()));
+                return Some((slot, self.slots[slot].unwrap()));
             }
         }
         None
@@ -224,6 +236,10 @@ impl SchedulerQueue for PackedIssueQueue {
                 self.clear_slot(slot);
             }
         }
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
     }
 }
 

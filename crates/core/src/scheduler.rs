@@ -64,4 +64,18 @@ pub trait SchedulerQueue: std::fmt::Debug {
 
     /// Squash `thread`'s entries younger than `keep_idx`.
     fn squash_thread_from(&mut self, thread: usize, keep_idx: u64);
+
+    /// Might [`SchedulerQueue::pop_ready`] return an entry right now? May
+    /// conservatively answer `true` for stale ready-heap candidates; must
+    /// never answer `false` when an entry would pop. Used by the idle-cycle
+    /// fast-forward to prove the issue stage has nothing to do.
+    fn has_ready(&self) -> bool;
+
+    /// Are any wakeups staged for delivery at the next
+    /// [`SchedulerQueue::tick`] (Half-Price slow-bus broadcasts)? Such
+    /// state makes the next cycle non-idle even though every counter looks
+    /// quiescent.
+    fn has_staged(&self) -> bool {
+        false
+    }
 }

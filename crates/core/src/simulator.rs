@@ -77,6 +77,40 @@ struct DabEntry {
     age: u64,
 }
 
+/// Everything one machine cycle can change, summarised for equality.
+///
+/// The idle-cycle fast-forward runs one *representative* cycle and
+/// compares this signature before/after: equality proves the cycle moved
+/// no instruction and delivered no event, so every following cycle up to
+/// the next scheduled wake source is an exact replica of it. Per-cycle
+/// stall counters are deliberately absent — they advance by a constant
+/// delta during an idle stretch and are replayed arithmetically
+/// ([`SimCounters::replicate_idle_deltas`]).
+#[derive(PartialEq, Eq)]
+struct FfActivitySig {
+    committed: u64,
+    fetched: u64,
+    dispatched: u64,
+    issued: u64,
+    wrong_path_fetched: u64,
+    frontend: usize,
+    dispatch_buf: usize,
+    rob: usize,
+    lsq: usize,
+    outstanding_misses: u32,
+    iq_occ: usize,
+    dab: usize,
+    events_len: usize,
+    /// Monotonic pop count: catches a pop-and-reschedule (e.g. a dropped
+    /// wakeup scheduling its re-broadcast) that leaves `events_len`
+    /// unchanged.
+    events_pops: u64,
+    mshr_in_flight: usize,
+    wb_len: usize,
+    watchdog_flushes: u64,
+    fetch_policy_flushes: u64,
+}
+
 /// Why `try_rename_one` could not rename a thread's next instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RenameBlock {
@@ -178,6 +212,18 @@ pub struct Simulator {
     /// Cached `cfg.hierarchy.model` discriminant: does the hierarchy run
     /// the non-blocking (MSHR/bus/write-buffer) model?
     nonblocking_mem: bool,
+    /// Cached enable for the idle-cycle fast-forward: the config flag minus
+    /// the round-robin fetch exclusion (rotating fetch priority attributes
+    /// per-thread stall cycles differently each cycle, so idle cycles are
+    /// not replicas of each other under that policy — see DESIGN.md).
+    fast_forward: bool,
+    /// Running total of committed instructions in the current measurement
+    /// window, kept equal to the sum of the per-thread `committed`
+    /// counters so the run loops need not re-sum the vector every cycle.
+    committed_total: u64,
+    /// Reusable counter snapshot for the fast-forward's representative
+    /// cycle (avoids reallocating the per-thread vector on the hot path).
+    ff_scratch: Option<SimCounters>,
 }
 
 impl Simulator {
@@ -268,6 +314,9 @@ impl Simulator {
             tracer: None,
             faults: FaultInjector::new(cfg.faults),
             nonblocking_mem: matches!(cfg.hierarchy.model, MemModel::NonBlocking(_)),
+            fast_forward: cfg.fast_forward && !matches!(cfg.fetch_policy, FetchPolicy::RoundRobin),
+            committed_total: 0,
+            ff_scratch: None,
             threads,
             regs,
             cfg,
@@ -328,6 +377,7 @@ impl Simulator {
     /// fast-forwarding.
     pub fn reset_measurement(&mut self) {
         self.counters = SimCounters::new(self.threads.len());
+        self.committed_total = 0;
         self.measure_start = self.now;
         self.hier.reset_stats();
         for t in &mut self.threads {
@@ -462,7 +512,7 @@ impl Simulator {
         commit_target: u64,
         mut should_abort: impl FnMut() -> bool,
     ) -> RunOutcome {
-        let mut last_total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
+        let mut last_total: u64 = self.committed_total;
         let mut last_commit_cycle = self.now;
         loop {
             if self.counters.threads.iter().any(|t| t.committed >= commit_target) {
@@ -471,9 +521,8 @@ impl Simulator {
             if self.threads.iter().all(|t| t.drained()) {
                 return RunOutcome::AllFinished;
             }
-            let total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
-            if total != last_total {
-                last_total = total;
+            if self.committed_total != last_total {
+                last_total = self.committed_total;
                 last_commit_cycle = self.now;
             }
             if let Some(report) = self.check_progress(last_commit_cycle) {
@@ -482,7 +531,7 @@ impl Simulator {
             if self.now & 0x1FFF == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
-            self.cycle();
+            self.cycle_with_fast_forward(last_commit_cycle);
         }
     }
 
@@ -502,7 +551,7 @@ impl Simulator {
         commit_target: u64,
         mut should_abort: impl FnMut() -> bool,
     ) -> RunOutcome {
-        let mut last_total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
+        let mut last_total: u64 = self.committed_total;
         let mut last_commit_cycle = self.now;
         loop {
             let all_done = self
@@ -518,9 +567,8 @@ impl Simulator {
                     RunOutcome::TargetReached
                 };
             }
-            let total: u64 = self.counters.threads.iter().map(|t| t.committed).sum();
-            if total != last_total {
-                last_total = total;
+            if self.committed_total != last_total {
+                last_total = self.committed_total;
                 last_commit_cycle = self.now;
             }
             if let Some(report) = self.check_progress(last_commit_cycle) {
@@ -529,7 +577,7 @@ impl Simulator {
             if self.now & 0x1FFF == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
-            self.cycle();
+            self.cycle_with_fast_forward(last_commit_cycle);
         }
     }
 
@@ -576,6 +624,179 @@ impl Simulator {
         self.sync_mem_counters();
         self.watchdog_tick(dispatched);
         self.rr = (self.rr + 1) % self.threads.len();
+    }
+
+    /// Advance one cycle and, when that cycle proves the machine idle,
+    /// bulk-skip the stretch of identical idle cycles that follows.
+    ///
+    /// Strategy (DESIGN.md, "Idle-cycle fast-forward"): a cheap precheck
+    /// rejects cycles that could plausibly do work; otherwise the counters
+    /// are snapshotted, one *representative* cycle runs for real, and an
+    /// activity signature decides whether it did anything. If it did not,
+    /// every subsequent cycle up to the next wake source is an exact
+    /// replica, so the representative cycle's counter deltas are replayed
+    /// `k` more times arithmetically and the clock jumps by `k`. Counters
+    /// stay bit-for-bit identical to the unskipped run
+    /// (`tests/fast_forward_differential.rs` pins this).
+    fn cycle_with_fast_forward(&mut self, last_commit_cycle: u64) {
+        if !self.fast_forward || !self.ff_idle_precheck() {
+            self.cycle();
+            return;
+        }
+        let mut scratch =
+            self.ff_scratch.take().unwrap_or_else(|| SimCounters::new(self.threads.len()));
+        scratch.clone_from(&self.counters);
+        let sig = self.ff_activity_sig();
+        self.cycle();
+        if self.ff_activity_sig() == sig
+            && self.ff_idle_precheck()
+            // A drain transition must surface to the run loop at its true
+            // cycle, not after an overshoot.
+            && !self.threads.iter().all(|t| t.drained())
+        {
+            let k = self.ff_skip_len(last_commit_cycle);
+            if k > 0 {
+                self.counters.replicate_idle_deltas(&scratch, k);
+                self.now += k;
+                let n = self.threads.len();
+                self.rr = (self.rr + (k as usize % n)) % n;
+                if matches!(self.cfg.deadlock, DeadlockMode::Watchdog { .. }) {
+                    // ff_skip_len stopped short of the next flush, so the
+                    // countdown cannot underflow.
+                    self.watchdog_remaining -= k;
+                }
+                if self.nonblocking_mem {
+                    self.hier.account_idle_cycles(k);
+                    self.sync_mem_counters();
+                }
+            }
+        }
+        self.ff_scratch = Some(scratch);
+    }
+
+    /// Cheap rejection filter for the fast-forward: could the next cycle
+    /// plausibly do work that is not driven by a bounded wake source?
+    /// Issue candidates (ready or staged IQ entries, DAB entries),
+    /// pending FLUSH squashes, buffered stores, and any fetch-eligible
+    /// thread all do per-cycle work that is not a pure replica, so any of
+    /// them vetoes skipping.
+    fn ff_idle_precheck(&self) -> bool {
+        self.dab.is_empty()
+            && !self.iq.has_ready()
+            && !self.iq.has_staged()
+            && self.pending_flushes.is_empty()
+            && (!self.nonblocking_mem || self.hier.wb_len() == 0)
+            && self.ff_fetch_quiescent()
+    }
+
+    /// Is every thread ineligible to fetch? The activity signature cannot
+    /// see a fetch attempt that misses the I-cache (it delivers zero
+    /// instructions yet re-blocks the thread and touches cache state), and
+    /// the fetch-port limit means a thread left unpicked this cycle may be
+    /// picked a few cycles later with no other state change — so skipping
+    /// is only sound when *no* thread could be picked at all. Every arm of
+    /// this predicate expires through a wake source `ff_skip_len` bounds:
+    /// gating and outstanding misses clear on scheduled events, blocking
+    /// on `fetch_blocked_until`, and a full front end drains only through
+    /// rename activity the signature does see.
+    fn ff_fetch_quiescent(&self) -> bool {
+        let stall_policy = matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush);
+        self.threads.iter().all(|ctx| {
+            ctx.fetch_gated_by.is_some()
+                || ctx.fetch_blocked_until > self.now
+                || ctx.frontend.len() >= self.frontend_cap
+                || (ctx.finished_fetch && ctx.wrongpath_of.is_none())
+                || (stall_policy && ctx.outstanding_mem_misses > 0)
+        })
+    }
+
+    fn ff_activity_sig(&self) -> FfActivitySig {
+        let mut fetched = 0u64;
+        let mut dispatched = 0u64;
+        let mut issued = 0u64;
+        let mut wrong_path_fetched = 0u64;
+        for tc in &self.counters.threads {
+            fetched += tc.fetched;
+            dispatched += tc.dispatched;
+            issued += tc.issued;
+            wrong_path_fetched += tc.wrong_path_fetched;
+        }
+        let mut frontend = 0usize;
+        let mut dispatch_buf = 0usize;
+        let mut rob = 0usize;
+        let mut lsq = 0usize;
+        let mut outstanding_misses = 0u32;
+        for t in &self.threads {
+            frontend += t.frontend.len();
+            dispatch_buf += t.dispatch_buf.len();
+            rob += t.rob.len();
+            lsq += t.lsq.len();
+            outstanding_misses += t.outstanding_mem_misses;
+        }
+        FfActivitySig {
+            committed: self.committed_total,
+            fetched,
+            dispatched,
+            issued,
+            wrong_path_fetched,
+            frontend,
+            dispatch_buf,
+            rob,
+            lsq,
+            outstanding_misses,
+            iq_occ: self.iq.occupancy(),
+            dab: self.dab.len(),
+            events_len: self.events.len(),
+            events_pops: self.events.pops(),
+            mshr_in_flight: if self.nonblocking_mem { self.hier.mshr_in_flight_total() } else { 0 },
+            wb_len: if self.nonblocking_mem { self.hier.wb_len() } else { 0 },
+            watchdog_flushes: self.counters.watchdog_flushes,
+            fetch_policy_flushes: self.counters.fetch_policy_flushes,
+        }
+    }
+
+    /// How many cycles after the representative idle cycle are guaranteed
+    /// replicas of it: stop one short of every wake source (scheduled
+    /// events, MSHR fills, fetch unblock times, front-end delivery times,
+    /// the watchdog's next flush) and land exactly on the run loop's own
+    /// trip points (forward-progress check, cycle limit) so the loop
+    /// observes them on the same cycle it would have cycle-by-cycle.
+    fn ff_skip_len(&self, last_commit_cycle: u64) -> u64 {
+        const FF_CHUNK: u64 = 65_536;
+        let mut target = self.now + FF_CHUNK;
+        // process_events / step_memory drained everything due at `now`, so
+        // both wake sources are strictly in the future here.
+        if let Some(c) = self.events.next_due_cycle() {
+            target = target.min(c - 1);
+        }
+        if self.nonblocking_mem {
+            if let Some(c) = self.hier.next_fill_at() {
+                target = target.min(c - 1);
+            }
+        }
+        for ctx in &self.threads {
+            if ctx.fetch_blocked_until > self.now {
+                target = target.min(ctx.fetch_blocked_until - 1);
+            }
+            if let Some(fe) = ctx.frontend.front() {
+                if fe.ready_at > self.now {
+                    target = target.min(fe.ready_at - 1);
+                }
+            }
+        }
+        if matches!(self.cfg.deadlock, DeadlockMode::Watchdog { .. }) {
+            // The postcheck left work in flight with nothing dispatching,
+            // so the watchdog decrements every cycle of the window: stop
+            // before it reaches zero and flushes.
+            target = target.min(self.now + self.watchdog_remaining - 1);
+        }
+        if self.cfg.progress_check_cycles > 0 {
+            target = target.min(last_commit_cycle + self.cfg.progress_check_cycles);
+        }
+        if self.cfg.max_cycles > 0 {
+            target = target.min(self.cfg.max_cycles);
+        }
+        target.saturating_sub(self.now)
     }
 
     /// Advance the non-blocking memory machinery: release completed MSHR
@@ -795,6 +1016,7 @@ impl Simulator {
         if let Some((_, old)) = entry.old_dest {
             self.regs.free(old);
         }
+        self.committed_total += 1;
         let tc = &mut self.counters.threads[t];
         tc.committed += 1;
         if entry.inst.op.is_branch() {

@@ -478,6 +478,40 @@ impl Hierarchy {
         drained
     }
 
+    /// The earliest cycle any in-flight MSHR fill (at any level) completes,
+    /// if one is outstanding. Non-mutating; bounds the idle-cycle
+    /// fast-forward's skip window.
+    pub fn next_fill_at(&self) -> Option<u64> {
+        [self.l1i_mshrs.next_fill_at(), self.l1d_mshrs.next_fill_at(), self.l2_mshrs.next_fill_at()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Account `k` skipped idle cycles into the per-cycle occupancy sums
+    /// that [`Hierarchy::step`] would have sampled — the in-flight MSHR
+    /// population and write-buffer length are constant across cycles in
+    /// which `step` releases nothing and drains nothing, so the samples are
+    /// exactly `occupancy × k`.
+    pub fn account_idle_cycles(&mut self, k: u64) {
+        self.mem_stats.l1i_mshr_occupancy_sum += self.l1i_mshrs.in_flight() as u64 * k;
+        self.mem_stats.l1d_mshr_occupancy_sum += self.l1d_mshrs.in_flight() as u64 * k;
+        self.mem_stats.l2_mshr_occupancy_sum += self.l2_mshrs.in_flight() as u64 * k;
+        self.mem_stats.wb_occupancy_sum += self.write_buffer.len() as u64 * k;
+    }
+
+    /// Stores parked in the commit-side write buffer. Cheap idle-detection
+    /// probe.
+    pub fn wb_len(&self) -> usize {
+        self.write_buffer.len()
+    }
+
+    /// Total in-flight MSHR entries across all levels. Cheap idle-detection
+    /// probe.
+    pub fn mshr_in_flight_total(&self) -> usize {
+        self.l1i_mshrs.in_flight() + self.l1d_mshrs.in_flight() + self.l2_mshrs.in_flight()
+    }
+
     /// Would a load of `addr` hit in the L1 D-cache right now? Non-mutating.
     pub fn l1d_would_hit(&self, addr: u64) -> bool {
         self.l1d.contains(addr)

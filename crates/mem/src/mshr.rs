@@ -153,6 +153,13 @@ impl MshrFile {
         self.in_flight.len()
     }
 
+    /// The earliest fill time of any in-flight entry, if any. Lets the
+    /// idle-cycle fast-forward bound a skip window without releasing
+    /// entries.
+    pub fn next_fill_at(&self) -> Option<u64> {
+        self.in_flight.iter().map(|e| e.fill_at).min()
+    }
+
     /// Line addresses currently in flight with their fill times (for
     /// diagnosis snapshots), in allocation order.
     pub fn in_flight_lines(&self) -> Vec<(u64, u64)> {

@@ -88,7 +88,82 @@ pub struct ThreadCounters {
     pub wb_full_stall_cycles: u64,
 }
 
+/// `field += (field - before) * k`: replay the last cycle's delta `k` more
+/// times. The idle-cycle fast-forward uses this after proving (by counter
+/// equality across one representative cycle) that every per-cycle delta is
+/// constant while the machine idles.
+fn rep(field: &mut u64, before: u64, k: u64) {
+    *field += (*field - before) * k;
+}
+
 impl ThreadCounters {
+    /// Replicate the per-cycle deltas relative to `before` `k` more times
+    /// (see [`SimCounters::replicate_idle_deltas`]). The exhaustive
+    /// destructuring is deliberate: adding a counter field without deciding
+    /// its fast-forward story must break this function's compilation.
+    pub fn replicate_idle_deltas(&mut self, before: &ThreadCounters, k: u64) {
+        let ThreadCounters {
+            fetched,
+            dispatched,
+            issued,
+            committed,
+            branches,
+            mispredicts,
+            dir_mispredicts,
+            btb_mispredicts,
+            ndi_blocked_cycles,
+            iq_full_cycles,
+            rob_full_cycles,
+            lsq_full_cycles,
+            iq_residency_sum,
+            hdis_dispatched,
+            hdis_dependent_on_ndi,
+            dispatched_by_nonready,
+            dab_dispatches,
+            iq_occupancy_sum,
+            wrong_path_fetched,
+            l1d_hits,
+            l1d_misses,
+            l2_hits,
+            l2_misses,
+            mlp_sum,
+            mem_busy_cycles,
+            mshr_full_defers,
+            fetch_mshr_stall_cycles,
+            wb_full_stall_cycles,
+        } = before;
+        rep(&mut self.fetched, *fetched, k);
+        rep(&mut self.dispatched, *dispatched, k);
+        rep(&mut self.issued, *issued, k);
+        rep(&mut self.committed, *committed, k);
+        rep(&mut self.branches, *branches, k);
+        rep(&mut self.mispredicts, *mispredicts, k);
+        rep(&mut self.dir_mispredicts, *dir_mispredicts, k);
+        rep(&mut self.btb_mispredicts, *btb_mispredicts, k);
+        rep(&mut self.ndi_blocked_cycles, *ndi_blocked_cycles, k);
+        rep(&mut self.iq_full_cycles, *iq_full_cycles, k);
+        rep(&mut self.rob_full_cycles, *rob_full_cycles, k);
+        rep(&mut self.lsq_full_cycles, *lsq_full_cycles, k);
+        rep(&mut self.iq_residency_sum, *iq_residency_sum, k);
+        rep(&mut self.hdis_dispatched, *hdis_dispatched, k);
+        rep(&mut self.hdis_dependent_on_ndi, *hdis_dependent_on_ndi, k);
+        for (cur, &prev) in self.dispatched_by_nonready.iter_mut().zip(dispatched_by_nonready) {
+            rep(cur, prev, k);
+        }
+        rep(&mut self.dab_dispatches, *dab_dispatches, k);
+        rep(&mut self.iq_occupancy_sum, *iq_occupancy_sum, k);
+        rep(&mut self.wrong_path_fetched, *wrong_path_fetched, k);
+        rep(&mut self.l1d_hits, *l1d_hits, k);
+        rep(&mut self.l1d_misses, *l1d_misses, k);
+        rep(&mut self.l2_hits, *l2_hits, k);
+        rep(&mut self.l2_misses, *l2_misses, k);
+        rep(&mut self.mlp_sum, *mlp_sum, k);
+        rep(&mut self.mem_busy_cycles, *mem_busy_cycles, k);
+        rep(&mut self.mshr_full_defers, *mshr_full_defers, k);
+        rep(&mut self.fetch_mshr_stall_cycles, *fetch_mshr_stall_cycles, k);
+        rep(&mut self.wb_full_stall_cycles, *wb_full_stall_cycles, k);
+    }
+
     /// Branch misprediction rate over committed branches.
     pub fn mispredict_rate(&self) -> f64 {
         if self.branches == 0 {
@@ -157,6 +232,23 @@ pub struct FaultCounters {
 }
 
 impl FaultCounters {
+    /// Replicate the per-cycle deltas relative to `before` `k` more times
+    /// (see [`SimCounters::replicate_idle_deltas`]).
+    pub fn replicate_idle_deltas(&mut self, before: &FaultCounters, k: u64) {
+        let FaultCounters {
+            wakeup_drops,
+            wakeup_redeliveries,
+            issue_defers,
+            cache_extra_injected,
+            predictor_flushes_injected,
+        } = before;
+        rep(&mut self.wakeup_drops, *wakeup_drops, k);
+        rep(&mut self.wakeup_redeliveries, *wakeup_redeliveries, k);
+        rep(&mut self.issue_defers, *issue_defers, k);
+        rep(&mut self.cache_extra_injected, *cache_extra_injected, k);
+        rep(&mut self.predictor_flushes_injected, *predictor_flushes_injected, k);
+    }
+
     /// Total injected perturbations (re-deliveries are recovery actions,
     /// not injections, and are excluded).
     pub fn total_injected(&self) -> u64 {
@@ -262,6 +354,45 @@ impl SimCounters {
     /// Total committed instructions across threads.
     pub fn total_committed(&self) -> u64 {
         self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Replay the per-cycle counter deltas relative to the snapshot
+    /// `before` (taken one cycle earlier) `k` more times: every `u64`
+    /// counter becomes what `k` further identical cycles would have left
+    /// it at. The idle-cycle fast-forward calls this after establishing
+    /// that the machine state driving those deltas cannot change during
+    /// the skipped window, so the replay is exact, not approximate.
+    ///
+    /// `mem` is deliberately **not** replicated: it mirrors the memory
+    /// hierarchy's own statistics, which the simulator re-syncs after
+    /// advancing the hierarchy's idle accounting.
+    pub fn replicate_idle_deltas(&mut self, before: &SimCounters, k: u64) {
+        let SimCounters {
+            cycles,
+            threads,
+            all_threads_ndi_stall_cycles,
+            cycles_with_dispatch_work,
+            pileup_total,
+            pileup_hdis,
+            iq_occupancy_sum,
+            watchdog_flushes,
+            fetch_policy_flushes,
+            faults,
+            mem: _,
+        } = before;
+        rep(&mut self.cycles, *cycles, k);
+        debug_assert_eq!(self.threads.len(), threads.len());
+        for (t, b) in self.threads.iter_mut().zip(threads) {
+            t.replicate_idle_deltas(b, k);
+        }
+        rep(&mut self.all_threads_ndi_stall_cycles, *all_threads_ndi_stall_cycles, k);
+        rep(&mut self.cycles_with_dispatch_work, *cycles_with_dispatch_work, k);
+        rep(&mut self.pileup_total, *pileup_total, k);
+        rep(&mut self.pileup_hdis, *pileup_hdis, k);
+        rep(&mut self.iq_occupancy_sum, *iq_occupancy_sum, k);
+        rep(&mut self.watchdog_flushes, *watchdog_flushes, k);
+        rep(&mut self.fetch_policy_flushes, *fetch_policy_flushes, k);
+        self.faults.replicate_idle_deltas(faults, k);
     }
 
     /// Total dispatched instructions across threads.

@@ -17,5 +17,6 @@ pub mod metrics;
 
 pub use counters::{FaultCounters, MemCounters, SimCounters, ThreadCounters};
 pub use metrics::{
-    fairness_hmean_weighted_ipc, geometric_mean, harmonic_mean, speedup, throughput_ipc,
+    fairness, fairness_hmean_weighted_ipc, geometric_mean, harmonic_mean, speedup, throughput_ipc,
+    Fairness,
 };

@@ -30,24 +30,58 @@ pub fn throughput_ipc(total_commits: u64, cycles: u64) -> f64 {
     }
 }
 
+/// Outcome of the fairness metric on *valid* inputs: either a value, or
+/// the meaningful degenerate case of a thread measured at exactly zero
+/// IPC (starved — the harmonic mean's limit is 0, and reporting it as
+/// "metric undefined" used to hide precisely the runs where fairness
+/// matters most).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fairness {
+    /// Harmonic mean of the per-thread weighted IPCs.
+    Value(f64),
+    /// At least one thread committed nothing in the measurement window.
+    Starved,
+}
+
+impl Fairness {
+    /// The metric as a number: `Starved` is the harmonic mean's limit, 0.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Fairness::Value(v) => v,
+            Fairness::Starved => 0.0,
+        }
+    }
+}
+
 /// The paper's fairness metric: harmonic mean of weighted IPCs,
 /// `hmean_i(ipc_smt[i] / ipc_single[i])` (Luo et al. [8], Tullsen [16]).
 ///
-/// `ipc_smt` and `ipc_single` must be the same length; returns `None` if
-/// empty, mismatched, or any single-thread IPC is non-positive.
-pub fn fairness_hmean_weighted_ipc(ipc_smt: &[f64], ipc_single: &[f64]) -> Option<f64> {
+/// Distinguishes *invalid inputs* (`None`: empty or mismatched slices, a
+/// non-positive or non-finite single-thread baseline, a negative or
+/// non-finite SMT IPC) from the *valid but degenerate* measurement of a
+/// starved thread (`Some(Fairness::Starved)`: some SMT IPC is exactly 0).
+pub fn fairness(ipc_smt: &[f64], ipc_single: &[f64]) -> Option<Fairness> {
     if ipc_smt.len() != ipc_single.len() || ipc_smt.is_empty() {
         return None;
     }
-    let weighted: Vec<f64> = ipc_smt
-        .iter()
-        .zip(ipc_single)
-        .map(|(&s, &a)| if a > 0.0 { s / a } else { f64::NAN })
-        .collect();
-    if weighted.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+    if ipc_single.iter().any(|&a| a <= 0.0 || !a.is_finite()) {
         return None;
     }
-    harmonic_mean(&weighted)
+    if ipc_smt.iter().any(|&s| s < 0.0 || !s.is_finite()) {
+        return None;
+    }
+    if ipc_smt.contains(&0.0) {
+        return Some(Fairness::Starved);
+    }
+    let weighted: Vec<f64> = ipc_smt.iter().zip(ipc_single).map(|(&s, &a)| s / a).collect();
+    harmonic_mean(&weighted).map(Fairness::Value)
+}
+
+/// [`fairness`] flattened to a number: `Starved` reports as `Some(0.0)`,
+/// invalid inputs stay `None`. Kept for callers that plot or tabulate the
+/// metric directly.
+pub fn fairness_hmean_weighted_ipc(ipc_smt: &[f64], ipc_single: &[f64]) -> Option<f64> {
+    fairness(ipc_smt, ipc_single).map(Fairness::as_f64)
 }
 
 /// Relative speedup of `new` over `baseline` (1.0 = parity).
@@ -106,6 +140,25 @@ mod tests {
         assert_eq!(fairness_hmean_weighted_ipc(&[], &[]), None);
         assert_eq!(fairness_hmean_weighted_ipc(&[1.0], &[1.0, 2.0]), None);
         assert_eq!(fairness_hmean_weighted_ipc(&[1.0], &[0.0]), None);
+        assert_eq!(fairness(&[1.0], &[f64::NAN]), None);
+        assert_eq!(fairness(&[f64::INFINITY], &[1.0]), None);
+        assert_eq!(fairness(&[-0.5], &[1.0]), None);
+    }
+
+    #[test]
+    fn fairness_reports_a_starved_thread_as_zero_not_undefined() {
+        // Regression: a thread measured at exactly 0 IPC is a *valid*
+        // observation — total starvation, the worst possible fairness —
+        // and used to be conflated with invalid inputs (`None`), hiding
+        // the runs where the metric matters most.
+        assert_eq!(fairness(&[1.0, 0.0], &[1.0, 1.0]), Some(Fairness::Starved));
+        assert_eq!(fairness_hmean_weighted_ipc(&[1.0, 0.0], &[1.0, 1.0]), Some(0.0));
+        // A merely slow thread still yields a value.
+        match fairness(&[1.0, 0.1], &[1.0, 1.0]) {
+            Some(Fairness::Value(v)) => assert!(v > 0.0 && v < 0.2),
+            other => panic!("expected a small value, got {other:?}"),
+        }
+        assert_eq!(Fairness::Starved.as_f64(), 0.0);
     }
 
     #[test]

@@ -109,31 +109,49 @@ fn main() {
             exp::figure_throughput(&db, MixTable::TwoThread, params),
             &mut sections,
         ),
-        "fig4" => add_figure(
-            "fig4",
-            exp::figure_fairness(&db, MixTable::TwoThread, params),
-            &mut sections,
-        ),
+        "fig4" => {
+            data.push((
+                "fig4".into(),
+                serde_json::json!(exp::fairness_detail(&db, MixTable::TwoThread, params)),
+            ));
+            add_figure(
+                "fig4",
+                exp::figure_fairness(&db, MixTable::TwoThread, params),
+                &mut sections,
+            )
+        }
         "fig5" => add_figure(
             "fig5",
             exp::figure_throughput(&db, MixTable::ThreeThread, params),
             &mut sections,
         ),
-        "fig6" => add_figure(
-            "fig6",
-            exp::figure_fairness(&db, MixTable::ThreeThread, params),
-            &mut sections,
-        ),
+        "fig6" => {
+            data.push((
+                "fig6".into(),
+                serde_json::json!(exp::fairness_detail(&db, MixTable::ThreeThread, params)),
+            ));
+            add_figure(
+                "fig6",
+                exp::figure_fairness(&db, MixTable::ThreeThread, params),
+                &mut sections,
+            )
+        }
         "fig7" => add_figure(
             "fig7",
             exp::figure_throughput(&db, MixTable::FourThread, params),
             &mut sections,
         ),
-        "fig8" => add_figure(
-            "fig8",
-            exp::figure_fairness(&db, MixTable::FourThread, params),
-            &mut sections,
-        ),
+        "fig8" => {
+            data.push((
+                "fig8".into(),
+                serde_json::json!(exp::fairness_detail(&db, MixTable::FourThread, params)),
+            ));
+            add_figure(
+                "fig8",
+                exp::figure_fairness(&db, MixTable::FourThread, params),
+                &mut sections,
+            )
+        }
         "stalls" => {
             sections.push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))))
         }
@@ -207,6 +225,10 @@ fn main() {
                 ("fig6", MixTable::ThreeThread),
                 ("fig8", MixTable::FourThread),
             ] {
+                data.push((
+                    name.into(),
+                    serde_json::json!(exp::fairness_detail(&db, table, params)),
+                ));
                 add_figure(name, exp::figure_fairness(&db, table, params), &mut sections);
             }
             sections.push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))));

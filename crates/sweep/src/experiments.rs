@@ -11,7 +11,7 @@ use crate::runner::RunSpec;
 use crate::IQ_SIZES;
 use serde::{Deserialize, Serialize};
 use smt_core::DispatchPolicy;
-use smt_stats::{fairness_hmean_weighted_ipc, harmonic_mean};
+use smt_stats::{fairness, harmonic_mean, Fairness};
 use smt_workload::{mixes_for, Mix, MixTable};
 
 /// Global experiment parameters.
@@ -47,6 +47,10 @@ pub struct Figure {
     pub y_label: String,
     /// The plotted series.
     pub series: Vec<Series>,
+    /// Caveats about individual points (e.g. a starved thread forcing a
+    /// fairness of zero), rendered under the chart.
+    #[serde(default)]
+    pub notes: Vec<String>,
 }
 
 const POLICIES: [DispatchPolicy; 3] =
@@ -63,15 +67,23 @@ fn mix_ipc(db: &ResultsDb, mix: &Mix, iq: usize, policy: DispatchPolicy, p: ExpP
 
 /// The paper's fairness metric for `mix` under (policy, iq): harmonic mean
 /// of per-thread IPC weighted by the single-threaded IPC on the same
-/// machine configuration.
-fn mix_fairness(db: &ResultsDb, mix: &Mix, iq: usize, policy: DispatchPolicy, p: ExpParams) -> f64 {
+/// machine configuration. `None` only for invalid inputs (a single-thread
+/// reference that failed to commit anything); a genuinely starved SMT
+/// thread is the *valid* observation [`Fairness::Starved`].
+fn mix_fairness(
+    db: &ResultsDb,
+    mix: &Mix,
+    iq: usize,
+    policy: DispatchPolicy,
+    p: ExpParams,
+) -> Option<Fairness> {
     let r = db.get(&mix_spec(mix, iq, policy, p));
     let singles: Vec<f64> = mix
         .benchmarks
         .iter()
         .map(|b| db.single_thread_ipc(b, iq, p.commit_target, p.seed))
         .collect();
-    fairness_hmean_weighted_ipc(&r.per_thread_ipc, &singles).unwrap_or(0.0)
+    fairness(&r.per_thread_ipc, &singles)
 }
 
 /// Warm the database with every run a full regeneration needs, exploiting
@@ -134,6 +146,7 @@ pub fn figure1(db: &ResultsDb, p: ExpParams) -> Figure {
         title: "Figure 1: 2OP_BLOCK speedup over traditional IQ of same capacity".into(),
         y_label: "IPC speedup (hmean across mixes)".into(),
         series,
+        notes: Vec::new(),
     }
 }
 
@@ -172,6 +185,7 @@ pub fn figure_throughput(db: &ResultsDb, table: MixTable, p: ExpParams) -> Figur
         ),
         y_label: "speedup vs traditional of same capacity (hmean)".into(),
         series,
+        notes: Vec::new(),
     }
 }
 
@@ -185,6 +199,7 @@ pub fn figure_fairness(db: &ResultsDb, table: MixTable, p: ExpParams) -> Figure 
         MixTable::FourThread => 8,
     };
     let mut series = Vec::new();
+    let mut notes = Vec::new();
     for policy in POLICIES {
         let points = IQ_SIZES
             .iter()
@@ -193,7 +208,20 @@ pub fn figure_fairness(db: &ResultsDb, table: MixTable, p: ExpParams) -> Figure 
                     .iter()
                     .map(|m| {
                         let f = mix_fairness(db, m, iq, policy, p);
-                        let base = mix_fairness(db, m, iq, DispatchPolicy::Traditional, p);
+                        // A starved thread is a real (and damning) fairness
+                        // of zero — fold it into the mean, but call it out
+                        // so a flat-zero point isn't mistaken for noise.
+                        if f == Some(Fairness::Starved) {
+                            notes.push(format!(
+                                "{} under {} at IQ {iq}: thread starved (fairness 0)",
+                                m.name,
+                                policy.name()
+                            ));
+                        }
+                        let f = f.map(Fairness::as_f64).unwrap_or(0.0);
+                        let base = mix_fairness(db, m, iq, DispatchPolicy::Traditional, p)
+                            .map(Fairness::as_f64)
+                            .unwrap_or(0.0);
                         if base > 0.0 {
                             f / base
                         } else {
@@ -213,7 +241,47 @@ pub fn figure_fairness(db: &ResultsDb, table: MixTable, p: ExpParams) -> Figure 
         ),
         y_label: "fairness vs traditional of same capacity (hmean)".into(),
         series,
+        notes,
     }
+}
+
+/// One cell of the structured fairness data behind Figures 4/6/8: the raw
+/// (un-normalized) metric for every (mix, policy, IQ) point, with the
+/// starved-thread degeneracy made explicit instead of flattened to 0.0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairnessCell {
+    /// Mix name ("Mix 1"…).
+    pub mix: String,
+    /// Scheduler.
+    pub policy: String,
+    /// Issue-queue size.
+    pub iq_size: usize,
+    /// The metric (0.0 when starved); `None` only for invalid inputs —
+    /// a single-thread reference run that committed nothing.
+    pub fairness: Option<f64>,
+    /// True when some SMT thread committed nothing in the window.
+    pub starved: bool,
+}
+
+/// The raw fairness metric behind one fairness figure, for `--json`
+/// consumers that want the per-mix numbers rather than the rendered chart.
+pub fn fairness_detail(db: &ResultsDb, table: MixTable, p: ExpParams) -> Vec<FairnessCell> {
+    let mut cells = Vec::new();
+    for mix in mixes_for(table) {
+        for iq in IQ_SIZES {
+            for policy in POLICIES {
+                let f = mix_fairness(db, &mix, iq, policy, p);
+                cells.push(FairnessCell {
+                    mix: mix.name.clone(),
+                    policy: policy.name().to_string(),
+                    iq_size: iq,
+                    fairness: f.map(Fairness::as_f64),
+                    starved: f == Some(Fairness::Starved),
+                });
+            }
+        }
+    }
+    cells
 }
 
 /// §3/§5 statistic: fraction of cycles in which *all* threads' dispatch is
@@ -932,6 +1000,22 @@ mod tests {
             {
                 assert!(c <= a.cycles, "attribution {c} exceeds elapsed cycles {}", a.cycles);
             }
+        }
+    }
+
+    #[test]
+    fn fairness_detail_flags_starvation_explicitly() {
+        let db = ResultsDb::new();
+        let cells = fairness_detail(&db, MixTable::TwoThread, tiny());
+        // Full matrix: every mix × IQ size × policy.
+        assert_eq!(cells.len(), 12 * IQ_SIZES.len() * 3);
+        for c in &cells {
+            // Single-thread references always commit on these workloads, so
+            // the metric is defined everywhere …
+            let f = c.fairness.expect("fairness defined for valid runs");
+            assert!(f >= 0.0 && f.is_finite());
+            // … and `starved` is exactly the f == 0 degeneracy.
+            assert_eq!(c.starved, f == 0.0, "starved flag out of sync at {c:?}");
         }
     }
 

@@ -23,6 +23,9 @@ pub fn render_figure(fig: &Figure) -> String {
         let _ = writeln!(out);
     }
     out.push_str(&render_chart(fig));
+    for note in &fig.notes {
+        let _ = writeln!(out, "  ! {note}");
+    }
     out
 }
 
@@ -368,12 +371,14 @@ mod tests {
                 Series { label: "a".into(), points: IQ_SIZES.iter().map(|&q| (q, 1.0)).collect() },
                 Series { label: "b".into(), points: IQ_SIZES.iter().map(|&q| (q, 2.0)).collect() },
             ],
+            notes: vec!["Mix 9 under 2OP_BLOCK at IQ 8: thread starved (fairness 0)".into()],
         };
         let text = render_figure(&fig);
         assert!(text.contains("Figure X"));
         assert!(text.contains("a"));
         assert!(text.contains("2.000"));
         assert!(text.contains("128"));
+        assert!(text.contains("! Mix 9"), "figure notes must be rendered");
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl RunSpec {
             iq_size,
             policy,
             commit_target,
-            warmup: (commit_target / 4).max(2_000),
+            // A quarter of the target, floored at 2k commits so short runs
+            // still warm caches and predictors — but never more than half
+            // the target, so a small `commit_target` measures more than it
+            // warms (the unclamped floor used to hand a 1k-commit run a
+            // 2k-commit warm-up: twice the work spent outside the window).
+            warmup: ((commit_target / 4).max(2_000)).min(commit_target / 2),
             seed,
             max_cycles: 0,
         }
@@ -264,6 +269,18 @@ mod tests {
 
     fn quick(benches: &[&str], policy: DispatchPolicy) -> RunResult {
         run_spec(&RunSpec::new(benches, 64, policy, 2_000, 1))
+    }
+
+    #[test]
+    fn warmup_never_exceeds_half_the_commit_target() {
+        // Regression: the 2k-commit warm-up floor used to dominate small
+        // targets — a 1k-commit run warmed twice as long as it measured.
+        let spec = RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 1_000, 1);
+        assert_eq!(spec.warmup, 500, "small targets must measure more than they warm");
+        let spec = RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 20_000, 1);
+        assert_eq!(spec.warmup, 5_000, "large targets keep the quarter-of-target warm-up");
+        let spec = RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 6_000, 1);
+        assert_eq!(spec.warmup, 2_000, "the 2k floor applies between the clamps");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```
 
 use smt_sim::core::DispatchPolicy;
-use smt_sim::stats::fairness_hmean_weighted_ipc;
+use smt_sim::stats::{fairness, Fairness};
 use smt_sim::sweep::{run_spec, RunSpec};
 
 fn main() {
@@ -35,9 +35,16 @@ fn main() {
         [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
     {
         let r = run_spec(&RunSpec::new(&benches, iq, policy, target, 1));
-        let fairness = fairness_hmean_weighted_ipc(&r.per_thread_ipc, &singles).unwrap_or(0.0);
+        // `Starved` (a thread committed nothing — the worst possible
+        // fairness) is reported by name, not as a bare 0.000 that could
+        // pass for a rounding artifact.
+        let fairness = match fairness(&r.per_thread_ipc, &singles) {
+            Some(Fairness::Value(v)) => format!("{v:.3}"),
+            Some(Fairness::Starved) => "STARVED".into(),
+            None => "n/a".into(),
+        };
         println!(
-            "{:<26}{:>12.3}{:>12.3}{:>14.3}{:>12.3}",
+            "{:<26}{:>12.3}{:>12}{:>14.3}{:>12.3}",
             policy.name(),
             r.ipc,
             fairness,

@@ -1,0 +1,134 @@
+//! Differential tests for the idle-cycle fast-forward.
+//!
+//! The fast-forward (see DESIGN.md) skips stretches of provably idle
+//! cycles in bulk, replaying the per-cycle counter deltas arithmetically.
+//! Its contract is *bit-for-bit* equivalence: every counter — cycles,
+//! per-thread pipeline and memory statistics, fault streams — must match
+//! the plain cycle-by-cycle run exactly, across all dispatch policies,
+//! both memory models (including finite MSHRs and a contended bus), the
+//! STALL/FLUSH fetch policies, and under injected faults.
+
+use smt_sim::core::{
+    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, FetchPolicy, SimConfig,
+};
+use smt_sim::mem::{MemModel, NonBlockingConfig};
+use smt_sim::stats::SimCounters;
+use smt_sim::sweep::{run_spec_with_config, RunSpec};
+
+/// Run a spec with the fast-forward enabled and disabled and return both
+/// (cycles, counters) pairs.
+fn run_both(spec: &RunSpec, mut cfg: SimConfig) -> (u64, SimCounters, u64, SimCounters) {
+    cfg.fast_forward = false;
+    let slow = run_spec_with_config(spec, cfg.clone());
+    cfg.fast_forward = true;
+    let fast = run_spec_with_config(spec, cfg);
+    (slow.cycles, slow.counters, fast.cycles, fast.counters)
+}
+
+fn assert_identical(label: &str, spec: &RunSpec, cfg: SimConfig) {
+    let (scyc, sc, fcyc, fc) = run_both(spec, cfg);
+    assert_eq!(scyc, fcyc, "{label}: cycle counts diverge");
+    assert_eq!(sc, fc, "{label}: counters diverge");
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_across_dispatch_policies_and_memory_models() {
+    // Both memory models matter: the flat model has no MSHR state, so a
+    // fetch attempt that misses the I-cache is invisible to everything but
+    // the fetch-quiescence check (a historical fast-forward bug — threads
+    // left unpicked by the fetch-port limit had their cold misses skipped
+    // over entirely).
+    for policy in
+        [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
+    {
+        for flat in [false, true] {
+            let spec = RunSpec::new(&["art", "twolf"], 48, policy, 3_000, 7).with_warmup(500);
+            let mut cfg = SimConfig::paper(48, policy);
+            if flat {
+                cfg.hierarchy.model = MemModel::Flat;
+            }
+            assert_identical(&format!("{policy:?}/flat={flat}"), &spec, cfg);
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_on_a_four_thread_flat_mix() {
+    // The configuration that exposed the fetch-quiescence bug: four
+    // threads, two fetch ports, flat memory — cold-start I-cache misses
+    // arrive staggered as the port limit rotates across threads.
+    let spec =
+        RunSpec::new(&["gcc", "art", "crafty", "mesa"], 48, DispatchPolicy::TwoOpBlock, 3_000, 7)
+            .with_warmup(500);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlock);
+    cfg.hierarchy.model = MemModel::Flat;
+    assert_identical("4t-flat", &spec, cfg);
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_under_stall_and_flush_fetch() {
+    // STALL parks whole threads on outstanding misses — the configuration
+    // with the longest idle stretches, i.e. the one the fast-forward
+    // accelerates most.
+    for fetch_policy in [FetchPolicy::Stall, FetchPolicy::Flush] {
+        let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 11);
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        assert_identical(&format!("{fetch_policy:?}"), &spec, cfg);
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_with_finite_mshrs_and_slow_bus() {
+    // A constrained memory system: few MSHRs, a slow contended bus, and a
+    // small write buffer. Fills and write-buffer drains are the wake
+    // sources the skip bound must respect exactly.
+    let spec = RunSpec::new(&["art", "art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 13);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+        l1i_mshrs: 2,
+        l1d_mshrs: 4,
+        l2_mshrs: 4,
+        bus_cycles_per_transfer: 8,
+        write_buffer_entries: 4,
+        write_buffer_drain_per_cycle: 1,
+    });
+    assert_identical("finite-mshr/slow-bus", &spec, cfg);
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_under_injected_faults() {
+    // Dropped wakeups schedule delayed re-broadcasts — a pop-and-reschedule
+    // the activity signature must see — and extra cache-miss latency
+    // stretches exactly the idle windows being skipped.
+    let spec = RunSpec::new(&["gcc", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_500, 3);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 41);
+    faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 300_000;
+    faults.class_mut(FaultClass::WakeupDrop).rate_ppm = 50_000;
+    cfg.faults = faults;
+    let (scyc, sc, fcyc, fc) = run_both(&spec, cfg);
+    assert!(sc.faults.cache_extra_injected > 0, "fault config must actually fire");
+    assert_eq!(scyc, fcyc, "cycle counts diverge under faults");
+    assert_eq!(sc, fc, "counters diverge under faults");
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_under_watchdog_recovery() {
+    // The watchdog decrements through idle windows; the skip bound must
+    // stop short of the flush so recovery fires on the exact same cycle.
+    let spec = RunSpec::new(&["art", "twolf"], 16, DispatchPolicy::Traditional, 1_500, 9);
+    let mut cfg = SimConfig::paper(16, DispatchPolicy::Traditional);
+    cfg.deadlock = DeadlockMode::Watchdog { timeout: 64 };
+    assert_identical("watchdog", &spec, cfg);
+}
+
+#[test]
+fn fast_forward_single_thread_memory_bound() {
+    // One STALL-fetch thread on a miss-heavy benchmark: the machine spends
+    // most of its time fully idle, so virtually every cycle is skippable.
+    let spec = RunSpec::new(&["art"], 48, DispatchPolicy::Traditional, 2_000, 21);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
+    cfg.fetch_policy = FetchPolicy::Stall;
+    assert_identical("1t-membound", &spec, cfg);
+}

@@ -1,0 +1,133 @@
+//! Golden-numbers regression test: exact end-to-end results for one small
+//! fixed workload under each dispatch policy.
+//!
+//! The reproducibility suite proves runs are *self*-consistent; this test
+//! pins the absolute numbers, so any change to pipeline timing — stage
+//! ordering, latencies, the idle-cycle fast-forward, scheduler behaviour —
+//! shows up as a diff against a known-good table instead of silently
+//! shifting every figure.
+//!
+//! The programs are hand-built [`ProgramTrace`]s, NOT the synthetic
+//! generators: the generators draw from `rand`, whose stream is not part
+//! of this repo's compatibility surface, while these traces are fixed by
+//! construction on every toolchain.
+
+use smt_sim::core::{DispatchPolicy, SimConfig, Simulator};
+use smt_sim::isa::{ArchReg, TraceInst};
+use smt_sim::stats::throughput_ipc;
+use smt_sim::workload::{InstGenerator, ProgramTrace};
+
+/// Thread 0: NDI-heavy code in the style of the paper's Figure 2 — two
+/// parallel cache-missing loads feeding a two-non-ready-source consumer
+/// (an NDI under 2OP_BLOCK), then a store and a biased loop-closing
+/// branch. Under the traditional scheduler these NDIs sit in the shared
+/// IQ; under 2OP_BLOCK they block this thread's dispatch instead.
+fn membound_program() -> Vec<TraceInst> {
+    let mut prog = Vec::new();
+    let mut pc = 0u64;
+    for i in 0..8u64 {
+        let addr = 0x100_0000 + i * 64 * 1024;
+        prog.push(TraceInst::load(pc, ArchReg::int(1), Some(ArchReg::int(10)), addr));
+        pc += 4;
+        prog.push(TraceInst::load(pc, ArchReg::int(2), Some(ArchReg::int(10)), addr + 4096));
+        pc += 4;
+        prog.push(TraceInst::alu(
+            pc,
+            ArchReg::int(3),
+            Some(ArchReg::int(1)),
+            Some(ArchReg::int(2)),
+        ));
+        pc += 4;
+        prog.push(TraceInst::store(pc, Some(ArchReg::int(3)), Some(ArchReg::int(10)), addr + 8));
+        pc += 4;
+        prog.push(TraceInst::branch(pc, Some(ArchReg::int(3)), i != 7, 0));
+        pc += 4;
+    }
+    prog
+}
+
+/// Thread 1: a mostly-high-ILP loop over a tiny cache-resident working
+/// set, with one short-lived NDI per iteration (two L1-hitting loads
+/// feeding a two-source consumer) so out-of-order dispatch has HDIs to
+/// hoist past it.
+fn ilp_program() -> Vec<TraceInst> {
+    let mut prog = Vec::new();
+    let mut pc = 0x8000u64;
+    for i in 0..6u64 {
+        prog.push(TraceInst::load(pc, ArchReg::int(4), Some(ArchReg::int(11)), 0x2000 + i * 8));
+        pc += 4;
+        prog.push(TraceInst::load(pc, ArchReg::int(5), Some(ArchReg::int(11)), 0x2100 + i * 8));
+        pc += 4;
+        prog.push(TraceInst::alu(
+            pc,
+            ArchReg::int(6),
+            Some(ArchReg::int(4)),
+            Some(ArchReg::int(5)),
+        ));
+        pc += 4;
+        for k in 0..4u64 {
+            prog.push(TraceInst::alu(
+                pc,
+                ArchReg::int(7 + (k as u8 % 8)),
+                Some(ArchReg::int(12)),
+                None,
+            ));
+            pc += 4;
+        }
+        prog.push(TraceInst::branch(pc, Some(ArchReg::int(6)), i != 5, 0x8000));
+        pc += 4;
+    }
+    prog
+}
+
+/// Run the fixed two-thread workload to a 4 000-commit target at a
+/// 16-entry IQ (small enough for the NDI thread to clog it) and return
+/// `(cycles, committed[0], committed[1])`.
+fn run_golden(policy: DispatchPolicy) -> (u64, u64, u64) {
+    let streams: Vec<Box<dyn InstGenerator>> = vec![
+        Box::new(ProgramTrace::looped(membound_program())),
+        Box::new(ProgramTrace::looped(ilp_program())),
+    ];
+    let cfg = SimConfig::paper(16, policy);
+    let mut sim = Simulator::new(cfg, streams);
+    let outcome = sim.run(4_000);
+    assert!(
+        matches!(outcome, smt_sim::core::RunOutcome::TargetReached),
+        "{policy:?}: golden run must reach its commit target, got {outcome:?}"
+    );
+    let c = sim.counters();
+    (c.cycles, c.threads[0].committed, c.threads[1].committed)
+}
+
+#[test]
+fn golden_numbers_are_stable_across_all_dispatch_policies() {
+    // (policy, cycles, committed t0, committed t1) — regenerate by running
+    // this test and copying the "actual" table from the failure message.
+    // The spread is the paper's story in miniature: plain 2OP_BLOCK's
+    // dispatch blocking starves the ILP thread (2× the cycles), and
+    // out-of-order dispatch recovers nearly all of the traditional
+    // scheduler's throughput.
+    let expected = [
+        (DispatchPolicy::Traditional, 929u64, 20u64, 4_007u64),
+        (DispatchPolicy::TwoOpBlock, 1_945, 180, 4_002),
+        (DispatchPolicy::TwoOpBlockOoo, 936, 20, 4_007),
+    ];
+    let actual: Vec<(DispatchPolicy, u64, u64, u64)> = expected
+        .iter()
+        .map(|&(policy, ..)| {
+            let (cycles, c0, c1) = run_golden(policy);
+            (policy, cycles, c0, c1)
+        })
+        .collect();
+    assert_eq!(
+        actual,
+        expected.to_vec(),
+        "golden numbers drifted — if the change is intentional, update the table"
+    );
+    // The derived headline metric follows the pinned integers exactly.
+    for &(policy, cycles, c0, c1) in &actual {
+        let ipc = throughput_ipc(c0 + c1, cycles);
+        assert_eq!(ipc, (c0 + c1) as f64 / cycles as f64, "{policy:?}: IPC derivation");
+        assert!(ipc > 0.0 && ipc < 8.0, "{policy:?}: IPC {ipc} outside sane bounds");
+    }
+}
