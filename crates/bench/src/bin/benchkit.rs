@@ -27,7 +27,7 @@
 //!   "target": 20000,
 //!   "scenarios": [
 //!     { "name": "...", "policy": "...", "committed": 0, "cycles": 0,
-//!       "wall_ms": 0.0, "sim_kips": 0.0 }
+//!       "fast_forward": true, "wall_ms": 0.0, "sim_kips": 0.0 }
 //!   ]
 //! }
 //! ```
@@ -123,6 +123,10 @@ struct Measured {
     cycles: u64,
     wall_ms: f64,
     sim_kips: f64,
+    /// Whether idle-cycle fast-forward was actually active (it is silently
+    /// a no-op under round-robin fetch; surfacing it here keeps kIPS
+    /// numbers honest about what they measured).
+    fast_forward: bool,
 }
 
 fn run_scenario(s: &Scenario, target: u64) -> Measured {
@@ -142,6 +146,7 @@ fn run_scenario(s: &Scenario, target: u64) -> Measured {
         cycles: r.cycles,
         wall_ms: wall * 1e3,
         sim_kips: if wall > 0.0 { committed as f64 / wall / 1e3 } else { 0.0 },
+        fast_forward: r.effective_fast_forward,
     }
 }
 
@@ -159,11 +164,13 @@ fn to_json(target: u64, rows: &[Measured]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"policy\": \"{}\", \"committed\": {}, \
-             \"cycles\": {}, \"wall_ms\": {:.3}, \"sim_kips\": {:.1} }}{}\n",
+             \"cycles\": {}, \"fast_forward\": {}, \"wall_ms\": {:.3}, \
+             \"sim_kips\": {:.1} }}{}\n",
             r.name,
             r.policy,
             r.committed,
             r.cycles,
+            r.fast_forward,
             r.wall_ms,
             r.sim_kips,
             if i + 1 < rows.len() { "," } else { "" }
@@ -242,8 +249,13 @@ fn main() {
     for s in QUICK {
         let m = run_scenario(s, target);
         eprintln!(
-            "  {:<28} {:>9} inst {:>10} cyc {:>9.1} ms {:>9.1} kIPS",
-            m.name, m.committed, m.cycles, m.wall_ms, m.sim_kips
+            "  {:<28} {:>9} inst {:>10} cyc {:>9.1} ms {:>9.1} kIPS{}",
+            m.name,
+            m.committed,
+            m.cycles,
+            m.wall_ms,
+            m.sim_kips,
+            if m.fast_forward { "" } else { "  [no fast-forward]" }
         );
         rows.push(m);
     }

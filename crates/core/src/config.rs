@@ -273,6 +273,17 @@ impl SimConfig {
         }
     }
 
+    /// Whether idle-cycle fast-forward will actually be active for this
+    /// configuration. Round-robin fetch re-evaluates its rotation every
+    /// cycle, including cycles where nothing else happens, so the "whole
+    /// machine is provably idle" precondition never holds and the simulator
+    /// silently disables the skip. Exposing the effective state (rather
+    /// than the requested `fast_forward` flag) lets run metadata and perf
+    /// baselines record what the run really did.
+    pub fn effective_fast_forward(&self) -> bool {
+        self.fast_forward && !matches!(self.fetch_policy, FetchPolicy::RoundRobin)
+    }
+
     /// Validate configuration consistency.
     pub fn validate(&self, num_threads: usize) -> Result<(), String> {
         if self.width == 0 || self.iq_size == 0 || self.rob_per_thread == 0 {

@@ -314,7 +314,7 @@ impl Simulator {
             tracer: None,
             faults: FaultInjector::new(cfg.faults),
             nonblocking_mem: matches!(cfg.hierarchy.model, MemModel::NonBlocking(_)),
-            fast_forward: cfg.fast_forward && !matches!(cfg.fetch_policy, FetchPolicy::RoundRobin),
+            fast_forward: cfg.effective_fast_forward(),
             committed_total: 0,
             ff_scratch: None,
             threads,

@@ -11,12 +11,16 @@
 //! which is the determinism contract of `smt_core::faults`.
 //!
 //! Usage:
-//!   faultfuzz [--iters N] [--class NAME|all] [--seed S] [--json FILE]
+//!   faultfuzz [--iters N] [--class NAME|all] [--seed S] [--jobs N]
+//!             [--json FILE]
 //!
 //! `NAME` is one of: wakeup-drop, issue-defer, cache-miss-extra,
-//! predictor-flush. `--json` writes a machine-readable outcome summary
-//! (used as the CI artifact on failure). Exits 1 on any wedge or replay
-//! divergence.
+//! predictor-flush. `--jobs N` shards iterations across worker threads:
+//! scenarios are pre-drawn from the fuzz RNG serially, so the set of
+//! scenarios — and therefore every wedge, replay check, and the final
+//! verdict — is identical at any job count. `--json` writes a
+//! machine-readable outcome summary (used as the CI artifact on failure).
+//! Exits 1 on any wedge or replay divergence.
 
 use std::io::Write as _;
 
@@ -53,7 +57,7 @@ impl XorShift {
 fn usage() -> ! {
     eprintln!(
         "usage: faultfuzz [--iters N] [--class wakeup-drop|issue-defer|cache-miss-extra|\
-         predictor-flush|all] [--seed S] [--json FILE]"
+         predictor-flush|all] [--seed S] [--jobs N] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -165,6 +169,7 @@ fn main() {
     let mut iters: u64 = 1_000;
     let mut class_arg = String::from("all");
     let mut fuzz_seed: u64 = 0xFA0175;
+    let mut jobs: usize = 1;
     let mut json_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -181,6 +186,10 @@ fn main() {
                 i += 1;
                 fuzz_seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--json" => {
                 i += 1;
                 json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -192,32 +201,49 @@ fn main() {
     // Validate the class name up front so a typo fails fast.
     let _ = fault_config_for(&class_arg, 0);
 
+    // Pre-draw every scenario from the single fuzz RNG: each draw consumes
+    // RNG state in sequence, so the scenario list — and everything derived
+    // from it — is independent of how iterations are later sharded.
     let mut rng = XorShift::new(fuzz_seed);
-    let mut wedges: Vec<String> = Vec::new();
-    let mut replay_mismatches: Vec<String> = Vec::new();
-    let mut total_injected: u64 = 0;
-    let mut replay_checks: u64 = 0;
+    let scenarios: Vec<(u64, Scenario)> =
+        (0..iters).map(|iter| (iter, Scenario::draw(&mut rng))).collect();
 
-    for iter in 0..iters {
-        let sc = Scenario::draw(&mut rng);
-        let faults = fault_config_for(&class_arg, sc.fault_seed);
+    /// Outcome of one fuzz iteration, merged back in iteration order.
+    struct IterOutcome {
+        wedge: Option<String>,
+        replay_mismatch: Option<String>,
+        injected: u64,
+        replay_checked: bool,
+    }
+
+    let progress = std::sync::atomic::AtomicU64::new(0);
+    let class_arg_ref = &class_arg;
+    let outcomes = smt_sweep::ordered_par_map(jobs, scenarios, |(iter, sc)| {
+        let done = progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if iters >= 1_000 && done.is_multiple_of(1_000) {
+            eprint!("\r  [{done}/{iters}]");
+            let _ = std::io::stderr().flush();
+        }
+        let faults = fault_config_for(class_arg_ref, sc.fault_seed);
         let mut sim = sc.build(faults);
         let outcome = sim.run(sc.commit_target);
+        let mut out =
+            IterOutcome { wedge: None, replay_mismatch: None, injected: 0, replay_checked: false };
         match outcome {
             RunOutcome::TargetReached | RunOutcome::AllFinished => {}
             RunOutcome::Wedged(report) => {
                 eprintln!("iter {iter} WEDGED: {}\n{report}", sc.describe());
-                wedges.push(format!("iter {iter}: {}: {}", sc.describe(), report.summary()));
-                continue;
+                out.wedge = Some(format!("iter {iter}: {}: {}", sc.describe(), report.summary()));
+                return out;
             }
             RunOutcome::Aborted => unreachable!("no abort predicate installed"),
         }
-        total_injected += sim.counters().faults.total_injected();
+        out.injected = sim.counters().faults.total_injected();
 
         // Determinism contract: replaying the recorded fault log must
         // reproduce the run exactly — same fault log, same counters.
         if iter % 50 == 0 {
-            replay_checks += 1;
+            out.replay_checked = true;
             let log = sim.fault_log().to_vec();
             let mut replay = sc.build(faults);
             replay.set_fault_replay(log.clone());
@@ -232,17 +258,24 @@ fn main() {
                 || replay.counters() != sim.counters()
             {
                 eprintln!("iter {iter} REPLAY DIVERGED: {}", sc.describe());
-                replay_mismatches.push(format!("iter {iter}: {}", sc.describe()));
+                out.replay_mismatch = Some(format!("iter {iter}: {}", sc.describe()));
             }
         }
-
-        if iters >= 1_000 && (iter + 1) % 1_000 == 0 {
-            eprint!("\r  [{}/{iters}] injected={total_injected}", iter + 1);
-            let _ = std::io::stderr().flush();
-        }
-    }
+        out
+    });
     if iters >= 1_000 {
         eprintln!();
+    }
+
+    let mut wedges: Vec<String> = Vec::new();
+    let mut replay_mismatches: Vec<String> = Vec::new();
+    let mut total_injected: u64 = 0;
+    let mut replay_checks: u64 = 0;
+    for out in outcomes {
+        wedges.extend(out.wedge);
+        replay_mismatches.extend(out.replay_mismatch);
+        total_injected += out.injected;
+        replay_checks += u64::from(out.replay_checked);
     }
 
     let pass = wedges.is_empty() && replay_mismatches.is_empty();

@@ -3,8 +3,11 @@
 //! Instruction Dispatch" (ICPP 2006).
 //!
 //! Usage:
-//!   paperbench <experiment> [--target N] [--seed S] [--json FILE]
+//!   paperbench <experiment> [--target N] [--seed S] [--jobs N] [--json FILE]
 //!              [--journal FILE] [--budget SECS]
+//!   paperbench serve  [--jobs N] [--socket PATH]
+//!   paperbench submit --socket PATH <experiment> [--target N] [--seed S]
+//!              [--jobs N] [--journal FILE] [--budget SECS]
 //!
 //! Experiments:
 //!   fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
@@ -12,25 +15,90 @@
 //!
 //! `--target` sets the per-thread commit budget (default 20000; the paper
 //! used 100M — see DESIGN.md §3 on scaling). `all` regenerates everything.
-//! `--journal` checkpoints every completed run to a JSONL file and resumes
-//! from it on restart; `--budget` bounds each run's wall-clock seconds.
-//! With `--json`, per-run outcomes (ok / wedged / panicked / timed-out)
-//! are included under `run_outcomes` — see EXPERIMENTS.md.
+//! `--jobs` shards runs across N worker threads; every output (journal, db,
+//! report, `--json`) is byte-identical to `--jobs 1`, only wall-clock
+//! changes. `--journal` checkpoints every completed run to a JSONL file and
+//! resumes from it on restart; `--budget` bounds each run's wall-clock
+//! seconds. With `--json`, per-run outcomes (ok / wedged / panicked /
+//! timed-out) are included under `run_outcomes` — see EXPERIMENTS.md.
+//!
+//! `serve` turns the binary into a persistent sweep service speaking
+//! newline-delimited JSON on stdin/stdout (or a Unix socket with
+//! `--socket`); `submit` is the matching client. See EXPERIMENTS.md §serve.
 
-use smt_core::{DispatchPolicy, SimConfig};
 use smt_sweep::experiments as exp;
-use smt_sweep::report;
-use smt_sweep::ResultsDb;
-use smt_workload::{mixes_for, MixTable};
-use std::io::Write as _;
+use smt_sweep::{drive, serve, ResultsDb, SweepPool};
+use std::io::{BufRead, Write as _};
 
 fn usage() -> ! {
     eprintln!(
         "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|stallattr|hdi|\
-         residency|filter|table1|mixes|mlp|all> [--target N] [--seed S] [--json FILE] \
-         [--journal FILE] [--budget SECS]"
+         residency|filter|table1|mixes|mlp|all> [--target N] [--seed S] [--jobs N] \
+         [--json FILE] [--journal FILE] [--budget SECS]\n       \
+         paperbench serve [--jobs N] [--socket PATH]\n       \
+         paperbench submit --socket PATH <experiment> [flags]"
     );
     std::process::exit(2);
+}
+
+struct Flags {
+    params: exp::ExpParams,
+    jobs: usize,
+    json_out: Option<String>,
+    journal: Option<String>,
+    budget_secs: Option<u64>,
+    socket: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags {
+        params: exp::ExpParams::default(),
+        jobs: 1,
+        json_out: None,
+        journal: None,
+        budget_secs: None,
+        socket: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" => {
+                i += 1;
+                flags.params.commit_target =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                flags.params.seed =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                i += 1;
+                flags.jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                flags.json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--journal" => {
+                i += 1;
+                flags.journal = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--budget" => {
+                i += 1;
+                flags.budget_secs =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--socket" => {
+                i += 1;
+                flags.socket = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    flags.params.jobs = flags.jobs.max(1);
+    flags
 }
 
 fn main() {
@@ -39,39 +107,38 @@ fn main() {
         usage();
     }
     let cmd = args[0].clone();
-    let mut params = exp::ExpParams::default();
-    let mut json_out: Option<String> = None;
-    let mut journal: Option<String> = None;
-    let mut budget_secs: Option<u64> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--target" => {
-                i += 1;
-                params.commit_target =
-                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+    match cmd.as_str() {
+        "serve" => return serve_main(parse_flags(&args[1..])),
+        "submit" => {
+            // The experiment name may appear anywhere among the flags
+            // (`submit --socket PATH fig1 --target N` per the docs): every
+            // flag takes a value, so the first token outside a flag pair is
+            // the experiment.
+            let rest = &args[1..];
+            let mut experiment = None;
+            let mut flag_args = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i].starts_with("--") {
+                    flag_args.push(rest[i].clone());
+                    if let Some(v) = rest.get(i + 1) {
+                        flag_args.push(v.clone());
+                    }
+                    i += 2;
+                } else {
+                    if experiment.replace(rest[i].clone()).is_some() {
+                        usage();
+                    }
+                    i += 1;
+                }
             }
-            "--seed" => {
-                i += 1;
-                params.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--json" => {
-                i += 1;
-                json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--journal" => {
-                i += 1;
-                journal = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--budget" => {
-                i += 1;
-                budget_secs =
-                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
-            }
-            _ => usage(),
+            let experiment = experiment.unwrap_or_else(|| usage());
+            return submit_main(&experiment, parse_flags(&flag_args));
         }
-        i += 1;
+        _ => {}
     }
+    let flags = parse_flags(&args[1..]);
+    let params = flags.params;
 
     let mut db = ResultsDb::new().with_progress(|done, total| {
         if total >= 20 && (done % 20 == 0 || done == total) {
@@ -82,193 +149,33 @@ fn main() {
             }
         }
     });
-    if let Some(path) = &journal {
+    if flags.jobs > 1 {
+        db = db.with_jobs(flags.jobs);
+    }
+    if let Some(path) = &flags.journal {
         db = db.with_journal(path).unwrap_or_else(|e| panic!("opening journal {path}: {e}"));
         if !db.is_empty() {
             eprintln!("resumed {} completed runs from {path}", db.len());
         }
     }
-    if let Some(secs) = budget_secs {
+    if let Some(secs) = flags.budget_secs {
         db = db.with_wall_budget(std::time::Duration::from_secs(secs));
     }
     let db = db;
 
-    let mut sections: Vec<(String, String)> = Vec::new();
-    // Structured (non-rendered) payloads for the `--json` dump, keyed like
-    // `sections`; currently the stall-attribution counters.
-    let mut data: Vec<(String, serde_json::Value)> = Vec::new();
-    let add_figure = |name: &str, fig: exp::Figure, sections: &mut Vec<(String, String)>| {
-        sections.push((name.to_string(), report::render_figure(&fig)));
-    };
-
-    match cmd.as_str() {
-        "fig1" => add_figure("fig1", exp::figure1(&db, params), &mut sections),
-        "fig2" => sections.push(("fig2".into(), figure2_demo())),
-        "fig3" => add_figure(
-            "fig3",
-            exp::figure_throughput(&db, MixTable::TwoThread, params),
-            &mut sections,
-        ),
-        "fig4" => {
-            data.push((
-                "fig4".into(),
-                serde_json::json!(exp::fairness_detail(&db, MixTable::TwoThread, params)),
-            ));
-            add_figure(
-                "fig4",
-                exp::figure_fairness(&db, MixTable::TwoThread, params),
-                &mut sections,
-            )
-        }
-        "fig5" => add_figure(
-            "fig5",
-            exp::figure_throughput(&db, MixTable::ThreeThread, params),
-            &mut sections,
-        ),
-        "fig6" => {
-            data.push((
-                "fig6".into(),
-                serde_json::json!(exp::fairness_detail(&db, MixTable::ThreeThread, params)),
-            ));
-            add_figure(
-                "fig6",
-                exp::figure_fairness(&db, MixTable::ThreeThread, params),
-                &mut sections,
-            )
-        }
-        "fig7" => add_figure(
-            "fig7",
-            exp::figure_throughput(&db, MixTable::FourThread, params),
-            &mut sections,
-        ),
-        "fig8" => {
-            data.push((
-                "fig8".into(),
-                serde_json::json!(exp::fairness_detail(&db, MixTable::FourThread, params)),
-            ));
-            add_figure(
-                "fig8",
-                exp::figure_fairness(&db, MixTable::FourThread, params),
-                &mut sections,
-            )
-        }
-        "stalls" => {
-            sections.push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))))
-        }
-        "stallattr" => {
-            let attr = exp::stall_attribution(&db, params);
-            data.push(("stallattr".into(), serde_json::json!(attr)));
-            sections.push(("stallattr".into(), report::render_stall_attribution(&attr)));
-        }
-        "hdi" => sections.push(("hdi".into(), report::render_hdi(&exp::hdi_stats(&db, params)))),
-        "residency" => sections.push((
-            "residency".into(),
-            report::render_residency(&exp::residency_stats(&db, params)),
-        )),
-        "filter" => {
-            sections.push(("filter".into(), report::render_filter(exp::filter_gain(&db, params))))
-        }
-        "mlp" => {
-            let rows = exp::mlp_contention(params);
-            data.push(("mlp".into(), serde_json::json!(rows)));
-            sections.push(("mlp".into(), report::render_mlp(&rows)));
-        }
-        "table1" => sections.push(("table1".into(), table1())),
-        "mixes" => sections.push(("mixes".into(), mixes_tables())),
-        "classify" => {
-            sections.push(("classify".into(), report::render_classify(&exp::classify(&db, params))))
-        }
-        "ablation" => {
-            sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))))
-        }
-        "fetchpol" => sections
-            .push(("fetchpol".into(), report::render_fetch_policies(&exp::fetch_policies(params)))),
-        "hetero" => {
-            sections.push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params))))
-        }
-        "wrongpath" => sections.push((
-            "wrongpath".into(),
-            report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
-        )),
-        "convergence" => sections.push((
-            "convergence".into(),
-            report::render_convergence(&exp::convergence(&db, params)),
-        )),
-        "mixdetail" => {
-            for (name, table) in [
-                ("Table 3 (2-threaded)", MixTable::TwoThread),
-                ("Table 4 (3-threaded)", MixTable::ThreeThread),
-                ("Table 2 (4-threaded)", MixTable::FourThread),
-            ] {
-                sections.push((
-                    format!("mixdetail-{}", table.num_threads()),
-                    report::render_mix_detail(name, 64, &exp::mix_detail(&db, table, 64, params)),
-                ));
-            }
-        }
-        "all" => {
-            eprintln!("prewarming the results database (every figure's sweeps)...");
-            exp::prewarm(&db, params);
-            sections.push(("table1".into(), table1()));
-            sections.push(("mixes".into(), mixes_tables()));
-            add_figure("fig1", exp::figure1(&db, params), &mut sections);
-            sections.push(("fig2".into(), figure2_demo()));
-            for (name, table) in [
-                ("fig3", MixTable::TwoThread),
-                ("fig5", MixTable::ThreeThread),
-                ("fig7", MixTable::FourThread),
-            ] {
-                add_figure(name, exp::figure_throughput(&db, table, params), &mut sections);
-            }
-            for (name, table) in [
-                ("fig4", MixTable::TwoThread),
-                ("fig6", MixTable::ThreeThread),
-                ("fig8", MixTable::FourThread),
-            ] {
-                data.push((
-                    name.into(),
-                    serde_json::json!(exp::fairness_detail(&db, table, params)),
-                ));
-                add_figure(name, exp::figure_fairness(&db, table, params), &mut sections);
-            }
-            sections.push(("stalls".into(), report::render_stalls(&exp::stall_stats(&db, params))));
-            let attr = exp::stall_attribution(&db, params);
-            data.push(("stallattr".into(), serde_json::json!(attr)));
-            sections.push(("stallattr".into(), report::render_stall_attribution(&attr)));
-            sections.push(("hdi".into(), report::render_hdi(&exp::hdi_stats(&db, params))));
-            sections.push((
-                "residency".into(),
-                report::render_residency(&exp::residency_stats(&db, params)),
-            ));
-            sections.push(("filter".into(), report::render_filter(exp::filter_gain(&db, params))));
-            sections
-                .push(("classify".into(), report::render_classify(&exp::classify(&db, params))));
-            sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))));
-            sections.push((
-                "fetchpol".into(),
-                report::render_fetch_policies(&exp::fetch_policies(params)),
-            ));
-            sections
-                .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params))));
-            sections.push((
-                "wrongpath".into(),
-                report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
-            ));
-            let mlp_rows = exp::mlp_contention(params);
-            data.push(("mlp".into(), serde_json::json!(mlp_rows)));
-            sections.push(("mlp".into(), report::render_mlp(&mlp_rows)));
-        }
-        _ => usage(),
+    if cmd == "all" {
+        eprintln!("prewarming the results database (every figure's sweeps)...");
     }
+    let rendered = drive::run_experiment(&db, &cmd, params).unwrap_or_else(|| usage());
 
-    for (_, text) in &sections {
+    for (_, text) in &rendered.sections {
         println!("{text}");
     }
-    if let Some(path) = json_out {
+    if let Some(path) = flags.json_out {
         let map: std::collections::BTreeMap<&str, &str> =
-            sections.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            rendered.sections.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
         let data_map: std::collections::BTreeMap<&str, &serde_json::Value> =
-            data.iter().map(|(k, v)| (k.as_str(), v)).collect();
+            rendered.data.iter().map(|(k, v)| (k.as_str(), v)).collect();
         let run_outcomes: Vec<serde_json::Value> = db
             .outcomes()
             .iter()
@@ -277,11 +184,13 @@ fn main() {
                     "spec": r.spec,
                     "status": r.status.name(),
                     "attempts": r.attempts,
-                    "wall_ms": r.wall_ms,
+                    "effective_fast_forward": r.metrics.effective_fast_forward,
                     "wedge": r.report.as_ref().map(|rep| rep.summary()),
                 })
             })
             .collect();
+        // `jobs` is deliberately not echoed: it is a scheduling knob, and
+        // the payload must be byte-identical at any --jobs count.
         let payload = serde_json::json!({
             "params": { "commit_target": params.commit_target, "seed": params.seed },
             "sections": map,
@@ -294,93 +203,96 @@ fn main() {
     }
 }
 
-/// Table 1: print the paper configuration (asserting the defaults).
-fn table1() -> String {
-    let c = SimConfig::paper(64, DispatchPolicy::Traditional);
-    format!(
-        "Table 1: Configuration of the simulated processor\n  \
-         machine width:        {}-wide fetch/issue/commit\n  \
-         fetch threads/cycle:  {}\n  \
-         ROB per thread:       {} entries\n  \
-         LSQ per thread:       {} entries\n  \
-         physical registers:   {} int + {} fp\n  \
-         front end:            {}-stage fetch-to-dispatch\n  \
-         L2 hit / memory:      {} / {} cycles\n  \
-         branch predictor:     {}-entry gShare, {}-bit history, {}-entry {}-way BTB\n",
-        c.width,
-        c.fetch_threads_per_cycle,
-        c.rob_per_thread,
-        c.lsq_per_thread,
-        c.phys_int,
-        c.phys_fp,
-        c.frontend_depth,
-        c.hierarchy.l2_hit_latency,
-        c.hierarchy.memory_latency,
-        c.gshare.table_entries,
-        c.gshare.history_bits,
-        c.btb.entries,
-        c.btb.ways,
-    )
-}
-
-/// Tables 2–4: the simulated workload mixes.
-fn mixes_tables() -> String {
-    let mut out = String::new();
-    for table in [MixTable::FourThread, MixTable::TwoThread, MixTable::ThreeThread] {
-        out.push_str(&format!("{}\n", table.table_name()));
-        for m in mixes_for(table) {
-            out.push_str(&format!(
-                "  {:<8} {:<26} {}\n",
-                m.name,
-                m.classification,
-                m.benchmarks.join(", ")
-            ));
+/// `paperbench serve`: speak the sweep protocol on stdin/stdout, or accept
+/// connections on `--socket PATH` (one protocol session per connection),
+/// multiplexing every sweep over one shared worker pool.
+fn serve_main(flags: Flags) {
+    let jobs = if flags.jobs > 1 {
+        flags.jobs
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    let pool = SweepPool::shared(jobs);
+    match flags.socket {
+        None => {
+            eprintln!("paperbench serve: {jobs} workers, protocol on stdin/stdout");
+            let stdin = std::io::stdin();
+            serve::serve(stdin.lock(), std::io::stdout(), pool)
+                .unwrap_or_else(|e| panic!("serve: {e}"));
         }
-        out.push('\n');
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .unwrap_or_else(|e| panic!("binding {path}: {e}"));
+            eprintln!("paperbench serve: {jobs} workers, listening on {path}");
+            let mut sessions = Vec::new();
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let pool = std::sync::Arc::clone(&pool);
+                sessions.push(std::thread::spawn(move || {
+                    let reader =
+                        std::io::BufReader::new(stream.try_clone().expect("cloning connection"));
+                    let _ = serve::serve(reader, stream, pool);
+                }));
+                sessions.retain(|s| !s.is_finished());
+            }
+        }
     }
-    out
 }
 
-/// Figure 2: the NDI/HDI classification example, demonstrated live through
-/// the dispatch planner.
-fn figure2_demo() -> String {
-    use smt_core::{plan_thread, BufView, PhysReg};
-    use smt_isa::RegClass;
-    let preg = |i| PhysReg { class: RegClass::Int, index: i };
-    // I2 has two non-ready sources (an NDI under 2OP_BLOCK); I3 is
-    // independent of I2; I4 reads I2's destination.
-    let i2 = BufView {
-        trace_idx: 2,
-        non_ready: 2,
-        nonready_srcs: [Some(preg(1)), Some(preg(2))],
-        dest: Some(preg(3)),
-        is_rob_oldest: false,
+/// `paperbench submit`: send one sweep to a running `serve --socket` and
+/// stream its events — checkpoints to stderr, sections to stdout.
+fn submit_main(experiment: &str, flags: Flags) {
+    let Some(path) = &flags.socket else {
+        eprintln!("submit requires --socket PATH");
+        usage();
     };
-    let i3 = BufView {
-        trace_idx: 3,
-        non_ready: 0,
-        nonready_srcs: [None, None],
-        dest: Some(preg(4)),
-        is_rob_oldest: false,
+    let stream = std::os::unix::net::UnixStream::connect(path)
+        .unwrap_or_else(|e| panic!("connecting to {path}: {e}"));
+    let req = serve::Request {
+        cmd: "sweep".into(),
+        id: Some(std::process::id() as u64),
+        experiment: Some(experiment.to_string()),
+        target: Some(flags.params.commit_target),
+        seed: Some(flags.params.seed),
+        jobs: if flags.jobs > 1 { Some(flags.jobs) } else { None },
+        journal: flags.journal.clone(),
+        budget_secs: flags.budget_secs,
     };
-    let i4 = BufView {
-        trace_idx: 4,
-        non_ready: 1,
-        nonready_srcs: [Some(preg(3)), None],
-        dest: Some(preg(5)),
-        is_rob_oldest: false,
-    };
-    let ooo = plan_thread(&[i2, i3, i4], DispatchPolicy::TwoOpBlockOoo, 8);
-    let blocked = plan_thread(&[i2, i3, i4], DispatchPolicy::TwoOpBlock, 8);
-    let order: Vec<String> = ooo.candidates.iter().map(|c| format!("I{}", c.trace_idx)).collect();
-    format!(
-        "Figure 2: NDI/HDI classification example\n  \
-         program: I2 (2 non-ready sources, NDI), I3 (independent DI), I4 (DI reading I2)\n  \
-         2OP_BLOCK:          dispatches nothing (thread blocked by I2): blocked={}\n  \
-         2OP_BLOCK+OOO:      dispatches {} ahead of I2 — both HDIs enter the IQ first\n  \
-         I4 flagged NDI-dependent: {} (paper: such HDIs are ~10%% and not worth filtering)\n",
-        blocked.ndi_blocked,
-        order.join(", "),
-        ooo.candidates.iter().any(|c| c.ndi_dependent),
-    )
+    {
+        let mut w = stream.try_clone().expect("cloning socket");
+        let mut line = serde_json::to_string(&req).expect("encoding request");
+        line.push('\n');
+        w.write_all(line.as_bytes()).unwrap_or_else(|e| panic!("sending request: {e}"));
+    }
+    for line in std::io::BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        let Ok(event) = serde_json::from_str::<serde_json::Value>(&line) else { continue };
+        let kind = event.get("event").and_then(|v| v.as_str()).unwrap_or("");
+        match kind {
+            "checkpoint" => {
+                let done = event.get("done").and_then(|v| v.as_u64()).unwrap_or(0);
+                let total = event.get("total").and_then(|v| v.as_u64()).unwrap_or(0);
+                eprint!("\r  [{done}/{total} runs]");
+                let _ = std::io::stderr().flush();
+                if done == total {
+                    eprintln!();
+                }
+            }
+            "section" => {
+                if let Some(text) = event.get("text").and_then(|v| v.as_str()) {
+                    println!("{text}");
+                }
+            }
+            "done" => return,
+            "error" => {
+                let msg = event.get("message").and_then(|v| v.as_str()).unwrap_or("?");
+                eprintln!("sweep failed: {msg}");
+                std::process::exit(1);
+            }
+            _ => {}
+        }
+    }
+    eprintln!("connection closed before the sweep finished");
+    std::process::exit(1);
 }

@@ -3,26 +3,44 @@
 //! Several of the paper's figures share underlying sweeps (e.g. the
 //! traditional-scheduler runs serve as the baseline of Figures 1 and 3–8
 //! and as the denominator of the fairness metric). [`ResultsDb`] computes
-//! each distinct [`RunSpec`] exactly once, fanning batches out over rayon.
+//! each distinct [`RunSpec`] exactly once, sharding batches across a
+//! [`SweepPool`] when one is attached ([`ResultsDb::with_jobs`] /
+//! [`ResultsDb::with_pool`]).
+//!
+//! **Scheduling never leaks into results.** Runs are deterministic given
+//! their spec, and completed records are merged back into the database and
+//! the journal **in spec order** — an out-of-order completion waits in a
+//! reorder buffer until every earlier spec has been emitted. The database
+//! contents, the journal bytes, and everything rendered from them are
+//! therefore bit-identical whether a batch ran on one worker or sixteen
+//! (pinned by `tests/parallel_determinism.rs`).
 //!
 //! Every run is isolated: a wedge, a panic, or an expired wall-clock budget
 //! produces a [`RunRecord`] with a non-[`RunStatus::Ok`] status instead of
 //! taking the whole sweep down. A wedged run is retried once (keeping the
 //! first [`DeadlockReport`] either way) so a transient host hiccup cannot
-//! masquerade as a simulator deadlock. With [`ResultsDb::with_journal`],
-//! completed records are appended to a JSONL checkpoint and reloaded on the
-//! next construction, so a killed sweep resumes without re-running finished
-//! specs.
+//! masquerade as a simulator deadlock. Panics inside an isolated run are
+//! kept quiet — the payload travels through the record's `panic_msg`, not
+//! through a backtrace interleaved across worker threads — while panics
+//! anywhere else (tests, the `diag` tool) stay loud.
+//!
+//! With [`ResultsDb::with_journal`], completed records are appended to a
+//! JSONL checkpoint and reloaded on the next construction, so a killed
+//! sweep resumes without re-running finished specs. Each record is written
+//! as one `write_all` of a complete `line\n` and flushed, so a crash can
+//! torn-write at most the final line; the loader detects such a torn tail,
+//! truncates it (with a warning) and resumes from the clean prefix.
 
+use crate::pool::SweepPool;
 use crate::runner::{run_spec_budgeted, RunFailure, RunResult, RunSpec};
-use parking_lot::Mutex;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use smt_core::{DeadlockReport, DispatchPolicy, SimConfig};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, MutexGuard, Once};
 use std::time::{Duration, Instant};
 
 /// Terminal status of one attempted run.
@@ -67,11 +85,16 @@ pub struct RunRecord {
     pub panic_msg: Option<String>,
     /// Attempts made (2 when a wedge triggered the retry).
     pub attempts: u32,
-    /// Wall-clock time across all attempts, in milliseconds.
+    /// Wall-clock time across all attempts, in milliseconds. In-memory
+    /// only: wall time varies run to run, so it is deliberately excluded
+    /// from the journal and every byte-stable output (`--json`, reports).
+    /// Records resumed from a journal report 0.
     pub wall_ms: u64,
 }
 
-/// Serialized form of a [`RunRecord`] for the JSONL journal.
+/// Serialized form of a [`RunRecord`] for the JSONL journal. Contains no
+/// wall-clock (or otherwise nondeterministic) fields: the journal written
+/// by a parallel sweep must be byte-identical to a serial one.
 #[derive(Serialize, Deserialize)]
 struct JournalEntry {
     spec: RunSpec,
@@ -80,7 +103,6 @@ struct JournalEntry {
     report: Option<DeadlockReport>,
     panic_msg: Option<String>,
     attempts: u32,
-    wall_ms: u64,
 }
 
 impl JournalEntry {
@@ -92,7 +114,6 @@ impl JournalEntry {
             report: r.report.as_deref().cloned(),
             panic_msg: r.panic_msg.clone(),
             attempts: r.attempts,
-            wall_ms: r.wall_ms,
         }
     }
 
@@ -104,7 +125,113 @@ impl JournalEntry {
             report: self.report.map(Box::new),
             panic_msg: self.panic_msg,
             attempts: self.attempts,
-            wall_ms: self.wall_ms,
+            wall_ms: 0,
+        }
+    }
+}
+
+// Marks the current thread as executing an isolated run: panics are
+// swallowed by the hook (their payload is captured via `catch_unwind`
+// into the record) instead of spraying backtraces across worker threads.
+thread_local! {
+    static IN_ISOLATED_RUN: Cell<bool> = const { Cell::new(false) };
+}
+
+static ISOLATION_HOOK: Once = Once::new();
+
+/// Install (once, process-wide) a panic hook that stays silent for panics
+/// raised inside an isolated run and delegates to the previous hook for
+/// everything else — so `cargo test` assertions and the `diag` tool remain
+/// as loud as ever, while a 16-worker sweep with a panicking config prints
+/// nothing but its own status column.
+fn install_isolation_hook() {
+    ISOLATION_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_ISOLATED_RUN.with(Cell::get) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+struct IsolationGuard;
+
+impl IsolationGuard {
+    fn enter() -> Self {
+        install_isolation_hook();
+        IN_ISOLATED_RUN.with(|f| f.set(true));
+        IsolationGuard
+    }
+}
+
+impl Drop for IsolationGuard {
+    fn drop(&mut self) {
+        IN_ISOLATED_RUN.with(|f| f.set(false));
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Execute one spec with full isolation: panics are caught (quietly — see
+/// [`install_isolation_hook`]), the wall-clock budget is enforced, and a
+/// wedge is retried once with the first report kept. Free function so pool
+/// workers can run it without borrowing the database.
+fn execute_spec(spec: &RunSpec, budget: Option<Duration>) -> RunRecord {
+    let started = Instant::now();
+    let deadline = budget.map(|b| started + b);
+    let n = spec.benchmarks.len();
+    let mut first_report: Option<Box<DeadlockReport>> = None;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let cfg = SimConfig::paper(spec.iq_size, spec.policy);
+        let outcome = {
+            let _quiet = IsolationGuard::enter();
+            catch_unwind(AssertUnwindSafe(|| run_spec_budgeted(spec, cfg, deadline)))
+        };
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let fail = |status, report, panic_msg| RunRecord {
+            spec: spec.clone(),
+            status,
+            metrics: Arc::new(RunResult::failed(n)),
+            report,
+            panic_msg,
+            attempts,
+            wall_ms,
+        };
+        match outcome {
+            Ok(Ok(result)) => {
+                return RunRecord {
+                    spec: spec.clone(),
+                    status: RunStatus::Ok,
+                    metrics: Arc::new(result),
+                    report: first_report,
+                    panic_msg: None,
+                    attempts,
+                    wall_ms,
+                }
+            }
+            Ok(Err(RunFailure::Wedged(report))) => {
+                if first_report.is_none() {
+                    // First wedge: keep the diagnosis and retry once.
+                    first_report = Some(report);
+                    continue;
+                }
+                return fail(RunStatus::Wedged, first_report, None);
+            }
+            Ok(Err(RunFailure::TimedOut)) => return fail(RunStatus::TimedOut, first_report, None),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return fail(RunStatus::Panicked, first_report, Some(msg));
+            }
         }
     }
 }
@@ -113,13 +240,15 @@ impl JournalEntry {
 #[derive(Default)]
 pub struct ResultsDb {
     records: Mutex<HashMap<RunSpec, Arc<RunRecord>>>,
-    /// Progress callback invoked after each completed run with
-    /// (completed, total) of the current batch.
+    /// Progress callback invoked as records are merged (in spec order)
+    /// with (merged, total) of the current batch.
     progress: Option<Box<dyn Fn(usize, usize) + Send + Sync>>,
-    /// Open checkpoint journal, appended to after every completed run.
+    /// Open checkpoint journal, appended to as each record is merged.
     journal: Option<Mutex<std::fs::File>>,
     /// Per-run wall-clock budget; `None` = unbounded.
     budget: Option<Duration>,
+    /// Worker pool for sharded batch execution; `None` = serial.
+    pool: Option<Arc<SweepPool>>,
 }
 
 impl ResultsDb {
@@ -141,21 +270,79 @@ impl ResultsDb {
         self
     }
 
+    /// Shard batch execution across `jobs` worker threads. `jobs <= 1`
+    /// keeps the serial path. Results are independent of `jobs` down to
+    /// the byte (see the module docs).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pool = if jobs > 1 { Some(SweepPool::shared(jobs)) } else { None };
+        self
+    }
+
+    /// Shard batch execution across an existing (possibly shared) pool.
+    pub fn with_pool(mut self, pool: Arc<SweepPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Attach a JSONL checkpoint journal at `path`. Records already present
     /// in the file are loaded (so their specs will not be re-run) and every
     /// newly completed record is appended, making a killed-and-restarted
-    /// sweep resume where it left off. Unparseable lines — e.g. a partial
-    /// line from a crash mid-write — are skipped.
+    /// sweep resume where it left off.
+    ///
+    /// Crash consistency: appends are single whole-line writes, so the only
+    /// damage a kill can inflict is a truncated *final* line. Such a torn
+    /// tail is detected (it has no terminating newline), warned about, and
+    /// truncated away so the next append starts on a clean line instead of
+    /// gluing two records together. A complete-but-unparseable line (hand
+    /// edits, version skew) is warned about and skipped, but kept in the
+    /// file.
     pub fn with_journal(mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let path = path.as_ref();
-        if let Ok(f) = std::fs::File::open(path) {
-            let mut map = self.records.lock();
-            for line in std::io::BufReader::new(f).lines() {
-                let Ok(line) = line else { break };
-                if let Ok(entry) = serde_json::from_str::<JournalEntry>(&line) {
-                    let rec = entry.into_record();
-                    map.insert(rec.spec.clone(), Arc::new(rec));
+        if let Ok(data) = std::fs::read(path) {
+            let mut map = lock(&self.records);
+            let mut pos = 0usize;
+            let mut clean_len = 0usize;
+            while pos < data.len() {
+                match data[pos..].iter().position(|&b| b == b'\n') {
+                    Some(rel) => {
+                        let line = &data[pos..pos + rel];
+                        match std::str::from_utf8(line)
+                            .ok()
+                            .and_then(|s| serde_json::from_str::<JournalEntry>(s).ok())
+                        {
+                            Some(entry) => {
+                                let rec = entry.into_record();
+                                map.insert(rec.spec.clone(), Arc::new(rec));
+                            }
+                            None => {
+                                if !line.is_empty() {
+                                    eprintln!(
+                                        "warning: journal {}: skipping unparseable line at byte {pos}",
+                                        path.display()
+                                    );
+                                }
+                            }
+                        }
+                        pos += rel + 1;
+                        clean_len = pos;
+                    }
+                    None => {
+                        eprintln!(
+                            "warning: journal {}: dropping torn trailing line ({} bytes) — \
+                             likely a crash mid-append; its spec will be re-run",
+                            path.display(),
+                            data.len() - pos
+                        );
+                        break;
+                    }
                 }
+            }
+            drop(map);
+            if clean_len < data.len() {
+                // Truncate the torn tail so future appends cannot merge
+                // into it and poison *two* records instead of none.
+                let f = std::fs::OpenOptions::new().write(true).open(path)?;
+                f.set_len(clean_len as u64)?;
             }
         }
         let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
@@ -165,92 +352,49 @@ impl ResultsDb {
 
     /// Number of memoized records.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        lock(&self.records).len()
     }
 
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
-    }
-
-    /// Execute one spec with full isolation: panics are caught, the
-    /// wall-clock budget is enforced, and a wedge is retried once with the
-    /// first report kept.
-    fn execute_spec(&self, spec: &RunSpec) -> RunRecord {
-        let started = Instant::now();
-        let deadline = self.budget.map(|b| started + b);
-        let n = spec.benchmarks.len();
-        let mut first_report: Option<Box<DeadlockReport>> = None;
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            let cfg = SimConfig::paper(spec.iq_size, spec.policy);
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_spec_budgeted(spec, cfg, deadline)));
-            let wall_ms = started.elapsed().as_millis() as u64;
-            let fail = |status, report, panic_msg| RunRecord {
-                spec: spec.clone(),
-                status,
-                metrics: Arc::new(RunResult::failed(n)),
-                report,
-                panic_msg,
-                attempts,
-                wall_ms,
-            };
-            match outcome {
-                Ok(Ok(result)) => {
-                    return RunRecord {
-                        spec: spec.clone(),
-                        status: RunStatus::Ok,
-                        metrics: Arc::new(result),
-                        report: first_report,
-                        panic_msg: None,
-                        attempts,
-                        wall_ms,
-                    }
-                }
-                Ok(Err(RunFailure::Wedged(report))) => {
-                    if first_report.is_none() {
-                        // First wedge: keep the diagnosis and retry once.
-                        first_report = Some(report);
-                        continue;
-                    }
-                    return fail(RunStatus::Wedged, first_report, None);
-                }
-                Ok(Err(RunFailure::TimedOut)) => {
-                    return fail(RunStatus::TimedOut, first_report, None)
-                }
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    return fail(RunStatus::Panicked, first_report, Some(msg));
-                }
-            }
-        }
+        lock(&self.records).is_empty()
     }
 
     fn append_to_journal(&self, record: &RunRecord) {
         if let Some(journal) = &self.journal {
-            if let Ok(line) = serde_json::to_string(&JournalEntry::from_record(record)) {
-                let mut f = journal.lock();
-                // Best-effort: a full disk should not kill the sweep.
-                let _ = writeln!(f, "{line}");
+            if let Ok(mut line) = serde_json::to_string(&JournalEntry::from_record(record)) {
+                line.push('\n');
+                let mut f = lock(journal);
+                // One write_all per record: a kill can truncate the last
+                // line but never interleave two. Best-effort beyond that —
+                // a full disk should not kill the sweep.
+                let _ = f.write_all(line.as_bytes());
                 let _ = f.flush();
             }
         }
     }
 
-    /// Ensure every spec in `specs` has been attempted, in parallel; then
-    /// return records in order. Failed runs are returned like any other —
+    /// Journal, memoize, and report one freshly computed record. The merge
+    /// order across a batch is the caller's responsibility (spec order).
+    fn commit(&self, record: Arc<RunRecord>, merged: usize, total: usize) {
+        self.append_to_journal(&record);
+        lock(&self.records).insert(record.spec.clone(), record);
+        if let Some(cb) = &self.progress {
+            cb(merged, total);
+        }
+    }
+
+    /// Ensure every spec in `specs` has been attempted, then return records
+    /// in order. Batches are sharded across the attached pool (if any) and
+    /// merged back in spec order, so database and journal contents do not
+    /// depend on scheduling. Failed runs are returned like any other —
     /// check [`RunRecord::status`] before using their metrics.
     pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunRecord>> {
         let missing: Vec<RunSpec> = {
-            let map = self.records.lock();
+            let map = lock(&self.records);
             specs.iter().filter(|s| !map.contains_key(*s)).cloned().collect()
         };
-        // Deduplicate while preserving determinism.
+        // Deduplicate while preserving spec order.
         let mut todo: Vec<RunSpec> = Vec::new();
         {
             let mut seen = std::collections::HashSet::new();
@@ -261,26 +405,40 @@ impl ResultsDb {
             }
         }
         let total = todo.len();
-        let done = std::sync::atomic::AtomicUsize::new(0);
-        let fresh: Vec<Arc<RunRecord>> = todo
-            .into_par_iter()
-            .map(|spec| {
-                let record = Arc::new(self.execute_spec(&spec));
-                self.append_to_journal(&record);
-                let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                if let Some(cb) = &self.progress {
-                    cb(d, total);
+        match self.pool.as_ref().filter(|p| p.jobs() > 1 && total > 1) {
+            None => {
+                for (i, spec) in todo.iter().enumerate() {
+                    let record = Arc::new(execute_spec(spec, self.budget));
+                    self.commit(record, i + 1, total);
                 }
-                record
-            })
-            .collect();
-        {
-            let mut map = self.records.lock();
-            for record in fresh {
-                map.insert(record.spec.clone(), record);
+            }
+            Some(pool) => {
+                let (tx, rx) = channel::<(usize, RunRecord)>();
+                for (idx, spec) in todo.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    let budget = self.budget;
+                    pool.spawn(move || {
+                        let record = execute_spec(&spec, budget);
+                        let _ = tx.send((idx, record));
+                    });
+                }
+                drop(tx);
+                // Reorder buffer: completions arrive in any order; records
+                // are committed strictly in spec order.
+                let mut slots: Vec<Option<RunRecord>> = (0..total).map(|_| None).collect();
+                let mut next_emit = 0usize;
+                for (idx, record) in rx.iter() {
+                    slots[idx] = Some(record);
+                    while next_emit < total {
+                        let Some(record) = slots[next_emit].take() else { break };
+                        self.commit(Arc::new(record), next_emit + 1, total);
+                        next_emit += 1;
+                    }
+                }
+                assert_eq!(next_emit, total, "a sweep worker died without delivering its record");
             }
         }
-        let map = self.records.lock();
+        let map = lock(&self.records);
         specs.iter().map(|s| Arc::clone(&map[s])).collect()
     }
 
@@ -291,15 +449,25 @@ impl ResultsDb {
         self.record(spec).metrics.clone()
     }
 
-    /// Run (or fetch) a single spec and return its full record.
+    /// Run (or fetch) a single spec and return its full record — by
+    /// construction, without round-tripping through a batch whose result
+    /// vector could be mis-shaped.
     pub fn record(&self, spec: &RunSpec) -> Arc<RunRecord> {
-        self.run_all(std::slice::from_ref(spec)).pop().unwrap()
+        if let Some(existing) = lock(&self.records).get(spec) {
+            return Arc::clone(existing);
+        }
+        let record = Arc::new(execute_spec(spec, self.budget));
+        self.append_to_journal(&record);
+        let mut map = lock(&self.records);
+        // A concurrent caller may have raced us here; keep the first
+        // insertion so memoization stays Arc-identical.
+        Arc::clone(map.entry(spec.clone()).or_insert(record))
     }
 
     /// Every record, ordered deterministically (by spec debug format) for
     /// stable JSON output.
     pub fn outcomes(&self) -> Vec<Arc<RunRecord>> {
-        let map = self.records.lock();
+        let map = lock(&self.records);
         let mut all: Vec<Arc<RunRecord>> = map.values().cloned().collect();
         all.sort_by_key(|r| format!("{:?}", r.spec));
         all
@@ -358,6 +526,40 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert!(Arc::ptr_eq(&out[0], &out[2]));
         assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn sharded_run_all_matches_serial_records() {
+        let mut specs = Vec::new();
+        for iq in [32usize, 48, 64] {
+            for seed in [1u64, 2] {
+                specs.push(RunSpec::new(&["gcc"], iq, DispatchPolicy::Traditional, 800, seed));
+            }
+        }
+        let serial = ResultsDb::new();
+        let serial_out = serial.run_all(&specs);
+        let sharded = ResultsDb::new().with_jobs(4);
+        let sharded_out = sharded.run_all(&specs);
+        for (a, b) in serial_out.iter().zip(&sharded_out) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.metrics.counters, b.metrics.counters, "spec {:?}", a.spec);
+        }
+    }
+
+    #[test]
+    fn progress_reports_in_spec_order_when_sharded() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let db = ResultsDb::new().with_jobs(4).with_progress(move |done, total| {
+            lock(&seen2).push((done, total));
+        });
+        let specs: Vec<RunSpec> = (1..=6)
+            .map(|s| RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 800, s))
+            .collect();
+        db.run_all(&specs);
+        let calls = lock(&seen).clone();
+        assert_eq!(calls, (1..=6).map(|i| (i, 6)).collect::<Vec<_>>());
     }
 
     #[test]
@@ -426,5 +628,79 @@ mod tests {
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_truncated_and_rerun() {
+        let dir = std::env::temp_dir().join(format!("smt-sweep-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let s1 = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        let s2 = RunSpec::new(&["art"], 32, DispatchPolicy::Traditional, 1_000, 1);
+        {
+            let db = ResultsDb::new().with_journal(&path).unwrap();
+            db.run_all(&[s1.clone(), s2.clone()]);
+        }
+        // Simulate a SIGKILL mid-append: chop the final record in half, so
+        // the file ends in a syntactically broken, newline-less line.
+        let data = std::fs::read(&path).unwrap();
+        let first_line_end = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+        assert!(data.len() > first_line_end + 10, "need two records to tear one");
+        let torn_len = first_line_end + (data.len() - first_line_end) / 2;
+        let torn = &data[..torn_len];
+        assert_ne!(torn.last(), Some(&b'\n'), "the tear must leave no trailing newline");
+        std::fs::write(&path, torn).unwrap();
+
+        // Resume: the intact first record loads; the torn second is
+        // truncated away and re-runs cleanly.
+        let db = ResultsDb::new().with_journal(&path).unwrap();
+        assert_eq!(db.len(), 1, "only the intact record may survive the tear");
+        let out = db.run_all(&[s1.clone(), s2.clone()]);
+        assert_eq!(out[0].status, RunStatus::Ok);
+        assert_eq!(out[1].status, RunStatus::Ok);
+
+        // The re-run's append must start on a fresh line: the journal now
+        // holds exactly two parseable records (no glued-together garbage).
+        let db2 = ResultsDb::new().with_journal(&path).unwrap();
+        assert_eq!(db2.len(), 2, "journal must hold both records after the repair");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn journal_bytes_do_not_depend_on_job_count() {
+        let dir = std::env::temp_dir().join(format!("smt-sweep-jdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut specs = vec![wedging_spec()];
+        for seed in 1..=5u64 {
+            specs.push(RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 800, seed));
+        }
+        let mut journals = Vec::new();
+        for jobs in [1usize, 4] {
+            let path = dir.join(format!("journal-{jobs}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            let db = ResultsDb::new().with_jobs(jobs).with_journal(&path).unwrap();
+            db.run_all(&specs);
+            journals.push(std::fs::read(&path).unwrap());
+            let _ = std::fs::remove_file(&path);
+        }
+        assert!(!journals[0].is_empty());
+        assert_eq!(journals[0], journals[1], "journal bytes must not depend on --jobs");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn panicking_run_is_recorded_quietly() {
+        // An impossible configuration: SimConfig::paper validates inside
+        // Simulator::new and panics. The isolation hook keeps the panic
+        // out of stderr; the payload must still reach the record.
+        let db = ResultsDb::new();
+        let spec = RunSpec::new(&[] as &[&str], 64, DispatchPolicy::Traditional, 1_000, 1);
+        let rec = db.record(&spec);
+        assert_eq!(rec.status, RunStatus::Panicked);
+        assert!(rec.panic_msg.is_some(), "panic payload must be captured");
     }
 }

@@ -1,0 +1,231 @@
+//! Experiment dispatch: map an experiment name to its regenerated sections.
+//!
+//! Shared by the `paperbench` CLI and `paperbench serve`, so a sweep
+//! submitted over the service protocol produces byte-for-byte the sections
+//! the CLI would print. Rendering is a pure function of the [`ResultsDb`]
+//! contents and [`ExpParams`], both of which are scheduling-independent, so
+//! the output does not depend on `--jobs` either.
+
+use crate::db::ResultsDb;
+use crate::experiments::{self as exp, ExpParams};
+use crate::report;
+use smt_workload::MixTable;
+
+/// The output of one experiment: rendered text sections plus structured
+/// payloads for JSON consumers, both keyed by section name.
+#[derive(Debug, Default)]
+pub struct Rendered {
+    /// `(name, rendered text)` in print order.
+    pub sections: Vec<(String, String)>,
+    /// Structured (non-rendered) payloads keyed like `sections`.
+    pub data: Vec<(String, serde_json::Value)>,
+}
+
+/// Every experiment name accepted by [`run_experiment`], in `all` order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "stalls",
+    "stallattr",
+    "hdi",
+    "residency",
+    "filter",
+    "table1",
+    "mixes",
+    "classify",
+    "ablation",
+    "fetchpol",
+    "hetero",
+    "wrongpath",
+    "convergence",
+    "mixdetail",
+    "mlp",
+    "all",
+];
+
+/// Regenerate experiment `name` against `db`, returning its sections, or
+/// `None` when the name is unknown.
+pub fn run_experiment(db: &ResultsDb, name: &str, params: ExpParams) -> Option<Rendered> {
+    let mut out = Rendered::default();
+    let ok = dispatch(db, name, params, &mut out);
+    ok.then_some(out)
+}
+
+fn add_figure(out: &mut Rendered, name: &str, fig: exp::Figure) {
+    out.sections.push((name.to_string(), report::render_figure(&fig)));
+}
+
+fn fairness_figure(db: &ResultsDb, out: &mut Rendered, name: &str, table: MixTable, p: ExpParams) {
+    out.data.push((name.into(), serde_json::json!(exp::fairness_detail(db, table, p))));
+    add_figure(out, name, exp::figure_fairness(db, table, p));
+}
+
+fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -> bool {
+    match name {
+        "fig1" => add_figure(out, "fig1", exp::figure1(db, params)),
+        "fig2" => out.sections.push(("fig2".into(), report::render_figure2_demo())),
+        "fig3" => add_figure(out, "fig3", exp::figure_throughput(db, MixTable::TwoThread, params)),
+        "fig4" => fairness_figure(db, out, "fig4", MixTable::TwoThread, params),
+        "fig5" => {
+            add_figure(out, "fig5", exp::figure_throughput(db, MixTable::ThreeThread, params))
+        }
+        "fig6" => fairness_figure(db, out, "fig6", MixTable::ThreeThread, params),
+        "fig7" => add_figure(out, "fig7", exp::figure_throughput(db, MixTable::FourThread, params)),
+        "fig8" => fairness_figure(db, out, "fig8", MixTable::FourThread, params),
+        "stalls" => out
+            .sections
+            .push(("stalls".into(), report::render_stalls(&exp::stall_stats(db, params)))),
+        "stallattr" => {
+            let attr = exp::stall_attribution(db, params);
+            out.data.push(("stallattr".into(), serde_json::json!(attr)));
+            out.sections.push(("stallattr".into(), report::render_stall_attribution(&attr)));
+        }
+        "hdi" => out.sections.push(("hdi".into(), report::render_hdi(&exp::hdi_stats(db, params)))),
+        "residency" => out.sections.push((
+            "residency".into(),
+            report::render_residency(&exp::residency_stats(db, params)),
+        )),
+        "filter" => out
+            .sections
+            .push(("filter".into(), report::render_filter(exp::filter_gain(db, params)))),
+        "mlp" => {
+            let rows = exp::mlp_contention(params);
+            out.data.push(("mlp".into(), serde_json::json!(rows)));
+            out.sections.push(("mlp".into(), report::render_mlp(&rows)));
+        }
+        "table1" => out.sections.push(("table1".into(), report::render_table1())),
+        "mixes" => out.sections.push(("mixes".into(), report::render_mixes_tables())),
+        "classify" => out
+            .sections
+            .push(("classify".into(), report::render_classify(&exp::classify(db, params)))),
+        "ablation" => {
+            out.sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))))
+        }
+        "fetchpol" => out
+            .sections
+            .push(("fetchpol".into(), report::render_fetch_policies(&exp::fetch_policies(params)))),
+        "hetero" => out
+            .sections
+            .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params)))),
+        "wrongpath" => out.sections.push((
+            "wrongpath".into(),
+            report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
+        )),
+        "convergence" => out.sections.push((
+            "convergence".into(),
+            report::render_convergence(&exp::convergence(db, params)),
+        )),
+        "mixdetail" => {
+            for (name, table) in [
+                ("Table 3 (2-threaded)", MixTable::TwoThread),
+                ("Table 4 (3-threaded)", MixTable::ThreeThread),
+                ("Table 2 (4-threaded)", MixTable::FourThread),
+            ] {
+                out.sections.push((
+                    format!("mixdetail-{}", table.num_threads()),
+                    report::render_mix_detail(name, 64, &exp::mix_detail(db, table, 64, params)),
+                ));
+            }
+        }
+        "all" => {
+            exp::prewarm(db, params);
+            out.sections.push(("table1".into(), report::render_table1()));
+            out.sections.push(("mixes".into(), report::render_mixes_tables()));
+            add_figure(out, "fig1", exp::figure1(db, params));
+            out.sections.push(("fig2".into(), report::render_figure2_demo()));
+            for (name, table) in [
+                ("fig3", MixTable::TwoThread),
+                ("fig5", MixTable::ThreeThread),
+                ("fig7", MixTable::FourThread),
+            ] {
+                add_figure(out, name, exp::figure_throughput(db, table, params));
+            }
+            for (name, table) in [
+                ("fig4", MixTable::TwoThread),
+                ("fig6", MixTable::ThreeThread),
+                ("fig8", MixTable::FourThread),
+            ] {
+                fairness_figure(db, out, name, table, params);
+            }
+            out.sections
+                .push(("stalls".into(), report::render_stalls(&exp::stall_stats(db, params))));
+            let attr = exp::stall_attribution(db, params);
+            out.data.push(("stallattr".into(), serde_json::json!(attr)));
+            out.sections.push(("stallattr".into(), report::render_stall_attribution(&attr)));
+            out.sections.push(("hdi".into(), report::render_hdi(&exp::hdi_stats(db, params))));
+            out.sections.push((
+                "residency".into(),
+                report::render_residency(&exp::residency_stats(db, params)),
+            ));
+            out.sections
+                .push(("filter".into(), report::render_filter(exp::filter_gain(db, params))));
+            out.sections
+                .push(("classify".into(), report::render_classify(&exp::classify(db, params))));
+            out.sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))));
+            out.sections.push((
+                "fetchpol".into(),
+                report::render_fetch_policies(&exp::fetch_policies(params)),
+            ));
+            out.sections
+                .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params))));
+            out.sections.push((
+                "wrongpath".into(),
+                report::render_wrongpath(&exp::wrongpath_sensitivity(params)),
+            ));
+            let mlp_rows = exp::mlp_contention(params);
+            out.data.push(("mlp".into(), serde_json::json!(mlp_rows)));
+            out.sections.push(("mlp".into(), report::render_mlp(&mlp_rows)));
+        }
+        _ => return false,
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpParams {
+        ExpParams { commit_target: 800, seed: 1, jobs: 2 }
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        let db = ResultsDb::new();
+        assert!(run_experiment(&db, "fig9", tiny()).is_none());
+    }
+
+    #[test]
+    fn static_experiments_render_without_runs() {
+        let db = ResultsDb::new();
+        for name in ["table1", "mixes", "fig2"] {
+            let r = run_experiment(&db, name, tiny()).unwrap();
+            assert_eq!(r.sections.len(), 1, "{name}");
+            assert!(!r.sections[0].1.is_empty(), "{name}");
+        }
+        assert!(db.is_empty(), "static sections must not trigger runs");
+    }
+
+    #[test]
+    fn fig1_renders_identically_across_job_counts() {
+        let serial = run_experiment(
+            &ResultsDb::new(),
+            "fig1",
+            ExpParams { commit_target: 800, seed: 1, jobs: 1 },
+        )
+        .unwrap();
+        let sharded = run_experiment(
+            &ResultsDb::new().with_jobs(4),
+            "fig1",
+            ExpParams { commit_target: 800, seed: 1, jobs: 4 },
+        )
+        .unwrap();
+        assert_eq!(serial.sections, sharded.sections);
+    }
+}

@@ -21,11 +21,20 @@ pub struct ExpParams {
     pub commit_target: u64,
     /// Global workload seed.
     pub seed: u64,
+    /// Worker threads for sharded experiment tables (1 = serial). Runs are
+    /// deterministic and merged in input order, so results never depend on
+    /// this — only wall-clock does.
+    #[serde(default = "default_jobs")]
+    pub jobs: usize,
+}
+
+fn default_jobs() -> usize {
+    1
 }
 
 impl Default for ExpParams {
     fn default() -> Self {
-        ExpParams { commit_target: 20_000, seed: 1 }
+        ExpParams { commit_target: 20_000, seed: 1, jobs: 1 }
     }
 }
 
@@ -522,7 +531,6 @@ pub struct AblationRow {
 /// deadlock-avoidance buffer size, the dispatch-buffer (HDI scan window)
 /// depth, and DAB-vs-watchdog deadlock handling.
 pub fn ablation(p: ExpParams) -> Vec<AblationRow> {
-    use rayon::prelude::*;
     use smt_core::{DeadlockMode, SimConfig};
 
     let mix4 = &mixes_for(MixTable::FourThread)[6]; // 2 LOW + 2 HIGH
@@ -574,12 +582,10 @@ pub fn ablation(p: ExpParams) -> Vec<AblationRow> {
         jobs.push(("deadlock_mode".into(), label.to_string(), spec, cfg));
     }
 
-    jobs.into_par_iter()
-        .map(|(knob, value, spec, cfg)| {
-            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
-            AblationRow { knob, value, ipc: rec.result.ipc, wedge: rec.wedge }
-        })
-        .collect()
+    crate::pool::ordered_par_map(p.jobs, jobs, |(knob, value, spec, cfg)| {
+        let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+        AblationRow { knob, value, ipc: rec.result.ipc, wedge: rec.wedge }
+    })
 }
 
 /// One row of the fetch-policy comparison (§6 related work: ICOUNT vs the
@@ -605,7 +611,6 @@ pub struct FetchPolicyRow {
 /// Compare fetch policies on memory-pressure-heavy mixes under the
 /// traditional scheduler.
 pub fn fetch_policies(p: ExpParams) -> Vec<FetchPolicyRow> {
-    use rayon::prelude::*;
     use smt_core::config::FetchPolicy;
     use smt_core::SimConfig;
 
@@ -635,19 +640,17 @@ pub fn fetch_policies(p: ExpParams) -> Vec<FetchPolicyRow> {
             }
         }
     }
-    jobs.into_par_iter()
-        .map(|(workload, iq_size, policy, spec, cfg)| {
-            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
-            FetchPolicyRow {
-                policy: policy.name().to_string(),
-                workload,
-                iq_size,
-                ipc: rec.result.ipc,
-                flushes: rec.result.counters.fetch_policy_flushes,
-                wedge: rec.wedge,
-            }
-        })
-        .collect()
+    crate::pool::ordered_par_map(p.jobs, jobs, |(workload, iq_size, policy, spec, cfg)| {
+        let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+        FetchPolicyRow {
+            policy: policy.name().to_string(),
+            workload,
+            iq_size,
+            ipc: rec.result.ipc,
+            flushes: rec.result.counters.fetch_policy_flushes,
+            wedge: rec.wedge,
+        }
+    })
 }
 
 /// One row of the scheduler-organization comparison (Ernst & Austin's
@@ -674,7 +677,6 @@ pub struct HeteroRow {
 /// dispatch), and the statically partitioned tag-eliminated queue of [5]
 /// with the *same total comparator budget* as 2OP_BLOCK.
 pub fn hetero_comparison(p: ExpParams) -> Vec<HeteroRow> {
-    use rayon::prelude::*;
     use smt_core::SimConfig;
 
     let workloads: [(&str, &Mix); 2] = [
@@ -711,8 +713,10 @@ pub fn hetero_comparison(p: ExpParams) -> Vec<HeteroRow> {
             }
         }
     }
-    jobs.into_par_iter()
-        .map(|(workload, iq_size, policy, comparators, spec, cfg)| {
+    crate::pool::ordered_par_map(
+        p.jobs,
+        jobs,
+        |(workload, iq_size, policy, comparators, spec, cfg)| {
             let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
             HeteroRow {
                 scheduler: policy.name().to_string(),
@@ -722,8 +726,8 @@ pub fn hetero_comparison(p: ExpParams) -> Vec<HeteroRow> {
                 ipc: rec.result.ipc,
                 wedge: rec.wedge,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// One row of the MSHR × bus-bandwidth contention study (DESIGN.md §7):
@@ -756,7 +760,6 @@ pub struct MlpRow {
 /// Sweep MSHR count × bus bandwidth under the traditional and OOO-dispatch
 /// schedulers on a 2-thread and a 4-thread mix.
 pub fn mlp_contention(p: ExpParams) -> Vec<MlpRow> {
-    use rayon::prelude::*;
     use smt_core::SimConfig;
     use smt_mem::{MemModel, NonBlockingConfig};
 
@@ -782,25 +785,23 @@ pub fn mlp_contention(p: ExpParams) -> Vec<MlpRow> {
             }
         }
     }
-    jobs.into_par_iter()
-        .map(|(workload, mshrs, bus, policy, spec, cfg)| {
-            let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
-            let c = &rec.result.counters;
-            let busy: u64 = c.threads.iter().map(|t| t.mem_busy_cycles).sum();
-            let mlp_sum: u64 = c.threads.iter().map(|t| t.mlp_sum).sum();
-            MlpRow {
-                workload,
-                policy: policy.name().to_string(),
-                mshrs,
-                bus,
-                ipc: rec.result.ipc,
-                mlp: if busy == 0 { 0.0 } else { mlp_sum as f64 / busy as f64 },
-                mshr_defers: c.threads.iter().map(|t| t.mshr_full_defers).sum(),
-                bus_queue_delay: c.mem.mean_bus_queue_delay(),
-                wedge: rec.wedge,
-            }
-        })
-        .collect()
+    crate::pool::ordered_par_map(p.jobs, jobs, |(workload, mshrs, bus, policy, spec, cfg)| {
+        let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+        let c = &rec.result.counters;
+        let busy: u64 = c.threads.iter().map(|t| t.mem_busy_cycles).sum();
+        let mlp_sum: u64 = c.threads.iter().map(|t| t.mlp_sum).sum();
+        MlpRow {
+            workload,
+            policy: policy.name().to_string(),
+            mshrs,
+            bus,
+            ipc: rec.result.ipc,
+            mlp: if busy == 0 { 0.0 } else { mlp_sum as f64 / busy as f64 },
+            mshr_defers: c.threads.iter().map(|t| t.mshr_full_defers).sum(),
+            bus_queue_delay: c.mem.mean_bus_queue_delay(),
+            wedge: rec.wedge,
+        }
+    })
 }
 
 /// Sensitivity of Figure 1's headline points to wrong-path execution: the
@@ -823,7 +824,6 @@ pub struct WrongPathRow {
 
 /// Recompute Figure-1 points under both misprediction models.
 pub fn wrongpath_sensitivity(p: ExpParams) -> Vec<WrongPathRow> {
-    use rayon::prelude::*;
     use smt_core::SimConfig;
 
     let mut jobs = Vec::new();
@@ -842,13 +842,11 @@ pub fn wrongpath_sensitivity(p: ExpParams) -> Vec<WrongPathRow> {
             }
         }
     }
-    let results: Vec<(usize, usize, bool, DispatchPolicy, String, f64, bool)> = jobs
-        .into_par_iter()
-        .map(|(threads, iq, wp, policy, mix, spec, cfg)| {
+    let results: Vec<(usize, usize, bool, DispatchPolicy, String, f64, bool)> =
+        crate::pool::ordered_par_map(p.jobs, jobs, |(threads, iq, wp, policy, mix, spec, cfg)| {
             let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
             (threads, iq, wp, policy, mix, rec.result.ipc, rec.wedge.is_some())
-        })
-        .collect();
+        });
 
     let speedup = |threads: usize, iq: usize, wp: bool| -> f64 {
         let ratios: Vec<f64> = results
@@ -909,7 +907,7 @@ pub fn convergence(db: &ResultsDb, p: ExpParams) -> Vec<ConvergenceRow> {
     let budgets = [2_500u64, 5_000, 10_000, 20_000, 40_000];
     let mut rows = Vec::new();
     for &budget in &budgets {
-        let params = ExpParams { commit_target: budget, seed: p.seed };
+        let params = ExpParams { commit_target: budget, ..p };
         let mut speedups = [0.0f64; 2];
         for (slot, table) in [(0, MixTable::TwoThread), (1, MixTable::FourThread)] {
             let mixes = mixes_for(table);
@@ -969,7 +967,9 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpParams {
-        ExpParams { commit_target: 800, seed: 1 }
+        // jobs: 2 exercises the sharded path; results are identical to
+        // serial by construction (ordered_par_map).
+        ExpParams { commit_target: 800, seed: 1, jobs: 2 }
     }
 
     #[test]

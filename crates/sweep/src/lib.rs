@@ -2,15 +2,22 @@
 //!
 //! The [`runner`] module executes individual simulations; [`db`] memoizes
 //! results across experiments (several figures share the same underlying
-//! sweeps); [`experiments`] regenerates every table and figure of the
-//! paper; [`report`] renders them as text tables.
+//! sweeps); [`pool`] shards batches across worker threads without letting
+//! scheduling leak into results; [`experiments`] regenerates every table
+//! and figure of the paper; [`drive`] maps experiment names to those
+//! generators (shared by the `paperbench` CLI and `paperbench serve`);
+//! [`serve`] is the persistent sweep service; [`report`] renders tables.
 
 pub mod db;
+pub mod drive;
 pub mod experiments;
+pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod serve;
 
 pub use db::ResultsDb;
+pub use pool::{ordered_par_map, SweepPool};
 pub use runner::{
     run_spec, run_spec_with_config, run_spec_with_config_recorded, thread_seed,
     try_run_spec_with_config, RecordedRun, RunResult, RunSpec,

@@ -1,0 +1,208 @@
+//! Shared worker-thread pool for sharded sweep execution.
+//!
+//! Two entry points, one philosophy: *scheduling must never leak into
+//! results*. Runs are independent and deterministic (workloads are seeded
+//! per thread-slot by [`crate::runner::thread_seed`]), so any assignment of
+//! runs to OS threads computes the same records; consumers are responsible
+//! for merging completions back **in submission order** so journals, the
+//! results db, and reports are bit-identical to a serial execution.
+//!
+//! - [`SweepPool`] owns long-lived workers fed `'static` jobs over a
+//!   channel. [`crate::ResultsDb`] shards batches across it, and
+//!   `paperbench serve` multiplexes every concurrent sweep session over a
+//!   single shared pool (wrapped in an [`std::sync::Arc`]).
+//! - [`ordered_par_map`] is the scoped, borrowing variant for experiment
+//!   tables that map a job list straight to rows without a db: it fans the
+//!   items across short-lived scoped threads and returns results in input
+//!   order.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+///
+/// Dropping the pool closes the queue and joins every worker; jobs already
+/// queued still run to completion. A job that panics kills nobody but its
+/// own task: the worker catches the unwind and moves on, so one poisoned
+/// run costs one job slot, never the pool (and never a served session).
+pub struct SweepPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: usize,
+}
+
+impl SweepPool {
+    /// A pool of `jobs` workers (floored at 1).
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..jobs)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("sweep-worker-{i}"))
+                    .spawn(move || Self::worker_loop(rx))
+                    .expect("spawning sweep worker")
+            })
+            .collect();
+        SweepPool { tx: Some(tx), workers, jobs }
+    }
+
+    /// Shared handle sized to the host's parallelism, for services that
+    /// multiplex many sweeps over one pool.
+    pub fn shared(jobs: usize) -> Arc<Self> {
+        Arc::new(Self::new(jobs))
+    }
+
+    /// Worker count this pool was built with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+        loop {
+            // Hold the lock only while receiving, never while running.
+            let job = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(_) => return,
+            };
+            match job {
+                Ok(job) => {
+                    // A panicking job must not take the worker down: the
+                    // submitter sees the panic through its own result
+                    // channel (a dropped Sender), not through pool death.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                }
+                Err(_) => return, // queue closed
+            }
+        }
+    }
+
+    /// Queue a job. Panics if the pool is shutting down (it only shuts
+    /// down on drop, so a live reference can always submit).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("pool workers exited early");
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Map `f` over `items` with up to `jobs` scoped worker threads, returning
+/// results **in input order** regardless of completion order. With
+/// `jobs <= 1` (or one item) this degenerates to a plain serial map, which
+/// the parallel path is bit-identical to: `f` must be a pure function of
+/// its item (all sweep runs are — see [`crate::runner::thread_seed`]).
+///
+/// Panics propagate: if `f` panics on any item, the whole map panics after
+/// the scope unwinds, like the serial loop would.
+pub fn ordered_par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let total = items.len();
+    let jobs = jobs.max(1).min(total.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    let (tx, rx) = channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let queue = &queue;
+            let f = &f;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match next {
+                    Some((idx, item)) => {
+                        let r = f(item);
+                        if tx.send((idx, r)).is_err() {
+                            return;
+                        }
+                    }
+                    None => return,
+                }
+            });
+        }
+        drop(tx);
+        for (idx, r) in rx.iter() {
+            slots[idx] = Some(r);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker panicked before producing its result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_job() {
+        let pool = SweepPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 64);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = SweepPool::new(2);
+        pool.spawn(|| panic!("poisoned job"));
+        let (tx, rx) = channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.spawn(move || {
+                let _ = tx.send(i);
+            });
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_par_map_matches_serial_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8] {
+            let par = ordered_par_map(jobs, items.clone(), |x| x * x);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn ordered_par_map_handles_empty_input() {
+        let out: Vec<u32> = ordered_par_map(4, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -100,6 +100,12 @@ pub struct RunResult {
     pub mean_iq_residency: f64,
     /// Mean IQ occupancy.
     pub mean_iq_occupancy: f64,
+    /// Whether idle-cycle fast-forward was actually active for this run.
+    /// The simulator silently disables the skip under round-robin fetch
+    /// even when the configuration requests it, so this records the
+    /// *effective* state (see [`SimConfig::effective_fast_forward`]).
+    #[serde(default)]
+    pub effective_fast_forward: bool,
     /// Full raw counters for deeper analysis.
     pub counters: SimCounters,
 }
@@ -120,6 +126,7 @@ impl RunResult {
             hdi_ndi_dep_frac: 0.0,
             mean_iq_residency: 0.0,
             mean_iq_occupancy: 0.0,
+            effective_fast_forward: false,
             counters: SimCounters::new(n_threads),
         }
     }
@@ -200,6 +207,7 @@ pub fn run_spec_budgeted(
     if cfg.max_cycles == 0 {
         cfg.max_cycles = (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
     }
+    let effective_fast_forward = cfg.effective_fast_forward();
     let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
     let streams: Vec<Box<dyn InstGenerator>> = spec
         .benchmarks
@@ -236,6 +244,7 @@ pub fn run_spec_budgeted(
         hdi_ndi_dep_frac: c.hdi_ndi_dependence_fraction(),
         mean_iq_residency: c.mean_iq_residency(),
         mean_iq_occupancy: c.mean_iq_occupancy(),
+        effective_fast_forward,
         counters: c,
     })
 }

@@ -1,0 +1,356 @@
+//! `paperbench serve` — a persistent sweep service.
+//!
+//! Speaks a newline-delimited JSON protocol over any byte stream (stdin/
+//! stdout by default, a Unix socket with `--socket`): each request line is
+//! a JSON object with a `cmd` field, each response line an object with an
+//! `event` field. Requests:
+//!
+//! - `{"cmd":"ping","id":N}` → `{"event":"pong","id":N}`
+//! - `{"cmd":"sweep","id":N,"experiment":"fig1",...}` — run one experiment;
+//!   optional fields `target`, `seed`, `jobs`, `journal`, `budget_secs`
+//!   mirror the CLI flags. Streams `start`, `checkpoint` (one per merged
+//!   run, in spec order — the same granularity as the journal), `section`
+//!   (rendered text), then `done`; a failure yields `error` instead.
+//! - `{"cmd":"shutdown"}` → `{"event":"bye"}`, then the service drains
+//!   in-flight sweeps and exits.
+//!
+//! Concurrent sweeps multiplex over one shared [`SweepPool`]: each `sweep`
+//! request runs on its own session thread and fans its runs into the pool,
+//! so a service sized `--jobs 8` keeps eight workers busy across however
+//! many clients are connected. Failure is contained at two levels: a
+//! wedged/panicked/timed-out *run* becomes a non-`ok` record (costing one
+//! worker slot for its duration, never the service), and a *client* that
+//! disappears mid-sweep only makes event writes no-ops — the sweep still
+//! runs to completion so its journal is complete and a later `sweep`
+//! against the same journal resumes instead of recomputing.
+
+use crate::drive;
+use crate::experiments::ExpParams;
+use crate::pool::SweepPool;
+use crate::ResultsDb;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+
+/// One protocol request line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// `"ping"`, `"sweep"`, or `"shutdown"`.
+    pub cmd: String,
+    /// Client-chosen id echoed on every event this request produces.
+    #[serde(default)]
+    pub id: Option<u64>,
+    /// Experiment name (see [`drive::EXPERIMENTS`]); `sweep` only.
+    #[serde(default)]
+    pub experiment: Option<String>,
+    /// Per-thread commit budget (default 20000).
+    #[serde(default)]
+    pub target: Option<u64>,
+    /// Global workload seed (default 1).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Worker shards for this sweep's experiment tables (default: the
+    /// service pool size).
+    #[serde(default)]
+    pub jobs: Option<usize>,
+    /// JSONL checkpoint journal path; resumed if it exists.
+    #[serde(default)]
+    pub journal: Option<String>,
+    /// Per-run wall-clock budget in seconds.
+    #[serde(default)]
+    pub budget_secs: Option<u64>,
+}
+
+/// Serializes events as single lines, swallowing write errors: a client
+/// that died mid-sweep must not kill the sweep (its journal still has to
+/// reach completion for resume to work).
+struct EventSink<W: Write> {
+    out: Mutex<W>,
+}
+
+impl<W: Write> EventSink<W> {
+    fn emit(&self, event: &serde_json::Value) {
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+            let _ = out.flush();
+        }
+    }
+}
+
+fn id_value(id: Option<u64>) -> serde_json::Value {
+    match id {
+        Some(id) => serde_json::json!(id),
+        None => serde_json::Value::Null,
+    }
+}
+
+/// Run one `sweep` request to completion, streaming events into `sink`.
+fn run_sweep<W: Write + Send + 'static>(
+    req: &Request,
+    sink: &Arc<EventSink<W>>,
+    pool: &Arc<SweepPool>,
+) {
+    let id = id_value(req.id);
+    let error = |message: String| {
+        sink.emit(&serde_json::json!({ "event": "error", "id": id, "message": message }));
+    };
+    let Some(experiment) = req.experiment.clone() else {
+        return error("sweep request is missing \"experiment\"".into());
+    };
+    let defaults = ExpParams::default();
+    let params = ExpParams {
+        commit_target: req.target.unwrap_or(defaults.commit_target),
+        seed: req.seed.unwrap_or(defaults.seed),
+        jobs: req.jobs.unwrap_or_else(|| pool.jobs()),
+    };
+
+    let mut db = ResultsDb::new().with_pool(Arc::clone(pool));
+    if let Some(path) = &req.journal {
+        db = match db.with_journal(path) {
+            Ok(db) => db,
+            Err(e) => return error(format!("opening journal {path}: {e}")),
+        };
+    }
+    if let Some(secs) = req.budget_secs {
+        db = db.with_wall_budget(std::time::Duration::from_secs(secs));
+    }
+    sink.emit(&serde_json::json!({
+        "event": "start",
+        "id": id,
+        "experiment": experiment,
+        "resumed_runs": db.len(),
+    }));
+    // Checkpoints fire as records merge — strictly in spec order, i.e.
+    // exactly when (and in the order) the journal grows.
+    let db = db.with_progress({
+        let sink = Arc::clone(sink);
+        let id = id.clone();
+        move |done, total| {
+            sink.emit(&serde_json::json!({
+                "event": "checkpoint",
+                "id": id,
+                "done": done,
+                "total": total,
+            }));
+        }
+    });
+    match drive::run_experiment(&db, &experiment, params) {
+        None => error(format!("unknown experiment {experiment:?}")),
+        Some(rendered) => {
+            for (name, text) in &rendered.sections {
+                sink.emit(&serde_json::json!({
+                    "event": "section",
+                    "id": id,
+                    "name": name,
+                    "text": text,
+                }));
+            }
+            sink.emit(&serde_json::json!({
+                "event": "done",
+                "id": id,
+                "sections": rendered.sections.len(),
+            }));
+        }
+    }
+}
+
+/// Serve the line protocol on `input`/`output` until EOF or `shutdown`,
+/// fanning every sweep's runs into `pool`. Sweeps run on their own session
+/// threads (all drained before returning), so clients can keep several in
+/// flight; events from concurrent sweeps interleave line-atomically and
+/// carry the request `id` for demultiplexing.
+pub fn serve<R, W>(input: R, output: W, pool: Arc<SweepPool>) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let sink = Arc::new(EventSink { out: Mutex::new(output) });
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for line in input.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // client hung up mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: Request = match serde_json::from_str(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                sink.emit(&serde_json::json!({
+                    "event": "error",
+                    "id": null,
+                    "message": format!("unparseable request: {e}"),
+                }));
+                continue;
+            }
+        };
+        match req.cmd.as_str() {
+            "ping" => sink.emit(&serde_json::json!({ "event": "pong", "id": id_value(req.id) })),
+            "sweep" => {
+                let sink = Arc::clone(&sink);
+                let pool = Arc::clone(&pool);
+                sessions.push(std::thread::spawn(move || run_sweep(&req, &sink, &pool)));
+            }
+            "shutdown" => {
+                sink.emit(&serde_json::json!({ "event": "bye" }));
+                break;
+            }
+            other => sink.emit(&serde_json::json!({
+                "event": "error",
+                "id": id_value(req.id),
+                "message": format!("unknown cmd {other:?}"),
+            })),
+        }
+    }
+    // Drain in-flight sweeps: their journals must reach completion even if
+    // the client is gone (that is what makes kill-and-resume work).
+    for s in sessions {
+        let _ = s.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use std::os::unix::net::UnixStream;
+
+    fn parse_events(raw: &str) -> Vec<serde_json::Value> {
+        raw.lines().map(|l| serde_json::from_str(l).expect("event must parse")).collect()
+    }
+
+    fn event_str<'a>(v: &'a serde_json::Value, key: &str) -> &'a str {
+        v.get(key).and_then(|s| s.as_str()).unwrap_or("")
+    }
+
+    #[test]
+    fn ping_shutdown_roundtrip() {
+        let (client, server) = UnixStream::pair().unwrap();
+        let pool = SweepPool::shared(2);
+        let handle = {
+            let input = BufReader::new(server.try_clone().unwrap());
+            std::thread::spawn(move || serve(input, server, pool))
+        };
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(b"{\"cmd\":\"ping\",\"id\":7}\nnot json\n{\"cmd\":\"shutdown\"}\n")
+                .unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        assert_eq!(event_str(&events[0], "event"), "pong");
+        assert_eq!(events[0].get("id").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(event_str(&events[1], "event"), "error");
+        assert_eq!(event_str(&events[2], "event"), "bye");
+    }
+
+    #[test]
+    fn sweep_streams_checkpoints_then_sections() {
+        let (client, server) = UnixStream::pair().unwrap();
+        let pool = SweepPool::shared(2);
+        let handle = {
+            let input = BufReader::new(server.try_clone().unwrap());
+            std::thread::spawn(move || serve(input, server, pool))
+        };
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(
+                b"{\"cmd\":\"sweep\",\"id\":1,\"experiment\":\"table1\",\"target\":800}\n\
+                  {\"cmd\":\"shutdown\"}\n",
+            )
+            .unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        assert!(events.iter().any(|e| event_str(e, "event") == "start"));
+        let section = events
+            .iter()
+            .find(|e| event_str(e, "event") == "section")
+            .expect("sweep must stream its section");
+        assert_eq!(event_str(section, "name"), "table1");
+        assert!(event_str(section, "text").contains("Table 1"));
+        assert!(events.iter().any(|e| event_str(e, "event") == "done"));
+    }
+
+    #[test]
+    fn unknown_experiment_reports_error_not_death() {
+        let (client, server) = UnixStream::pair().unwrap();
+        let pool = SweepPool::shared(2);
+        let handle = {
+            let input = BufReader::new(server.try_clone().unwrap());
+            std::thread::spawn(move || serve(input, server, pool))
+        };
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(
+                b"{\"cmd\":\"sweep\",\"id\":2,\"experiment\":\"fig99\"}\n\
+                  {\"cmd\":\"ping\",\"id\":3}\n{\"cmd\":\"shutdown\"}\n",
+            )
+            .unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        assert!(
+            events
+                .iter()
+                .any(|e| event_str(e, "event") == "error"
+                    && event_str(e, "message").contains("fig99"))
+        );
+        assert!(
+            events.iter().any(|e| event_str(e, "event") == "pong"),
+            "service must keep answering after a bad sweep"
+        );
+    }
+
+    #[test]
+    fn client_kill_mid_sweep_leaves_a_complete_resumable_journal() {
+        let dir = std::env::temp_dir().join(format!("smt-serve-kill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("serve.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let (client, server) = UnixStream::pair().unwrap();
+        let pool = SweepPool::shared(4);
+        let handle = {
+            let input = BufReader::new(server.try_clone().unwrap());
+            std::thread::spawn(move || serve(input, server, pool))
+        };
+        {
+            let mut w = client.try_clone().unwrap();
+            let req = format!(
+                "{{\"cmd\":\"sweep\",\"id\":9,\"experiment\":\"fig1\",\"target\":800,\
+                 \"journal\":{:?}}}\n",
+                journal.to_str().unwrap()
+            );
+            w.write_all(req.as_bytes()).unwrap();
+        }
+        // Kill the client immediately: reads hit EOF, writes hit EPIPE.
+        drop(client);
+        // The service must finish the sweep anyway and exit cleanly.
+        handle.join().unwrap().unwrap();
+
+        // The journal must be complete and torn-line-free: a resumed db
+        // loads it and re-renders fig1 without executing a single new run.
+        let db = ResultsDb::new().with_journal(&journal).unwrap();
+        let before = db.len();
+        assert!(before > 0, "the killed sweep must still have journaled its runs");
+        let rendered =
+            drive::run_experiment(&db, "fig1", ExpParams { commit_target: 800, seed: 1, jobs: 1 })
+                .unwrap();
+        assert_eq!(db.len(), before, "resume must not need any new runs");
+        assert!(rendered.sections[0].1.contains("Figure 1"));
+
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

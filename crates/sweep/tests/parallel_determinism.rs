@@ -1,0 +1,149 @@
+//! The tentpole invariant of the sharded sweep engine: **scheduling never
+//! leaks into results**. The same spec list must produce byte-identical
+//! journals, databases, and reports at any `--jobs` count — including when
+//! the batch contains a wedging spec and when the per-run wall budget has
+//! expired (both statuses round-trip through the ordered merge like any
+//! other record).
+
+use smt_sweep::db::RunStatus;
+use smt_sweep::runner::RunSpec;
+use smt_sweep::ResultsDb;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smt_core::DispatchPolicy;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("smt-pardet-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A spec that always wedges: a 60-cycle ceiling cannot retire 1M
+/// instructions.
+fn wedging_spec() -> RunSpec {
+    RunSpec::new(&["gcc", "art"], 64, DispatchPolicy::Traditional, 1_000_000, 1)
+        .with_warmup(0)
+        .with_max_cycles(60)
+}
+
+fn spec_matrix() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    // The wedge first, so its retry and report exercise the merge path
+    // while later specs are still completing out of order behind it.
+    specs.push(wedging_spec());
+    for policy in [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlockOoo] {
+        for iq in [32usize, 64] {
+            for seed in [1u64, 2, 3] {
+                specs.push(RunSpec::new(&["gcc", "art"], iq, policy, 800, seed));
+            }
+        }
+    }
+    specs
+}
+
+/// Journal bytes and record statuses are identical at jobs = 1, 2, and 8,
+/// with a wedging spec in the batch.
+#[test]
+fn journal_and_records_are_identical_across_job_counts() {
+    let dir = tmp_dir("lib");
+    let specs = spec_matrix();
+    let mut journals: Vec<Vec<u8>> = Vec::new();
+    let mut statuses: Vec<Vec<(RunSpec, RunStatus, u32)>> = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let path = dir.join(format!("j{jobs}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let db = ResultsDb::new().with_jobs(jobs).with_journal(&path).unwrap();
+        let out = db.run_all(&specs);
+        journals.push(std::fs::read(&path).unwrap());
+        statuses.push(out.iter().map(|r| (r.spec.clone(), r.status, r.attempts)).collect());
+        let _ = std::fs::remove_file(&path);
+    }
+    assert!(!journals[0].is_empty());
+    assert_eq!(journals[0], journals[1], "journal bytes differ: jobs 1 vs 2");
+    assert_eq!(journals[0], journals[2], "journal bytes differ: jobs 1 vs 8");
+    assert_eq!(statuses[0], statuses[1]);
+    assert_eq!(statuses[0], statuses[2]);
+    assert_eq!(statuses[0][0].1, RunStatus::Wedged, "the injected wedge must be recorded");
+    assert_eq!(statuses[0][0].2, 2, "the wedge must have been retried once");
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// An expired wall budget (every run times out instantly) is just as
+/// deterministic: timed-out records journal identically at any job count.
+#[test]
+fn expired_budget_journals_identically_across_job_counts() {
+    let dir = tmp_dir("budget");
+    let specs: Vec<RunSpec> = (1..=6u64)
+        .map(|s| RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000_000, s))
+        .collect();
+    let mut journals: Vec<Vec<u8>> = Vec::new();
+    for jobs in [1usize, 8] {
+        let path = dir.join(format!("b{jobs}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        let db = ResultsDb::new()
+            .with_jobs(jobs)
+            .with_wall_budget(Duration::ZERO)
+            .with_journal(&path)
+            .unwrap();
+        let out = db.run_all(&specs);
+        assert!(out.iter().all(|r| r.status == RunStatus::TimedOut));
+        journals.push(std::fs::read(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+    assert!(!journals[0].is_empty());
+    assert_eq!(journals[0], journals[1], "timed-out journals differ across job counts");
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Memoized records are shared Arcs even when computed by pool workers.
+#[test]
+fn sharded_records_are_memoized_as_shared_arcs() {
+    let db = ResultsDb::new().with_jobs(4);
+    let specs: Vec<RunSpec> = (1..=4u64)
+        .map(|s| RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 800, s))
+        .collect();
+    let first = db.run_all(&specs);
+    let second = db.run_all(&specs);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(Arc::ptr_eq(a, b), "second batch must be memoized, not re-run");
+    }
+}
+
+/// End-to-end through the binary: `paperbench fig3 --jobs 8` writes the
+/// same `--json` payload and the same journal, byte for byte, as
+/// `--jobs 1`. This is the user-visible contract the CI smoke job diffs.
+#[test]
+fn paperbench_json_and_journal_are_jobs_invariant() {
+    let dir = tmp_dir("cli");
+    let mut artifacts: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for jobs in [1usize, 8] {
+        let json = dir.join(format!("out{jobs}.json"));
+        let journal = dir.join(format!("out{jobs}.jsonl"));
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&journal);
+        let status = Command::new(env!("CARGO_BIN_EXE_paperbench"))
+            .args([
+                "fig3",
+                "--target",
+                "800",
+                "--jobs",
+                &jobs.to_string(),
+                "--json",
+                json.to_str().unwrap(),
+                "--journal",
+                journal.to_str().unwrap(),
+            ])
+            .status()
+            .expect("running paperbench");
+        assert!(status.success(), "paperbench --jobs {jobs} failed");
+        artifacts.push((std::fs::read(&json).unwrap(), std::fs::read(&journal).unwrap()));
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&journal);
+    }
+    assert!(!artifacts[0].0.is_empty() && !artifacts[0].1.is_empty());
+    assert_eq!(artifacts[0].0, artifacts[1].0, "--json bytes differ between --jobs 1 and 8");
+    assert_eq!(artifacts[0].1, artifacts[1].1, "journal bytes differ between --jobs 1 and 8");
+    let _ = std::fs::remove_dir(&dir);
+}
