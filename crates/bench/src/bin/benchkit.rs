@@ -3,31 +3,36 @@
 //! Runs a fixed "quick" profile (per-policy pipeline throughput in
 //! simulated kilo-instructions per host second, plus one wall-clock slice
 //! per paper-figure family) and emits a schema-stable JSON report
-//! (`BENCH_5.json` at the repo root is the committed baseline). The same
+//! (`BENCH_7.json` at the repo root is the committed baseline). The same
 //! binary compares a fresh run against a baseline file and fails on
 //! regression beyond a tolerance — that is the CI perf-smoke gate.
 //!
 //! Usage:
 //!   benchkit [--out FILE] [--compare BASELINE] [--tolerance PCT]
-//!            [--target N]
+//!            [--target N] [--require PREFIX:MIN_KIPS]
 //!
 //! `--target` scales every scenario's per-thread commit budget (default
 //! 20000). Host-speed numbers (`wall_ms`, `sim_kips`) vary with the
-//! machine; the simulated numbers (`committed`, `cycles`) are
-//! deterministic for a given target and must not change between runs on
-//! the same tree. `--compare` only judges `sim_kips`, with a generous
-//! default tolerance (35%) so CI machine jitter does not fail the gate.
+//! machine; the simulated numbers (`committed`, `cycles`,
+//! `ff_skipped_cycles`) are deterministic for a given target and must not
+//! change between runs on the same tree. `--compare` only judges
+//! `sim_kips`, with a generous default tolerance (35%) so CI machine
+//! jitter does not fail the gate. `--require` (repeatable) additionally
+//! asserts an absolute floor: every scenario whose name starts with
+//! `PREFIX` must reach `MIN_KIPS` — the ratchet CI uses to keep the
+//! event-driven loop's membound wins from silently eroding.
 //!
 //! The JSON schema (see EXPERIMENTS.md):
 //! ```json
 //! {
 //!   "schema": "smt-bench/1",
-//!   "bench_id": 5,
+//!   "bench_id": 7,
 //!   "profile": "quick",
 //!   "target": 20000,
 //!   "scenarios": [
 //!     { "name": "...", "policy": "...", "committed": 0, "cycles": 0,
-//!       "fast_forward": true, "wall_ms": 0.0, "sim_kips": 0.0 }
+//!       "ff_skipped_cycles": 0, "fast_forward": true, "wall_ms": 0.0,
+//!       "sim_kips": 0.0 }
 //!   ]
 //! }
 //! ```
@@ -123,9 +128,13 @@ struct Measured {
     cycles: u64,
     wall_ms: f64,
     sim_kips: f64,
-    /// Whether idle-cycle fast-forward was actually active (it is silently
-    /// a no-op under round-robin fetch; surfacing it here keeps kIPS
-    /// numbers honest about what they measured).
+    /// Cycles the event-driven loop's calendar jumps skipped (deterministic
+    /// for a given target, like `cycles`): `cycles - ff_skipped_cycles`
+    /// cycles actually executed, which is what the wall clock paid for.
+    ff_skipped_cycles: u64,
+    /// Whether idle-cycle fast-forward was enabled for the run (it now
+    /// covers every fetch policy, round-robin included; surfacing it keeps
+    /// kIPS numbers honest about what they measured).
     fast_forward: bool,
 }
 
@@ -146,6 +155,7 @@ fn run_scenario(s: &Scenario, target: u64) -> Measured {
         cycles: r.cycles,
         wall_ms: wall * 1e3,
         sim_kips: if wall > 0.0 { committed as f64 / wall / 1e3 } else { 0.0 },
+        ff_skipped_cycles: r.ff_skipped_cycles,
         fast_forward: r.effective_fast_forward,
     }
 }
@@ -157,19 +167,20 @@ fn to_json(target: u64, rows: &[Measured]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"smt-bench/1\",\n");
-    out.push_str("  \"bench_id\": 5,\n");
+    out.push_str("  \"bench_id\": 7,\n");
     out.push_str("  \"profile\": \"quick\",\n");
     out.push_str(&format!("  \"target\": {target},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"policy\": \"{}\", \"committed\": {}, \
-             \"cycles\": {}, \"fast_forward\": {}, \"wall_ms\": {:.3}, \
-             \"sim_kips\": {:.1} }}{}\n",
+             \"cycles\": {}, \"ff_skipped_cycles\": {}, \"fast_forward\": {}, \
+             \"wall_ms\": {:.3}, \"sim_kips\": {:.1} }}{}\n",
             r.name,
             r.policy,
             r.committed,
             r.cycles,
+            r.ff_skipped_cycles,
             r.fast_forward,
             r.wall_ms,
             r.sim_kips,
@@ -211,8 +222,20 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: benchkit [--out FILE] [--compare BASELINE] [--tolerance PCT] [--target N]");
+    eprintln!(
+        "usage: benchkit [--out FILE] [--compare BASELINE] [--tolerance PCT] [--target N] \
+         [--require PREFIX:MIN_KIPS]"
+    );
     std::process::exit(2);
+}
+
+/// Parse a `--require` argument of the form `PREFIX:MIN_KIPS`.
+fn parse_require(arg: &str) -> Option<(String, f64)> {
+    let (prefix, min) = arg.rsplit_once(':')?;
+    if prefix.is_empty() {
+        return None;
+    }
+    Some((prefix.to_string(), min.parse().ok()?))
 }
 
 fn main() {
@@ -221,9 +244,15 @@ fn main() {
     let mut compare_path: Option<String> = None;
     let mut tolerance_pct: f64 = 35.0;
     let mut target: u64 = 20_000;
+    let mut requires: Vec<(String, f64)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--require" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| usage());
+                requires.push(parse_require(&arg).unwrap_or_else(|| usage()));
+            }
             "--out" => {
                 i += 1;
                 out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -297,5 +326,29 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("all scenarios within {tolerance_pct}% of {path}");
+    }
+
+    if !requires.is_empty() {
+        let mut failed = false;
+        for (prefix, min) in &requires {
+            let mut matched = false;
+            for r in rows.iter().filter(|r| r.name.starts_with(prefix.as_str())) {
+                matched = true;
+                if r.sim_kips < *min {
+                    eprintln!("BELOW    {}: {:.1} kIPS < required {min:.1}", r.name, r.sim_kips);
+                    failed = true;
+                } else {
+                    eprintln!("ok       {}: {:.1} kIPS >= required {min:.1}", r.name, r.sim_kips);
+                }
+            }
+            if !matched {
+                eprintln!("MISSING  --require {prefix}: no scenario matches the prefix");
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("absolute kIPS floor not met");
+            std::process::exit(1);
+        }
     }
 }

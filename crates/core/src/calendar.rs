@@ -1,0 +1,129 @@
+//! Next-activity calendar for the event-driven cycle loop.
+//!
+//! The idle-cycle fast-forward (DESIGN.md §6.3) advances the clock
+//! directly to the next cycle at which *anything* can change machine
+//! state. Each wake source registers here and the calendar folds them
+//! into one jump target. Two registration flavours exist because the
+//! sources have two distinct contracts:
+//!
+//! * [`Calendar::stop_before`] — a **wake source** (a scheduled event, an
+//!   MSHR fill, a fetch unblock time, the watchdog's next flush). The
+//!   clock must land *strictly before* it so the waking cycle executes
+//!   for real.
+//! * [`Calendar::land_on`] — a **boundary** the run loop itself must
+//!   observe (the forward-progress check, `max_cycles`). The clock may
+//!   land *exactly on* it — the loop trips on `>=` comparisons — but
+//!   never past it.
+//!
+//! The struct is deliberately a plain min-fold over `u64`s with no
+//! knowledge of the simulator, so the property tests in
+//! `tests/calendar_prop.rs` can drive it with arbitrary calendars and
+//! prove the two contracts hold for every combination of sources.
+
+/// Accumulates next-activity times and yields the furthest cycle the
+/// clock may jump to without overshooting any of them.
+#[derive(Debug, Clone, Copy)]
+pub struct Calendar {
+    /// Furthest admissible clock value seen so far.
+    target: u64,
+    /// Whether any source or boundary was registered at all.
+    bounded: bool,
+}
+
+impl Calendar {
+    /// An empty calendar: no wake sources, no boundaries.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Calendar { target: u64::MAX, bounded: false }
+    }
+
+    /// Register a wake source firing at `wake`; the jump target stays
+    /// strictly below it.
+    pub fn stop_before(&mut self, wake: u64) {
+        self.bounded = true;
+        self.target = self.target.min(wake.saturating_sub(1));
+    }
+
+    /// [`Calendar::stop_before`] for optional sources (e.g. "earliest
+    /// pending fill, if any"). `None` registers nothing.
+    pub fn stop_before_opt(&mut self, wake: Option<u64>) {
+        if let Some(w) = wake {
+            self.stop_before(w);
+        }
+    }
+
+    /// Register a boundary the clock may land exactly on but never pass.
+    pub fn land_on(&mut self, boundary: u64) {
+        self.bounded = true;
+        self.target = self.target.min(boundary);
+    }
+
+    /// Did any source or boundary bound this calendar? An unbounded
+    /// calendar means the machine has *no* scheduled wake source at all —
+    /// the caller must fall back to a finite stride rather than jump to
+    /// the end of time.
+    pub fn is_bounded(&self) -> bool {
+        self.bounded
+    }
+
+    /// How many cycles past `now` the clock may jump (0 when the nearest
+    /// source is due immediately or `now` already sits on a boundary).
+    pub fn skip_from(&self, now: u64) -> u64 {
+        self.target.saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_calendar_is_unbounded() {
+        let cal = Calendar::new();
+        assert!(!cal.is_bounded());
+        assert_eq!(cal.skip_from(10), u64::MAX - 10);
+    }
+
+    #[test]
+    fn stops_one_short_of_the_nearest_wake_source() {
+        let mut cal = Calendar::new();
+        cal.stop_before(100);
+        cal.stop_before(57);
+        cal.stop_before_opt(None);
+        cal.stop_before_opt(Some(80));
+        assert!(cal.is_bounded());
+        assert_eq!(cal.skip_from(10), 46); // lands on 56, one short of 57
+    }
+
+    #[test]
+    fn lands_exactly_on_a_boundary() {
+        let mut cal = Calendar::new();
+        cal.land_on(200);
+        assert_eq!(cal.skip_from(150), 50);
+    }
+
+    #[test]
+    fn boundary_beats_source_when_nearer() {
+        let mut cal = Calendar::new();
+        cal.stop_before(300);
+        cal.land_on(250);
+        assert_eq!(cal.skip_from(200), 50);
+        let mut cal = Calendar::new();
+        cal.stop_before(220);
+        cal.land_on(250);
+        assert_eq!(cal.skip_from(200), 19);
+    }
+
+    #[test]
+    fn due_now_or_past_sources_yield_zero() {
+        let mut cal = Calendar::new();
+        cal.stop_before(11);
+        assert_eq!(cal.skip_from(10), 0);
+        let mut cal = Calendar::new();
+        cal.stop_before(0);
+        assert_eq!(cal.skip_from(10), 0);
+        let mut cal = Calendar::new();
+        cal.land_on(10);
+        assert_eq!(cal.skip_from(10), 0);
+    }
+}

@@ -274,14 +274,16 @@ impl SimConfig {
     }
 
     /// Whether idle-cycle fast-forward will actually be active for this
-    /// configuration. Round-robin fetch re-evaluates its rotation every
-    /// cycle, including cycles where nothing else happens, so the "whole
-    /// machine is provably idle" precondition never holds and the simulator
-    /// silently disables the skip. Exposing the effective state (rather
-    /// than the requested `fast_forward` flag) lets run metadata and perf
-    /// baselines record what the run really did.
+    /// configuration. Historically the simulator silently disabled the
+    /// skip under round-robin fetch; the event-driven loop now models the
+    /// rotation analytically (the pick priority advances by `k` on a jump
+    /// of `k`, and provably idle cycles fetch nothing regardless of
+    /// priority order), so the answer is simply the configuration flag.
+    /// The accessor survives because run metadata and perf baselines
+    /// record the effective state (`--json` run outcomes, `benchkit`
+    /// reports) and their schema predates the carve-out's removal.
     pub fn effective_fast_forward(&self) -> bool {
-        self.fast_forward && !matches!(self.fetch_policy, FetchPolicy::RoundRobin)
+        self.fast_forward
     }
 
     /// Validate configuration consistency.

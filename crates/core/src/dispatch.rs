@@ -16,7 +16,6 @@
 
 use crate::config::DispatchPolicy;
 use crate::regfile::PhysReg;
-use std::collections::HashSet;
 
 /// Dispatch-relevant view of one buffered (renamed, undispatched)
 /// instruction.
@@ -108,19 +107,43 @@ pub fn is_ndi(non_ready: u8, comparators: u8) -> bool {
 /// assert_eq!(ooo.candidates[0].trace_idx, 1);
 /// ```
 pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> ThreadPlan {
-    let mut plan = ThreadPlan::default();
+    let mut candidates = Vec::new();
+    let mut taint = Vec::new();
+    let (ndi_blocked, pileup) = plan_thread_into(entries, policy, max, &mut candidates, &mut taint);
+    ThreadPlan { candidates, ndi_blocked, pileup }
+}
+
+/// Allocation-free form of [`plan_thread`] for the per-cycle hot path:
+/// candidates are appended to `candidates` (cleared first) and `taint` is
+/// caller-owned scratch, so a simulator can reuse both buffers every cycle.
+/// Returns `(ndi_blocked, pileup)`.
+///
+/// The taint set is a plain vector with linear membership scans: dispatch
+/// buffers hold at most a few dozen entries, where a scan over a handful of
+/// tags beats hashing.
+pub fn plan_thread_into(
+    entries: &[BufView],
+    policy: DispatchPolicy,
+    max: usize,
+    candidates: &mut Vec<Candidate>,
+    taint: &mut Vec<PhysReg>,
+) -> (bool, Option<(u32, u32)>) {
+    candidates.clear();
+    taint.clear();
     if entries.is_empty() || max == 0 {
-        return plan;
+        return (false, None);
     }
     let comparators = policy.iq_comparators();
 
     // Pile-up statistic: sampled whenever the buffer head is an NDI.
+    let mut pileup = None;
     if is_ndi(entries[0].non_ready, comparators) {
         let behind = &entries[1..];
         let hdis = behind.iter().filter(|e| !is_ndi(e.non_ready, comparators)).count();
-        plan.pileup = Some((behind.len() as u32, hdis as u32));
+        pileup = Some((behind.len() as u32, hdis as u32));
     }
 
+    let mut ndi_blocked = false;
     match policy {
         DispatchPolicy::Traditional
         | DispatchPolicy::TagEliminated
@@ -130,7 +153,7 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
             // tag-eliminated queue's per-class availability is enforced at
             // dispatch time); dispatch strictly in order.
             for e in entries.iter().take(max) {
-                plan.candidates.push(Candidate {
+                candidates.push(Candidate {
                     trace_idx: e.trace_idx,
                     non_ready: e.non_ready,
                     ndi_dependent: false,
@@ -144,14 +167,14 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
                 if is_ndi(e.non_ready, comparators) {
                     break;
                 }
-                plan.candidates.push(Candidate {
+                candidates.push(Candidate {
                     trace_idx: e.trace_idx,
                     non_ready: e.non_ready,
                     ndi_dependent: false,
                     dab_eligible: false,
                 });
             }
-            plan.ndi_blocked = plan.candidates.is_empty();
+            ndi_blocked = candidates.is_empty();
         }
         DispatchPolicy::TwoOpBlockOoo | DispatchPolicy::TwoOpBlockOooFiltered => {
             let filtered = policy == DispatchPolicy::TwoOpBlockOooFiltered;
@@ -159,9 +182,8 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
             // of instructions depending on them. A tainted register is by
             // construction non-ready, so checking non-ready sources is
             // exact.
-            let mut taint: HashSet<PhysReg> = HashSet::new();
             for (pos, e) in entries.iter().enumerate() {
-                if plan.candidates.len() >= max {
+                if candidates.len() >= max {
                     break;
                 }
                 let ndi = is_ndi(e.non_ready, comparators);
@@ -172,13 +194,13 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
                     && e.nonready_srcs.iter().flatten().any(|s| taint.contains(s));
                 if ndi {
                     if let Some(d) = e.dest {
-                        taint.insert(d);
+                        taint.push(d);
                     }
                     continue;
                 }
                 if dependent {
                     if let Some(d) = e.dest {
-                        taint.insert(d);
+                        taint.push(d);
                     }
                     if filtered {
                         // Idealized filter: refuse to dispatch NDI-dependent
@@ -186,17 +208,17 @@ pub fn plan_thread(entries: &[BufView], policy: DispatchPolicy, max: usize) -> T
                         continue;
                     }
                 }
-                plan.candidates.push(Candidate {
+                candidates.push(Candidate {
                     trace_idx: e.trace_idx,
                     non_ready: e.non_ready,
                     ndi_dependent: dependent,
                     dab_eligible: pos == 0 && e.is_rob_oldest && e.non_ready == 0,
                 });
             }
-            plan.ndi_blocked = plan.candidates.is_empty();
+            ndi_blocked = candidates.is_empty();
         }
     }
-    plan
+    (ndi_blocked, pileup)
 }
 
 #[cfg(test)]

@@ -12,10 +12,27 @@
 /// ineligible one. Ties break by thread id, matching a fixed hardware
 /// priority encoder.
 pub fn pick_fetch_threads(icounts: &[Option<usize>], max: usize) -> Vec<usize> {
-    let mut eligible: Vec<(usize, usize)> =
-        icounts.iter().enumerate().filter_map(|(t, c)| c.map(|c| (c, t))).collect();
-    eligible.sort_unstable();
-    eligible.into_iter().take(max).map(|(_, t)| t).collect()
+    let mut rank = Vec::new();
+    let mut picks = Vec::new();
+    pick_fetch_threads_into(icounts, max, &mut rank, &mut picks);
+    picks
+}
+
+/// Allocation-free form of [`pick_fetch_threads`] for the per-cycle hot
+/// path: `rank` is caller-owned scratch and the picks are written to
+/// `picks` (cleared first), so a simulator can reuse both buffers every
+/// cycle.
+pub fn pick_fetch_threads_into(
+    icounts: &[Option<usize>],
+    max: usize,
+    rank: &mut Vec<(usize, usize)>,
+    picks: &mut Vec<usize>,
+) {
+    rank.clear();
+    picks.clear();
+    rank.extend(icounts.iter().enumerate().filter_map(|(t, c)| c.map(|c| (c, t))));
+    rank.sort_unstable();
+    picks.extend(rank.iter().take(max).map(|&(_, t)| t));
 }
 
 #[cfg(test)]

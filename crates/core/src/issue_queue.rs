@@ -37,16 +37,42 @@ impl IqEntry {
     }
 }
 
+/// Flat-tag sentinel: "this comparator position holds no pending tag".
+const NO_TAG: u32 = u32::MAX;
+/// Age sentinel marking a vacant slot in the `ages` array, so stale
+/// ready-heap and slow-bus references can never validate against it.
+const FREE_AGE: u64 = u64::MAX;
+
 /// The shared issue queue.
+///
+/// The wakeup-relevant state is packed structure-of-arrays style: per-slot
+/// flat tag words (`tag0`/`tag1`), pending-tag counts (`pend`) and entry
+/// ages (`ages`) live in dense parallel vectors, so a tag broadcast walks
+/// its waiter list touching a few machine words per slot instead of
+/// dereferencing whole [`IqEntry`] records. `slots` keeps the per-entry
+/// metadata (thread, trace index, FU kind) and is only touched at
+/// insert/select/remove, off the broadcast path; its `waiting` tags are
+/// frozen at insert time and re-materialized against the SoA state when an
+/// entry is handed back out.
 #[derive(Debug)]
 pub struct IssueQueue {
     slots: Vec<Option<IqEntry>>,
+    /// Flat tag pending in comparator position 0 of each slot (`NO_TAG`
+    /// when clear or vacant).
+    tag0: Vec<u32>,
+    /// Flat tag pending in comparator position 1 (the slow-bus position in
+    /// Half-Price mode).
+    tag1: Vec<u32>,
+    /// Pending-tag count of each slot's resident entry.
+    pend: Vec<u8>,
+    /// Age of each slot's resident entry (`FREE_AGE` when vacant).
+    ages: Vec<u64>,
     /// Tag-comparator capacity of each slot (0, 1, or 2).
     slot_caps: Vec<u8>,
     /// Free slots partitioned by comparator capacity.
     free: [Vec<usize>; 3],
     /// Waiter lists indexed by flat physical-register id. Entries may be
-    /// stale (slot reused); wakeup validates against the slot's `waiting`
+    /// stale (slot reused); wakeup validates against the slot's pending
     /// tags, which makes delivery idempotent.
     waiters: Vec<Vec<usize>>,
     /// Min-heap of (age, slot) candidates whose operands are all ready.
@@ -64,10 +90,11 @@ pub struct IssueQueue {
     /// late.
     slow_second_tag: bool,
     /// Slow-bus deliveries staged for the next [`IssueQueue::tick`], as
-    /// (slot, age, tag). The age pins the delivery to the entry incarnation
-    /// that was resident at broadcast time: a slot squashed and reused
-    /// between broadcast and delivery must not receive the stale wakeup.
-    pending_slow: Vec<(usize, u64, PhysReg)>,
+    /// (slot, age, flat tag). The age pins the delivery to the entry
+    /// incarnation that was resident at broadcast time: a slot squashed and
+    /// reused between broadcast and delivery must not receive the stale
+    /// wakeup.
+    pending_slow: Vec<(usize, u64, u32)>,
     /// Running total of pending source tags across resident entries, so
     /// [`IssueQueue::pending_tags`] is O(1) instead of a full-queue scan.
     pending_count: usize,
@@ -110,6 +137,10 @@ impl IssueQueue {
         }
         IssueQueue {
             slots: vec![None; slot_caps.len()],
+            tag0: vec![NO_TAG; slot_caps.len()],
+            tag1: vec![NO_TAG; slot_caps.len()],
+            pend: vec![0; slot_caps.len()],
+            ages: vec![FREE_AGE; slot_caps.len()],
             max_cap: slot_caps.iter().copied().max().unwrap(),
             slot_caps,
             free,
@@ -170,6 +201,10 @@ impl IssueQueue {
         for reg in entry.waiting.iter().flatten() {
             self.waiters[phys_flat(*reg)].push(slot);
         }
+        self.tag0[slot] = entry.waiting[0].map_or(NO_TAG, |r| phys_flat(r) as u32);
+        self.tag1[slot] = entry.waiting[1].map_or(NO_TAG, |r| phys_flat(r) as u32);
+        self.pend[slot] = entry.pending() as u8;
+        self.ages[slot] = entry.age;
         if entry.pending() == 0 {
             self.ready.push(Reverse((entry.age, slot)));
         }
@@ -177,33 +212,60 @@ impl IssueQueue {
         slot
     }
 
+    /// Reset a slot's SoA pending state when its occupant leaves, so stale
+    /// waiter-list, ready-heap, and slow-bus references can never match it.
+    fn clear_soa(&mut self, slot: usize) {
+        self.tag0[slot] = NO_TAG;
+        self.tag1[slot] = NO_TAG;
+        self.pend[slot] = 0;
+        self.ages[slot] = FREE_AGE;
+    }
+
+    /// Re-derive an outgoing entry's `waiting` tags from the SoA state:
+    /// positions whose tag has been woken since insert read as `None`.
+    fn materialize(&self, slot: usize, mut entry: IqEntry) -> IqEntry {
+        if self.tag0[slot] == NO_TAG {
+            entry.waiting[0] = None;
+        }
+        if self.tag1[slot] == NO_TAG {
+            entry.waiting[1] = None;
+        }
+        entry
+    }
+
     /// Deliver a wakeup broadcast for `reg`: clear matching tags and move
     /// newly ready entries to the ready heap. In Half-Price mode, tags in
     /// the slow (second) position are staged for the next cycle's
     /// [`IssueQueue::tick`] instead of clearing immediately.
-    pub fn wakeup(&mut self, reg: PhysReg, flat: usize) {
+    ///
+    /// This is the broadcast hot path: it reads and writes only the flat
+    /// SoA arrays (`tag0`/`tag1`/`pend`/`ages`), never the boxed entry
+    /// records. A vacant slot holds `NO_TAG` in both positions, so stale
+    /// waiter references fall through the comparisons harmlessly.
+    pub fn wakeup(&mut self, _reg: PhysReg, flat: usize) {
+        let f = flat as u32;
         let list = std::mem::take(&mut self.waiters[flat]);
         for slot in list {
-            let mut slow_hit = None;
-            if let Some(entry) = self.slots[slot].as_mut() {
-                let mut hit = false;
-                for (pos, w) in entry.waiting.iter_mut().enumerate() {
-                    if *w == Some(reg) {
-                        if self.slow_second_tag && pos == 1 {
-                            slow_hit = Some(entry.age);
-                            continue;
-                        }
-                        *w = None;
-                        hit = true;
-                        self.pending_count -= 1;
-                    }
-                }
-                if hit && entry.pending() == 0 {
-                    self.ready.push(Reverse((entry.age, slot)));
+            let mut hit = false;
+            if self.tag0[slot] == f {
+                self.tag0[slot] = NO_TAG;
+                self.pend[slot] -= 1;
+                self.pending_count -= 1;
+                hit = true;
+            }
+            if self.tag1[slot] == f {
+                if self.slow_second_tag {
+                    // Slow-bus position: stage for next cycle, tag intact.
+                    self.pending_slow.push((slot, self.ages[slot], f));
+                } else {
+                    self.tag1[slot] = NO_TAG;
+                    self.pend[slot] -= 1;
+                    self.pending_count -= 1;
+                    hit = true;
                 }
             }
-            if let Some(age) = slow_hit {
-                self.pending_slow.push((slot, age, reg));
+            if hit && self.pend[slot] == 0 {
+                self.ready.push(Reverse((self.ages[slot], slot)));
             }
         }
     }
@@ -214,19 +276,13 @@ impl IssueQueue {
     /// between must not wake the new occupant early.
     pub fn deliver_slow(&mut self) {
         let staged = std::mem::take(&mut self.pending_slow);
-        for (slot, age, reg) in staged {
-            if let Some(entry) = self.slots[slot].as_mut() {
-                if entry.age != age {
-                    continue;
-                }
-                let mut hit = false;
-                if entry.waiting[1] == Some(reg) {
-                    entry.waiting[1] = None;
-                    hit = true;
-                    self.pending_count -= 1;
-                }
-                if hit && entry.pending() == 0 {
-                    self.ready.push(Reverse((entry.age, slot)));
+        for (slot, age, f) in staged {
+            if self.ages[slot] == age && self.tag1[slot] == f {
+                self.tag1[slot] = NO_TAG;
+                self.pend[slot] -= 1;
+                self.pending_count -= 1;
+                if self.pend[slot] == 0 {
+                    self.ready.push(Reverse((age, slot)));
                 }
             }
         }
@@ -244,8 +300,8 @@ impl IssueQueue {
     pub fn pending_tags(&self) -> usize {
         debug_assert_eq!(
             self.pending_count,
-            self.slots.iter().flatten().map(|e| e.pending()).sum::<usize>(),
-            "running pending-tag count out of sync with the slots"
+            self.pend.iter().map(|&p| p as usize).sum::<usize>(),
+            "running pending-tag count out of sync with the SoA state"
         );
         self.pending_count
     }
@@ -255,12 +311,11 @@ impl IssueQueue {
     /// [`IssueQueue::defer`] with the returned slot.
     pub fn pop_ready(&mut self) -> Option<(usize, IqEntry)> {
         while let Some(Reverse((age, slot))) = self.ready.pop() {
-            let valid = self.slots[slot]
-                .as_ref()
-                .map(|e| e.age == age && e.pending() == 0)
-                .unwrap_or(false);
-            if valid {
-                return Some((slot, self.slots[slot].unwrap()));
+            // Age match ⇒ the incarnation that became ready is still
+            // resident (vacant slots read `FREE_AGE`).
+            if self.ages[slot] == age && self.pend[slot] == 0 {
+                let entry = self.materialize(slot, self.slots[slot].expect("age-matched slot"));
+                return Some((slot, entry));
             }
         }
         None
@@ -268,17 +323,19 @@ impl IssueQueue {
 
     /// Put a ready entry back (could not issue this cycle).
     pub fn defer(&mut self, slot: usize) {
-        if let Some(e) = self.slots[slot].as_ref() {
-            self.ready.push(Reverse((e.age, slot)));
+        if self.ages[slot] != FREE_AGE {
+            self.ready.push(Reverse((self.ages[slot], slot)));
         }
     }
 
     /// Remove an entry at issue.
     pub fn remove(&mut self, slot: usize) -> IqEntry {
         let entry = self.slots[slot].take().expect("removing empty IQ slot");
+        let entry = self.materialize(slot, entry);
         self.per_thread[entry.thread] -= 1;
         self.occupied -= 1;
-        self.pending_count -= entry.pending();
+        self.pending_count -= self.pend[slot] as usize;
+        self.clear_soa(slot);
         self.free[self.slot_caps[slot] as usize].push(slot);
         entry
     }
@@ -288,8 +345,9 @@ impl IssueQueue {
     pub fn squash_thread(&mut self, thread: usize) {
         for slot in 0..self.slots.len() {
             if self.slots[slot].as_ref().map(|e| e.thread == thread).unwrap_or(false) {
-                let entry = self.slots[slot].take().expect("occupancy checked");
-                self.pending_count -= entry.pending();
+                self.slots[slot] = None;
+                self.pending_count -= self.pend[slot] as usize;
+                self.clear_soa(slot);
                 self.free[self.slot_caps[slot] as usize].push(slot);
                 self.occupied -= 1;
             }
@@ -306,8 +364,9 @@ impl IssueQueue {
                 .map(|e| e.thread == thread && e.trace_idx > keep_idx)
                 .unwrap_or(false);
             if hit {
-                let entry = self.slots[slot].take().expect("occupancy checked");
-                self.pending_count -= entry.pending();
+                self.slots[slot] = None;
+                self.pending_count -= self.pend[slot] as usize;
+                self.clear_soa(slot);
                 self.free[self.slot_caps[slot] as usize].push(slot);
                 self.occupied -= 1;
                 self.per_thread[thread] -= 1;
@@ -315,9 +374,13 @@ impl IssueQueue {
         }
     }
 
-    /// Iterate over occupied entries (diagnostics, tests).
-    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
-        self.slots.iter().flatten()
+    /// Iterate over occupied entries (diagnostics, tests), with `waiting`
+    /// tags reflecting the current (post-wakeup) SoA state.
+    pub fn iter(&self) -> impl Iterator<Item = IqEntry> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, e)| e.map(|entry| self.materialize(slot, entry)))
     }
 }
 

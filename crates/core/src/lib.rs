@@ -46,6 +46,7 @@
 //! assert!(sim.counters().throughput_ipc() > 0.0);
 //! ```
 
+pub mod calendar;
 pub mod config;
 pub mod dispatch;
 pub mod events;
@@ -63,6 +64,7 @@ pub mod scheduler;
 pub mod simulator;
 pub mod tracer;
 
+pub use calendar::Calendar;
 pub use config::{DeadlockMode, DispatchPolicy, FetchPolicy, SimConfig};
 pub use dispatch::{is_ndi, plan_thread, BufView, Candidate, ThreadPlan};
 pub use faults::{FaultClass, FaultClassConfig, FaultConfig, FaultInjector, FaultRecord};

@@ -15,12 +15,29 @@ use crate::scheduler::SchedulerQueue;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Flat-tag sentinel: "this comparator position holds no pending tag".
+const NO_TAG: u32 = u32::MAX;
+/// Age sentinel marking a vacant slot in the `ages` array.
+const FREE_AGE: u64 = u64::MAX;
+
 /// The packing issue queue. Slot tokens are *logical* half-entry indices:
 /// logical slots `2k` and `2k+1` share physical entry `k`.
+///
+/// Like [`crate::issue_queue::IssueQueue`], the wakeup-relevant state is
+/// packed structure-of-arrays style (`tag0`/`tag1`/`pend`/`ages`), so tag
+/// broadcasts touch dense flat arrays instead of the boxed entry records.
 #[derive(Debug)]
 pub struct PackedIssueQueue {
     /// Logical half-slots (`2 × physical entries`).
     slots: Vec<Option<IqEntry>>,
+    /// Flat tag pending in comparator position 0/1 of each logical slot
+    /// (`NO_TAG` when clear or vacant).
+    tag0: Vec<u32>,
+    tag1: Vec<u32>,
+    /// Pending-tag count of each logical slot's resident entry.
+    pend: Vec<u8>,
+    /// Age of each logical slot's resident entry (`FREE_AGE` when vacant).
+    ages: Vec<u64>,
     /// Physical entry `k` is wholly occupied by a 2-non-ready instruction
     /// living in logical slot `2k`.
     wide: Vec<bool>,
@@ -41,6 +58,10 @@ impl PackedIssueQueue {
         assert!(physical_entries >= 1, "queue must have at least one entry");
         PackedIssueQueue {
             slots: vec![None; physical_entries * 2],
+            tag0: vec![NO_TAG; physical_entries * 2],
+            tag1: vec![NO_TAG; physical_entries * 2],
+            pend: vec![0; physical_entries * 2],
+            ages: vec![FREE_AGE; physical_entries * 2],
             wide: vec![false; physical_entries],
             waiters: vec![Vec::new(); total_phys],
             ready: BinaryHeap::new(),
@@ -98,12 +119,29 @@ impl PackedIssueQueue {
 
     fn clear_slot(&mut self, slot: usize) -> IqEntry {
         let entry = self.slots[slot].take().expect("clearing empty packed slot");
+        let entry = self.materialize(slot, entry);
         self.per_thread[entry.thread] -= 1;
         self.occupied -= 1;
-        self.pending_count -= entry.pending();
+        self.pending_count -= self.pend[slot] as usize;
+        self.tag0[slot] = NO_TAG;
+        self.tag1[slot] = NO_TAG;
+        self.pend[slot] = 0;
+        self.ages[slot] = FREE_AGE;
         if self.wide[slot / 2] {
             debug_assert_eq!(slot % 2, 0, "wide occupants live in the even half");
             self.wide[slot / 2] = false;
+        }
+        entry
+    }
+
+    /// Re-derive an outgoing entry's `waiting` tags from the SoA state:
+    /// positions whose tag has been woken since insert read as `None`.
+    fn materialize(&self, slot: usize, mut entry: IqEntry) -> IqEntry {
+        if self.tag0[slot] == NO_TAG {
+            entry.waiting[0] = None;
+        }
+        if self.tag1[slot] == NO_TAG {
+            entry.waiting[1] = None;
         }
         entry
     }
@@ -146,8 +184,8 @@ impl SchedulerQueue for PackedIssueQueue {
     fn pending_tags(&self) -> usize {
         debug_assert_eq!(
             self.pending_count,
-            self.slots.iter().flatten().map(|e| e.pending()).sum::<usize>(),
-            "running pending-tag count out of sync with the slots"
+            self.pend.iter().map(|&p| p as usize).sum::<usize>(),
+            "running pending-tag count out of sync with the SoA state"
         );
         self.pending_count
     }
@@ -167,6 +205,10 @@ impl SchedulerQueue for PackedIssueQueue {
         for reg in entry.waiting.iter().flatten() {
             self.waiters[reg.flat(self.phys_int)].push(slot);
         }
+        self.tag0[slot] = entry.waiting[0].map_or(NO_TAG, |r| r.flat(self.phys_int) as u32);
+        self.tag1[slot] = entry.waiting[1].map_or(NO_TAG, |r| r.flat(self.phys_int) as u32);
+        self.pend[slot] = entry.pending() as u8;
+        self.ages[slot] = entry.age;
         if entry.pending() == 0 {
             self.ready.push(Reverse((entry.age, slot)));
         }
@@ -174,21 +216,28 @@ impl SchedulerQueue for PackedIssueQueue {
         slot
     }
 
+    /// Broadcast hot path: touches only the flat SoA arrays (vacant slots
+    /// hold `NO_TAG`, so stale waiter references fall through harmlessly).
     fn wakeup(&mut self, reg: PhysReg) {
-        let list = std::mem::take(&mut self.waiters[reg.flat(self.phys_int)]);
+        let flat = reg.flat(self.phys_int);
+        let f = flat as u32;
+        let list = std::mem::take(&mut self.waiters[flat]);
         for slot in list {
-            if let Some(entry) = self.slots[slot].as_mut() {
-                let mut hit = false;
-                for w in entry.waiting.iter_mut() {
-                    if *w == Some(reg) {
-                        *w = None;
-                        hit = true;
-                        self.pending_count -= 1;
-                    }
-                }
-                if hit && entry.pending() == 0 {
-                    self.ready.push(Reverse((entry.age, slot)));
-                }
+            let mut hit = false;
+            if self.tag0[slot] == f {
+                self.tag0[slot] = NO_TAG;
+                self.pend[slot] -= 1;
+                self.pending_count -= 1;
+                hit = true;
+            }
+            if self.tag1[slot] == f {
+                self.tag1[slot] = NO_TAG;
+                self.pend[slot] -= 1;
+                self.pending_count -= 1;
+                hit = true;
+            }
+            if hit && self.pend[slot] == 0 {
+                self.ready.push(Reverse((self.ages[slot], slot)));
             }
         }
     }
@@ -197,20 +246,19 @@ impl SchedulerQueue for PackedIssueQueue {
 
     fn pop_ready(&mut self) -> Option<(usize, IqEntry)> {
         while let Some(Reverse((age, slot))) = self.ready.pop() {
-            let valid = self.slots[slot]
-                .as_ref()
-                .map(|e| e.age == age && e.pending() == 0)
-                .unwrap_or(false);
-            if valid {
-                return Some((slot, self.slots[slot].unwrap()));
+            // Age match ⇒ the incarnation that became ready is still
+            // resident (vacant slots read `FREE_AGE`).
+            if self.ages[slot] == age && self.pend[slot] == 0 {
+                let entry = self.materialize(slot, self.slots[slot].expect("age-matched slot"));
+                return Some((slot, entry));
             }
         }
         None
     }
 
     fn defer(&mut self, slot: usize) {
-        if let Some(e) = self.slots[slot].as_ref() {
-            self.ready.push(Reverse((e.age, slot)));
+        if self.ages[slot] != FREE_AGE {
+            self.ready.push(Reverse((self.ages[slot], slot)));
         }
     }
 

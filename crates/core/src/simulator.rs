@@ -7,11 +7,12 @@
 //! wakeup events processed at cycle start keep 1-cycle operations
 //! back-to-back.
 
+use crate::calendar::Calendar;
 use crate::config::{DeadlockMode, FetchPolicy, SimConfig};
-use crate::dispatch::{is_ndi, plan_thread, BufView, Candidate};
+use crate::dispatch::{is_ndi, plan_thread, plan_thread_into, BufView, Candidate};
 use crate::events::{Event, EventQueue};
 use crate::faults::{FaultClass, FaultInjector, FaultRecord};
-use crate::fetch::pick_fetch_threads;
+use crate::fetch::pick_fetch_threads_into;
 use crate::fu::FuPools;
 use crate::issue_queue::{IqEntry, IssueQueue};
 use crate::lsq::{LoadCheck, Lsq};
@@ -174,6 +175,36 @@ impl ThreadCtx {
     }
 }
 
+/// Reusable per-cycle scratch buffers for the pipeline stages. Everything
+/// here is logically dead between cycles; parking the buffers on the
+/// simulator keeps the hot loop allocation-free. A stage `std::mem::take`s
+/// the buffers it needs for its duration (satisfying the borrow checker
+/// across `&mut self` calls) and puts them back before returning.
+#[derive(Default)]
+struct CycleScratch {
+    /// Readiness-annotated views of the thread currently being planned.
+    views: Vec<BufView>,
+    /// Per-thread dispatch plans, program order, read via `plan_pos`.
+    plans: Vec<Vec<Candidate>>,
+    /// Per-thread read cursor into `plans` (avoids pop-front shuffling).
+    plan_pos: Vec<usize>,
+    /// Taint scratch for [`plan_thread_into`].
+    taint: Vec<PhysReg>,
+    /// Per-thread cached `ndi_blocked` planner verdict (valid while the
+    /// thread's `plan_valid` bit holds).
+    plan_blocked: Vec<bool>,
+    /// Per-thread cached pile-up sample (same validity).
+    plan_pileup: Vec<Option<(u32, u32)>>,
+    /// IQ slots whose issue grant was revoked this cycle.
+    deferred: Vec<usize>,
+    /// Per-thread fetch eligibility / I-Count priority input.
+    icounts: Vec<Option<usize>>,
+    /// Sort scratch for [`pick_fetch_threads_into`].
+    fetch_rank: Vec<(usize, usize)>,
+    /// Threads picked to fetch this cycle.
+    picks: Vec<usize>,
+}
+
 /// The SMT processor simulator.
 pub struct Simulator {
     cfg: SimConfig,
@@ -212,11 +243,21 @@ pub struct Simulator {
     /// Cached `cfg.hierarchy.model` discriminant: does the hierarchy run
     /// the non-blocking (MSHR/bus/write-buffer) model?
     nonblocking_mem: bool,
-    /// Cached enable for the idle-cycle fast-forward: the config flag minus
-    /// the round-robin fetch exclusion (rotating fetch priority attributes
-    /// per-thread stall cycles differently each cycle, so idle cycles are
-    /// not replicas of each other under that policy — see DESIGN.md).
+    /// Cached enable for the idle-cycle fast-forward. Round-robin fetch is
+    /// no longer excluded: provably idle cycles fetch nothing regardless of
+    /// pick priority, and the rotation itself is replayed analytically
+    /// (`rr += k mod n`) when the clock jumps — see DESIGN.md §6.3.
     fast_forward: bool,
+    /// Number of calendar jumps taken (each one compresses a stretch of
+    /// idle cycles into one representative cycle). Lifetime total; survives
+    /// [`Simulator::reset_measurement`] like the fault log. Deliberately
+    /// *not* part of [`SimCounters`]: the counters must stay bit-for-bit
+    /// identical between fast-forwarded and reference runs.
+    ff_jumps: u64,
+    /// Total cycles the calendar jumps skipped (excluding the representative
+    /// cycles, which execute for real). Same lifetime and exclusion rules
+    /// as [`Simulator::ff_jumps`].
+    ff_skipped_cycles: u64,
     /// Running total of committed instructions in the current measurement
     /// window, kept equal to the sum of the per-thread `committed`
     /// counters so the run loops need not re-sum the vector every cycle.
@@ -224,6 +265,21 @@ pub struct Simulator {
     /// Reusable counter snapshot for the fast-forward's representative
     /// cycle (avoids reallocating the per-thread vector on the hot path).
     ff_scratch: Option<SimCounters>,
+    /// Per-cycle stage scratch buffers (see [`CycleScratch`]).
+    scratch: CycleScratch,
+    /// Bitmask of threads whose cached dispatch plan (in
+    /// [`CycleScratch::plans`] / `plan_blocked` / `plan_pileup`) is still
+    /// exact: nothing the planner reads has changed since it was computed.
+    /// Cleared by every mutation of the inputs — a dispatch-buffer push or
+    /// take, a squash, a commit (ROB base and fullness feed the plan), or a
+    /// wakeup whose register hits `plan_bloom`.
+    plan_valid: u64,
+    /// Per-thread Bloom filter (bit `index & 63`) over the non-ready source
+    /// registers the cached plan observed. A `set_ready` on a matching bit
+    /// conservatively invalidates; sources it missed cannot have changed
+    /// readiness (ready registers never revert while a consumer is in
+    /// flight).
+    plan_bloom: Vec<u64>,
 }
 
 impl Simulator {
@@ -232,6 +288,8 @@ impl Simulator {
     pub fn new(cfg: SimConfig, streams: Vec<Box<dyn InstGenerator>>) -> Self {
         let n = streams.len();
         cfg.validate(n).expect("invalid configuration");
+        // The stage loops track per-thread one-shot flags in u64 bitmasks.
+        assert!(n <= 64, "at most 64 hardware thread contexts are supported");
         let mut regs = PhysRegFile::new(cfg.phys_int, cfg.phys_fp);
         let threads = streams
             .into_iter()
@@ -315,8 +373,13 @@ impl Simulator {
             faults: FaultInjector::new(cfg.faults),
             nonblocking_mem: matches!(cfg.hierarchy.model, MemModel::NonBlocking(_)),
             fast_forward: cfg.effective_fast_forward(),
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
             committed_total: 0,
             ff_scratch: None,
+            scratch: CycleScratch::default(),
+            plan_valid: 0,
+            plan_bloom: vec![0; n],
             threads,
             regs,
             cfg,
@@ -352,6 +415,16 @@ impl Simulator {
     /// Current cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Event-driven-loop effectiveness: `(jumps, skipped_cycles)` — how
+    /// many calendar jumps the run took and how many cycles they skipped
+    /// in total. Lifetime values (not reset by
+    /// [`Simulator::reset_measurement`]), and deliberately outside
+    /// [`SimCounters`] so fast-forwarded and reference runs stay
+    /// bit-for-bit counter-identical.
+    pub fn ff_stats(&self) -> (u64, u64) {
+        (self.ff_jumps, self.ff_skipped_cycles)
     }
 
     /// Accumulated statistics.
@@ -514,6 +587,12 @@ impl Simulator {
     ) -> RunOutcome {
         let mut last_total: u64 = self.committed_total;
         let mut last_commit_cycle = self.now;
+        // Poll the abort hook on loop iterations, not cycle numbers: a
+        // calendar jump can step `now` over any particular alignment
+        // forever, while iterations are guaranteed to keep happening.
+        // Iteration 0 polls immediately so an already-expired budget
+        // aborts before any work.
+        let mut iters: u64 = 0;
         loop {
             if self.counters.threads.iter().any(|t| t.committed >= commit_target) {
                 return RunOutcome::TargetReached;
@@ -528,9 +607,10 @@ impl Simulator {
             if let Some(report) = self.check_progress(last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
-            if self.now & 0x1FFF == 0 && should_abort() {
+            if iters & 0x1FFF == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
+            iters += 1;
             self.cycle_with_fast_forward(last_commit_cycle);
         }
     }
@@ -553,6 +633,8 @@ impl Simulator {
     ) -> RunOutcome {
         let mut last_total: u64 = self.committed_total;
         let mut last_commit_cycle = self.now;
+        // Iteration-based abort polling; see `run_with_abort`.
+        let mut iters: u64 = 0;
         loop {
             let all_done = self
                 .counters
@@ -574,9 +656,10 @@ impl Simulator {
             if let Some(report) = self.check_progress(last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
-            if self.now & 0x1FFF == 0 && should_abort() {
+            if iters & 0x1FFF == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
+            iters += 1;
             self.cycle_with_fast_forward(last_commit_cycle);
         }
     }
@@ -627,16 +710,17 @@ impl Simulator {
     }
 
     /// Advance one cycle and, when that cycle proves the machine idle,
-    /// bulk-skip the stretch of identical idle cycles that follows.
+    /// jump the clock to the next calendar entry.
     ///
-    /// Strategy (DESIGN.md, "Idle-cycle fast-forward"): a cheap precheck
+    /// Strategy (DESIGN.md, "The event-driven loop"): a cheap precheck
     /// rejects cycles that could plausibly do work; otherwise the counters
     /// are snapshotted, one *representative* cycle runs for real, and an
     /// activity signature decides whether it did anything. If it did not,
-    /// every subsequent cycle up to the next wake source is an exact
+    /// every subsequent cycle up to the next calendar entry is an exact
     /// replica, so the representative cycle's counter deltas are replayed
-    /// `k` more times arithmetically and the clock jumps by `k`. Counters
-    /// stay bit-for-bit identical to the unskipped run
+    /// `k` more times arithmetically and the clock jumps by `k` — directly
+    /// to one cycle before the nearest wake source, however far that is.
+    /// Counters stay bit-for-bit identical to the unskipped run
     /// (`tests/fast_forward_differential.rs` pins this).
     fn cycle_with_fast_forward(&mut self, last_commit_cycle: u64) {
         if !self.fast_forward || !self.ff_idle_precheck() {
@@ -648,7 +732,8 @@ impl Simulator {
         scratch.clone_from(&self.counters);
         let sig = self.ff_activity_sig();
         self.cycle();
-        if self.ff_activity_sig() == sig
+        let sig_match = self.ff_activity_sig() == sig;
+        if sig_match
             && self.ff_idle_precheck()
             // A drain transition must surface to the run loop at its true
             // cycle, not after an overshoot.
@@ -658,7 +743,12 @@ impl Simulator {
             if k > 0 {
                 self.counters.replicate_idle_deltas(&scratch, k);
                 self.now += k;
+                self.ff_jumps += 1;
+                self.ff_skipped_cycles += k;
                 let n = self.threads.len();
+                // Round-robin fetch (and the commit/dispatch/rename
+                // rotation) replayed analytically: k idle cycles rotate
+                // the priority k times.
                 self.rr = (self.rr + (k as usize % n)) % n;
                 if matches!(self.cfg.deadlock, DeadlockMode::Watchdog { .. }) {
                     // ff_skip_len stopped short of the next flush, so the
@@ -677,33 +767,79 @@ impl Simulator {
     /// Cheap rejection filter for the fast-forward: could the next cycle
     /// plausibly do work that is not driven by a bounded wake source?
     /// Issue candidates (ready or staged IQ entries, DAB entries),
-    /// pending FLUSH squashes, buffered stores, and any fetch-eligible
-    /// thread all do per-cycle work that is not a pure replica, so any of
-    /// them vetoes skipping.
+    /// pending FLUSH squashes, a drainable buffered store, and any
+    /// fetch-eligible thread all do per-cycle work that is not a pure
+    /// replica, so any of them vetoes skipping. The remaining arms are
+    /// pure attempt-avoidance: an imminent event delivery, commit, or
+    /// rename would fail the activity signature anyway, so vetoing here
+    /// just skips the cost of finding that out (a counter snapshot plus a
+    /// wasted signature pair per active cycle).
     fn ff_idle_precheck(&self) -> bool {
         self.dab.is_empty()
+            && self.pending_flushes.is_empty()
             && !self.iq.has_ready()
             && !self.iq.has_staged()
-            && self.pending_flushes.is_empty()
-            && (!self.nonblocking_mem || self.hier.wb_len() == 0)
+            && self.events.next_due_cycle().is_none_or(|c| c > self.now + 1)
+            && (!self.nonblocking_mem
+                || self.hier.next_event_at(self.now).is_none_or(|c| c > self.now + 1))
+            && !self.ff_commit_imminent()
             && self.ff_fetch_quiescent()
+            && !self.ff_rename_imminent()
     }
 
-    /// Is every thread ineligible to fetch? The activity signature cannot
-    /// see a fetch attempt that misses the I-cache (it delivers zero
-    /// instructions yet re-blocks the thread and touches cache state), and
-    /// the fetch-port limit means a thread left unpicked this cycle may be
-    /// picked a few cycles later with no other state change — so skipping
-    /// is only sound when *no* thread could be picked at all. Every arm of
-    /// this predicate expires through a wake source `ff_skip_len` bounds:
-    /// gating and outstanding misses clear on scheduled events, blocking
-    /// on `fetch_blocked_until`, and a full front end drains only through
-    /// rename activity the signature does see.
+    /// Will the next cycle's commit stage retire something? True when any
+    /// thread's ROB head is completed and not parked behind a full write
+    /// buffer — mirrors the gate in `commit_stage`. A head that *is*
+    /// parked (completed store, full buffer, stuck head) retires nothing
+    /// for as long as the buffer stays stuck, which the hierarchy's
+    /// calendar entry bounds.
+    fn ff_commit_imminent(&self) -> bool {
+        let wb_blocked = self.nonblocking_mem && !self.hier.wb_can_push();
+        self.threads.iter().any(|ctx| {
+            ctx.rob.front().is_some_and(|e| {
+                e.state == InstState::Completed
+                    && !(wb_blocked && e.inst.op.is_store() && e.inst.mem.is_some())
+            })
+        })
+    }
+
+    /// Will the next cycle's rename stage move an instruction out of some
+    /// front end? Mirrors the gate order of `try_rename_one` one cycle
+    /// ahead. Over-approximation is harmless (a lost skip opportunity);
+    /// under-approximation is too (the activity signature still catches
+    /// the rename) — the point is to avoid paying for a doomed signature
+    /// attempt while a gated thread's already-fetched tail drains.
+    fn ff_rename_imminent(&self) -> bool {
+        let cap = self.cfg.dispatch_buffer_cap;
+        self.threads.iter().any(|ctx| {
+            let Some(front) = ctx.frontend.front() else { return false };
+            front.ready_at <= self.now + 1
+                && !ctx.rob.is_full()
+                && ctx.dispatch_buf.len() < cap
+                && !(front.inst.op.is_mem() && ctx.lsq.is_full())
+                && front.inst.real_dest().is_none_or(|d| self.regs.free_count(d.class) > 0)
+        })
+    }
+
+    /// Is every thread ineligible to fetch, this cycle *and* the next? The
+    /// activity signature cannot see a fetch attempt that misses the
+    /// I-cache (it delivers zero instructions yet re-blocks the thread and
+    /// touches cache state), and the fetch-port limit means a thread left
+    /// unpicked this cycle may be picked a few cycles later with no other
+    /// state change — so skipping is only sound when *no* thread could be
+    /// picked at all. Every arm of this predicate expires through a wake
+    /// source `ff_skip_len` bounds: gating and outstanding misses clear on
+    /// scheduled events, blocking on `fetch_blocked_until`, and a full
+    /// front end drains only through rename activity the signature does
+    /// see. The blocking arm looks one cycle ahead (`> now + 1`) because a
+    /// thread unblocking next cycle makes the representative cycle a
+    /// doomed candidate — the calendar would bound the skip at zero
+    /// anyway.
     fn ff_fetch_quiescent(&self) -> bool {
         let stall_policy = matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush);
         self.threads.iter().all(|ctx| {
             ctx.fetch_gated_by.is_some()
-                || ctx.fetch_blocked_until > self.now
+                || ctx.fetch_blocked_until > self.now + 1
                 || ctx.frontend.len() >= self.frontend_cap
                 || (ctx.finished_fetch && ctx.wrongpath_of.is_none())
                 || (stall_policy && ctx.outstanding_mem_misses > 0)
@@ -756,31 +892,38 @@ impl Simulator {
     }
 
     /// How many cycles after the representative idle cycle are guaranteed
-    /// replicas of it: stop one short of every wake source (scheduled
-    /// events, MSHR fills, fetch unblock times, front-end delivery times,
-    /// the watchdog's next flush) and land exactly on the run loop's own
-    /// trip points (forward-progress check, cycle limit) so the loop
-    /// observes them on the same cycle it would have cycle-by-cycle.
+    /// replicas of it: build the calendar of every next-activity time —
+    /// scheduled events (wakeups, completions, fault redeliveries), the
+    /// memory hierarchy's next fill or drainable store, fetch unblock
+    /// times, front-end delivery times, the watchdog's next flush — and
+    /// jump to one cycle before the nearest ([`Calendar::stop_before`]),
+    /// landing exactly on the run loop's own trip points (forward-progress
+    /// check, cycle limit — [`Calendar::land_on`]) so the loop observes
+    /// them on the same cycle it would have cycle-by-cycle. The jump is
+    /// unbounded: one calendar hop covers an arbitrarily long idle
+    /// stretch.
     fn ff_skip_len(&self, last_commit_cycle: u64) -> u64 {
-        const FF_CHUNK: u64 = 65_536;
-        let mut target = self.now + FF_CHUNK;
+        // A machine with work in flight but *no* calendar entry at all can
+        // never change state again (nothing is scheduled and nothing can
+        // become schedulable) — it is wedged, and with the progress check
+        // and cycle limit both disabled no boundary will trip either.
+        // Advance in finite strides so `now` keeps moving for an eventual
+        // external observer instead of leaping toward u64::MAX.
+        const WEDGE_STRIDE: u64 = 65_536;
+        let mut cal = Calendar::new();
         // process_events / step_memory drained everything due at `now`, so
         // both wake sources are strictly in the future here.
-        if let Some(c) = self.events.next_due_cycle() {
-            target = target.min(c - 1);
-        }
+        cal.stop_before_opt(self.events.next_due_cycle());
         if self.nonblocking_mem {
-            if let Some(c) = self.hier.next_fill_at() {
-                target = target.min(c - 1);
-            }
+            cal.stop_before_opt(self.hier.next_event_at(self.now));
         }
         for ctx in &self.threads {
             if ctx.fetch_blocked_until > self.now {
-                target = target.min(ctx.fetch_blocked_until - 1);
+                cal.stop_before(ctx.fetch_blocked_until);
             }
             if let Some(fe) = ctx.frontend.front() {
                 if fe.ready_at > self.now {
-                    target = target.min(fe.ready_at - 1);
+                    cal.stop_before(fe.ready_at);
                 }
             }
         }
@@ -788,15 +931,19 @@ impl Simulator {
             // The postcheck left work in flight with nothing dispatching,
             // so the watchdog decrements every cycle of the window: stop
             // before it reaches zero and flushes.
-            target = target.min(self.now + self.watchdog_remaining - 1);
+            cal.stop_before(self.now + self.watchdog_remaining);
         }
         if self.cfg.progress_check_cycles > 0 {
-            target = target.min(last_commit_cycle + self.cfg.progress_check_cycles);
+            cal.land_on(last_commit_cycle + self.cfg.progress_check_cycles);
         }
         if self.cfg.max_cycles > 0 {
-            target = target.min(self.cfg.max_cycles);
+            cal.land_on(self.cfg.max_cycles);
         }
-        target.saturating_sub(self.now)
+        if cal.is_bounded() {
+            cal.skip_from(self.now)
+        } else {
+            WEDGE_STRIDE
+        }
     }
 
     /// Advance the non-blocking memory machinery: release completed MSHR
@@ -805,6 +952,16 @@ impl Simulator {
     /// counters into the stats. No-op under the flat model.
     fn step_memory(&mut self) {
         if !self.nonblocking_mem {
+            return;
+        }
+        // Fast path: no fill is due yet and the write buffer has nothing it
+        // could drain, so a full `step` would release nothing and drain
+        // nothing — only the occupancy samples change, and those are exactly
+        // what one accounted idle cycle adds.
+        if self.hier.next_fill_at().is_none_or(|c| c > self.now)
+            && (self.hier.wb_len() == 0 || self.hier.wb_head_stuck())
+        {
+            self.hier.account_idle_cycles(1);
             return;
         }
         for d in self.hier.step(self.now) {
@@ -875,6 +1032,14 @@ impl Simulator {
                         .unwrap_or(false);
                     if valid {
                         self.regs.set_ready(reg);
+                        // A newly-ready register changes any dispatch plan
+                        // that observed it as a non-ready source.
+                        let bit = 1u64 << (reg.index as u64 & 63);
+                        for t in 0..self.plan_bloom.len() {
+                            if self.plan_bloom[t] & bit != 0 {
+                                self.plan_valid &= !(1 << t);
+                            }
+                        }
                         if self.faults.roll(FaultClass::WakeupDrop, self.now, thread, trace_idx) {
                             // The value lands in the register file, but the
                             // IQ tag-bus broadcast is lost. Without the DAB
@@ -954,7 +1119,7 @@ impl Simulator {
         let n = self.threads.len();
         let mut budget = self.cfg.width;
         let mut progress = true;
-        let mut wb_noted = vec![false; n];
+        let mut wb_noted: u64 = 0;
         while budget > 0 && progress {
             progress = false;
             for i in 0..n {
@@ -979,9 +1144,9 @@ impl Simulator {
                         .map(|e| e.inst.op.is_store() && e.inst.mem.is_some())
                         .unwrap_or(false);
                     if head_is_store {
-                        if !wb_noted[t] {
+                        if wb_noted & (1 << t) == 0 {
                             self.counters.threads[t].wb_full_stall_cycles += 1;
-                            wb_noted[t] = true;
+                            wb_noted |= 1 << t;
                         }
                         continue;
                     }
@@ -994,6 +1159,9 @@ impl Simulator {
     }
 
     fn commit_one(&mut self, t: usize) {
+        // The ROB base and fullness feed the dispatch plan (`is_rob_oldest`,
+        // stall attribution), so a commit invalidates the cached plan.
+        self.plan_valid &= !(1 << t);
         let entry = self.threads[t].rob.pop_front().expect("commit from empty ROB");
         if let Some(mem) = entry.inst.mem {
             self.threads[t].lsq.pop_front(entry.trace_idx);
@@ -1036,6 +1204,11 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn issue_stage(&mut self) {
+        // Nothing selectable: `has_ready() == false` means the ready heap is
+        // empty, so the pop loop below could only return `None`.
+        if self.dab.is_empty() && !self.iq.has_ready() {
+            return;
+        }
         let mut budget = self.cfg.width;
 
         // Deadlock-avoidance buffer. In the paper's chosen variant its
@@ -1083,7 +1256,8 @@ impl Simulator {
             }
         }
 
-        let mut deferred: Vec<usize> = Vec::new();
+        let mut deferred = std::mem::take(&mut self.scratch.deferred);
+        deferred.clear();
         while budget > 0 {
             let Some((slot, entry)) = self.iq.pop_ready() else { break };
             // Injected fault: the grant is revoked and the instruction
@@ -1129,9 +1303,10 @@ impl Simulator {
             self.start_execution(entry.thread, entry.trace_idx);
             budget -= 1;
         }
-        for slot in deferred {
+        for &slot in &deferred {
             self.iq.defer(slot);
         }
+        self.scratch.deferred = deferred;
     }
 
     fn start_execution(&mut self, t: usize, trace_idx: u64) {
@@ -1269,6 +1444,7 @@ impl Simulator {
     /// recovery path of the FLUSH fetch policy and of wrong-path branch
     /// resolution. Fetch restarts at `keep_idx + 1`.
     fn squash_thread_after(&mut self, t: usize, keep_idx: u64) {
+        self.plan_valid &= !(1 << t);
         let squashed = self.threads[t].rob.squash_after(keep_idx);
         for e in squashed {
             if let Some((areg, old)) = e.old_dest {
@@ -1309,17 +1485,49 @@ impl Simulator {
     /// Returns the number of instructions dispatched this cycle.
     fn dispatch_stage(&mut self) -> u32 {
         let n = self.threads.len();
+        // Nothing buffered anywhere: no plans, no dispatch, and the
+        // dispatch-work statistic below would not fire either.
+        if self.threads.iter().all(|ctx| ctx.dispatch_buf.is_empty()) {
+            return 0;
+        }
         let width = self.cfg.width as usize;
         let policy = self.cfg.policy;
 
-        // Plan each thread.
-        let mut plans: Vec<VecDeque<Candidate>> = Vec::with_capacity(n);
-        let mut ndi_blocked = vec![false; n];
-        #[allow(clippy::needless_range_loop)] // t also indexes self.threads
-        for t in 0..n {
-            let views = self.thread_buf_views(t);
-            let plan = plan_thread(&views, policy, width);
-            if let Some((total, hdis)) = plan.pileup {
+        // Plan each thread, reusing the scratch plan/view buffers. A thread
+        // whose `plan_valid` bit survived since last cycle re-uses its
+        // cached plan verbatim: none of the planner's inputs (buffer
+        // contents, source readiness, ROB base/fullness) changed, so a
+        // fresh plan would be identical — only the per-cycle statistics
+        // below are replayed.
+        let mut plans = std::mem::take(&mut self.scratch.plans);
+        let mut plan_pos = std::mem::take(&mut self.scratch.plan_pos);
+        let mut views = std::mem::take(&mut self.scratch.views);
+        let mut taint = std::mem::take(&mut self.scratch.taint);
+        let mut plan_blocked = std::mem::take(&mut self.scratch.plan_blocked);
+        let mut plan_pileup = std::mem::take(&mut self.scratch.plan_pileup);
+        plans.resize_with(n, Vec::new);
+        plan_pos.clear();
+        plan_pos.resize(n, 0);
+        plan_blocked.resize(n, false);
+        plan_pileup.resize(n, None);
+        let mut ndi_blocked: u64 = 0;
+        for (t, plan) in plans.iter_mut().enumerate() {
+            if self.plan_valid & (1 << t) == 0 {
+                views.clear();
+                self.thread_buf_views_into(t, &mut views);
+                let (blocked, pileup) = plan_thread_into(&views, policy, width, plan, &mut taint);
+                plan_blocked[t] = blocked;
+                plan_pileup[t] = pileup;
+                let mut bloom = 0u64;
+                for v in &views {
+                    for s in v.nonready_srcs.iter().flatten() {
+                        bloom |= 1 << (s.index as u64 & 63);
+                    }
+                }
+                self.plan_bloom[t] = bloom;
+                self.plan_valid |= 1 << t;
+            }
+            if let Some((total, hdis)) = plan_pileup[t] {
                 self.counters.pileup_total += total as u64;
                 self.counters.pileup_hdis += hdis as u64;
             }
@@ -1329,18 +1537,17 @@ impl Simulator {
             // of the dispatch policy, and the paper's accounting (which
             // records a blocked thread's immediate reason) would charge the
             // cycle to the ROB instead.
-            if plan.ndi_blocked && !self.threads[t].rob.is_full() {
-                ndi_blocked[t] = true;
+            if plan_blocked[t] && !self.threads[t].rob.is_full() {
+                ndi_blocked |= 1 << t;
                 self.counters.threads[t].ndi_blocked_cycles += 1;
             }
-            plans.push(plan.candidates.into());
         }
 
         // Consume candidates round-robin, one instruction per thread per
         // turn, until the shared width is exhausted.
         let mut budget = width as u32;
         let mut dispatched = 0u32;
-        let mut iq_full_noted = vec![false; n];
+        let mut iq_full_noted: u64 = 0;
         let mut progress = true;
         while budget > 0 && progress {
             progress = false;
@@ -1349,15 +1556,15 @@ impl Simulator {
                     break;
                 }
                 let t = (self.rr + i) % n;
-                let Some(&cand) = plans[t].front() else { continue };
+                let Some(&cand) = plans[t].get(plan_pos[t]) else { continue };
                 if self.iq.has_free_for(cand.non_ready) {
-                    plans[t].pop_front();
+                    plan_pos[t] += 1;
                     self.dispatch_to_iq(t, cand);
                     budget -= 1;
                     dispatched += 1;
                     progress = true;
                 } else if cand.dab_eligible && self.dab.len() < self.dab_size {
-                    plans[t].pop_front();
+                    plan_pos[t] += 1;
                     self.dispatch_to_dab(t, cand);
                     budget -= 1;
                     dispatched += 1;
@@ -1365,14 +1572,20 @@ impl Simulator {
                 } else {
                     // IQ full: the thread cannot dispatch this cycle (the
                     // IQ only fills during dispatch).
-                    if !iq_full_noted[t] {
-                        iq_full_noted[t] = true;
+                    if iq_full_noted & (1 << t) == 0 {
+                        iq_full_noted |= 1 << t;
                         self.counters.threads[t].iq_full_cycles += 1;
                     }
-                    plans[t].clear();
+                    plan_pos[t] = plans[t].len();
                 }
             }
         }
+        self.scratch.plans = plans;
+        self.scratch.plan_pos = plan_pos;
+        self.scratch.views = views;
+        self.scratch.taint = taint;
+        self.scratch.plan_blocked = plan_blocked;
+        self.scratch.plan_pileup = plan_pileup;
 
         // The paper's §3/§5 statistic: a cycle in which the dispatch of
         // *all* threads stalls "due to the presence of instructions with 2
@@ -1382,7 +1595,7 @@ impl Simulator {
         // the cycle a fetch-supply stall, not a dispatch stall.
         if (0..n).any(|t| !self.threads[t].dispatch_buf.is_empty()) {
             self.counters.cycles_with_dispatch_work += 1;
-            if dispatched == 0 && (0..n).all(|t| ndi_blocked[t]) {
+            if dispatched == 0 && ndi_blocked.count_ones() as usize == n {
                 self.counters.all_threads_ndi_stall_cycles += 1;
             }
         }
@@ -1393,35 +1606,41 @@ impl Simulator {
     /// first) — the input to the dispatch planner, also consumed by
     /// [`Simulator::diagnose`].
     fn thread_buf_views(&self, t: usize) -> Vec<BufView> {
+        let mut views = Vec::new();
+        self.thread_buf_views_into(t, &mut views);
+        views
+    }
+
+    /// [`Simulator::thread_buf_views`] into a caller-owned buffer, so the
+    /// per-cycle dispatch stage can reuse one allocation.
+    fn thread_buf_views_into(&self, t: usize, out: &mut Vec<BufView>) {
         let ctx = &self.threads[t];
-        ctx.dispatch_buf
-            .iter()
-            .map(|&idx| {
-                let e = ctx.rob.get(idx).expect("buffered instruction missing from ROB");
-                let mut nonready_srcs = [None, None];
-                let mut non_ready = 0u8;
-                for (i, src) in e.srcs.iter().enumerate() {
-                    if let Some(p) = src {
-                        if !self.regs.is_ready(*p) {
-                            nonready_srcs[i] = Some(*p);
-                            non_ready += 1;
-                        }
+        out.extend(ctx.dispatch_buf.iter().map(|&idx| {
+            let e = ctx.rob.get(idx).expect("buffered instruction missing from ROB");
+            let mut nonready_srcs = [None, None];
+            let mut non_ready = 0u8;
+            for (i, src) in e.srcs.iter().enumerate() {
+                if let Some(p) = src {
+                    if !self.regs.is_ready(*p) {
+                        nonready_srcs[i] = Some(*p);
+                        non_ready += 1;
                     }
                 }
-                BufView {
-                    trace_idx: idx,
-                    non_ready,
-                    nonready_srcs,
-                    dest: e.dest,
-                    is_rob_oldest: idx == ctx.rob.base(),
-                }
-            })
-            .collect()
+            }
+            BufView {
+                trace_idx: idx,
+                non_ready,
+                nonready_srcs,
+                dest: e.dest,
+                is_rob_oldest: idx == ctx.rob.base(),
+            }
+        }));
     }
 
     /// Remove `trace_idx` from a thread's dispatch buffer, reporting
     /// whether an older instruction remains buffered (⇒ HDI dispatch).
     fn take_from_buffer(&mut self, t: usize, trace_idx: u64) -> bool {
+        self.plan_valid &= !(1 << t);
         let buf = &mut self.threads[t].dispatch_buf;
         let was_hdi = buf.front().map(|&f| f < trace_idx).unwrap_or(false);
         let pos = buf
@@ -1506,9 +1725,19 @@ impl Simulator {
 
     fn rename_stage(&mut self) {
         let n = self.threads.len();
+        // Nothing to rename anywhere, and every block reason would be
+        // `FrontendEmpty` (no counter attached).
+        if self.threads.iter().all(|ctx| ctx.frontend.is_empty()) {
+            return;
+        }
         let mut budget = self.cfg.width;
-        let mut renamed = vec![0u32; n];
-        let mut first_block: Vec<Option<RenameBlock>> = vec![None; n];
+        // Per-thread one-shot flags: did the thread rename anything, and
+        // what was its *first* block reason (only ROB/LSQ-full matter for
+        // attribution below).
+        let mut renamed: u64 = 0;
+        let mut blocked: u64 = 0;
+        let mut rob_full_first: u64 = 0;
+        let mut lsq_full_first: u64 = 0;
         let mut progress = true;
         while budget > 0 && progress {
             progress = false;
@@ -1519,13 +1748,20 @@ impl Simulator {
                 let t = (self.rr + i) % n;
                 match self.try_rename_one(t) {
                     Ok(()) => {
-                        renamed[t] += 1;
+                        // The rename pushed into the dispatch buffer.
+                        self.plan_valid &= !(1 << t);
+                        renamed |= 1 << t;
                         budget -= 1;
                         progress = true;
                     }
                     Err(b) => {
-                        if first_block[t].is_none() {
-                            first_block[t] = Some(b);
+                        if blocked & (1 << t) == 0 {
+                            blocked |= 1 << t;
+                            match b {
+                                RenameBlock::RobFull => rob_full_first |= 1 << t,
+                                RenameBlock::LsqFull => lsq_full_first |= 1 << t,
+                                _ => {}
+                            }
                         }
                     }
                 }
@@ -1536,13 +1772,13 @@ impl Simulator {
         // (the other block reasons are fetch-supply or width conditions,
         // and dispatch-side stalls are attributed in dispatch_stage).
         for t in 0..n {
-            if renamed[t] > 0 {
+            if renamed & (1 << t) != 0 {
                 continue;
             }
-            match first_block[t] {
-                Some(RenameBlock::RobFull) => self.counters.threads[t].rob_full_cycles += 1,
-                Some(RenameBlock::LsqFull) => self.counters.threads[t].lsq_full_cycles += 1,
-                _ => {}
+            if rob_full_first & (1 << t) != 0 {
+                self.counters.threads[t].rob_full_cycles += 1;
+            } else if lsq_full_first & (1 << t) != 0 {
+                self.counters.threads[t].lsq_full_cycles += 1;
             }
         }
     }
@@ -1633,32 +1869,41 @@ impl Simulator {
 
     fn fetch_stage(&mut self) {
         let n = self.threads.len();
-        let icounts: Vec<Option<usize>> = (0..n)
-            .map(|t| {
-                let ctx = &self.threads[t];
-                let mut eligible = ctx.fetch_gated_by.is_none()
-                    && ctx.fetch_blocked_until <= self.now
-                    && ctx.frontend.len() < self.frontend_cap
-                    && (!ctx.finished_fetch || ctx.wrongpath_of.is_some());
-                // STALL/FLUSH: a thread with an outstanding memory miss
-                // does not fetch until the miss returns.
-                if matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush)
-                    && ctx.outstanding_mem_misses > 0
-                {
-                    eligible = false;
-                }
-                eligible.then(|| match self.cfg.fetch_policy {
-                    // Round-robin: priority rotates each cycle.
-                    FetchPolicy::RoundRobin => (t + n - self.rr % n) % n,
-                    _ => ctx.frontend.len() + ctx.dispatch_buf.len() + self.iq.thread_occupancy(t),
-                })
+        let mut icounts = std::mem::take(&mut self.scratch.icounts);
+        icounts.clear();
+        icounts.extend((0..n).map(|t| {
+            let ctx = &self.threads[t];
+            let mut eligible = ctx.fetch_gated_by.is_none()
+                && ctx.fetch_blocked_until <= self.now
+                && ctx.frontend.len() < self.frontend_cap
+                && (!ctx.finished_fetch || ctx.wrongpath_of.is_some());
+            // STALL/FLUSH: a thread with an outstanding memory miss
+            // does not fetch until the miss returns.
+            if matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush)
+                && ctx.outstanding_mem_misses > 0
+            {
+                eligible = false;
+            }
+            eligible.then(|| match self.cfg.fetch_policy {
+                // Round-robin: priority rotates each cycle.
+                FetchPolicy::RoundRobin => (t + n - self.rr % n) % n,
+                _ => ctx.frontend.len() + ctx.dispatch_buf.len() + self.iq.thread_occupancy(t),
             })
-            .collect();
-        let picks = pick_fetch_threads(&icounts, self.cfg.fetch_threads_per_cycle as usize);
+        }));
+        let mut fetch_rank = std::mem::take(&mut self.scratch.fetch_rank);
+        let mut picks = std::mem::take(&mut self.scratch.picks);
+        pick_fetch_threads_into(
+            &icounts,
+            self.cfg.fetch_threads_per_cycle as usize,
+            &mut fetch_rank,
+            &mut picks,
+        );
+        self.scratch.icounts = icounts;
+        self.scratch.fetch_rank = fetch_rank;
 
         let mut budget = self.cfg.width;
         let line_size = self.cfg.hierarchy.l1i.line_size as u64;
-        for t in picks {
+        for &t in &picks {
             if budget == 0 {
                 break;
             }
@@ -1753,6 +1998,7 @@ impl Simulator {
                 }
             }
         }
+        self.scratch.picks = picks;
     }
 
     /// Fetch bookkeeping for one instruction; handles branch prediction.
@@ -1871,6 +2117,7 @@ impl Simulator {
     /// Flush the whole pipeline and restart every thread from its oldest
     /// uncommitted instruction (paper §4's watchdog recovery).
     fn watchdog_flush(&mut self) {
+        self.plan_valid = 0;
         let now = self.now;
         for t in 0..self.threads.len() {
             let squashed = self.threads[t].rob.squash_all();

@@ -488,6 +488,34 @@ impl Hierarchy {
             .min()
     }
 
+    /// The earliest future cycle at which the non-blocking machinery can
+    /// change state on its own: the next MSHR fill at any level, or
+    /// `now + 1` when the write buffer holds a store it can drain next
+    /// cycle. A *stuck* write buffer (see [`Hierarchy::wb_head_stuck`])
+    /// contributes nothing of its own — it can only move after a fill
+    /// frees an MSHR, and the fill time already bounds the window. This
+    /// is the hierarchy's entry in the event-driven loop's calendar.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let fill = self.next_fill_at();
+        if !self.write_buffer.is_empty() && !self.wb_head_stuck() {
+            return Some(fill.map_or(now + 1, |c| c.min(now + 1)));
+        }
+        fill
+    }
+
+    /// Is the write buffer non-empty with a head store that cannot drain
+    /// (its miss is inadmissible — the MSHR file it needs is full)? Such
+    /// a store stays exactly where it is until an in-flight fill frees an
+    /// entry, so cycles spent behind it are replicas: the drain loop in
+    /// [`Hierarchy::step`] stops at the head without mutating anything.
+    /// A full MSHR file implies in-flight entries, so
+    /// [`Hierarchy::next_fill_at`] is always `Some` when this holds.
+    pub fn wb_head_stuck(&self) -> bool {
+        self.write_buffer
+            .front()
+            .is_some_and(|&(_, addr)| !self.admissible(AccessKind::Store, addr))
+    }
+
     /// Account `k` skipped idle cycles into the per-cycle occupancy sums
     /// that [`Hierarchy::step`] would have sampled — the in-flight MSHR
     /// population and write-buffer length are constant across cycles in

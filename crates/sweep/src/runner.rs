@@ -106,6 +106,15 @@ pub struct RunResult {
     /// *effective* state (see [`SimConfig::effective_fast_forward`]).
     #[serde(default)]
     pub effective_fast_forward: bool,
+    /// Calendar jumps the event-driven loop took during this run (warm-up
+    /// included — the skip machinery runs across the whole lifetime).
+    #[serde(default)]
+    pub ff_jumps: u64,
+    /// Total cycles those jumps skipped. `cycles` minus the measured
+    /// window's share of this is the number of cycles actually executed;
+    /// sweeps report it as the *effective* fast-forward rate.
+    #[serde(default)]
+    pub ff_skipped_cycles: u64,
     /// Full raw counters for deeper analysis.
     pub counters: SimCounters,
 }
@@ -127,6 +136,8 @@ impl RunResult {
             mean_iq_residency: 0.0,
             mean_iq_occupancy: 0.0,
             effective_fast_forward: false,
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
             counters: SimCounters::new(n_threads),
         }
     }
@@ -234,6 +245,7 @@ pub fn run_spec_budgeted(
         _ => {}
     }
     let c = sim.counters().clone();
+    let (ff_jumps, ff_skipped_cycles) = sim.ff_stats();
     Ok(RunResult {
         outcome_target_reached: matches!(outcome, RunOutcome::TargetReached),
         ipc: c.throughput_ipc(),
@@ -245,6 +257,8 @@ pub fn run_spec_budgeted(
         mean_iq_residency: c.mean_iq_residency(),
         mean_iq_occupancy: c.mean_iq_occupancy(),
         effective_fast_forward,
+        ff_jumps,
+        ff_skipped_cycles,
         counters: c,
     })
 }

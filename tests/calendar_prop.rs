@@ -1,0 +1,119 @@
+//! Property tests for the next-activity [`Calendar`] behind the
+//! event-driven cycle loop.
+//!
+//! The calendar folds arbitrary mixes of wake sources (`stop_before` — the
+//! clock must land *strictly before* them so the waking cycle executes for
+//! real) and boundaries (`land_on` — the run loop may observe them exactly,
+//! never pass them) into one jump length. These properties drive it with
+//! random calendars and prove the fold can never overshoot: a single
+//! overshoot of a wake source is a skipped fill or wakeup, i.e. a silent
+//! bit-for-bit divergence the differential tests could only catch if a
+//! workload happened to hit that alignment.
+
+use proptest::prelude::*;
+use smt_sim::core::Calendar;
+
+/// Build a calendar from random source/boundary lists, in random
+/// interleaving order (registration order must not matter).
+fn build(sources: &[u64], opt_sources: &[Option<u64>], boundaries: &[u64]) -> Calendar {
+    let mut cal = Calendar::new();
+    for &w in sources {
+        cal.stop_before(w);
+    }
+    for &w in opt_sources {
+        cal.stop_before_opt(w);
+    }
+    for &b in boundaries {
+        cal.land_on(b);
+    }
+    cal
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The fundamental contract: wherever the jump lands, it is strictly
+    /// below every registered wake source and at or below every boundary.
+    /// `now` itself may already violate a bound (a source due this very
+    /// cycle) — then the jump must be zero.
+    #[test]
+    fn jump_never_reaches_a_wake_source_or_passes_a_boundary(
+        now in 0u64..1_000_000,
+        sources in proptest::collection::vec(0u64..2_000_000, 0..8),
+        opt_sources in proptest::collection::vec(
+            proptest::option::of(0u64..2_000_000), 0..4),
+        boundaries in proptest::collection::vec(0u64..2_000_000, 0..4),
+    ) {
+        let cal = build(&sources, &opt_sources, &boundaries);
+        let landed = now + cal.skip_from(now);
+        let all_sources =
+            sources.iter().chain(opt_sources.iter().flatten());
+        for &w in all_sources {
+            if w > now {
+                prop_assert!(
+                    landed < w,
+                    "jumped from {now} to {landed}, on/past wake source {w}"
+                );
+            }
+        }
+        for &b in &boundaries {
+            if b >= now {
+                prop_assert!(
+                    landed <= b,
+                    "jumped from {now} to {landed}, past boundary {b}"
+                );
+            }
+        }
+    }
+
+    /// The jump is maximal, not merely safe: it lands exactly on the
+    /// tightest bound (nearest source minus one, or nearest boundary,
+    /// whichever is smaller). A conservative fold that under-jumps would
+    /// pass the safety property but erode the speedup.
+    #[test]
+    fn jump_is_exactly_the_tightest_bound(
+        now in 0u64..1_000_000,
+        sources in proptest::collection::vec(0u64..2_000_000, 1..8),
+        boundaries in proptest::collection::vec(0u64..2_000_000, 0..4),
+    ) {
+        let cal = build(&sources, &[], &boundaries);
+        let src_bound = sources.iter().map(|w| w.saturating_sub(1)).min();
+        let bnd_bound = boundaries.iter().copied().min();
+        let tightest = match (src_bound, bnd_bound) {
+            (Some(s), Some(b)) => s.min(b),
+            (Some(s), None) => s,
+            (None, Some(b)) => b,
+            (None, None) => unreachable!("at least one source is generated"),
+        };
+        prop_assert_eq!(cal.skip_from(now), tightest.saturating_sub(now));
+    }
+
+    /// A calendar is bounded exactly when something registered. `None`
+    /// optional sources register nothing: the caller must fall back to a
+    /// finite stride for a wedged machine, never jump to the end of time.
+    #[test]
+    fn boundedness_tracks_registration(
+        opt_sources in proptest::collection::vec(
+            proptest::option::of(0u64..2_000_000), 0..6),
+    ) {
+        let cal = build(&[], &opt_sources, &[]);
+        prop_assert_eq!(
+            cal.is_bounded(),
+            opt_sources.iter().any(|s| s.is_some())
+        );
+    }
+
+    /// Sources due now or already past pin the jump to zero: the current
+    /// cycle must execute for real.
+    #[test]
+    fn due_or_past_sources_pin_the_jump_to_zero(
+        now in 1u64..1_000_000,
+        wake in 0u64..1_000_000,
+        extra in proptest::collection::vec(0u64..2_000_000, 0..4),
+    ) {
+        let wake = wake.min(now + 1); // due this cycle or earlier
+        let mut cal = build(&extra, &[], &[]);
+        cal.stop_before(wake);
+        prop_assert_eq!(cal.skip_from(now), 0);
+    }
+}

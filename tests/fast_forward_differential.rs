@@ -9,11 +9,13 @@
 //! STALL/FLUSH fetch policies, and under injected faults.
 
 use smt_sim::core::{
-    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, FetchPolicy, SimConfig,
+    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, FetchPolicy, RunOutcome, SimConfig,
+    Simulator,
 };
 use smt_sim::mem::{MemModel, NonBlockingConfig};
 use smt_sim::stats::SimCounters;
 use smt_sim::sweep::{run_spec_with_config, RunSpec};
+use smt_sim::workload::{benchmark, InstGenerator, SyntheticGen};
 
 /// Run a spec with the fast-forward enabled and disabled and return both
 /// (cycles, counters) pairs.
@@ -131,4 +133,190 @@ fn fast_forward_single_thread_memory_bound() {
     let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
     cfg.fetch_policy = FetchPolicy::Stall;
     assert_identical("1t-membound", &spec, cfg);
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_under_round_robin_fetch() {
+    // Round-robin used to be carved out of the fast-forward entirely
+    // because its cursor advanced once per *executed* cycle, so a jump of
+    // k cycles left it k positions behind the plain run. The fix rotates
+    // the cursor by the jump length; these differentials pin that the
+    // carve-out is gone and the rotation is exact under every policy.
+    for policy in
+        [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
+    {
+        for flat in [false, true] {
+            let spec = RunSpec::new(&["art", "twolf"], 48, policy, 3_000, 7).with_warmup(500);
+            let mut cfg = SimConfig::paper(48, policy);
+            cfg.fetch_policy = FetchPolicy::RoundRobin;
+            if flat {
+                cfg.hierarchy.model = MemModel::Flat;
+            }
+            assert_identical(&format!("rr/{policy:?}/flat={flat}"), &spec, cfg);
+        }
+    }
+}
+
+#[test]
+fn fast_forward_round_robin_actually_jumps() {
+    // Guard against silently re-growing the carve-out: a miss-heavy
+    // round-robin run must both match the plain run *and* have skipped a
+    // substantial number of cycles. (`effective_fast_forward` still exists
+    // for schema compatibility, so only the skip counter can prove the
+    // fast path really ran.)
+    let spec = RunSpec::new(&["art", "art"], 48, DispatchPolicy::Traditional, 2_000, 21);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
+    cfg.fetch_policy = FetchPolicy::RoundRobin;
+    cfg.fast_forward = false;
+    let slow = run_spec_with_config(&spec, cfg.clone());
+    cfg.fast_forward = true;
+    let fast = run_spec_with_config(&spec, cfg);
+    assert_eq!(slow.cycles, fast.cycles, "rr-jump: cycle counts diverge");
+    assert_eq!(slow.counters, fast.counters, "rr-jump: counters diverge");
+    assert_eq!(slow.ff_skipped_cycles, 0, "disabled fast-forward must not skip");
+    assert!(fast.ff_skipped_cycles > 0, "round-robin run skipped nothing — the carve-out is back");
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_round_robin_with_finite_mshrs_and_faults() {
+    // The nastiest combination in one run: round-robin cursor rotation,
+    // finite MSHRs and a contended bus as wake sources, and injected
+    // faults perturbing both miss latencies and wakeup delivery.
+    let spec = RunSpec::new(
+        &["gcc", "art", "crafty", "twolf"],
+        48,
+        DispatchPolicy::TwoOpBlockOoo,
+        2_000,
+        5,
+    );
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    cfg.fetch_policy = FetchPolicy::RoundRobin;
+    cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+        l1i_mshrs: 2,
+        l1d_mshrs: 4,
+        l2_mshrs: 4,
+        bus_cycles_per_transfer: 8,
+        write_buffer_entries: 4,
+        write_buffer_drain_per_cycle: 1,
+    });
+    let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 29);
+    faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 200_000;
+    faults.class_mut(FaultClass::WakeupDrop).rate_ppm = 50_000;
+    cfg.faults = faults;
+    let (scyc, sc, fcyc, fc) = run_both(&spec, cfg);
+    assert!(sc.faults.total_injected() > 0, "fault config must actually fire");
+    assert_eq!(scyc, fcyc, "rr/mshr/faults: cycle counts diverge");
+    assert_eq!(sc, fc, "rr/mshr/faults: counters diverge");
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_with_delayed_wakeup_redeliveries() {
+    // A dropped wakeup schedules a re-broadcast at `now +
+    // wakeup_redeliver_delay`. With a delay far longer than any other
+    // pending event, that redelivery is frequently the *only* wake source
+    // in the calendar — if it failed to register, the clock would jump
+    // straight past it and the dependent instruction would hang or retire
+    // on a different cycle.
+    let spec = RunSpec::new(&["gcc", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_500, 17);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let mut faults = FaultConfig::single(FaultClass::WakeupDrop, 53);
+    faults.class_mut(FaultClass::WakeupDrop).rate_ppm = 400_000;
+    faults.wakeup_redeliver_delay = 96;
+    cfg.faults = faults;
+    let (scyc, sc, fcyc, fc) = run_both(&spec, cfg);
+    assert!(sc.faults.wakeup_redeliveries > 0, "redeliveries must actually happen");
+    assert_eq!(scyc, fcyc, "redeliver: cycle counts diverge");
+    assert_eq!(sc, fc, "redeliver: counters diverge");
+}
+
+/// A single STALL-fetch thread on a miss-heavy benchmark, built directly so
+/// the boundary tests below can inspect `now()` at the stop point. Seed and
+/// benchmark match `fast_forward_single_thread_memory_bound`, so the run is
+/// dominated by long idle windows the fast-forward will jump across.
+fn membound_sim(mutate: impl FnOnce(&mut SimConfig)) -> Simulator {
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
+    cfg.fetch_policy = FetchPolicy::Stall;
+    mutate(&mut cfg);
+    let streams: Vec<Box<dyn InstGenerator>> =
+        vec![Box::new(SyntheticGen::new(benchmark("art"), 0, 0xB07)) as Box<dyn InstGenerator>];
+    Simulator::new(cfg, streams)
+}
+
+#[test]
+fn fast_forward_observes_the_max_cycles_boundary_exactly() {
+    // Sweep `max_cycles` one cycle at a time across a window of the run
+    // that contains long idle stretches. Whichever cycle the limit falls
+    // on — mid-jump, one cycle before a wake event, or exactly on one —
+    // both runs must trip the limit on the same cycle with identical
+    // counters. The calendar registers the limit with `land_on` (the run
+    // loop checks `now >= max_cycles`), so landing exactly on it is legal
+    // but overshooting by even one cycle is not.
+    let mut any_skipped = 0u64;
+    for max_cycles in 600..632 {
+        let run = |ff: bool| {
+            let mut sim = membound_sim(|c| {
+                c.fast_forward = ff;
+                c.max_cycles = max_cycles;
+            });
+            let out = sim.run(u64::MAX);
+            assert!(out.is_wedged(), "max_cycles={max_cycles} ff={ff}: expected the cycle limit");
+            let (_, skipped) = sim.ff_stats();
+            (sim.now(), sim.counters().clone(), skipped)
+        };
+        let (snow, sc, _) = run(false);
+        let (fnow, fc, skipped) = run(true);
+        assert_eq!(snow, fnow, "max_cycles={max_cycles}: stop cycle diverges");
+        assert_eq!(sc, fc, "max_cycles={max_cycles}: counters diverge");
+        any_skipped += skipped;
+    }
+    assert!(any_skipped > 0, "the sweep never exercised a jump — boundary test is vacuous");
+}
+
+#[test]
+fn fast_forward_observes_the_progress_check_boundary_exactly() {
+    // A forward-progress timeout shorter than one main-memory round trip
+    // wedges the run inside the first long miss window. The boundary sits
+    // at `last_commit + timeout` — a moving target the calendar must
+    // re-register after every commit — and both runs must diagnose the
+    // wedge on exactly that cycle.
+    for timeout in [96u64, 97, 101, 128] {
+        let run = |ff: bool| {
+            let mut sim = membound_sim(|c| {
+                c.fast_forward = ff;
+                c.progress_check_cycles = timeout;
+            });
+            let out = sim.run(u64::MAX);
+            assert!(out.is_wedged(), "timeout={timeout} ff={ff}: expected a progress wedge");
+            (sim.now(), sim.counters().clone())
+        };
+        let (snow, sc) = run(false);
+        let (fnow, fc) = run(true);
+        assert_eq!(snow, fnow, "timeout={timeout}: wedge cycle diverges");
+        assert_eq!(sc, fc, "timeout={timeout}: counters diverge");
+    }
+}
+
+#[test]
+fn fast_forward_observes_the_watchdog_boundary_exactly() {
+    // The deadlock watchdog's flush is a wake source: the skip must stop
+    // strictly before the flush cycle so recovery executes for real.
+    // Sweeping adjacent timeouts walks the flush across jump boundaries,
+    // including the one-cycle-past-a-wake-event positions.
+    for timeout in [63u32, 64, 65, 67] {
+        let spec = RunSpec::new(&["art", "twolf"], 16, DispatchPolicy::Traditional, 1_500, 9);
+        let mut cfg = SimConfig::paper(16, DispatchPolicy::Traditional);
+        cfg.deadlock = DeadlockMode::Watchdog { timeout };
+        assert_identical(&format!("watchdog-{timeout}"), &spec, cfg);
+    }
+}
+
+#[test]
+fn an_expired_abort_budget_stops_before_any_jump() {
+    // The abort hook is polled on loop *iterations*, not cycle numbers — a
+    // calendar jump can step `now` over any particular alignment forever.
+    // An already-expired budget must abort before the first cycle runs.
+    let mut sim = membound_sim(|c| c.fast_forward = true);
+    let out = sim.run_with_abort(u64::MAX, || true);
+    assert!(matches!(out, RunOutcome::Aborted), "expected an immediate abort, got {out:?}");
+    assert_eq!(sim.now(), 0, "abort must fire before the first cycle or jump");
 }
