@@ -73,5 +73,5 @@ pub use progress::{DeadlockReport, StallReason};
 pub use regfile::{PhysReg, PhysRegFile};
 pub use rob::InstState;
 pub use scheduler::SchedulerQueue;
-pub use simulator::{RunOutcome, Simulator};
+pub use simulator::{RunOutcome, Simulator, ABORT_POLL_ITERS};
 pub use tracer::Tracer;

@@ -33,6 +33,14 @@ use smt_stats::SimCounters;
 use smt_workload::{InstGenerator, TraceSource};
 use std::collections::VecDeque;
 
+/// How often (in run-loop iterations) the run loops poll their external
+/// abort hook. Iterations, not cycle numbers: a calendar jump can step the
+/// clock over any particular alignment forever, while iterations always
+/// keep happening. This bounds the reaction latency of everything built on
+/// the hook — sweep wall-clock budgets and the serve layer's cooperative
+/// cancellation both fire within one poll interval of their flag rising.
+pub const ABORT_POLL_ITERS: u64 = 0x2000;
+
 /// Why `run` returned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -607,7 +615,7 @@ impl Simulator {
             if let Some(report) = self.check_progress(last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
-            if iters & 0x1FFF == 0 && should_abort() {
+            if iters & (ABORT_POLL_ITERS - 1) == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
             iters += 1;
@@ -656,7 +664,7 @@ impl Simulator {
             if let Some(report) = self.check_progress(last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
-            if iters & 0x1FFF == 0 && should_abort() {
+            if iters & (ABORT_POLL_ITERS - 1) == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
             iters += 1;

@@ -5,9 +5,12 @@
 //! Usage:
 //!   paperbench <experiment> [--target N] [--seed S] [--jobs N] [--json FILE]
 //!              [--journal FILE] [--budget SECS]
-//!   paperbench serve  [--jobs N] [--socket PATH]
+//!   paperbench serve  [--jobs N] [--socket PATH] [--max-inflight N]
+//!              [--heartbeat SECS] [--grace SECS]
 //!   paperbench submit --socket PATH <experiment> [--target N] [--seed S]
-//!              [--jobs N] [--journal FILE] [--budget SECS]
+//!              [--jobs N] [--journal FILE] [--budget SECS] [--deadline SECS]
+//!              [--timeout SECS]
+//!   paperbench status --socket PATH
 //!
 //! Experiments:
 //!   fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
@@ -22,21 +25,36 @@
 //! seconds. With `--json`, per-run outcomes (ok / wedged / panicked /
 //! timed-out) are included under `run_outcomes` — see EXPERIMENTS.md.
 //!
-//! `serve` turns the binary into a persistent sweep service speaking
-//! newline-delimited JSON on stdin/stdout (or a Unix socket with
-//! `--socket`); `submit` is the matching client. See EXPERIMENTS.md §serve.
+//! `serve` turns the binary into a persistent *supervised* sweep service
+//! speaking newline-delimited JSON on stdin/stdout (or a Unix socket with
+//! `--socket`): admission-bounded (`--max-inflight`, default 2× the pool),
+//! cancellable (`{"cmd":"cancel"}`, per-sweep `deadline_secs`), introspectable
+//! (`{"cmd":"status"}`, `--heartbeat`), and drained gracefully on
+//! SIGTERM/SIGINT (in-flight sweeps are cancelled at a clean journal
+//! boundary, clients get `cancelled` + `bye`, the process exits 0 within
+//! `--grace` seconds). `submit` is the matching client: it retries with
+//! backoff when shed with `busy`, exits nonzero on `error`, and `--timeout`
+//! bounds its total wait. `status` prints a running service's introspection
+//! payload. See EXPERIMENTS.md §serve.
 
 use smt_sweep::experiments as exp;
-use smt_sweep::{drive, serve, ResultsDb, SweepPool};
+use smt_sweep::serve::ServeOptions;
+use smt_sweep::{drive, serve, ResultsDb, Supervisor, SweepPool};
 use std::io::{BufRead, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|stallattr|hdi|\
          residency|filter|table1|mixes|mlp|all> [--target N] [--seed S] [--jobs N] \
          [--json FILE] [--journal FILE] [--budget SECS]\n       \
-         paperbench serve [--jobs N] [--socket PATH]\n       \
-         paperbench submit --socket PATH <experiment> [flags]"
+         paperbench serve [--jobs N] [--socket PATH] [--max-inflight N] [--heartbeat SECS] \
+         [--grace SECS]\n       \
+         paperbench submit --socket PATH <experiment> [flags] [--deadline SECS] \
+         [--timeout SECS]\n       \
+         paperbench status --socket PATH"
     );
     std::process::exit(2);
 }
@@ -48,6 +66,16 @@ struct Flags {
     journal: Option<String>,
     budget_secs: Option<u64>,
     socket: Option<String>,
+    /// serve: admission bound (0 = default 2 × pool jobs).
+    max_inflight: usize,
+    /// serve: heartbeat interval.
+    heartbeat_secs: Option<u64>,
+    /// serve: SIGTERM/SIGINT drain grace period.
+    grace_secs: u64,
+    /// submit: whole-sweep deadline forwarded as `deadline_secs`.
+    deadline_secs: Option<u64>,
+    /// submit: client-side bound on the total wait.
+    timeout_secs: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -58,6 +86,11 @@ fn parse_flags(args: &[String]) -> Flags {
         journal: None,
         budget_secs: None,
         socket: None,
+        max_inflight: 0,
+        heartbeat_secs: None,
+        grace_secs: 30,
+        deadline_secs: None,
+        timeout_secs: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -93,6 +126,31 @@ fn parse_flags(args: &[String]) -> Flags {
                 i += 1;
                 flags.socket = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--max-inflight" => {
+                i += 1;
+                flags.max_inflight =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--heartbeat" => {
+                i += 1;
+                flags.heartbeat_secs =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--grace" => {
+                i += 1;
+                flags.grace_secs =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--deadline" => {
+                i += 1;
+                flags.deadline_secs =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--timeout" => {
+                i += 1;
+                flags.timeout_secs =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -109,6 +167,7 @@ fn main() {
     let cmd = args[0].clone();
     match cmd.as_str() {
         "serve" => return serve_main(parse_flags(&args[1..])),
+        "status" => return status_main(parse_flags(&args[1..])),
         "submit" => {
             // The experiment name may appear anywhere among the flags
             // (`submit --socket PATH fig1 --target N` per the docs): every
@@ -203,9 +262,58 @@ fn main() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Signal-driven graceful drain
+// ---------------------------------------------------------------------------
+
+/// Latched by the SIGTERM/SIGINT handler; the watcher thread polls it. An
+/// atomic store is the only async-signal-safe thing the handler does.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_terminate_signal(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM/SIGINT handlers and a watcher thread that, when either
+/// signal lands, drains `supervisor` (cancel every in-flight sweep, wait up
+/// to `grace` for them to retire at a clean journal boundary, broadcast
+/// `bye`) and exits. Exit status 0 when the drain completed within the
+/// grace period, 1 when sweeps were still live at its end (their journals
+/// are still resumable — cancellation only ever stops at record
+/// boundaries — but the operator should know the period was too short).
+///
+/// `signal(2)` is declared directly rather than through a bindings crate:
+/// registering a handler is the single libc call this binary needs.
+fn install_drain_on_signals(supervisor: Arc<Supervisor>, grace: Duration) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_terminate_signal as *const () as usize);
+        signal(SIGINT, on_terminate_signal as *const () as usize);
+    }
+    std::thread::spawn(move || {
+        while !TERM_REQUESTED.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("paperbench serve: signal received, draining (grace {}s)...", grace.as_secs());
+        let clean = supervisor.drain(grace);
+        if clean {
+            eprintln!("paperbench serve: drained cleanly, exiting");
+            std::process::exit(0);
+        }
+        eprintln!("paperbench serve: grace period expired with sweeps still live, exiting");
+        std::process::exit(1);
+    });
+}
+
 /// `paperbench serve`: speak the sweep protocol on stdin/stdout, or accept
 /// connections on `--socket PATH` (one protocol session per connection),
-/// multiplexing every sweep over one shared worker pool.
+/// multiplexing every sweep over one shared worker pool under one shared
+/// supervisor (so the admission bound, `status`, and the signal drain are
+/// service-wide, not per-connection).
 fn serve_main(flags: Flags) {
     let jobs = if flags.jobs > 1 {
         flags.jobs
@@ -213,26 +321,44 @@ fn serve_main(flags: Flags) {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     };
     let pool = SweepPool::shared(jobs);
+    let supervisor = Supervisor::new(jobs, flags.max_inflight);
+    let opts = ServeOptions {
+        heartbeat: flags.heartbeat_secs.map(Duration::from_secs),
+        ..ServeOptions::default()
+    };
+    install_drain_on_signals(Arc::clone(&supervisor), Duration::from_secs(flags.grace_secs));
     match flags.socket {
         None => {
-            eprintln!("paperbench serve: {jobs} workers, protocol on stdin/stdout");
+            eprintln!(
+                "paperbench serve: {jobs} workers, max {} in-flight sweeps, \
+                 protocol on stdin/stdout",
+                supervisor.max_inflight()
+            );
             let stdin = std::io::stdin();
-            serve::serve(stdin.lock(), std::io::stdout(), pool)
+            serve::serve_with(stdin.lock(), std::io::stdout(), pool, supervisor, &opts)
                 .unwrap_or_else(|e| panic!("serve: {e}"));
         }
         Some(path) => {
             let _ = std::fs::remove_file(&path);
             let listener = std::os::unix::net::UnixListener::bind(&path)
                 .unwrap_or_else(|e| panic!("binding {path}: {e}"));
-            eprintln!("paperbench serve: {jobs} workers, listening on {path}");
+            eprintln!(
+                "paperbench serve: {jobs} workers, max {} in-flight sweeps, listening on {path}",
+                supervisor.max_inflight()
+            );
             let mut sessions = Vec::new();
             for conn in listener.incoming() {
                 let Ok(stream) = conn else { continue };
-                let pool = std::sync::Arc::clone(&pool);
+                let pool = Arc::clone(&pool);
+                let supervisor = Arc::clone(&supervisor);
+                let opts = opts.clone();
+                // One thread per connection: a client that wedges or dies
+                // mid-session never blocks the accept loop, and its sweeps
+                // retire through the shared supervisor like any other.
                 sessions.push(std::thread::spawn(move || {
                     let reader =
                         std::io::BufReader::new(stream.try_clone().expect("cloning connection"));
-                    let _ = serve::serve(reader, stream, pool);
+                    let _ = serve::serve_with(reader, stream, pool, supervisor, &opts);
                 }));
                 sessions.retain(|s| !s.is_finished());
             }
@@ -241,7 +367,10 @@ fn serve_main(flags: Flags) {
 }
 
 /// `paperbench submit`: send one sweep to a running `serve --socket` and
-/// stream its events — checkpoints to stderr, sections to stdout.
+/// stream its events — checkpoints to stderr, sections to stdout. Retries
+/// with backoff when the service sheds the request with `busy`; exits 1 on
+/// an `error` event, a `cancelled` sweep, or a severed connection, and 124
+/// when `--timeout` expires first.
 fn submit_main(experiment: &str, flags: Flags) {
     let Some(path) = &flags.socket else {
         eprintln!("submit requires --socket PATH");
@@ -249,6 +378,7 @@ fn submit_main(experiment: &str, flags: Flags) {
     };
     let stream = std::os::unix::net::UnixStream::connect(path)
         .unwrap_or_else(|e| panic!("connecting to {path}: {e}"));
+    let deadline = flags.timeout_secs.map(|secs| Instant::now() + Duration::from_secs(secs));
     let req = serve::Request {
         cmd: "sweep".into(),
         id: Some(std::process::id() as u64),
@@ -258,41 +388,146 @@ fn submit_main(experiment: &str, flags: Flags) {
         jobs: if flags.jobs > 1 { Some(flags.jobs) } else { None },
         journal: flags.journal.clone(),
         budget_secs: flags.budget_secs,
+        deadline_secs: flags.deadline_secs,
     };
-    {
+    let send_request = || {
         let mut w = stream.try_clone().expect("cloning socket");
         let mut line = serde_json::to_string(&req).expect("encoding request");
         line.push('\n');
         w.write_all(line.as_bytes()).unwrap_or_else(|e| panic!("sending request: {e}"));
-    }
-    for line in std::io::BufReader::new(stream).lines() {
-        let Ok(line) = line else { break };
+    };
+    let timed_out = || -> ! {
+        eprintln!("timed out after {}s", flags.timeout_secs.unwrap_or(0));
+        std::process::exit(124);
+    };
+    send_request();
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("cloning socket"));
+    // Successive `busy` sheds back off exponentially from the service's
+    // own `retry_after_ms` hint, capped at 10s per wait.
+    let mut backoff_multiplier: u64 = 1;
+    // True while an open-ended progress line (`\r  [N runs]`) is unterminated.
+    let mut open_progress = false;
+    loop {
+        if let Some(deadline) = deadline {
+            // Bound each read by the time left so a silent service cannot
+            // hold the client past --timeout.
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                timed_out();
+            };
+            stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .expect("setting read timeout");
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                timed_out();
+            }
+            Err(_) => break,
+        }
         let Ok(event) = serde_json::from_str::<serde_json::Value>(&line) else { continue };
         let kind = event.get("event").and_then(|v| v.as_str()).unwrap_or("");
         match kind {
             "checkpoint" => {
                 let done = event.get("done").and_then(|v| v.as_u64()).unwrap_or(0);
                 let total = event.get("total").and_then(|v| v.as_u64()).unwrap_or(0);
-                eprint!("\r  [{done}/{total} runs]");
+                // total == 0 marks an open-ended (trickle-style) sweep.
+                if total == 0 {
+                    eprint!("\r  [{done} runs]");
+                    open_progress = true;
+                } else {
+                    eprint!("\r  [{done}/{total} runs]");
+                }
                 let _ = std::io::stderr().flush();
-                if done == total {
+                if total != 0 && done == total {
                     eprintln!();
                 }
             }
             "section" => {
+                if std::mem::take(&mut open_progress) {
+                    eprintln!();
+                }
                 if let Some(text) = event.get("text").and_then(|v| v.as_str()) {
                     println!("{text}");
                 }
             }
-            "done" => return,
+            "done" => {
+                if open_progress {
+                    eprintln!();
+                }
+                return;
+            }
+            "busy" => {
+                let hint = event.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(500);
+                let wait = Duration::from_millis((hint * backoff_multiplier).min(10_000));
+                backoff_multiplier = (backoff_multiplier * 2).min(64);
+                eprintln!("service busy, retrying in {}ms...", wait.as_millis());
+                if let Some(deadline) = deadline {
+                    if Instant::now() + wait >= deadline {
+                        timed_out();
+                    }
+                }
+                std::thread::sleep(wait);
+                send_request();
+            }
+            "cancelled" => {
+                if std::mem::take(&mut open_progress) {
+                    eprintln!();
+                }
+                let reason = event.get("reason").and_then(|v| v.as_str()).unwrap_or("?");
+                let done = event.get("runs_done").and_then(|v| v.as_u64()).unwrap_or(0);
+                let total = event.get("runs_total").and_then(|v| v.as_u64()).unwrap_or(0);
+                let progress = if total == 0 {
+                    format!("{done} runs")
+                } else {
+                    format!("{done}/{total} runs")
+                };
+                eprintln!(
+                    "sweep cancelled ({reason}) after {progress}; the journal prefix is resumable"
+                );
+                std::process::exit(1);
+            }
             "error" => {
+                if std::mem::take(&mut open_progress) {
+                    eprintln!();
+                }
                 let msg = event.get("message").and_then(|v| v.as_str()).unwrap_or("?");
                 eprintln!("sweep failed: {msg}");
                 std::process::exit(1);
             }
-            _ => {}
+            _ => {} // pong, start, status, heartbeat, cancelling, bye
         }
     }
     eprintln!("connection closed before the sweep finished");
+    std::process::exit(1);
+}
+
+/// `paperbench status`: print a running service's introspection payload.
+fn status_main(flags: Flags) {
+    let Some(path) = &flags.socket else {
+        eprintln!("status requires --socket PATH");
+        usage();
+    };
+    let stream = std::os::unix::net::UnixStream::connect(path)
+        .unwrap_or_else(|e| panic!("connecting to {path}: {e}"));
+    {
+        let mut w = stream.try_clone().expect("cloning socket");
+        w.write_all(b"{\"cmd\":\"status\",\"id\":0}\n")
+            .unwrap_or_else(|e| panic!("sending request: {e}"));
+    }
+    for line in std::io::BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        let Ok(event) = serde_json::from_str::<serde_json::Value>(&line) else { continue };
+        if event.get("event").and_then(|v| v.as_str()) == Some("status") {
+            println!("{}", serde_json::to_string_pretty(&event).unwrap());
+            return;
+        }
+    }
+    eprintln!("connection closed before status arrived");
     std::process::exit(1);
 }

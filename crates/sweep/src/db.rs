@@ -32,7 +32,8 @@
 //! truncates it (with a warning) and resumes from the clean prefix.
 
 use crate::pool::SweepPool;
-use crate::runner::{run_spec_budgeted, RunFailure, RunResult, RunSpec};
+use crate::runner::{run_spec_supervised, RunFailure, RunResult, RunSpec};
+use crate::supervise::CancelToken;
 use serde::{Deserialize, Serialize};
 use smt_core::{DeadlockReport, DispatchPolicy, SimConfig};
 use std::cell::Cell;
@@ -54,6 +55,10 @@ pub enum RunStatus {
     Panicked,
     /// The per-run wall-clock budget expired.
     TimedOut,
+    /// The sweep's cancel token fired before (or while) this spec ran.
+    /// Cancelled records are ephemeral: never journaled, never memoized —
+    /// a resumed sweep re-runs the spec as if it had never been attempted.
+    Cancelled,
 }
 
 impl RunStatus {
@@ -64,6 +69,7 @@ impl RunStatus {
             RunStatus::Wedged => "wedged",
             RunStatus::Panicked => "panicked",
             RunStatus::TimedOut => "timed-out",
+            RunStatus::Cancelled => "cancelled",
         }
     }
 }
@@ -176,11 +182,35 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// A fresh ephemeral record for a spec the cancel token kept from running
+/// (or aborted mid-flight). `attempts` records how many were actually made.
+fn cancelled_record(spec: &RunSpec, attempts: u32, wall_ms: u64) -> RunRecord {
+    RunRecord {
+        spec: spec.clone(),
+        status: RunStatus::Cancelled,
+        metrics: Arc::new(RunResult::failed(spec.benchmarks.len())),
+        report: None,
+        panic_msg: None,
+        attempts,
+        wall_ms,
+    }
+}
+
 /// Execute one spec with full isolation: panics are caught (quietly — see
-/// [`install_isolation_hook`]), the wall-clock budget is enforced, and a
+/// [`install_isolation_hook`]), the wall-clock budget is enforced, the
+/// sweep's cancel token (if any) is polled inside the run loop, and a
 /// wedge is retried once with the first report kept. Free function so pool
 /// workers can run it without borrowing the database.
-fn execute_spec(spec: &RunSpec, budget: Option<Duration>) -> RunRecord {
+fn execute_spec(
+    spec: &RunSpec,
+    budget: Option<Duration>,
+    cancel: Option<&CancelToken>,
+) -> RunRecord {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        // Already-cancelled sweeps skip the spec entirely: queued pool jobs
+        // drain in microseconds instead of each simulating to completion.
+        return cancelled_record(spec, 0, 0);
+    }
     let started = Instant::now();
     let deadline = budget.map(|b| started + b);
     let n = spec.benchmarks.len();
@@ -191,7 +221,7 @@ fn execute_spec(spec: &RunSpec, budget: Option<Duration>) -> RunRecord {
         let cfg = SimConfig::paper(spec.iq_size, spec.policy);
         let outcome = {
             let _quiet = IsolationGuard::enter();
-            catch_unwind(AssertUnwindSafe(|| run_spec_budgeted(spec, cfg, deadline)))
+            catch_unwind(AssertUnwindSafe(|| run_spec_supervised(spec, cfg, deadline, cancel)))
         };
         let wall_ms = started.elapsed().as_millis() as u64;
         let fail = |status, report, panic_msg| RunRecord {
@@ -224,6 +254,7 @@ fn execute_spec(spec: &RunSpec, budget: Option<Duration>) -> RunRecord {
                 return fail(RunStatus::Wedged, first_report, None);
             }
             Ok(Err(RunFailure::TimedOut)) => return fail(RunStatus::TimedOut, first_report, None),
+            Ok(Err(RunFailure::Cancelled)) => return cancelled_record(spec, attempts, wall_ms),
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<&str>()
@@ -249,6 +280,8 @@ pub struct ResultsDb {
     budget: Option<Duration>,
     /// Worker pool for sharded batch execution; `None` = serial.
     pool: Option<Arc<SweepPool>>,
+    /// Sweep-wide cooperative cancellation; `None` = never cancelled.
+    cancel: Option<CancelToken>,
 }
 
 impl ResultsDb {
@@ -282,6 +315,21 @@ impl ResultsDb {
     pub fn with_pool(mut self, pool: Arc<SweepPool>) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Attach a cooperative cancellation token. Once it fires, in-flight
+    /// runs abort at the next abort poll and unstarted specs are skipped;
+    /// every affected spec yields an ephemeral [`RunStatus::Cancelled`]
+    /// record that is neither journaled nor memoized, so the journal's
+    /// clean prefix is exactly what a resumed sweep picks up.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Has this database's cancel token fired?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Attach a JSONL checkpoint journal at `path`. Records already present
@@ -376,7 +424,15 @@ impl ResultsDb {
 
     /// Journal, memoize, and report one freshly computed record. The merge
     /// order across a batch is the caller's responsibility (spec order).
+    ///
+    /// Cancelled records are deliberately dropped on the floor: nothing is
+    /// journaled (the journal must end at a clean completed-record
+    /// boundary), nothing is memoized (a later sweep must re-run the spec),
+    /// and no progress is reported (the run did not complete).
     fn commit(&self, record: Arc<RunRecord>, merged: usize, total: usize) {
+        if record.status == RunStatus::Cancelled {
+            return;
+        }
         self.append_to_journal(&record);
         lock(&self.records).insert(record.spec.clone(), record);
         if let Some(cb) = &self.progress {
@@ -408,7 +464,7 @@ impl ResultsDb {
         match self.pool.as_ref().filter(|p| p.jobs() > 1 && total > 1) {
             None => {
                 for (i, spec) in todo.iter().enumerate() {
-                    let record = Arc::new(execute_spec(spec, self.budget));
+                    let record = Arc::new(execute_spec(spec, self.budget, self.cancel.as_ref()));
                     self.commit(record, i + 1, total);
                 }
             }
@@ -417,8 +473,9 @@ impl ResultsDb {
                 for (idx, spec) in todo.into_iter().enumerate() {
                     let tx = tx.clone();
                     let budget = self.budget;
+                    let cancel = self.cancel.clone();
                     pool.spawn(move || {
-                        let record = execute_spec(&spec, budget);
+                        let record = execute_spec(&spec, budget, cancel.as_ref());
                         let _ = tx.send((idx, record));
                     });
                 }
@@ -438,8 +495,17 @@ impl ResultsDb {
                 assert_eq!(next_emit, total, "a sweep worker died without delivering its record");
             }
         }
+        // Cancelled specs never reach the memo table; hand their callers an
+        // ephemeral placeholder so a cancelled batch still has the right
+        // shape (consumers check `status` before using metrics).
         let map = lock(&self.records);
-        specs.iter().map(|s| Arc::clone(&map[s])).collect()
+        specs
+            .iter()
+            .map(|s| match map.get(s) {
+                Some(r) => Arc::clone(r),
+                None => Arc::new(cancelled_record(s, 0, 0)),
+            })
+            .collect()
     }
 
     /// Run (or fetch) a single spec and return its metrics. Failed runs
@@ -452,16 +518,36 @@ impl ResultsDb {
     /// Run (or fetch) a single spec and return its full record — by
     /// construction, without round-tripping through a batch whose result
     /// vector could be mis-shaped.
+    ///
+    /// Fresh single-spec runs report progress like batched ones, except the
+    /// batch size is unknown: the callback receives `(records so far, 0)`,
+    /// `total = 0` meaning "open-ended". This is what lets a served sweep of
+    /// a trickle-style experiment (every figure runs spec-by-spec through
+    /// here) still stream checkpoints and show live progress in `status`.
     pub fn record(&self, spec: &RunSpec) -> Arc<RunRecord> {
         if let Some(existing) = lock(&self.records).get(spec) {
             return Arc::clone(existing);
         }
-        let record = Arc::new(execute_spec(spec, self.budget));
+        let record = Arc::new(execute_spec(spec, self.budget, self.cancel.as_ref()));
+        if record.status == RunStatus::Cancelled {
+            // Ephemeral: see `commit` — the spec must look un-attempted to
+            // any later (or resumed) sweep.
+            return record;
+        }
         self.append_to_journal(&record);
-        let mut map = lock(&self.records);
-        // A concurrent caller may have raced us here; keep the first
-        // insertion so memoization stays Arc-identical.
-        Arc::clone(map.entry(spec.clone()).or_insert(record))
+        let (result, merged) = {
+            let mut map = lock(&self.records);
+            // A concurrent caller may have raced us here; keep the first
+            // insertion so memoization stays Arc-identical (and report
+            // progress only for the insertion that won).
+            let won = !map.contains_key(spec);
+            let result = Arc::clone(map.entry(spec.clone()).or_insert(record));
+            (result, won.then_some(map.len()))
+        };
+        if let (Some(merged), Some(cb)) = (merged, &self.progress) {
+            cb(merged, 0);
+        }
+        result
     }
 
     /// Every record, ordered deterministically (by spec debug format) for
@@ -560,6 +646,24 @@ mod tests {
         db.run_all(&specs);
         let calls = lock(&seen).clone();
         assert_eq!(calls, (1..=6).map(|i| (i, 6)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_spec_runs_report_open_ended_progress() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let db = ResultsDb::new().with_progress(move |done, total| {
+            lock(&seen2).push((done, total));
+        });
+        let spec = |s| RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 800, s);
+        db.record(&spec(1));
+        db.record(&spec(2));
+        db.record(&spec(1)); // memoized: no progress
+        assert_eq!(
+            lock(&seen).clone(),
+            vec![(1, 0), (2, 0)],
+            "trickle runs must report a cumulative count with an open-ended total"
+        );
     }
 
     #[test]
@@ -690,6 +794,91 @@ mod tests {
         assert!(!journals[0].is_empty());
         assert_eq!(journals[0], journals[1], "journal bytes must not depend on --jobs");
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn fired_cancel_token_skips_specs_without_journaling() {
+        let token = CancelToken::new();
+        token.cancel();
+        let db = ResultsDb::new().with_cancel(token);
+        let specs: Vec<RunSpec> = (1..=3u64)
+            .map(|s| RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000, s))
+            .collect();
+        let started = Instant::now();
+        let out = db.run_all(&specs);
+        assert!(started.elapsed() < Duration::from_secs(2), "cancelled specs must not simulate");
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            assert_eq!(r.status, RunStatus::Cancelled);
+        }
+        assert!(db.is_empty(), "cancelled records must never be memoized");
+        assert_eq!(db.record(&specs[0]).status, RunStatus::Cancelled);
+    }
+
+    #[test]
+    fn mid_sweep_cancel_leaves_a_clean_resumable_journal_prefix() {
+        let dir = std::env::temp_dir().join(format!("smt-sweep-cancel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let specs: Vec<RunSpec> = (1..=6u64)
+            .map(|s| RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 800, s))
+            .collect();
+        let token = CancelToken::new();
+        {
+            // Fire the token from the progress callback after two merges:
+            // deterministic mid-sweep cancellation on the serial path.
+            let t = token.clone();
+            let db = ResultsDb::new()
+                .with_journal(&path)
+                .unwrap()
+                .with_cancel(token.clone())
+                .with_progress(move |done, _| {
+                    if done >= 2 {
+                        t.cancel();
+                    }
+                });
+            let out = db.run_all(&specs);
+            assert_eq!(out[0].status, RunStatus::Ok);
+            assert_eq!(out[1].status, RunStatus::Ok);
+            assert!(
+                out.iter().any(|r| r.status == RunStatus::Cancelled),
+                "the tail of the batch must have been cancelled"
+            );
+        }
+        // The journal holds exactly the completed prefix, every line whole.
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(data.last(), Some(&b'\n'), "journal must end on a record boundary");
+        let lines = data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+        assert_eq!(lines, 2, "exactly the two completed runs may be journaled");
+
+        // Resume: the two completed specs load; only the rest re-run.
+        let fresh = Arc::new(Mutex::new(0usize));
+        let f2 = Arc::clone(&fresh);
+        let db = ResultsDb::new()
+            .with_journal(&path)
+            .unwrap()
+            .with_progress(move |_, _| *lock(&f2) += 1);
+        assert_eq!(db.len(), 2);
+        let out = db.run_all(&specs);
+        assert!(out.iter().all(|r| r.status == RunStatus::Ok));
+        assert_eq!(*lock(&fresh), 4, "resume must execute only the four missing specs");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn deadline_token_cancels_rather_than_times_out() {
+        // A token deadline and a wall budget are different outcomes: the
+        // token yields an ephemeral Cancelled (re-run on resume), the
+        // budget a journaled TimedOut.
+        let db = ResultsDb::new().with_cancel(CancelToken::with_deadline(Duration::ZERO));
+        let spec = RunSpec::new(&["gcc"], 32, DispatchPolicy::Traditional, 1_000_000, 1);
+        let rec = db.record(&spec);
+        assert_eq!(rec.status, RunStatus::Cancelled);
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -135,8 +135,16 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
         }
         "all" => {
             exp::prewarm(db, params);
+            // A cancelled sweep stops growing sections at experiment
+            // boundaries: everything after the token fires would render
+            // from zeroed placeholder records anyway, and the serve layer
+            // discards the output wholesale. The checks are free when no
+            // token is attached.
             out.sections.push(("table1".into(), report::render_table1()));
             out.sections.push(("mixes".into(), report::render_mixes_tables()));
+            if db.is_cancelled() {
+                return true;
+            }
             add_figure(out, "fig1", exp::figure1(db, params));
             out.sections.push(("fig2".into(), report::render_figure2_demo()));
             for (name, table) in [
@@ -144,6 +152,9 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
                 ("fig5", MixTable::ThreeThread),
                 ("fig7", MixTable::FourThread),
             ] {
+                if db.is_cancelled() {
+                    return true;
+                }
                 add_figure(out, name, exp::figure_throughput(db, table, params));
             }
             for (name, table) in [
@@ -151,7 +162,13 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
                 ("fig6", MixTable::ThreeThread),
                 ("fig8", MixTable::FourThread),
             ] {
+                if db.is_cancelled() {
+                    return true;
+                }
                 fairness_figure(db, out, name, table, params);
+            }
+            if db.is_cancelled() {
+                return true;
             }
             out.sections
                 .push(("stalls".into(), report::render_stalls(&exp::stall_stats(db, params))));

@@ -6,7 +6,9 @@
 //! scheduling leak into results; [`experiments`] regenerates every table
 //! and figure of the paper; [`drive`] maps experiment names to those
 //! generators (shared by the `paperbench` CLI and `paperbench serve`);
-//! [`serve`] is the persistent sweep service; [`report`] renders tables.
+//! [`serve`] is the persistent sweep service; [`supervise`] provides its
+//! cancellation tokens, admission control, and drain/introspection state;
+//! [`report`] renders tables.
 
 pub mod db;
 pub mod drive;
@@ -15,13 +17,15 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod supervise;
 
 pub use db::ResultsDb;
 pub use pool::{ordered_par_map, SweepPool};
 pub use runner::{
-    run_spec, run_spec_with_config, run_spec_with_config_recorded, thread_seed,
-    try_run_spec_with_config, RecordedRun, RunResult, RunSpec,
+    run_spec, run_spec_supervised, run_spec_with_config, run_spec_with_config_recorded,
+    thread_seed, try_run_spec_with_config, RecordedRun, RunResult, RunSpec,
 };
+pub use supervise::{CancelToken, Supervisor};
 
 /// The IQ sizes swept by the paper's evaluation (Figures 1, 3–8).
 pub const IQ_SIZES: [usize; 5] = [32, 48, 64, 96, 128];

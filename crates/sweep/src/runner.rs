@@ -1,5 +1,6 @@
 //! Execution of single simulation runs.
 
+use crate::supervise::CancelToken;
 use serde::{Deserialize, Serialize};
 use smt_core::{DeadlockReport, DispatchPolicy, RunOutcome, SimConfig, Simulator};
 use smt_stats::SimCounters;
@@ -151,6 +152,10 @@ pub enum RunFailure {
     Wedged(Box<DeadlockReport>),
     /// The wall-clock deadline expired before the run finished.
     TimedOut,
+    /// The sweep's [`CancelToken`] fired (explicit cancel, per-sweep
+    /// deadline, or service drain). The run produced nothing and must not
+    /// be journaled: a resumed sweep re-runs it from scratch.
+    Cancelled,
 }
 
 /// Execute one simulation run.
@@ -189,6 +194,7 @@ pub fn try_run_spec_with_config(
     run_spec_budgeted(spec, cfg, None).map_err(|f| match f {
         RunFailure::Wedged(report) => report,
         RunFailure::TimedOut => unreachable!("no deadline was set"),
+        RunFailure::Cancelled => unreachable!("no cancel token was set"),
     })
 }
 
@@ -197,8 +203,24 @@ pub fn try_run_spec_with_config(
 /// run stops with [`RunFailure::TimedOut`] instead of hanging its sweep.
 pub fn run_spec_budgeted(
     spec: &RunSpec,
+    cfg: SimConfig,
+    deadline: Option<std::time::Instant>,
+) -> Result<RunResult, RunFailure> {
+    run_spec_supervised(spec, cfg, deadline, None)
+}
+
+/// Execute one run under full supervision: an optional per-run wall-clock
+/// `deadline` (sweep `--budget`) and an optional sweep-wide [`CancelToken`].
+/// Both feed the simulator's abort hook, polled every
+/// [`smt_core::ABORT_POLL_ITERS`] run-loop iterations, so a fired token
+/// stops the run within one poll interval; the token is checked first, so a
+/// simultaneous expiry reports [`RunFailure::Cancelled`], which the sweep
+/// layer treats as "never happened" (no journal entry, no memoization).
+pub fn run_spec_supervised(
+    spec: &RunSpec,
     mut cfg: SimConfig,
     deadline: Option<std::time::Instant>,
+    cancel: Option<&CancelToken>,
 ) -> Result<RunResult, RunFailure> {
     cfg.iq_size = spec.iq_size;
     cfg.policy = spec.policy;
@@ -219,7 +241,12 @@ pub fn run_spec_budgeted(
         cfg.max_cycles = (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
     }
     let effective_fast_forward = cfg.effective_fast_forward();
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+    let abort = || cancelled() || expired();
+    // An Aborted outcome is ambiguous between the two supervisors; the
+    // token wins so a cancelled run is never journaled as a timeout.
+    let aborted = || if cancelled() { RunFailure::Cancelled } else { RunFailure::TimedOut };
     let streams: Vec<Box<dyn InstGenerator>> = spec
         .benchmarks
         .iter()
@@ -231,17 +258,17 @@ pub fn run_spec_budgeted(
         .collect();
     let mut sim = Simulator::new(cfg, streams);
     if spec.warmup > 0 {
-        match sim.run_until_all_committed_with_abort(spec.warmup, expired) {
+        match sim.run_until_all_committed_with_abort(spec.warmup, abort) {
             RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
-            RunOutcome::Aborted => return Err(RunFailure::TimedOut),
+            RunOutcome::Aborted => return Err(aborted()),
             _ => {}
         }
         sim.reset_measurement();
     }
-    let outcome = sim.run_with_abort(spec.commit_target, expired);
+    let outcome = sim.run_with_abort(spec.commit_target, abort);
     match outcome {
         RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
-        RunOutcome::Aborted => return Err(RunFailure::TimedOut),
+        RunOutcome::Aborted => return Err(aborted()),
         _ => {}
     }
     let c = sim.counters().clone();
@@ -360,6 +387,31 @@ mod tests {
         assert_eq!(report.threads.len(), 2);
         let s = report.summary();
         assert!(s.contains("t0:") && s.contains("t1:"), "summary missing threads:\n{s}");
+    }
+
+    #[test]
+    fn fired_cancel_token_aborts_the_run_as_cancelled() {
+        let spec = RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 1_000_000, 1);
+        let cfg = smt_core::SimConfig::paper(64, DispatchPolicy::Traditional);
+        let token = CancelToken::new();
+        token.cancel();
+        match run_spec_supervised(&spec, cfg, None, Some(&token)) {
+            Err(RunFailure::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_wins_over_a_simultaneously_expired_deadline() {
+        let spec = RunSpec::new(&["gcc"], 64, DispatchPolicy::Traditional, 1_000_000, 1);
+        let cfg = smt_core::SimConfig::paper(64, DispatchPolicy::Traditional);
+        let token = CancelToken::new();
+        token.cancel();
+        let deadline = std::time::Instant::now();
+        match run_spec_supervised(&spec, cfg, Some(deadline), Some(&token)) {
+            Err(RunFailure::Cancelled) => {}
+            other => panic!("expected Cancelled to shadow TimedOut, got {other:?}"),
+        }
     }
 
     #[test]

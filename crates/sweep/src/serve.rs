@@ -1,4 +1,4 @@
-//! `paperbench serve` — a persistent sweep service.
+//! `paperbench serve` — a supervised, persistent sweep service.
 //!
 //! Speaks a newline-delimited JSON protocol over any byte stream (stdin/
 //! stdout by default, a Unix socket with `--socket`): each request line is
@@ -8,36 +8,58 @@
 //! - `{"cmd":"ping","id":N}` → `{"event":"pong","id":N}`
 //! - `{"cmd":"sweep","id":N,"experiment":"fig1",...}` — run one experiment;
 //!   optional fields `target`, `seed`, `jobs`, `journal`, `budget_secs`
-//!   mirror the CLI flags. Streams `start`, `checkpoint` (one per merged
-//!   run, in spec order — the same granularity as the journal), `section`
-//!   (rendered text), then `done`; a failure yields `error` instead.
+//!   mirror the CLI flags, and `deadline_secs` bounds the *whole sweep*
+//!   (expiry cancels it cleanly). Streams `start`, `checkpoint` (one per
+//!   merged run, in spec order — the same granularity as the journal),
+//!   `section` (rendered text), then `done`; a failure yields `error`, a
+//!   cancellation `cancelled`, and a request shed by admission control
+//!   `busy` (with `retry_after_ms`).
+//! - `{"cmd":"cancel","id":N}` — fire the cancel token of this session's
+//!   in-flight sweep `N`. The sweep aborts within one abort-poll interval,
+//!   its journal ends at a clean record boundary (resumable prefix), and a
+//!   `cancelled` event reports how many runs had completed.
+//! - `{"cmd":"status","id":N}` → `{"event":"status",...}` with the
+//!   supervisor's introspection payload: uptime, pool size, per-sweep
+//!   progress, shed/cancel counters, journal paths. The same payload rides
+//!   in periodic `heartbeat` events when the service enables them.
 //! - `{"cmd":"shutdown"}` → `{"event":"bye"}`, then the service drains
 //!   in-flight sweeps and exits.
 //!
-//! Concurrent sweeps multiplex over one shared [`SweepPool`]: each `sweep`
-//! request runs on its own session thread and fans its runs into the pool,
-//! so a service sized `--jobs 8` keeps eight workers busy across however
-//! many clients are connected. Failure is contained at two levels: a
-//! wedged/panicked/timed-out *run* becomes a non-`ok` record (costing one
-//! worker slot for its duration, never the service), and a *client* that
-//! disappears mid-sweep only makes event writes no-ops — the sweep still
-//! runs to completion so its journal is complete and a later `sweep`
-//! against the same journal resumes instead of recomputing.
+//! Concurrent sweeps multiplex over one shared [`SweepPool`]: each admitted
+//! `sweep` request runs on its own session thread and fans its runs into
+//! the pool. Admission is bounded by the shared [`Supervisor`] (default
+//! `2 × pool jobs`): excess requests are shed with a `busy` event instead
+//! of spawning unbounded threads, so a misbehaving client cannot grow the
+//! service without limit — and request lines themselves are read through a
+//! bounded reader, so an unterminated line cannot OOM the process either.
+//!
+//! Failure is contained at three levels: a wedged/panicked/timed-out *run*
+//! becomes a non-`ok` record (costing one worker slot for its duration,
+//! never the service); a *client* that disappears mid-sweep latches its
+//! event sink dead (no further serialization, no further writes) while the
+//! sweep still runs to completion so its journal supports resume; and a
+//! *cancelled sweep* stops at the next abort poll with nothing torn — the
+//! journal holds exactly the completed prefix.
 
 use crate::drive;
 use crate::experiments::ExpParams;
 use crate::pool::SweepPool;
+use crate::supervise::{CancelToken, EventEmit, Supervisor, SweepEntry};
 use crate::ResultsDb;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// One protocol request line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
-    /// `"ping"`, `"sweep"`, or `"shutdown"`.
+    /// `"ping"`, `"sweep"`, `"cancel"`, `"status"`, or `"shutdown"`.
     pub cmd: String,
-    /// Client-chosen id echoed on every event this request produces.
+    /// Client-chosen id echoed on every event this request produces (and
+    /// the handle `cancel` addresses).
     #[serde(default)]
     pub id: Option<u64>,
     /// Experiment name (see [`drive::EXPERIMENTS`]); `sweep` only.
@@ -59,23 +81,74 @@ pub struct Request {
     /// Per-run wall-clock budget in seconds.
     #[serde(default)]
     pub budget_secs: Option<u64>,
+    /// Whole-sweep wall-clock deadline in seconds; expiry cancels the sweep
+    /// cleanly (journal resumable, `cancelled` event with reason
+    /// `"deadline"`).
+    #[serde(default)]
+    pub deadline_secs: Option<u64>,
 }
 
-/// Serializes events as single lines, swallowing write errors: a client
-/// that died mid-sweep must not kill the sweep (its journal still has to
-/// reach completion for resume to work).
+/// Service tuning knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Longest accepted request line in bytes; longer lines are discarded
+    /// (bounded memory) and answered with an `error` event.
+    pub max_line_bytes: usize,
+    /// Emit a `heartbeat` event (carrying the status payload) at this
+    /// interval; `None` disables heartbeats.
+    pub heartbeat: Option<Duration>,
+    /// `retry_after_ms` hint carried on `busy` events.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { max_line_bytes: 64 * 1024, heartbeat: None, retry_after_ms: 500 }
+    }
+}
+
+/// Serializes events as single lines under one mutex (concurrent sweeps
+/// interleave whole lines, never fragments), swallowing write errors: a
+/// client that died mid-sweep must not kill the sweep (its journal still
+/// has to reach completion for resume to work). The first failed write
+/// latches the sink **dead** — subsequent events are dropped before they
+/// are even serialized, so a week of sweeping for a vanished client costs
+/// nothing beyond the sweep itself.
 struct EventSink<W: Write> {
     out: Mutex<W>,
+    dead: AtomicBool,
 }
 
 impl<W: Write> EventSink<W> {
+    fn new(out: W) -> Self {
+        EventSink { out: Mutex::new(out), dead: AtomicBool::new(false) }
+    }
+
+    /// Has a write failed (client hung up)? Producers use this to skip
+    /// rendering payloads nobody will receive.
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
     fn emit(&self, event: &serde_json::Value) {
+        if self.is_dead() {
+            return;
+        }
         if let Ok(line) = serde_json::to_string(event) {
             let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-            let _ = out.write_all(line.as_bytes());
-            let _ = out.write_all(b"\n");
-            let _ = out.flush();
+            let failed = out.write_all(line.as_bytes()).is_err()
+                || out.write_all(b"\n").is_err()
+                || out.flush().is_err();
+            if failed {
+                self.dead.store(true, Ordering::Relaxed);
+            }
         }
+    }
+}
+
+impl<W: Write + Send> EventEmit for EventSink<W> {
+    fn emit_event(&self, event: &serde_json::Value) {
+        self.emit(event);
     }
 }
 
@@ -86,18 +159,21 @@ fn id_value(id: Option<u64>) -> serde_json::Value {
     }
 }
 
-/// Run one `sweep` request to completion, streaming events into `sink`.
+/// Run one admitted `sweep` request to completion (or cancellation),
+/// streaming events into `sink`. Returns whether the sweep was cancelled.
 fn run_sweep<W: Write + Send + 'static>(
     req: &Request,
     sink: &Arc<EventSink<W>>,
     pool: &Arc<SweepPool>,
-) {
+    entry: &Arc<SweepEntry>,
+) -> bool {
     let id = id_value(req.id);
     let error = |message: String| {
         sink.emit(&serde_json::json!({ "event": "error", "id": id, "message": message }));
     };
     let Some(experiment) = req.experiment.clone() else {
-        return error("sweep request is missing \"experiment\"".into());
+        error("sweep request is missing \"experiment\"".into());
+        return false;
     };
     let defaults = ExpParams::default();
     let params = ExpParams {
@@ -106,11 +182,14 @@ fn run_sweep<W: Write + Send + 'static>(
         jobs: req.jobs.unwrap_or_else(|| pool.jobs()),
     };
 
-    let mut db = ResultsDb::new().with_pool(Arc::clone(pool));
+    let mut db = ResultsDb::new().with_pool(Arc::clone(pool)).with_cancel(entry.token.clone());
     if let Some(path) = &req.journal {
         db = match db.with_journal(path) {
             Ok(db) => db,
-            Err(e) => return error(format!("opening journal {path}: {e}")),
+            Err(e) => {
+                error(format!("opening journal {path}: {e}"));
+                return false;
+            }
         };
     }
     if let Some(secs) = req.budget_secs {
@@ -123,11 +202,16 @@ fn run_sweep<W: Write + Send + 'static>(
         "resumed_runs": db.len(),
     }));
     // Checkpoints fire as records merge — strictly in spec order, i.e.
-    // exactly when (and in the order) the journal grows.
+    // exactly when (and in the order) the journal grows. The supervisor's
+    // progress card is updated first so `status` always reflects at least
+    // what the client has been told.
     let db = db.with_progress({
         let sink = Arc::clone(sink);
         let id = id.clone();
+        let entry = Arc::clone(entry);
         move |done, total| {
+            entry.done.store(done, Ordering::SeqCst);
+            entry.total.store(total, Ordering::SeqCst);
             sink.emit(&serde_json::json!({
                 "event": "checkpoint",
                 "id": id,
@@ -136,16 +220,36 @@ fn run_sweep<W: Write + Send + 'static>(
             }));
         }
     });
-    match drive::run_experiment(&db, &experiment, params) {
+    let rendered = drive::run_experiment(&db, &experiment, params);
+    if entry.token.is_cancelled() {
+        // Whatever was rendered after the token fired came from ephemeral
+        // placeholder records; report the cancellation instead. The journal
+        // (if any) ends at the last completed record — the resumable prefix.
+        sink.emit(&serde_json::json!({
+            "event": "cancelled",
+            "id": id,
+            "experiment": experiment,
+            "runs_done": entry.done.load(Ordering::SeqCst),
+            "runs_total": entry.total.load(Ordering::SeqCst),
+            "reason": if entry.token.cancelled_explicitly() { "cancel" } else { "deadline" },
+        }));
+        return true;
+    }
+    match rendered {
         None => error(format!("unknown experiment {experiment:?}")),
         Some(rendered) => {
-            for (name, text) in &rendered.sections {
-                sink.emit(&serde_json::json!({
-                    "event": "section",
-                    "id": id,
-                    "name": name,
-                    "text": text,
-                }));
+            // A dead client skips section rendering entirely (the payloads
+            // are the large part of the stream); the final `done` is cheap
+            // and harmlessly dropped by the latched sink.
+            if !sink.is_dead() {
+                for (name, text) in &rendered.sections {
+                    sink.emit(&serde_json::json!({
+                        "event": "section",
+                        "id": id,
+                        "name": name,
+                        "text": text,
+                    }));
+                }
             }
             sink.emit(&serde_json::json!({
                 "event": "done",
@@ -154,24 +258,156 @@ fn run_sweep<W: Write + Send + 'static>(
             }));
         }
     }
+    false
 }
 
-/// Serve the line protocol on `input`/`output` until EOF or `shutdown`,
-/// fanning every sweep's runs into `pool`. Sweeps run on their own session
-/// threads (all drained before returning), so clients can keep several in
-/// flight; events from concurrent sweeps interleave line-atomically and
-/// carry the request `id` for demultiplexing.
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (newline stripped), within the byte cap.
+    Line(String),
+    /// The line exceeded the cap; it was consumed and discarded.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line, never buffering more than `cap` bytes: a
+/// client streaming an endless unterminated line costs the service one
+/// bounded buffer, not its address space. Oversized lines are consumed to
+/// their terminator (or EOF) and reported as [`LineRead::TooLong`].
+fn read_line_bounded(r: &mut impl BufRead, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut over = false;
+    loop {
+        let (done, used) = {
+            let chunk = r.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF: a clean end between lines, or it terminates the
+                // final (unterminated) line.
+                return Ok(match (buf.is_empty(), over) {
+                    (true, false) => LineRead::Eof,
+                    (_, true) => LineRead::TooLong,
+                    (false, false) => LineRead::Line(String::from_utf8_lossy(&buf).into_owned()),
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if !over && buf.len() + i <= cap {
+                        buf.extend_from_slice(&chunk[..i]);
+                    } else {
+                        over = true;
+                    }
+                    (true, i + 1)
+                }
+                None => {
+                    if !over && buf.len() + chunk.len() <= cap {
+                        buf.extend_from_slice(chunk);
+                    } else {
+                        over = true;
+                        buf.clear();
+                    }
+                    (false, chunk.len())
+                }
+            }
+        };
+        r.consume(used);
+        if done {
+            return Ok(if over {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
+/// Serve the line protocol on `input`/`output` with a private supervisor
+/// and default options. Suitable for single-session services (the stdin
+/// mode of the binary) and tests; socket services share one supervisor
+/// across connections via [`serve_with`].
 pub fn serve<R, W>(input: R, output: W, pool: Arc<SweepPool>) -> std::io::Result<()>
 where
     R: BufRead,
     W: Write + Send + 'static,
 {
-    let sink = Arc::new(EventSink { out: Mutex::new(output) });
+    let supervisor = Supervisor::new(pool.jobs(), 0);
+    serve_with(input, output, pool, supervisor, &ServeOptions::default())
+}
+
+/// Serve the line protocol on `input`/`output` until EOF or `shutdown`,
+/// fanning every admitted sweep's runs into `pool` and recording it with
+/// `supervisor` (shared across every connection of a socket service).
+/// Sweeps run on their own session threads — reaped as they finish, all
+/// drained before returning — so clients can keep several in flight;
+/// events from concurrent sweeps interleave line-atomically and carry the
+/// request `id` for demultiplexing.
+pub fn serve_with<R, W>(
+    mut input: R,
+    output: W,
+    pool: Arc<SweepPool>,
+    supervisor: Arc<Supervisor>,
+    opts: &ServeOptions,
+) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let sink = Arc::new(EventSink::new(output));
+    let sink_handle = supervisor.register_sink(Arc::clone(&sink) as Arc<dyn EventEmit>);
+    // This session's in-flight sweeps, client id → supervisor seq: the
+    // scope `cancel` resolves ids in (ids are client-chosen, so they are
+    // only meaningful within one connection).
+    let session_sweeps: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let heartbeat = opts.heartbeat.map(|interval| {
+        let sink = Arc::clone(&sink);
+        let supervisor = Arc::clone(&supervisor);
+        let done = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&done);
+        let handle = std::thread::spawn(move || {
+            // Tick in small steps so session teardown never waits a full
+            // interval on this thread.
+            let step = Duration::from_millis(10).min(interval);
+            let mut elapsed = Duration::ZERO;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(step);
+                elapsed += step;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    let mut event = serde_json::json!({ "event": "heartbeat" });
+                    merge_status(&mut event, supervisor.status());
+                    sink.emit(&event);
+                }
+            }
+        });
+        (done, handle)
+    });
     let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for line in input.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => break, // client hung up mid-line
+    loop {
+        // Reap finished sweep threads before (possibly) blocking on the
+        // next request: a long-lived service must not accumulate one
+        // JoinHandle per completed sweep.
+        let mut i = 0;
+        while i < sessions.len() {
+            if sessions[i].is_finished() {
+                let _ = sessions.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        let line = match read_line_bounded(&mut input, opts.max_line_bytes) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::TooLong) => {
+                sink.emit(&serde_json::json!({
+                    "event": "error",
+                    "id": null,
+                    "message": format!(
+                        "request line exceeds {} bytes and was discarded",
+                        opts.max_line_bytes
+                    ),
+                }));
+                continue;
+            }
+            Ok(LineRead::Eof) | Err(_) => break, // client hung up
         };
         if line.trim().is_empty() {
             continue;
@@ -189,10 +425,74 @@ where
         };
         match req.cmd.as_str() {
             "ping" => sink.emit(&serde_json::json!({ "event": "pong", "id": id_value(req.id) })),
+            "status" => {
+                let mut event = serde_json::json!({ "event": "status", "id": id_value(req.id) });
+                merge_status(&mut event, supervisor.status());
+                sink.emit(&event);
+            }
+            "cancel" => {
+                let found = req.id.is_some_and(|cid| {
+                    let seq = session_sweeps.lock().unwrap_or_else(|e| e.into_inner());
+                    let seq = seq.get(&cid).copied();
+                    seq.is_some_and(|s| supervisor.cancel_seq(s))
+                });
+                if found {
+                    sink.emit(&serde_json::json!({
+                        "event": "cancelling",
+                        "id": id_value(req.id),
+                    }));
+                } else {
+                    sink.emit(&serde_json::json!({
+                        "event": "error",
+                        "id": id_value(req.id),
+                        "message": match req.id {
+                            Some(cid) => format!("no in-flight sweep with id {cid}"),
+                            None => "cancel requires \"id\"".to_string(),
+                        },
+                    }));
+                }
+            }
             "sweep" => {
-                let sink = Arc::clone(&sink);
-                let pool = Arc::clone(&pool);
-                sessions.push(std::thread::spawn(move || run_sweep(&req, &sink, &pool)));
+                let token = match req.deadline_secs {
+                    Some(secs) => CancelToken::with_deadline(Duration::from_secs(secs)),
+                    None => CancelToken::new(),
+                };
+                let experiment = req.experiment.as_deref().unwrap_or("?");
+                match supervisor.admit(req.id, experiment, req.journal.clone(), token) {
+                    None => sink.emit(&serde_json::json!({
+                        "event": "busy",
+                        "id": id_value(req.id),
+                        "retry_after_ms": opts.retry_after_ms,
+                        "inflight": supervisor.active(),
+                        "max_inflight": supervisor.max_inflight(),
+                        "draining": supervisor.is_draining(),
+                    })),
+                    Some((seq, entry)) => {
+                        if let Some(cid) = req.id {
+                            session_sweeps
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(cid, seq);
+                        }
+                        let sink = Arc::clone(&sink);
+                        let pool = Arc::clone(&pool);
+                        let supervisor = Arc::clone(&supervisor);
+                        let session_sweeps = Arc::clone(&session_sweeps);
+                        sessions.push(std::thread::spawn(move || {
+                            let cancelled = run_sweep(&req, &sink, &pool, &entry);
+                            supervisor.finish(seq, cancelled);
+                            if let Some(cid) = req.id {
+                                let mut map =
+                                    session_sweeps.lock().unwrap_or_else(|e| e.into_inner());
+                                // Only un-register if a newer sweep has not
+                                // reused the client id.
+                                if map.get(&cid) == Some(&seq) {
+                                    map.remove(&cid);
+                                }
+                            }
+                        }));
+                    }
+                }
             }
             "shutdown" => {
                 sink.emit(&serde_json::json!({ "event": "bye" }));
@@ -205,12 +505,27 @@ where
             })),
         }
     }
+    if let Some((stop, handle)) = heartbeat {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
     // Drain in-flight sweeps: their journals must reach completion even if
-    // the client is gone (that is what makes kill-and-resume work).
+    // the client is gone (that is what makes kill-and-resume work). A
+    // SIGTERM drain cancels their tokens instead, so they stop at the next
+    // abort poll with the journal on a record boundary.
     for s in sessions {
         let _ = s.join();
     }
+    supervisor.unregister_sink(sink_handle);
     Ok(())
+}
+
+/// Splice the supervisor's status fields into an event object (the stub
+/// and real serde_json both lack a cheap object-merge, so do it by hand).
+fn merge_status(event: &mut serde_json::Value, status: serde_json::Value) {
+    if let (serde_json::Value::Object(event), serde_json::Value::Object(fields)) = (event, status) {
+        event.extend(fields);
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +540,28 @@ mod tests {
 
     fn event_str<'a>(v: &'a serde_json::Value, key: &str) -> &'a str {
         v.get(key).and_then(|s| s.as_str()).unwrap_or("")
+    }
+
+    fn events_of_kind<'a>(
+        events: &'a [serde_json::Value],
+        kind: &str,
+    ) -> Vec<&'a serde_json::Value> {
+        events.iter().filter(|e| event_str(e, "event") == kind).collect()
+    }
+
+    /// Spawn a served session over a socketpair, returning the client end
+    /// and the serve handle.
+    fn spawn_session(
+        pool: Arc<SweepPool>,
+        supervisor: Arc<Supervisor>,
+        opts: ServeOptions,
+    ) -> (UnixStream, std::thread::JoinHandle<std::io::Result<()>>) {
+        let (client, server) = UnixStream::pair().unwrap();
+        let handle = std::thread::spawn(move || {
+            let input = BufReader::new(server.try_clone().unwrap());
+            serve_with(input, server, pool, supervisor, &opts)
+        });
+        (client, handle)
     }
 
     #[test]
@@ -352,5 +689,191 @@ mod tests {
 
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn oversized_request_line_is_shed_not_buffered() {
+        let pool = SweepPool::shared(1);
+        let supervisor = Supervisor::new(1, 0);
+        let opts = ServeOptions { max_line_bytes: 256, ..ServeOptions::default() };
+        let (client, handle) = spawn_session(pool, supervisor, opts);
+        {
+            let mut w = client.try_clone().unwrap();
+            // 4 KiB of garbage on one line — 16x the cap.
+            let mut big = vec![b'x'; 4096];
+            big.push(b'\n');
+            w.write_all(&big).unwrap();
+            w.write_all(b"{\"cmd\":\"ping\",\"id\":1}\n{\"cmd\":\"shutdown\"}\n").unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        assert!(
+            event_str(&events[0], "message").contains("exceeds 256 bytes"),
+            "oversized line must be rejected: {raw}"
+        );
+        assert_eq!(
+            event_str(&events[1], "event"),
+            "pong",
+            "the service must keep answering after shedding the line"
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_excess_sweeps_with_busy() {
+        // One worker, admission bound of 2: the third concurrent sweep and
+        // beyond must be shed with `busy`, not queued without limit. Large
+        // targets keep the admitted sweeps in flight while the flood lands
+        // (requests on one connection are processed strictly in order, so
+        // by the time the flood is parsed the first two sweeps hold slots).
+        let pool = SweepPool::shared(1);
+        let supervisor = Supervisor::new(1, 2);
+        let (client, handle) =
+            spawn_session(Arc::clone(&pool), Arc::clone(&supervisor), ServeOptions::default());
+        {
+            let mut w = client.try_clone().unwrap();
+            for i in 0..4u64 {
+                let req = format!(
+                    "{{\"cmd\":\"sweep\",\"id\":{i},\"experiment\":\"fig1\",\"target\":20000}}\n"
+                );
+                w.write_all(req.as_bytes()).unwrap();
+            }
+            w.write_all(b"{\"cmd\":\"status\",\"id\":99}\n").unwrap();
+            // Cancel the admitted two so the test does not simulate four
+            // full fig1 sweeps.
+            w.write_all(b"{\"cmd\":\"cancel\",\"id\":0}\n{\"cmd\":\"cancel\",\"id\":1}\n").unwrap();
+            w.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        let busy = events_of_kind(&events, "busy");
+        assert_eq!(busy.len(), 2, "exactly the two excess sweeps must be shed:\n{raw}");
+        for b in &busy {
+            assert!(b.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
+            assert_eq!(b.get("max_inflight").and_then(|v| v.as_u64()), Some(2));
+        }
+        let status = events_of_kind(&events, "status")[0];
+        assert_eq!(
+            status.get("inflight").and_then(|v| v.as_array()).map(|a| a.len()),
+            Some(2),
+            "in-flight table must be pinned at the admission bound"
+        );
+        assert_eq!(status.get("shed").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(events_of_kind(&events, "cancelled").len(), 2);
+    }
+
+    #[test]
+    fn cancel_aborts_an_inflight_sweep_and_reports_progress() {
+        let pool = SweepPool::shared(2);
+        let supervisor = Supervisor::new(2, 0);
+        let (client, handle) =
+            spawn_session(Arc::clone(&pool), Arc::clone(&supervisor), ServeOptions::default());
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(
+                b"{\"cmd\":\"sweep\",\"id\":5,\"experiment\":\"fig1\",\"target\":20000}\n\
+                  {\"cmd\":\"cancel\",\"id\":5}\n{\"cmd\":\"shutdown\"}\n",
+            )
+            .unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        assert!(!events_of_kind(&events, "cancelling").is_empty());
+        let cancelled = events_of_kind(&events, "cancelled");
+        assert_eq!(cancelled.len(), 1, "cancel must end the sweep with a cancelled event:\n{raw}");
+        assert_eq!(cancelled[0].get("id").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(event_str(cancelled[0], "reason"), "cancel");
+        assert!(
+            !events.iter().any(|e| event_str(e, "event") == "done"),
+            "a cancelled sweep must not also report done"
+        );
+    }
+
+    #[test]
+    fn sweep_deadline_cancels_with_reason_deadline() {
+        let pool = SweepPool::shared(2);
+        let supervisor = Supervisor::new(2, 0);
+        let (client, handle) =
+            spawn_session(Arc::clone(&pool), Arc::clone(&supervisor), ServeOptions::default());
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(
+                b"{\"cmd\":\"sweep\",\"id\":6,\"experiment\":\"fig1\",\"target\":20000,\
+                   \"deadline_secs\":0}\n{\"cmd\":\"shutdown\"}\n",
+            )
+            .unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        let cancelled = events_of_kind(&events, "cancelled");
+        assert_eq!(cancelled.len(), 1, "an expired deadline must cancel the sweep:\n{raw}");
+        assert_eq!(event_str(cancelled[0], "reason"), "deadline");
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_is_an_error() {
+        let pool = SweepPool::shared(1);
+        let supervisor = Supervisor::new(1, 0);
+        let (client, handle) = spawn_session(pool, supervisor, ServeOptions::default());
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(b"{\"cmd\":\"cancel\",\"id\":42}\n{\"cmd\":\"shutdown\"}\n").unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        assert!(event_str(&events[0], "message").contains("no in-flight sweep with id 42"));
+    }
+
+    #[test]
+    fn status_reports_service_shape_when_idle() {
+        let pool = SweepPool::shared(3);
+        let supervisor = Supervisor::new(3, 0);
+        let (client, handle) = spawn_session(pool, supervisor, ServeOptions::default());
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(b"{\"cmd\":\"status\",\"id\":1}\n{\"cmd\":\"shutdown\"}\n").unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        let status = &events[0];
+        assert_eq!(event_str(status, "event"), "status");
+        assert_eq!(status.get("pool_jobs").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(status.get("max_inflight").and_then(|v| v.as_u64()), Some(6));
+        assert_eq!(status.get("inflight").and_then(|v| v.as_array()).map(|a| a.len()), Some(0));
+        assert_eq!(status.get("draining").and_then(|v| v.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn heartbeats_carry_the_status_payload() {
+        let pool = SweepPool::shared(1);
+        let supervisor = Supervisor::new(1, 0);
+        let opts =
+            ServeOptions { heartbeat: Some(Duration::from_millis(30)), ..ServeOptions::default() };
+        let (client, handle) = spawn_session(pool, supervisor, opts);
+        {
+            let mut w = client.try_clone().unwrap();
+            w.write_all(b"{\"cmd\":\"ping\",\"id\":1}\n").unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+            w.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+        }
+        let mut raw = String::new();
+        std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+        handle.join().unwrap().unwrap();
+        let events = parse_events(&raw);
+        let beats = events_of_kind(&events, "heartbeat");
+        assert!(!beats.is_empty(), "a 30ms heartbeat must fire within 200ms:\n{raw}");
+        assert!(beats[0].get("pool_jobs").and_then(|v| v.as_u64()).is_some());
+        assert!(beats[0].get("uptime_secs").is_some());
     }
 }

@@ -1,0 +1,385 @@
+//! Supervision primitives for the long-running sweep service.
+//!
+//! [`CancelToken`] is the cooperative cancellation handle threaded from the
+//! protocol layer (`{"cmd":"cancel"}`, per-sweep `deadline_secs`, SIGTERM
+//! drain) down through [`crate::ResultsDb::run_all`], the pool jobs, and
+//! [`crate::runner::run_spec_supervised`] into the simulator's abort-polling
+//! hook, so an in-flight sweep stops within one abort-poll interval of the
+//! flag being raised. Cancellation is *cooperative and clean*: a run that
+//! observes the token simply reports [`crate::runner::RunFailure::Cancelled`],
+//! nothing is journaled for it, and the journal prefix written so far stays
+//! resumable.
+//!
+//! [`Supervisor`] is the service-wide ledger `paperbench serve` keeps of
+//! every in-flight sweep: it enforces the admission bound (excess requests
+//! are shed with a `busy` event instead of spawning unbounded session
+//! threads), answers `status` requests, drives the SIGTERM graceful drain,
+//! and broadcasts service-level events (`heartbeat`, the final `bye`) to
+//! every connected client.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A shared cooperative-cancellation handle: an atomic flag plus an optional
+/// wall-clock deadline. Cheap to clone (one `Arc`), cheap to poll (one
+/// relaxed load on the common path), safe to fire from any thread or from a
+/// signal-driven watcher.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Absolute deadline; `None` = no deadline. Set once at construction.
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires once `deadline` of wall-clock time
+    /// has elapsed (the protocol's per-sweep `deadline_secs`).
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + deadline),
+            }),
+        }
+    }
+
+    /// Raise the flag. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the token fired (explicit cancel *or* expired deadline)? The
+    /// explicit-flag check is a single relaxed atomic load, so this is safe
+    /// to poll from the simulator's abort hook.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Was the token *explicitly* cancelled (as opposed to expiring)?
+    /// Distinguishes the `cancelled` event's `reason` field.
+    pub fn cancelled_explicitly(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Progress card of one in-flight sweep, shared between the session thread
+/// running it and the supervisor's status reporting.
+#[derive(Debug)]
+pub struct SweepEntry {
+    /// Client-chosen request id (echoed on its events), if any.
+    pub client_id: Option<u64>,
+    /// Experiment name.
+    pub experiment: String,
+    /// Journal path, if the request attached one.
+    pub journal: Option<String>,
+    /// When the sweep was admitted.
+    pub started: Instant,
+    /// Runs merged so far (updated by the progress callback).
+    pub done: AtomicUsize,
+    /// Total runs of the current batch (0 until the first batch starts).
+    pub total: AtomicUsize,
+    /// The sweep's cancellation handle.
+    pub token: CancelToken,
+}
+
+/// Anything that can deliver a protocol event to a client. Implemented by
+/// the serve layer's `EventSink`; registered with the supervisor so drain
+/// and heartbeat machinery can broadcast without knowing the stream type.
+pub trait EventEmit: Send + Sync {
+    /// Best-effort single-line delivery (errors are swallowed; a dead
+    /// client latches the sink instead of failing the service).
+    fn emit_event(&self, event: &serde_json::Value);
+}
+
+/// Service-wide supervision state shared by every connection of a
+/// `paperbench serve` process.
+pub struct Supervisor {
+    started: Instant,
+    pool_jobs: usize,
+    max_inflight: usize,
+    sweeps: Mutex<HashMap<u64, Arc<SweepEntry>>>,
+    next_seq: AtomicU64,
+    /// Requests shed by admission control.
+    shed: AtomicU64,
+    /// Sweeps that ended cancelled (explicit cancel, deadline, or drain).
+    cancelled: AtomicU64,
+    /// Sweeps that ran to completion.
+    completed: AtomicU64,
+    /// Raised by the SIGTERM/SIGINT drain; new sweeps are shed while set.
+    draining: AtomicBool,
+    /// Registered client sinks for service-level broadcasts.
+    sinks: Mutex<HashMap<u64, Arc<dyn EventEmit>>>,
+    next_sink: AtomicU64,
+}
+
+impl Supervisor {
+    /// A supervisor for a service whose pool has `pool_jobs` workers,
+    /// admitting at most `max_inflight` concurrent sweeps (`0` picks the
+    /// default bound of `2 × pool_jobs`).
+    pub fn new(pool_jobs: usize, max_inflight: usize) -> Arc<Self> {
+        let max_inflight = if max_inflight == 0 { 2 * pool_jobs.max(1) } else { max_inflight };
+        Arc::new(Supervisor {
+            started: Instant::now(),
+            pool_jobs,
+            max_inflight,
+            sweeps: Mutex::new(HashMap::new()),
+            next_seq: AtomicU64::new(1),
+            shed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            sinks: Mutex::new(HashMap::new()),
+            next_sink: AtomicU64::new(1),
+        })
+    }
+
+    /// The admission bound.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// In-flight sweep count.
+    pub fn active(&self) -> usize {
+        lock(&self.sweeps).len()
+    }
+
+    /// Is the service draining towards exit?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Admit one sweep, or shed it. Returns the sweep's supervisor sequence
+    /// number and its entry on success; `None` (and a bumped shed counter)
+    /// when the in-flight table is full or the service is draining.
+    pub fn admit(
+        &self,
+        client_id: Option<u64>,
+        experiment: &str,
+        journal: Option<String>,
+        token: CancelToken,
+    ) -> Option<(u64, Arc<SweepEntry>)> {
+        let mut sweeps = lock(&self.sweeps);
+        if self.is_draining() || sweeps.len() >= self.max_inflight {
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let entry = Arc::new(SweepEntry {
+            client_id,
+            experiment: experiment.to_string(),
+            journal,
+            started: Instant::now(),
+            done: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            token,
+        });
+        sweeps.insert(seq, Arc::clone(&entry));
+        Some((seq, entry))
+    }
+
+    /// Retire one sweep from the in-flight table, counting its outcome.
+    pub fn finish(&self, seq: u64, was_cancelled: bool) {
+        lock(&self.sweeps).remove(&seq);
+        if was_cancelled {
+            self.cancelled.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.completed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Fire the cancel token of the in-flight sweep `seq`. Returns whether
+    /// such a sweep existed.
+    pub fn cancel_seq(&self, seq: u64) -> bool {
+        match lock(&self.sweeps).get(&seq) {
+            Some(entry) => {
+                entry.token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fire every in-flight sweep's token (the drain path).
+    pub fn cancel_all(&self) {
+        for entry in lock(&self.sweeps).values() {
+            entry.token.cancel();
+        }
+    }
+
+    /// Register a client sink for service-level broadcasts; returns a
+    /// handle to pass to [`Supervisor::unregister_sink`] at session end.
+    pub fn register_sink(&self, sink: Arc<dyn EventEmit>) -> u64 {
+        let id = self.next_sink.fetch_add(1, Ordering::SeqCst);
+        lock(&self.sinks).insert(id, sink);
+        id
+    }
+
+    /// Drop a client sink (its session ended).
+    pub fn unregister_sink(&self, id: u64) {
+        lock(&self.sinks).remove(&id);
+    }
+
+    /// Deliver `event` to every registered client (best effort).
+    pub fn broadcast(&self, event: &serde_json::Value) {
+        let sinks: Vec<Arc<dyn EventEmit>> = lock(&self.sinks).values().cloned().collect();
+        for sink in sinks {
+            sink.emit_event(event);
+        }
+    }
+
+    /// The introspection payload served to `status` requests and embedded
+    /// in `heartbeat` events: uptime, pool size, the admission bound,
+    /// per-sweep progress, and the shed/cancel/complete counters. Journal
+    /// paths are included so an operator can find the resumable state of
+    /// anything in flight.
+    pub fn status(&self) -> serde_json::Value {
+        let sweeps = lock(&self.sweeps);
+        let mut inflight: Vec<(u64, serde_json::Value)> = sweeps
+            .iter()
+            .map(|(seq, e)| {
+                (
+                    *seq,
+                    serde_json::json!({
+                        "seq": seq,
+                        "id": e.client_id,
+                        "experiment": e.experiment,
+                        "done": e.done.load(Ordering::SeqCst),
+                        "total": e.total.load(Ordering::SeqCst),
+                        "elapsed_ms": e.started.elapsed().as_millis() as u64,
+                        "journal": e.journal,
+                    }),
+                )
+            })
+            .collect();
+        drop(sweeps);
+        inflight.sort_by_key(|(seq, _)| *seq);
+        serde_json::json!({
+            "uptime_secs": self.started.elapsed().as_secs(),
+            "pool_jobs": self.pool_jobs,
+            "max_inflight": self.max_inflight,
+            "inflight": inflight.into_iter().map(|(_, v)| v).collect::<Vec<_>>(),
+            "shed": self.shed.load(Ordering::SeqCst),
+            "cancelled": self.cancelled.load(Ordering::SeqCst),
+            "completed": self.completed.load(Ordering::SeqCst),
+            "draining": self.is_draining(),
+        })
+    }
+
+    /// Graceful drain: stop admitting, cancel every in-flight sweep, wait
+    /// up to `grace` for them to retire (they stop at the next abort poll
+    /// and their journals end on a clean record boundary), then broadcast
+    /// `bye`. Returns `true` if everything drained within the grace period.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.draining.store(true, Ordering::SeqCst);
+        self.cancel_all();
+        let deadline = Instant::now() + grace;
+        while self.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let clean = self.active() == 0;
+        self.broadcast(&serde_json::json!({
+            "event": "bye",
+            "reason": "drain",
+            "drained": clean,
+        }));
+        clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_fires_on_cancel_and_every_clone_sees_it() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+        assert!(t.cancelled_explicitly());
+    }
+
+    #[test]
+    fn token_fires_on_deadline_without_explicit_cancel() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled(), "zero deadline must already have expired");
+        assert!(!t.cancelled_explicitly(), "deadline expiry is not an explicit cancel");
+    }
+
+    #[test]
+    fn admission_sheds_beyond_the_bound_and_frees_on_finish() {
+        let sup = Supervisor::new(2, 0); // default bound = 4
+        assert_eq!(sup.max_inflight(), 4);
+        let mut seqs = Vec::new();
+        for i in 0..4 {
+            let (seq, _) = sup
+                .admit(Some(i), "fig1", None, CancelToken::new())
+                .expect("under the bound must admit");
+            seqs.push(seq);
+        }
+        assert!(sup.admit(Some(9), "fig1", None, CancelToken::new()).is_none());
+        assert_eq!(sup.status().get("shed").and_then(|v| v.as_u64()), Some(1));
+        sup.finish(seqs[0], false);
+        assert!(sup.admit(Some(9), "fig1", None, CancelToken::new()).is_some());
+    }
+
+    #[test]
+    fn drain_sheds_new_sweeps_and_cancels_inflight() {
+        let sup = Supervisor::new(1, 8);
+        let (_, entry) = sup.admit(None, "fig3", None, CancelToken::new()).unwrap();
+        // Drain with active sweeps times out (nothing retires them here)
+        // but must have fired their tokens and latched draining.
+        assert!(!sup.drain(Duration::from_millis(50)));
+        assert!(entry.token.is_cancelled());
+        assert!(sup.is_draining());
+        assert!(sup.admit(None, "fig3", None, CancelToken::new()).is_none());
+    }
+
+    #[test]
+    fn cancel_seq_hits_only_the_named_sweep() {
+        let sup = Supervisor::new(2, 8);
+        let (a, ea) = sup.admit(Some(1), "fig1", None, CancelToken::new()).unwrap();
+        let (_, eb) = sup.admit(Some(2), "fig3", None, CancelToken::new()).unwrap();
+        assert!(sup.cancel_seq(a));
+        assert!(ea.token.is_cancelled());
+        assert!(!eb.token.is_cancelled());
+        assert!(!sup.cancel_seq(999), "unknown seq must report false");
+    }
+
+    #[test]
+    fn status_reports_progress_and_journals() {
+        let sup = Supervisor::new(4, 0);
+        let (_, entry) =
+            sup.admit(Some(7), "fig1", Some("j.jsonl".into()), CancelToken::new()).unwrap();
+        entry.done.store(3, Ordering::SeqCst);
+        entry.total.store(10, Ordering::SeqCst);
+        let s = sup.status();
+        let get_u64 = |v: &serde_json::Value, k: &str| v.get(k).and_then(|x| x.as_u64());
+        assert_eq!(get_u64(&s, "pool_jobs"), Some(4));
+        assert_eq!(get_u64(&s, "max_inflight"), Some(8));
+        let flight = s.get("inflight").and_then(|v| v.as_array()).unwrap().clone();
+        assert_eq!(flight.len(), 1);
+        assert_eq!(get_u64(&flight[0], "id"), Some(7));
+        assert_eq!(get_u64(&flight[0], "done"), Some(3));
+        assert_eq!(get_u64(&flight[0], "total"), Some(10));
+        assert_eq!(flight[0].get("journal").and_then(|v| v.as_str()), Some("j.jsonl"));
+    }
+}

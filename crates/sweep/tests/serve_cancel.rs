@@ -1,0 +1,347 @@
+//! Robustness tests for the supervised sweep service: cooperative
+//! cancellation with resumable journals, admission control under flood,
+//! line-atomic event interleaving across concurrent sweeps, and the
+//! SIGTERM graceful drain of the real `paperbench serve` binary.
+
+use smt_sweep::drive;
+use smt_sweep::experiments::ExpParams;
+use smt_sweep::serve::{serve_with, ServeOptions};
+use smt_sweep::{ResultsDb, Supervisor, SweepPool};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smt-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn an in-process service over a socketpair; returns the client end.
+fn spawn_service(
+    jobs: usize,
+    max_inflight: usize,
+) -> (UnixStream, std::thread::JoinHandle<std::io::Result<()>>) {
+    let (client, server) = UnixStream::pair().unwrap();
+    let pool = SweepPool::shared(jobs);
+    let supervisor = Supervisor::new(jobs, max_inflight);
+    let handle = std::thread::spawn(move || {
+        let input = BufReader::new(server.try_clone().unwrap());
+        serve_with(input, server, pool, supervisor, &ServeOptions::default())
+    });
+    (client, handle)
+}
+
+fn send(client: &UnixStream, line: &str) {
+    let mut w = client.try_clone().unwrap();
+    w.write_all(line.as_bytes()).unwrap();
+    w.write_all(b"\n").unwrap();
+}
+
+fn event_str<'a>(e: &'a serde_json::Value, key: &str) -> &'a str {
+    e.get(key).and_then(|v| v.as_str()).unwrap_or("")
+}
+
+/// Assert `journal` is torn-line-free: non-empty, every line is complete
+/// (trailing newline included) and parses as a JSON object. Returns the
+/// record count.
+fn assert_clean_journal(journal: &Path) -> usize {
+    let raw = std::fs::read_to_string(journal).unwrap();
+    assert!(!raw.is_empty(), "journal must not be empty");
+    assert!(
+        raw.ends_with('\n'),
+        "journal must end on a record boundary, got {:?}",
+        &raw[raw.len().saturating_sub(40)..]
+    );
+    let mut count = 0;
+    for line in raw.lines() {
+        let parsed: serde_json::Value =
+            serde_json::from_str(line).expect("every journal line must be intact JSON");
+        assert!(parsed.get("spec").is_some(), "journal line must be a run record");
+        count += 1;
+    }
+    count
+}
+
+/// Resume `journal` by re-running `experiment` on a fresh db and return how
+/// many *new* runs that needed (counted via the progress callback, which
+/// only fires for freshly executed merges, never for resumed records).
+fn fresh_runs_on_resume(journal: &Path, experiment: &str, target: u64) -> usize {
+    let fresh = Arc::new(AtomicUsize::new(0));
+    let db = ResultsDb::new().with_journal(journal).unwrap().with_progress({
+        let fresh = Arc::clone(&fresh);
+        move |_done, _total| {
+            fresh.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    drive::run_experiment(&db, experiment, ExpParams { commit_target: target, seed: 1, jobs: 2 })
+        .expect("experiment must render on resume");
+    fresh.load(Ordering::SeqCst)
+}
+
+/// Acceptance: cancel an in-flight fig1 sweep → a `cancelled` event with
+/// progress counts, a torn-line-free journal, and a resume that executes
+/// exactly the missing runs (completed prefix + fresh runs = full sweep).
+#[test]
+fn cancel_mid_fig1_yields_cancelled_event_and_resumable_journal() {
+    let dir = temp_dir("cancel");
+    let journal = dir.join("fig1.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let (client, handle) = spawn_service(2, 0);
+    // A big commit target keeps individual runs slow enough that the cancel
+    // (sent after the second checkpoint) lands long before the sweep's
+    // dozens of runs complete.
+    send(
+        &client,
+        &format!(
+            "{{\"cmd\":\"sweep\",\"id\":1,\"experiment\":\"fig1\",\"target\":20000,\
+             \"journal\":{:?}}}",
+            journal.to_str().unwrap()
+        ),
+    );
+    let mut reader = BufReader::new(client.try_clone().unwrap());
+    let mut checkpoints = 0;
+    let mut cancel_sent = false;
+    let cancelled = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "service must not hang up mid-sweep");
+        let event: serde_json::Value = serde_json::from_str(&line).unwrap();
+        match event_str(&event, "event") {
+            "checkpoint" => {
+                checkpoints += 1;
+                if checkpoints == 2 && !cancel_sent {
+                    cancel_sent = true;
+                    send(&client, "{\"cmd\":\"cancel\",\"id\":1}");
+                }
+            }
+            "cancelled" => break event,
+            "done" => panic!("sweep must be cancelled, not run to completion"),
+            _ => {}
+        }
+    };
+    send(&client, "{\"cmd\":\"shutdown\"}");
+    handle.join().unwrap().unwrap();
+
+    assert_eq!(cancelled.get("id").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(event_str(&cancelled, "reason"), "cancel");
+    let runs_done = cancelled.get("runs_done").and_then(|v| v.as_u64()).unwrap();
+    assert!(runs_done >= 2, "the two checkpointed runs must be counted, got {runs_done}");
+
+    // The journal holds exactly the completed prefix, every line whole.
+    let prefix = assert_clean_journal(&journal);
+    assert!(prefix >= 2, "the checkpointed runs must have been journaled");
+
+    // Resume executes exactly the missing runs — the prefix is trusted.
+    let fresh = fresh_runs_on_resume(&journal, "fig1", 20000);
+    assert!(fresh > 0, "the cancelled sweep must have left work to resume");
+    let total = assert_clean_journal(&journal);
+    assert_eq!(
+        prefix + fresh,
+        total,
+        "completed prefix ({prefix}) + fresh runs ({fresh}) must equal the full sweep ({total})"
+    );
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Acceptance: flood the service with pool_jobs×4 sweeps → the excess
+/// beyond the admission bound is shed with `busy` (carrying a retry hint),
+/// and the in-flight table never grows past the bound.
+#[test]
+fn flood_beyond_admission_bound_sheds_busy_without_thread_growth() {
+    let (client, handle) = spawn_service(1, 0); // bound = 2 × 1 = 2
+    for i in 0..4u64 {
+        send(
+            &client,
+            &format!("{{\"cmd\":\"sweep\",\"id\":{i},\"experiment\":\"fig1\",\"target\":20000}}"),
+        );
+    }
+    // Requests on one connection are handled strictly in order, so by the
+    // time status is answered the flood has fully landed.
+    send(&client, "{\"cmd\":\"status\",\"id\":99}");
+    send(&client, "{\"cmd\":\"cancel\",\"id\":0}");
+    send(&client, "{\"cmd\":\"cancel\",\"id\":1}");
+    send(&client, "{\"cmd\":\"shutdown\"}");
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut client.try_clone().unwrap(), &mut raw).unwrap();
+    handle.join().unwrap().unwrap();
+
+    let events: Vec<serde_json::Value> =
+        raw.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+    let busy: Vec<_> = events.iter().filter(|e| event_str(e, "event") == "busy").collect();
+    assert_eq!(busy.len(), 2, "2 of 4 flooded sweeps must be shed at bound 2:\n{raw}");
+    for b in &busy {
+        assert!(
+            b.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "busy must carry a retry hint"
+        );
+    }
+    let status =
+        events.iter().find(|e| event_str(e, "event") == "status").expect("status must answer");
+    let inflight = status.get("inflight").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(inflight.len(), 2, "in-flight table must be pinned at the admission bound");
+    assert_eq!(status.get("shed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        events.iter().filter(|e| event_str(e, "event") == "cancelled").count(),
+        2,
+        "both admitted sweeps must report their cancellation:\n{raw}"
+    );
+}
+
+/// Satellite: two concurrent sweeps on one connection interleave whole
+/// lines only — every line parses, every event carries the right id, and
+/// both journals are complete (a resume needs zero new runs).
+#[test]
+fn concurrent_sweeps_interleave_line_atomically_with_complete_journals() {
+    let dir = temp_dir("interleave");
+    let j1 = dir.join("table1-side.jsonl");
+    let j2 = dir.join("fig1-side.jsonl");
+    let _ = std::fs::remove_file(&j1);
+    let _ = std::fs::remove_file(&j2);
+
+    let (client, handle) = spawn_service(4, 0);
+    // Two real sweeps race on the shared pool; small targets keep the test
+    // quick while still producing dozens of interleaved events each.
+    send(
+        &client,
+        &format!(
+            "{{\"cmd\":\"sweep\",\"id\":1,\"experiment\":\"fig1\",\"target\":800,\
+             \"journal\":{:?}}}",
+            j1.to_str().unwrap()
+        ),
+    );
+    send(
+        &client,
+        &format!(
+            "{{\"cmd\":\"sweep\",\"id\":2,\"experiment\":\"fig3\",\"target\":800,\
+             \"journal\":{:?}}}",
+            j2.to_str().unwrap()
+        ),
+    );
+    let mut reader = BufReader::new(client.try_clone().unwrap());
+    let mut done = [false, false];
+    let mut events = 0u32;
+    while !(done[0] && done[1]) {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "service must not hang up");
+        // Line-atomicity: every read line is one complete JSON event.
+        let event: serde_json::Value = serde_json::from_str(line.trim_end())
+            .unwrap_or_else(|e| panic!("interleaved event must be intact JSON ({e}): {line:?}"));
+        events += 1;
+        let id = event.get("id").and_then(|v| v.as_u64());
+        assert!(
+            matches!(id, Some(1) | Some(2)),
+            "every event of this session must carry one of the two sweep ids: {line:?}"
+        );
+        match (event_str(&event, "event"), id) {
+            ("done", Some(1)) => done[0] = true,
+            ("done", Some(2)) => done[1] = true,
+            ("error", _) | ("cancelled", _) => panic!("both sweeps must succeed: {line:?}"),
+            _ => {}
+        }
+    }
+    send(&client, "{\"cmd\":\"shutdown\"}");
+    handle.join().unwrap().unwrap();
+    assert!(events > 10, "two sweeps must stream a real event volume, got {events}");
+
+    // Both journals complete: a resume re-renders without a single new run.
+    assert_clean_journal(&j1);
+    assert_clean_journal(&j2);
+    assert_eq!(fresh_runs_on_resume(&j1, "fig1", 800), 0, "journal 1 must be complete");
+    assert_eq!(fresh_runs_on_resume(&j2, "fig3", 800), 0, "journal 2 must be complete");
+
+    let _ = std::fs::remove_file(&j1);
+    let _ = std::fs::remove_file(&j2);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Acceptance: SIGTERM mid-sweep gracefully drains the real binary — the
+/// client sees `cancelled`, the process exits 0 within the grace period,
+/// and the journal is a clean resumable prefix.
+#[test]
+fn sigterm_mid_sweep_drains_exits_zero_and_leaves_resumable_journal() {
+    let dir = temp_dir("sigterm");
+    let socket = dir.join("serve.sock");
+    let journal = dir.join("fig1.jsonl");
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&journal);
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_paperbench"))
+        .args(["serve", "--jobs", "2", "--socket", socket.to_str().unwrap(), "--grace", "30"])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawning paperbench serve");
+
+    // Wait for the listener to come up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let client = loop {
+        match UnixStream::connect(&socket) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("service never bound {}: {e}", socket.display()),
+        }
+    };
+    send(
+        &client,
+        &format!(
+            "{{\"cmd\":\"sweep\",\"id\":1,\"experiment\":\"fig1\",\"target\":20000,\
+             \"journal\":{:?}}}",
+            journal.to_str().unwrap()
+        ),
+    );
+    // Let the sweep make real progress (2 checkpoints = 2 journaled runs),
+    // then deliver SIGTERM.
+    let mut reader = BufReader::new(client.try_clone().unwrap());
+    let mut checkpoints = 0;
+    while checkpoints < 2 {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "service died before progressing");
+        let event: serde_json::Value = serde_json::from_str(&line).unwrap();
+        if event_str(&event, "event") == "checkpoint" {
+            checkpoints += 1;
+        }
+    }
+    let killed = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("running kill");
+    assert!(killed.success(), "kill -TERM must be delivered");
+
+    // The drain must reach this client: cancelled for its sweep, then the
+    // service-wide bye, then EOF as the process exits.
+    let mut saw_cancelled = false;
+    let mut saw_bye = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let event: serde_json::Value = serde_json::from_str(&line).unwrap();
+        match event_str(&event, "event") {
+            "cancelled" => saw_cancelled = true,
+            "bye" => saw_bye = true,
+            _ => {}
+        }
+    }
+    assert!(saw_cancelled, "the drained sweep must report cancelled to its client");
+    assert!(saw_bye, "the drain must broadcast bye before exit");
+
+    let status = child.wait().expect("waiting for serve");
+    assert!(status.success(), "SIGTERM drain must exit 0, got {status:?}");
+
+    // The journal the drain left behind is a clean, resumable prefix.
+    let prefix = assert_clean_journal(&journal);
+    assert!(prefix >= 2, "the checkpointed runs must be journaled, got {prefix}");
+    let fresh = fresh_runs_on_resume(&journal, "fig1", 20000);
+    let total = assert_clean_journal(&journal);
+    assert_eq!(prefix + fresh, total, "resume must fill in exactly the missing runs");
+
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir(&dir);
+}
