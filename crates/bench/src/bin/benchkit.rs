@@ -3,7 +3,7 @@
 //! Runs a fixed "quick" profile (per-policy pipeline throughput in
 //! simulated kilo-instructions per host second, plus one wall-clock slice
 //! per paper-figure family) and emits a schema-stable JSON report
-//! (`BENCH_7.json` at the repo root is the committed baseline). The same
+//! (`BENCH_9.json` at the repo root is the committed baseline). The same
 //! binary compares a fresh run against a baseline file and fails on
 //! regression beyond a tolerance — that is the CI perf-smoke gate.
 //!
@@ -25,8 +25,8 @@
 //! The JSON schema (see EXPERIMENTS.md):
 //! ```json
 //! {
-//!   "schema": "smt-bench/1",
-//!   "bench_id": 7,
+//!   "schema": "smt-bench/2",
+//!   "bench_id": 9,
 //!   "profile": "quick",
 //!   "target": 20000,
 //!   "scenarios": [
@@ -37,8 +37,8 @@
 //! }
 //! ```
 
-use smt_core::{DispatchPolicy, FetchPolicy, SimConfig};
-use smt_sweep::{run_spec_with_config, RunSpec};
+use smt_core::{AllocConfig, AllocPolicy, DispatchPolicy, FetchPolicy, SimConfig};
+use smt_sweep::{run_machine_spec_with_config, run_spec_with_config, RunSpec};
 use std::time::Instant;
 
 /// One fixed benchmark scenario of the quick profile.
@@ -50,6 +50,10 @@ struct Scenario {
     /// STALL fetch gating makes the mix maximally memory-bound (threads
     /// park completely during outstanding misses).
     stall_fetch: bool,
+    /// `Some((cores, alloc))` runs through the multi-core `Machine` with
+    /// that thread-to-core allocation policy; `None` runs the single-core
+    /// simulator path.
+    multicore: Option<(usize, AllocPolicy)>,
 }
 
 /// The quick profile: per-policy throughput on a mixed ILP workload, two
@@ -62,6 +66,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 48,
         policy: DispatchPolicy::Traditional,
         stall_fetch: false,
+        multicore: None,
     },
     Scenario {
         name: "policy_2op_block",
@@ -69,6 +74,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlock,
         stall_fetch: false,
+        multicore: None,
     },
     Scenario {
         name: "policy_ooo_dispatch",
@@ -76,6 +82,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlockOoo,
         stall_fetch: false,
+        multicore: None,
     },
     Scenario {
         name: "membound_stall_art_twolf",
@@ -83,6 +90,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlockOoo,
         stall_fetch: true,
+        multicore: None,
     },
     Scenario {
         name: "membound_stall_art_1t",
@@ -90,6 +98,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 48,
         policy: DispatchPolicy::Traditional,
         stall_fetch: true,
+        multicore: None,
     },
     Scenario {
         name: "fig1_slice_iq32_4t",
@@ -97,6 +106,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 32,
         policy: DispatchPolicy::TwoOpBlockOoo,
         stall_fetch: false,
+        multicore: None,
     },
     Scenario {
         name: "fig3_slice_2t",
@@ -104,6 +114,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 64,
         policy: DispatchPolicy::TwoOpBlockOoo,
         stall_fetch: false,
+        multicore: None,
     },
     Scenario {
         name: "fig5_slice_3t",
@@ -111,6 +122,7 @@ const QUICK: &[Scenario] = &[
         iq_size: 64,
         policy: DispatchPolicy::TwoOpBlock,
         stall_fetch: false,
+        multicore: None,
     },
     Scenario {
         name: "fig7_slice_4t",
@@ -118,6 +130,23 @@ const QUICK: &[Scenario] = &[
         iq_size: 64,
         policy: DispatchPolicy::Traditional,
         stall_fetch: false,
+        multicore: None,
+    },
+    Scenario {
+        name: "mc2_rr_static_4t",
+        benches: &["gcc", "art", "crafty", "mesa"],
+        iq_size: 48,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        stall_fetch: false,
+        multicore: Some((2, AllocPolicy::RoundRobin)),
+    },
+    Scenario {
+        name: "mc2_mlp_dynamic_4t",
+        benches: &["art", "art", "twolf", "equake"],
+        iq_size: 48,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        stall_fetch: false,
+        multicore: Some((2, AllocPolicy::MlpBalanced)),
     },
 ];
 
@@ -145,7 +174,13 @@ fn run_scenario(s: &Scenario, target: u64) -> Measured {
         cfg.fetch_policy = FetchPolicy::Stall;
     }
     let start = Instant::now();
-    let r = run_spec_with_config(&spec, cfg);
+    let r = match s.multicore {
+        Some((cores, policy)) => {
+            let alloc = AllocConfig { policy, epoch_cycles: 1_000, ..AllocConfig::default() };
+            run_machine_spec_with_config(&spec, cfg, cores, alloc)
+        }
+        None => run_spec_with_config(&spec, cfg),
+    };
     let wall = start.elapsed().as_secs_f64();
     let committed = r.counters.total_committed();
     Measured {
@@ -156,7 +191,7 @@ fn run_scenario(s: &Scenario, target: u64) -> Measured {
         wall_ms: wall * 1e3,
         sim_kips: if wall > 0.0 { committed as f64 / wall / 1e3 } else { 0.0 },
         ff_skipped_cycles: r.ff_skipped_cycles,
-        fast_forward: r.effective_fast_forward,
+        fast_forward: r.fast_forward,
     }
 }
 
@@ -166,8 +201,8 @@ fn run_scenario(s: &Scenario, target: u64) -> Measured {
 fn to_json(target: u64, rows: &[Measured]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"smt-bench/1\",\n");
-    out.push_str("  \"bench_id\": 7,\n");
+    out.push_str("  \"schema\": \"smt-bench/2\",\n");
+    out.push_str("  \"bench_id\": 9,\n");
     out.push_str("  \"profile\": \"quick\",\n");
     out.push_str(&format!("  \"target\": {target},\n"));
     out.push_str("  \"scenarios\": [\n");

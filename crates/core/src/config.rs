@@ -273,19 +273,6 @@ impl SimConfig {
         }
     }
 
-    /// Whether idle-cycle fast-forward will actually be active for this
-    /// configuration. Historically the simulator silently disabled the
-    /// skip under round-robin fetch; the event-driven loop now models the
-    /// rotation analytically (the pick priority advances by `k` on a jump
-    /// of `k`, and provably idle cycles fetch nothing regardless of
-    /// priority order), so the answer is simply the configuration flag.
-    /// The accessor survives because run metadata and perf baselines
-    /// record the effective state (`--json` run outcomes, `benchkit`
-    /// reports) and their schema predates the carve-out's removal.
-    pub fn effective_fast_forward(&self) -> bool {
-        self.fast_forward
-    }
-
     /// Validate configuration consistency.
     pub fn validate(&self, num_threads: usize) -> Result<(), String> {
         if self.width == 0 || self.iq_size == 0 || self.rob_per_thread == 0 {

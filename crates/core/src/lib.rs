@@ -55,6 +55,7 @@ pub mod fetch;
 pub mod fu;
 pub mod issue_queue;
 pub mod lsq;
+pub mod machine;
 pub mod packed;
 pub mod progress;
 pub mod regfile;
@@ -68,6 +69,7 @@ pub use calendar::Calendar;
 pub use config::{DeadlockMode, DispatchPolicy, FetchPolicy, SimConfig};
 pub use dispatch::{is_ndi, plan_thread, BufView, Candidate, ThreadPlan};
 pub use faults::{FaultClass, FaultClassConfig, FaultConfig, FaultInjector, FaultRecord};
+pub use machine::{AllocConfig, AllocPolicy, Machine};
 pub use packed::PackedIssueQueue;
 pub use progress::{DeadlockReport, StallReason};
 pub use regfile::{PhysReg, PhysRegFile};

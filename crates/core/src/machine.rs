@@ -1,0 +1,677 @@
+//! The multi-core SMT machine: N [`Core`]s stepping in lockstep against
+//! one shared memory [`Hierarchy`] (private L1s per core; shared L2, MSHR
+//! file, memory bus and write-buffer drain), plus a family of
+//! thread-to-core **allocation policies** deciding where each of M
+//! software threads runs — including epoch-boundary migration for the
+//! dynamic members of the family (Navarro et al.'s thread-to-core
+//! allocation line, crossed here with the paper's dispatch policies).
+//!
+//! Design invariants:
+//!
+//! - **N=1 is the degenerate single-core machine**, bit-for-bit identical
+//!   to [`crate::Simulator`] in cycles, commits, fast-forward jumps and
+//!   every per-thread counter (pinned by `tests/multicore_differential.rs`).
+//!   With one core there are no spare slots, no placeholder contexts and
+//!   no migration, whatever the allocation policy says.
+//! - **The shared hierarchy advances exactly once per machine cycle.**
+//!   Each cycle runs every core's prologue, one shared memory step
+//!   (routing write-buffer drains to the owning core's counters), then
+//!   every core's stage sweep against the shared hierarchy.
+//! - **The event-driven fast-forward jumps by the minimum next-activity
+//!   distance across cores.** A jump is taken only when every core proves
+//!   the representative cycle idle; the shared hierarchy's idle accounting
+//!   is applied once, and (for dynamic policies) jumps never cross an
+//!   epoch boundary, so migration decisions happen at exact cycles.
+//! - **Migration is drain-and-restart**: the leaving thread is flushed
+//!   back to its oldest uncommitted instruction on the donor core and
+//!   restarts fetch on the recipient after a configurable penalty; its
+//!   trace position, trained predictor and counter row travel with it
+//!   (see [`Core::extract_thread`] / [`Core::install_thread`]).
+
+use crate::config::SimConfig;
+use crate::progress::DeadlockReport;
+use crate::simulator::{mem_counters_from, Core, FfActivitySig, MigratedThread};
+use crate::simulator::{RunOutcome, ABORT_POLL_ITERS};
+use serde::{Deserialize, Serialize};
+use smt_mem::Hierarchy;
+use smt_stats::SimCounters;
+use smt_workload::{InstGenerator, ProgramTrace};
+
+/// How software threads are placed onto cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocPolicy {
+    /// Each thread lands on a core drawn from a seeded xorshift stream —
+    /// the unlucky-placement baseline every informed policy must beat.
+    Random,
+    /// Thread `i` lands on core `i mod N`: balanced thread *counts*,
+    /// oblivious to what the threads do.
+    RoundRobin,
+    /// Epoch-boundary migration balancing recent *issue-slot yield* (ILP):
+    /// a thread moves from the busiest core to the laziest when the
+    /// imbalance exceeds the hysteresis band.
+    IlpBalanced,
+    /// Epoch-boundary migration balancing memory-level parallelism
+    /// pressure (`mlp_sum` per `mem_busy_cycles`): spreads the
+    /// memory-bound threads so they do not serialise on one core's MSHRs.
+    MlpBalanced,
+    /// Epoch-boundary migration keyed on observed shared-resource
+    /// contention (write-buffer stalls, MSHR-full defers, fetch MSHR
+    /// stalls): the most-contending thread leaves the most-contended core.
+    ContentionAware,
+}
+
+impl AllocPolicy {
+    /// All members of the family, in presentation order.
+    pub const ALL: [AllocPolicy; 5] = [
+        AllocPolicy::Random,
+        AllocPolicy::RoundRobin,
+        AllocPolicy::IlpBalanced,
+        AllocPolicy::MlpBalanced,
+        AllocPolicy::ContentionAware,
+    ];
+
+    /// Short label used in reports and spec names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocPolicy::Random => "RANDOM",
+            AllocPolicy::RoundRobin => "RR",
+            AllocPolicy::IlpBalanced => "ILP_BAL",
+            AllocPolicy::MlpBalanced => "MLP_BAL",
+            AllocPolicy::ContentionAware => "CONTENTION",
+        }
+    }
+
+    /// Does the policy migrate threads at epoch boundaries?
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            AllocPolicy::IlpBalanced | AllocPolicy::MlpBalanced | AllocPolicy::ContentionAware
+        )
+    }
+}
+
+/// Thread-to-core allocation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocConfig {
+    /// The placement/migration policy.
+    pub policy: AllocPolicy,
+    /// Cycles between migration decisions (dynamic policies only).
+    #[serde(default = "default_epoch_cycles")]
+    pub epoch_cycles: u64,
+    /// Seed for the `Random` placement's xorshift stream.
+    #[serde(default = "default_alloc_seed")]
+    pub seed: u64,
+    /// Cycles a migrated thread's fetch stays blocked on the new core —
+    /// the drain/refill cost model of a migration.
+    #[serde(default = "default_migration_penalty")]
+    pub migration_penalty: u64,
+}
+
+fn default_epoch_cycles() -> u64 {
+    10_000
+}
+fn default_alloc_seed() -> u64 {
+    0x5EED_A110C
+}
+fn default_migration_penalty() -> u64 {
+    30
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        AllocConfig {
+            policy: AllocPolicy::RoundRobin,
+            epoch_cycles: default_epoch_cycles(),
+            seed: default_alloc_seed(),
+            migration_penalty: default_migration_penalty(),
+        }
+    }
+}
+
+/// Per-thread sample of the metric an allocation policy balances on,
+/// taken at the last epoch boundary so the next decision works on deltas
+/// (recent behaviour, not lifetime averages).
+#[derive(Clone, Copy, Default)]
+struct MetricBase {
+    primary: u64,
+    secondary: u64,
+}
+
+/// N cores against one shared hierarchy, with M ≥ N software threads
+/// placed by an [`AllocPolicy`]. See the module docs for the invariants.
+pub struct Machine {
+    cores: Vec<Core>,
+    hier: Hierarchy,
+    alloc: AllocConfig,
+    /// Global thread id → (core, slot) of its current home.
+    placement: Vec<(usize, usize)>,
+    /// Per core: slot → resident global thread id (None = sealed
+    /// placeholder, recyclable by migration).
+    slot_gid: Vec<Vec<Option<usize>>>,
+    /// Machine clock — mirrors every core's clock, which advance in
+    /// lockstep.
+    now: u64,
+    /// Cycle of the next migration decision (dynamic policies, N > 1).
+    next_epoch: u64,
+    /// Per-gid metric sample at the last epoch boundary.
+    epoch_base: Vec<MetricBase>,
+    /// Completed migrations (lifetime).
+    migrations: u64,
+    /// Cached: does any migration machinery run at all?
+    migratory: bool,
+    /// Cached from the config (all cores share these).
+    fast_forward: bool,
+    nonblocking_mem: bool,
+}
+
+impl Machine {
+    /// Build an `n_cores`-core machine running one instruction stream per
+    /// software thread, placed by `alloc`. With `n_cores == 1` the machine
+    /// is exactly the single-core [`crate::Simulator`]: all threads on the
+    /// one core, no spare contexts, no migration. With more cores, every
+    /// core is built with M thread slots (so any placement — including the
+    /// worst random one and any migration schedule — fits) and the slots
+    /// not filled by the initial placement are sealed placeholders;
+    /// `cfg.phys_int`/`cfg.phys_fp` must therefore cover M contexts per
+    /// core, which `SimConfig::validate` enforces per core.
+    pub fn new(
+        cfg: SimConfig,
+        n_cores: usize,
+        alloc: AllocConfig,
+        streams: Vec<Box<dyn InstGenerator>>,
+    ) -> Self {
+        assert!(n_cores >= 1, "a machine needs at least one core");
+        let m = streams.len();
+        let hier = Hierarchy::new_multi(cfg.hierarchy, n_cores);
+        let fast_forward = cfg.fast_forward;
+        let nonblocking_mem = matches!(cfg.hierarchy.model, smt_mem::MemModel::NonBlocking(_));
+        let migratory = n_cores > 1 && alloc.policy.is_dynamic();
+
+        // Initial placement.
+        let assignment: Vec<usize> = if n_cores == 1 {
+            vec![0; m]
+        } else {
+            match alloc.policy {
+                AllocPolicy::Random => {
+                    let mut rng = alloc.seed | 1;
+                    (0..m)
+                        .map(|_| {
+                            // xorshift64
+                            rng ^= rng << 13;
+                            rng ^= rng >> 7;
+                            rng ^= rng << 17;
+                            (rng % n_cores as u64) as usize
+                        })
+                        .collect()
+                }
+                // Every other policy starts from the balanced round-robin
+                // placement; the dynamic ones earn their keep by migrating
+                // away from it.
+                _ => (0..m).map(|g| g % n_cores).collect(),
+            }
+        };
+
+        // Distribute the streams. With one core the streams pass through
+        // untouched (degenerate case == Simulator, bit for bit); otherwise
+        // each core gets M slots: its residents first, then sealed
+        // placeholders that give migration somewhere to land.
+        let mut placement = vec![(0usize, 0usize); m];
+        let mut slot_gid: Vec<Vec<Option<usize>>> = vec![Vec::new(); n_cores];
+        let mut per_core: Vec<Vec<Box<dyn InstGenerator>>> =
+            (0..n_cores).map(|_| Vec::new()).collect();
+        for (gid, stream) in streams.into_iter().enumerate() {
+            let c = assignment[gid];
+            placement[gid] = (c, per_core[c].len());
+            slot_gid[c].push(Some(gid));
+            per_core[c].push(stream);
+        }
+        let mut cores: Vec<Core> = Vec::with_capacity(n_cores);
+        for (c, mut core_streams) in per_core.into_iter().enumerate() {
+            let first_placeholder = core_streams.len();
+            if n_cores > 1 {
+                while core_streams.len() < m {
+                    core_streams.push(Box::new(ProgramTrace::once(Vec::new())));
+                    slot_gid[c].push(None);
+                }
+            }
+            let mut core = Core::new(cfg.clone(), core_streams, c);
+            for slot in first_placeholder..m.max(first_placeholder) {
+                if n_cores > 1 {
+                    core.seal_slot(slot);
+                }
+            }
+            cores.push(core);
+        }
+
+        Machine {
+            cores,
+            hier,
+            next_epoch: alloc.epoch_cycles,
+            alloc,
+            placement,
+            slot_gid,
+            now: 0,
+            epoch_base: vec![MetricBase::default(); m],
+            migrations: 0,
+            migratory,
+            fast_forward,
+            nonblocking_mem,
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of software threads.
+    pub fn num_threads(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Where each software thread currently runs: gid → (core, slot).
+    pub fn placement(&self) -> &[(usize, usize)] {
+        &self.placement
+    }
+
+    /// Completed migrations (lifetime total).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Event-driven-loop effectiveness: `(jumps, skipped_cycles)`. Jumps
+    /// apply to every core simultaneously, so any core's lifetime totals
+    /// are the machine's.
+    pub fn ff_stats(&self) -> (u64, u64) {
+        self.cores[0].ff_stats()
+    }
+
+    /// One core's accumulated counters (per-core view; slot-indexed).
+    pub fn core_counters(&self, core: usize) -> &SimCounters {
+        self.cores[core].counters()
+    }
+
+    /// Machine-level rollup: per-thread rows indexed by *global* thread
+    /// id, whole-machine sums for the shared-nothing counters, and the
+    /// memory block synced from the shared hierarchy's aggregate (per-core
+    /// views would double-count the shared structures). For N=1 this is
+    /// bit-for-bit the single-core simulator's counter block.
+    pub fn counters(&self) -> SimCounters {
+        let mut agg = SimCounters::new(self.placement.len());
+        for (c, core) in self.cores.iter().enumerate() {
+            agg.absorb_core(core.counters(), &self.slot_gid[c]);
+        }
+        if self.nonblocking_mem {
+            agg.mem = mem_counters_from(&self.hier.mem_stats());
+        }
+        agg
+    }
+
+    /// Reset measurement state on every core and the shared hierarchy
+    /// (once), keeping microarchitectural state warm — the multi-core
+    /// analogue of [`crate::Simulator::reset_measurement`].
+    pub fn reset_measurement(&mut self) {
+        for core in &mut self.cores {
+            core.reset_measurement_local();
+        }
+        self.hier.reset_stats();
+        for base in self.epoch_base.iter_mut() {
+            *base = MetricBase::default();
+        }
+    }
+
+    /// Advance the machine by exactly one cycle: every core's prologue,
+    /// one shared memory step, then every core's stage sweep.
+    pub fn cycle(&mut self) {
+        for core in &mut self.cores {
+            core.begin_cycle();
+        }
+        self.now += 1;
+        self.step_memory_shared();
+        for core in &mut self.cores {
+            core.finish_cycle(&mut self.hier);
+        }
+    }
+
+    /// The shared half of the memory step: advance fills, drain the write
+    /// buffer (routing each drained store's cache traffic to the owning
+    /// core), or account one idle cycle when nothing can move. Mirrors
+    /// `Core::step_memory` exactly in the N=1 case.
+    fn step_memory_shared(&mut self) {
+        if !self.nonblocking_mem {
+            return;
+        }
+        if self.hier.next_fill_at().is_none_or(|c| c > self.now)
+            && (self.hier.wb_len() == 0 || self.hier.wb_head_stuck())
+        {
+            self.hier.account_idle_cycles(1);
+            return;
+        }
+        for d in self.hier.step(self.now) {
+            self.cores[d.core].note_data_access(d.thread, d.level);
+        }
+    }
+
+    /// Total committed instructions across all cores in the current
+    /// measurement window.
+    pub fn committed_total(&self) -> u64 {
+        self.cores.iter().map(|c| c.committed_total()).sum()
+    }
+
+    /// Are all software threads drained?
+    pub fn all_drained(&self) -> bool {
+        self.cores.iter().all(|c| c.all_drained())
+    }
+
+    /// Committed instruction count of global thread `gid`.
+    pub fn thread_committed(&self, gid: usize) -> u64 {
+        let (c, s) = self.placement[gid];
+        self.cores[c].counters().threads[s].committed
+    }
+
+    /// Is global thread `gid` drained?
+    pub fn thread_drained(&self, gid: usize) -> bool {
+        let (c, s) = self.placement[gid];
+        self.cores[c].thread_drained(s)
+    }
+
+    /// Run until some thread reaches `commit_target` committed
+    /// instructions, every thread drains, or the machine wedges — the
+    /// multi-core mirror of [`crate::Simulator::run`].
+    pub fn run(&mut self, commit_target: u64) -> RunOutcome {
+        self.run_with_abort(commit_target, || false)
+    }
+
+    /// [`Machine::run`] with an external abort hook (see
+    /// [`crate::Simulator::run_with_abort`]).
+    pub fn run_with_abort(
+        &mut self,
+        commit_target: u64,
+        mut should_abort: impl FnMut() -> bool,
+    ) -> RunOutcome {
+        let mut last_total = self.committed_total();
+        let mut last_commit_cycle = self.now;
+        let mut iters: u64 = 0;
+        loop {
+            if (0..self.placement.len()).any(|g| self.thread_committed(g) >= commit_target) {
+                return RunOutcome::TargetReached;
+            }
+            if self.all_drained() {
+                return RunOutcome::AllFinished;
+            }
+            let total = self.committed_total();
+            if total != last_total {
+                last_total = total;
+                last_commit_cycle = self.now;
+            }
+            if let Some(report) = self.check_progress(last_commit_cycle) {
+                return RunOutcome::Wedged(report);
+            }
+            if iters & (ABORT_POLL_ITERS - 1) == 0 && should_abort() {
+                return RunOutcome::Aborted;
+            }
+            iters += 1;
+            self.cycle_with_fast_forward(last_commit_cycle);
+            self.maybe_rebalance();
+        }
+    }
+
+    /// Run until *every* live thread has committed at least
+    /// `commit_target` instructions (warm-up semantics across all cores).
+    pub fn run_until_all_committed(&mut self, commit_target: u64) -> RunOutcome {
+        self.run_until_all_committed_with_abort(commit_target, || false)
+    }
+
+    /// [`Machine::run_until_all_committed`] with an external abort hook.
+    pub fn run_until_all_committed_with_abort(
+        &mut self,
+        commit_target: u64,
+        mut should_abort: impl FnMut() -> bool,
+    ) -> RunOutcome {
+        let mut last_total = self.committed_total();
+        let mut last_commit_cycle = self.now;
+        let mut iters: u64 = 0;
+        loop {
+            let all_done = (0..self.placement.len())
+                .all(|g| self.thread_committed(g) >= commit_target || self.thread_drained(g));
+            if all_done {
+                return if self.all_drained() {
+                    RunOutcome::AllFinished
+                } else {
+                    RunOutcome::TargetReached
+                };
+            }
+            let total = self.committed_total();
+            if total != last_total {
+                last_total = total;
+                last_commit_cycle = self.now;
+            }
+            if let Some(report) = self.check_progress(last_commit_cycle) {
+                return RunOutcome::Wedged(report);
+            }
+            if iters & (ABORT_POLL_ITERS - 1) == 0 && should_abort() {
+                return RunOutcome::Aborted;
+            }
+            iters += 1;
+            self.cycle_with_fast_forward(last_commit_cycle);
+            self.maybe_rebalance();
+        }
+    }
+
+    /// Machine-wide wedge check, mirroring the single-core run loops.
+    fn check_progress(&self, last_commit_cycle: u64) -> Option<Box<DeadlockReport>> {
+        let cfg = self.cores[0].config();
+        let stuck = self.now - last_commit_cycle;
+        let k = cfg.progress_check_cycles;
+        if (k > 0 && stuck >= k) || (cfg.max_cycles > 0 && self.now >= cfg.max_cycles) {
+            Some(Box::new(self.diagnose(stuck)))
+        } else {
+            None
+        }
+    }
+
+    /// Snapshot why the machine is not committing. Thread diagnoses cover
+    /// every software thread (labelled `c{core}.t{slot}` in the summary);
+    /// the whole-machine queue block reports core 0's issue queue (the
+    /// report format has one) plus DAB/event totals across cores.
+    pub fn diagnose(&self, cycles_since_commit: u64) -> DeadlockReport {
+        let mut threads = Vec::with_capacity(self.placement.len());
+        for &(c, s) in &self.placement {
+            threads.push(self.cores[c].diagnose_thread(&self.hier, s));
+        }
+        let dab = self.cores.iter().flat_map(|c| c.dab_snapshot()).collect();
+        DeadlockReport {
+            cores: self.cores.len(),
+            cycle: self.now,
+            cycles_since_commit,
+            committed_total: self
+                .cores
+                .iter()
+                .flat_map(|c| c.counters().threads.iter())
+                .map(|t| t.committed)
+                .sum(),
+            iq: self.cores[0].iq_snapshot(),
+            dab,
+            dab_size: self.cores[0].dab_capacity(),
+            pending_events: self.cores.iter().map(|c| c.pending_events()).sum(),
+            mem: self.hier.is_nonblocking().then(|| self.hier.snapshot()),
+            threads,
+        }
+    }
+
+    /// Advance one cycle and, when every core proves the machine idle,
+    /// jump the clock by the *minimum* next-activity distance across
+    /// cores — the multi-core generalisation of the single-core
+    /// event-driven loop, and bit-for-bit identical to it at N=1.
+    fn cycle_with_fast_forward(&mut self, last_commit_cycle: u64) {
+        if !self.fast_forward || !self.cores.iter().all(|c| c.ff_idle_precheck(&self.hier)) {
+            self.cycle();
+            return;
+        }
+        let mut scratches: Vec<smt_stats::SimCounters> =
+            self.cores.iter_mut().map(|c| c.ff_take_scratch()).collect();
+        let sigs: Vec<FfActivitySig> =
+            self.cores.iter().map(|c| c.ff_activity_sig(&self.hier)).collect();
+        self.cycle();
+        let idle = self
+            .cores
+            .iter()
+            .zip(&sigs)
+            .all(|(c, sig)| &c.ff_activity_sig(&self.hier) == sig)
+            && self.cores.iter().all(|c| c.ff_idle_precheck(&self.hier))
+            // A drain transition must surface to the run loop at its true
+            // cycle, not after an overshoot.
+            && !self.all_drained();
+        if idle {
+            let mut k = self
+                .cores
+                .iter()
+                .map(|c| c.ff_skip_len(&self.hier, last_commit_cycle))
+                .min()
+                .unwrap_or(0);
+            if self.migratory {
+                // Jumps never cross an epoch boundary: migration decisions
+                // must happen at their exact cycles. (The single cycle above
+                // may have just landed on the boundary, in which case no
+                // jump is allowed at all — rebalance runs next.)
+                k = k.min((self.next_epoch.saturating_sub(self.now)).saturating_sub(1));
+            }
+            if k > 0 {
+                for (c, scratch) in self.cores.iter_mut().zip(&scratches) {
+                    c.ff_apply_jump(scratch, k);
+                }
+                self.now += k;
+                if self.nonblocking_mem {
+                    self.hier.account_idle_cycles(k);
+                    for c in &mut self.cores {
+                        c.sync_mem_counters(&self.hier);
+                    }
+                }
+            }
+        }
+        for (c, scratch) in self.cores.iter_mut().zip(scratches.drain(..)) {
+            c.ff_put_scratch(scratch);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-boundary migration.
+    // ------------------------------------------------------------------
+
+    /// The running total of the metric the configured policy balances on,
+    /// for global thread `gid` (monotone; epoch deltas are taken against
+    /// [`Machine::epoch_base`]).
+    fn metric_sample(&self, gid: usize) -> MetricBase {
+        let (c, s) = self.placement[gid];
+        let t = &self.cores[c].counters().threads[s];
+        match self.alloc.policy {
+            AllocPolicy::IlpBalanced => MetricBase { primary: t.issued, secondary: 0 },
+            AllocPolicy::MlpBalanced => {
+                MetricBase { primary: t.mlp_sum, secondary: t.mem_busy_cycles }
+            }
+            AllocPolicy::ContentionAware => MetricBase {
+                primary: t.wb_full_stall_cycles + t.mshr_full_defers + t.fetch_mshr_stall_cycles,
+                secondary: 0,
+            },
+            // Static policies never sample.
+            AllocPolicy::Random | AllocPolicy::RoundRobin => MetricBase::default(),
+        }
+    }
+
+    /// This epoch's load contribution of `gid`: the metric delta since the
+    /// last boundary (for `MlpBalanced`, the MLP ratio of the deltas in
+    /// fixed-point ×256). Pure integer math — identical on every host.
+    fn epoch_load(&self, gid: usize) -> u64 {
+        let cur = self.metric_sample(gid);
+        let base = self.epoch_base[gid];
+        let dp = cur.primary - base.primary;
+        match self.alloc.policy {
+            AllocPolicy::MlpBalanced => {
+                let ds = cur.secondary - base.secondary;
+                dp * 256 / ds.max(1)
+            }
+            _ => dp,
+        }
+    }
+
+    /// At an epoch boundary, move at most one thread from the
+    /// highest-load core to the lowest-load one — the thread whose load is
+    /// closest to half the imbalance, so the move shrinks it maximally —
+    /// subject to a hysteresis band (imbalance must exceed 1/8 of the max
+    /// load) that stops placement thrash. Deterministic by construction:
+    /// pure integer metrics, lowest-index tie-breaks.
+    fn maybe_rebalance(&mut self) {
+        if !self.migratory || self.now < self.next_epoch {
+            return;
+        }
+        while self.next_epoch <= self.now {
+            self.next_epoch += self.alloc.epoch_cycles.max(1);
+        }
+
+        let n = self.cores.len();
+        let mut core_load = vec![0u64; n];
+        let mut core_live = vec![0usize; n];
+        for gid in 0..self.placement.len() {
+            if self.thread_drained(gid) {
+                continue;
+            }
+            let (c, _) = self.placement[gid];
+            core_load[c] += self.epoch_load(gid);
+            core_live[c] += 1;
+        }
+        let donor = (0..n).max_by_key(|&c| (core_load[c], std::cmp::Reverse(c))).unwrap();
+        let recipient = (0..n).min_by_key(|&c| (core_load[c], c)).unwrap();
+
+        let imbalance = core_load[donor] - core_load[recipient];
+        let migrate = donor != recipient
+            && core_live[donor] >= 2
+            && imbalance > core_load[donor] / 8
+            && imbalance > 0;
+        if migrate {
+            if let Some(free_slot) =
+                self.slot_gid[recipient].iter().position(|owner| owner.is_none())
+            {
+                // The donor thread whose load is closest to half the
+                // imbalance (ties to the lower gid).
+                let target = imbalance / 2;
+                let mut best: Option<(u64, usize)> = None;
+                for gid in 0..self.placement.len() {
+                    if self.placement[gid].0 != donor || self.thread_drained(gid) {
+                        continue;
+                    }
+                    let load = self.epoch_load(gid);
+                    let dist = load.abs_diff(target);
+                    if best.map(|(d, _)| dist < d).unwrap_or(true) {
+                        best = Some((dist, gid));
+                    }
+                }
+                if let Some((_, gid)) = best {
+                    self.migrate_thread(gid, recipient, free_slot);
+                }
+            }
+        }
+
+        // Restart every thread's epoch window so next epoch's deltas
+        // reflect post-decision behaviour.
+        for gid in 0..self.placement.len() {
+            self.epoch_base[gid] = self.metric_sample(gid);
+        }
+    }
+
+    /// Move global thread `gid` to `(recipient, slot)` (drain-and-restart;
+    /// see [`Core::extract_thread`]).
+    fn migrate_thread(&mut self, gid: usize, recipient: usize, slot: usize) {
+        let (donor, donor_slot) = self.placement[gid];
+        let migrated: MigratedThread = self.cores[donor].extract_thread(donor_slot);
+        self.cores[recipient].install_thread(slot, migrated, self.alloc.migration_penalty);
+        self.slot_gid[donor][donor_slot] = None;
+        self.slot_gid[recipient][slot] = Some(gid);
+        self.placement[gid] = (recipient, slot);
+        self.migrations += 1;
+    }
+}

@@ -116,7 +116,10 @@ pub struct LsqHeadView {
 /// Per-thread progress diagnosis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadDiagnosis {
-    /// Hardware thread context index.
+    /// Core the thread context lives on (0 for the single-core simulator).
+    #[serde(default)]
+    pub core: usize,
+    /// Hardware thread context index (within its core).
     pub thread: usize,
     /// Instructions committed in the current measurement window.
     pub committed: u64,
@@ -184,6 +187,11 @@ pub struct DabSnapshot {
 /// committing: the whole-machine queues plus a per-thread diagnosis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeadlockReport {
+    /// Number of cores in the machine the report describes (1 for the
+    /// single-core simulator). When > 1, thread lines are rendered as
+    /// `c{core}.t{thread}` so a multi-core wedge names the core too.
+    #[serde(default = "one")]
+    pub cores: usize,
     /// Cycle the report was taken.
     pub cycle: u64,
     /// Cycles since the last commit by any thread.
@@ -204,6 +212,10 @@ pub struct DeadlockReport {
     /// buffer), when the hierarchy runs the non-blocking model.
     #[serde(default)]
     pub mem: Option<MemSnapshot>,
+}
+
+fn one() -> usize {
+    1
 }
 
 impl DeadlockReport {
@@ -260,11 +272,16 @@ impl DeadlockReport {
                     format!("{}@{} {:?} srcs=[{}]", h.op, h.trace_idx, h.state, srcs.join(", "))
                 })
                 .unwrap_or_else(|| "-".into());
+            let label = if self.cores > 1 {
+                format!("c{}.t{}", t.core, t.thread)
+            } else {
+                format!("t{}", t.thread)
+            };
             let _ = writeln!(
                 s,
-                "t{}: blocked_on={:?} rob={}/{} buf={} fe={} lsq={} ndi_blocked={} \
+                "{}: blocked_on={:?} rob={}/{} buf={} fe={} lsq={} ndi_blocked={} \
                  rename_blocked={:?} head={}",
-                t.thread,
+                label,
                 t.blocked_on,
                 t.rob_len,
                 t.rob_cap,
@@ -292,6 +309,7 @@ mod tests {
 
     fn report() -> DeadlockReport {
         DeadlockReport {
+            cores: 1,
             cycle: 1000,
             cycles_since_commit: 400,
             committed_total: 17,
@@ -307,6 +325,7 @@ mod tests {
             pending_events: 1,
             threads: vec![
                 ThreadDiagnosis {
+                    core: 0,
                     thread: 0,
                     committed: 12,
                     blocked_on: StallReason::WaitingMemory,
@@ -337,6 +356,7 @@ mod tests {
                     rename_blocked: None,
                 },
                 ThreadDiagnosis {
+                    core: 1,
                     thread: 1,
                     committed: 5,
                     blocked_on: StallReason::IqFull,
@@ -380,6 +400,16 @@ mod tests {
         assert!(s.contains("Load@12 Issued"));
         assert!(s.contains("rename_blocked=Some(RobFull)"));
         assert!(s.contains("mem: mshrs l1i 0/0 l1d 4/4 l2 2/8"));
+    }
+
+    #[test]
+    fn multi_core_summary_names_the_wedged_core() {
+        let mut r = report();
+        r.cores = 2;
+        let s = r.summary();
+        assert!(s.contains("c0.t0: blocked_on=WaitingMemory"));
+        assert!(s.contains("c1.t1: blocked_on=IqFull"));
+        assert!(!s.contains("\nt0:"), "flat thread labels must not appear when cores > 1");
     }
 
     #[test]

@@ -70,6 +70,14 @@ impl Rob {
         Rob { entries: std::collections::VecDeque::with_capacity(capacity), base: 0, capacity }
     }
 
+    /// Point an **empty** ROB at a new restart index — used when a migrated
+    /// thread is installed into a recycled slot whose previous occupant
+    /// ended at a different trace position.
+    pub fn reset_to(&mut self, base: u64) {
+        assert!(self.entries.is_empty(), "reset_to requires an empty ROB");
+        self.base = base;
+    }
+
     /// Entries currently occupied.
     pub fn len(&self) -> usize {
         self.entries.len()

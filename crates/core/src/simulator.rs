@@ -29,8 +29,8 @@ use crate::tracer::Tracer;
 use smt_isa::{MachineDesc, OpClass, TraceInst};
 use smt_mem::{AccessKind, Hierarchy, HitLevel, MemModel, Waiter};
 use smt_predictor::{Btb, GShare};
-use smt_stats::SimCounters;
-use smt_workload::{InstGenerator, TraceSource};
+use smt_stats::{SimCounters, ThreadCounters};
+use smt_workload::{InstGenerator, ProgramTrace, TraceSource};
 use std::collections::VecDeque;
 
 /// How often (in run-loop iterations) the run loops poll their external
@@ -96,7 +96,7 @@ struct DabEntry {
 /// delta during an idle stretch and are replayed arithmetically
 /// ([`SimCounters::replicate_idle_deltas`]).
 #[derive(PartialEq, Eq)]
-struct FfActivitySig {
+pub(crate) struct FfActivitySig {
     committed: u64,
     fetched: u64,
     dispatched: u64,
@@ -183,6 +183,25 @@ impl ThreadCtx {
     }
 }
 
+/// The portable state of a software thread in transit between cores
+/// (drain-and-restart migration, see [`Core::extract_thread`]): the trace
+/// position, the trained branch predictor, the wrong-path synthesis state,
+/// and the thread's statistics row. Everything else — in-flight
+/// instructions, rename mappings, cache residency — is rebuilt on the
+/// destination core, which is exactly the cost migration policies trade
+/// against better placement.
+pub(crate) struct MigratedThread {
+    trace: TraceSource,
+    gshare: GShare,
+    /// Trace index of the oldest uncommitted instruction at extraction —
+    /// the ROB restart point and fetch cursor on the destination core.
+    restart_at: u64,
+    wp_rng: u64,
+    recent_addrs: [u64; 4],
+    recent_addrs_at: usize,
+    counters: ThreadCounters,
+}
+
 /// Reusable per-cycle scratch buffers for the pipeline stages. Everything
 /// here is logically dead between cycles; parking the buffers on the
 /// simulator keeps the hot loop allocation-free. A stage `std::mem::take`s
@@ -213,8 +232,15 @@ struct CycleScratch {
     picks: Vec<usize>,
 }
 
-/// The SMT processor simulator.
-pub struct Simulator {
+/// One SMT core: the complete pipeline (fetch … commit) plus every private
+/// structure (IQ, ROB/LSQ, rename tables, physical registers, predictors,
+/// function units, fault injector) — everything except the memory
+/// hierarchy, which is owned by the wrapper ([`Simulator`] for one core,
+/// [`crate::Machine`] for several sharing an L2/bus) and passed into each
+/// method that touches memory. `core_id` routes the core's cache traffic
+/// to its private L1 slice of a multi-requestor [`Hierarchy`].
+pub struct Core {
+    core_id: usize,
     cfg: SimConfig,
     threads: Vec<ThreadCtx>,
     regs: PhysRegFile,
@@ -226,7 +252,6 @@ pub struct Simulator {
     dab_precedence: bool,
     fu: FuPools,
     events: EventQueue,
-    hier: Hierarchy,
     btb: Btb,
     now: u64,
     age_counter: u64,
@@ -290,10 +315,11 @@ pub struct Simulator {
     plan_bloom: Vec<u64>,
 }
 
-impl Simulator {
-    /// Build a simulator for `cfg` running one instruction stream per
-    /// thread context.
-    pub fn new(cfg: SimConfig, streams: Vec<Box<dyn InstGenerator>>) -> Self {
+impl Core {
+    /// Build one core for `cfg` running one instruction stream per thread
+    /// context. The caller owns the [`Hierarchy`] and passes `core_id` so
+    /// the core's traffic lands on its private L1 slice.
+    pub fn new(cfg: SimConfig, streams: Vec<Box<dyn InstGenerator>>, core_id: usize) -> Self {
         let n = streams.len();
         cfg.validate(n).expect("invalid configuration");
         // The stage loops track per-thread one-shot flags in u64 bitmasks.
@@ -359,14 +385,14 @@ impl Simulator {
                     .with_phys_int(cfg.phys_int),
             ),
         };
-        Simulator {
+        Core {
+            core_id,
             iq,
             dab: Vec::new(),
             dab_size,
             dab_precedence,
             fu: FuPools::new(&cfg.machine),
             events: EventQueue::new(),
-            hier: Hierarchy::new(cfg.hierarchy),
             btb: Btb::new(cfg.btb),
             now: 0,
             age_counter: 0,
@@ -380,7 +406,7 @@ impl Simulator {
             tracer: None,
             faults: FaultInjector::new(cfg.faults),
             nonblocking_mem: matches!(cfg.hierarchy.model, MemModel::NonBlocking(_)),
-            fast_forward: cfg.effective_fast_forward(),
+            fast_forward: cfg.fast_forward,
             ff_jumps: 0,
             ff_skipped_cycles: 0,
             committed_total: 0,
@@ -456,11 +482,18 @@ impl Simulator {
     /// after a warm-up phase so cold-start effects do not pollute the
     /// measured region — the moral equivalent of the paper's SimPoint
     /// fast-forwarding.
-    pub fn reset_measurement(&mut self) {
+    pub fn reset_measurement(&mut self, hier: &mut Hierarchy) {
+        self.reset_measurement_local();
+        hier.reset_stats();
+    }
+
+    /// The core-private half of [`Core::reset_measurement`]: reset the
+    /// counters and predictor statistics but leave the (possibly shared)
+    /// hierarchy alone — a multi-core wrapper resets that exactly once.
+    pub(crate) fn reset_measurement_local(&mut self) {
         self.counters = SimCounters::new(self.threads.len());
         self.committed_total = 0;
         self.measure_start = self.now;
-        self.hier.reset_stats();
         for t in &mut self.threads {
             t.gshare.reset_stats();
         }
@@ -579,8 +612,8 @@ impl Simulator {
     /// Run until any thread commits `commit_target` instructions (the
     /// paper's stop rule), every thread drains, or the configured cycle
     /// limit is reached.
-    pub fn run(&mut self, commit_target: u64) -> RunOutcome {
-        self.run_with_abort(commit_target, || false)
+    pub fn run(&mut self, hier: &mut Hierarchy, commit_target: u64) -> RunOutcome {
+        self.run_with_abort(hier, commit_target, || false)
     }
 
     /// [`Simulator::run`] with an external abort hook: `should_abort` is
@@ -590,6 +623,7 @@ impl Simulator {
     /// wall-clock budgets.
     pub fn run_with_abort(
         &mut self,
+        hier: &mut Hierarchy,
         commit_target: u64,
         mut should_abort: impl FnMut() -> bool,
     ) -> RunOutcome {
@@ -612,14 +646,14 @@ impl Simulator {
                 last_total = self.committed_total;
                 last_commit_cycle = self.now;
             }
-            if let Some(report) = self.check_progress(last_commit_cycle) {
+            if let Some(report) = self.check_progress(hier, last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
             if iters & (ABORT_POLL_ITERS - 1) == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
             iters += 1;
-            self.cycle_with_fast_forward(last_commit_cycle);
+            self.cycle_with_fast_forward(hier, last_commit_cycle);
         }
     }
 
@@ -628,14 +662,19 @@ impl Simulator {
     /// must reach steady state, including threads that run far slower than
     /// their co-runners (the stand-in for per-benchmark SimPoint
     /// fast-forwarding).
-    pub fn run_until_all_committed(&mut self, commit_target: u64) -> RunOutcome {
-        self.run_until_all_committed_with_abort(commit_target, || false)
+    pub fn run_until_all_committed(
+        &mut self,
+        hier: &mut Hierarchy,
+        commit_target: u64,
+    ) -> RunOutcome {
+        self.run_until_all_committed_with_abort(hier, commit_target, || false)
     }
 
     /// [`Simulator::run_until_all_committed`] with an external abort hook
     /// (see [`Simulator::run_with_abort`]).
     pub fn run_until_all_committed_with_abort(
         &mut self,
+        hier: &mut Hierarchy,
         commit_target: u64,
         mut should_abort: impl FnMut() -> bool,
     ) -> RunOutcome {
@@ -661,44 +700,63 @@ impl Simulator {
                 last_total = self.committed_total;
                 last_commit_cycle = self.now;
             }
-            if let Some(report) = self.check_progress(last_commit_cycle) {
+            if let Some(report) = self.check_progress(hier, last_commit_cycle) {
                 return RunOutcome::Wedged(report);
             }
             if iters & (ABORT_POLL_ITERS - 1) == 0 && should_abort() {
                 return RunOutcome::Aborted;
             }
             iters += 1;
-            self.cycle_with_fast_forward(last_commit_cycle);
+            self.cycle_with_fast_forward(hier, last_commit_cycle);
         }
     }
 
     /// Shared wedge check of the run loops: trip on the forward-progress
     /// watchdog (no commit for `progress_check_cycles` cycles) or the
     /// safety cycle limit, and diagnose the machine state.
-    fn check_progress(&self, last_commit_cycle: u64) -> Option<Box<DeadlockReport>> {
+    fn check_progress(
+        &self,
+        hier: &Hierarchy,
+        last_commit_cycle: u64,
+    ) -> Option<Box<DeadlockReport>> {
         let stuck = self.now - last_commit_cycle;
         let k = self.cfg.progress_check_cycles;
         if (k > 0 && stuck >= k) || (self.cfg.max_cycles > 0 && self.now >= self.cfg.max_cycles) {
-            Some(Box::new(self.diagnose(stuck)))
+            Some(Box::new(self.diagnose(hier, stuck)))
         } else {
             None
         }
     }
 
-    /// Advance the machine by one cycle.
-    pub fn cycle(&mut self) {
+    /// Advance the core by one cycle against its hierarchy. Multi-core
+    /// wrappers split the same sequence into [`Core::begin_cycle`], one
+    /// shared memory step, and [`Core::finish_cycle`] so the shared
+    /// hierarchy advances exactly once per machine cycle.
+    pub fn cycle(&mut self, hier: &mut Hierarchy) {
+        self.begin_cycle();
+        self.step_memory(hier);
+        self.finish_cycle(hier);
+    }
+
+    /// Cycle prologue: advance the clock and deliver slow-bus broadcasts
+    /// staged last cycle (Half-Price mode) before this cycle's wakeups and
+    /// select.
+    pub(crate) fn begin_cycle(&mut self) {
         self.now += 1;
-        // Deliver slow-bus broadcasts staged last cycle (Half-Price mode)
-        // before this cycle's wakeups and select.
         self.iq.tick();
-        self.step_memory();
+    }
+
+    /// Everything after the memory step: events, the reverse-order stage
+    /// sweep, per-cycle statistics, the watchdog, and the round-robin
+    /// rotation.
+    pub(crate) fn finish_cycle(&mut self, hier: &mut Hierarchy) {
         self.process_events();
-        self.commit_stage();
-        self.issue_stage();
+        self.commit_stage(hier);
+        self.issue_stage(hier);
         self.apply_pending_flushes();
         let dispatched = self.dispatch_stage();
         self.rename_stage();
-        self.fetch_stage();
+        self.fetch_stage(hier);
         self.counters.cycles = self.now - self.measure_start;
         self.counters.iq_occupancy_sum += self.iq.occupancy() as u64;
         for t in 0..self.threads.len() {
@@ -712,9 +770,11 @@ impl Simulator {
                 tc.mlp_sum += om as u64;
             }
         }
-        self.sync_mem_counters();
+        self.sync_mem_counters(hier);
         self.watchdog_tick(dispatched);
-        self.rr = (self.rr + 1) % self.threads.len();
+        if !self.threads.is_empty() {
+            self.rr = (self.rr + 1) % self.threads.len();
+        }
     }
 
     /// Advance one cycle and, when that cycle proves the machine idle,
@@ -730,45 +790,73 @@ impl Simulator {
     /// to one cycle before the nearest wake source, however far that is.
     /// Counters stay bit-for-bit identical to the unskipped run
     /// (`tests/fast_forward_differential.rs` pins this).
-    fn cycle_with_fast_forward(&mut self, last_commit_cycle: u64) {
-        if !self.fast_forward || !self.ff_idle_precheck() {
-            self.cycle();
+    fn cycle_with_fast_forward(&mut self, hier: &mut Hierarchy, last_commit_cycle: u64) {
+        if !self.fast_forward || !self.ff_idle_precheck(hier) {
+            self.cycle(hier);
             return;
         }
         let mut scratch =
             self.ff_scratch.take().unwrap_or_else(|| SimCounters::new(self.threads.len()));
         scratch.clone_from(&self.counters);
-        let sig = self.ff_activity_sig();
-        self.cycle();
-        let sig_match = self.ff_activity_sig() == sig;
+        let sig = self.ff_activity_sig(hier);
+        self.cycle(hier);
+        let sig_match = self.ff_activity_sig(hier) == sig;
         if sig_match
-            && self.ff_idle_precheck()
+            && self.ff_idle_precheck(hier)
             // A drain transition must surface to the run loop at its true
             // cycle, not after an overshoot.
-            && !self.threads.iter().all(|t| t.drained())
+            && !self.all_drained()
         {
-            let k = self.ff_skip_len(last_commit_cycle);
+            let k = self.ff_skip_len(hier, last_commit_cycle);
             if k > 0 {
-                self.counters.replicate_idle_deltas(&scratch, k);
-                self.now += k;
-                self.ff_jumps += 1;
-                self.ff_skipped_cycles += k;
-                let n = self.threads.len();
-                // Round-robin fetch (and the commit/dispatch/rename
-                // rotation) replayed analytically: k idle cycles rotate
-                // the priority k times.
-                self.rr = (self.rr + (k as usize % n)) % n;
-                if matches!(self.cfg.deadlock, DeadlockMode::Watchdog { .. }) {
-                    // ff_skip_len stopped short of the next flush, so the
-                    // countdown cannot underflow.
-                    self.watchdog_remaining -= k;
-                }
+                self.ff_apply_jump(&scratch, k);
                 if self.nonblocking_mem {
-                    self.hier.account_idle_cycles(k);
-                    self.sync_mem_counters();
+                    hier.account_idle_cycles(k);
+                    self.sync_mem_counters(hier);
                 }
             }
         }
+        self.ff_scratch = Some(scratch);
+    }
+
+    /// Apply a proven-idle jump of `k` cycles to the core-private state:
+    /// replay the representative cycle's counter deltas arithmetically,
+    /// advance the clock, rotate the round-robin priority (k idle cycles
+    /// rotate it k times), and run down the watchdog. The hierarchy's share
+    /// of the jump (`account_idle_cycles`) is the caller's, so a multi-core
+    /// wrapper accounts the shared structures exactly once.
+    pub(crate) fn ff_apply_jump(&mut self, scratch: &SimCounters, k: u64) {
+        self.counters.replicate_idle_deltas(scratch, k);
+        self.now += k;
+        self.ff_jumps += 1;
+        self.ff_skipped_cycles += k;
+        let n = self.threads.len();
+        if n > 0 {
+            self.rr = (self.rr + (k as usize % n)) % n;
+        }
+        if matches!(self.cfg.deadlock, DeadlockMode::Watchdog { .. }) {
+            // ff_skip_len stopped short of the next flush, so the
+            // countdown cannot underflow.
+            self.watchdog_remaining -= k;
+        }
+    }
+
+    /// Is every thread context drained (trace done, pipeline empty)?
+    pub(crate) fn all_drained(&self) -> bool {
+        self.threads.iter().all(|t| t.drained())
+    }
+
+    /// Reusable counter snapshot for a wrapper-driven fast-forward: clone
+    /// the live counters into the retained scratch buffer and lend it out.
+    /// Return it via [`Core::ff_put_scratch`] after the jump decision.
+    pub(crate) fn ff_take_scratch(&mut self) -> SimCounters {
+        let mut scratch =
+            self.ff_scratch.take().unwrap_or_else(|| SimCounters::new(self.threads.len()));
+        scratch.clone_from(&self.counters);
+        scratch
+    }
+
+    pub(crate) fn ff_put_scratch(&mut self, scratch: SimCounters) {
         self.ff_scratch = Some(scratch);
     }
 
@@ -782,15 +870,15 @@ impl Simulator {
     /// rename would fail the activity signature anyway, so vetoing here
     /// just skips the cost of finding that out (a counter snapshot plus a
     /// wasted signature pair per active cycle).
-    fn ff_idle_precheck(&self) -> bool {
+    pub(crate) fn ff_idle_precheck(&self, hier: &Hierarchy) -> bool {
         self.dab.is_empty()
             && self.pending_flushes.is_empty()
             && !self.iq.has_ready()
             && !self.iq.has_staged()
             && self.events.next_due_cycle().is_none_or(|c| c > self.now + 1)
             && (!self.nonblocking_mem
-                || self.hier.next_event_at(self.now).is_none_or(|c| c > self.now + 1))
-            && !self.ff_commit_imminent()
+                || hier.next_event_at(self.now).is_none_or(|c| c > self.now + 1))
+            && !self.ff_commit_imminent(hier)
             && self.ff_fetch_quiescent()
             && !self.ff_rename_imminent()
     }
@@ -801,8 +889,8 @@ impl Simulator {
     /// parked (completed store, full buffer, stuck head) retires nothing
     /// for as long as the buffer stays stuck, which the hierarchy's
     /// calendar entry bounds.
-    fn ff_commit_imminent(&self) -> bool {
-        let wb_blocked = self.nonblocking_mem && !self.hier.wb_can_push();
+    fn ff_commit_imminent(&self, hier: &Hierarchy) -> bool {
+        let wb_blocked = self.nonblocking_mem && !hier.wb_can_push();
         self.threads.iter().any(|ctx| {
             ctx.rob.front().is_some_and(|e| {
                 e.state == InstState::Completed
@@ -854,7 +942,7 @@ impl Simulator {
         })
     }
 
-    fn ff_activity_sig(&self) -> FfActivitySig {
+    pub(crate) fn ff_activity_sig(&self, hier: &Hierarchy) -> FfActivitySig {
         let mut fetched = 0u64;
         let mut dispatched = 0u64;
         let mut issued = 0u64;
@@ -892,8 +980,8 @@ impl Simulator {
             dab: self.dab.len(),
             events_len: self.events.len(),
             events_pops: self.events.pops(),
-            mshr_in_flight: if self.nonblocking_mem { self.hier.mshr_in_flight_total() } else { 0 },
-            wb_len: if self.nonblocking_mem { self.hier.wb_len() } else { 0 },
+            mshr_in_flight: if self.nonblocking_mem { hier.mshr_in_flight_total() } else { 0 },
+            wb_len: if self.nonblocking_mem { hier.wb_len() } else { 0 },
             watchdog_flushes: self.counters.watchdog_flushes,
             fetch_policy_flushes: self.counters.fetch_policy_flushes,
         }
@@ -910,7 +998,7 @@ impl Simulator {
     /// them on the same cycle it would have cycle-by-cycle. The jump is
     /// unbounded: one calendar hop covers an arbitrarily long idle
     /// stretch.
-    fn ff_skip_len(&self, last_commit_cycle: u64) -> u64 {
+    pub(crate) fn ff_skip_len(&self, hier: &Hierarchy, last_commit_cycle: u64) -> u64 {
         // A machine with work in flight but *no* calendar entry at all can
         // never change state again (nothing is scheduled and nothing can
         // become schedulable) — it is wedged, and with the progress check
@@ -923,7 +1011,7 @@ impl Simulator {
         // both wake sources are strictly in the future here.
         cal.stop_before_opt(self.events.next_due_cycle());
         if self.nonblocking_mem {
-            cal.stop_before_opt(self.hier.next_event_at(self.now));
+            cal.stop_before_opt(hier.next_event_at(self.now));
         }
         for ctx in &self.threads {
             if ctx.fetch_blocked_until > self.now {
@@ -958,7 +1046,7 @@ impl Simulator {
     /// fills, drain the store write buffer (attributing the cache traffic
     /// to the committing threads), and mirror the hierarchy's memory
     /// counters into the stats. No-op under the flat model.
-    fn step_memory(&mut self) {
+    fn step_memory(&mut self, hier: &mut Hierarchy) {
         if !self.nonblocking_mem {
             return;
         }
@@ -966,45 +1054,31 @@ impl Simulator {
         // could drain, so a full `step` would release nothing and drain
         // nothing — only the occupancy samples change, and those are exactly
         // what one accounted idle cycle adds.
-        if self.hier.next_fill_at().is_none_or(|c| c > self.now)
-            && (self.hier.wb_len() == 0 || self.hier.wb_head_stuck())
+        if hier.next_fill_at().is_none_or(|c| c > self.now)
+            && (hier.wb_len() == 0 || hier.wb_head_stuck())
         {
-            self.hier.account_idle_cycles(1);
+            hier.account_idle_cycles(1);
             return;
         }
-        for d in self.hier.step(self.now) {
+        for d in hier.step(self.now) {
             self.note_data_access(d.thread, d.level);
         }
     }
 
-    /// Mirror the hierarchy's cumulative memory counters into the stats.
+    /// Mirror the hierarchy's cumulative memory counters into the stats —
+    /// the core's own attribution slice plus the shared-structure samples.
     /// Runs in the cycle tail so same-cycle commit-stage traffic is
     /// captured even on the run's final cycle.
-    fn sync_mem_counters(&mut self) {
+    pub(crate) fn sync_mem_counters(&mut self, hier: &Hierarchy) {
         if !self.nonblocking_mem {
             return;
         }
-        let ms = self.hier.mem_stats();
-        let m = &mut self.counters.mem;
-        m.l1i_mshr_allocs = ms.l1i_mshr.allocs;
-        m.l1i_mshr_merges = ms.l1i_mshr.merges;
-        m.l1d_mshr_allocs = ms.l1d_mshr.allocs;
-        m.l1d_mshr_merges = ms.l1d_mshr.merges;
-        m.l2_mshr_allocs = ms.l2_mshr.allocs;
-        m.l2_mshr_merges = ms.l2_mshr.merges;
-        m.bus_transactions = ms.bus.transactions;
-        m.bus_queue_delay_sum = ms.bus.queue_delay_sum;
-        m.l1i_mshr_occupancy_sum = ms.l1i_mshr_occupancy_sum;
-        m.l1d_mshr_occupancy_sum = ms.l1d_mshr_occupancy_sum;
-        m.l2_mshr_occupancy_sum = ms.l2_mshr_occupancy_sum;
-        m.wb_enqueued = ms.wb_enqueued;
-        m.wb_drained = ms.wb_drained;
-        m.wb_occupancy_sum = ms.wb_occupancy_sum;
+        self.counters.mem = mem_counters_from(&hier.mem_stats_for(self.core_id));
     }
 
     /// Attribute one data-side (load or drained-store) cache access to a
     /// thread's hit/miss counters.
-    fn note_data_access(&mut self, t: usize, level: HitLevel) {
+    pub(crate) fn note_data_access(&mut self, t: usize, level: HitLevel) {
         let tc = &mut self.counters.threads[t];
         match level {
             HitLevel::L1 => tc.l1d_hits += 1,
@@ -1123,7 +1197,7 @@ impl Simulator {
     // Commit.
     // ------------------------------------------------------------------
 
-    fn commit_stage(&mut self) {
+    fn commit_stage(&mut self, hier: &mut Hierarchy) {
         let n = self.threads.len();
         let mut budget = self.cfg.width;
         let mut progress = true;
@@ -1145,7 +1219,7 @@ impl Simulator {
                 }
                 // A completed store cannot retire while the write buffer
                 // is full; the commit slot is lost to back-pressure.
-                if self.nonblocking_mem && !self.hier.wb_can_push() {
+                if self.nonblocking_mem && !hier.wb_can_push() {
                     let head_is_store = self.threads[t]
                         .rob
                         .front()
@@ -1159,14 +1233,14 @@ impl Simulator {
                         continue;
                     }
                 }
-                self.commit_one(t);
+                self.commit_one(hier, t);
                 budget -= 1;
                 progress = true;
             }
         }
     }
 
-    fn commit_one(&mut self, t: usize) {
+    fn commit_one(&mut self, hier: &mut Hierarchy, t: usize) {
         // The ROB base and fullness feed the dispatch plan (`is_rob_oldest`,
         // stall attribution), so a commit invalidates the cached plan.
         self.plan_valid &= !(1 << t);
@@ -1179,11 +1253,11 @@ impl Simulator {
                 // real: attribute it to the thread and, under the
                 // non-blocking model, route it through the write buffer.
                 if self.nonblocking_mem {
-                    if let Some(d) = self.hier.push_store(t, mem.addr, self.now) {
+                    if let Some(d) = hier.push_store_for(self.core_id, t, mem.addr, self.now) {
                         self.note_data_access(d.thread, d.level);
                     }
                 } else {
-                    let extra = self.hier.access(AccessKind::Store, mem.addr);
+                    let extra = hier.access_for(self.core_id, AccessKind::Store, mem.addr);
                     let level = HitLevel::from_flat_extra(extra, self.cfg.hierarchy.l2_hit_latency);
                     self.note_data_access(t, level);
                 }
@@ -1211,7 +1285,7 @@ impl Simulator {
     // Issue: DAB precedence, then oldest-first IQ select.
     // ------------------------------------------------------------------
 
-    fn issue_stage(&mut self) {
+    fn issue_stage(&mut self, hier: &mut Hierarchy) {
         // Nothing selectable: `has_ready() == false` means the ready heap is
         // empty, so the pop loop below could only return `None`.
         if self.dab.is_empty() && !self.iq.has_ready() {
@@ -1244,7 +1318,7 @@ impl Simulator {
                 // block them — but a full MSHR file still can.
                 if self.nonblocking_mem && op.is_load() {
                     let addr = mem.expect("load without mem").addr;
-                    if !self.hier.admissible(AccessKind::Load, addr) {
+                    if !hier.admissible_for(self.core_id, AccessKind::Load, addr) {
                         self.counters.threads[d.thread].mshr_full_defers += 1;
                         i += 1;
                         continue;
@@ -1253,7 +1327,7 @@ impl Simulator {
                 let desc = MachineDesc::fu_desc(op);
                 if self.fu.try_issue(desc.kind, self.now, desc.issue_interval) {
                     self.dab.remove(i);
-                    self.start_execution(d.thread, d.trace_idx);
+                    self.start_execution(hier, d.thread, d.trace_idx);
                     budget -= 1;
                 } else {
                     i += 1;
@@ -1293,7 +1367,7 @@ impl Simulator {
                     }
                     LoadCheck::AccessCache
                         if self.nonblocking_mem
-                            && !self.hier.admissible(AccessKind::Load, addr) =>
+                            && !hier.admissible_for(self.core_id, AccessKind::Load, addr) =>
                     {
                         self.counters.threads[entry.thread].mshr_full_defers += 1;
                         deferred.push(slot);
@@ -1308,7 +1382,7 @@ impl Simulator {
                 continue;
             }
             self.iq.remove(slot);
-            self.start_execution(entry.thread, entry.trace_idx);
+            self.start_execution(hier, entry.thread, entry.trace_idx);
             budget -= 1;
         }
         for &slot in &deferred {
@@ -1317,7 +1391,7 @@ impl Simulator {
         self.scratch.deferred = deferred;
     }
 
-    fn start_execution(&mut self, t: usize, trace_idx: u64) {
+    fn start_execution(&mut self, hier: &mut Hierarchy, t: usize, trace_idx: u64) {
         let now = self.now;
         let exec_tail = self.cfg.exec_tail as u64;
         let (op, dest, mem, dispatch_cycle, age) = {
@@ -1342,7 +1416,8 @@ impl Simulator {
                             self.counters.faults.cache_extra_injected += 1;
                             injected = self.faults.config().cache_extra_latency;
                         }
-                        let req = self.hier.request(
+                        let req = hier.request_for(
+                            self.core_id,
                             AccessKind::Load,
                             addr,
                             now,
@@ -1351,7 +1426,7 @@ impl Simulator {
                         );
                         self.note_data_access(t, req.level);
                         if injected > 0 {
-                            self.hier.evict_l1(AccessKind::Load, addr);
+                            hier.evict_l1_for(self.core_id, AccessKind::Load, addr);
                         }
                         // The wakeup is scheduled analytically at the fill
                         // time the hierarchy just committed to; the MSHR
@@ -1369,7 +1444,7 @@ impl Simulator {
                         }
                     }
                     LoadCheck::AccessCache => {
-                        let raw = self.hier.access(AccessKind::Load, addr);
+                        let raw = hier.access_for(self.core_id, AccessKind::Load, addr);
                         self.note_data_access(
                             t,
                             HitLevel::from_flat_extra(raw, self.cfg.hierarchy.l2_hit_latency),
@@ -1383,7 +1458,7 @@ impl Simulator {
                         if self.faults.roll(FaultClass::CacheMissExtra, now, t, trace_idx) {
                             self.counters.faults.cache_extra_injected += 1;
                             extra += self.faults.config().cache_extra_latency;
-                            self.hier.evict_l1(AccessKind::Load, addr);
+                            hier.evict_l1_for(self.core_id, AccessKind::Load, addr);
                         }
                         latency += extra;
                         // A main-memory miss drives the STALL/FLUSH fetch
@@ -1875,7 +1950,7 @@ impl Simulator {
     // Fetch: ICOUNT.2.8 with I-cache and branch prediction.
     // ------------------------------------------------------------------
 
-    fn fetch_stage(&mut self) {
+    fn fetch_stage(&mut self, hier: &mut Hierarchy) {
         let n = self.threads.len();
         let mut icounts = std::mem::take(&mut self.scratch.icounts);
         icounts.clear();
@@ -1951,15 +2026,16 @@ impl Simulator {
                 // The miss we were blocked on has completed: the line is
                 // streaming in, so deliver the group now. Touch the cache
                 // to install/refresh the line without stalling again.
-                let _ = self.hier.access(AccessKind::Fetch, first.pc);
+                let _ = hier.access_for(self.core_id, AccessKind::Fetch, first.pc);
             } else if self.nonblocking_mem {
                 // I-fetch misses allocate an L1I MSHR like any other miss;
                 // a full file simply stalls fetch for this thread.
-                if !self.hier.admissible(AccessKind::Fetch, first.pc) {
+                if !hier.admissible_for(self.core_id, AccessKind::Fetch, first.pc) {
                     self.counters.threads[t].fetch_mshr_stall_cycles += 1;
                     continue;
                 }
-                let req = self.hier.request(
+                let req = hier.request_for(
+                    self.core_id,
                     AccessKind::Fetch,
                     first.pc,
                     self.now,
@@ -1972,7 +2048,7 @@ impl Simulator {
                     continue;
                 }
             } else {
-                let extra = self.hier.access(AccessKind::Fetch, first.pc);
+                let extra = hier.access_for(self.core_id, AccessKind::Fetch, first.pc);
                 if extra > 0 {
                     self.threads[t].fetch_blocked_until = self.now + extra as u64;
                     self.threads[t].pending_ifetch_line = Some(line);
@@ -2125,34 +2201,142 @@ impl Simulator {
     /// Flush the whole pipeline and restart every thread from its oldest
     /// uncommitted instruction (paper §4's watchdog recovery).
     fn watchdog_flush(&mut self) {
-        self.plan_valid = 0;
-        let now = self.now;
         for t in 0..self.threads.len() {
-            let squashed = self.threads[t].rob.squash_all();
-            for e in squashed {
-                // Youngest-first: restore the previous mapping and free the
-                // allocation this instruction made.
-                if let Some((areg, old)) = e.old_dest {
-                    self.threads[t].rat.restore(areg, old);
-                }
-                if let Some(d) = e.dest {
-                    self.regs.free(d);
-                }
-            }
-            let ctx = &mut self.threads[t];
-            ctx.frontend.clear();
-            ctx.dispatch_buf.clear();
-            ctx.lsq.clear();
-            ctx.fetch_cursor = ctx.rob.base();
-            ctx.fetch_gated_by = None;
-            ctx.fetch_blocked_until = now + 1;
-            ctx.pending_ifetch_line = None;
-            ctx.finished_fetch = false;
-            ctx.outstanding_mem_misses = 0;
-            ctx.wrongpath_of = None;
-            self.iq.squash_thread(t);
+            self.flush_thread(t);
         }
-        self.dab.clear();
+    }
+
+    /// Squash every in-flight instruction of thread `t` and restart its
+    /// fetch at the oldest uncommitted instruction — the per-thread unit of
+    /// the watchdog flush, reused as the drain step of thread migration.
+    pub(crate) fn flush_thread(&mut self, t: usize) {
+        self.plan_valid &= !(1u64 << t);
+        let now = self.now;
+        let squashed = self.threads[t].rob.squash_all();
+        for e in squashed {
+            // Youngest-first: restore the previous mapping and free the
+            // allocation this instruction made.
+            if let Some((areg, old)) = e.old_dest {
+                self.threads[t].rat.restore(areg, old);
+            }
+            if let Some(d) = e.dest {
+                self.regs.free(d);
+            }
+        }
+        let ctx = &mut self.threads[t];
+        ctx.frontend.clear();
+        ctx.dispatch_buf.clear();
+        ctx.lsq.clear();
+        ctx.fetch_cursor = ctx.rob.base();
+        ctx.fetch_gated_by = None;
+        ctx.fetch_blocked_until = now + 1;
+        ctx.pending_ifetch_line = None;
+        ctx.finished_fetch = false;
+        ctx.outstanding_mem_misses = 0;
+        ctx.wrongpath_of = None;
+        self.iq.squash_thread(t);
+        self.dab.retain(|d| d.thread != t);
+    }
+
+    // ------------------------------------------------------------------
+    // Thread migration (drain-and-restart, used by `crate::Machine`).
+    // ------------------------------------------------------------------
+
+    /// Seal slot `t` as an empty placeholder: it never fetches, drains
+    /// immediately, and waits to be recycled by [`Core::install_thread`].
+    /// Used by the multi-core wrapper for the spare contexts that give
+    /// migration somewhere to land.
+    pub(crate) fn seal_slot(&mut self, t: usize) {
+        self.threads[t].finished_fetch = true;
+    }
+
+    /// Remove thread `t`'s execution context for migration to another
+    /// core. The thread is first drained with a watchdog-style flush back
+    /// to its oldest uncommitted instruction, so no in-flight pipeline
+    /// state needs to move — only the portable state travels: the trace
+    /// position, the trained branch predictor, the wrong-path RNG and
+    /// address-locality window, and the thread's counter row. The vacated
+    /// slot becomes a sealed placeholder; its rename mapping stays intact
+    /// (every mapped register is ready after the flush), parking those
+    /// registers until a future occupant recycles the slot, which keeps
+    /// register conservation trivially intact across any migration
+    /// schedule.
+    pub(crate) fn extract_thread(&mut self, t: usize) -> MigratedThread {
+        self.flush_thread(t);
+        let restart_at = self.threads[t].rob.base();
+        let counters = std::mem::take(&mut self.counters.threads[t]);
+        self.committed_total -= counters.committed;
+        let gshare_cfg = self.cfg.gshare;
+        let ctx = &mut self.threads[t];
+        let out = MigratedThread {
+            trace: std::mem::replace(
+                &mut ctx.trace,
+                TraceSource::new(Box::new(ProgramTrace::once(Vec::new()))),
+            ),
+            gshare: std::mem::replace(&mut ctx.gshare, GShare::new(gshare_cfg)),
+            restart_at,
+            wp_rng: ctx.wp_rng,
+            recent_addrs: ctx.recent_addrs,
+            recent_addrs_at: ctx.recent_addrs_at,
+            counters,
+        };
+        ctx.fetch_cursor = 0;
+        ctx.fetch_blocked_until = 0;
+        ctx.finished_fetch = true; // sealed until recycled
+        out
+    }
+
+    /// Install a migrated thread into slot `t` (a sealed placeholder left
+    /// by [`Core::extract_thread`] or reserved at construction). Fetch
+    /// restarts at the thread's oldest uncommitted instruction after
+    /// `penalty` cycles — the migration cost model: a drained pipeline, a
+    /// cold L1 on the new core, but a predictor and trace position that
+    /// travelled with the thread.
+    pub(crate) fn install_thread(&mut self, t: usize, m: MigratedThread, penalty: u64) {
+        let now = self.now;
+        self.committed_total += m.counters.committed;
+        self.counters.threads[t] = m.counters;
+        self.plan_valid &= !(1u64 << t);
+        let ctx = &mut self.threads[t];
+        debug_assert!(
+            ctx.rob.is_empty() && ctx.frontend.is_empty() && ctx.dispatch_buf.is_empty(),
+            "install_thread requires a drained placeholder slot"
+        );
+        ctx.trace = m.trace;
+        ctx.gshare = m.gshare;
+        ctx.rob.reset_to(m.restart_at);
+        ctx.lsq.clear();
+        ctx.fetch_cursor = m.restart_at;
+        ctx.fetch_gated_by = None;
+        ctx.fetch_blocked_until = now + penalty;
+        ctx.pending_ifetch_line = None;
+        ctx.finished_fetch = false;
+        ctx.outstanding_mem_misses = 0;
+        ctx.wrongpath_of = None;
+        ctx.wp_rng = m.wp_rng;
+        ctx.recent_addrs = m.recent_addrs;
+        ctx.recent_addrs_at = m.recent_addrs_at;
+    }
+
+    /// Is thread slot `t` drained (trace done or sealed, pipeline empty)?
+    pub(crate) fn thread_drained(&self, t: usize) -> bool {
+        self.threads[t].drained()
+    }
+
+    /// Committed instructions in the current measurement window (cached
+    /// sum of the per-thread counters).
+    pub(crate) fn committed_total(&self) -> u64 {
+        self.committed_total
+    }
+
+    /// Deadlock-avoidance-buffer capacity (0 = none configured).
+    pub(crate) fn dab_capacity(&self) -> usize {
+        self.dab_size
+    }
+
+    /// Events (wakeups/completions) still scheduled on this core.
+    pub(crate) fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     // ------------------------------------------------------------------
@@ -2164,32 +2348,44 @@ impl Simulator {
     /// resource. Built by the run loops when the forward-progress watchdog
     /// or the cycle limit trips; also callable directly from tests and
     /// tools against any machine state.
-    pub fn diagnose(&self, cycles_since_commit: u64) -> DeadlockReport {
+    pub fn diagnose(&self, hier: &Hierarchy, cycles_since_commit: u64) -> DeadlockReport {
         let n = self.threads.len();
         DeadlockReport {
             cycle: self.now,
             cycles_since_commit,
             committed_total: self.counters.threads.iter().map(|t| t.committed).sum(),
-            iq: IqSnapshot {
-                occupancy: self.iq.occupancy(),
-                capacity: self.cfg.iq_size,
-                free_by_class: self.iq.free_by_class(),
-                per_thread: (0..n).map(|t| self.iq.thread_occupancy(t)).collect(),
-                pending_tags: self.iq.pending_tags(),
-            },
-            dab: self
-                .dab
-                .iter()
-                .map(|d| DabSnapshot { thread: d.thread, trace_idx: d.trace_idx, age: d.age })
-                .collect(),
+            cores: 1,
+            iq: self.iq_snapshot(),
+            dab: self.dab_snapshot(),
             dab_size: self.dab_size,
             pending_events: self.events.len(),
-            mem: self.hier.is_nonblocking().then(|| self.hier.snapshot()),
-            threads: (0..n).map(|t| self.diagnose_thread(t)).collect(),
+            mem: hier.is_nonblocking().then(|| hier.snapshot_for(self.core_id)),
+            threads: (0..n).map(|t| self.diagnose_thread(hier, t)).collect(),
         }
     }
 
-    fn diagnose_thread(&self, t: usize) -> ThreadDiagnosis {
+    /// Snapshot this core's issue queue (for [`Core::diagnose`] and the
+    /// multi-core wrapper's combined report).
+    pub(crate) fn iq_snapshot(&self) -> IqSnapshot {
+        let n = self.threads.len();
+        IqSnapshot {
+            occupancy: self.iq.occupancy(),
+            capacity: self.cfg.iq_size,
+            free_by_class: self.iq.free_by_class(),
+            per_thread: (0..n).map(|t| self.iq.thread_occupancy(t)).collect(),
+            pending_tags: self.iq.pending_tags(),
+        }
+    }
+
+    /// Snapshot this core's deadlock-avoidance buffer.
+    pub(crate) fn dab_snapshot(&self) -> Vec<DabSnapshot> {
+        self.dab
+            .iter()
+            .map(|d| DabSnapshot { thread: d.thread, trace_idx: d.trace_idx, age: d.age })
+            .collect()
+    }
+
+    pub(crate) fn diagnose_thread(&self, hier: &Hierarchy, t: usize) -> ThreadDiagnosis {
         let ctx = &self.threads[t];
         let views = self.thread_buf_views(t);
         let plan = plan_thread(&views, self.cfg.policy, self.cfg.width as usize);
@@ -2218,8 +2414,9 @@ impl Simulator {
             issued,
         });
         let rename_blocked = self.peek_rename_block(t);
-        let blocked_on = self.classify_thread(t, &plan, rename_blocked);
+        let blocked_on = self.classify_thread(hier, t, &plan, rename_blocked);
         ThreadDiagnosis {
+            core: self.core_id,
             thread: t,
             committed: self.counters.threads[t].committed,
             blocked_on,
@@ -2247,6 +2444,7 @@ impl Simulator {
     /// rename/fetch side is examined instead.
     fn classify_thread(
         &self,
+        hier: &Hierarchy,
         t: usize,
         plan: &crate::dispatch::ThreadPlan,
         rename_blocked: Option<StallReason>,
@@ -2266,8 +2464,9 @@ impl Simulator {
                 StallReason::Progressing
             };
         };
-        let mshr_blocked =
-            |addr: u64| self.nonblocking_mem && !self.hier.admissible(AccessKind::Load, addr);
+        let mshr_blocked = |addr: u64| {
+            self.nonblocking_mem && !hier.admissible_for(self.core_id, AccessKind::Load, addr)
+        };
         match head.state {
             InstState::Completed => {
                 // A completed store parked behind a full write buffer is a
@@ -2275,7 +2474,7 @@ impl Simulator {
                 if self.nonblocking_mem
                     && head.inst.op.is_store()
                     && head.inst.mem.is_some()
-                    && !self.hier.wb_can_push()
+                    && !hier.wb_can_push()
                 {
                     StallReason::WriteBufferFull
                 } else {
@@ -2419,5 +2618,166 @@ impl Simulator {
                 d.trace_idx
             );
         }
+    }
+}
+
+/// Mirror a hierarchy statistics view onto the counters' memory block —
+/// shared by the per-core [`Core::sync_mem_counters`] (which passes the
+/// core's attribution slice) and the machine-level rollup (which passes
+/// the whole-hierarchy aggregate).
+pub(crate) fn mem_counters_from(ms: &smt_mem::MemStats) -> smt_stats::MemCounters {
+    smt_stats::MemCounters {
+        l1i_mshr_allocs: ms.l1i_mshr.allocs,
+        l1i_mshr_merges: ms.l1i_mshr.merges,
+        l1d_mshr_allocs: ms.l1d_mshr.allocs,
+        l1d_mshr_merges: ms.l1d_mshr.merges,
+        l2_mshr_allocs: ms.l2_mshr.allocs,
+        l2_mshr_merges: ms.l2_mshr.merges,
+        bus_transactions: ms.bus.transactions,
+        bus_queue_delay_sum: ms.bus.queue_delay_sum,
+        l1i_mshr_occupancy_sum: ms.l1i_mshr_occupancy_sum,
+        l1d_mshr_occupancy_sum: ms.l1d_mshr_occupancy_sum,
+        l2_mshr_occupancy_sum: ms.l2_mshr_occupancy_sum,
+        wb_enqueued: ms.wb_enqueued,
+        wb_drained: ms.wb_drained,
+        wb_occupancy_sum: ms.wb_occupancy_sum,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The single-core wrapper.
+// ----------------------------------------------------------------------
+
+/// The single-core machine: one [`Core`] plus its own memory [`Hierarchy`],
+/// presenting the original simulator API. Multi-core machines use
+/// [`crate::Machine`], which steps several `Core`s against one shared
+/// hierarchy; this wrapper is the N=1 degenerate case and the bit-for-bit
+/// reference the multi-core differential suite pins against.
+pub struct Simulator {
+    core: Core,
+    hier: Hierarchy,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg` running one instruction stream per
+    /// hardware thread context.
+    pub fn new(cfg: SimConfig, streams: Vec<Box<dyn InstGenerator>>) -> Self {
+        let hier = Hierarchy::new(cfg.hierarchy);
+        Simulator { core: Core::new(cfg, streams, 0), hier }
+    }
+
+    /// Run until some thread reaches `commit_target` committed
+    /// instructions (the paper's stop rule), every thread drains, or the
+    /// machine wedges.
+    pub fn run(&mut self, commit_target: u64) -> RunOutcome {
+        self.core.run(&mut self.hier, commit_target)
+    }
+
+    /// [`Simulator::run`] with an external abort hook, polled every few
+    /// thousand loop iterations (see [`ABORT_POLL_ITERS`]).
+    pub fn run_with_abort(
+        &mut self,
+        commit_target: u64,
+        should_abort: impl FnMut() -> bool,
+    ) -> RunOutcome {
+        self.core.run_with_abort(&mut self.hier, commit_target, should_abort)
+    }
+
+    /// Run until *every* live thread has committed at least
+    /// `commit_target` instructions (warm-up semantics).
+    pub fn run_until_all_committed(&mut self, commit_target: u64) -> RunOutcome {
+        self.core.run_until_all_committed(&mut self.hier, commit_target)
+    }
+
+    /// [`Simulator::run_until_all_committed`] with an external abort hook.
+    pub fn run_until_all_committed_with_abort(
+        &mut self,
+        commit_target: u64,
+        should_abort: impl FnMut() -> bool,
+    ) -> RunOutcome {
+        self.core.run_until_all_committed_with_abort(&mut self.hier, commit_target, should_abort)
+    }
+
+    /// Advance the machine by exactly one cycle (no fast-forward).
+    pub fn cycle(&mut self) {
+        self.core.cycle(&mut self.hier);
+    }
+
+    /// Snapshot why the machine is not committing (see [`DeadlockReport`]).
+    pub fn diagnose(&self, cycles_since_commit: u64) -> DeadlockReport {
+        self.core.diagnose(&self.hier, cycles_since_commit)
+    }
+
+    /// Reset measurement state while keeping microarchitectural state warm
+    /// (see [`Core::reset_measurement`]).
+    pub fn reset_measurement(&mut self) {
+        self.core.reset_measurement(&mut self.hier);
+    }
+
+    /// Every fault injected so far, in firing order.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.core.fault_log()
+    }
+
+    /// Replace the injector with a replay-mode one (before the first
+    /// cycle only).
+    pub fn set_fault_replay(&mut self, records: Vec<FaultRecord>) {
+        self.core.set_fault_replay(records);
+    }
+
+    /// Install a pipeline-event observer, replacing any existing one.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.core.set_tracer(tracer);
+    }
+
+    /// Remove and return the installed tracer, if any.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.core.take_tracer()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.core.now()
+    }
+
+    /// Event-driven-loop effectiveness: `(jumps, skipped_cycles)`.
+    pub fn ff_stats(&self) -> (u64, u64) {
+        self.core.ff_stats()
+    }
+
+    /// Accumulated statistics.
+    pub fn counters(&self) -> &SimCounters {
+        self.core.counters()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        self.core.config()
+    }
+
+    /// Number of hardware thread contexts.
+    pub fn num_threads(&self) -> usize {
+        self.core.num_threads()
+    }
+
+    /// One-line-per-thread summary of pipeline state, for debugging hangs.
+    pub fn dump_state(&self) -> String {
+        self.core.dump_state()
+    }
+
+    /// Per-thread `(trace_idx, state, long_miss)` of each ROB head.
+    pub fn rob_head_snapshot(&self) -> Vec<Option<(u64, InstState, bool)>> {
+        self.core.rob_head_snapshot()
+    }
+
+    /// Check the quiescent-machine structural invariants (see
+    /// [`Core::assert_quiescent_invariants`]).
+    pub fn assert_quiescent_invariants(&self) {
+        self.core.assert_quiescent_invariants();
+    }
+
+    /// Check the DAB structural invariants.
+    pub fn assert_dab_invariants(&self) {
+        self.core.assert_dab_invariants();
     }
 }

@@ -193,11 +193,13 @@ pub struct MemRequest {
     pub queue_delay: u64,
 }
 
-/// A store drained from the write buffer this cycle, for per-thread
-/// attribution of the cache traffic it caused.
+/// A store drained from the write buffer this cycle, for per-core /
+/// per-thread attribution of the cache traffic it caused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreDrain {
-    /// Thread that committed the store.
+    /// Core that committed the store (0 on a single-core hierarchy).
+    pub core: usize,
+    /// Thread (core-local context index) that committed the store.
     pub thread: usize,
     /// Level that serviced it.
     pub level: HitLevel,
@@ -249,43 +251,88 @@ pub struct MemSnapshot {
 /// hits the tags and is treated as forwarded from the MSHR). Under the
 /// all-zero degenerate [`NonBlockingConfig`], `request` produces exactly
 /// the same latency, tag, and statistics stream as `access`.
+///
+/// # Multi-requestor operation
+///
+/// The hierarchy serves N cores ([`Hierarchy::new_multi`]): each core owns
+/// private L1 caches and L1 MSHR files, while the L2, the L2 MSHR file, the
+/// memory bus, and the commit-time store write buffer are shared. Every
+/// accessor has a `*_for(core, ..)` form; the original single-core methods
+/// delegate to core 0 so a one-core hierarchy is exactly the old one.
+/// Traffic through the shared back side is attributed to the requesting
+/// core ([`Hierarchy::mem_stats_for`]).
+#[derive(Debug, Clone)]
+struct CoreSide {
+    l1i: Cache,
+    l1d: Cache,
+    l1i_mshrs: MshrFile,
+    l1d_mshrs: MshrFile,
+    /// This core's attribution slice. L1-side fields are authoritative;
+    /// L2-MSHR / bus / write-buffer fields count only this core's share of
+    /// the shared machinery. Occupancy sums of *shared* structures are kept
+    /// globally and patched in by [`Hierarchy::mem_stats_for`].
+    stats: MemStats,
+}
+
+impl CoreSide {
+    fn new(cfg: &HierarchyConfig, nb: NonBlockingConfig) -> Self {
+        CoreSide {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l1i_mshrs: MshrFile::new(nb.l1i_mshrs),
+            l1d_mshrs: MshrFile::new(nb.l1d_mshrs),
+            stats: MemStats::default(),
+        }
+    }
+}
+
+/// See the module docs: per-core private L1 front sides over a shared
+/// L2 / bus / write-buffer back side.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
-    l1i: Cache,
-    l1d: Cache,
-    l2: Cache,
-    memory_accesses: u64,
     // Non-blocking machinery (inert under MemModel::Flat).
     nb: NonBlockingConfig,
-    l1i_mshrs: MshrFile,
-    l1d_mshrs: MshrFile,
+    /// Per-core private front side (L1I/L1D caches + their MSHR files).
+    cores: Vec<CoreSide>,
+    // Shared back side.
+    l2: Cache,
     l2_mshrs: MshrFile,
     bus: MemoryBus,
-    write_buffer: VecDeque<(usize, u64)>,
-    mem_stats: MemStats,
+    /// FIFO of committed stores awaiting drain: `(core, thread, addr)`.
+    write_buffer: VecDeque<(usize, usize, u64)>,
+    memory_accesses: u64,
+    /// Per-cycle occupancy samples of the shared L2 MSHR file.
+    l2_mshr_occupancy_sum: u64,
+    /// Per-cycle occupancy samples of the shared write buffer.
+    wb_occupancy_sum: u64,
 }
 
 impl Hierarchy {
-    /// Build an empty hierarchy.
+    /// Build an empty single-core hierarchy.
     pub fn new(cfg: HierarchyConfig) -> Self {
+        Hierarchy::new_multi(cfg, 1)
+    }
+
+    /// Build an empty hierarchy serving `n_cores` requestors: private L1s
+    /// per core, shared L2 / L2 MSHRs / bus / write buffer.
+    pub fn new_multi(cfg: HierarchyConfig, n_cores: usize) -> Self {
+        assert!(n_cores >= 1, "a hierarchy needs at least one core");
         let nb = match cfg.model {
             MemModel::Flat => NonBlockingConfig::default(),
             MemModel::NonBlocking(nb) => nb,
         };
         Hierarchy {
             cfg,
-            l1i: Cache::new(cfg.l1i),
-            l1d: Cache::new(cfg.l1d),
-            l2: Cache::new(cfg.l2),
-            memory_accesses: 0,
             nb,
-            l1i_mshrs: MshrFile::new(nb.l1i_mshrs),
-            l1d_mshrs: MshrFile::new(nb.l1d_mshrs),
+            cores: (0..n_cores).map(|_| CoreSide::new(&cfg, nb)).collect(),
+            l2: Cache::new(cfg.l2),
             l2_mshrs: MshrFile::new(nb.l2_mshrs),
             bus: MemoryBus::new(nb.bus_cycles_per_transfer),
             write_buffer: VecDeque::new(),
-            mem_stats: MemStats::default(),
+            memory_accesses: 0,
+            l2_mshr_occupancy_sum: 0,
+            wb_occupancy_sum: 0,
         }
     }
 
@@ -294,44 +341,64 @@ impl Hierarchy {
         self.cfg
     }
 
+    /// Number of cores (requestors) this hierarchy serves.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
     /// Is the hierarchy running the non-blocking model?
     pub fn is_nonblocking(&self) -> bool {
         matches!(self.cfg.model, MemModel::NonBlocking(_))
     }
 
-    /// Perform a flat-model access and return the added latency in cycles
-    /// (0 = L1 hit).
+    /// Perform a flat-model access from core 0 and return the added latency
+    /// in cycles (0 = L1 hit).
     pub fn access(&mut self, kind: AccessKind, addr: u64) -> u32 {
-        let (l1, cfg) = match kind {
-            AccessKind::Fetch => (&mut self.l1i, &self.cfg),
-            AccessKind::Load | AccessKind::Store => (&mut self.l1d, &self.cfg),
+        self.access_for(0, kind, addr)
+    }
+
+    /// Perform a flat-model access from `core` and return the added latency
+    /// in cycles (0 = L1 hit).
+    pub fn access_for(&mut self, core: usize, kind: AccessKind, addr: u64) -> u32 {
+        let c = &mut self.cores[core];
+        let l1 = match kind {
+            AccessKind::Fetch => &mut c.l1i,
+            AccessKind::Load | AccessKind::Store => &mut c.l1d,
         };
         if l1.probe(addr) {
             return 0;
         }
-        // L1 miss: probe L2.
+        // L1 miss: probe the shared L2.
         let latency = if self.l2.probe(addr) {
-            cfg.l2_hit_latency
+            self.cfg.l2_hit_latency
         } else {
             self.memory_accesses += 1;
             self.l2.fill(addr);
-            cfg.l2_hit_latency + cfg.memory_latency
+            self.cfg.l2_hit_latency + self.cfg.memory_latency
         };
         l1.fill(addr);
         latency
     }
 
-    /// Would a non-blocking request of `kind` to `addr` be accepted right
-    /// now? Non-mutating (no LRU ticks, no statistics). A request is
-    /// inadmissible only when a needed MSHR file is full and the line is
-    /// not already in flight there; the bus never rejects (it only queues).
-    ///
-    /// The answer is only guaranteed for a [`Hierarchy::request`] made in
-    /// the same cycle, before any other request.
+    /// Would a non-blocking request of `kind` to `addr` from core 0 be
+    /// accepted right now? See [`Hierarchy::admissible_for`].
     pub fn admissible(&self, kind: AccessKind, addr: u64) -> bool {
+        self.admissible_for(0, kind, addr)
+    }
+
+    /// Would a non-blocking request of `kind` to `addr` from `core` be
+    /// accepted right now? Non-mutating (no LRU ticks, no statistics). A
+    /// request is inadmissible only when a needed MSHR file is full and the
+    /// line is not already in flight there; the bus never rejects (it only
+    /// queues).
+    ///
+    /// The answer is only guaranteed for a [`Hierarchy::request_for`] made
+    /// in the same cycle, before any other request.
+    pub fn admissible_for(&self, core: usize, kind: AccessKind, addr: u64) -> bool {
+        let c = &self.cores[core];
         let (l1, l1_mshrs) = match kind {
-            AccessKind::Fetch => (&self.l1i, &self.l1i_mshrs),
-            AccessKind::Load | AccessKind::Store => (&self.l1d, &self.l1d_mshrs),
+            AccessKind::Fetch => (&c.l1i, &c.l1i_mshrs),
+            AccessKind::Load | AccessKind::Store => (&c.l1d, &c.l1d_mshrs),
         };
         if l1.contains(addr) {
             return true;
@@ -345,15 +412,7 @@ impl Hierarchy {
         self.l2_mshrs.can_accept(self.l2.line_addr(addr))
     }
 
-    /// Perform a non-blocking access: probe the hierarchy, allocate or
-    /// merge MSHRs for misses, queue memory-bound primaries on the bus, and
-    /// return when the data will be available. `injected` is extra fault
-    /// latency added to the completion time (it does not occupy the bus).
-    ///
-    /// The probe/fill sequence is identical to [`Hierarchy::access`], so
-    /// tag state and [`HierarchyStats`] evolve the same way under both
-    /// models. Callers must gate on [`Hierarchy::admissible`] in the same
-    /// cycle; an inadmissible request panics in the MSHR file.
+    /// Non-blocking access from core 0. See [`Hierarchy::request_for`].
     pub fn request(
         &mut self,
         kind: AccessKind,
@@ -362,11 +421,34 @@ impl Hierarchy {
         injected: u64,
         waiter: Waiter,
     ) -> MemRequest {
-        let (l1, l1_mshrs, l1_mshr_stats) = match kind {
-            AccessKind::Fetch => (&mut self.l1i, &mut self.l1i_mshrs, &mut self.mem_stats.l1i_mshr),
-            AccessKind::Load | AccessKind::Store => {
-                (&mut self.l1d, &mut self.l1d_mshrs, &mut self.mem_stats.l1d_mshr)
-            }
+        self.request_for(0, kind, addr, now, injected, waiter)
+    }
+
+    /// Perform a non-blocking access from `core`: probe the hierarchy,
+    /// allocate or merge MSHRs for misses, queue memory-bound primaries on
+    /// the shared bus, and return when the data will be available.
+    /// `injected` is extra fault latency added to the completion time (it
+    /// does not occupy the bus).
+    ///
+    /// The probe/fill sequence is identical to [`Hierarchy::access_for`],
+    /// so tag state and [`HierarchyStats`] evolve the same way under both
+    /// models. Callers must gate on [`Hierarchy::admissible_for`] in the
+    /// same cycle; an inadmissible request panics in the MSHR file. Shared
+    /// back-side traffic (L2 MSHR allocations/merges, bus transactions and
+    /// queueing) is attributed to `core`.
+    pub fn request_for(
+        &mut self,
+        core: usize,
+        kind: AccessKind,
+        addr: u64,
+        now: u64,
+        injected: u64,
+        waiter: Waiter,
+    ) -> MemRequest {
+        let CoreSide { l1i, l1d, l1i_mshrs, l1d_mshrs, stats } = &mut self.cores[core];
+        let (l1, l1_mshrs) = match kind {
+            AccessKind::Fetch => (l1i, l1i_mshrs),
+            AccessKind::Load | AccessKind::Store => (l1d, l1d_mshrs),
         };
         if l1.probe(addr) {
             // Tag hit — real or forwarded from an in-flight fill. A fault
@@ -398,17 +480,22 @@ impl Hierarchy {
                 // configuration stays flat-identical.
                 fill_at = now + u64::from(extra) + injected;
                 queue_delay = 0;
+                stats.l2_mshr.merges += 1;
             } else {
                 let (start, delay) = self.bus.enqueue(now);
                 fill_at = start + u64::from(extra) + injected;
                 queue_delay = delay;
+                stats.l2_mshr.allocs += 1;
+                stats.bus.transactions += 1;
+                stats.bus.queue_delay_sum += delay;
             }
             self.l2_mshrs.allocate_or_merge(l2_line, fill_at, waiter);
-            self.mem_stats.l2_mshr = self.l2_mshrs.stats();
         }
         l1_mshrs.allocate_or_merge(l1_line, fill_at, waiter);
-        *l1_mshr_stats = l1_mshrs.stats();
-        self.mem_stats.bus = self.bus.stats();
+        match kind {
+            AccessKind::Fetch => stats.l1i_mshr = l1_mshrs.stats(),
+            AccessKind::Load | AccessKind::Store => stats.l1d_mshr = l1_mshrs.stats(),
+        }
         l1.fill(addr);
         MemRequest { extra, fill_at, level, queue_delay }
     }
@@ -420,41 +507,57 @@ impl Hierarchy {
             || self.write_buffer.len() < self.nb.write_buffer_entries as usize
     }
 
-    /// Retire a committed store. In the degenerate configuration (no
-    /// entries, no drain limit) the store writes into the cache instantly —
-    /// same cycle, same call site as the flat model — and its attribution
-    /// is returned immediately. Otherwise it is queued and drained by
-    /// [`Hierarchy::step`]. Callers must gate on
-    /// [`Hierarchy::wb_can_push`].
+    /// Retire a committed store from core 0. See
+    /// [`Hierarchy::push_store_for`].
     pub fn push_store(&mut self, thread: usize, addr: u64, now: u64) -> Option<StoreDrain> {
+        self.push_store_for(0, thread, addr, now)
+    }
+
+    /// Retire a committed store from `core`. In the degenerate
+    /// configuration (no entries, no drain limit) the store writes into the
+    /// cache instantly — same cycle, same call site as the flat model — and
+    /// its attribution is returned immediately. Otherwise it is queued in
+    /// the shared write buffer and drained by [`Hierarchy::step`]. Callers
+    /// must gate on [`Hierarchy::wb_can_push`].
+    pub fn push_store_for(
+        &mut self,
+        core: usize,
+        thread: usize,
+        addr: u64,
+        now: u64,
+    ) -> Option<StoreDrain> {
         if self.nb.write_buffer_entries == 0 && self.nb.write_buffer_drain_per_cycle == 0 {
             // Instant drain. Must happen here, not in step(): commit runs
             // before issue within a cycle, and deferring the cache
             // mutation would reorder it against same-cycle loads.
-            let extra = self.access(AccessKind::Store, addr);
+            let extra = self.access_for(core, AccessKind::Store, addr);
             let _ = now;
             return Some(StoreDrain {
+                core,
                 thread,
                 level: HitLevel::from_flat_extra(extra, self.cfg.l2_hit_latency),
             });
         }
         assert!(self.wb_can_push(), "store pushed into a full write buffer");
-        self.write_buffer.push_back((thread, addr));
-        self.mem_stats.wb_enqueued += 1;
+        self.write_buffer.push_back((core, thread, addr));
+        self.cores[core].stats.wb_enqueued += 1;
         None
     }
 
     /// Advance the non-blocking machinery one cycle: release MSHR entries
-    /// whose fills completed by `now`, drain the store write buffer (up to
-    /// the configured rate, stopping at the first store whose miss is
-    /// inadmissible), and sample occupancies. Returns the per-thread
-    /// attribution of stores drained this cycle.
+    /// whose fills completed by `now` (every core's L1 files plus the
+    /// shared L2 file), drain the shared store write buffer (up to the
+    /// configured rate, stopping at the first store whose miss is
+    /// inadmissible at its own core), and sample occupancies. Returns the
+    /// per-core / per-thread attribution of stores drained this cycle.
     pub fn step(&mut self, now: u64) -> Vec<StoreDrain> {
         // Fill completions free MSHR entries before new work claims them.
         // The simulator schedules its own wakeups analytically, so the
         // waiter lists are dropped here.
-        let _ = self.l1i_mshrs.pop_due(now);
-        let _ = self.l1d_mshrs.pop_due(now);
+        for c in &mut self.cores {
+            let _ = c.l1i_mshrs.pop_due(now);
+            let _ = c.l1d_mshrs.pop_due(now);
+        }
         let _ = self.l2_mshrs.pop_due(now);
         let mut drained = Vec::new();
         let max_drain = match self.nb.write_buffer_drain_per_cycle {
@@ -462,28 +565,39 @@ impl Hierarchy {
             n => n as usize,
         };
         while drained.len() < max_drain {
-            let Some(&(thread, addr)) = self.write_buffer.front() else { break };
-            if !self.admissible(AccessKind::Store, addr) {
+            let Some(&(core, thread, addr)) = self.write_buffer.front() else { break };
+            if !self.admissible_for(core, AccessKind::Store, addr) {
                 break;
             }
-            let req = self.request(AccessKind::Store, addr, now, 0, Waiter { thread, token: addr });
-            drained.push(StoreDrain { thread, level: req.level });
+            let req = self.request_for(
+                core,
+                AccessKind::Store,
+                addr,
+                now,
+                0,
+                Waiter { thread, token: addr },
+            );
+            drained.push(StoreDrain { core, thread, level: req.level });
             self.write_buffer.pop_front();
-            self.mem_stats.wb_drained += 1;
+            self.cores[core].stats.wb_drained += 1;
         }
-        self.mem_stats.l1i_mshr_occupancy_sum += self.l1i_mshrs.in_flight() as u64;
-        self.mem_stats.l1d_mshr_occupancy_sum += self.l1d_mshrs.in_flight() as u64;
-        self.mem_stats.l2_mshr_occupancy_sum += self.l2_mshrs.in_flight() as u64;
-        self.mem_stats.wb_occupancy_sum += self.write_buffer.len() as u64;
+        for c in &mut self.cores {
+            c.stats.l1i_mshr_occupancy_sum += c.l1i_mshrs.in_flight() as u64;
+            c.stats.l1d_mshr_occupancy_sum += c.l1d_mshrs.in_flight() as u64;
+        }
+        self.l2_mshr_occupancy_sum += self.l2_mshrs.in_flight() as u64;
+        self.wb_occupancy_sum += self.write_buffer.len() as u64;
         drained
     }
 
-    /// The earliest cycle any in-flight MSHR fill (at any level) completes,
-    /// if one is outstanding. Non-mutating; bounds the idle-cycle
-    /// fast-forward's skip window.
+    /// The earliest cycle any in-flight MSHR fill (at any level, any core)
+    /// completes, if one is outstanding. Non-mutating; bounds the
+    /// idle-cycle fast-forward's skip window.
     pub fn next_fill_at(&self) -> Option<u64> {
-        [self.l1i_mshrs.next_fill_at(), self.l1d_mshrs.next_fill_at(), self.l2_mshrs.next_fill_at()]
-            .into_iter()
+        self.cores
+            .iter()
+            .flat_map(|c| [c.l1i_mshrs.next_fill_at(), c.l1d_mshrs.next_fill_at()])
+            .chain([self.l2_mshrs.next_fill_at()])
             .flatten()
             .min()
     }
@@ -504,16 +618,16 @@ impl Hierarchy {
     }
 
     /// Is the write buffer non-empty with a head store that cannot drain
-    /// (its miss is inadmissible — the MSHR file it needs is full)? Such
-    /// a store stays exactly where it is until an in-flight fill frees an
-    /// entry, so cycles spent behind it are replicas: the drain loop in
-    /// [`Hierarchy::step`] stops at the head without mutating anything.
-    /// A full MSHR file implies in-flight entries, so
+    /// (its miss is inadmissible at its own core — the MSHR file it needs
+    /// is full)? Such a store stays exactly where it is until an in-flight
+    /// fill frees an entry, so cycles spent behind it are replicas: the
+    /// drain loop in [`Hierarchy::step`] stops at the head without mutating
+    /// anything. A full MSHR file implies in-flight entries, so
     /// [`Hierarchy::next_fill_at`] is always `Some` when this holds.
     pub fn wb_head_stuck(&self) -> bool {
         self.write_buffer
             .front()
-            .is_some_and(|&(_, addr)| !self.admissible(AccessKind::Store, addr))
+            .is_some_and(|&(core, _, addr)| !self.admissible_for(core, AccessKind::Store, addr))
     }
 
     /// Account `k` skipped idle cycles into the per-cycle occupancy sums
@@ -522,62 +636,125 @@ impl Hierarchy {
     /// which `step` releases nothing and drains nothing, so the samples are
     /// exactly `occupancy × k`.
     pub fn account_idle_cycles(&mut self, k: u64) {
-        self.mem_stats.l1i_mshr_occupancy_sum += self.l1i_mshrs.in_flight() as u64 * k;
-        self.mem_stats.l1d_mshr_occupancy_sum += self.l1d_mshrs.in_flight() as u64 * k;
-        self.mem_stats.l2_mshr_occupancy_sum += self.l2_mshrs.in_flight() as u64 * k;
-        self.mem_stats.wb_occupancy_sum += self.write_buffer.len() as u64 * k;
+        for c in &mut self.cores {
+            c.stats.l1i_mshr_occupancy_sum += c.l1i_mshrs.in_flight() as u64 * k;
+            c.stats.l1d_mshr_occupancy_sum += c.l1d_mshrs.in_flight() as u64 * k;
+        }
+        self.l2_mshr_occupancy_sum += self.l2_mshrs.in_flight() as u64 * k;
+        self.wb_occupancy_sum += self.write_buffer.len() as u64 * k;
     }
 
-    /// Stores parked in the commit-side write buffer. Cheap idle-detection
-    /// probe.
+    /// Stores parked in the shared commit-side write buffer. Cheap
+    /// idle-detection probe.
     pub fn wb_len(&self) -> usize {
         self.write_buffer.len()
     }
 
-    /// Total in-flight MSHR entries across all levels. Cheap idle-detection
-    /// probe.
+    /// Total in-flight MSHR entries across all levels and cores. Cheap
+    /// idle-detection probe.
     pub fn mshr_in_flight_total(&self) -> usize {
-        self.l1i_mshrs.in_flight() + self.l1d_mshrs.in_flight() + self.l2_mshrs.in_flight()
+        self.cores.iter().map(|c| c.l1i_mshrs.in_flight() + c.l1d_mshrs.in_flight()).sum::<usize>()
+            + self.l2_mshrs.in_flight()
     }
 
-    /// Would a load of `addr` hit in the L1 D-cache right now? Non-mutating.
+    /// Would a load of `addr` hit in core 0's L1 D-cache right now?
+    /// Non-mutating.
     pub fn l1d_would_hit(&self, addr: u64) -> bool {
-        self.l1d.contains(addr)
+        self.l1d_would_hit_for(0, addr)
     }
 
-    /// Evict the line containing `addr` from the L1 of `kind` (L2 keeps its
-    /// copy, so the next access pays an L2 hit, not a memory round trip).
-    /// Returns whether a line was actually evicted. Used by fault injection
-    /// to model a spurious single-line loss.
+    /// Would a load of `addr` hit in `core`'s L1 D-cache right now?
+    /// Non-mutating.
+    pub fn l1d_would_hit_for(&self, core: usize, addr: u64) -> bool {
+        self.cores[core].l1d.contains(addr)
+    }
+
+    /// Evict the line containing `addr` from core 0's L1 of `kind`. See
+    /// [`Hierarchy::evict_l1_for`].
     pub fn evict_l1(&mut self, kind: AccessKind, addr: u64) -> bool {
+        self.evict_l1_for(0, kind, addr)
+    }
+
+    /// Evict the line containing `addr` from `core`'s L1 of `kind` (the
+    /// shared L2 keeps its copy, so the next access pays an L2 hit, not a
+    /// memory round trip). Returns whether a line was actually evicted.
+    /// Used by fault injection to model a spurious single-line loss.
+    pub fn evict_l1_for(&mut self, core: usize, kind: AccessKind, addr: u64) -> bool {
+        let c = &mut self.cores[core];
         match kind {
-            AccessKind::Fetch => self.l1i.invalidate(addr),
-            AccessKind::Load | AccessKind::Store => self.l1d.invalidate(addr),
+            AccessKind::Fetch => c.l1i.invalidate(addr),
+            AccessKind::Load | AccessKind::Store => c.l1d.invalidate(addr),
         }
     }
 
-    /// Statistics for every level.
+    /// Statistics for every level, as seen from core 0 (the shared L2 and
+    /// memory counters are whole-hierarchy).
     pub fn stats(&self) -> HierarchyStats {
+        self.stats_for(0)
+    }
+
+    /// Statistics for every level as seen from `core`: that core's private
+    /// L1s plus the shared L2 and memory-access counters.
+    pub fn stats_for(&self, core: usize) -> HierarchyStats {
         HierarchyStats {
-            l1i: self.l1i.stats(),
-            l1d: self.l1d.stats(),
+            l1i: self.cores[core].l1i.stats(),
+            l1d: self.cores[core].l1d.stats(),
             l2: self.l2.stats(),
             memory_accesses: self.memory_accesses,
         }
     }
 
-    /// Statistics of the non-blocking machinery (all zero under `Flat`).
+    /// Aggregate statistics of the non-blocking machinery across all cores
+    /// (all zero under `Flat`). On a one-core hierarchy this is identical
+    /// to [`Hierarchy::mem_stats_for`]`(0)`.
     pub fn mem_stats(&self) -> MemStats {
-        self.mem_stats
+        let mut total = MemStats::default();
+        for c in &self.cores {
+            let s = &c.stats;
+            total.l1i_mshr.allocs += s.l1i_mshr.allocs;
+            total.l1i_mshr.merges += s.l1i_mshr.merges;
+            total.l1d_mshr.allocs += s.l1d_mshr.allocs;
+            total.l1d_mshr.merges += s.l1d_mshr.merges;
+            total.l2_mshr.allocs += s.l2_mshr.allocs;
+            total.l2_mshr.merges += s.l2_mshr.merges;
+            total.bus.transactions += s.bus.transactions;
+            total.bus.queue_delay_sum += s.bus.queue_delay_sum;
+            total.l1i_mshr_occupancy_sum += s.l1i_mshr_occupancy_sum;
+            total.l1d_mshr_occupancy_sum += s.l1d_mshr_occupancy_sum;
+            total.wb_enqueued += s.wb_enqueued;
+            total.wb_drained += s.wb_drained;
+        }
+        total.l2_mshr_occupancy_sum = self.l2_mshr_occupancy_sum;
+        total.wb_occupancy_sum = self.wb_occupancy_sum;
+        total
     }
 
-    /// Occupancy snapshot for deadlock-diagnosis reports.
+    /// Statistics of the non-blocking machinery attributed to `core`:
+    /// L1-side counters are the core's own, shared-side counters (L2 MSHR,
+    /// bus, write buffer) count only this core's traffic, and occupancy
+    /// sums of the shared structures are the global per-cycle samples.
+    pub fn mem_stats_for(&self, core: usize) -> MemStats {
+        let mut s = self.cores[core].stats;
+        s.l2_mshr_occupancy_sum = self.l2_mshr_occupancy_sum;
+        s.wb_occupancy_sum = self.wb_occupancy_sum;
+        s
+    }
+
+    /// Occupancy snapshot for deadlock-diagnosis reports, as seen from
+    /// core 0.
     pub fn snapshot(&self) -> MemSnapshot {
+        self.snapshot_for(0)
+    }
+
+    /// Occupancy snapshot for deadlock-diagnosis reports: `core`'s private
+    /// L1 MSHR files plus the shared L2 MSHRs, bus, and write buffer.
+    pub fn snapshot_for(&self, core: usize) -> MemSnapshot {
+        let c = &self.cores[core];
         MemSnapshot {
-            l1i_mshrs_in_flight: self.l1i_mshrs.in_flight(),
-            l1i_mshr_capacity: self.l1i_mshrs.capacity(),
-            l1d_mshrs_in_flight: self.l1d_mshrs.in_flight(),
-            l1d_mshr_capacity: self.l1d_mshrs.capacity(),
+            l1i_mshrs_in_flight: c.l1i_mshrs.in_flight(),
+            l1i_mshr_capacity: c.l1i_mshrs.capacity(),
+            l1d_mshrs_in_flight: c.l1d_mshrs.in_flight(),
+            l1d_mshr_capacity: c.l1d_mshrs.capacity(),
             l2_mshrs_in_flight: self.l2_mshrs.in_flight(),
             l2_mshr_capacity: self.l2_mshrs.capacity(),
             bus_next_free: self.bus.next_free(),
@@ -591,25 +768,31 @@ impl Hierarchy {
     /// (for warm-up handling: outstanding misses are machine state, not
     /// statistics).
     pub fn reset_stats(&mut self) {
-        self.l1i.reset_stats();
-        self.l1d.reset_stats();
+        for c in &mut self.cores {
+            c.l1i.reset_stats();
+            c.l1d.reset_stats();
+            c.l1i_mshrs.reset_stats();
+            c.l1d_mshrs.reset_stats();
+            c.stats = MemStats::default();
+        }
         self.l2.reset_stats();
         self.memory_accesses = 0;
-        self.l1i_mshrs.reset_stats();
-        self.l1d_mshrs.reset_stats();
         self.l2_mshrs.reset_stats();
         self.bus.reset_stats();
-        self.mem_stats = MemStats::default();
+        self.l2_mshr_occupancy_sum = 0;
+        self.wb_occupancy_sum = 0;
     }
 
     /// Invalidate all levels, drop in-flight miss and write-buffer state,
     /// and clear counters.
     pub fn flush(&mut self) {
-        self.l1i.flush();
-        self.l1d.flush();
+        for c in &mut self.cores {
+            c.l1i.flush();
+            c.l1d.flush();
+            c.l1i_mshrs = MshrFile::new(self.nb.l1i_mshrs);
+            c.l1d_mshrs = MshrFile::new(self.nb.l1d_mshrs);
+        }
         self.l2.flush();
-        self.l1i_mshrs = MshrFile::new(self.nb.l1i_mshrs);
-        self.l1d_mshrs = MshrFile::new(self.nb.l1d_mshrs);
         self.l2_mshrs = MshrFile::new(self.nb.l2_mshrs);
         self.bus = MemoryBus::new(self.nb.bus_cycles_per_transfer);
         self.write_buffer.clear();
@@ -805,7 +988,7 @@ mod tests {
     fn instant_write_buffer_attributes_and_writes_through() {
         let mut h = Hierarchy::new(nb_cfg(NonBlockingConfig::default()));
         let drain = h.push_store(1, 0x8000, 3).expect("degenerate write buffer is instant");
-        assert_eq!(drain, StoreDrain { thread: 1, level: HitLevel::Memory });
+        assert_eq!(drain, StoreDrain { core: 0, thread: 1, level: HitLevel::Memory });
         assert_eq!(h.access(AccessKind::Load, 0x8000), 0, "store allocated into L1D");
         assert_eq!(h.mem_stats().wb_enqueued, 0);
     }
@@ -899,6 +1082,89 @@ mod tests {
         h.reset_stats();
         assert_eq!(h.mem_stats(), MemStats::default());
         assert_eq!(h.snapshot().l1d_mshrs_in_flight, 1, "in-flight misses are machine state");
+    }
+
+    // --- multi-requestor operation ---
+
+    #[test]
+    fn cores_have_private_l1s_but_share_the_l2() {
+        let mut h = Hierarchy::new_multi(HierarchyConfig::paper(), 2);
+        assert_eq!(h.num_cores(), 2);
+        assert_eq!(h.access_for(0, AccessKind::Load, 0x10_0000), 160, "cold on core 0");
+        assert_eq!(
+            h.access_for(1, AccessKind::Load, 0x10_0000),
+            10,
+            "core 1 misses its private L1D but hits the shared L2"
+        );
+        assert_eq!(h.access_for(0, AccessKind::Load, 0x10_0000), 0, "core 0 L1D retains it");
+        assert_eq!(h.stats_for(0).l1d.accesses(), 2);
+        assert_eq!(h.stats_for(1).l1d.accesses(), 1);
+        assert_eq!(h.stats_for(1).memory_accesses, 1, "memory traffic is whole-hierarchy");
+    }
+
+    #[test]
+    fn shared_bus_queues_across_cores_with_per_core_attribution() {
+        let nb = NonBlockingConfig { bus_cycles_per_transfer: 20, ..Default::default() };
+        let mut h = Hierarchy::new_multi(nb_cfg(nb), 2);
+        let a = h.request_for(0, AccessKind::Load, 0x10_0000, 5, 0, w0());
+        let b = h.request_for(1, AccessKind::Load, 0x20_0000, 5, 0, w0());
+        assert_eq!(a.queue_delay, 0);
+        assert_eq!(b.queue_delay, 20, "core 1's miss queues behind core 0's on the shared bus");
+        assert_eq!(h.mem_stats_for(0).bus.transactions, 1);
+        assert_eq!(h.mem_stats_for(1).bus.transactions, 1);
+        assert_eq!(h.mem_stats_for(0).bus.queue_delay_sum, 0);
+        assert_eq!(h.mem_stats_for(1).bus.queue_delay_sum, 20);
+        assert_eq!(h.mem_stats().bus.transactions, 2, "aggregate sums the per-core shares");
+    }
+
+    #[test]
+    fn per_core_l1_mshrs_do_not_contend() {
+        let nb = NonBlockingConfig { l1d_mshrs: 1, ..Default::default() };
+        let mut h = Hierarchy::new_multi(nb_cfg(nb), 2);
+        let _ = h.request_for(0, AccessKind::Load, 0x10_0000, 0, 0, w0());
+        assert!(
+            !h.admissible_for(0, AccessKind::Load, 0x20_0000),
+            "core 0's single L1D MSHR is occupied"
+        );
+        assert!(
+            h.admissible_for(1, AccessKind::Load, 0x20_0000),
+            "core 1's private MSHR file is empty"
+        );
+    }
+
+    #[test]
+    fn write_buffer_drains_attribute_to_the_owning_core() {
+        let nb = NonBlockingConfig {
+            write_buffer_entries: 4,
+            write_buffer_drain_per_cycle: 2,
+            ..Default::default()
+        };
+        let mut h = Hierarchy::new_multi(nb_cfg(nb), 2);
+        assert!(h.push_store_for(1, 0, 0x1000, 0).is_none());
+        assert!(h.push_store_for(0, 2, 0x2000, 0).is_none());
+        let d = h.step(1);
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].core, d[0].thread), (1, 0), "FIFO order, core attribution intact");
+        assert_eq!((d[1].core, d[1].thread), (0, 2));
+        assert_eq!(h.mem_stats_for(1).wb_enqueued, 1);
+        assert_eq!(h.mem_stats_for(0).wb_enqueued, 1);
+        assert_eq!(h.mem_stats().wb_drained, 2);
+    }
+
+    #[test]
+    fn one_core_multi_constructor_matches_the_legacy_single_core_api() {
+        let nb = NonBlockingConfig { bus_cycles_per_transfer: 8, ..Default::default() };
+        let mut a = Hierarchy::new(nb_cfg(nb));
+        let mut b = Hierarchy::new_multi(nb_cfg(nb), 1);
+        for (i, addr) in [0x10_0000u64, 0x20_0000, 0x10_0000, 0x4000].into_iter().enumerate() {
+            let now = i as u64 * 3;
+            let ra = a.request(AccessKind::Load, addr, now, 0, w0());
+            let rb = b.request_for(0, AccessKind::Load, addr, now, 0, w0());
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.stats(), b.stats_for(0));
+        assert_eq!(a.mem_stats(), b.mem_stats_for(0));
+        assert_eq!(a.mem_stats(), b.mem_stats());
     }
 
     #[test]

@@ -164,6 +164,73 @@ impl ThreadCounters {
         rep(&mut self.wb_full_stall_cycles, *wb_full_stall_cycles, k);
     }
 
+    /// Field-wise accumulate `other` into `self` — the per-thread unit of
+    /// the multi-core rollup. The exhaustive destructuring is deliberate:
+    /// adding a counter field without deciding its rollup story must break
+    /// this function's compilation.
+    pub fn absorb(&mut self, other: &ThreadCounters) {
+        let ThreadCounters {
+            fetched,
+            dispatched,
+            issued,
+            committed,
+            branches,
+            mispredicts,
+            dir_mispredicts,
+            btb_mispredicts,
+            ndi_blocked_cycles,
+            iq_full_cycles,
+            rob_full_cycles,
+            lsq_full_cycles,
+            iq_residency_sum,
+            hdis_dispatched,
+            hdis_dependent_on_ndi,
+            dispatched_by_nonready,
+            dab_dispatches,
+            iq_occupancy_sum,
+            wrong_path_fetched,
+            l1d_hits,
+            l1d_misses,
+            l2_hits,
+            l2_misses,
+            mlp_sum,
+            mem_busy_cycles,
+            mshr_full_defers,
+            fetch_mshr_stall_cycles,
+            wb_full_stall_cycles,
+        } = other;
+        self.fetched += fetched;
+        self.dispatched += dispatched;
+        self.issued += issued;
+        self.committed += committed;
+        self.branches += branches;
+        self.mispredicts += mispredicts;
+        self.dir_mispredicts += dir_mispredicts;
+        self.btb_mispredicts += btb_mispredicts;
+        self.ndi_blocked_cycles += ndi_blocked_cycles;
+        self.iq_full_cycles += iq_full_cycles;
+        self.rob_full_cycles += rob_full_cycles;
+        self.lsq_full_cycles += lsq_full_cycles;
+        self.iq_residency_sum += iq_residency_sum;
+        self.hdis_dispatched += hdis_dispatched;
+        self.hdis_dependent_on_ndi += hdis_dependent_on_ndi;
+        for (cur, prev) in self.dispatched_by_nonready.iter_mut().zip(dispatched_by_nonready) {
+            *cur += prev;
+        }
+        self.dab_dispatches += dab_dispatches;
+        self.iq_occupancy_sum += iq_occupancy_sum;
+        self.wrong_path_fetched += wrong_path_fetched;
+        self.l1d_hits += l1d_hits;
+        self.l1d_misses += l1d_misses;
+        self.l2_hits += l2_hits;
+        self.l2_misses += l2_misses;
+        self.mlp_sum += mlp_sum;
+        self.mem_busy_cycles += mem_busy_cycles;
+        self.mshr_full_defers += mshr_full_defers;
+        self.fetch_mshr_stall_cycles += fetch_mshr_stall_cycles;
+        self.wb_full_stall_cycles += wb_full_stall_cycles;
+    }
+
     /// Branch misprediction rate over committed branches.
     pub fn mispredict_rate(&self) -> f64 {
         if self.branches == 0 {
@@ -247,6 +314,22 @@ impl FaultCounters {
         rep(&mut self.issue_defers, *issue_defers, k);
         rep(&mut self.cache_extra_injected, *cache_extra_injected, k);
         rep(&mut self.predictor_flushes_injected, *predictor_flushes_injected, k);
+    }
+
+    /// Field-wise accumulate `other` into `self` (multi-core rollup).
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        let FaultCounters {
+            wakeup_drops,
+            wakeup_redeliveries,
+            issue_defers,
+            cache_extra_injected,
+            predictor_flushes_injected,
+        } = other;
+        self.wakeup_drops += wakeup_drops;
+        self.wakeup_redeliveries += wakeup_redeliveries;
+        self.issue_defers += issue_defers;
+        self.cache_extra_injected += cache_extra_injected;
+        self.predictor_flushes_injected += predictor_flushes_injected;
     }
 
     /// Total injected perturbations (re-deliveries are recovery actions,
@@ -393,6 +476,44 @@ impl SimCounters {
         rep(&mut self.watchdog_flushes, *watchdog_flushes, k);
         rep(&mut self.fetch_policy_flushes, *fetch_policy_flushes, k);
         self.faults.replicate_idle_deltas(faults, k);
+    }
+
+    /// Fold one core's counters into a machine-level aggregate whose
+    /// `threads` vector is indexed by *global* thread id: `rows[i]` names
+    /// the aggregate row core-local thread `i` lands on (`None` for sealed
+    /// placeholder slots left behind by migration). Cores share one clock,
+    /// so `cycles` takes the max rather than the sum. `mem` is deliberately
+    /// **not** folded: each core's view mirrors the *shared* hierarchy's
+    /// occupancy statistics, so summing the views would double-count them —
+    /// the caller syncs the aggregate straight from the hierarchy instead.
+    pub fn absorb_core(&mut self, core: &SimCounters, rows: &[Option<usize>]) {
+        let SimCounters {
+            cycles,
+            threads,
+            all_threads_ndi_stall_cycles,
+            cycles_with_dispatch_work,
+            pileup_total,
+            pileup_hdis,
+            iq_occupancy_sum,
+            watchdog_flushes,
+            fetch_policy_flushes,
+            faults,
+            mem: _,
+        } = core;
+        self.cycles = self.cycles.max(*cycles);
+        for (i, b) in threads.iter().enumerate() {
+            if let Some(g) = rows.get(i).copied().flatten() {
+                self.threads[g].absorb(b);
+            }
+        }
+        self.all_threads_ndi_stall_cycles += all_threads_ndi_stall_cycles;
+        self.cycles_with_dispatch_work += cycles_with_dispatch_work;
+        self.pileup_total += pileup_total;
+        self.pileup_hdis += pileup_hdis;
+        self.iq_occupancy_sum += iq_occupancy_sum;
+        self.watchdog_flushes += watchdog_flushes;
+        self.fetch_policy_flushes += fetch_policy_flushes;
+        self.faults.absorb(faults);
     }
 
     /// Total dispatched instructions across threads.

@@ -14,7 +14,7 @@
 //!
 //! Experiments:
 //!   fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8
-//!   stalls | stallattr | hdi | residency | filter | table1 | mixes | mlp | all
+//!   stalls | stallattr | hdi | residency | filter | table1 | mixes | mlp | alloc | all
 //!
 //! `--target` sets the per-thread commit budget (default 20000; the paper
 //! used 100M — see DESIGN.md §3 on scaling). `all` regenerates everything.
@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: paperbench <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|stalls|stallattr|hdi|\
-         residency|filter|table1|mixes|mlp|all> [--target N] [--seed S] [--jobs N] \
+         residency|filter|table1|mixes|mlp|alloc|all> [--target N] [--seed S] [--jobs N] \
          [--json FILE] [--journal FILE] [--budget SECS]\n       \
          paperbench serve [--jobs N] [--socket PATH] [--max-inflight N] [--heartbeat SECS] \
          [--grace SECS]\n       \
@@ -243,7 +243,7 @@ fn main() {
                     "spec": r.spec,
                     "status": r.status.name(),
                     "attempts": r.attempts,
-                    "effective_fast_forward": r.metrics.effective_fast_forward,
+                    "fast_forward": r.metrics.fast_forward,
                     "wedge": r.report.as_ref().map(|rep| rep.summary()),
                 })
             })

@@ -46,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "convergence",
     "mixdetail",
     "mlp",
+    "alloc",
     "all",
 ];
 
@@ -98,6 +99,11 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
             let rows = exp::mlp_contention(params);
             out.data.push(("mlp".into(), serde_json::json!(rows)));
             out.sections.push(("mlp".into(), report::render_mlp(&rows)));
+        }
+        "alloc" => {
+            let rows = exp::alloc_matrix(params);
+            out.data.push(("alloc".into(), serde_json::json!(rows)));
+            out.sections.push(("alloc".into(), report::render_alloc(&rows)));
         }
         "table1" => out.sections.push(("table1".into(), report::render_table1())),
         "mixes" => out.sections.push(("mixes".into(), report::render_mixes_tables())),
@@ -198,6 +204,12 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
             let mlp_rows = exp::mlp_contention(params);
             out.data.push(("mlp".into(), serde_json::json!(mlp_rows)));
             out.sections.push(("mlp".into(), report::render_mlp(&mlp_rows)));
+            if db.is_cancelled() {
+                return true;
+            }
+            let alloc_rows = exp::alloc_matrix(params);
+            out.data.push(("alloc".into(), serde_json::json!(alloc_rows)));
+            out.sections.push(("alloc".into(), report::render_alloc(&alloc_rows)));
         }
         _ => return false,
     }

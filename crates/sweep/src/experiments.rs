@@ -962,6 +962,93 @@ pub fn mix_detail(db: &ResultsDb, table: MixTable, iq: usize, p: ExpParams) -> V
         .collect()
 }
 
+/// One cell of the thread-to-core allocation × dispatch-policy matrix: M
+/// software threads placed onto N < M cores (shared L2, MSHR file, memory
+/// bus and write-buffer drain) by an [`smt_core::AllocPolicy`], crossed
+/// with the paper's dispatch policies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocRow {
+    /// Workload label (thread count, mix, core count).
+    pub workload: String,
+    /// Cores in the machine.
+    pub cores: usize,
+    /// Software threads in the workload.
+    pub threads: usize,
+    /// Thread-to-core allocation policy.
+    pub alloc: String,
+    /// Dispatch policy (all cores run the same one).
+    pub dispatch: String,
+    /// Whole-machine throughput IPC (zero if the run wedged).
+    pub ipc: f64,
+    /// Harmonic mean of per-thread IPC — penalises placements that starve
+    /// a thread even when the aggregate stays high.
+    pub hmean_ipc: f64,
+    /// Thread migrations the policy performed (0 for static placements).
+    pub migrations: u64,
+    /// Deadlock summary if this configuration wedged.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wedge: Option<String>,
+}
+
+/// Sweep every thread-to-core allocation policy × the paper's three
+/// dispatch policies over multi-core machines with more threads than
+/// cores: the 4-thread Mix 7 (2 LOW + 2 HIGH) on 2 cores, and a 6-thread
+/// memory-heavy stress mix on 2 cores. Dynamic policies run a short epoch
+/// so even quick sweeps cross several migration decision points.
+pub fn alloc_matrix(p: ExpParams) -> Vec<AllocRow> {
+    use smt_core::{AllocConfig, AllocPolicy, SimConfig};
+
+    let four = mixes_for(MixTable::FourThread)[6].benchmarks.clone();
+    let six: Vec<String> =
+        ["art", "equake", "twolf", "gcc", "crafty", "mesa"].map(String::from).to_vec();
+    let workloads: [(String, Vec<String>, usize); 2] =
+        [("4T Mix 7 / 2 cores".into(), four, 2), ("6T 3LOW+3HI / 2 cores".into(), six, 2)];
+    let mut jobs = Vec::new();
+    for (label, benches, cores) in workloads {
+        for alloc_policy in AllocPolicy::ALL {
+            for dispatch in POLICIES {
+                let spec = RunSpec::new(&benches, 64, dispatch, p.commit_target, p.seed);
+                let cfg = SimConfig::paper(64, dispatch);
+                let alloc = AllocConfig {
+                    policy: alloc_policy,
+                    // Short epochs: even an 800-commit smoke run crosses
+                    // several decision points.
+                    epoch_cycles: 1_000,
+                    ..AllocConfig::default()
+                };
+                jobs.push((
+                    label.clone(),
+                    benches.len(),
+                    cores,
+                    alloc_policy,
+                    dispatch,
+                    spec,
+                    cfg,
+                    alloc,
+                ));
+            }
+        }
+    }
+    crate::pool::ordered_par_map(
+        p.jobs,
+        jobs,
+        |(workload, threads, cores, alloc_policy, dispatch, spec, cfg, alloc)| {
+            let rec = crate::runner::run_machine_spec_recorded(&spec, cfg, cores, alloc);
+            AllocRow {
+                workload,
+                cores,
+                threads,
+                alloc: alloc_policy.name().to_string(),
+                dispatch: dispatch.name().to_string(),
+                ipc: rec.result.ipc,
+                hmean_ipc: harmonic_mean(&rec.result.per_thread_ipc).unwrap_or(0.0),
+                migrations: rec.result.migrations,
+                wedge: rec.wedge,
+            }
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

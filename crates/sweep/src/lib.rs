@@ -22,8 +22,9 @@ pub mod supervise;
 pub use db::ResultsDb;
 pub use pool::{ordered_par_map, SweepPool};
 pub use runner::{
-    run_spec, run_spec_supervised, run_spec_with_config, run_spec_with_config_recorded,
-    thread_seed, try_run_spec_with_config, RecordedRun, RunResult, RunSpec,
+    run_machine_spec_recorded, run_machine_spec_supervised, run_machine_spec_with_config, run_spec,
+    run_spec_supervised, run_spec_with_config, run_spec_with_config_recorded, thread_seed,
+    try_run_machine_spec_with_config, try_run_spec_with_config, RecordedRun, RunResult, RunSpec,
 };
 pub use supervise::{CancelToken, Supervisor};
 

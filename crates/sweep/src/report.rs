@@ -1,6 +1,8 @@
 //! Plain-text rendering of regenerated figures and tables.
 
-use crate::experiments::{Figure, HdiStats, MlpRow, ResidencyStats, StallAttribution, StallRow};
+use crate::experiments::{
+    AllocRow, Figure, HdiStats, MlpRow, ResidencyStats, StallAttribution, StallRow,
+};
 use crate::IQ_SIZES;
 use std::fmt::Write as _;
 
@@ -182,6 +184,33 @@ pub fn render_mlp(rows: &[MlpRow]) -> String {
     let _ = writeln!(
         out,
         "  (mshrs/bus of 'inf' = unlimited entries / infinite bandwidth; finite MSHRs cap\n            the overlap a memory-bound thread can expose, which narrows the OOO-dispatch\n            gap over traditional scheduling — see DESIGN.md §7)"
+    );
+    out
+}
+
+/// Render the thread-to-core allocation × dispatch-policy matrix.
+pub fn render_alloc(rows: &[AllocRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Thread-to-core allocation × dispatch policy (multi-core machine, shared L2/bus)"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24}{:<12}{:<16}{:>8}{:>8}{:>7}",
+        "workload", "alloc", "dispatch", "IPC", "hmean", "migr"
+    );
+    for r in rows {
+        let mark = if r.wedge.is_some() { "  WEDGED" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {:<24}{:<12}{:<16}{:>8.3}{:>8.3}{:>7}{mark}",
+            r.workload, r.alloc, r.dispatch, r.ipc, r.hmean_ipc, r.migrations
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (M threads placed on N < M cores; hmean penalises starved threads. RANDOM/RR\n            are static placements, ILP_BAL/MLP_BAL/CONTENTION migrate one thread per\n            epoch when the load imbalance exceeds the hysteresis band — see DESIGN.md §8)"
     );
     out
 }

@@ -2,7 +2,9 @@
 
 use crate::supervise::CancelToken;
 use serde::{Deserialize, Serialize};
-use smt_core::{DeadlockReport, DispatchPolicy, RunOutcome, SimConfig, Simulator};
+use smt_core::{
+    AllocConfig, DeadlockReport, DispatchPolicy, Machine, RunOutcome, SimConfig, Simulator,
+};
 use smt_stats::SimCounters;
 use smt_workload::{benchmark, InstGenerator, SyntheticGen};
 
@@ -101,12 +103,12 @@ pub struct RunResult {
     pub mean_iq_residency: f64,
     /// Mean IQ occupancy.
     pub mean_iq_occupancy: f64,
-    /// Whether idle-cycle fast-forward was actually active for this run.
-    /// The simulator silently disables the skip under round-robin fetch
-    /// even when the configuration requests it, so this records the
-    /// *effective* state (see [`SimConfig::effective_fast_forward`]).
+    /// Whether idle-cycle fast-forward was active for this run. (Earlier
+    /// revisions silently disabled the skip under round-robin fetch and
+    /// recorded an "effective" state; the event-driven loop removed the
+    /// carve-out, so this is simply the configuration flag.)
     #[serde(default)]
-    pub effective_fast_forward: bool,
+    pub fast_forward: bool,
     /// Calendar jumps the event-driven loop took during this run (warm-up
     /// included — the skip machinery runs across the whole lifetime).
     #[serde(default)]
@@ -116,6 +118,10 @@ pub struct RunResult {
     /// sweeps report it as the *effective* fast-forward rate.
     #[serde(default)]
     pub ff_skipped_cycles: u64,
+    /// Thread migrations performed by a dynamic allocation policy (always
+    /// 0 for single-core runs and static placements).
+    #[serde(default)]
+    pub migrations: u64,
     /// Full raw counters for deeper analysis.
     pub counters: SimCounters,
 }
@@ -136,9 +142,10 @@ impl RunResult {
             hdi_ndi_dep_frac: 0.0,
             mean_iq_residency: 0.0,
             mean_iq_occupancy: 0.0,
-            effective_fast_forward: false,
+            fast_forward: false,
             ff_jumps: 0,
             ff_skipped_cycles: 0,
+            migrations: 0,
             counters: SimCounters::new(n_threads),
         }
     }
@@ -222,41 +229,15 @@ pub fn run_spec_supervised(
     deadline: Option<std::time::Instant>,
     cancel: Option<&CancelToken>,
 ) -> Result<RunResult, RunFailure> {
-    cfg.iq_size = spec.iq_size;
-    cfg.policy = spec.policy;
-    if cfg.policy.is_out_of_order() && cfg.deadlock == smt_core::DeadlockMode::None {
-        cfg.deadlock = smt_core::DeadlockMode::Dab { size: 4 };
-    }
-    if !cfg.policy.is_out_of_order() {
-        if let smt_core::DeadlockMode::Dab { .. } = cfg.deadlock {
-            cfg.deadlock = smt_core::DeadlockMode::None;
-        }
-    }
-    if spec.max_cycles > 0 {
-        cfg.max_cycles = spec.max_cycles;
-    }
-    // Safety net: no realistic run needs more cycles than this; a wedged
-    // pipeline would otherwise hang the whole sweep.
-    if cfg.max_cycles == 0 {
-        cfg.max_cycles = (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
-    }
-    let effective_fast_forward = cfg.effective_fast_forward();
+    normalize_cfg(spec, &mut cfg);
+    let fast_forward = cfg.fast_forward;
     let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
     let abort = || cancelled() || expired();
     // An Aborted outcome is ambiguous between the two supervisors; the
     // token wins so a cancelled run is never journaled as a timeout.
     let aborted = || if cancelled() { RunFailure::Cancelled } else { RunFailure::TimedOut };
-    let streams: Vec<Box<dyn InstGenerator>> = spec
-        .benchmarks
-        .iter()
-        .enumerate()
-        .map(|(t, b)| {
-            Box::new(SyntheticGen::new(benchmark(b), t, thread_seed(spec.seed, b, t)))
-                as Box<dyn InstGenerator>
-        })
-        .collect();
-    let mut sim = Simulator::new(cfg, streams);
+    let mut sim = Simulator::new(cfg, spec_streams(spec));
     if spec.warmup > 0 {
         match sim.run_until_all_committed_with_abort(spec.warmup, abort) {
             RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
@@ -283,11 +264,156 @@ pub fn run_spec_supervised(
         hdi_ndi_dep_frac: c.hdi_ndi_dependence_fraction(),
         mean_iq_residency: c.mean_iq_residency(),
         mean_iq_occupancy: c.mean_iq_occupancy(),
-        effective_fast_forward,
+        fast_forward,
         ff_jumps,
         ff_skipped_cycles,
+        migrations: 0,
         counters: c,
     })
+}
+
+/// Spec-driven configuration normalization shared by the single-core and
+/// multi-core runners: the spec's IQ size and policy override the config's,
+/// the DAB backstop tracks whether the policy dispatches out of order, and
+/// the cycle ceiling falls back to a generous safety net so a wedged
+/// pipeline cannot hang its sweep.
+fn normalize_cfg(spec: &RunSpec, cfg: &mut SimConfig) {
+    cfg.iq_size = spec.iq_size;
+    cfg.policy = spec.policy;
+    if cfg.policy.is_out_of_order() && cfg.deadlock == smt_core::DeadlockMode::None {
+        cfg.deadlock = smt_core::DeadlockMode::Dab { size: 4 };
+    }
+    if !cfg.policy.is_out_of_order() {
+        if let smt_core::DeadlockMode::Dab { .. } = cfg.deadlock {
+            cfg.deadlock = smt_core::DeadlockMode::None;
+        }
+    }
+    if spec.max_cycles > 0 {
+        cfg.max_cycles = spec.max_cycles;
+    }
+    if cfg.max_cycles == 0 {
+        cfg.max_cycles = (spec.commit_target + spec.warmup).saturating_mul(800).max(4_000_000);
+    }
+}
+
+/// One deterministic instruction stream per benchmark slot in the spec.
+fn spec_streams(spec: &RunSpec) -> Vec<Box<dyn InstGenerator>> {
+    spec.benchmarks
+        .iter()
+        .enumerate()
+        .map(|(t, b)| {
+            Box::new(SyntheticGen::new(benchmark(b), t, thread_seed(spec.seed, b, t)))
+                as Box<dyn InstGenerator>
+        })
+        .collect()
+}
+
+/// Execute one run on the multi-core [`Machine`]: the spec's benchmarks
+/// become M software threads placed onto `cores` cores by `alloc`. The
+/// warm-up/measure protocol, supervision hooks and result shape match
+/// [`run_spec_supervised`] exactly — with `cores == 1` the machine *is* the
+/// single-core simulator bit for bit, which `tests/multicore_differential.rs`
+/// pins.
+pub fn run_machine_spec_supervised(
+    spec: &RunSpec,
+    mut cfg: SimConfig,
+    cores: usize,
+    alloc: AllocConfig,
+    deadline: Option<std::time::Instant>,
+    cancel: Option<&CancelToken>,
+) -> Result<RunResult, RunFailure> {
+    normalize_cfg(spec, &mut cfg);
+    let fast_forward = cfg.fast_forward;
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+    let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+    let abort = || cancelled() || expired();
+    let aborted = || if cancelled() { RunFailure::Cancelled } else { RunFailure::TimedOut };
+    let mut machine = Machine::new(cfg, cores, alloc, spec_streams(spec));
+    if spec.warmup > 0 {
+        match machine.run_until_all_committed_with_abort(spec.warmup, abort) {
+            RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
+            RunOutcome::Aborted => return Err(aborted()),
+            _ => {}
+        }
+        machine.reset_measurement();
+    }
+    let outcome = machine.run_with_abort(spec.commit_target, abort);
+    match outcome {
+        RunOutcome::Wedged(report) => return Err(RunFailure::Wedged(report)),
+        RunOutcome::Aborted => return Err(aborted()),
+        _ => {}
+    }
+    let c = machine.counters();
+    let (ff_jumps, ff_skipped_cycles) = machine.ff_stats();
+    Ok(RunResult {
+        outcome_target_reached: matches!(outcome, RunOutcome::TargetReached),
+        ipc: c.throughput_ipc(),
+        per_thread_ipc: c.per_thread_ipc(),
+        cycles: c.cycles,
+        all_stall_frac: c.all_stall_fraction(),
+        hdi_pileup_frac: c.hdi_pileup_fraction(),
+        hdi_ndi_dep_frac: c.hdi_ndi_dependence_fraction(),
+        mean_iq_residency: c.mean_iq_residency(),
+        mean_iq_occupancy: c.mean_iq_occupancy(),
+        fast_forward,
+        ff_jumps,
+        ff_skipped_cycles,
+        migrations: machine.migrations(),
+        counters: c,
+    })
+}
+
+/// [`run_machine_spec_supervised`] without supervision, returning the wedge
+/// report instead of panicking — the multi-core analogue of
+/// [`try_run_spec_with_config`].
+pub fn try_run_machine_spec_with_config(
+    spec: &RunSpec,
+    cfg: SimConfig,
+    cores: usize,
+    alloc: AllocConfig,
+) -> Result<RunResult, Box<DeadlockReport>> {
+    run_machine_spec_supervised(spec, cfg, cores, alloc, None, None).map_err(|f| match f {
+        RunFailure::Wedged(report) => report,
+        RunFailure::TimedOut => unreachable!("no deadline was set"),
+        RunFailure::Cancelled => unreachable!("no cancel token was set"),
+    })
+}
+
+/// Multi-core run that panics with the full deadlock report on a wedge —
+/// the multi-core analogue of [`run_spec_with_config`].
+pub fn run_machine_spec_with_config(
+    spec: &RunSpec,
+    cfg: SimConfig,
+    cores: usize,
+    alloc: AllocConfig,
+) -> RunResult {
+    match try_run_machine_spec_with_config(spec, cfg, cores, alloc) {
+        Ok(r) => r,
+        Err(report) => {
+            let json = serde_json::to_string_pretty(&*report)
+                .unwrap_or_else(|e| format!("<report serialization failed: {e}>"));
+            panic!(
+                "machine wedged (no forward progress): {spec:?} cores={cores}\n{report}\nfull report:\n{json}"
+            );
+        }
+    }
+}
+
+/// Multi-core run that records a wedge inline instead of propagating it —
+/// the multi-core analogue of [`run_spec_with_config_recorded`].
+pub fn run_machine_spec_recorded(
+    spec: &RunSpec,
+    cfg: SimConfig,
+    cores: usize,
+    alloc: AllocConfig,
+) -> RecordedRun {
+    match try_run_machine_spec_with_config(spec, cfg, cores, alloc) {
+        Ok(result) => RecordedRun { result, wedge: None },
+        Err(report) => RecordedRun {
+            result: RunResult::failed(spec.benchmarks.len()),
+            wedge: Some(report.summary()),
+        },
+    }
 }
 
 /// A run's result together with the wedge diagnosis, if it wedged. Lets

@@ -161,9 +161,8 @@ fn fast_forward_is_bit_for_bit_under_round_robin_fetch() {
 fn fast_forward_round_robin_actually_jumps() {
     // Guard against silently re-growing the carve-out: a miss-heavy
     // round-robin run must both match the plain run *and* have skipped a
-    // substantial number of cycles. (`effective_fast_forward` still exists
-    // for schema compatibility, so only the skip counter can prove the
-    // fast path really ran.)
+    // substantial number of cycles — only the skip counter can prove the
+    // fast path really ran.
     let spec = RunSpec::new(&["art", "art"], 48, DispatchPolicy::Traditional, 2_000, 21);
     let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
     cfg.fetch_policy = FetchPolicy::RoundRobin;

@@ -1,0 +1,171 @@
+//! Differential tests for the multi-core machine.
+//!
+//! A [`Machine`] with one core is the single-core [`Simulator`] — not
+//! approximately, *bit for bit*: identical cycle counts, identical
+//! fast-forward jump statistics, identical per-thread counters, identical
+//! fault streams. The two run through the `Core` pipeline via different
+//! wrappers (the simulator steps its private hierarchy inline; the machine
+//! steps a shared multi-requestor hierarchy once per cycle and computes
+//! calendar jumps as a min across cores), so this equivalence is a genuine
+//! check that the multi-core plumbing — per-core attribution, shared-step
+//! ordering, the jump fold — changes nothing until a second core exists.
+//!
+//! Every allocation policy must degenerate identically at N=1: with one
+//! core there is nowhere to migrate, so even the dynamic policies must
+//! leave the pipeline untouched.
+
+use smt_sim::core::{
+    AllocConfig, AllocPolicy, DispatchPolicy, FaultClass, FaultConfig, FetchPolicy, SimConfig,
+};
+use smt_sim::mem::{MemModel, NonBlockingConfig};
+use smt_sim::sweep::{run_machine_spec_with_config, run_spec_with_config, RunSpec};
+
+/// Run `spec` through the single-core simulator and through a one-core
+/// machine under `alloc`, and assert every observable matches bit for bit.
+fn assert_degenerate(label: &str, spec: &RunSpec, cfg: SimConfig, alloc: AllocConfig) {
+    let sim = run_spec_with_config(spec, cfg.clone());
+    let mac = run_machine_spec_with_config(spec, cfg, 1, alloc);
+    assert_eq!(sim.cycles, mac.cycles, "{label}: cycle counts diverge");
+    assert_eq!(sim.ff_jumps, mac.ff_jumps, "{label}: calendar jump counts diverge");
+    assert_eq!(sim.ff_skipped_cycles, mac.ff_skipped_cycles, "{label}: skipped cycles diverge");
+    assert_eq!(sim.per_thread_ipc, mac.per_thread_ipc, "{label}: per-thread IPC diverges");
+    assert_eq!(sim.counters, mac.counters, "{label}: counters diverge");
+    assert_eq!(mac.migrations, 0, "{label}: a one-core machine cannot migrate");
+}
+
+#[test]
+fn one_core_machine_matches_simulator_across_dispatch_policies() {
+    for policy in
+        [DispatchPolicy::Traditional, DispatchPolicy::TwoOpBlock, DispatchPolicy::TwoOpBlockOoo]
+    {
+        let spec = RunSpec::new(&["gcc", "art"], 48, policy, 3_000, 7).with_warmup(500);
+        let cfg = SimConfig::paper(48, policy);
+        assert_degenerate(&format!("{policy:?}"), &spec, cfg, AllocConfig::default());
+    }
+}
+
+#[test]
+fn one_core_machine_matches_simulator_under_every_allocation_policy() {
+    // With one core the allocation policy is irrelevant by construction;
+    // prove it stays irrelevant (no epoch machinery bleeding into timing —
+    // dynamic policies clamp calendar jumps at epoch boundaries only when
+    // a second core exists).
+    let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_500, 11)
+        .with_warmup(500);
+    for policy in AllocPolicy::ALL {
+        let alloc = AllocConfig { policy, epoch_cycles: 100, ..AllocConfig::default() };
+        let cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        assert_degenerate(policy.name(), &spec, cfg, alloc);
+    }
+}
+
+#[test]
+fn one_core_machine_matches_simulator_under_round_robin_fetch() {
+    // Round-robin fetch exercises the jump-time pick-cursor rotation; the
+    // machine's min-across-cores fold must preserve it exactly.
+    let spec = RunSpec::new(&["art", "art"], 48, DispatchPolicy::Traditional, 2_000, 21);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
+    cfg.fetch_policy = FetchPolicy::RoundRobin;
+    assert_degenerate("rr-fetch", &spec, cfg, AllocConfig::default());
+}
+
+#[test]
+fn one_core_machine_matches_simulator_with_faults_injected() {
+    // Fault sites are keyed on cycle/thread/trace_idx, so identical timing
+    // must produce identical injection streams through the machine path.
+    let spec = RunSpec::new(&["gcc", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_500, 3);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 41);
+    faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 300_000;
+    cfg.faults = faults;
+    let sim = run_spec_with_config(&spec, cfg.clone());
+    assert!(sim.counters.faults.cache_extra_injected > 0, "fault config must actually fire");
+    assert_degenerate("faults", &spec, cfg, AllocConfig::default());
+}
+
+#[test]
+fn one_core_machine_matches_simulator_with_finite_mshrs_and_bus() {
+    // A constrained non-blocking hierarchy (finite MSHRs, a slow shared
+    // bus, a small write buffer) drives the multi-requestor arbitration
+    // and write-buffer drain paths hard; the per-core attribution must
+    // still be exact at N=1.
+    let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 5);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let nb = NonBlockingConfig {
+        l1d_mshrs: 4,
+        l2_mshrs: 8,
+        bus_cycles_per_transfer: 6,
+        write_buffer_entries: 4,
+        write_buffer_drain_per_cycle: 1,
+        ..NonBlockingConfig::default()
+    };
+    cfg.hierarchy.model = MemModel::NonBlocking(nb);
+    assert_degenerate("finite-mem", &spec, cfg, AllocConfig::default());
+}
+
+#[test]
+fn one_core_machine_matches_simulator_under_stall_and_flush_fetch() {
+    for fetch_policy in [FetchPolicy::Stall, FetchPolicy::Flush] {
+        let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 11);
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        assert_degenerate(&format!("{fetch_policy:?}"), &spec, cfg, AllocConfig::default());
+    }
+}
+
+#[test]
+fn two_core_machine_commits_and_attributes_work_to_both_cores() {
+    // Not a differential — a smoke check that N=2 actually distributes
+    // work: every thread must commit, and the machine must finish.
+    let spec = RunSpec::new(
+        &["gcc", "art", "crafty", "mesa"],
+        48,
+        DispatchPolicy::TwoOpBlockOoo,
+        2_000,
+        9,
+    )
+    .with_warmup(500);
+    let cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let r = run_machine_spec_with_config(&spec, cfg, 2, AllocConfig::default());
+    assert!(r.outcome_target_reached, "4 threads on 2 cores must reach the target");
+    for (t, ipc) in r.per_thread_ipc.iter().enumerate() {
+        assert!(*ipc > 0.0, "thread {t} committed nothing");
+    }
+}
+
+#[test]
+fn dynamic_policies_migrate_on_an_imbalanced_two_core_machine() {
+    // Three memory-bound threads packed against one compute thread gives a
+    // dynamic policy an imbalance worth correcting; with a short epoch it
+    // must take at least one migration and still finish the run.
+    let spec =
+        RunSpec::new(&["art", "art", "twolf", "gcc"], 48, DispatchPolicy::TwoOpBlockOoo, 2_500, 13)
+            .with_warmup(500);
+    let mut any_migrated = false;
+    for policy in [AllocPolicy::IlpBalanced, AllocPolicy::MlpBalanced, AllocPolicy::ContentionAware]
+    {
+        let alloc = AllocConfig { policy, epoch_cycles: 500, ..AllocConfig::default() };
+        let cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        let r = run_machine_spec_with_config(&spec, cfg, 2, alloc);
+        assert!(r.outcome_target_reached, "{}: run must still finish", policy.name());
+        any_migrated |= r.migrations > 0;
+    }
+    assert!(any_migrated, "no dynamic policy migrated despite a packed imbalance");
+}
+
+#[test]
+fn machine_runs_are_deterministic() {
+    let spec =
+        RunSpec::new(&["gcc", "art", "equake"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 17);
+    let alloc = AllocConfig {
+        policy: AllocPolicy::MlpBalanced,
+        epoch_cycles: 400,
+        ..AllocConfig::default()
+    };
+    let cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+    let a = run_machine_spec_with_config(&spec, cfg.clone(), 2, alloc);
+    let b = run_machine_spec_with_config(&spec, cfg, 2, alloc);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.counters, b.counters);
+}
