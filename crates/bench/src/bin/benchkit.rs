@@ -3,7 +3,7 @@
 //! Runs a fixed "quick" profile (per-policy pipeline throughput in
 //! simulated kilo-instructions per host second, plus one wall-clock slice
 //! per paper-figure family) and emits a schema-stable JSON report
-//! (`BENCH_9.json` at the repo root is the committed baseline). The same
+//! (`BENCH_10.json` at the repo root is the committed baseline). The same
 //! binary compares a fresh run against a baseline file and fails on
 //! regression beyond a tolerance — that is the CI perf-smoke gate.
 //!
@@ -26,7 +26,7 @@
 //! ```json
 //! {
 //!   "schema": "smt-bench/2",
-//!   "bench_id": 9,
+//!   "bench_id": 10,
 //!   "profile": "quick",
 //!   "target": 20000,
 //!   "scenarios": [
@@ -47,9 +47,11 @@ struct Scenario {
     benches: &'static [&'static str],
     iq_size: usize,
     policy: DispatchPolicy,
-    /// STALL fetch gating makes the mix maximally memory-bound (threads
-    /// park completely during outstanding misses).
-    stall_fetch: bool,
+    /// Fetch policy for the run. STALL and MLP-GATE make memory-bound
+    /// mixes maximally idle (threads park during outstanding misses),
+    /// which is where the event-driven loop's fast-forward has the most
+    /// to win — and therefore the most to lose to a regression.
+    fetch: FetchPolicy,
     /// `Some((cores, alloc))` runs through the multi-core `Machine` with
     /// that thread-to-core allocation policy; `None` runs the single-core
     /// simulator path.
@@ -65,7 +67,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art"],
         iq_size: 48,
         policy: DispatchPolicy::Traditional,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -73,7 +75,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art"],
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlock,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -81,7 +83,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art"],
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlockOoo,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -89,7 +91,15 @@ const QUICK: &[Scenario] = &[
         benches: &["art", "twolf"],
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlockOoo,
-        stall_fetch: true,
+        fetch: FetchPolicy::Stall,
+        multicore: None,
+    },
+    Scenario {
+        name: "membound_mlpgate_art_twolf",
+        benches: &["art", "twolf"],
+        iq_size: 48,
+        policy: DispatchPolicy::TwoOpBlockOoo,
+        fetch: FetchPolicy::MlpGate,
         multicore: None,
     },
     Scenario {
@@ -97,7 +107,7 @@ const QUICK: &[Scenario] = &[
         benches: &["art"],
         iq_size: 48,
         policy: DispatchPolicy::Traditional,
-        stall_fetch: true,
+        fetch: FetchPolicy::Stall,
         multicore: None,
     },
     Scenario {
@@ -105,7 +115,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art", "crafty", "mesa"],
         iq_size: 32,
         policy: DispatchPolicy::TwoOpBlockOoo,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -113,7 +123,7 @@ const QUICK: &[Scenario] = &[
         benches: &["twolf", "mesa"],
         iq_size: 64,
         policy: DispatchPolicy::TwoOpBlockOoo,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -121,7 +131,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art", "crafty"],
         iq_size: 64,
         policy: DispatchPolicy::TwoOpBlock,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -129,7 +139,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art", "crafty", "mesa"],
         iq_size: 64,
         policy: DispatchPolicy::Traditional,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: None,
     },
     Scenario {
@@ -137,7 +147,7 @@ const QUICK: &[Scenario] = &[
         benches: &["gcc", "art", "crafty", "mesa"],
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlockOoo,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: Some((2, AllocPolicy::RoundRobin)),
     },
     Scenario {
@@ -145,7 +155,7 @@ const QUICK: &[Scenario] = &[
         benches: &["art", "art", "twolf", "equake"],
         iq_size: 48,
         policy: DispatchPolicy::TwoOpBlockOoo,
-        stall_fetch: false,
+        fetch: FetchPolicy::ICount,
         multicore: Some((2, AllocPolicy::MlpBalanced)),
     },
 ];
@@ -170,9 +180,7 @@ struct Measured {
 fn run_scenario(s: &Scenario, target: u64) -> Measured {
     let spec = RunSpec::new(s.benches, s.iq_size, s.policy, target, 1);
     let mut cfg = SimConfig::paper(s.iq_size, s.policy);
-    if s.stall_fetch {
-        cfg.fetch_policy = FetchPolicy::Stall;
-    }
+    cfg.fetch_policy = s.fetch;
     let start = Instant::now();
     let r = match s.multicore {
         Some((cores, policy)) => {
@@ -202,7 +210,7 @@ fn to_json(target: u64, rows: &[Measured]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"smt-bench/2\",\n");
-    out.push_str("  \"bench_id\": 9,\n");
+    out.push_str("  \"bench_id\": 10,\n");
     out.push_str("  \"profile\": \"quick\",\n");
     out.push_str(&format!("  \"target\": {target},\n"));
     out.push_str("  \"scenarios\": [\n");

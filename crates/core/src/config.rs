@@ -94,9 +94,32 @@ pub enum FetchPolicy {
     /// the shared IQ/ROB resources are freed for other threads while the
     /// miss is outstanding.
     Flush,
+    /// MLP-aware gating (Durbhakula's MLP-aware scheduling line): I-Count,
+    /// but a thread with a long-latency L2/memory miss in flight is gated
+    /// until the scheduled fill time of its *last* such miss. Unlike STALL
+    /// (which probes `outstanding_mem_misses` each cycle) the gate is a
+    /// timestamp armed when the miss starts executing, so its release
+    /// cycle is a first-class `Calendar` wake source and event-driven
+    /// jumps stay bit-for-bit.
+    MlpGate,
+    /// ILP-aware yield ranking (Durbhakula's ILP-aware scheduling line):
+    /// fetch priority goes to the threads with the highest issue-slot
+    /// yield over the previous sliding window, replacing the raw icount
+    /// key; icount remains only as a tie-break within equal yields.
+    IlpYield,
 }
 
 impl FetchPolicy {
+    /// Every variant, for exhaustive sweeps and round-trip tests.
+    pub const ALL: [FetchPolicy; 6] = [
+        FetchPolicy::ICount,
+        FetchPolicy::RoundRobin,
+        FetchPolicy::Stall,
+        FetchPolicy::Flush,
+        FetchPolicy::MlpGate,
+        FetchPolicy::IlpYield,
+    ];
+
     /// Human-readable name used in reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -104,6 +127,8 @@ impl FetchPolicy {
             FetchPolicy::RoundRobin => "round-robin",
             FetchPolicy::Stall => "STALL",
             FetchPolicy::Flush => "FLUSH",
+            FetchPolicy::MlpGate => "MLP-GATE",
+            FetchPolicy::IlpYield => "ILP-YIELD",
         }
     }
 }
@@ -390,6 +415,32 @@ mod tests {
     fn validation_rejects_zero_sizes() {
         let c = SimConfig { iq_size: 0, ..SimConfig::default() };
         assert!(c.validate(1).is_err());
+    }
+
+    #[test]
+    fn fetch_policy_names_are_distinct_and_round_trip_through_serde() {
+        // Exhaustive over `ALL` (itself pinned exhaustive by the length of
+        // the match in `name()`): a future variant added without a name or
+        // serde coverage fails here rather than falling through silently.
+        let mut names = std::collections::HashSet::new();
+        for p in FetchPolicy::ALL {
+            assert!(names.insert(p.name()), "duplicate name {}", p.name());
+            let json = serde_json::to_string(&p).expect("serialize");
+            let back: FetchPolicy = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(p, back, "serde round-trip changed the policy");
+        }
+        assert_eq!(names.len(), FetchPolicy::ALL.len());
+    }
+
+    #[test]
+    fn sim_config_round_trips_with_new_fetch_policies() {
+        for p in [FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+            let mut c = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+            c.fetch_policy = p;
+            let json = serde_json::to_string(&c).expect("serialize");
+            let back: SimConfig = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(c, back);
+        }
     }
 
     #[test]

@@ -35,6 +35,33 @@ pub fn pick_fetch_threads_into(
     picks.extend(rank.iter().take(max).map(|&(_, t)| t));
 }
 
+/// [`pick_fetch_threads_into`] with a deterministic *rotating* tie-break:
+/// equal keys rank by `(t + n - rr % n) % n` instead of raw thread id, so
+/// the thread that wins a tie advances one position per rotation step
+/// rather than thread 0 winning every tied cycle. `rr` is the caller's
+/// rotation cursor (the simulator's round-robin counter, bumped once per
+/// cycle). Used by the MLP/ILP-aware policies; ICOUNT keeps the fixed
+/// priority encoder of [`pick_fetch_threads_into`] so its goldens are
+/// untouched.
+pub fn pick_fetch_threads_rotating_into(
+    keys: &[Option<usize>],
+    max: usize,
+    rr: usize,
+    rank: &mut Vec<(usize, usize)>,
+    picks: &mut Vec<usize>,
+) {
+    rank.clear();
+    picks.clear();
+    let n = keys.len();
+    if n == 0 {
+        return;
+    }
+    let shift = rr % n;
+    rank.extend(keys.iter().enumerate().filter_map(|(t, c)| c.map(|c| (c, (t + n - shift) % n))));
+    rank.sort_unstable();
+    picks.extend(rank.iter().take(max).map(|&(_, rot)| (rot + shift) % n));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +97,52 @@ mod tests {
     #[test]
     fn single_thread_machine() {
         assert_eq!(pick_fetch_threads(&[Some(42)], 2), vec![0]);
+    }
+
+    fn rotating(keys: &[Option<usize>], max: usize, rr: usize) -> Vec<usize> {
+        let (mut rank, mut picks) = (Vec::new(), Vec::new());
+        pick_fetch_threads_rotating_into(keys, max, rr, &mut rank, &mut picks);
+        picks
+    }
+
+    #[test]
+    fn rotating_still_ranks_by_key_first() {
+        // Rotation only reorders *ties*; distinct keys rank identically to
+        // the fixed encoder at every cursor position.
+        for rr in 0..8 {
+            assert_eq!(rotating(&[Some(10), Some(3), Some(7)], 2, rr), vec![1, 2], "rr={rr}");
+        }
+    }
+
+    #[test]
+    fn rotating_tie_break_advances_with_the_cursor() {
+        let keys = [Some(5), Some(5), Some(5)];
+        assert_eq!(rotating(&keys, 2, 0), vec![0, 1]);
+        assert_eq!(rotating(&keys, 2, 1), vec![1, 2]);
+        assert_eq!(rotating(&keys, 2, 2), vec![2, 0]);
+        assert_eq!(rotating(&keys, 2, 3), vec![0, 1], "cursor wraps mod n");
+    }
+
+    #[test]
+    fn fixed_tie_break_starves_high_ids_where_rotation_does_not() {
+        // The fairness-skew regression the rotating break fixes: with a
+        // persistent 3-way tie and 1 fetch slot, the fixed encoder hands
+        // thread 0 *every* cycle; rotation shares slots evenly.
+        let keys = [Some(4), Some(4), Some(4)];
+        let mut fixed_wins = [0usize; 3];
+        let mut rot_wins = [0usize; 3];
+        for cycle in 0..300 {
+            fixed_wins[pick_fetch_threads(&keys, 1)[0]] += 1;
+            rot_wins[rotating(&keys, 1, cycle)[0]] += 1;
+        }
+        assert_eq!(fixed_wins, [300, 0, 0], "fixed encoder starves high ids on ties");
+        assert_eq!(rot_wins, [100, 100, 100], "rotation shares tied slots evenly");
+    }
+
+    #[test]
+    fn rotating_handles_empty_and_ineligible() {
+        assert!(rotating(&[], 2, 5).is_empty());
+        assert!(rotating(&[None, None], 2, 3).is_empty());
+        assert_eq!(rotating(&[None, Some(50), None, Some(2)], 2, 7), vec![3, 1]);
     }
 }

@@ -61,6 +61,10 @@ pub enum StallReason {
     /// No in-flight work and nothing renamable: the front end is starved
     /// (I-cache miss, gated fetch, redirect penalty).
     FetchStalled,
+    /// No in-flight work because the MLP-GATE fetch policy is holding the
+    /// thread until its outstanding long-latency miss fills (a timed gate
+    /// with a registered calendar wake source, not a wedge).
+    MlpGated,
     /// No structural block was identified; the thread should be advancing.
     Progressing,
 }

@@ -12,7 +12,7 @@ use crate::config::{DeadlockMode, FetchPolicy, SimConfig};
 use crate::dispatch::{is_ndi, plan_thread, plan_thread_into, BufView, Candidate};
 use crate::events::{Event, EventQueue};
 use crate::faults::{FaultClass, FaultInjector, FaultRecord};
-use crate::fetch::pick_fetch_threads_into;
+use crate::fetch::{pick_fetch_threads_into, pick_fetch_threads_rotating_into};
 use crate::fu::FuPools;
 use crate::issue_queue::{IqEntry, IssueQueue};
 use crate::lsq::{LoadCheck, Lsq};
@@ -137,6 +137,11 @@ enum RenameBlock {
     NoFreeRegs,
 }
 
+/// Sliding-window length in cycles for the ILP-YIELD fetch policy: each
+/// thread's fetch priority is its issue-slot yield over the previous
+/// absolute-aligned window of this many cycles.
+const YIELD_WINDOW: u64 = 64;
+
 /// Per-thread pipeline context.
 struct ThreadCtx {
     trace: TraceSource,
@@ -171,6 +176,18 @@ struct ThreadCtx {
     /// thread's real data structures, polluting the same cache sets).
     recent_addrs: [u64; 4],
     recent_addrs_at: usize,
+    /// MLP-GATE fetch policy: the thread is gated while `now` is below this
+    /// timestamp — the scheduled fill time of its last long-latency miss.
+    /// Always 0 under every other policy, so it never perturbs them.
+    mlp_gate_until: u64,
+    /// ILP-YIELD fetch policy: index of the sliding window the yield score
+    /// was last rolled up to (`now / YIELD_WINDOW`).
+    yield_win: u64,
+    /// Thread's `issued` counter value at the start of window `yield_win`.
+    yield_issued_at_win: u64,
+    /// Issue-slot yield observed over the window *before* `yield_win` —
+    /// the ILP-YIELD priority input (zero after an idle window gap).
+    yield_score: u64,
 }
 
 impl ThreadCtx {
@@ -345,6 +362,10 @@ impl Core {
                 wp_rng: 0x9E37_79B9_7F4A_7C15,
                 recent_addrs: [0x1000_0000; 4],
                 recent_addrs_at: 0,
+                mlp_gate_until: 0,
+                yield_win: 0,
+                yield_issued_at_win: 0,
+                yield_score: 0,
             })
             .collect();
         let (dab_size, dab_precedence) = match cfg.deadlock {
@@ -494,8 +515,13 @@ impl Core {
         self.counters = SimCounters::new(self.threads.len());
         self.committed_total = 0;
         self.measure_start = self.now;
+        let win = self.now / YIELD_WINDOW;
         for t in &mut self.threads {
             t.gshare.reset_stats();
+            // Re-base the ILP-YIELD window on the zeroed `issued` counter;
+            // the current score stays warm like the rest of the pipeline.
+            t.yield_win = win;
+            t.yield_issued_at_win = 0;
         }
     }
 
@@ -769,6 +795,15 @@ impl Core {
                 tc.mem_busy_cycles += 1;
                 tc.mlp_sum += om as u64;
             }
+            // MLP-GATE stall attribution: one count per cycle the gate
+            // holds the thread. The gate state is constant across a
+            // fast-forwarded stretch (its release is a calendar stop), so
+            // the per-cycle delta replays exactly.
+            if self.cfg.fetch_policy == FetchPolicy::MlpGate
+                && self.threads[t].mlp_gate_until > self.now
+            {
+                self.counters.threads[t].mlp_gate_cycles += 1;
+            }
         }
         self.sync_mem_counters(hier);
         self.watchdog_tick(dispatched);
@@ -917,29 +952,50 @@ impl Core {
         })
     }
 
+    /// The single fetch-eligibility predicate, probed at cycle `at`: may
+    /// thread `ctx` be offered a fetch slot on that cycle? Shared verbatim
+    /// by the per-cycle pick loop in `fetch_stage` (`at = now`) and the
+    /// fast-forward's [`Core::ff_fetch_quiescent`] (`at = now + 1`) — the
+    /// two used to hand-copy each other's arms and had already begun to
+    /// drift policy clauses; any future arm added here covers both
+    /// automatically, pinned by `tests/fast_forward_differential.rs`.
+    /// Every arm is monotone over an idle stretch and expires through a
+    /// wake source `ff_skip_len` bounds: gating and outstanding misses
+    /// clear on scheduled events, blocking on `fetch_blocked_until`, the
+    /// MLP gate on its own calendar entry, and a full front end drains
+    /// only through rename activity the activity signature does see.
+    fn fetch_eligible_at(&self, ctx: &ThreadCtx, at: u64) -> bool {
+        if ctx.fetch_gated_by.is_some()
+            || ctx.fetch_blocked_until > at
+            || ctx.frontend.len() >= self.frontend_cap
+            || (ctx.finished_fetch && ctx.wrongpath_of.is_none())
+        {
+            return false;
+        }
+        match self.cfg.fetch_policy {
+            // STALL/FLUSH: a thread with an outstanding memory miss does
+            // not fetch until the miss returns.
+            FetchPolicy::Stall | FetchPolicy::Flush => ctx.outstanding_mem_misses == 0,
+            // MLP-GATE: gated until the scheduled fill time of the
+            // thread's last long-latency miss.
+            FetchPolicy::MlpGate => ctx.mlp_gate_until <= at,
+            _ => true,
+        }
+    }
+
     /// Is every thread ineligible to fetch, this cycle *and* the next? The
     /// activity signature cannot see a fetch attempt that misses the
     /// I-cache (it delivers zero instructions yet re-blocks the thread and
     /// touches cache state), and the fetch-port limit means a thread left
     /// unpicked this cycle may be picked a few cycles later with no other
     /// state change — so skipping is only sound when *no* thread could be
-    /// picked at all. Every arm of this predicate expires through a wake
-    /// source `ff_skip_len` bounds: gating and outstanding misses clear on
-    /// scheduled events, blocking on `fetch_blocked_until`, and a full
-    /// front end drains only through rename activity the signature does
-    /// see. The blocking arm looks one cycle ahead (`> now + 1`) because a
-    /// thread unblocking next cycle makes the representative cycle a
-    /// doomed candidate — the calendar would bound the skip at zero
-    /// anyway.
+    /// picked at all. Probing [`Core::fetch_eligible_at`] one cycle ahead
+    /// (`now + 1`) covers both cycles: every arm is monotone, so a thread
+    /// ineligible next cycle was ineligible this cycle too, and a thread
+    /// unblocking next cycle makes the representative cycle a doomed
+    /// candidate — the calendar would bound the skip at zero anyway.
     fn ff_fetch_quiescent(&self) -> bool {
-        let stall_policy = matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush);
-        self.threads.iter().all(|ctx| {
-            ctx.fetch_gated_by.is_some()
-                || ctx.fetch_blocked_until > self.now + 1
-                || ctx.frontend.len() >= self.frontend_cap
-                || (ctx.finished_fetch && ctx.wrongpath_of.is_none())
-                || (stall_policy && ctx.outstanding_mem_misses > 0)
-        })
+        self.threads.iter().all(|ctx| !self.fetch_eligible_at(ctx, self.now + 1))
     }
 
     pub(crate) fn ff_activity_sig(&self, hier: &Hierarchy) -> FfActivitySig {
@@ -1016,6 +1072,14 @@ impl Core {
         for ctx in &self.threads {
             if ctx.fetch_blocked_until > self.now {
                 cal.stop_before(ctx.fetch_blocked_until);
+            }
+            // MLP-GATE release: the gate timestamp is a wake source in its
+            // own right — the fill event that armed it may deliver to a
+            // destination-less load or be squashed, so the gate's expiry
+            // is registered unconditionally (the field is 0 under every
+            // other policy, so this arm never fires for them).
+            if ctx.mlp_gate_until > self.now {
+                cal.stop_before(ctx.mlp_gate_until);
             }
             if let Some(fe) = ctx.frontend.front() {
                 if fe.ready_at > self.now {
@@ -1440,6 +1504,12 @@ impl Core {
                             self.threads[t].outstanding_mem_misses += 1;
                             if self.cfg.fetch_policy == FetchPolicy::Flush {
                                 self.pending_flushes.push((t, trace_idx));
+                            } else if self.cfg.fetch_policy == FetchPolicy::MlpGate {
+                                // Gate fetch until this miss's scheduled
+                                // fill (`latency` already includes the
+                                // wait); a later miss extends the gate.
+                                let g = &mut self.threads[t].mlp_gate_until;
+                                *g = (*g).max(now + latency);
                             }
                         }
                     }
@@ -1471,6 +1541,12 @@ impl Core {
                             self.threads[t].outstanding_mem_misses += 1;
                             if self.cfg.fetch_policy == FetchPolicy::Flush {
                                 self.pending_flushes.push((t, trace_idx));
+                            } else if self.cfg.fetch_policy == FetchPolicy::MlpGate {
+                                // Flat model: the miss "fills" when the
+                                // load's result is ready (`latency`
+                                // already includes `extra`).
+                                let g = &mut self.threads[t].mlp_gate_until;
+                                *g = (*g).max(now + latency);
                             }
                         }
                     }
@@ -1950,37 +2026,97 @@ impl Core {
     // Fetch: ICOUNT.2.8 with I-cache and branch prediction.
     // ------------------------------------------------------------------
 
+    /// Roll every thread's ILP-YIELD scoring window forward to the one
+    /// containing `now`. Windows are absolute-aligned (`now / YIELD_WINDOW`)
+    /// and caught up lazily: a window adjacent to the last rolled one
+    /// closes with the issue delta observed across it; a gap of elapsed
+    /// windows scores zero (the thread issued nothing recently enough to
+    /// matter). Laziness is what keeps the fast-forward exact — skipped
+    /// stretches have no fetch-eligible thread, so neither run mode rolls
+    /// during them, and the catch-up at the next eligible cycle computes
+    /// the same score either way because `issued` is provably constant
+    /// across a skipped stretch.
+    fn roll_yield_windows(&mut self) {
+        let win = self.now / YIELD_WINDOW;
+        for t in 0..self.threads.len() {
+            let issued = self.counters.threads[t].issued;
+            let ctx = &mut self.threads[t];
+            if ctx.yield_win == win {
+                continue;
+            }
+            // saturating: a measurement reset or migration re-bases the
+            // `issued` counter below the recorded window start.
+            ctx.yield_score = if ctx.yield_win + 1 == win {
+                issued.saturating_sub(ctx.yield_issued_at_win)
+            } else {
+                0
+            };
+            ctx.yield_win = win;
+            ctx.yield_issued_at_win = issued;
+            let tc = &mut self.counters.threads[t];
+            tc.yield_windows += 1;
+            tc.yield_sum += ctx.yield_score;
+        }
+    }
+
+    /// ILP-YIELD priority key (lower fetches first): the *inverted* yield
+    /// of the previous window, scaled to leave room for the thread's
+    /// icount as an intra-yield tie-break — so among equally yielding
+    /// threads the least queue-occupying one still wins, and the rotating
+    /// pick only arbitrates exact ties.
+    fn ilp_yield_key(&self, t: usize) -> usize {
+        let ctx = &self.threads[t];
+        let icount = ctx.frontend.len() + ctx.dispatch_buf.len() + self.iq.thread_occupancy(t);
+        let cap = YIELD_WINDOW as usize * self.cfg.width as usize;
+        let inv_yield = cap.saturating_sub(ctx.yield_score as usize);
+        inv_yield * 4096 + icount.min(4095)
+    }
+
     fn fetch_stage(&mut self, hier: &mut Hierarchy) {
         let n = self.threads.len();
+        // ILP-YIELD: close out elapsed scoring windows before ranking.
+        // Gated on a fetch-eligible thread existing so provably idle
+        // cycles (which the fast-forward replays arithmetically) never
+        // roll — the lazy catch-up in `roll_yield_windows` then lands on
+        // identical cycles in skipped and reference runs.
+        if self.cfg.fetch_policy == FetchPolicy::IlpYield
+            && self.threads.iter().any(|ctx| self.fetch_eligible_at(ctx, self.now))
+        {
+            self.roll_yield_windows();
+        }
         let mut icounts = std::mem::take(&mut self.scratch.icounts);
         icounts.clear();
         icounts.extend((0..n).map(|t| {
             let ctx = &self.threads[t];
-            let mut eligible = ctx.fetch_gated_by.is_none()
-                && ctx.fetch_blocked_until <= self.now
-                && ctx.frontend.len() < self.frontend_cap
-                && (!ctx.finished_fetch || ctx.wrongpath_of.is_some());
-            // STALL/FLUSH: a thread with an outstanding memory miss
-            // does not fetch until the miss returns.
-            if matches!(self.cfg.fetch_policy, FetchPolicy::Stall | FetchPolicy::Flush)
-                && ctx.outstanding_mem_misses > 0
-            {
-                eligible = false;
-            }
-            eligible.then(|| match self.cfg.fetch_policy {
+            self.fetch_eligible_at(ctx, self.now).then(|| match self.cfg.fetch_policy {
                 // Round-robin: priority rotates each cycle.
                 FetchPolicy::RoundRobin => (t + n - self.rr % n) % n,
+                // ILP-YIELD: highest recent issue yield first (icount is
+                // folded in as the intra-yield tie-break).
+                FetchPolicy::IlpYield => self.ilp_yield_key(t),
                 _ => ctx.frontend.len() + ctx.dispatch_buf.len() + self.iq.thread_occupancy(t),
             })
         }));
         let mut fetch_rank = std::mem::take(&mut self.scratch.fetch_rank);
         let mut picks = std::mem::take(&mut self.scratch.picks);
-        pick_fetch_threads_into(
-            &icounts,
-            self.cfg.fetch_threads_per_cycle as usize,
-            &mut fetch_rank,
-            &mut picks,
-        );
+        match self.cfg.fetch_policy {
+            // The new policies rotate equal-key ties with the round-robin
+            // cursor; the legacy policies keep the fixed priority encoder
+            // (thread 0 wins ties) so their goldens stay bit-for-bit.
+            FetchPolicy::MlpGate | FetchPolicy::IlpYield => pick_fetch_threads_rotating_into(
+                &icounts,
+                self.cfg.fetch_threads_per_cycle as usize,
+                self.rr,
+                &mut fetch_rank,
+                &mut picks,
+            ),
+            _ => pick_fetch_threads_into(
+                &icounts,
+                self.cfg.fetch_threads_per_cycle as usize,
+                &mut fetch_rank,
+                &mut picks,
+            ),
+        }
         self.scratch.icounts = icounts;
         self.scratch.fetch_rank = fetch_rank;
 
@@ -2233,6 +2369,9 @@ impl Core {
         ctx.pending_ifetch_line = None;
         ctx.finished_fetch = false;
         ctx.outstanding_mem_misses = 0;
+        // The squash discarded every in-flight miss, including the one the
+        // MLP gate was armed on: the thread restarts fetching immediately.
+        ctx.mlp_gate_until = 0;
         ctx.wrongpath_of = None;
         self.iq.squash_thread(t);
         self.dab.retain(|d| d.thread != t);
@@ -2283,6 +2422,12 @@ impl Core {
         ctx.fetch_cursor = 0;
         ctx.fetch_blocked_until = 0;
         ctx.finished_fetch = true; // sealed until recycled
+                                   // Fetch-policy state does not travel: the gate was cleared by the
+                                   // flush above, and the yield window restarts on the destination
+                                   // core (its `issued` basis left with the counter row).
+        ctx.yield_win = 0;
+        ctx.yield_issued_at_win = 0;
+        ctx.yield_score = 0;
         out
     }
 
@@ -2296,6 +2441,7 @@ impl Core {
         let now = self.now;
         self.committed_total += m.counters.committed;
         self.counters.threads[t] = m.counters;
+        let issued = self.counters.threads[t].issued;
         self.plan_valid &= !(1u64 << t);
         let ctx = &mut self.threads[t];
         debug_assert!(
@@ -2312,6 +2458,13 @@ impl Core {
         ctx.pending_ifetch_line = None;
         ctx.finished_fetch = false;
         ctx.outstanding_mem_misses = 0;
+        // Fresh fetch-policy state on the new core: no gate, and a yield
+        // window re-based on the migrated counter row so the first
+        // adjacent-window roll computes a sane delta.
+        ctx.mlp_gate_until = 0;
+        ctx.yield_win = 0;
+        ctx.yield_issued_at_win = issued;
+        ctx.yield_score = 0;
         ctx.wrongpath_of = None;
         ctx.wp_rng = m.wp_rng;
         ctx.recent_addrs = m.recent_addrs;
@@ -2459,7 +2612,11 @@ impl Core {
                 return r;
             }
             return if ctx.frontend.is_empty() {
-                StallReason::FetchStalled
+                if self.cfg.fetch_policy == FetchPolicy::MlpGate && ctx.mlp_gate_until > self.now {
+                    StallReason::MlpGated
+                } else {
+                    StallReason::FetchStalled
+                }
             } else {
                 StallReason::Progressing
             };

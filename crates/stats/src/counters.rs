@@ -86,6 +86,17 @@ pub struct ThreadCounters {
     /// buffer.
     #[serde(default)]
     pub wb_full_stall_cycles: u64,
+    /// Cycles the MLP-GATE fetch policy held this thread's fetch while a
+    /// long-latency miss was outstanding.
+    #[serde(default)]
+    pub mlp_gate_cycles: u64,
+    /// ILP-YIELD scoring windows closed for this thread (denominator of
+    /// the mean per-window yield).
+    #[serde(default)]
+    pub yield_windows: u64,
+    /// Sum of the per-window issue-slot yields over `yield_windows`.
+    #[serde(default)]
+    pub yield_sum: u64,
 }
 
 /// `field += (field - before) * k`: replay the last cycle's delta `k` more
@@ -131,6 +142,9 @@ impl ThreadCounters {
             mshr_full_defers,
             fetch_mshr_stall_cycles,
             wb_full_stall_cycles,
+            mlp_gate_cycles,
+            yield_windows,
+            yield_sum,
         } = before;
         rep(&mut self.fetched, *fetched, k);
         rep(&mut self.dispatched, *dispatched, k);
@@ -162,6 +176,13 @@ impl ThreadCounters {
         rep(&mut self.mshr_full_defers, *mshr_full_defers, k);
         rep(&mut self.fetch_mshr_stall_cycles, *fetch_mshr_stall_cycles, k);
         rep(&mut self.wb_full_stall_cycles, *wb_full_stall_cycles, k);
+        // The gate state is constant across a proven-idle stretch (its
+        // release is a calendar stop), so the per-cycle gated delta
+        // replays; yield windows only roll on fetch-eligible cycles, so
+        // their idle delta is provably zero and `rep` is a no-op.
+        rep(&mut self.mlp_gate_cycles, *mlp_gate_cycles, k);
+        rep(&mut self.yield_windows, *yield_windows, k);
+        rep(&mut self.yield_sum, *yield_sum, k);
     }
 
     /// Field-wise accumulate `other` into `self` — the per-thread unit of
@@ -198,6 +219,9 @@ impl ThreadCounters {
             mshr_full_defers,
             fetch_mshr_stall_cycles,
             wb_full_stall_cycles,
+            mlp_gate_cycles,
+            yield_windows,
+            yield_sum,
         } = other;
         self.fetched += fetched;
         self.dispatched += dispatched;
@@ -229,6 +253,9 @@ impl ThreadCounters {
         self.mshr_full_defers += mshr_full_defers;
         self.fetch_mshr_stall_cycles += fetch_mshr_stall_cycles;
         self.wb_full_stall_cycles += wb_full_stall_cycles;
+        self.mlp_gate_cycles += mlp_gate_cycles;
+        self.yield_windows += yield_windows;
+        self.yield_sum += yield_sum;
     }
 
     /// Branch misprediction rate over committed branches.
@@ -276,6 +303,16 @@ impl ThreadCounters {
             0.0
         } else {
             self.l1d_misses as f64 / accesses as f64
+        }
+    }
+
+    /// Mean issue-slot yield per closed ILP-YIELD scoring window (zero
+    /// when the policy never rolled a window for this thread).
+    pub fn mean_yield(&self) -> f64 {
+        if self.yield_windows == 0 {
+            0.0
+        } else {
+            self.yield_sum as f64 / self.yield_windows as f64
         }
     }
 }
@@ -676,6 +713,37 @@ mod tests {
         let m = MemCounters { bus_transactions: 4, bus_queue_delay_sum: 10, ..Default::default() };
         assert!((m.mean_bus_queue_delay() - 2.5).abs() < 1e-12);
         assert_eq!(MemCounters::default().mean_bus_queue_delay(), 0.0);
+    }
+
+    #[test]
+    fn mean_yield_helper() {
+        let t = ThreadCounters { yield_windows: 4, yield_sum: 10, ..Default::default() };
+        assert!((t.mean_yield() - 2.5).abs() < 1e-12);
+        assert_eq!(ThreadCounters::default().mean_yield(), 0.0);
+    }
+
+    #[test]
+    fn fetch_policy_counters_replicate_and_absorb() {
+        let before = ThreadCounters {
+            mlp_gate_cycles: 5,
+            yield_windows: 3,
+            yield_sum: 9,
+            ..Default::default()
+        };
+        // One representative cycle gated the thread once and rolled no
+        // window; replaying it k=10 more times must scale only the gate.
+        let mut cur = before.clone();
+        cur.mlp_gate_cycles += 1;
+        cur.replicate_idle_deltas(&before, 10);
+        assert_eq!(cur.mlp_gate_cycles, 16);
+        assert_eq!(cur.yield_windows, 3);
+        assert_eq!(cur.yield_sum, 9);
+        let mut sum = ThreadCounters::default();
+        sum.absorb(&before);
+        sum.absorb(&before);
+        assert_eq!(sum.mlp_gate_cycles, 10);
+        assert_eq!(sum.yield_windows, 6);
+        assert_eq!(sum.yield_sum, 18);
     }
 
     #[test]

@@ -113,9 +113,15 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
         "ablation" => {
             out.sections.push(("ablation".into(), report::render_ablation(&exp::ablation(params))))
         }
-        "fetchpol" => out
-            .sections
-            .push(("fetchpol".into(), report::render_fetch_policies(&exp::fetch_policies(params)))),
+        "fetchpol" => {
+            out.sections.push((
+                "fetchpol".into(),
+                report::render_fetch_policies(&exp::fetch_policies(params)),
+            ));
+            let rows = exp::fetchpol_matrix(params);
+            out.data.push(("fetchpol-matrix".into(), serde_json::json!(rows)));
+            out.sections.push(("fetchpol-matrix".into(), report::render_fetchpol_matrix(&rows)));
+        }
         "hetero" => out
             .sections
             .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params)))),
@@ -195,6 +201,10 @@ fn dispatch(db: &ResultsDb, name: &str, params: ExpParams, out: &mut Rendered) -
                 "fetchpol".into(),
                 report::render_fetch_policies(&exp::fetch_policies(params)),
             ));
+            let fetchpol_rows = exp::fetchpol_matrix(params);
+            out.data.push(("fetchpol-matrix".into(), serde_json::json!(fetchpol_rows)));
+            out.sections
+                .push(("fetchpol-matrix".into(), report::render_fetchpol_matrix(&fetchpol_rows)));
             out.sections
                 .push(("hetero".into(), report::render_hetero(&exp::hetero_comparison(params))));
             out.sections.push((
@@ -239,6 +249,39 @@ mod tests {
             assert!(!r.sections[0].1.is_empty(), "{name}");
         }
         assert!(db.is_empty(), "static sections must not trigger runs");
+    }
+
+    #[test]
+    fn fetchpol_renders_identically_across_job_counts() {
+        let serial = run_experiment(
+            &ResultsDb::new(),
+            "fetchpol",
+            ExpParams { commit_target: 800, seed: 1, jobs: 1 },
+        )
+        .unwrap();
+        let sharded = run_experiment(
+            &ResultsDb::new().with_jobs(4),
+            "fetchpol",
+            ExpParams { commit_target: 800, seed: 1, jobs: 4 },
+        )
+        .unwrap();
+        assert_eq!(serial.sections, sharded.sections);
+        // The structured payload must match too (serve/submit consumers).
+        let ser: Vec<String> = serial
+            .data
+            .iter()
+            .map(|(k, v)| format!("{k}={}", serde_json::to_string(v).unwrap()))
+            .collect();
+        let sha: Vec<String> = sharded
+            .data
+            .iter()
+            .map(|(k, v)| format!("{k}={}", serde_json::to_string(v).unwrap()))
+            .collect();
+        assert_eq!(ser, sha);
+        // Both the legacy table and the new matrix section render.
+        let names: Vec<&str> = serial.sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["fetchpol", "fetchpol-matrix"]);
+        assert!(serial.sections[1].1.contains("OOO-dispatch IPC delta"));
     }
 
     #[test]

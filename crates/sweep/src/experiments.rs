@@ -653,6 +653,83 @@ pub fn fetch_policies(p: ExpParams) -> Vec<FetchPolicyRow> {
     })
 }
 
+/// One row of the fetch × dispatch policy matrix: the MLP/ILP-aware fetch
+/// policies (MLP-GATE, ILP-YIELD) against the ICOUNT baseline, crossed with
+/// the paper's dispatch schemes, on one cache-bound and one ILP-bound mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FetchPolMatrixRow {
+    /// Workload label.
+    pub workload: String,
+    /// Fetch policy name.
+    pub fetch: String,
+    /// Dispatch policy name.
+    pub dispatch: String,
+    /// Issue-queue size.
+    pub iq_size: usize,
+    /// Measured throughput IPC (zero if the run wedged).
+    pub ipc: f64,
+    /// Harmonic mean of per-thread IPC (throughput-fairness balance).
+    pub hmean_ipc: f64,
+    /// Total thread-cycles spent MLP-gated (MLP-GATE only; zero otherwise).
+    pub mlp_gate_cycles: u64,
+    /// Mean issue-slot yield per sliding window, averaged over threads
+    /// (ILP-YIELD only; zero otherwise).
+    pub mean_yield: f64,
+    /// Deadlock summary if this configuration wedged.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub wedge: Option<String>,
+}
+
+/// The {ICOUNT, MLP-GATE, ILP-YIELD} × {traditional, 2OP_BLOCK,
+/// 2OP_BLOCK+OOO} matrix on a cache-bound and an ILP-bound mix. The
+/// interesting read-out is the OOO-dispatch IPC delta with vs. without
+/// MLP-aware fetch: OOO dispatch tolerates IQ clog from long-latency
+/// misses, so an MLP-aware fetch gate and OOO dispatch partially overlap
+/// in what they buy.
+pub fn fetchpol_matrix(p: ExpParams) -> Vec<FetchPolMatrixRow> {
+    use smt_core::config::FetchPolicy;
+    use smt_core::SimConfig;
+
+    // Mix 1 is two LOW-ILP (memory-bound) benchmarks; Mix 6 two HIGH-ILP
+    // (execution-bound) ones — the two poles the fetch policies target.
+    let workloads: [(&str, &Mix); 2] = [
+        ("2T cache-bound (Mix 1)", &mixes_for(MixTable::TwoThread)[0]),
+        ("2T ILP-bound (Mix 6)", &mixes_for(MixTable::TwoThread)[5]),
+    ];
+    let mut jobs = Vec::new();
+    for (label, mix) in workloads {
+        for fetch in [FetchPolicy::ICount, FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+            for dispatch in POLICIES {
+                let iq = 64usize;
+                let spec = RunSpec::new(&mix.benchmarks, iq, dispatch, p.commit_target, p.seed);
+                let mut cfg = SimConfig::paper(iq, dispatch);
+                cfg.fetch_policy = fetch;
+                jobs.push((label.to_string(), iq, fetch, dispatch, spec, cfg));
+            }
+        }
+    }
+    crate::pool::ordered_par_map(p.jobs, jobs, |(workload, iq_size, fetch, dispatch, spec, cfg)| {
+        let rec = crate::runner::run_spec_with_config_recorded(&spec, cfg);
+        let threads = &rec.result.counters.threads;
+        let gate: u64 = threads.iter().map(|t| t.mlp_gate_cycles).sum();
+        let yields: Vec<f64> =
+            threads.iter().filter(|t| t.yield_windows > 0).map(|t| t.mean_yield()).collect();
+        let mean_yield =
+            if yields.is_empty() { 0.0 } else { yields.iter().sum::<f64>() / yields.len() as f64 };
+        FetchPolMatrixRow {
+            workload,
+            fetch: fetch.name().to_string(),
+            dispatch: dispatch.name().to_string(),
+            iq_size,
+            ipc: rec.result.ipc,
+            hmean_ipc: harmonic_mean(&rec.result.per_thread_ipc).unwrap_or(0.0),
+            mlp_gate_cycles: gate,
+            mean_yield,
+            wedge: rec.wedge,
+        }
+    })
+}
+
 /// One row of the scheduler-organization comparison (Ernst & Austin's
 /// tag-eliminated queue vs the paper's designs, §6 related work).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1159,6 +1236,23 @@ mod tests {
             flush_rows.iter().any(|r| r.flushes > 0),
             "FLUSH must trigger at least one squash on memory-bound mixes"
         );
+    }
+
+    #[test]
+    fn fetchpol_matrix_covers_matrix_and_carries_policy_counters() {
+        let rows = fetchpol_matrix(tiny());
+        // 2 mixes × 3 fetch policies × 3 dispatch policies.
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| r.wedge.is_none() && r.ipc > 0.0));
+        // The gate counter fires only under MLP-GATE, and must fire on the
+        // cache-bound mix.
+        assert!(rows.iter().filter(|r| r.fetch != "MLP-GATE").all(|r| r.mlp_gate_cycles == 0));
+        assert!(rows.iter().any(|r| r.fetch == "MLP-GATE"
+            && r.workload.contains("cache-bound")
+            && r.mlp_gate_cycles > 0));
+        // Yield tracking fires only under ILP-YIELD.
+        assert!(rows.iter().filter(|r| r.fetch != "ILP-YIELD").all(|r| r.mean_yield == 0.0));
+        assert!(rows.iter().any(|r| r.fetch == "ILP-YIELD" && r.mean_yield > 0.0));
     }
 
     #[test]

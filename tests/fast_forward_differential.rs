@@ -81,6 +81,82 @@ fn fast_forward_is_bit_for_bit_under_stall_and_flush_fetch() {
 }
 
 #[test]
+fn fast_forward_is_bit_for_bit_under_mlp_gate_and_ilp_yield_fetch() {
+    // The new sensor-driven policies: MLP-GATE parks threads on a timed
+    // gate whose release must be a calendar stop, and ILP-YIELD rolls its
+    // scoring windows lazily — both must replay exactly across jumps, on
+    // both memory models.
+    for fetch_policy in [FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+        for flat in [false, true] {
+            let spec =
+                RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 11);
+            let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+            cfg.fetch_policy = fetch_policy;
+            if flat {
+                cfg.hierarchy.model = MemModel::Flat;
+            }
+            assert_identical(&format!("{fetch_policy:?}/flat={flat}"), &spec, cfg);
+        }
+    }
+}
+
+#[test]
+fn fast_forward_mlp_gate_actually_jumps() {
+    // The gate must not silently veto the fast path: a miss-heavy
+    // MLP-GATE run has long stretches where every thread is gated, and
+    // the calendar entry on the gate release is what lets them skip.
+    let spec = RunSpec::new(&["art", "art"], 48, DispatchPolicy::Traditional, 2_000, 21);
+    let mut cfg = SimConfig::paper(48, DispatchPolicy::Traditional);
+    cfg.fetch_policy = FetchPolicy::MlpGate;
+    cfg.fast_forward = false;
+    let slow = run_spec_with_config(&spec, cfg.clone());
+    cfg.fast_forward = true;
+    let fast = run_spec_with_config(&spec, cfg);
+    assert_eq!(slow.cycles, fast.cycles, "mlp-jump: cycle counts diverge");
+    assert_eq!(slow.counters, fast.counters, "mlp-jump: counters diverge");
+    assert!(
+        fast.counters.threads.iter().any(|t| t.mlp_gate_cycles > 0),
+        "the gate never engaged — the run does not exercise MLP-GATE"
+    );
+    assert!(fast.ff_skipped_cycles > 0, "MLP-GATE run skipped nothing — gate vetoes the fast path");
+}
+
+#[test]
+fn fast_forward_is_bit_for_bit_new_policies_with_finite_mshrs_and_faults() {
+    // The new policies crossed with the nastiest memory system: finite
+    // MSHRs, a slow bus, a small write buffer, and injected faults that
+    // stretch miss latencies (moving the gate's release cycle) and drop
+    // wakeups (decoupling the fill event from the gate timestamp).
+    for fetch_policy in [FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+        let spec = RunSpec::new(
+            &["gcc", "art", "crafty", "twolf"],
+            48,
+            DispatchPolicy::TwoOpBlockOoo,
+            2_000,
+            5,
+        );
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+            l1i_mshrs: 2,
+            l1d_mshrs: 4,
+            l2_mshrs: 4,
+            bus_cycles_per_transfer: 8,
+            write_buffer_entries: 4,
+            write_buffer_drain_per_cycle: 1,
+        });
+        let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 29);
+        faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 200_000;
+        faults.class_mut(FaultClass::WakeupDrop).rate_ppm = 50_000;
+        cfg.faults = faults;
+        let (scyc, sc, fcyc, fc) = run_both(&spec, cfg);
+        assert!(sc.faults.total_injected() > 0, "fault config must actually fire");
+        assert_eq!(scyc, fcyc, "{fetch_policy:?}/mshr/faults: cycle counts diverge");
+        assert_eq!(sc, fc, "{fetch_policy:?}/mshr/faults: counters diverge");
+    }
+}
+
+#[test]
 fn fast_forward_is_bit_for_bit_with_finite_mshrs_and_slow_bus() {
     // A constrained memory system: few MSHRs, a slow contended bus, and a
     // small write buffer. Fills and write-buffer drains are the wake

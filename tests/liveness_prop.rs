@@ -8,9 +8,11 @@
 
 use proptest::prelude::*;
 use smt_sim::core::{
-    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, InstState, SimConfig, Simulator,
+    DeadlockMode, DispatchPolicy, FaultClass, FaultConfig, FetchPolicy, InstState, SimConfig,
+    Simulator,
 };
 use smt_sim::isa::{ArchReg, TraceInst};
+use smt_sim::mem::{MemModel, NonBlockingConfig};
 use smt_sim::workload::{InstGenerator, ProgramTrace};
 
 fn sim_of(programs: Vec<Vec<TraceInst>>, cfg: SimConfig) -> Simulator {
@@ -206,6 +208,62 @@ fn liveness_holds_under_every_fault_class_with_watchdog() {
             class.name()
         );
     }
+}
+
+#[test]
+fn mlp_gated_thread_always_wakes_under_faults_and_mshr_starvation() {
+    // The MLP gate's liveness contract: a gated thread always has a
+    // registered wake source (the gate timestamp itself), so even the
+    // worst case — every fault class firing, a single L1D MSHR
+    // serializing all misses, two threads ping-ponging the gate — must
+    // keep committing within the legitimate gap bound. A gate armed
+    // without a wake source would hold fetch forever once the pipeline
+    // drained, and this driver would trip the gap assertion.
+    for class in FaultClass::ALL {
+        let mut cfg = SimConfig::paper(4, DispatchPolicy::TwoOpBlockOoo);
+        cfg.deadlock = DeadlockMode::Dab { size: 2 };
+        cfg.fetch_policy = FetchPolicy::MlpGate;
+        cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+            l1d_mshrs: 1,
+            l2_mshrs: 1,
+            bus_cycles_per_transfer: 8,
+            write_buffer_entries: 2,
+            write_buffer_drain_per_cycle: 1,
+            ..NonBlockingConfig::default()
+        });
+        cfg.faults = hot_faults(class, 0xF417_0003);
+        let p1 = ndi_heavy_branchy_program(25);
+        let p2 = ndi_heavy_branchy_program(25);
+        let expected = (p1.len() + p2.len()) as u64;
+        let sim = drive_checked(sim_of(vec![p1, p2], cfg), expected, MAX_COMMIT_GAP)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", class.name()));
+        assert!(
+            sim.counters().threads.iter().any(|t| t.mlp_gate_cycles > 0),
+            "{}: the gate never engaged — the scenario does not exercise MLP-GATE",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn ilp_yield_liveness_under_mshr_starvation() {
+    // ILP-YIELD adds no gate, but its window rolls must not disturb the
+    // commit cadence under the same starved memory system.
+    let mut cfg = SimConfig::paper(4, DispatchPolicy::TwoOpBlockOoo);
+    cfg.deadlock = DeadlockMode::Dab { size: 2 };
+    cfg.fetch_policy = FetchPolicy::IlpYield;
+    cfg.hierarchy.model = MemModel::NonBlocking(NonBlockingConfig {
+        l1d_mshrs: 1,
+        l2_mshrs: 1,
+        bus_cycles_per_transfer: 8,
+        write_buffer_entries: 2,
+        write_buffer_drain_per_cycle: 1,
+        ..NonBlockingConfig::default()
+    });
+    let p1 = ndi_heavy_program(30);
+    let p2 = ndi_heavy_program(30);
+    let expected = (p1.len() + p2.len()) as u64;
+    drive_checked(sim_of(vec![p1, p2], cfg), expected, MAX_COMMIT_GAP).unwrap();
 }
 
 /// Strategy: one random but *valid* dynamic instruction (mirrors the

@@ -114,6 +114,82 @@ fn one_core_machine_matches_simulator_under_stall_and_flush_fetch() {
 }
 
 #[test]
+fn one_core_machine_matches_simulator_under_mlp_gate_and_ilp_yield_fetch() {
+    // The new policies keep per-thread state (gate timestamp, yield
+    // window) inside the core, so the machine wrapper must degenerate
+    // exactly like the legacy policies do.
+    for fetch_policy in [FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+        let spec = RunSpec::new(&["art", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 11);
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        assert_degenerate(&format!("{fetch_policy:?}"), &spec, cfg, AllocConfig::default());
+    }
+}
+
+#[test]
+fn one_core_machine_matches_simulator_new_policies_with_finite_mshrs_and_faults() {
+    // New policies crossed with a constrained hierarchy and injected
+    // fault latency: the gate timestamps derive from fill times the
+    // multi-requestor arbitration computes, so per-core attribution must
+    // stay exact.
+    for fetch_policy in [FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+        let spec = RunSpec::new(&["gcc", "twolf"], 48, DispatchPolicy::TwoOpBlockOoo, 2_000, 3);
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        let nb = NonBlockingConfig {
+            l1d_mshrs: 4,
+            l2_mshrs: 8,
+            bus_cycles_per_transfer: 6,
+            write_buffer_entries: 4,
+            write_buffer_drain_per_cycle: 1,
+            ..NonBlockingConfig::default()
+        };
+        cfg.hierarchy.model = MemModel::NonBlocking(nb);
+        let mut faults = FaultConfig::single(FaultClass::CacheMissExtra, 41);
+        faults.class_mut(FaultClass::CacheMissExtra).rate_ppm = 300_000;
+        cfg.faults = faults;
+        let sim = run_spec_with_config(&spec, cfg.clone());
+        assert!(sim.counters.faults.cache_extra_injected > 0, "fault config must actually fire");
+        assert_degenerate(
+            &format!("{fetch_policy:?}-mshr-faults"),
+            &spec,
+            cfg,
+            AllocConfig::default(),
+        );
+    }
+}
+
+#[test]
+fn two_core_machine_finishes_with_migration_under_new_fetch_policies() {
+    // Migration crosses extract/install, which must reset the gate and
+    // yield state: an imbalanced mix with a short epoch forces the
+    // dynamic policies through that path and the run must still finish
+    // with every thread committing.
+    for fetch_policy in [FetchPolicy::MlpGate, FetchPolicy::IlpYield] {
+        let spec = RunSpec::new(
+            &["art", "art", "twolf", "gcc"],
+            48,
+            DispatchPolicy::TwoOpBlockOoo,
+            2_500,
+            13,
+        )
+        .with_warmup(500);
+        let alloc = AllocConfig {
+            policy: AllocPolicy::MlpBalanced,
+            epoch_cycles: 500,
+            ..AllocConfig::default()
+        };
+        let mut cfg = SimConfig::paper(48, DispatchPolicy::TwoOpBlockOoo);
+        cfg.fetch_policy = fetch_policy;
+        let r = run_machine_spec_with_config(&spec, cfg, 2, alloc);
+        assert!(r.outcome_target_reached, "{fetch_policy:?}: run must finish");
+        for (t, ipc) in r.per_thread_ipc.iter().enumerate() {
+            assert!(*ipc > 0.0, "{fetch_policy:?}: thread {t} committed nothing");
+        }
+    }
+}
+
+#[test]
 fn two_core_machine_commits_and_attributes_work_to_both_cores() {
     // Not a differential — a smoke check that N=2 actually distributes
     // work: every thread must commit, and the machine must finish.
